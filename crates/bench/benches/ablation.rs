@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * Algorithm A (theory consulted while pruning the tableau) versus
+//!   Algorithm B (theory consulted only on the final condition formula) on the
+//!   same combined-theory validity question — the modularity/efficiency
+//!   trade-off Appendix B discusses;
+//! * the theory-oracle pruning overhead when the specialized theory adds
+//!   nothing (pure temporal formulae R3/R5 with the propositional theory);
+//! * the Appendix C bounded denotational semantics versus the §4 graph
+//!   construction + iteration method on the same expressions;
+//! * randomized simulation versus exhaustive small-scope exploration of the
+//!   Chapter 8 mutual-exclusion algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilogic_lowlevel::prelude::*;
+use ilogic_systems::explore::{collect_runs, explore, ExploreLimits, MutexModel};
+use ilogic_systems::mutex::{simulate, MutexWorkload};
+use ilogic_temporal::patterns;
+use ilogic_temporal::prelude::*;
+use ilogic_temporal::syntax::VarSpec;
+
+fn combined_theory_formula() -> Ltl {
+    // □(a = b ∧ b ≥ 1) ⊃ ◇(a ≥ 1): valid over the Nelson–Oppen combination.
+    let premise = Ltl::cmp(Term::var("a"), CmpOp::Eq, Term::var("b"))
+        .and(Ltl::cmp(Term::var("b"), CmpOp::Ge, Term::int(1)))
+        .always();
+    premise.implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1)).eventually())
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // ------------------------------------------------------------------
+    // Algorithm A vs Algorithm B on a combined-theory validity question.
+    // ------------------------------------------------------------------
+    let formula = combined_theory_formula();
+    let combined = CombinedTheory::new();
+    group.bench_function("algorithm_a/combined_theory_valid", |b| {
+        b.iter(|| AlgorithmA::new(&combined).valid(&formula))
+    });
+    group.bench_function("algorithm_b/combined_theory_valid", |b| {
+        let alg = AlgorithmB::new(&combined, VarSpec::all_state());
+        b.iter(|| alg.decide(&formula))
+    });
+
+    // ------------------------------------------------------------------
+    // Theory-oracle overhead on pure temporal formulae (R3 and R5).
+    // ------------------------------------------------------------------
+    let propositional = PropositionalTheory::new();
+    for (name, formula) in [("R3", patterns::r3()), ("R5", patterns::r5())] {
+        group.bench_function(format!("{name}/pure_tableau"), |b| {
+            b.iter(|| valid_pure(&formula))
+        });
+        group.bench_function(format!("{name}/algorithm_a_propositional"), |b| {
+            b.iter(|| AlgorithmA::new(&propositional).valid(&formula))
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Appendix C: bounded denotation vs graph construction + iteration.
+    // ------------------------------------------------------------------
+    let section_4_3 = LowExpr::pos("P").concat(LowExpr::TStar).iter_star(LowExpr::pos("Q"));
+    let unsat = LowExpr::pos("x").infloop().and(LowExpr::T.seq(LowExpr::neg("x")));
+    for (name, expr) in [("section_4_3", &section_4_3), ("infloop_clash", &unsat)] {
+        group.bench_function(format!("lowlevel/{name}/bounded_denotation"), |b| {
+            b.iter(|| satisfiable(expr, Bounds { max_len: 6, max_interps: 50_000 }).is_sat())
+        });
+        group.bench_function(format!("lowlevel/{name}/graph_procedure"), |b| {
+            b.iter(|| satisfiable_graph(&build_graph(expr).expect("within limits")).is_sat())
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Chapter 8: randomized simulation vs exhaustive exploration.
+    // ------------------------------------------------------------------
+    group.bench_function("mutex/randomized_simulation", |b| {
+        b.iter(|| {
+            let trace = simulate(MutexWorkload::default());
+            ilogic_systems::mutex::mutual_exclusion_holds(&trace, 3)
+        })
+    });
+    for processes in [2usize, 3usize] {
+        group.bench_function(format!("mutex/exhaustive_exploration/{processes}_processes"), |b| {
+            b.iter(|| {
+                let model = MutexModel::correct(processes, 1);
+                explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion).verified()
+            })
+        });
+    }
+    group.bench_function("mutex/collect_runs/2_processes", |b| {
+        b.iter(|| collect_runs(&MutexModel::correct(2, 1), ExploreLimits::default(), 32).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

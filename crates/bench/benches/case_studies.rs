@@ -1,0 +1,99 @@
+//! Experiments `F-5.1`, `F-6.2/6.4`, `F-7.3/7.4`, `F-8.1`: checking the
+//! specification figures of Chapters 5–8 against simulator traces.
+//!
+//! Each benchmark measures the end-to-end cost of simulating the system and
+//! verifying the corresponding specification; a summary line per case study is
+//! printed so the pass/fail outcome recorded in `EXPERIMENTS.md` can be
+//! regenerated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilogic_systems::abprotocol::{self, AbWorkload};
+use ilogic_systems::mutex::{self, MutexWorkload};
+use ilogic_systems::queue::{self, QueueKind, QueueWorkload};
+use ilogic_systems::selftimed::{self, ArbiterWorkload, ChannelWorkload};
+use ilogic_systems::specs;
+
+fn summary() {
+    println!("\n=== case-study specification outcomes ===");
+    let q = queue::simulate(QueueKind::Reliable, QueueWorkload { items: 4, retries: 1, seed: 2, phased: false });
+    println!("  Chapter 5 reliable queue axiom: {:?}", specs::reliable_queue_spec().check(&q).outcome());
+    let uq = queue::simulate(QueueKind::Unreliable { loss: 0.3 }, QueueWorkload { items: 5, retries: 3, seed: 11, phased: false });
+    println!("  Figure 5-1 unreliable queue: {:?}", specs::unreliable_queue_spec().check(&uq).outcome());
+    let ch = selftimed::simulate_request_ack(ChannelWorkload::default());
+    println!("  Figure 6-2 request/ack: {:?}", specs::request_ack_spec("R", "A").check(&ch).outcome());
+    let arb = selftimed::simulate_arbiter(ArbiterWorkload::default());
+    println!("  Figure 6-4 arbiter: {:?}", specs::arbiter_spec().check(&arb).outcome());
+    let ab = abprotocol::simulate(AbWorkload { messages: 3, loss: 0.2, duplication: 0.1, seed: 5, max_steps: 2000 });
+    println!("  Figure 7-3 AB sender: {:?}", specs::ab_sender_spec().check(&ab.trace).outcome());
+    println!("  Figure 7-4 AB receiver: {:?}", specs::ab_receiver_spec().check(&ab.trace).outcome());
+    let mx = mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
+    println!("  Figure 8-1 mutual exclusion: {:?}\n", specs::mutual_exclusion_spec().check(&mx).outcome());
+}
+
+fn bench_case_studies(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("case_studies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("queue/reliable_fifo_axiom", |b| {
+        b.iter(|| {
+            let trace = queue::simulate(
+                QueueKind::Reliable,
+                QueueWorkload { items: 4, retries: 1, seed: 2, phased: false },
+            );
+            specs::reliable_queue_spec().check(&trace).passed()
+        })
+    });
+
+    group.bench_function("queue/unreliable_figure_5_1", |b| {
+        b.iter(|| {
+            let trace = queue::simulate(
+                QueueKind::Unreliable { loss: 0.3 },
+                QueueWorkload { items: 4, retries: 3, seed: 11, phased: false },
+            );
+            specs::unreliable_queue_spec().check(&trace).passed()
+        })
+    });
+
+    group.bench_function("selftimed/request_ack_figure_6_2", |b| {
+        b.iter(|| {
+            let trace = selftimed::simulate_request_ack(ChannelWorkload::default());
+            specs::request_ack_spec("R", "A").check(&trace).passed()
+        })
+    });
+
+    group.bench_function("selftimed/arbiter_figure_6_4", |b| {
+        b.iter(|| {
+            let trace = selftimed::simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 9 });
+            specs::arbiter_spec().check(&trace).passed()
+        })
+    });
+
+    group.bench_function("abprotocol/sender_receiver_figures_7_3_7_4", |b| {
+        b.iter(|| {
+            let run = abprotocol::simulate(AbWorkload {
+                messages: 2,
+                loss: 0.15,
+                duplication: 0.05,
+                seed: 5,
+                max_steps: 1500,
+            });
+            specs::ab_sender_spec().check(&run.trace).passed()
+                && specs::ab_receiver_spec().check(&run.trace).passed()
+        })
+    });
+
+    group.bench_function("mutex/figure_8_1", |b| {
+        b.iter(|| {
+            let trace = mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
+            specs::mutual_exclusion_spec().check(&trace).passed()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_studies);
+criterion_main!(benches);

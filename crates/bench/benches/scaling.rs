@@ -1,0 +1,64 @@
+//! Experiment `S-scale`: scaling behaviour of the decision procedures
+//! (an extension beyond the paper's single table, recorded as a "figure" of
+//! this reproduction).
+//!
+//! Two sweeps: tableau/Algorithm-B cost as a function of formula size (nested
+//! eventualities and response ladders), and interval-logic trace-checking cost
+//! as a function of trace length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+use ilogic_temporal::algorithm_b::condition_of_graph;
+use ilogic_temporal::patterns;
+use ilogic_temporal::tableau::{valid_pure, TableauGraph};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_vs_formula_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 3, 4] {
+        let ladder = patterns::response_ladder(n);
+        group.bench_with_input(BenchmarkId::new("response_ladder_valid", n), &ladder, |b, f| {
+            b.iter(|| valid_pure(f))
+        });
+        let chain = patterns::eventuality_chain(n);
+        group.bench_with_input(BenchmarkId::new("eventuality_chain_condition", n), &chain, |b, f| {
+            b.iter(|| condition_of_graph(TableauGraph::build(&f.clone().not())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_checking_vs_length");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let spec_formula = always(prop("req").implies(eventually(prop("ack"))))
+        .and(eventually(prop("done")).within(fwd(event(prop("req")), event(prop("ack")))));
+    for len in [32usize, 128, 512] {
+        let states: Vec<State> = (0..len)
+            .map(|i| {
+                let mut s = State::new();
+                if i % 6 == 1 {
+                    s.insert(Prop::plain("req"));
+                }
+                if i % 6 == 3 {
+                    s.insert(Prop::plain("done"));
+                }
+                if i % 6 == 4 {
+                    s.insert(Prop::plain("ack"));
+                }
+                s
+            })
+            .collect();
+        let trace = Trace::finite(states);
+        group.bench_with_input(BenchmarkId::new("interval_spec", len), &trace, |b, t| {
+            b.iter(|| Evaluator::new(t).check(&spec_formula))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

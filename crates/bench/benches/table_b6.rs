@@ -1,0 +1,59 @@
+//! Experiment `T-B6`: the measurement table of Appendix B §6.
+//!
+//! For each of the formulae R3, R4 and R5 the bench measures the two phases the
+//! report timed — construction of `Graph(¬A)` and the condition-computing
+//! fixpoint iteration of Algorithm B — and prints the regenerated table
+//! (construction time, iteration time, node count, edge count) next to the
+//! values the report gives for the 1983 Interlisp implementation.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilogic_temporal::algorithm_b::condition_of_graph;
+use ilogic_temporal::patterns;
+use ilogic_temporal::tableau::TableauGraph;
+
+fn print_table() {
+    println!("\n=== Appendix B §6 table (paper values: construction s / iteration s / nodes / edges) ===");
+    println!("  paper: R3 67 / 14 / 13 / 108    R4 105 / 22 / 16 / 166    R5 13.8 / 5 / 8 / 34");
+    for (name, formula) in patterns::appendix_b_table() {
+        let negated = formula.clone().not();
+        let t0 = Instant::now();
+        let graph = TableauGraph::build(&negated);
+        let construction = t0.elapsed();
+        let (nodes, edges) = (graph.node_count(), graph.edge_count());
+        let t1 = Instant::now();
+        let condition = condition_of_graph(graph);
+        let iteration = t1.elapsed();
+        println!(
+            "  this implementation: {name}  {:?} / {:?} / {} / {}  (valid in pure TL: {})",
+            construction,
+            iteration,
+            nodes,
+            edges,
+            condition.valid_in_pure_tl()
+        );
+    }
+    println!();
+}
+
+fn bench_table_b6(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("appendix_b6");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, formula) in patterns::appendix_b_table() {
+        let negated = formula.clone().not();
+        group.bench_function(format!("{name}/graph_construction"), |b| {
+            b.iter(|| TableauGraph::build(&negated))
+        });
+        group.bench_function(format!("{name}/iteration"), |b| {
+            b.iter(|| condition_of_graph(TableauGraph::build(&negated)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_b6);
+criterion_main!(benches);

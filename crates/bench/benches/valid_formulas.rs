@@ -1,0 +1,58 @@
+//! Experiment `V-4`: the valid-formula catalogue of Chapter 4.
+//!
+//! Measures the cost of confirming each schema V1–V16 by exhaustive
+//! bounded-model search (the workhorse used throughout the test suite), and the
+//! cost of checking representative formulas on single traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilogic_core::bounded::BoundedChecker;
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+use ilogic_core::valid;
+
+fn bench_catalogue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chapter4_catalogue");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let checker = BoundedChecker::new(["P", "A", "B"], 2);
+    // Representative cheap/expensive schemas (the full catalogue is covered by
+    // the test suite; benching three keeps the run short).
+    for (name, formula) in valid::catalogue().into_iter().filter(|(n, _)| {
+        matches!(*n, "V1" | "V9" | "V15")
+    }) {
+        group.bench_function(name, |b| b.iter(|| checker.valid_up_to_bound(&formula)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_checking");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let formula = eventually(prop("D")).within(fwd(event(prop("A")), must(event(prop("B")))));
+    for len in [16usize, 64, 256] {
+        let states: Vec<State> = (0..len)
+            .map(|i| {
+                let mut s = State::new();
+                if i % 5 == 1 {
+                    s.insert(Prop::plain("A"));
+                }
+                if i % 7 == 3 {
+                    s.insert(Prop::plain("D"));
+                }
+                if i % 11 == 5 {
+                    s.insert(Prop::plain("B"));
+                }
+                s
+            })
+            .collect();
+        let trace = Trace::finite(states);
+        group.bench_function(format!("interval_formula/len{len}"), |b| {
+            b.iter(|| Evaluator::new(&trace).check(&formula))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalogue);
+criterion_main!(benches);

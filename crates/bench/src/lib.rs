@@ -1,0 +1,7 @@
+//! # ilogic-bench
+//!
+//! Benchmark harness for the Interval Logic reproduction.  The crate contains
+//! no library code of its own; its Criterion benches (under `benches/`)
+//! regenerate the report's quantitative table (Appendix B §6) and the
+//! figure-level artifacts of Chapters 2–8 and Appendix C.  See `EXPERIMENTS.md`
+//! at the workspace root for the experiment index and recorded results.

@@ -1,0 +1,374 @@
+//! ASCII timeline diagrams in the report's pictorial notation.
+//!
+//! Chapter 2 of the report introduces every interval operator with a picture:
+//! a horizontal time line, rows of propositions with their change events, and
+//! a bracketed segment marking the constructed interval.  Chapter 9 lists a
+//! "formal graphical representation of specifications" as promising further
+//! work.  This module provides that representation for traces: it renders a
+//! [`Trace`] as a proposition/state-component grid and overlays the intervals
+//! constructed by the Chapter 3 semantics for any interval terms or interval
+//! formulas of interest, producing pictures directly comparable with the
+//! report's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use ilogic_core::diagram::Diagram;
+//! use ilogic_core::dsl::*;
+//! use ilogic_core::prelude::*;
+//!
+//! // Formula (3) of Chapter 2 in the shape [ A ⇒ B ] ◇ D, pictured over a
+//! // trace on which it holds.
+//! let trace = Trace::finite(vec![
+//!     State::new(),
+//!     State::new().with("A"),
+//!     State::new().with("A").with("D"),
+//!     State::new().with("A").with("B"),
+//! ]);
+//! let formula = within(fwd(event(prop("A")), event(prop("B"))), eventually(prop("D")));
+//! let picture = Diagram::new(&trace).formula("[A => B] <> D", &formula).render();
+//! assert!(picture.contains("holds: true"));
+//! assert!(picture.contains('[')); // the constructed interval is bracketed
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::interval::{Constructed, Endpoint, Interval};
+use crate::semantics::{Dir, Env, Evaluator};
+use crate::state::Prop;
+use crate::syntax::{Formula, IntervalTerm};
+use crate::trace::Trace;
+
+/// Minimum width of a rendered column, in characters.
+const MIN_COLUMN_WIDTH: usize = 3;
+
+/// One overlay row: a label plus either a constructed interval or an outcome note.
+#[derive(Clone, Debug)]
+struct Overlay {
+    label: String,
+    content: OverlayContent,
+}
+
+#[derive(Clone, Debug)]
+enum OverlayContent {
+    Interval(Interval),
+    Note(String),
+}
+
+/// A builder for ASCII timeline diagrams over a trace.
+#[derive(Clone, Debug)]
+pub struct Diagram<'a> {
+    trace: &'a Trace,
+    prop_rows: Vec<Prop>,
+    var_rows: Vec<String>,
+    overlays: Vec<Overlay>,
+    auto_rows: bool,
+}
+
+impl<'a> Diagram<'a> {
+    /// A diagram over the trace.  Unless rows are added explicitly, every
+    /// proposition and state component appearing in the trace gets a row.
+    pub fn new(trace: &'a Trace) -> Diagram<'a> {
+        Diagram { trace, prop_rows: Vec::new(), var_rows: Vec::new(), overlays: Vec::new(), auto_rows: true }
+    }
+
+    /// Adds a row tracking a plain proposition, disabling automatic rows.
+    pub fn prop_row(mut self, name: impl Into<String>) -> Diagram<'a> {
+        self.auto_rows = false;
+        self.prop_rows.push(Prop::plain(name));
+        self
+    }
+
+    /// Adds a row tracking a parameterized proposition instance, disabling
+    /// automatic rows.
+    pub fn prop_instance_row(mut self, prop: Prop) -> Diagram<'a> {
+        self.auto_rows = false;
+        self.prop_rows.push(prop);
+        self
+    }
+
+    /// Adds a row showing the value of a state component, disabling automatic rows.
+    pub fn var_row(mut self, name: impl Into<String>) -> Diagram<'a> {
+        self.auto_rows = false;
+        self.var_rows.push(name.into());
+        self
+    }
+
+    /// Adds an overlay row for an explicit interval.
+    pub fn interval(mut self, label: impl Into<String>, interval: Interval) -> Diagram<'a> {
+        self.overlays.push(Overlay {
+            label: label.into(),
+            content: OverlayContent::Interval(interval),
+        });
+        self
+    }
+
+    /// Adds an overlay row for the interval constructed for `term` in the
+    /// whole-computation context (the report's outer context).
+    pub fn interval_term(mut self, label: impl Into<String>, term: &IntervalTerm) -> Diagram<'a> {
+        let evaluator = Evaluator::new(self.trace);
+        let context = Interval::unbounded(0);
+        let content = match evaluator.construct(term, context, Dir::Forward, &Env::new()) {
+            Constructed::Found(interval) => OverlayContent::Interval(interval),
+            Constructed::NotFound => OverlayContent::Note("interval not found (vacuous)".into()),
+            Constructed::Violated => OverlayContent::Note("occurrence obligation violated".into()),
+        };
+        self.overlays.push(Overlay { label: label.into(), content });
+        self
+    }
+
+    /// Adds overlay rows for an interval formula `[ I ] α`: the constructed
+    /// interval of `I` plus a note recording whether the whole formula holds.
+    /// For any other formula shape only the holds-note is added.
+    pub fn formula(mut self, label: impl Into<String>, formula: &Formula) -> Diagram<'a> {
+        let label = label.into();
+        let holds = Evaluator::new(self.trace).check(formula);
+        if let Formula::In(term, _) = formula {
+            self = self.interval_term(label.clone(), term);
+        }
+        self.overlays.push(Overlay {
+            label,
+            content: OverlayContent::Note(format!("holds: {holds}")),
+        });
+        self
+    }
+
+    /// Renders the diagram.
+    pub fn render(&self) -> String {
+        let columns = self.trace.len();
+        let (prop_rows, var_rows) = self.rows();
+
+        // Column contents for the value rows determine the column width.
+        let mut var_cells: Vec<Vec<String>> = Vec::new();
+        for name in &var_rows {
+            let cells: Vec<String> = (0..columns)
+                .map(|i| {
+                    self.trace
+                        .state(i)
+                        .var(name)
+                        .map(ToString::to_string)
+                        .unwrap_or_else(|| "-".to_string())
+                })
+                .collect();
+            var_cells.push(cells);
+        }
+        let mut width = MIN_COLUMN_WIDTH;
+        for cells in &var_cells {
+            for cell in cells {
+                width = width.max(cell.len() + 1);
+            }
+        }
+        width = width.max(format!("{}", columns.saturating_sub(1)).len() + 1);
+
+        let label_width = self
+            .label_texts(&prop_rows, &var_rows)
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+
+        let mut out = String::new();
+        // Header: positions.
+        let _ = write!(out, "{:<label_width$} ", "t");
+        for i in 0..columns {
+            let _ = write!(out, "{i:^width$}");
+        }
+        let _ = writeln!(out);
+
+        // Proposition rows.
+        for prop in &prop_rows {
+            let _ = write!(out, "{:<label_width$} ", prop.to_string());
+            for i in 0..columns {
+                let mark = if self.trace.state(i).holds(prop) { "*" } else { "." };
+                let _ = write!(out, "{mark:^width$}");
+            }
+            let _ = writeln!(out);
+        }
+
+        // State-component rows.
+        for (name, cells) in var_rows.iter().zip(&var_cells) {
+            let _ = write!(out, "{:<label_width$} ", format!("{name}="));
+            for cell in cells {
+                let _ = write!(out, "{cell:^width$}");
+            }
+            let _ = writeln!(out);
+        }
+
+        // Overlay rows.
+        for overlay in &self.overlays {
+            match &overlay.content {
+                OverlayContent::Interval(interval) => {
+                    let _ = write!(out, "{:<label_width$} ", overlay.label);
+                    let _ = write!(out, "{}", bracket_row(*interval, columns, width));
+                    let _ = writeln!(out, "  {interval}");
+                }
+                OverlayContent::Note(note) => {
+                    let _ = writeln!(out, "{:<label_width$} {note}", overlay.label);
+                }
+            }
+        }
+        out
+    }
+
+    fn rows(&self) -> (Vec<Prop>, Vec<String>) {
+        if !self.auto_rows {
+            return (self.prop_rows.clone(), self.var_rows.clone());
+        }
+        let mut props: BTreeSet<Prop> = BTreeSet::new();
+        let mut vars: BTreeSet<String> = BTreeSet::new();
+        for state in self.trace.states() {
+            for prop in state.props() {
+                props.insert(prop.clone());
+            }
+            for (name, _) in state.vars() {
+                vars.insert(name.to_string());
+            }
+        }
+        (props.into_iter().collect(), vars.into_iter().collect())
+    }
+
+    fn label_texts<'b>(
+        &'b self,
+        prop_rows: &'b [Prop],
+        var_rows: &'b [String],
+    ) -> impl Iterator<Item = String> + 'b {
+        prop_rows
+            .iter()
+            .map(ToString::to_string)
+            .chain(var_rows.iter().map(|v| format!("{v}=")))
+            .chain(self.overlays.iter().map(|o| o.label.clone()))
+    }
+}
+
+/// Renders an interval as a bracketed segment aligned with the timeline
+/// columns, in the style of the report's `[----]` pictures.
+fn bracket_row(interval: Interval, columns: usize, width: usize) -> String {
+    let mut out = String::new();
+    let lo = interval.lo.min(columns.saturating_sub(1));
+    let hi = match interval.hi {
+        Endpoint::At(h) => h.min(columns.saturating_sub(1)),
+        Endpoint::Infinite => columns.saturating_sub(1),
+    };
+    for i in 0..columns {
+        let cell: String = if i < lo || i > hi {
+            " ".repeat(width)
+        } else if lo == hi && i == lo {
+            center("[]", width)
+        } else if i == lo {
+            let mut c = String::from("[");
+            c.push_str(&"-".repeat(width - 1));
+            c
+        } else if i == hi {
+            let mut c = "-".repeat(width - 1);
+            if matches!(interval.hi, Endpoint::Infinite) {
+                c.push('>');
+            } else {
+                c.push(']');
+            }
+            c
+        } else {
+            "-".repeat(width)
+        };
+        out.push_str(&cell);
+    }
+    out
+}
+
+fn center(text: &str, width: usize) -> String {
+    if text.len() >= width {
+        return text.to_string();
+    }
+    let pad = width - text.len();
+    let left = pad / 2;
+    format!("{}{}{}", " ".repeat(left), text, " ".repeat(pad - left))
+}
+
+/// Renders the report-style picture for a formula over a trace: the automatic
+/// row grid plus the formula's outer interval and verdict.
+pub fn picture(trace: &Trace, label: &str, formula: &Formula) -> String {
+    Diagram::new(trace).formula(label, formula).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::state::State;
+
+    fn change_trace() -> Trace {
+        Trace::finite(vec![
+            State::new(),
+            State::new().with("A"),
+            State::new().with("A").with("D"),
+            State::new().with("A").with("B"),
+        ])
+    }
+
+    #[test]
+    fn grid_marks_propositions_at_the_right_positions() {
+        let rendered = Diagram::new(&change_trace()).render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let a_line = lines.iter().find(|l| l.starts_with('A')).expect("row for A");
+        // A is false at position 0 and true afterwards.
+        assert_eq!(a_line.matches('*').count(), 3);
+        let b_line = lines.iter().find(|l| l.starts_with('B')).expect("row for B");
+        assert_eq!(b_line.matches('*').count(), 1);
+    }
+
+    #[test]
+    fn interval_term_overlay_brackets_the_constructed_interval() {
+        // The event interval for A is the change interval ⟨0, 1⟩.
+        let rendered = Diagram::new(&change_trace())
+            .prop_row("A")
+            .interval_term("A", &event(prop("A")))
+            .render();
+        assert!(rendered.contains('['), "expected a bracket in\n{rendered}");
+        assert!(rendered.contains("⟨0, 1⟩"), "expected the interval in\n{rendered}");
+    }
+
+    #[test]
+    fn missing_interval_renders_a_vacuity_note() {
+        let rendered = Diagram::new(&change_trace())
+            .interval_term("C", &event(prop("C")))
+            .render();
+        assert!(rendered.contains("not found"), "{rendered}");
+    }
+
+    #[test]
+    fn formula_overlay_reports_the_verdict() {
+        let formula = eventually(prop("D")).within(fwd(event(prop("A")), event(prop("B"))));
+        let rendered = picture(&change_trace(), "[A => B] <> D", &formula);
+        assert!(rendered.contains("holds: true"), "{rendered}");
+        let negative = eventually(prop("E")).within(fwd(event(prop("A")), event(prop("B"))));
+        let rendered = picture(&change_trace(), "[A => B] <> E", &negative);
+        assert!(rendered.contains("holds: false"), "{rendered}");
+    }
+
+    #[test]
+    fn var_rows_show_component_values() {
+        let trace = Trace::finite(vec![
+            State::new().with_var("y", 2),
+            State::new().with_var("y", 16),
+        ]);
+        let rendered = Diagram::new(&trace).var_row("y").render();
+        assert!(rendered.contains("y="));
+        assert!(rendered.contains("16"));
+    }
+
+    #[test]
+    fn unbounded_interval_uses_an_arrow() {
+        let rendered = Diagram::new(&change_trace())
+            .interval("tail", Interval::unbounded(1))
+            .render();
+        assert!(rendered.contains('>'), "{rendered}");
+    }
+
+    #[test]
+    fn unit_interval_renders_as_a_point() {
+        let rendered = Diagram::new(&change_trace())
+            .interval("begin", Interval::unit(2))
+            .render();
+        assert!(rendered.contains("[]"), "{rendered}");
+    }
+}

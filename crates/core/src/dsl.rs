@@ -1,0 +1,175 @@
+//! Ergonomic constructors for interval formulas and interval terms.
+//!
+//! The specification chapters of the report write formulas such as
+//! `[ UR_i ⇒ TA_i ∧ RMA ] □ ¬UA_i`; this module provides free functions so the
+//! Rust rendering stays close to that notation:
+//!
+//! ```
+//! use ilogic_core::dsl::*;
+//!
+//! // [ A => B ] <> D
+//! let formula = eventually(prop("D")).within(fwd(event(prop("A")), event(prop("B"))));
+//! assert!(formula.to_string().contains("=>"));
+//! ```
+
+use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};
+use crate::value::Value;
+
+/// A plain proposition used as a state predicate.
+pub fn prop(name: impl Into<String>) -> Formula {
+    Formula::prop(name)
+}
+
+/// A parameterized proposition with concrete values and/or data variables.
+pub fn prop_args<I>(name: impl Into<String>, args: I) -> Formula
+where
+    I: IntoIterator<Item = Arg>,
+{
+    Formula::Pred(Pred::prop_args(name, args))
+}
+
+/// A concrete argument for a parameterized proposition.
+pub fn val(v: impl Into<Value>) -> Arg {
+    Arg::Value(v.into())
+}
+
+/// A data-variable argument for a parameterized proposition.
+pub fn var(name: impl Into<String>) -> Arg {
+    Arg::Var(name.into())
+}
+
+/// The comparison `lhs op rhs` as a state predicate.
+pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Formula {
+    Formula::Pred(Pred::cmp(lhs, op, rhs))
+}
+
+/// `state component = data variable`, the most common comparison in the specs.
+pub fn state_eq_data(state: impl Into<String>, data: impl Into<String>) -> Formula {
+    cmp(Expr::state(state), CmpOp::Eq, Expr::data(data))
+}
+
+/// `state component = literal value`.
+pub fn state_eq_value(state: impl Into<String>, value: impl Into<Value>) -> Formula {
+    cmp(Expr::state(state), CmpOp::Eq, Expr::lit(value))
+}
+
+/// Negation.
+pub fn not(f: Formula) -> Formula {
+    f.not()
+}
+
+/// `□ f` over the current interval.
+pub fn always(f: Formula) -> Formula {
+    f.always()
+}
+
+/// `◇ f` over the current interval.
+pub fn eventually(f: Formula) -> Formula {
+    f.eventually()
+}
+
+/// `[ term ] f`.
+pub fn within(term: IntervalTerm, f: Formula) -> Formula {
+    f.within(term)
+}
+
+/// `* term` at the formula level: the interval must be found in the current
+/// context (`¬ [ term ] false`).
+pub fn occurs(term: IntervalTerm) -> Formula {
+    Formula::False.within(term).not()
+}
+
+/// An event term defined by a formula becoming true.
+pub fn event(f: Formula) -> IntervalTerm {
+    IntervalTerm::event(f)
+}
+
+/// `begin term`.
+pub fn begin(term: IntervalTerm) -> IntervalTerm {
+    term.begin()
+}
+
+/// `end term`.
+pub fn end(term: IntervalTerm) -> IntervalTerm {
+    term.end()
+}
+
+/// `* term` as an interval-term modifier.
+pub fn must(term: IntervalTerm) -> IntervalTerm {
+    term.must()
+}
+
+/// `i ⇒ j`.
+pub fn fwd(i: IntervalTerm, j: IntervalTerm) -> IntervalTerm {
+    i.then(j)
+}
+
+/// `i ⇒` (from the end of the next `i` onward).
+pub fn fwd_from(i: IntervalTerm) -> IntervalTerm {
+    i.onward()
+}
+
+/// `⇒ j` (from the start of the context to the end of the first `j`).
+pub fn fwd_to(j: IntervalTerm) -> IntervalTerm {
+    IntervalTerm::Forward(None, Some(Box::new(j)))
+}
+
+/// `⇒` (the whole outer context).
+pub fn whole() -> IntervalTerm {
+    IntervalTerm::Forward(None, None)
+}
+
+/// `i ⇐ j`.
+pub fn bwd(i: IntervalTerm, j: IntervalTerm) -> IntervalTerm {
+    i.back_from(j)
+}
+
+/// `i ⇐` (from the end of the last `i` onward).
+pub fn bwd_from(i: IntervalTerm) -> IntervalTerm {
+    i.since_last()
+}
+
+/// `⇐ j` (from the start of the context to the end of the first `j`, located
+/// in the enclosing search direction).
+pub fn bwd_to(j: IntervalTerm) -> IntervalTerm {
+    IntervalTerm::Backward(None, Some(Box::new(j)))
+}
+
+/// Universal quantification over the data domain.
+pub fn forall(name: impl Into<String>, f: Formula) -> Formula {
+    f.forall(name)
+}
+
+/// Existential quantification over the data domain.
+pub fn exists(name: impl Into<String>, f: Formula) -> Formula {
+    f.exists(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurs_desugars_to_negated_vacuity() {
+        let f = occurs(event(prop("A")));
+        assert_eq!(f, Formula::False.within(event(prop("A"))).not());
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        assert!(matches!(fwd_to(event(prop("A"))), IntervalTerm::Forward(None, Some(_))));
+        assert!(matches!(whole(), IntervalTerm::Forward(None, None)));
+        assert!(matches!(bwd_from(event(prop("A"))), IntervalTerm::Backward(Some(_), None)));
+        assert!(matches!(must(event(prop("A"))), IntervalTerm::Must(_)));
+        let f = forall("a", prop_args("atEnq", [var("a")]));
+        assert!(matches!(f, Formula::Forall(_, _)));
+    }
+
+    #[test]
+    fn state_comparison_helpers() {
+        let f = state_eq_value("exp", 1i64);
+        assert!(f.to_string().contains("exp"));
+        let g = state_eq_data("exp", "v");
+        assert!(g.free_vars().contains(&"v".to_string()));
+    }
+}

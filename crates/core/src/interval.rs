@@ -1,0 +1,221 @@
+//! Intervals of a computation sequence and the partial result of constructing them.
+//!
+//! Following Chapter 3, an interval `⟨i, j⟩` is a contiguous portion of the
+//! state sequence, identified by an inclusive lower index and an inclusive
+//! upper endpoint which may be infinite.  The interval-construction function
+//! `F` of the formal model is partial: when the designated interval cannot be
+//! found it returns the null interval `⊥`, on which every interval formula is
+//! vacuously satisfied.  The `*` ("must occur") modifier introduces a third
+//! outcome: the construction *violated* an occurrence obligation, in which case
+//! the enclosing interval formula is false rather than vacuously true.
+
+use std::fmt;
+
+/// The right endpoint of an interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A finite position (inclusive).
+    At(usize),
+    /// The interval extends for the remainder of the computation.
+    Infinite,
+}
+
+impl Endpoint {
+    /// The finite position, if any.
+    pub fn finite(self) -> Option<usize> {
+        match self {
+            Endpoint::At(i) => Some(i),
+            Endpoint::Infinite => None,
+        }
+    }
+
+    /// `true` if the endpoint is at or after position `index`.
+    pub fn covers(self, index: usize) -> bool {
+        match self {
+            Endpoint::At(i) => index <= i,
+            Endpoint::Infinite => true,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::At(i) => write!(f, "{i}"),
+            Endpoint::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// A non-null interval `⟨lo, hi⟩` of the computation sequence (both ends inclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First position of the interval.
+    pub lo: usize,
+    /// Last position of the interval (possibly infinite).
+    pub hi: Endpoint,
+}
+
+impl Interval {
+    /// The interval `⟨lo, hi⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` is finite and precedes `lo`.
+    pub fn new(lo: usize, hi: Endpoint) -> Interval {
+        if let Endpoint::At(h) = hi {
+            assert!(lo <= h, "interval upper end {h} precedes lower end {lo}");
+        }
+        Interval { lo, hi }
+    }
+
+    /// The bounded interval `⟨lo, hi⟩`.
+    pub fn bounded(lo: usize, hi: usize) -> Interval {
+        Interval::new(lo, Endpoint::At(hi))
+    }
+
+    /// The unbounded interval `⟨lo, ∞⟩`.
+    pub fn unbounded(lo: usize) -> Interval {
+        Interval { lo, hi: Endpoint::Infinite }
+    }
+
+    /// The unit interval `⟨i, i⟩`.
+    pub fn unit(i: usize) -> Interval {
+        Interval::bounded(i, i)
+    }
+
+    /// `first(⟨i, j⟩) = i`.
+    pub fn first(&self) -> usize {
+        self.lo
+    }
+
+    /// `last(⟨i, j⟩) = j`, undefined (`None`) for infinite intervals.
+    pub fn last(&self) -> Option<usize> {
+        self.hi.finite()
+    }
+
+    /// `true` if position `k` lies inside the interval.
+    pub fn contains(&self, k: usize) -> bool {
+        k >= self.lo && self.hi.covers(k)
+    }
+
+    /// The number of states in the interval, `None` if infinite.
+    pub fn len(&self) -> Option<usize> {
+        self.last().map(|j| j - self.lo + 1)
+    }
+
+    /// `false`: intervals always contain at least one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.lo, self.hi)
+    }
+}
+
+/// The outcome of constructing an interval term in a context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Constructed {
+    /// The interval was found.
+    Found(Interval),
+    /// The interval could not be constructed (the null interval `⊥`); interval
+    /// formulas over it are vacuously satisfied.
+    NotFound,
+    /// A `*`-marked subterm could not be found in its search context; interval
+    /// formulas over the term are false.
+    Violated,
+}
+
+impl Constructed {
+    /// The found interval, if any.
+    pub fn interval(self) -> Option<Interval> {
+        match self {
+            Constructed::Found(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// `true` if an interval was found.
+    pub fn is_found(self) -> bool {
+        matches!(self, Constructed::Found(_))
+    }
+
+    /// `true` if an occurrence obligation was violated.
+    pub fn is_violated(self) -> bool {
+        matches!(self, Constructed::Violated)
+    }
+
+    /// Applies `f` to the found interval, propagating `NotFound` and `Violated`.
+    pub fn and_then(self, f: impl FnOnce(Interval) -> Constructed) -> Constructed {
+        match self {
+            Constructed::Found(i) => f(i),
+            other => other,
+        }
+    }
+
+    /// Converts an optional interval into a construction result.
+    pub fn from_option(interval: Option<Interval>) -> Constructed {
+        match interval {
+            Some(i) => Constructed::Found(i),
+            None => Constructed::NotFound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(Endpoint::At(3).finite(), Some(3));
+        assert_eq!(Endpoint::Infinite.finite(), None);
+        assert!(Endpoint::Infinite.covers(1_000_000));
+        assert!(Endpoint::At(3).covers(3));
+        assert!(!Endpoint::At(3).covers(4));
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let iv = Interval::bounded(2, 5);
+        assert_eq!(iv.first(), 2);
+        assert_eq!(iv.last(), Some(5));
+        assert_eq!(iv.len(), Some(4));
+        assert!(iv.contains(2) && iv.contains(5) && !iv.contains(6) && !iv.contains(1));
+        let unbounded = Interval::unbounded(4);
+        assert_eq!(unbounded.last(), None);
+        assert!(unbounded.contains(1_000));
+        assert_eq!(Interval::unit(7).len(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn reversed_interval_panics() {
+        let _ = Interval::bounded(5, 2);
+    }
+
+    #[test]
+    fn constructed_combinators() {
+        let found = Constructed::Found(Interval::unit(1));
+        assert!(found.is_found());
+        assert_eq!(found.interval(), Some(Interval::unit(1)));
+        assert_eq!(Constructed::NotFound.interval(), None);
+        assert!(Constructed::Violated.is_violated());
+        let chained = found.and_then(|i| Constructed::Found(Interval::unit(i.lo + 1)));
+        assert_eq!(chained.interval(), Some(Interval::unit(2)));
+        assert_eq!(
+            Constructed::NotFound.and_then(|_| Constructed::Violated),
+            Constructed::NotFound
+        );
+        assert_eq!(Constructed::from_option(None), Constructed::NotFound);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::bounded(1, 2).to_string(), "⟨1, 2⟩");
+        assert_eq!(Interval::unbounded(0).to_string(), "⟨0, ∞⟩");
+    }
+}

@@ -1,0 +1,278 @@
+//! Translation of an interval-logic fragment into linear-time temporal logic.
+//!
+//! The report notes (Chapter 9) that "interval logic has a complete
+//! axiomatization, through a reduction to linear-time temporal logic".  The
+//! general reduction is intricate (it is the subject of Appendix C's low-level
+//! language); this module implements the practically useful fragment that
+//! covers the report's simpler specification idioms, and is cross-validated
+//! against the interval-logic semantics by the test suite:
+//!
+//! * formulas without interval operators (`□`, `◇`, Boolean structure over
+//!   propositions) translate homomorphically;
+//! * `[ p ⇒ ] α` — "from the end of the next `p` event onward" — translates to
+//!   a weak-until expression that waits for the change of `p` from false to
+//!   true and asserts the translation of `α` there;
+//! * `[ ⇒ q ] □p` and `[ ⇒ q ] ◇p` — invariance / eventuality up to the end of
+//!   the first `q` event — translate to weak-until expressions;
+//! * `*p` — the event `p` occurs — translates to `◇(¬p ∧ ◇p)` (valid formula
+//!   V5).
+//!
+//! Everything outside the fragment is rejected with
+//! [`TranslateError::Unsupported`]; the Appendix C pipeline
+//! (`ilogic-lowlevel`) handles the general language.
+
+use std::fmt;
+
+use ilogic_temporal::syntax::Ltl;
+
+use crate::syntax::{Formula, IntervalTerm, Pred};
+
+/// Reasons a formula falls outside the supported fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The construct is not part of the supported fragment.
+    Unsupported(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unsupported(what) => {
+                write!(f, "construct outside the LTL-translatable fragment: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates an interval formula (interpreted over the whole computation) into LTL.
+pub fn to_ltl(formula: &Formula) -> Result<Ltl, TranslateError> {
+    translate(formula)
+}
+
+fn prop_name(pred: &Pred) -> Result<String, TranslateError> {
+    match pred {
+        Pred::Prop { name, args } if args.is_empty() => Ok(name.clone()),
+        other => Err(TranslateError::Unsupported(format!(
+            "only plain propositions are translatable, got {other}"
+        ))),
+    }
+}
+
+/// A state formula over plain propositions, translated to a propositional LTL formula.
+fn state_formula(formula: &Formula) -> Result<Ltl, TranslateError> {
+    match formula {
+        Formula::True => Ok(Ltl::True),
+        Formula::False => Ok(Ltl::False),
+        Formula::Pred(p) => Ok(Ltl::prop(prop_name(p)?)),
+        Formula::Not(a) => Ok(state_formula(a)?.not()),
+        Formula::And(a, b) => Ok(state_formula(a)?.and(state_formula(b)?)),
+        Formula::Or(a, b) => Ok(state_formula(a)?.or(state_formula(b)?)),
+        other => Err(TranslateError::Unsupported(format!("not a state formula: {other}"))),
+    }
+}
+
+fn translate(formula: &Formula) -> Result<Ltl, TranslateError> {
+    match formula {
+        Formula::True => Ok(Ltl::True),
+        Formula::False => Ok(Ltl::False),
+        Formula::Pred(p) => Ok(Ltl::prop(prop_name(p)?)),
+        Formula::Not(a) => Ok(translate(a)?.not()),
+        Formula::And(a, b) => Ok(translate(a)?.and(translate(b)?)),
+        Formula::Or(a, b) => Ok(translate(a)?.or(translate(b)?)),
+        Formula::Always(a) => Ok(translate(a)?.always()),
+        Formula::Eventually(a) => Ok(translate(a)?.eventually()),
+        Formula::In(term, body) => translate_interval(term, body),
+        Formula::Forall(_, _) | Formula::Exists(_, _) => Err(TranslateError::Unsupported(
+            "quantifiers must be instantiated before translation".to_string(),
+        )),
+    }
+}
+
+/// Translation of `[ term ] body` for the supported term shapes.
+fn translate_interval(term: &IntervalTerm, body: &Formula) -> Result<Ltl, TranslateError> {
+    match term {
+        // [ p ⇒ ] α : from the end of the next p event onward.
+        IntervalTerm::Forward(Some(event), None) => {
+            let p = event_predicate(event)?;
+            let alpha = translate(body)?;
+            Ok(after_next_event(&p, alpha))
+        }
+        // [ ⇒ q ] □p  and  [ ⇒ q ] ◇p : up to the end of the first q event.
+        IntervalTerm::Forward(None, Some(event)) => {
+            let q = event_predicate(event)?;
+            match body {
+                Formula::Always(inner) => {
+                    let p = state_formula(inner)?;
+                    Ok(up_to_event_always(&q, p))
+                }
+                Formula::Eventually(inner) => {
+                    let p = state_formula(inner)?;
+                    Ok(up_to_event_eventually(&q, p))
+                }
+                other => Err(TranslateError::Unsupported(format!(
+                    "body of a prefix interval must be □ or ◇ of a state formula, got {other}"
+                ))),
+            }
+        }
+        // [ ⇒ ] α : the whole context (valid formula V7).
+        IntervalTerm::Forward(None, None) => translate(body),
+        other => Err(TranslateError::Unsupported(format!("interval term {other}"))),
+    }
+}
+
+/// Extracts the state predicate of a simple event term.
+fn event_predicate(term: &IntervalTerm) -> Result<Ltl, TranslateError> {
+    match term {
+        IntervalTerm::Event(f) => state_formula(f),
+        other => Err(TranslateError::Unsupported(format!("event term {other}"))),
+    }
+}
+
+/// `[ p ⇒ ] α`: if the event "p becomes true" occurs, α holds at the state at
+/// which it becomes true; vacuously true otherwise.
+///
+/// LTL encoding: `U(p, ¬p ∧ U(¬p, p ∧ α))` — an initial (possibly empty)
+/// segment where `p` holds, then a segment where `¬p` holds, weak so that the
+/// formula is vacuously true if the change never happens.
+fn after_next_event(p: &Ltl, alpha: Ltl) -> Ltl {
+    let change = p.clone().not().until(p.clone().and(alpha));
+    p.clone().until(p.clone().not().and(change))
+}
+
+/// The constructive part of `[ ⇒ q ] □p`: the first `q` event completes and `p`
+/// holds at every state up to and including that completion.
+///
+/// Encoded as a strong-until chain: an initial (possibly empty) segment where
+/// `p ∧ q` holds, then a segment where `p ∧ ¬q` holds, ending at a state where
+/// `p ∧ q` holds again — the completion of the first change of `q` from false
+/// to true.
+fn up_to_event_constructive(q: &Ltl, p: &Ltl) -> Ltl {
+    let completion = p.clone().and(q.clone());
+    let falling = p.clone().and(q.clone().not());
+    let inner = falling.clone().strong_until(completion);
+    p.clone().and(q.clone()).strong_until(falling.and(inner))
+}
+
+/// `[ ⇒ q ] □p`: `p` holds from now until (and including) the state at which
+/// the first `q` event completes; vacuously true if `q` never changes to true.
+fn up_to_event_always(q: &Ltl, p: Ltl) -> Ltl {
+    event_never_occurs(q).or(up_to_event_constructive(q, &p))
+}
+
+/// `[ ⇒ q ] ◇p`: if the first `q` event completes, `p` holds at some state up
+/// to and including that completion; vacuously true if it never occurs.
+fn up_to_event_eventually(q: &Ltl, p: Ltl) -> Ltl {
+    // "Not (the event completes with ¬p throughout)" — vacuously true when the
+    // event never occurs because the constructive encoding then fails.
+    up_to_event_constructive(q, &p.not()).not()
+}
+
+/// The event "q becomes true" never occurs: `□q ∨ U(q, □¬q)`.
+fn event_never_occurs(q: &Ltl) -> Ltl {
+    q.clone().always().or(q.clone().until(q.clone().not().always()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::semantics::Evaluator;
+    use crate::state::{Prop, State};
+    use crate::trace::Trace;
+    use ilogic_temporal::semantics::{TlState, TlTrace};
+
+    /// Check that the translation and the interval-logic semantics agree on all
+    /// traces over the given propositions up to length 4 (stutter-extended).
+    fn agree_on_small_traces(formula: &Formula, props: &[&str]) {
+        let ltl = to_ltl(formula).expect("formula should be in the fragment");
+        let alphabet = 1usize << props.len();
+        for len in 1..=4usize {
+            let mut word = vec![0usize; len];
+            loop {
+                let states: Vec<State> = word
+                    .iter()
+                    .map(|&bits| {
+                        let mut s = State::new();
+                        for (i, p) in props.iter().enumerate() {
+                            if bits & (1 << i) != 0 {
+                                s.insert(Prop::plain(*p));
+                            }
+                        }
+                        s
+                    })
+                    .collect();
+                let tl_states: Vec<TlState> = word
+                    .iter()
+                    .map(|&bits| {
+                        let mut s = TlState::new();
+                        for (i, p) in props.iter().enumerate() {
+                            s.set_prop(*p, bits & (1 << i) != 0);
+                        }
+                        s
+                    })
+                    .collect();
+                let il = Evaluator::new(&Trace::finite(states)).check(formula);
+                let tl = TlTrace::finite(tl_states).eval(&ltl);
+                assert_eq!(il, tl, "disagreement on word {word:?} for {formula}");
+                let mut pos = 0;
+                loop {
+                    if pos == len {
+                        break;
+                    }
+                    word[pos] += 1;
+                    if word[pos] < alphabet {
+                        break;
+                    }
+                    word[pos] = 0;
+                    pos += 1;
+                }
+                if pos == len {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_temporal_formulas_translate_homomorphically() {
+        agree_on_small_traces(&always(prop("P").implies(eventually(prop("Q")))), &["P", "Q"]);
+        agree_on_small_traces(&eventually(prop("P")).and(always(prop("Q")).not()), &["P", "Q"]);
+    }
+
+    #[test]
+    fn suffix_interval_after_event() {
+        // [ P ⇒ ] □Q  and  [ P ⇒ ] ◇Q
+        agree_on_small_traces(&always(prop("Q")).within(fwd_from(event(prop("P")))), &["P", "Q"]);
+        agree_on_small_traces(
+            &eventually(prop("Q")).within(fwd_from(event(prop("P")))),
+            &["P", "Q"],
+        );
+    }
+
+    #[test]
+    fn prefix_interval_up_to_event() {
+        // [ ⇒ Q ] □P  and  [ ⇒ Q ] ◇P
+        agree_on_small_traces(&always(prop("P")).within(fwd_to(event(prop("Q")))), &["P", "Q"]);
+        agree_on_small_traces(
+            &eventually(prop("P")).within(fwd_to(event(prop("Q")))),
+            &["P", "Q"],
+        );
+    }
+
+    #[test]
+    fn whole_context_interval_is_identity() {
+        agree_on_small_traces(&always(prop("P")).within(whole()), &["P"]);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected() {
+        let backward = always(prop("P")).within(bwd_from(event(prop("Q"))));
+        assert!(to_ltl(&backward).is_err());
+        let quantified = prop_args("p", [var("x")]).forall("x");
+        assert!(to_ltl(&quantified).is_err());
+        let err = to_ltl(&backward).unwrap_err();
+        assert!(err.to_string().contains("fragment"));
+    }
+}

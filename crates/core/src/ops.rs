@@ -1,0 +1,232 @@
+//! Parameterized abstract operations (§2.2).
+//!
+//! For an abstract operation `O`, the state predicates `atO`, `inO` and
+//! `afterO` carry the intuitive meanings of being "at the beginning", "within"
+//! and "immediately after" the operation.  Operations may take entry and result
+//! parameters, in which case `atO` and `afterO` are overloaded to include the
+//! parameter values.
+//!
+//! The module provides the predicate constructors used throughout the
+//! case-study specifications, the temporal axiomatization of the three
+//! predicates, and the optional termination axiom.  Axioms 1 and 2 are exactly
+//! the report's; axioms 3 and 4 ("`atO` only at the beginning", "`afterO` only
+//! immediately after") are rendered as the state implications `atO ⊃ inO` and
+//! `afterO ⊃ ¬inO`, which is the weakest reading consistent with the report's
+//! prose (the report's own formulas for these two axioms are not readable in
+//! the surviving scan).
+
+use crate::dsl::{begin, event, fwd, must};
+use crate::syntax::{Arg, Formula, Pred};
+use crate::value::Value;
+
+/// An abstract operation, identified by name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Operation {
+    name: String,
+}
+
+impl Operation {
+    /// Declares an operation with the given name.
+    pub fn new(name: impl Into<String>) -> Operation {
+        Operation { name: name.into() }
+    }
+
+    /// The operation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the `atO` predicate.
+    pub fn at_name(&self) -> String {
+        format!("at{}", self.name)
+    }
+
+    /// Name of the `inO` predicate.
+    pub fn in_name(&self) -> String {
+        format!("in{}", self.name)
+    }
+
+    /// Name of the `afterO` predicate.
+    pub fn after_name(&self) -> String {
+        format!("after{}", self.name)
+    }
+
+    /// `atO` (no parameters).
+    pub fn at(&self) -> Formula {
+        Formula::prop(self.at_name())
+    }
+
+    /// `inO`.
+    pub fn during(&self) -> Formula {
+        Formula::prop(self.in_name())
+    }
+
+    /// `afterO` (no parameters).
+    pub fn after(&self) -> Formula {
+        Formula::prop(self.after_name())
+    }
+
+    /// `atO(args...)` with parameter values or data variables.
+    pub fn at_args<I>(&self, args: I) -> Formula
+    where
+        I: IntoIterator<Item = Arg>,
+    {
+        Formula::Pred(Pred::prop_args(self.at_name(), args))
+    }
+
+    /// `afterO(args...)` with parameter values or data variables.
+    pub fn after_args<I>(&self, args: I) -> Formula
+    where
+        I: IntoIterator<Item = Arg>,
+    {
+        Formula::Pred(Pred::prop_args(self.after_name(), args))
+    }
+
+    /// The four axioms of §2.2 characterizing `atO`, `inO` and `afterO`.
+    pub fn axioms(&self) -> Vec<(String, Formula)> {
+        let a1 = self
+            .during()
+            .always()
+            .within(fwd(event(self.at()), begin(event(self.after()))));
+        let a2 = self
+            .during()
+            .not()
+            .always()
+            .within(fwd(event(self.after()), begin(event(self.at()))));
+        let a3 = self.at().implies(self.during()).always();
+        let a4 = self.after().implies(self.during().not()).always();
+        vec![
+            (format!("{}-op-1", self.name), a1),
+            (format!("{}-op-2", self.name), a2),
+            (format!("{}-op-3", self.name), a3),
+            (format!("{}-op-4", self.name), a4),
+        ]
+    }
+
+    /// The termination axiom `[ atO ⇒ *afterO ] true`: every invocation of the
+    /// operation is eventually followed by its completion.
+    pub fn termination_axiom(&self) -> Formula {
+        Formula::True.within(fwd(event(self.at()), must(event(self.after()))))
+    }
+}
+
+/// Instrumentation helpers used by the simulators to record an operation
+/// execution in a trace: the names of the three predicates for an operation
+/// with concrete parameter values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpInstance {
+    /// The operation.
+    pub operation: Operation,
+    /// Concrete parameter values of this invocation.
+    pub params: Vec<Value>,
+}
+
+impl OpInstance {
+    /// An invocation of `operation` with the given parameters.
+    pub fn new<I>(operation: Operation, params: I) -> OpInstance
+    where
+        I: IntoIterator,
+        I::Item: Into<Value>,
+    {
+        OpInstance { operation, params: params.into_iter().map(Into::into).collect() }
+    }
+
+    /// The `atO(params)` proposition for the trace recorder.
+    pub fn at_prop(&self) -> crate::state::Prop {
+        crate::state::Prop::with_args(self.operation.at_name(), self.params.clone())
+    }
+
+    /// The `afterO(params)` proposition for the trace recorder.
+    pub fn after_prop(&self) -> crate::state::Prop {
+        crate::state::Prop::with_args(self.operation.after_name(), self.params.clone())
+    }
+
+    /// The parameterless `atO` proposition (also asserted at entry so that
+    /// specifications may refer to the operation without its parameters).
+    pub fn at_prop_bare(&self) -> crate::state::Prop {
+        crate::state::Prop::plain(self.operation.at_name())
+    }
+
+    /// The parameterless `afterO` proposition.
+    pub fn after_prop_bare(&self) -> crate::state::Prop {
+        crate::state::Prop::plain(self.operation.after_name())
+    }
+
+    /// The `inO` proposition.
+    pub fn in_prop(&self) -> crate::state::Prop {
+        crate::state::Prop::plain(self.operation.in_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::Evaluator;
+    use crate::state::State;
+    use crate::trace::Trace;
+
+    /// A trace in which the operation `O` executes once, correctly instrumented.
+    fn one_execution() -> Trace {
+        Trace::finite(vec![
+            State::new(),
+            State::new().with("atO").with("inO"),
+            State::new().with("inO"),
+            State::new().with("afterO"),
+            State::new(),
+        ])
+    }
+
+    #[test]
+    fn axioms_hold_for_a_correct_execution() {
+        let op = Operation::new("O");
+        let trace = one_execution();
+        let ev = Evaluator::new(&trace);
+        for (label, axiom) in op.axioms() {
+            assert!(ev.check(&axiom), "axiom {label} should hold");
+        }
+        assert!(ev.check(&op.termination_axiom()));
+    }
+
+    #[test]
+    fn axiom_one_fails_when_in_drops_early() {
+        let op = Operation::new("O");
+        let trace = Trace::finite(vec![
+            State::new(),
+            State::new().with("atO").with("inO"),
+            State::new(), // inO dropped before afterO
+            State::new().with("afterO"),
+        ]);
+        let ev = Evaluator::new(&trace);
+        let (_, a1) = &op.axioms()[0];
+        assert!(!ev.check(a1));
+    }
+
+    #[test]
+    fn termination_axiom_fails_without_completion() {
+        let op = Operation::new("O");
+        let trace = Trace::finite(vec![
+            State::new(),
+            State::new().with("atO").with("inO"),
+            State::new().with("inO"),
+        ]);
+        let ev = Evaluator::new(&trace);
+        assert!(!ev.check(&op.termination_axiom()));
+    }
+
+    #[test]
+    fn op_instance_props_are_parameterized() {
+        let inst = OpInstance::new(Operation::new("Enq"), [3i64]);
+        assert_eq!(inst.at_prop().to_string(), "atEnq(3)");
+        assert_eq!(inst.after_prop().to_string(), "afterEnq(3)");
+        assert_eq!(inst.in_prop().to_string(), "inEnq");
+    }
+
+    #[test]
+    fn predicate_names_follow_the_report() {
+        let op = Operation::new("Dq");
+        assert_eq!(op.at_name(), "atDq");
+        assert_eq!(op.in_name(), "inDq");
+        assert_eq!(op.after_name(), "afterDq");
+        assert_eq!(op.at().to_string(), "atDq");
+    }
+}

@@ -1,0 +1,526 @@
+//! Process naming and specification composition.
+//!
+//! Chapter 9 of the report lists as the first two "next steps" a notation "to
+//! identify processes and to associate operations and state variables with
+//! processes" and "a method ... for composing together the specifications of
+//! individual processes ... so as to form the specification of a larger
+//! multiprocess system".  This module provides both:
+//!
+//! * a [`ProcessSpec`] attributes an Init/Axioms [`Spec`] to a named process
+//!   and declares which predicate and state-component names the process
+//!   *owns* (its local signals, operations and variables) and which names it
+//!   merely *shares* with its environment;
+//! * a [`System`] collects processes, checks that the composition is
+//!   well-formed (no process refers to another process's local names, no two
+//!   processes own the same name) and produces the composed system
+//!   specification in which every local name is qualified as
+//!   `"<process>.<name>"`.
+//!
+//! Traces of the composed system use the qualified names, so a system trace
+//! produced by instrumenting several communicating components can be checked
+//! directly against the composed specification.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::spec::{ClauseKind, Spec, SpecReport};
+use crate::syntax::{Expr, Formula, IntervalTerm, Pred};
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// The name of a process.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(String);
+
+impl ProcessId {
+    /// A process identifier.
+    pub fn new(name: impl Into<String>) -> ProcessId {
+        ProcessId(name.into())
+    }
+
+    /// The identifier as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The qualified form of a local name of this process.
+    pub fn qualify(&self, name: &str) -> String {
+        format!("{}.{name}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for ProcessId {
+    fn from(name: &str) -> ProcessId {
+        ProcessId::new(name)
+    }
+}
+
+/// A specification attributed to one process.
+#[derive(Clone, Debug)]
+pub struct ProcessSpec {
+    id: ProcessId,
+    spec: Spec,
+    owned: BTreeSet<String>,
+    shared: BTreeSet<String>,
+    exclusive: BTreeSet<String>,
+}
+
+impl ProcessSpec {
+    /// Attributes a specification to a process.
+    pub fn new(id: impl Into<ProcessId>, spec: Spec) -> ProcessSpec {
+        ProcessSpec {
+            id: id.into(),
+            spec,
+            owned: BTreeSet::new(),
+            shared: BTreeSet::new(),
+            exclusive: BTreeSet::new(),
+        }
+    }
+
+    /// Declares a predicate or state-component name owned (local) to the
+    /// process.  Local names are qualified as `"<process>.<name>"` in the
+    /// composed specification, so distinct processes may reuse the same local
+    /// name without interference.
+    pub fn owns(mut self, name: impl Into<String>) -> ProcessSpec {
+        self.owned.insert(name.into());
+        self
+    }
+
+    /// Declares a name shared with the environment (left unqualified).
+    pub fn shares(mut self, name: impl Into<String>) -> ProcessSpec {
+        self.shared.insert(name.into());
+        self
+    }
+
+    /// Declares a shared (unqualified) name for which this process is the
+    /// unique owner — e.g. the intention flag `x(i)` of the Chapter 8 mutual
+    /// exclusion algorithm, which only process `i` may set but every process
+    /// may read.  Two processes claiming exclusive ownership of the same
+    /// shared name is a composition error.
+    pub fn owns_shared(mut self, name: impl Into<String>) -> ProcessSpec {
+        let name = name.into();
+        self.shared.insert(name.clone());
+        self.exclusive.insert(name);
+        self
+    }
+
+    /// The process identifier.
+    pub fn id(&self) -> &ProcessId {
+        &self.id
+    }
+
+    /// The unqualified local specification.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// The names the process owns.
+    pub fn owned(&self) -> impl Iterator<Item = &str> {
+        self.owned.iter().map(String::as_str)
+    }
+
+    /// The names referenced by the specification that are neither owned nor shared.
+    pub fn undeclared_names(&self) -> Vec<String> {
+        let mut referenced = BTreeSet::new();
+        for clause in self.spec.clauses() {
+            collect_names(&clause.formula, &mut referenced);
+        }
+        referenced
+            .into_iter()
+            .filter(|name| !self.owned.contains(name) && !self.shared.contains(name))
+            .collect()
+    }
+
+    /// `true` when every referenced name is declared owned or shared.
+    pub fn is_well_formed(&self) -> bool {
+        self.undeclared_names().is_empty()
+    }
+
+    /// The specification with every owned name qualified as `"<process>.<name>"`.
+    pub fn qualified_spec(&self) -> Spec {
+        let rename = |name: &str| -> String {
+            if self.owned.contains(name) {
+                self.id.qualify(name)
+            } else {
+                name.to_string()
+            }
+        };
+        let mut spec = Spec::new(format!("{}:{}", self.id, self.spec.name()));
+        for clause in self.spec.clauses() {
+            let formula = rename_formula(&clause.formula, &rename);
+            let label = format!("{}.{}", self.id, clause.label);
+            spec = match clause.kind {
+                ClauseKind::Init => spec.init(label, formula),
+                ClauseKind::Axiom => spec.axiom(label, formula),
+            };
+        }
+        spec
+    }
+}
+
+/// An error describing why a system composition is ill-formed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompositionError {
+    /// A process references a name it neither owns nor shares.
+    UndeclaredName {
+        /// The offending process.
+        process: ProcessId,
+        /// The undeclared name.
+        name: String,
+    },
+    /// Two processes both claim exclusive ownership of the same shared name.
+    OwnershipConflict {
+        /// The first claimant.
+        first: ProcessId,
+        /// The second claimant.
+        second: ProcessId,
+        /// The contested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionError::UndeclaredName { process, name } => {
+                write!(f, "process {process} references undeclared name `{name}`")
+            }
+            CompositionError::OwnershipConflict { first, second, name } => {
+                write!(f, "processes {first} and {second} both own `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompositionError {}
+
+/// A multiprocess system: a collection of attributed process specifications.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    name: String,
+    processes: Vec<ProcessSpec>,
+}
+
+impl System {
+    /// An empty system.
+    pub fn new(name: impl Into<String>) -> System {
+        System { name: name.into(), processes: Vec::new() }
+    }
+
+    /// Adds a process.
+    pub fn with_process(mut self, process: ProcessSpec) -> System {
+        self.processes.push(process);
+        self
+    }
+
+    /// The constituent processes.
+    pub fn processes(&self) -> &[ProcessSpec] {
+        &self.processes
+    }
+
+    /// Checks that every process is well-formed and that no two processes own
+    /// the same name.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation found, so a caller can report them all at once.
+    pub fn well_formed(&self) -> Result<(), Vec<CompositionError>> {
+        let mut errors = Vec::new();
+        for process in &self.processes {
+            for name in process.undeclared_names() {
+                errors.push(CompositionError::UndeclaredName {
+                    process: process.id().clone(),
+                    name,
+                });
+            }
+        }
+        for (i, a) in self.processes.iter().enumerate() {
+            for b in self.processes.iter().skip(i + 1) {
+                for name in a.exclusive.intersection(&b.exclusive) {
+                    errors.push(CompositionError::OwnershipConflict {
+                        first: a.id().clone(),
+                        second: b.id().clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The composed system specification: the union of every process's
+    /// qualified clauses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the well-formedness violations if the composition is ill-formed.
+    pub fn compose(&self) -> Result<Spec, Vec<CompositionError>> {
+        self.well_formed()?;
+        let mut spec = Spec::new(self.name.clone());
+        for process in &self.processes {
+            for clause in process.qualified_spec().clauses() {
+                spec = match clause.kind {
+                    ClauseKind::Init => spec.init(clause.label.clone(), clause.formula.clone()),
+                    ClauseKind::Axiom => spec.axiom(clause.label.clone(), clause.formula.clone()),
+                };
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Checks a system trace (using qualified names) against the composed
+    /// specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the well-formedness violations if the composition is ill-formed.
+    pub fn check(&self, trace: &Trace) -> Result<SpecReport, Vec<CompositionError>> {
+        Ok(self.compose()?.check(trace))
+    }
+
+    /// Checks a system trace with an explicit data domain for the quantifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the well-formedness violations if the composition is ill-formed.
+    pub fn check_with_domain(
+        &self,
+        trace: &Trace,
+        domain: Vec<Value>,
+    ) -> Result<SpecReport, Vec<CompositionError>> {
+        Ok(self.compose()?.check_with_domain(trace, domain))
+    }
+}
+
+/// Renames every predicate and state-component name in a formula.
+pub fn rename_formula(formula: &Formula, rename: &impl Fn(&str) -> String) -> Formula {
+    match formula {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Pred(pred) => Formula::Pred(rename_pred(pred, rename)),
+        Formula::Not(a) => Formula::Not(Box::new(rename_formula(a, rename))),
+        Formula::And(a, b) => Formula::And(
+            Box::new(rename_formula(a, rename)),
+            Box::new(rename_formula(b, rename)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(rename_formula(a, rename)),
+            Box::new(rename_formula(b, rename)),
+        ),
+        Formula::Always(a) => Formula::Always(Box::new(rename_formula(a, rename))),
+        Formula::Eventually(a) => Formula::Eventually(Box::new(rename_formula(a, rename))),
+        Formula::In(term, a) => {
+            Formula::In(rename_term(term, rename), Box::new(rename_formula(a, rename)))
+        }
+        Formula::Forall(v, a) => Formula::Forall(v.clone(), Box::new(rename_formula(a, rename))),
+        Formula::Exists(v, a) => Formula::Exists(v.clone(), Box::new(rename_formula(a, rename))),
+    }
+}
+
+/// Renames every predicate and state-component name in an interval term.
+pub fn rename_term(term: &IntervalTerm, rename: &impl Fn(&str) -> String) -> IntervalTerm {
+    let sub = |t: &Option<Box<IntervalTerm>>| t.as_ref().map(|t| Box::new(rename_term(t, rename)));
+    match term {
+        IntervalTerm::Event(f) => IntervalTerm::Event(Box::new(rename_formula(f, rename))),
+        IntervalTerm::Begin(t) => IntervalTerm::Begin(Box::new(rename_term(t, rename))),
+        IntervalTerm::End(t) => IntervalTerm::End(Box::new(rename_term(t, rename))),
+        IntervalTerm::Must(t) => IntervalTerm::Must(Box::new(rename_term(t, rename))),
+        IntervalTerm::Forward(i, j) => IntervalTerm::Forward(sub(i), sub(j)),
+        IntervalTerm::Backward(i, j) => IntervalTerm::Backward(sub(i), sub(j)),
+    }
+}
+
+fn rename_pred(pred: &Pred, rename: &impl Fn(&str) -> String) -> Pred {
+    match pred {
+        Pred::Prop { name, args } => Pred::Prop { name: rename(name), args: args.clone() },
+        Pred::Cmp { lhs, op, rhs } => Pred::Cmp {
+            lhs: rename_expr(lhs, rename),
+            op: *op,
+            rhs: rename_expr(rhs, rename),
+        },
+    }
+}
+
+fn rename_expr(expr: &Expr, rename: &impl Fn(&str) -> String) -> Expr {
+    match expr {
+        Expr::StateVar(name) => Expr::StateVar(rename(name)),
+        other => other.clone(),
+    }
+}
+
+/// Collects every predicate and state-component name referenced by a formula.
+pub fn collect_names(formula: &Formula, out: &mut BTreeSet<String>) {
+    match formula {
+        Formula::True | Formula::False => {}
+        Formula::Pred(pred) => collect_pred_names(pred, out),
+        Formula::Not(a) | Formula::Always(a) | Formula::Eventually(a) => collect_names(a, out),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_names(a, out);
+            collect_names(b, out);
+        }
+        Formula::In(term, a) => {
+            collect_term_names(term, out);
+            collect_names(a, out);
+        }
+        Formula::Forall(_, a) | Formula::Exists(_, a) => collect_names(a, out),
+    }
+}
+
+/// Collects every predicate and state-component name referenced by an interval term.
+pub fn collect_term_names(term: &IntervalTerm, out: &mut BTreeSet<String>) {
+    match term {
+        IntervalTerm::Event(f) => collect_names(f, out),
+        IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
+            collect_term_names(t, out)
+        }
+        IntervalTerm::Forward(i, j) | IntervalTerm::Backward(i, j) => {
+            if let Some(t) = i {
+                collect_term_names(t, out);
+            }
+            if let Some(t) = j {
+                collect_term_names(t, out);
+            }
+        }
+    }
+}
+
+fn collect_pred_names(pred: &Pred, out: &mut BTreeSet<String>) {
+    match pred {
+        Pred::Prop { name, .. } => {
+            out.insert(name.clone());
+        }
+        Pred::Cmp { lhs, rhs, .. } => {
+            for expr in [lhs, rhs] {
+                if let Expr::StateVar(name) = expr {
+                    out.insert(name.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::state::State;
+
+    /// A single-process specification: once the claim flag is up the process
+    /// may enter the critical section, and inside the critical section the
+    /// claim stays up.
+    fn claimant_spec() -> Spec {
+        Spec::new("claimant")
+            .init("I0", not(prop("claim")))
+            .axiom("A1", always(prop("cs").implies(prop("claim"))))
+            .axiom("A2", within(fwd(event(prop("claim")), event(prop("cs"))), always(prop("claim"))))
+    }
+
+    fn claimant(id: &str) -> ProcessSpec {
+        ProcessSpec::new(id, claimant_spec()).owns("claim").owns("cs")
+    }
+
+    #[test]
+    fn qualification_renames_only_owned_names() {
+        let process = ProcessSpec::new("p1", claimant_spec()).owns("claim").shares("cs");
+        let qualified = process.qualified_spec();
+        let rendered: Vec<String> =
+            qualified.clauses().iter().map(|c| c.formula.to_string()).collect();
+        let text = rendered.join(" ");
+        assert!(text.contains("p1.claim"));
+        assert!(text.contains("cs"));
+        assert!(!text.contains("p1.cs"));
+    }
+
+    #[test]
+    fn undeclared_names_are_reported() {
+        let process = ProcessSpec::new("p1", claimant_spec()).owns("claim");
+        assert_eq!(process.undeclared_names(), vec!["cs".to_string()]);
+        assert!(!process.is_well_formed());
+        assert!(claimant("p1").is_well_formed());
+    }
+
+    #[test]
+    fn ownership_conflicts_are_detected() {
+        // p1 and p2 both claim exclusive ownership of the shared name "token".
+        let token_spec = || Spec::new("token-user").axiom("A", always(prop("token")));
+        let system = System::new("conflict")
+            .with_process(ProcessSpec::new("p1", token_spec()).owns_shared("token"))
+            .with_process(ProcessSpec::new("p2", token_spec()).owns_shared("token"));
+        let errors = system.well_formed().unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, CompositionError::OwnershipConflict { name, .. } if name == "token")));
+        // Two instances of the same process template reusing local names is fine.
+        let ok = System::new("ok").with_process(claimant("p1")).with_process(claimant("p2"));
+        assert!(ok.well_formed().is_ok());
+    }
+
+    #[test]
+    fn composition_checks_each_process_against_a_system_trace() {
+        let system =
+            System::new("two-claimants").with_process(claimant("p1")).with_process(claimant("p2"));
+        let composed = system.compose().expect("well-formed composition");
+        assert_eq!(composed.clauses().len(), 6);
+
+        // A trace in which p1 behaves correctly and p2 enters the critical
+        // section without ever raising its claim.
+        let good_then_bad = Trace::finite(vec![
+            State::new(),
+            State::new().with("p1.claim"),
+            State::new().with("p1.claim").with("p1.cs"),
+            State::new().with("p1.claim").with("p2.cs"),
+        ]);
+        let report = system.check(&good_then_bad).expect("well-formed composition");
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert!(failures.iter().any(|label| label.starts_with("p2.")), "failures: {failures:?}");
+        assert!(!failures.iter().any(|label| *label == "p1.A1"), "failures: {failures:?}");
+
+        // A trace in which both processes behave.
+        let good = Trace::finite(vec![
+            State::new(),
+            State::new().with("p1.claim"),
+            State::new().with("p1.claim").with("p1.cs"),
+            State::new().with("p2.claim"),
+            State::new().with("p2.claim").with("p2.cs"),
+        ]);
+        assert!(system.check(&good).expect("well-formed").passed());
+    }
+
+    #[test]
+    fn composing_an_ill_formed_system_is_an_error() {
+        let system = System::new("bad")
+            .with_process(ProcessSpec::new("p1", claimant_spec()).owns("claim"));
+        assert!(system.compose().is_err());
+        assert!(system.check(&Trace::finite(vec![State::new()])).is_err());
+    }
+
+    #[test]
+    fn collect_names_descends_into_interval_terms() {
+        let formula =
+            within(fwd(event(prop("A")), begin(event(prop("B")))), eventually(prop("C")));
+        let mut names = BTreeSet::new();
+        collect_names(&formula, &mut names);
+        assert_eq!(
+            names,
+            BTreeSet::from(["A".to_string(), "B".to_string(), "C".to_string()])
+        );
+    }
+
+    #[test]
+    fn state_components_are_renamed_in_comparisons() {
+        let formula = state_eq_value("exp", 1i64);
+        let renamed = rename_formula(&formula, &|name: &str| format!("sender.{name}"));
+        assert!(renamed.to_string().contains("sender.exp"));
+    }
+}

@@ -1,0 +1,538 @@
+//! The formal model of Chapter 3: interval construction and satisfaction.
+//!
+//! The satisfaction relation `⟨i, j⟩ ⊨ α` is defined recursively over the
+//! structure of the formula; interval formulas `[ I ] α` use the
+//! interval-valued construction function `F` ([`Evaluator::construct`]), which
+//! locates the designated interval in the current context, searching forward or
+//! backward, and returns the null interval when it cannot be found.  Formulas
+//! over the null interval are vacuously satisfied, which yields the logic's
+//! partial-correctness flavour; the `*` modifier strengthens construction with
+//! occurrence obligations whose violation makes the enclosing formula false
+//! (see [`crate::star`] for the equivalent syntactic reduction).
+//!
+//! Event terms denote the interval of change, of length 2, in which the event
+//! formula changes from false to true; `min` and `max` over the set of such
+//! changes implement the forward and backward search directions, with `max`
+//! undefined for an infinite set of changes exactly as in the report.
+
+use std::collections::BTreeMap;
+
+use crate::interval::{Constructed, Endpoint, Interval};
+use crate::state::Prop;
+use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};
+use crate::trace::{Extension, Trace};
+use crate::value::Value;
+
+/// Direction of the interval search (the `d` parameter of the `F` function).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Search forward for the first occurrence.
+    Forward,
+    /// Search backward for the most recent occurrence.
+    Backward,
+}
+
+/// A binding environment for data variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    bindings: BTreeMap<String, Value>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Returns a copy of the environment with `name` bound to `value`.
+    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+        let mut bindings = self.bindings.clone();
+        bindings.insert(name.into(), value);
+        Env { bindings }
+    }
+
+    /// Looks up a data variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Builds an environment from (name, value) pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Env
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Env {
+            bindings: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+}
+
+/// Evaluates interval formulas over a concrete computation sequence.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    trace: &'a Trace,
+    domain: Vec<Value>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator whose quantifier domain is the set of data values
+    /// occurring anywhere in the trace.
+    pub fn new(trace: &'a Trace) -> Evaluator<'a> {
+        let domain = trace.value_domain();
+        Evaluator { trace, domain }
+    }
+
+    /// Creates an evaluator with an explicit quantifier domain.
+    pub fn with_domain(trace: &'a Trace, domain: Vec<Value>) -> Evaluator<'a> {
+        Evaluator { trace, domain }
+    }
+
+    /// The quantifier domain in use.
+    pub fn domain(&self) -> &[Value] {
+        &self.domain
+    }
+
+    /// Satisfaction of `formula` by the whole computation (`⟨0, ∞⟩ ⊨ formula`).
+    pub fn check(&self, formula: &Formula) -> bool {
+        self.eval(formula, Interval::unbounded(0), &Env::new())
+    }
+
+    /// Satisfaction of `formula` by the computation suffix starting at `position`.
+    pub fn check_at(&self, formula: &Formula, position: usize) -> bool {
+        self.eval(formula, Interval::unbounded(position), &Env::new())
+    }
+
+    /// The satisfaction relation `interval ⊨ formula` under `env`.
+    pub fn eval(&self, formula: &Formula, interval: Interval, env: &Env) -> bool {
+        let interval = self.canonicalize(interval);
+        match formula {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Pred(pred) => self.eval_pred(pred, interval.lo, env),
+            Formula::Not(a) => !self.eval(a, interval, env),
+            Formula::And(a, b) => self.eval(a, interval, env) && self.eval(b, interval, env),
+            Formula::Or(a, b) => self.eval(a, interval, env) || self.eval(b, interval, env),
+            Formula::Always(a) => self
+                .suffix_positions(interval)
+                .all(|k| self.eval(a, Interval { lo: k, hi: interval.hi }, env)),
+            Formula::Eventually(a) => self
+                .suffix_positions(interval)
+                .any(|k| self.eval(a, Interval { lo: k, hi: interval.hi }, env)),
+            Formula::In(term, a) => match self.construct(term, interval, Dir::Forward, env) {
+                Constructed::Violated => false,
+                Constructed::NotFound => true,
+                Constructed::Found(sub) => self.eval(a, sub, env),
+            },
+            Formula::Forall(var, a) => self
+                .domain
+                .iter()
+                .all(|value| self.eval(a, interval, &env.bind(var.clone(), value.clone()))),
+            Formula::Exists(var, a) => self
+                .domain
+                .iter()
+                .any(|value| self.eval(a, interval, &env.bind(var.clone(), value.clone()))),
+        }
+    }
+
+    /// The interval-construction function `F(term, context, direction)`.
+    pub fn construct(
+        &self,
+        term: &IntervalTerm,
+        ctx: Interval,
+        dir: Dir,
+        env: &Env,
+    ) -> Constructed {
+        let ctx = self.canonicalize(ctx);
+        match term {
+            IntervalTerm::Event(event) => self.find_event(event, ctx, dir, env),
+            IntervalTerm::Begin(inner) => self
+                .construct(inner, ctx, dir, env)
+                .and_then(|iv| Constructed::Found(Interval::unit(iv.first()))),
+            IntervalTerm::End(inner) => self.construct(inner, ctx, dir, env).and_then(|iv| {
+                Constructed::from_option(iv.last().map(Interval::unit))
+            }),
+            IntervalTerm::Must(inner) => match self.construct(inner, ctx, dir, env) {
+                Constructed::NotFound => Constructed::Violated,
+                other => other,
+            },
+            IntervalTerm::Forward(lhs, rhs) => match (lhs, rhs) {
+                (None, None) => Constructed::Found(ctx),
+                (Some(i), None) => {
+                    // ⟨ last(F(I, ctx, d)), j ⟩
+                    self.construct(i, ctx, dir, env).and_then(|iv| {
+                        Constructed::from_option(
+                            iv.last().map(|lo| Interval { lo, hi: ctx.hi }),
+                        )
+                    })
+                }
+                (None, Some(j)) => {
+                    // ⟨ i, last(F(J, ctx, F)) ⟩
+                    self.construct(j, ctx, Dir::Forward, env).and_then(|iv| {
+                        Constructed::from_option(
+                            iv.last().map(|hi| Interval::bounded(ctx.lo, hi.max(ctx.lo))),
+                        )
+                    })
+                }
+                (Some(i), Some(j)) => {
+                    // F(I ⇒ J, ctx, d) = F(⇒ J, F(I ⇒, ctx, d), F)
+                    let prefix = IntervalTerm::Forward(Some(i.clone()), None);
+                    let suffix = IntervalTerm::Forward(None, Some(j.clone()));
+                    self.construct(&prefix, ctx, dir, env)
+                        .and_then(|mid| self.construct(&suffix, mid, Dir::Forward, env))
+                }
+            },
+            IntervalTerm::Backward(lhs, rhs) => match (lhs, rhs) {
+                (None, None) => Constructed::Found(ctx),
+                (Some(i), None) => {
+                    // ⟨ last(F(I, ctx, B)), j ⟩ — the most recent I.
+                    self.construct(i, ctx, Dir::Backward, env).and_then(|iv| {
+                        Constructed::from_option(
+                            iv.last().map(|lo| Interval { lo, hi: ctx.hi }),
+                        )
+                    })
+                }
+                (None, Some(j)) => {
+                    // ⟨ i, last(F(J, ctx, d)) ⟩
+                    self.construct(j, ctx, dir, env).and_then(|iv| {
+                        Constructed::from_option(
+                            iv.last().map(|hi| Interval::bounded(ctx.lo, hi.max(ctx.lo))),
+                        )
+                    })
+                }
+                (Some(i), Some(j)) => {
+                    // F(I ⇐ J, ctx, d) = F(I ⇐, F(⇐ J, ctx, d), F)
+                    let prefix = IntervalTerm::Backward(None, Some(j.clone()));
+                    let suffix = IntervalTerm::Backward(Some(i.clone()), None);
+                    self.construct(&prefix, ctx, dir, env)
+                        .and_then(|mid| self.construct(&suffix, mid, Dir::Forward, env))
+                }
+            },
+        }
+    }
+
+    /// Locates the first (or last) change of `event` from false to true within `ctx`.
+    fn find_event(&self, event: &Formula, ctx: Interval, dir: Dir, env: &Env) -> Constructed {
+        let (scan_hi, loop_region) = self.event_scan_bounds(ctx);
+        let mut found: Vec<usize> = Vec::new();
+        let mut recurring = false;
+        let mut k = ctx.lo + 1;
+        while k <= scan_hi {
+            let before = Interval { lo: k - 1, hi: ctx.hi };
+            let here = Interval { lo: k, hi: ctx.hi };
+            if !self.eval(event, before, env) && self.eval(event, here, env) {
+                if let Some(region_start) = loop_region {
+                    if k - 1 >= region_start {
+                        recurring = true;
+                    }
+                }
+                found.push(k);
+                if dir == Dir::Forward {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        match dir {
+            Dir::Forward => match found.first() {
+                Some(&k) => Constructed::Found(Interval::bounded(k - 1, k)),
+                None => Constructed::NotFound,
+            },
+            Dir::Backward => {
+                if recurring {
+                    // Infinitely many occurrences: max is undefined.
+                    return Constructed::NotFound;
+                }
+                match found.last() {
+                    Some(&k) => Constructed::Found(Interval::bounded(k - 1, k)),
+                    None => Constructed::NotFound,
+                }
+            }
+        }
+    }
+
+    /// The highest position at which an event can begin to be detected within
+    /// `ctx`, plus the start of the recurring region for lasso traces.
+    fn event_scan_bounds(&self, ctx: Interval) -> (usize, Option<usize>) {
+        match ctx.hi {
+            Endpoint::At(j) => {
+                let cap = match self.trace.extension() {
+                    Extension::Stutter => j.min(self.trace.len().saturating_sub(1)),
+                    Extension::Loop(_) => j,
+                };
+                (cap, None)
+            }
+            Endpoint::Infinite => match self.trace.extension() {
+                Extension::Stutter => (self.trace.len().saturating_sub(1), None),
+                Extension::Loop(start) => {
+                    let period = self.trace.len() - start;
+                    (ctx.lo.max(start) + period, Some(start))
+                }
+            },
+        }
+    }
+
+    /// The positions `k ∈ ⟨i, j⟩` that `□` and `◇` need to examine; for an
+    /// infinite right endpoint the iteration stops at the first position whose
+    /// suffix provably repeats earlier behaviour.
+    fn suffix_positions(&self, interval: Interval) -> impl Iterator<Item = usize> {
+        let hi = match interval.hi {
+            Endpoint::At(j) => j,
+            Endpoint::Infinite => match self.trace.extension() {
+                Extension::Stutter => interval.lo.max(self.trace.len().saturating_sub(1)),
+                Extension::Loop(start) => {
+                    let period = self.trace.len() - start;
+                    interval.lo.max(start) + period - 1
+                }
+            },
+        };
+        interval.lo..=hi
+    }
+
+    /// Folds an interval with infinite right endpoint onto a canonical start
+    /// position with an identical suffix, keeping all positions small.
+    fn canonicalize(&self, interval: Interval) -> Interval {
+        match interval.hi {
+            Endpoint::Infinite => Interval { lo: self.trace.canonical(interval.lo), hi: interval.hi },
+            Endpoint::At(_) => interval,
+        }
+    }
+
+    /// Evaluates a state predicate at a position of the trace.
+    pub fn eval_pred(&self, pred: &Pred, position: usize, env: &Env) -> bool {
+        let state = self.trace.state(position);
+        match pred {
+            Pred::Prop { name, args } => {
+                let mut resolved = Vec::with_capacity(args.len());
+                for arg in args {
+                    match arg {
+                        Arg::Value(v) => resolved.push(v.clone()),
+                        Arg::Var(x) => match env.get(x) {
+                            Some(v) => resolved.push(v.clone()),
+                            None => return false,
+                        },
+                    }
+                }
+                state.holds(&Prop { name: name.clone(), args: resolved })
+            }
+            Pred::Cmp { lhs, op, rhs } => {
+                let resolve = |expr: &Expr| -> Option<Value> {
+                    match expr {
+                        Expr::StateVar(name) => state.var(name).cloned(),
+                        Expr::DataVar(name) => env.get(name).cloned(),
+                        Expr::Lit(v) => Some(v.clone()),
+                    }
+                };
+                let (Some(l), Some(r)) = (resolve(lhs), resolve(rhs)) else { return false };
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        let (Some(a), Some(b)) = (l.as_int(), r.as_int()) else { return false };
+                        match op {
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience function: does the whole computation satisfy the formula?
+pub fn holds(trace: &Trace, formula: &Formula) -> bool {
+    Evaluator::new(trace).check(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::state::State;
+
+    /// States where the named propositions hold.
+    fn trace_of(rows: &[&[&str]]) -> Trace {
+        Trace::finite(
+            rows.iter()
+                .map(|props| {
+                    let mut state = State::new();
+                    for p in *props {
+                        state.insert(Prop::plain(*p));
+                    }
+                    state
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn event_interval_properties_from_chapter_2() {
+        // For a P predicate event: [end P] P, [begin P] ¬P and [P] ¬P are valid.
+        let t = trace_of(&[&[], &[], &["P"], &["P"]]);
+        let ev = Evaluator::new(&t);
+        assert!(ev.check(&prop("P").within(end(event(prop("P"))))));
+        assert!(ev.check(&prop("P").not().within(begin(event(prop("P"))))));
+        assert!(ev.check(&prop("P").not().within(event(prop("P")))));
+    }
+
+    #[test]
+    fn event_requires_a_change_not_initial_truth() {
+        // P true from the start: the event "P becomes true" does not occur,
+        // so [P] False is vacuously true and *P is false.
+        let t = trace_of(&[&["P"], &["P"]]);
+        let ev = Evaluator::new(&t);
+        assert!(ev.check(&Formula::False.within(event(prop("P")))));
+        assert!(!ev.check(&occurs(event(prop("P")))));
+        // After P goes false and true again, the event occurs.
+        let t = trace_of(&[&["P"], &[], &["P"]]);
+        let ev = Evaluator::new(&t);
+        assert!(ev.check(&occurs(event(prop("P")))));
+    }
+
+    #[test]
+    fn simple_forward_interval() {
+        // [ A => B ] <> D  — D must occur between the A event and the B event.
+        let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
+        let with_d = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
+        assert!(holds(&with_d, &f));
+        let without_d = trace_of(&[&[], &["A"], &["A"], &["A", "B"], &["D"]]);
+        assert!(!holds(&without_d, &f));
+        // Vacuous when B never occurs.
+        let vacuous = trace_of(&[&[], &["A"], &["A"]]);
+        assert!(holds(&vacuous, &f));
+    }
+
+    #[test]
+    fn star_modifier_forces_occurrence() {
+        // [ A => *B ] <> D is false (not vacuous) when A occurs but B never does.
+        let f = prop("D")
+            .eventually()
+            .within(event(prop("A")).then(must(event(prop("B")))));
+        let no_b = trace_of(&[&[], &["A"], &["A"]]);
+        assert!(!holds(&no_b, &f));
+        // Still vacuously true when A itself never occurs.
+        let no_a = trace_of(&[&[], &[], &[]]);
+        assert!(holds(&no_a, &f));
+    }
+
+    #[test]
+    fn nested_context_example_formula_3() {
+        // [ (A => B) => C ] <> D: after the A-to-B interval, up to the next C.
+        let f = prop("D")
+            .eventually()
+            .within(event(prop("A")).then(event(prop("B"))).then(event(prop("C"))));
+        let good = trace_of(&[&[], &["A"], &["B"], &["D"], &["C"]]);
+        assert!(holds(&good, &f));
+        let bad = trace_of(&[&[], &["A"], &["D"], &["B"], &[], &["C"]]);
+        assert!(!holds(&bad, &f));
+    }
+
+    #[test]
+    fn backward_operator_finds_most_recent_interval() {
+        // [ x(i) <= cs(i) ] — interval from the most recent setting of x(i)
+        // back from the cs(i) event (mutual-exclusion shape, Chapter 8).
+        // Use propositions X and C; D must hold somewhere in between.
+        let f = prop("D")
+            .eventually()
+            .within(event(prop("X")).back_from(event(prop("C"))));
+        // X set at 1, D at 3, C at 4: interval from end of the most recent X
+        // event (position 1) to the C event.
+        let good = trace_of(&[&[], &["X"], &["X"], &["X", "D"], &["X", "C"]]);
+        assert!(holds(&good, &f));
+        // D only before the most recent X: X occurs at 1 and again at 3
+        // (after going down), D at 0 only.
+        let bad = trace_of(&[&["D"], &["X"], &[], &["X"], &["X", "C"]]);
+        assert!(!holds(&bad, &f));
+    }
+
+    #[test]
+    fn state_variable_example_formula_1() {
+        // [ x = y  =>  y = 16 ] [] x > z   (Chapter 2, formula (1)).
+        let mk = |xs: &[(i64, i64, i64)]| {
+            Trace::finite(
+                xs.iter()
+                    .map(|(x, y, z)| {
+                        State::new().with_var("x", *x).with_var("y", *y).with_var("z", *z)
+                    })
+                    .collect(),
+            )
+        };
+        let x_eq_y = Formula::Pred(Pred::cmp(Expr::state("x"), CmpOp::Eq, Expr::state("y")));
+        let y_is_16 = Formula::Pred(Pred::cmp(Expr::state("y"), CmpOp::Eq, Expr::lit(16i64)));
+        let x_gt_z = Formula::Pred(Pred::cmp(Expr::state("x"), CmpOp::Gt, Expr::state("z")));
+        let f = x_gt_z.always().within(event(x_eq_y).then(event(y_is_16)));
+        // x becomes equal to y at index 1, y becomes 16 at index 3, x > z throughout [0..=3].
+        let good = mk(&[(5, 3, 0), (4, 4, 0), (7, 7, 1), (9, 16, 2), (0, 0, 5)]);
+        assert!(holds(&good, &f));
+        // x dips below z inside the interval.
+        let bad = mk(&[(5, 3, 0), (4, 4, 0), (1, 7, 3), (9, 16, 2)]);
+        assert!(!holds(&bad, &f));
+    }
+
+    #[test]
+    fn always_and_eventually_over_suffixes() {
+        let t = trace_of(&[&["P"], &["P"], &["P", "Q"]]);
+        let ev = Evaluator::new(&t);
+        assert!(ev.check(&prop("P").always()));
+        assert!(ev.check(&prop("Q").eventually()));
+        assert!(!ev.check(&prop("Q").always()));
+        let t2 = trace_of(&[&["P"], &[], &["Q"]]);
+        assert!(!holds(&t2, &prop("P").always()));
+    }
+
+    #[test]
+    fn lasso_traces_distinguish_infinitely_often() {
+        use crate::state::State;
+        let on = State::new().with("P");
+        let off = State::new();
+        // (off on)^ω : P holds infinitely often but not henceforth.
+        let t = Trace::lasso(vec![off.clone(), on.clone()], 0);
+        let ev = Evaluator::new(&t);
+        assert!(ev.check(&prop("P").eventually().always()));
+        assert!(!ev.check(&prop("P").always()));
+        // Backward search for a recurring event is undefined (⊥): vacuously true.
+        let f = Formula::False.within(event(prop("P")).since_last());
+        assert!(ev.check(&f));
+    }
+
+    #[test]
+    fn forall_and_exists_instantiate_over_the_trace_domain() {
+        let t = Trace::finite(vec![
+            State::new().with_args("atEnq", [1i64]),
+            State::new().with_args("atEnq", [2i64]),
+        ]);
+        let ev = Evaluator::new(&t);
+        // For every value a in the domain, atEnq(a) eventually holds.
+        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a")]))
+            .eventually()
+            .forall("a");
+        assert!(ev.check(&f));
+        // There is a value for which atEnq(a) holds initially.
+        let g = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a")])).exists("a");
+        assert!(ev.check(&g));
+        // Unbound variables make predicates false rather than erroring.
+        let unbound = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("zzz")]));
+        assert!(!ev.check(&unbound));
+    }
+
+    #[test]
+    fn begin_of_context_selects_first_state() {
+        // [ => A ] picks the prefix up to the A event; its begin is the first state.
+        let t = trace_of(&[&["S"], &[], &["A"]]);
+        let f = prop("S").within(begin(fwd_to(event(prop("A")))));
+        assert!(holds(&t, &f));
+    }
+
+    #[test]
+    fn end_of_unbounded_interval_is_undefined() {
+        // end of (A =>) is undefined because the interval extends to infinity;
+        // the enclosing interval formula is vacuously true.
+        let t = trace_of(&[&[], &["A"], &[]]);
+        let f = Formula::False.within(end(event(prop("A")).onward()));
+        assert!(holds(&t, &f));
+    }
+}

@@ -1,0 +1,269 @@
+//! Interval-logic specifications and trace conformance checking.
+//!
+//! A specification (Chapter 3) is divided into two parts: an **Init** portion,
+//! whose formulas are interpreted from the distinguished starting state of the
+//! computation, and **Axioms**, which constrain every computation of the
+//! system.  Formulas with free data variables are implicitly universally
+//! quantified, following the report's "for all a and b such that ..."
+//! convention; the checker instantiates them over a finite data domain (by
+//! default, every value appearing in the trace).
+//!
+//! [`Spec::check`] evaluates every clause against a concrete computation and
+//! produces a [`SpecReport`] suitable for display, so that the case-study
+//! simulators of the `ilogic-systems` crate can be validated against the
+//! specification figures of Chapters 5–8.
+
+use std::fmt;
+
+use crate::semantics::Evaluator;
+use crate::star::eliminate_star;
+use crate::syntax::Formula;
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// Whether a clause belongs to the Init portion or is an axiom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClauseKind {
+    /// Interpreted from the distinguished starting state.
+    Init,
+    /// A general axiom of the specification.
+    Axiom,
+}
+
+impl fmt::Display for ClauseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClauseKind::Init => write!(f, "init"),
+            ClauseKind::Axiom => write!(f, "axiom"),
+        }
+    }
+}
+
+/// One named clause of a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause {
+    /// Short label, e.g. `"I1"` or `"A2"`.
+    pub label: String,
+    /// Init or axiom.
+    pub kind: ClauseKind,
+    /// The clause formula (free data variables are universally quantified).
+    pub formula: Formula,
+}
+
+/// An interval-logic specification: a named set of Init clauses and axioms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Spec {
+    name: String,
+    clauses: Vec<Clause>,
+}
+
+impl Spec {
+    /// Creates an empty specification.
+    pub fn new(name: impl Into<String>) -> Spec {
+        Spec { name: name.into(), clauses: Vec::new() }
+    }
+
+    /// The specification's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an Init clause.
+    pub fn init(mut self, label: impl Into<String>, formula: Formula) -> Spec {
+        self.clauses.push(Clause { label: label.into(), kind: ClauseKind::Init, formula });
+        self
+    }
+
+    /// Adds an axiom.
+    pub fn axiom(mut self, label: impl Into<String>, formula: Formula) -> Spec {
+        self.clauses.push(Clause { label: label.into(), kind: ClauseKind::Axiom, formula });
+        self
+    }
+
+    /// The clauses in declaration order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Looks up a clause by label.
+    pub fn clause(&self, label: &str) -> Option<&Clause> {
+        self.clauses.iter().find(|c| c.label == label)
+    }
+
+    /// Checks every clause against `trace`, quantifying free data variables over
+    /// the values occurring in the trace.
+    pub fn check(&self, trace: &Trace) -> SpecReport {
+        self.check_with_domain(trace, trace.value_domain())
+    }
+
+    /// Checks every clause against `trace` with an explicit data domain for the
+    /// implicit universal quantification.
+    pub fn check_with_domain(&self, trace: &Trace, domain: Vec<Value>) -> SpecReport {
+        let evaluator = Evaluator::with_domain(trace, domain);
+        let mut results = Vec::with_capacity(self.clauses.len());
+        for clause in &self.clauses {
+            let closed = close_free_variables(&clause.formula);
+            let prepared = eliminate_star(&closed);
+            let holds = evaluator.check(&prepared);
+            results.push(ClauseResult {
+                label: clause.label.clone(),
+                kind: clause.kind,
+                holds,
+            });
+        }
+        SpecReport { spec: self.name.clone(), results }
+    }
+}
+
+/// Universally closes the free data variables of a formula.
+pub fn close_free_variables(formula: &Formula) -> Formula {
+    let mut closed = formula.clone();
+    for var in formula.free_vars() {
+        closed = closed.forall(var);
+    }
+    closed
+}
+
+/// Result of checking a single clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClauseResult {
+    /// The clause label.
+    pub label: String,
+    /// Init or axiom.
+    pub kind: ClauseKind,
+    /// Whether the trace satisfies the clause.
+    pub holds: bool,
+}
+
+/// Overall outcome of a specification check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Every clause holds.
+    Conforms,
+    /// At least one clause is violated.
+    Violates,
+}
+
+/// The result of checking a specification against a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecReport {
+    /// The specification's name.
+    pub spec: String,
+    /// Per-clause results, in declaration order.
+    pub results: Vec<ClauseResult>,
+}
+
+impl SpecReport {
+    /// `true` if every clause holds.
+    pub fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.holds)
+    }
+
+    /// The overall outcome.
+    pub fn outcome(&self) -> CheckOutcome {
+        if self.passed() {
+            CheckOutcome::Conforms
+        } else {
+            CheckOutcome::Violates
+        }
+    }
+
+    /// The labels of the violated clauses.
+    pub fn failures(&self) -> Vec<&str> {
+        self.results.iter().filter(|r| !r.holds).map(|r| r.label.as_str()).collect()
+    }
+
+    /// The result for a particular clause.
+    pub fn result(&self, label: &str) -> Option<&ClauseResult> {
+        self.results.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "specification {}: {}", self.spec, if self.passed() { "CONFORMS" } else { "VIOLATED" })?;
+        for r in &self.results {
+            writeln!(f, "  [{}] {:<12} {}", if r.holds { "ok" } else { "FAIL" }, r.kind.to_string(), r.label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::state::State;
+
+    fn spec() -> Spec {
+        Spec::new("toy")
+            .init("Init", prop("R").not())
+            .axiom("A1", always(prop("R").implies(eventually(prop("A")))))
+            .axiom(
+                "A2",
+                prop_args("got", [var("x")])
+                    .eventually()
+                    .within(fwd_from(event(prop_args("want", [var("x")])))),
+            )
+    }
+
+    #[test]
+    fn conforming_trace_passes() {
+        let trace = Trace::finite(vec![
+            State::new(),
+            State::new().with("R").with_args("want", [1i64]),
+            State::new().with("A").with_args("got", [1i64]),
+        ]);
+        let report = spec().check(&trace);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.outcome(), CheckOutcome::Conforms);
+        assert!(report.failures().is_empty());
+    }
+
+    #[test]
+    fn violating_trace_reports_the_clause() {
+        let trace = Trace::finite(vec![
+            State::new().with("R"), // violates Init
+            State::new().with_args("want", [1i64]),
+            State::new().with("A"),
+        ]);
+        let report = spec().check(&trace);
+        assert!(!report.passed());
+        assert_eq!(report.failures(), vec!["Init", "A2"]);
+        assert!(report.result("A1").unwrap().holds);
+        let shown = report.to_string();
+        assert!(shown.contains("VIOLATED"));
+        assert!(shown.contains("FAIL"));
+    }
+
+    #[test]
+    fn free_variables_are_universally_closed() {
+        let f = prop_args("want", [var("x")]);
+        let closed = close_free_variables(&f);
+        assert!(matches!(closed, Formula::Forall(_, _)));
+        assert!(closed.free_vars().is_empty());
+    }
+
+    #[test]
+    fn explicit_domain_controls_quantification() {
+        let spec = Spec::new("d").axiom(
+            "A",
+            prop_args("p", [var("x")]).eventually(),
+        );
+        let trace = Trace::finite(vec![State::new().with_args("p", [1i64])]);
+        // With the trace domain {1}, the axiom holds.
+        assert!(spec.check(&trace).passed());
+        // With a larger domain including 2, it fails.
+        let report = spec.check_with_domain(&trace, vec![Value::Int(1), Value::Int(2)]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn clause_lookup() {
+        let s = spec();
+        assert!(s.clause("A1").is_some());
+        assert!(s.clause("nope").is_none());
+        assert_eq!(s.clauses().len(), 3);
+        assert_eq!(s.name(), "toy");
+    }
+}

@@ -1,0 +1,236 @@
+//! Reduction of formulas containing the `*` modifier (Appendix A).
+//!
+//! The `*` interval-term modifier is a linguistic convenience: it adds the
+//! requirement that the marked subterm be found *in the context in which it is
+//! searched for*.  Appendix A gives rewrite rules eliminating the modifier.
+//! This module implements the reduction as a source-to-source transformation on
+//! formulas:
+//!
+//! ```text
+//! [ Î ] α   ≡   [ I' ] α  ∧  obligations(Î)
+//! ```
+//!
+//! where `I'` is `Î` with every `*` removed and `obligations(Î)` asserts, for
+//! every `*`-marked subterm, that it is found in its search context.  The
+//! obligations of a subterm searched inside a derived context (for example the
+//! `B` of `A ⇒ *B`) are themselves guarded by an interval formula over that
+//! context, so they are vacuous whenever the context cannot be established —
+//! exactly the behaviour described in §2.1 (`[ (A ⇒ *B) ⇒ C ] ◇D` is formula
+//! (3) conjoined with `[A ⇒] *B`).
+//!
+//! The transformation agrees with the direct semantics of
+//! [`crate::semantics::Evaluator`] (which handles `*` natively via the
+//! `Violated` construction outcome); the agreement is property-tested in the
+//! crate's test suite.
+
+use crate::dsl::occurs;
+use crate::syntax::{Formula, IntervalTerm};
+
+/// Eliminates every `*` modifier from the formula, replacing it with explicit
+/// occurrence obligations per Appendix A.
+pub fn eliminate_star(formula: &Formula) -> Formula {
+    match formula {
+        Formula::True | Formula::False | Formula::Pred(_) => formula.clone(),
+        Formula::Not(a) => eliminate_star(a).not(),
+        Formula::And(a, b) => eliminate_star(a).and(eliminate_star(b)),
+        Formula::Or(a, b) => eliminate_star(a).or(eliminate_star(b)),
+        Formula::Always(a) => eliminate_star(a).always(),
+        Formula::Eventually(a) => eliminate_star(a).eventually(),
+        Formula::Forall(v, a) => eliminate_star(a).forall(v.clone()),
+        Formula::Exists(v, a) => eliminate_star(a).exists(v.clone()),
+        Formula::In(term, a) => {
+            let term = eliminate_in_events(term);
+            let stripped = term.strip_must();
+            let body = eliminate_star(a).within(stripped);
+            let obligation = obligations(&term);
+            body.and(obligation)
+        }
+    }
+}
+
+/// Applies [`eliminate_star`] to the event formulas embedded in a term, leaving
+/// the term-level `*` structure untouched.
+fn eliminate_in_events(term: &IntervalTerm) -> IntervalTerm {
+    match term {
+        IntervalTerm::Event(f) => IntervalTerm::event(eliminate_star(f)),
+        IntervalTerm::Begin(t) => IntervalTerm::Begin(Box::new(eliminate_in_events(t))),
+        IntervalTerm::End(t) => IntervalTerm::End(Box::new(eliminate_in_events(t))),
+        IntervalTerm::Must(t) => IntervalTerm::Must(Box::new(eliminate_in_events(t))),
+        IntervalTerm::Forward(a, b) => IntervalTerm::Forward(
+            a.as_ref().map(|t| Box::new(eliminate_in_events(t))),
+            b.as_ref().map(|t| Box::new(eliminate_in_events(t))),
+        ),
+        IntervalTerm::Backward(a, b) => IntervalTerm::Backward(
+            a.as_ref().map(|t| Box::new(eliminate_in_events(t))),
+            b.as_ref().map(|t| Box::new(eliminate_in_events(t))),
+        ),
+    }
+}
+
+/// The star-free formula asserting that every `*`-marked subterm of `term` is
+/// found in the context in which the construction of `term` searches for it.
+///
+/// The formula is relative to the context in which `term` itself is searched.
+pub fn obligations(term: &IntervalTerm) -> Formula {
+    if !term.has_must() {
+        return Formula::True;
+    }
+    match term {
+        IntervalTerm::Event(_) => Formula::True,
+        IntervalTerm::Begin(t) | IntervalTerm::End(t) => obligations(t),
+        IntervalTerm::Must(t) => {
+            // The subterm must be found, and its own inner obligations hold.
+            occurs(t.strip_must()).and(obligations(t))
+        }
+        IntervalTerm::Forward(lhs, rhs) => {
+            let left = lhs.as_deref().map_or(Formula::True, obligations);
+            let right = match (lhs, rhs) {
+                (_, None) => Formula::True,
+                (None, Some(j)) => obligations(j),
+                (Some(i), Some(j)) => {
+                    // J is searched in the context `I' ⇒`; its obligations are
+                    // vacuous when that context cannot be established.
+                    let context =
+                        IntervalTerm::Forward(Some(Box::new(i.strip_must())), None);
+                    obligations(j).within(context)
+                }
+            };
+            left.and(right)
+        }
+        IntervalTerm::Backward(lhs, rhs) => {
+            // The construction first locates J forward in the current context,
+            // then searches I backward within the prefix ending at J.
+            let right = rhs.as_deref().map_or(Formula::True, obligations);
+            let left = match (lhs, rhs) {
+                (None, _) => Formula::True,
+                (Some(i), None) => obligations(i),
+                (Some(i), Some(j)) => {
+                    let context =
+                        IntervalTerm::Backward(None, Some(Box::new(j.strip_must())));
+                    obligations(i).within(context)
+                }
+            };
+            right.and(left)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::semantics::Evaluator;
+    use crate::state::State;
+    use crate::trace::Trace;
+
+    fn trace_of(rows: &[&[&str]]) -> Trace {
+        Trace::finite(
+            rows.iter()
+                .map(|props| {
+                    let mut s = State::new();
+                    for p in *props {
+                        s.insert(crate::state::Prop::plain(*p));
+                    }
+                    s
+                })
+                .collect(),
+        )
+    }
+
+    fn agree(formula: &Formula, traces: &[Trace]) {
+        let reduced = eliminate_star(formula);
+        assert!(!has_must_anywhere(&reduced), "reduction left a * in {reduced}");
+        for trace in traces {
+            let ev = Evaluator::new(trace);
+            assert_eq!(
+                ev.check(formula),
+                ev.check(&reduced),
+                "direct and reduced semantics disagree on {formula} over {trace}"
+            );
+        }
+    }
+
+    fn has_must_anywhere(f: &Formula) -> bool {
+        match f {
+            Formula::True | Formula::False | Formula::Pred(_) => false,
+            Formula::Not(a)
+            | Formula::Always(a)
+            | Formula::Eventually(a)
+            | Formula::Forall(_, a)
+            | Formula::Exists(_, a) => has_must_anywhere(a),
+            Formula::And(a, b) | Formula::Or(a, b) => has_must_anywhere(a) || has_must_anywhere(b),
+            Formula::In(t, a) => t.has_must() || has_must_anywhere(a),
+        }
+    }
+
+    fn sample_traces() -> Vec<Trace> {
+        vec![
+            trace_of(&[&[]]),
+            trace_of(&[&[], &["A"]]),
+            trace_of(&[&[], &["A"], &["B"]]),
+            trace_of(&[&[], &["A"], &["A", "D"], &["B"]]),
+            trace_of(&[&[], &["B"], &["A"], &["C"]]),
+            trace_of(&[&[], &["A"], &["B"], &["D"], &["C"]]),
+            trace_of(&[&["D"], &["C"], &["A"], &["B"]]),
+            trace_of(&[&[], &["A"], &["C"], &["B"], &["C"]]),
+        ]
+    }
+
+    #[test]
+    fn formula_4_reduces_to_formula_3_plus_obligation() {
+        // [ (A => *B) => C ] <> D
+        let starred = eventually(prop("D"))
+            .within(fwd(fwd(event(prop("A")), must(event(prop("B")))), event(prop("C"))));
+        agree(&starred, &sample_traces());
+    }
+
+    #[test]
+    fn starred_whole_subterm() {
+        // [ *(A => B) => C ] <> D  requires A (and then B) to occur outright.
+        let starred = eventually(prop("D"))
+            .within(fwd(must(fwd(event(prop("A")), event(prop("B")))), event(prop("C"))));
+        agree(&starred, &sample_traces());
+    }
+
+    #[test]
+    fn star_under_begin_and_end() {
+        let starred = prop("D")
+            .eventually()
+            .within(fwd(begin(must(event(prop("A")))), event(prop("C"))));
+        agree(&starred, &sample_traces());
+    }
+
+    #[test]
+    fn star_in_backward_composition() {
+        // [ *A <= C ] <> D : obligations of the backward-searched subterm.
+        let starred =
+            eventually(prop("D")).within(bwd(must(event(prop("A"))), event(prop("C"))));
+        agree(&starred, &sample_traces());
+    }
+
+    #[test]
+    fn termination_axiom_shape() {
+        // [ atO => *afterO ] true  ≡  [ atO => ]*afterO (after reduction).
+        let starred = Formula::True.within(fwd(event(prop("atO")), must(event(prop("afterO")))));
+        let traces = vec![
+            trace_of(&[&[], &["atO"], &["afterO"]]),
+            trace_of(&[&[], &["atO"], &[]]),
+            trace_of(&[&[], &[], &[]]),
+        ];
+        agree(&starred, &traces);
+        // Sanity: with the execution completing it holds, without it fails,
+        // with no invocation at all it holds vacuously.
+        let ev0 = Evaluator::new(&traces[0]);
+        let ev1 = Evaluator::new(&traces[1]);
+        let ev2 = Evaluator::new(&traces[2]);
+        assert!(ev0.check(&starred));
+        assert!(!ev1.check(&starred));
+        assert!(ev2.check(&starred));
+    }
+
+    #[test]
+    fn star_free_formulas_are_unchanged() {
+        let plain = eventually(prop("D")).within(fwd(event(prop("A")), event(prop("B"))));
+        assert_eq!(eliminate_star(&plain), plain);
+    }
+}

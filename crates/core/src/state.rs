@@ -1,0 +1,184 @@
+//! States of a computation sequence.
+//!
+//! A state records which (possibly parameterized) predicates hold — `atDq`,
+//! `afterEnq(m)`, `cs(i)`, a request line `R` being up — and the values of any
+//! named state components such as the expected sequence number `exp` used in
+//! the AB-protocol specification of Chapter 7.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::value::Value;
+
+/// A (possibly parameterized) proposition instance, e.g. `atEnq(3)` or `R`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prop {
+    /// Predicate name.
+    pub name: String,
+    /// Concrete parameter values (empty for plain propositions).
+    pub args: Vec<Value>,
+}
+
+impl Prop {
+    /// A plain proposition with no parameters.
+    pub fn plain(name: impl Into<String>) -> Prop {
+        Prop { name: name.into(), args: Vec::new() }
+    }
+
+    /// A parameterized proposition.
+    pub fn with_args<I>(name: impl Into<String>, args: I) -> Prop
+    where
+        I: IntoIterator,
+        I::Item: Into<Value>,
+    {
+        Prop { name: name.into(), args: args.into_iter().map(Into::into).collect() }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            let args: Vec<String> = self.args.iter().map(ToString::to_string).collect();
+            write!(f, "{}({})", self.name, args.join(", "))
+        }
+    }
+}
+
+/// One state of a computation: a set of holding propositions plus a valuation
+/// of named state components.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct State {
+    props: BTreeSet<Prop>,
+    vars: BTreeMap<String, Value>,
+}
+
+impl State {
+    /// Creates an empty state: no proposition holds, no state component is bound.
+    pub fn new() -> State {
+        State::default()
+    }
+
+    /// Asserts a plain proposition; returns `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>) -> State {
+        self.props.insert(Prop::plain(name));
+        self
+    }
+
+    /// Asserts a parameterized proposition; returns `self` for chaining.
+    pub fn with_args<I>(mut self, name: impl Into<String>, args: I) -> State
+    where
+        I: IntoIterator,
+        I::Item: Into<Value>,
+    {
+        self.props.insert(Prop::with_args(name, args));
+        self
+    }
+
+    /// Binds a state component to a value; returns `self` for chaining.
+    pub fn with_var(mut self, name: impl Into<String>, value: impl Into<Value>) -> State {
+        self.vars.insert(name.into(), value.into());
+        self
+    }
+
+    /// Asserts a proposition.
+    pub fn insert(&mut self, prop: Prop) {
+        self.props.insert(prop);
+    }
+
+    /// Retracts a proposition; returns `true` if it was present.
+    pub fn remove(&mut self, prop: &Prop) -> bool {
+        self.props.remove(prop)
+    }
+
+    /// Binds a state component.
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// `true` if the proposition holds in this state.
+    pub fn holds(&self, prop: &Prop) -> bool {
+        self.props.contains(prop)
+    }
+
+    /// `true` if any proposition with the given name (and any parameters) holds.
+    pub fn holds_any(&self, name: &str) -> bool {
+        self.props.iter().any(|p| p.name == name)
+    }
+
+    /// The value of a state component, if bound.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over the propositions holding in this state.
+    pub fn props(&self) -> impl Iterator<Item = &Prop> {
+        self.props.iter()
+    }
+
+    /// Iterates over the bound state components.
+    pub fn vars(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All parameter tuples with which `name` holds in this state.
+    pub fn args_of(&self, name: &str) -> Vec<&[Value]> {
+        self.props.iter().filter(|p| p.name == name).map(|p| p.args.as_slice()).collect()
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let props: Vec<String> = self.props.iter().map(ToString::to_string).collect();
+        let vars: Vec<String> = self.vars.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        write!(f, "{{{}}}", props.into_iter().chain(vars).collect::<Vec<_>>().join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn props_and_vars_round_trip() {
+        let state = State::new()
+            .with("atDq")
+            .with_args("atEnq", [3i64])
+            .with_var("exp", 1i64);
+        assert!(state.holds(&Prop::plain("atDq")));
+        assert!(state.holds(&Prop::with_args("atEnq", [3i64])));
+        assert!(!state.holds(&Prop::with_args("atEnq", [4i64])));
+        assert!(state.holds_any("atEnq"));
+        assert!(!state.holds_any("afterEnq"));
+        assert_eq!(state.var("exp"), Some(&Value::Int(1)));
+        assert_eq!(state.var("other"), None);
+    }
+
+    #[test]
+    fn mutation_api() {
+        let mut state = State::new();
+        state.insert(Prop::plain("R"));
+        assert!(state.holds(&Prop::plain("R")));
+        assert!(state.remove(&Prop::plain("R")));
+        assert!(!state.holds(&Prop::plain("R")));
+        state.set_var("x", 5i64);
+        assert_eq!(state.var("x"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn args_of_lists_parameter_tuples() {
+        let state = State::new().with_args("atEnq", [1i64]).with_args("atEnq", [2i64]);
+        let mut args: Vec<i64> = state.args_of("atEnq").iter().map(|a| a[0].as_int().unwrap()).collect();
+        args.sort_unstable();
+        assert_eq!(args, vec![1, 2]);
+    }
+
+    #[test]
+    fn display_shows_contents() {
+        let state = State::new().with("P").with_var("x", 2i64);
+        let shown = state.to_string();
+        assert!(shown.contains('P'));
+        assert!(shown.contains("x=2"));
+    }
+}

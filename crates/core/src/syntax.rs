@@ -1,0 +1,596 @@
+//! Abstract syntax of the interval logic (Chapter 2 and the grammar of Chapter 3).
+//!
+//! The language has two syntactic categories:
+//!
+//! * **interval formulas** — state predicates, the Boolean connectives, the
+//!   unary temporal operators `□` and `◇`, and interval formulas `[ I ] α`;
+//! * **interval terms** — event terms (any interval formula used as an event),
+//!   `begin I`, `end I`, the forward and backward interval operators `⇒` / `⇐`
+//!   with zero, one or two arguments, and the `*` ("must occur") modifier.
+//!
+//! On top of the report's grammar this module adds explicit `∀` / `∃` binders
+//! over data values, which the report uses informally ("for all a and b ...");
+//! the specification checker instantiates them over a finite data domain.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Comparison operators usable in state predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Equality (any values).
+    Eq,
+    /// Disequality (any values).
+    Ne,
+    /// Strictly less than (integers).
+    Lt,
+    /// Less than or equal (integers).
+    Le,
+    /// Strictly greater than (integers).
+    Gt,
+    /// Greater than or equal (integers).
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "/=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An argument of a parameterized predicate: a concrete value or a data variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arg {
+    /// A concrete value.
+    Value(Value),
+    /// A data variable, bound by an enclosing `∀`/`∃` or by the checking context.
+    Var(String),
+}
+
+impl Arg {
+    /// A concrete argument.
+    pub fn value(v: impl Into<Value>) -> Arg {
+        Arg::Value(v.into())
+    }
+
+    /// A variable argument.
+    pub fn var(name: impl Into<String>) -> Arg {
+        Arg::Var(name.into())
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Value(v) => write!(f, "{v}"),
+            Arg::Var(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// An expression usable in a comparison predicate.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expr {
+    /// The value of a named state component in the first state of the interval.
+    StateVar(String),
+    /// A data variable bound by an enclosing binder or the checking context.
+    DataVar(String),
+    /// A literal value.
+    Lit(Value),
+}
+
+impl Expr {
+    /// A state-component expression.
+    pub fn state(name: impl Into<String>) -> Expr {
+        Expr::StateVar(name.into())
+    }
+
+    /// A data-variable expression.
+    pub fn data(name: impl Into<String>) -> Expr {
+        Expr::DataVar(name.into())
+    }
+
+    /// A literal expression.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::StateVar(s) => write!(f, "{s}"),
+            Expr::DataVar(x) => write!(f, "?{x}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A state predicate: true or false of a single state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pred {
+    /// A (possibly parameterized) proposition, e.g. `atEnq(a)` or `R`.
+    Prop {
+        /// Predicate name.
+        name: String,
+        /// Arguments (empty for plain propositions).
+        args: Vec<Arg>,
+    },
+    /// A comparison between two expressions, e.g. `exp = v` or `x > z`.
+    Cmp {
+        /// Left-hand side.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+}
+
+impl Pred {
+    /// A plain proposition.
+    pub fn prop(name: impl Into<String>) -> Pred {
+        Pred::Prop { name: name.into(), args: Vec::new() }
+    }
+
+    /// A parameterized proposition.
+    pub fn prop_args<I>(name: impl Into<String>, args: I) -> Pred
+    where
+        I: IntoIterator<Item = Arg>,
+    {
+        Pred::Prop { name: name.into(), args: args.into_iter().collect() }
+    }
+
+    /// A comparison predicate.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Pred {
+        Pred::Cmp { lhs, op, rhs }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Prop { name, args } => {
+                if args.is_empty() {
+                    write!(f, "{name}")
+                } else {
+                    let shown: Vec<String> = args.iter().map(ToString::to_string).collect();
+                    write!(f, "{name}({})", shown.join(", "))
+                }
+            }
+            Pred::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+/// An interval formula.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A state predicate, interpreted at the first state of the interval.
+    Pred(Pred),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// `□ α`: α holds at every suffix of the interval.
+    Always(Box<Formula>),
+    /// `◇ α`: α holds at some suffix of the interval.
+    Eventually(Box<Formula>),
+    /// `[ I ] α`: the next time the interval `I` can be constructed in the
+    /// current context, `α` holds for it; vacuously true if it cannot.
+    In(IntervalTerm, Box<Formula>),
+    /// Universal quantification over data values (instantiated by the checker).
+    Forall(String, Box<Formula>),
+    /// Existential quantification over data values (instantiated by the checker).
+    Exists(String, Box<Formula>),
+}
+
+impl Formula {
+    /// A plain propositional predicate.
+    pub fn prop(name: impl Into<String>) -> Formula {
+        Formula::Pred(Pred::prop(name))
+    }
+
+    /// Negation.
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction (with constant folding).
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, b) => b,
+            (a, Formula::True) => a,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction (with constant folding).
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, b) => b,
+            (a, Formula::False) => a,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (a, b) => Formula::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Material implication.
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// Biconditional.
+    pub fn iff(self, other: Formula) -> Formula {
+        self.clone().implies(other.clone()).and(other.implies(self))
+    }
+
+    /// `□` over the current interval.
+    pub fn always(self) -> Formula {
+        Formula::Always(Box::new(self))
+    }
+
+    /// `◇` over the current interval.
+    pub fn eventually(self) -> Formula {
+        Formula::Eventually(Box::new(self))
+    }
+
+    /// `[ term ] self`.
+    pub fn within(self, term: IntervalTerm) -> Formula {
+        Formula::In(term, Box::new(self))
+    }
+
+    /// `∀ var . self`.
+    pub fn forall(self, var: impl Into<String>) -> Formula {
+        Formula::Forall(var.into(), Box::new(self))
+    }
+
+    /// `∃ var . self`.
+    pub fn exists(self, var: impl Into<String>) -> Formula {
+        Formula::Exists(var.into(), Box::new(self))
+    }
+
+    /// Conjunction of an iterator of formulas (`True` when empty).
+    pub fn conj<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        items.into_iter().fold(Formula::True, Formula::and)
+    }
+
+    /// Disjunction of an iterator of formulas (`False` when empty).
+    pub fn disj<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        items.into_iter().fold(Formula::False, Formula::or)
+    }
+
+    /// The number of connectives, predicates and interval-term constructors.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Pred(_) => 1,
+            Formula::Not(a)
+            | Formula::Always(a)
+            | Formula::Eventually(a)
+            | Formula::Forall(_, a)
+            | Formula::Exists(_, a) => 1 + a.size(),
+            Formula::And(a, b) | Formula::Or(a, b) => 1 + a.size() + b.size(),
+            Formula::In(term, a) => 1 + term.size() + a.size(),
+        }
+    }
+
+    /// The free data variables of the formula, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(p) => collect_pred_vars(p, bound, out),
+            Formula::Not(a) | Formula::Always(a) | Formula::Eventually(a) => {
+                a.collect_free_vars(bound, out)
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Formula::In(term, a) => {
+                term.collect_free_vars(bound, out);
+                a.collect_free_vars(bound, out);
+            }
+            Formula::Forall(v, a) | Formula::Exists(v, a) => {
+                bound.push(v.clone());
+                a.collect_free_vars(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// `true` if the formula contains no interval or temporal operators
+    /// (it is a pure state predicate combination).
+    pub fn is_state_formula(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Pred(_) => true,
+            Formula::Not(a) => a.is_state_formula(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_state_formula() && b.is_state_formula(),
+            _ => false,
+        }
+    }
+}
+
+fn collect_pred_vars(pred: &Pred, bound: &[String], out: &mut Vec<String>) {
+    let mut push = |name: &String| {
+        if !bound.contains(name) && !out.contains(name) {
+            out.push(name.clone());
+        }
+    };
+    match pred {
+        Pred::Prop { args, .. } => {
+            for arg in args {
+                if let Arg::Var(v) = arg {
+                    push(v);
+                }
+            }
+        }
+        Pred::Cmp { lhs, rhs, .. } => {
+            for expr in [lhs, rhs] {
+                if let Expr::DataVar(v) = expr {
+                    push(v);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Pred(p) => write!(f, "{p}"),
+            Formula::Not(a) => write!(f, "~{a}"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Always(a) => write!(f, "[]{a}"),
+            Formula::Eventually(a) => write!(f, "<>{a}"),
+            Formula::In(term, a) => write!(f, "[ {term} ] {a}"),
+            Formula::Forall(v, a) => write!(f, "forall {v}. {a}"),
+            Formula::Exists(v, a) => write!(f, "exists {v}. {a}"),
+        }
+    }
+}
+
+/// An interval term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntervalTerm {
+    /// An event term: the interval of change (length 2) in which the formula
+    /// changes from false to true.
+    Event(Box<Formula>),
+    /// `begin I`: the unit interval containing the first state of `I`.
+    Begin(Box<IntervalTerm>),
+    /// `end I`: the unit interval containing the last state of `I`
+    /// (undefined for infinite intervals).
+    End(Box<IntervalTerm>),
+    /// The forward operator `I ⇒ J`; either argument may be omitted.
+    Forward(Option<Box<IntervalTerm>>, Option<Box<IntervalTerm>>),
+    /// The backward operator `I ⇐ J`; either argument may be omitted.
+    Backward(Option<Box<IntervalTerm>>, Option<Box<IntervalTerm>>),
+    /// The `*` modifier: the term must be found in its search context.
+    Must(Box<IntervalTerm>),
+}
+
+impl IntervalTerm {
+    /// An event term defined by a formula.
+    pub fn event(formula: Formula) -> IntervalTerm {
+        IntervalTerm::Event(Box::new(formula))
+    }
+
+    /// `begin self`.
+    pub fn begin(self) -> IntervalTerm {
+        IntervalTerm::Begin(Box::new(self))
+    }
+
+    /// `end self`.
+    pub fn end(self) -> IntervalTerm {
+        IntervalTerm::End(Box::new(self))
+    }
+
+    /// `self ⇒ other`.
+    pub fn then(self, other: IntervalTerm) -> IntervalTerm {
+        IntervalTerm::Forward(Some(Box::new(self)), Some(Box::new(other)))
+    }
+
+    /// `self ⇒` (from the end of `self` for the remainder of the context).
+    pub fn onward(self) -> IntervalTerm {
+        IntervalTerm::Forward(Some(Box::new(self)), None)
+    }
+
+    /// `self ⇐ other`.
+    pub fn back_from(self, other: IntervalTerm) -> IntervalTerm {
+        IntervalTerm::Backward(Some(Box::new(self)), Some(Box::new(other)))
+    }
+
+    /// `self ⇐` (from the end of the last `self` for the remainder of the context).
+    pub fn since_last(self) -> IntervalTerm {
+        IntervalTerm::Backward(Some(Box::new(self)), None)
+    }
+
+    /// `* self`: the term must be found.
+    pub fn must(self) -> IntervalTerm {
+        IntervalTerm::Must(Box::new(self))
+    }
+
+    /// `true` if the term contains a `*` modifier anywhere.
+    pub fn has_must(&self) -> bool {
+        match self {
+            IntervalTerm::Event(_) => false,
+            IntervalTerm::Begin(t) | IntervalTerm::End(t) => t.has_must(),
+            IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
+                a.as_deref().is_some_and(IntervalTerm::has_must)
+                    || b.as_deref().is_some_and(IntervalTerm::has_must)
+            }
+            IntervalTerm::Must(_) => true,
+        }
+    }
+
+    /// The number of term constructors and embedded formula nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            IntervalTerm::Event(f) => 1 + f.size(),
+            IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => 1 + t.size(),
+            IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
+                1 + a.as_deref().map_or(0, IntervalTerm::size)
+                    + b.as_deref().map_or(0, IntervalTerm::size)
+            }
+        }
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            IntervalTerm::Event(f) => f.collect_free_vars(bound, out),
+            IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
+                t.collect_free_vars(bound, out)
+            }
+            IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
+                if let Some(t) = a {
+                    t.collect_free_vars(bound, out);
+                }
+                if let Some(t) = b {
+                    t.collect_free_vars(bound, out);
+                }
+            }
+        }
+    }
+
+    /// Removes every `*` modifier from the term.
+    pub fn strip_must(&self) -> IntervalTerm {
+        match self {
+            IntervalTerm::Event(f) => IntervalTerm::Event(f.clone()),
+            IntervalTerm::Begin(t) => IntervalTerm::Begin(Box::new(t.strip_must())),
+            IntervalTerm::End(t) => IntervalTerm::End(Box::new(t.strip_must())),
+            IntervalTerm::Forward(a, b) => IntervalTerm::Forward(
+                a.as_ref().map(|t| Box::new(t.strip_must())),
+                b.as_ref().map(|t| Box::new(t.strip_must())),
+            ),
+            IntervalTerm::Backward(a, b) => IntervalTerm::Backward(
+                a.as_ref().map(|t| Box::new(t.strip_must())),
+                b.as_ref().map(|t| Box::new(t.strip_must())),
+            ),
+            IntervalTerm::Must(t) => t.strip_must(),
+        }
+    }
+}
+
+impl fmt::Display for IntervalTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalTerm::Event(e) => write!(f, "{e}"),
+            IntervalTerm::Begin(t) => write!(f, "begin {t}"),
+            IntervalTerm::End(t) => write!(f, "end {t}"),
+            IntervalTerm::Forward(a, b) => {
+                if let Some(a) = a {
+                    write!(f, "{a} ")?;
+                }
+                write!(f, "=>")?;
+                if let Some(b) = b {
+                    write!(f, " {b}")?;
+                }
+                Ok(())
+            }
+            IntervalTerm::Backward(a, b) => {
+                if let Some(a) = a {
+                    write!(f, "{a} ")?;
+                }
+                write!(f, "<=")?;
+                if let Some(b) = b {
+                    write!(f, " {b}")?;
+                }
+                Ok(())
+            }
+            IntervalTerm::Must(t) => write!(f, "*{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fold_constants() {
+        let p = Formula::prop("P");
+        assert_eq!(p.clone().and(Formula::True), p);
+        assert_eq!(p.clone().or(Formula::True), Formula::True);
+        assert_eq!(Formula::False.and(p.clone()), Formula::False);
+        assert_eq!(p.clone().not().not(), p);
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a"), Arg::var("b")]))
+            .forall("a");
+        assert_eq!(f.free_vars(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_cover_interval_terms_and_cmp() {
+        let term = IntervalTerm::event(Formula::Pred(Pred::prop_args("atDq", [Arg::var("m")])));
+        let body = Formula::Pred(Pred::cmp(Expr::state("exp"), CmpOp::Eq, Expr::data("v")));
+        let f = body.within(term);
+        assert_eq!(f.free_vars(), vec!["m".to_string(), "v".to_string()]);
+    }
+
+    #[test]
+    fn has_must_and_strip_must() {
+        let a = IntervalTerm::event(Formula::prop("A"));
+        let b = IntervalTerm::event(Formula::prop("B"));
+        let starred = a.clone().then(b.clone().must());
+        assert!(starred.has_must());
+        assert!(!a.clone().then(b).has_must());
+        assert!(!starred.strip_must().has_must());
+    }
+
+    #[test]
+    fn sizes_are_positive_and_monotone() {
+        let p = Formula::prop("P");
+        let wrapped = p.clone().always().within(IntervalTerm::event(Formula::prop("A")).onward());
+        assert!(wrapped.size() > p.size());
+    }
+
+    #[test]
+    fn display_round_trips_key_syntax() {
+        let a = IntervalTerm::event(Formula::prop("A"));
+        let b = IntervalTerm::event(Formula::prop("B"));
+        let f = Formula::prop("D").eventually().within(a.then(b));
+        let shown = f.to_string();
+        assert!(shown.contains("=>"));
+        assert!(shown.contains("<>"));
+        assert!(shown.contains('A') && shown.contains('B') && shown.contains('D'));
+    }
+
+    #[test]
+    fn state_formula_detection() {
+        assert!(Formula::prop("P").and(Formula::prop("Q").not()).is_state_formula());
+        assert!(!Formula::prop("P").always().is_state_formula());
+        assert!(!Formula::prop("P").within(IntervalTerm::event(Formula::prop("A"))).is_state_formula());
+    }
+}

@@ -1,0 +1,212 @@
+//! The valid-formula catalogue of Chapter 4 (V1–V16).
+//!
+//! Each function builds one schema of the catalogue from caller-supplied
+//! interval terms, formulas and state predicates, so the schemas can be
+//! instantiated both in tests (where they are confirmed by exhaustive
+//! bounded-model checking, see `tests/valid_formulas.rs`) and in benchmarks.
+//!
+//! Conventions, following the chapter: `α`, `β`, `γ` range over arbitrary
+//! interval formulas; `I`, `J`, `K` over interval terms; `p` over *state
+//! predicates* (formulas with no temporal or interval operators).  Schemas V9,
+//! V10 and V5 take state predicates because they talk about events defined by
+//! predicates.  Two schemas are rendered with an explicit occurrence guard
+//! (`*I`) that the surviving scan of the report leaves ambiguous: V13 is stated
+//! here as `*I ∧ [⇐I]□p ∧ [I⇒]□p ⊃ □p`, which is the reading under which the
+//! schema is valid in the formal model of Chapter 3.
+
+use crate::dsl::{begin, bwd, bwd_to, event, fwd, fwd_from, fwd_to, must, occurs, whole};
+use crate::syntax::{Formula, IntervalTerm};
+
+/// V1: `[I]α ∧ [I]β ≡ [I](α ∧ β)`.
+pub fn v1(i: IntervalTerm, alpha: Formula, beta: Formula) -> Formula {
+    let lhs = alpha.clone().within(i.clone()).and(beta.clone().within(i.clone()));
+    let rhs = alpha.and(beta).within(i);
+    lhs.iff(rhs)
+}
+
+/// V2: `[I](α ⊃ β) ⊃ ([I]α ⊃ [I]β)` — interval formulas distribute over implication.
+pub fn v2(i: IntervalTerm, alpha: Formula, beta: Formula) -> Formula {
+    let premise = alpha.clone().implies(beta.clone()).within(i.clone());
+    let conclusion = alpha.within(i.clone()).implies(beta.within(i));
+    premise.implies(conclusion)
+}
+
+/// V3: `¬*I ⊃ [I]α` — an interval formula is (vacuously) true whenever its
+/// interval cannot be constructed.
+pub fn v3(i: IntervalTerm, alpha: Formula) -> Formula {
+    occurs(i.clone()).not().implies(alpha.within(i))
+}
+
+/// V4: `*I ≡ ¬[I]false` — the interval-eventuality operator in terms of an
+/// interval formula.
+pub fn v4(i: IntervalTerm) -> Formula {
+    occurs(i.clone()).iff(Formula::False.within(i).not())
+}
+
+/// V5: `*p ≡ ◇(¬p ∧ ◇p)` for a state predicate `p` used as an event.
+pub fn v5(p: Formula) -> Formula {
+    debug_assert!(p.is_state_formula(), "V5 requires a state predicate");
+    let lhs = occurs(event(p.clone()));
+    let rhs = p.clone().not().and(p.eventually()).eventually();
+    lhs.iff(rhs)
+}
+
+/// V6: `¬[I]α ≡ [*I]¬α` — pushing negation into the interval.
+pub fn v6(i: IntervalTerm, alpha: Formula) -> Formula {
+    let lhs = alpha.clone().within(i.clone()).not();
+    let rhs = alpha.not().within(must(i));
+    lhs.iff(rhs)
+}
+
+/// V7: `α ≡ [⇒]α` — the bare forward operator selects the complete outer context.
+pub fn v7(alpha: Formula) -> Formula {
+    alpha.clone().iff(alpha.within(whole()))
+}
+
+/// V8: `□α ⊃ [I⇒]□α` — an invariant of the outer context holds in every tail interval.
+pub fn v8(i: IntervalTerm, alpha: Formula) -> Formula {
+    alpha.clone().always().implies(alpha.always().within(fwd_from(i)))
+}
+
+/// V9: `[p ⇒ begin ¬p] □p` — from `p` becoming true until just before it
+/// becomes false, `p` remains true (`p` a state predicate).
+pub fn v9(p: Formula) -> Formula {
+    debug_assert!(p.is_state_formula(), "V9 requires a state predicate");
+    p.clone()
+        .always()
+        .within(fwd(event(p.clone()), begin(event(p.not()))))
+}
+
+/// V10: `[begin α ⇒]*β ∨ [begin β ⇒]*α` — the fundamental event-ordering
+/// property for two events defined by state predicates `α` and `β`.
+pub fn v10(alpha: Formula, beta: Formula) -> Formula {
+    let left = occurs(event(beta.clone())).within(fwd_from(begin(event(alpha.clone()))));
+    let right = occurs(event(alpha)).within(fwd_from(begin(event(beta))));
+    left.or(right)
+}
+
+/// V11: `[α ⇐ β]γ ≡ [⇒β][(¬*α) ⇒]γ` — the backward operator reduced to a
+/// forward encoding through the embedded event `¬*α` (which becomes true in the
+/// first state from which no further `α` event can be found).
+pub fn v11(alpha: Formula, beta: Formula, gamma: Formula) -> Formula {
+    let lhs = gamma.clone().within(bwd(event(alpha.clone()), event(beta.clone())));
+    let inner_event = event(occurs(event(alpha)).not());
+    let rhs = gamma.within(fwd_from(inner_event)).within(fwd_to(event(beta)));
+    lhs.iff(rhs)
+}
+
+/// V12: `[⇒I] ¬□*J` — no interval with an upper endpoint contains an unbounded
+/// number of `J` intervals.
+pub fn v12(i: IntervalTerm, j: IntervalTerm) -> Formula {
+    occurs(j).always().not().within(fwd_to(i))
+}
+
+/// V13: `*I ∧ [⇐I]□p ∧ [I⇒]□p ⊃ □p` — interval partitioning for invariance
+/// (`p` a state predicate; the occurrence guard `*I` makes the schema valid
+/// when `I` cannot be found).
+pub fn v13(i: IntervalTerm, p: Formula) -> Formula {
+    debug_assert!(p.is_state_formula(), "V13 requires a state predicate");
+    let guard = occurs(i.clone());
+    let up_to = p.clone().always().within(bwd_to(i.clone()));
+    let from = p.clone().always().within(fwd_from(i));
+    guard.and(up_to).and(from).implies(p.always())
+}
+
+/// V14: `◇p ⊃ [⇐I]◇p ∨ [I⇒]◇p` — interval partitioning for eventuality
+/// (`p` a state predicate).
+pub fn v14(i: IntervalTerm, p: Formula) -> Formula {
+    debug_assert!(p.is_state_formula(), "V14 requires a state predicate");
+    let up_to = p.clone().eventually().within(bwd_to(i.clone()));
+    let from = p.clone().eventually().within(fwd_from(i));
+    p.eventually().implies(up_to.or(from))
+}
+
+/// V15: `[I⇒J]□p ∧ [(I⇒J)⇒K]□p ⊃ [I⇒(J⇒K)]□p` — interval composition
+/// (`p` a state predicate).
+pub fn v15(i: IntervalTerm, j: IntervalTerm, k: IntervalTerm, p: Formula) -> Formula {
+    debug_assert!(p.is_state_formula(), "V15 requires a state predicate");
+    let first = p.clone().always().within(fwd(i.clone(), j.clone()));
+    let second = p.clone().always().within(fwd(fwd(i.clone(), j.clone()), k.clone()));
+    let conclusion = p.always().within(fwd(i, fwd(j, k)));
+    first.and(second).implies(conclusion)
+}
+
+/// V16: `[⇒(J⇒K)]α ∧ [⇒*J]¬*K ⊃ [⇒K]α` — when no `K` occurs before the first
+/// `J`, the interval up to the `K` following `J` is the interval up to the
+/// first `K`.
+pub fn v16(j: IntervalTerm, k: IntervalTerm, alpha: Formula) -> Formula {
+    let first = alpha.clone().within(fwd_to(fwd(j.clone(), k.clone())));
+    let second = occurs(k.clone()).not().within(fwd_to(must(j)));
+    let conclusion = alpha.within(fwd_to(k));
+    first.and(second).implies(conclusion)
+}
+
+/// A labelled instantiation of every schema of the catalogue over the
+/// propositions `P`, `Q`, `R` (and events `A`, `B`, `C`), suitable for bounded
+/// validity checking and benchmarking.
+pub fn catalogue() -> Vec<(&'static str, Formula)> {
+    let p = || Formula::prop("P");
+    let q = || Formula::prop("Q");
+    let a = || event(Formula::prop("A"));
+    let b = || event(Formula::prop("B"));
+    let c = || event(Formula::prop("C"));
+    vec![
+        ("V1", v1(fwd(a(), b()), p(), q())),
+        ("V2", v2(fwd(a(), b()), p(), q())),
+        ("V3", v3(fwd(a(), b()), p().eventually())),
+        ("V4", v4(fwd(a(), b()))),
+        ("V5", v5(p())),
+        ("V6", v6(fwd(a(), b()), p().eventually())),
+        ("V7", v7(p().eventually())),
+        ("V8", v8(a(), p())),
+        ("V9", v9(p())),
+        ("V10", v10(Formula::prop("A"), Formula::prop("B"))),
+        ("V11", v11(Formula::prop("A"), Formula::prop("B"), p().eventually())),
+        ("V12", v12(a(), b())),
+        ("V13", v13(a(), p())),
+        ("V14", v14(a(), p())),
+        ("V15", v15(a(), b(), c(), p())),
+        ("V16", v16(b(), c(), p().eventually())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoundedChecker;
+
+    /// A fast smoke test over a small bound; the exhaustive confirmation over a
+    /// larger alphabet and bound lives in `tests/valid_formulas.rs`.
+    #[test]
+    fn catalogue_has_no_short_counterexamples() {
+        let checker = BoundedChecker::new(["P", "A", "B"], 2);
+        for (name, formula) in catalogue() {
+            assert!(
+                checker.valid_up_to_bound(&formula),
+                "{name} has a short counterexample: {:?}",
+                checker.counterexample(&formula)
+            );
+        }
+    }
+
+    #[test]
+    fn catalogue_is_complete() {
+        assert_eq!(catalogue().len(), 16);
+    }
+
+    #[test]
+    fn schemas_reject_invalid_variants() {
+        // Dropping the occurrence guard from V13 yields a refutable formula:
+        // when I never occurs both premises are vacuous but □p may fail.
+        let checker = BoundedChecker::new(["P", "A"], 3);
+        let i = event(Formula::prop("A"));
+        let p = Formula::prop("P");
+        let unguarded = p
+            .clone()
+            .always()
+            .within(bwd_to(i.clone()))
+            .and(p.clone().always().within(fwd_from(i)))
+            .implies(p.always());
+        assert!(checker.counterexample(&unguarded).is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Data values carried by operation parameters and state variables.
+//!
+//! The interval logic is parameterized over an uninterpreted domain of values:
+//! queue elements, message contents, sequence numbers, process identities.
+//! This module provides a small dynamically typed value domain sufficient for
+//! all of the report's examples.
+
+use std::fmt;
+
+/// A data value: an integer, a boolean, or a symbolic name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value (used for sequence numbers, queue elements, ...).
+    Int(i64),
+    /// A boolean value (used for the alternating bit).
+    Bool(bool),
+    /// A symbolic value (used for message names, process identities, ...).
+    Sym(String),
+}
+
+impl Value {
+    /// A symbolic value.
+    pub fn sym(name: impl Into<String>) -> Value {
+        Value::Sym(name.into())
+    }
+
+    /// The integer content, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Value {
+        Value::Int(value)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(value: i32) -> Value {
+        Value::Int(i64::from(value))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(value: usize) -> Value {
+        Value::Int(value as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Value {
+        Value::Bool(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Value {
+        Value::Sym(value.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(value: String) -> Value {
+        Value::Sym(value)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("m1"), Value::Sym("m1".to_string()));
+        assert_eq!(Value::from(7usize), Value::Int(7));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::sym("a").as_int(), None);
+        assert_eq!(Value::Int(5).as_bool(), None);
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::sym("msg").to_string(), "msg");
+    }
+}

@@ -1,0 +1,176 @@
+//! Experiment `F-2.1..2.8`: the interval diagrams of Chapter 2, formulas
+//! (1)–(8), reproduced as executable semantics checks.
+//!
+//! Each test builds the trace drawn in the corresponding picture and checks
+//! both that the formula evaluates as the text says and that the constructed
+//! interval has the pictured endpoints.
+
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+use ilogic_core::semantics::{Dir, Env};
+
+fn trace_of(rows: &[&[&str]]) -> Trace {
+    Trace::finite(
+        rows.iter()
+            .map(|props| {
+                let mut s = State::new();
+                for p in *props {
+                    s.insert(Prop::plain(*p));
+                }
+                s
+            })
+            .collect(),
+    )
+}
+
+fn construct(trace: &Trace, term: &IntervalTerm) -> Constructed {
+    Evaluator::new(trace).construct(term, Interval::unbounded(0), Dir::Forward, &Env::new())
+}
+
+/// Formula (1): [ x = y  ⇒  y = 16 ] □ x > z.
+#[test]
+fn formula_1_state_change_events() {
+    let mk = |rows: &[(i64, i64, i64)]| {
+        Trace::finite(
+            rows.iter()
+                .map(|(x, y, z)| State::new().with_var("x", *x).with_var("y", *y).with_var("z", *z))
+                .collect(),
+        )
+    };
+    let x_eq_y = cmp(Expr::state("x"), CmpOp::Eq, Expr::state("y"));
+    let y_is_16 = cmp(Expr::state("y"), CmpOp::Eq, Expr::lit(16i64));
+    let x_gt_z = cmp(Expr::state("x"), CmpOp::Gt, Expr::state("z"));
+    let term = fwd(event(x_eq_y), event(y_is_16));
+    let formula = always(x_gt_z).within(term.clone());
+
+    // x becomes equal to y at position 1, y becomes 16 at position 3.
+    let trace = mk(&[(5, 3, 0), (4, 4, 0), (7, 7, 1), (9, 16, 2), (0, 0, 5)]);
+    assert!(Evaluator::new(&trace).check(&formula));
+    let interval = construct(&trace, &term).interval().expect("interval found");
+    assert_eq!((interval.lo, interval.last()), (1, Some(3)));
+}
+
+/// Formula (2): allowing x > z to become false as y becomes 16, by ending the
+/// interval at begin(y = 16).
+#[test]
+fn formula_2_begin_weakens_the_right_endpoint() {
+    let mk = |rows: &[(i64, i64, i64)]| {
+        Trace::finite(
+            rows.iter()
+                .map(|(x, y, z)| State::new().with_var("x", *x).with_var("y", *y).with_var("z", *z))
+                .collect(),
+        )
+    };
+    let x_eq_y = cmp(Expr::state("x"), CmpOp::Eq, Expr::state("y"));
+    let y_is_16 = cmp(Expr::state("y"), CmpOp::Eq, Expr::lit(16i64));
+    let x_gt_z = cmp(Expr::state("x"), CmpOp::Gt, Expr::state("z"));
+    let strict = always(x_gt_z.clone()).within(fwd(event(x_eq_y.clone()), event(y_is_16.clone())));
+    let weak = always(x_gt_z).within(fwd(event(x_eq_y), begin(event(y_is_16))));
+    // x > z fails exactly in the state where y becomes 16.
+    let trace = mk(&[(5, 3, 0), (4, 4, 0), (7, 7, 1), (1, 16, 2)]);
+    assert!(!Evaluator::new(&trace).check(&strict));
+    assert!(Evaluator::new(&trace).check(&weak));
+}
+
+/// Formula (3): [ (A ⇒ B) ⇒ C ] ◇D.
+#[test]
+fn formula_3_nested_forward_context() {
+    let term = fwd(fwd(event(prop("A")), event(prop("B"))), event(prop("C")));
+    let formula = eventually(prop("D")).within(term.clone());
+    let good = trace_of(&[&[], &["A"], &["B"], &["D"], &["C"]]);
+    assert!(Evaluator::new(&good).check(&formula));
+    let interval = construct(&good, &term).interval().unwrap();
+    assert_eq!((interval.lo, interval.last()), (2, Some(4)));
+    // Vacuously true when C never occurs.
+    let vacuous = trace_of(&[&[], &["A"], &["B"], &[]]);
+    assert!(Evaluator::new(&vacuous).check(&formula));
+    // False when D is missing inside a found context.
+    let missing = trace_of(&[&["D"], &["A"], &["B"], &[], &["C"]]);
+    assert!(!Evaluator::new(&missing).check(&formula));
+}
+
+/// Formula (4): [ (A ⇒ *B) ⇒ C ] ◇D strengthens (3) with the requirement that
+/// a B event follow the A event.
+#[test]
+fn formula_4_star_requires_b_after_a() {
+    let formula = eventually(prop("D"))
+        .within(fwd(fwd(event(prop("A")), must(event(prop("B")))), event(prop("C"))));
+    // A occurs, B never does: the formula is false rather than vacuous.
+    let no_b = trace_of(&[&[], &["A"], &[], &["C"], &["D"]]);
+    assert!(!Evaluator::new(&no_b).check(&formula));
+    // No A at all: vacuously true.
+    let no_a = trace_of(&[&[], &[], &["C"]]);
+    assert!(Evaluator::new(&no_a).check(&formula));
+    // Equivalent to (3) conjoined with [A ⇒]*B, per §2.1.
+    let three = eventually(prop("D"))
+        .within(fwd(fwd(event(prop("A")), event(prop("B"))), event(prop("C"))));
+    let obligation = occurs(event(prop("B"))).within(fwd_from(event(prop("A"))));
+    let equivalent = three.and(obligation);
+    for trace in [
+        &no_b,
+        &no_a,
+        &trace_of(&[&[], &["A"], &["B"], &["D"], &["C"]]),
+        &trace_of(&[&["D"], &["A"], &["B"], &[], &["C"]]),
+    ] {
+        let ev = Evaluator::new(trace);
+        assert_eq!(ev.check(&formula), ev.check(&equivalent));
+    }
+}
+
+/// Formula (5): [ A ⇒ (B ⇒ C) ] ◇D — the interval ends with the first C that
+/// follows the next B.
+#[test]
+fn formula_5_right_nested_context() {
+    let term = fwd(event(prop("A")), fwd(event(prop("B")), event(prop("C"))));
+    let formula = eventually(prop("D")).within(term.clone());
+    // C before B does not terminate the interval; only the C after B does.
+    let trace = trace_of(&[&[], &["A"], &["C"], &["B"], &["D"], &["C"]]);
+    assert!(Evaluator::new(&trace).check(&formula));
+    let interval = construct(&trace, &term).interval().unwrap();
+    assert_eq!((interval.lo, interval.last()), (1, Some(5)));
+}
+
+/// Formula (6): [ begin(A ⇒ B) ⇒ C ] ◇D — like (5) but B and C may come in
+/// either order because the interval starts at the beginning of A ⇒ B.
+#[test]
+fn formula_6_begin_allows_either_order() {
+    let term = fwd(begin(fwd(event(prop("A")), event(prop("B")))), event(prop("C")));
+    let formula = eventually(prop("D")).within(term);
+    // C before B: still checked from the end of the A event.
+    let trace = trace_of(&[&[], &["A"], &["D"], &["C"], &["B"]]);
+    assert!(Evaluator::new(&trace).check(&formula));
+    // The (5)-shaped formula is vacuous here (no C after B), so (6) is strictly
+    // more constraining on this trace shape.
+    let five = eventually(prop("D")).within(fwd(event(prop("A")), fwd(event(prop("B")), event(prop("C")))));
+    assert!(Evaluator::new(&trace).check(&five));
+}
+
+/// Formula (7): [ (A ⇒ B) ⇐ C ] ◇D — the first C bounds the context, within
+/// which the most recent A (and then its B) is found.
+#[test]
+fn formula_7_backward_context() {
+    let term = bwd(fwd(event(prop("A")), event(prop("B"))), event(prop("C")));
+    let formula = eventually(prop("D")).within(term.clone());
+    // Two A events (positions 1 and 4); the most recent one before C is used.
+    let trace = trace_of(&[&[], &["A"], &[], &[], &["A"], &["D"], &["B"], &["C"]]);
+    assert!(Evaluator::new(&trace).check(&formula));
+    let interval = construct(&trace, &term).interval().unwrap();
+    // Most recent A ends at 4, B at 6.
+    assert_eq!((interval.lo, interval.last()), (4, Some(6)));
+    // Vacuously true if no B occurs between the most recent A and C (§2.1).
+    let vacuous = trace_of(&[&[], &["B"], &["A"], &[], &["C"]]);
+    assert!(Evaluator::new(&vacuous).check(&formula));
+}
+
+/// Formula (8): [ begin(A ⇐ B) ⇐ C ] ◇D — the interval extends back from the
+/// first C to the beginning of the most recent A ⇐ B interval.
+#[test]
+fn formula_8_backward_begin() {
+    let term = bwd(begin(bwd(event(prop("A")), event(prop("B")))), event(prop("C")));
+    let formula = eventually(prop("D")).within(term.clone());
+    let trace = trace_of(&[&[], &["A"], &["D"], &["B"], &[], &["C"]]);
+    assert!(Evaluator::new(&trace).check(&formula));
+    let interval = construct(&trace, &term).interval().unwrap();
+    assert_eq!(interval.last(), Some(5));
+    assert!(interval.lo <= 2, "the interval must reach back to cover D");
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the core semantic invariants, using `proptest` to
+//! generate random traces and random formulas of a bounded depth.
+
+use proptest::prelude::*;
+
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+use ilogic_core::star::eliminate_star;
+
+const PROPS: [&str; 3] = ["A", "B", "C"];
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), PROPS.len()), 1..=max_len)
+        .prop_map(|rows| {
+            Trace::finite(
+                rows.into_iter()
+                    .map(|row| {
+                        let mut s = State::new();
+                        for (i, held) in row.into_iter().enumerate() {
+                            if held {
+                                s.insert(Prop::plain(PROPS[i]));
+                            }
+                        }
+                        s
+                    })
+                    .collect(),
+            )
+        })
+}
+
+fn arb_term(depth: u32) -> BoxedStrategy<IntervalTerm> {
+    let leaf = prop_oneof![
+        Just(event(prop("A"))),
+        Just(event(prop("B"))),
+        Just(event(prop("C"))),
+        Just(event(prop("A").and(prop("B")))),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fwd(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| bwd(a, b)),
+            inner.clone().prop_map(fwd_from),
+            inner.clone().prop_map(fwd_to),
+            inner.clone().prop_map(begin),
+            inner.clone().prop_map(end),
+            inner.clone().prop_map(must),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        Just(prop("A")),
+        Just(prop("B")),
+        Just(prop("C")),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(depth, 24, 2, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::always),
+            inner.clone().prop_map(Formula::eventually),
+            (arb_term(2), inner.clone()).prop_map(|(t, f)| f.within(t)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Negation is classical: exactly one of φ and ¬φ holds of any computation.
+    #[test]
+    fn excluded_middle(formula in arb_formula(3), trace in arb_trace(5)) {
+        let ev = Evaluator::new(&trace);
+        prop_assert_ne!(ev.check(&formula), ev.check(&formula.clone().not()));
+    }
+
+    /// The Appendix A star reduction agrees with the direct semantics.
+    #[test]
+    fn star_reduction_agrees_with_direct_semantics(formula in arb_formula(3), trace in arb_trace(5)) {
+        let ev = Evaluator::new(&trace);
+        let reduced = eliminate_star(&formula);
+        prop_assert_eq!(ev.check(&formula), ev.check(&reduced));
+    }
+
+    /// V1: interval formulas distribute over conjunction (arbitrary instances).
+    #[test]
+    fn conjunction_distributes_over_intervals(
+        term in arb_term(2),
+        a in arb_formula(2),
+        b in arb_formula(2),
+        trace in arb_trace(5),
+    ) {
+        let ev = Evaluator::new(&trace);
+        let lhs = a.clone().within(term.clone()).and(b.clone().within(term.clone()));
+        let rhs = a.and(b).within(term);
+        prop_assert_eq!(ev.check(&lhs), ev.check(&rhs));
+    }
+
+    /// V7: the bare forward operator selects the whole context.
+    #[test]
+    fn whole_context_is_identity(formula in arb_formula(3), trace in arb_trace(5)) {
+        let ev = Evaluator::new(&trace);
+        prop_assert_eq!(ev.check(&formula), ev.check(&formula.clone().within(whole())));
+    }
+
+    /// Vacuity: if an interval cannot be constructed, every formula holds of it.
+    #[test]
+    fn vacuity_of_unconstructible_intervals(term in arb_term(2), body in arb_formula(2), trace in arb_trace(4)) {
+        let ev = Evaluator::new(&trace);
+        let stripped = term.strip_must();
+        if !ev.check(&occurs(stripped.clone())) {
+            prop_assert!(ev.check(&body.within(stripped)));
+        }
+    }
+
+    /// Stutter invariance of the satisfaction relation: duplicating the final
+    /// state does not change any formula's value.
+    #[test]
+    fn final_state_stuttering_is_invisible(formula in arb_formula(3), trace in arb_trace(4)) {
+        let mut states = trace.states().to_vec();
+        states.push(states.last().expect("non-empty").clone());
+        let stuttered = Trace::finite(states);
+        prop_assert_eq!(
+            Evaluator::new(&trace).check(&formula),
+            Evaluator::new(&stuttered).check(&formula)
+        );
+    }
+}

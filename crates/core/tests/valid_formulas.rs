@@ -1,0 +1,60 @@
+//! Experiment `V-4`: exhaustive bounded-model confirmation of the Chapter 4
+//! valid-formula catalogue, plus refutation checks showing the bounded checker
+//! has teeth.
+
+use ilogic_core::bounded::BoundedChecker;
+use ilogic_core::dsl::*;
+use ilogic_core::valid;
+
+#[test]
+fn catalogue_holds_on_all_models_over_two_events_up_to_length_three() {
+    let checker = BoundedChecker::new(["P", "A", "B"], 3);
+    for (name, formula) in valid::catalogue() {
+        // V15 and V16 range over three interval terms; keep their alphabet at
+        // the same size but accept the longer runtime.
+        assert!(
+            checker.valid_up_to_bound(&formula),
+            "{name} refuted: {:?}",
+            checker.counterexample(&formula)
+        );
+    }
+}
+
+#[test]
+fn catalogue_instances_with_q_alphabet() {
+    // A different instantiation exercising the Q proposition of V1–V2.
+    let checker = BoundedChecker::new(["P", "Q", "A"], 2);
+    for (name, formula) in valid::catalogue() {
+        assert!(checker.valid_up_to_bound(&formula), "{name} refuted");
+    }
+}
+
+#[test]
+fn near_misses_are_refuted() {
+    let checker = BoundedChecker::new(["P", "A", "B"], 3);
+    // [I]α ⊃ α is not valid (the interval starts later than the context).
+    let not_valid = always(prop("P"))
+        .within(fwd_from(event(prop("A"))))
+        .implies(always(prop("P")));
+    assert!(checker.counterexample(&not_valid).is_some());
+    // ◇-distribution over conjunction fails: <>(P ∧ A) vs <>P ∧ <>A.
+    let wrong = eventually(prop("P"))
+        .and(eventually(prop("A")))
+        .implies(eventually(prop("P").and(prop("A"))));
+    assert!(checker.counterexample(&wrong).is_some());
+    // The converse of V8 is not valid.
+    let converse_v8 = always(prop("P"))
+        .within(fwd_from(event(prop("A"))))
+        .implies(always(prop("P")));
+    assert!(checker.counterexample(&converse_v8).is_some());
+}
+
+#[test]
+fn star_reduction_preserves_catalogue_validity() {
+    use ilogic_core::star::eliminate_star;
+    let checker = BoundedChecker::new(["P", "A", "B"], 2);
+    for (name, formula) in valid::catalogue() {
+        let reduced = eliminate_star(&formula);
+        assert!(checker.valid_up_to_bound(&reduced), "{name} reduced form refuted");
+    }
+}

@@ -1,0 +1,102 @@
+//! Executable specifications (Appendix C §8).
+//!
+//! A satisfiable low-level expression can be turned directly into a concrete
+//! schedule of events: take a consistent computation-sequence constraint from
+//! its denotation and complete it by letting every unconstrained event default
+//! to "does not occur".  The resulting schedule is a sequence of event sets,
+//! one per instant, that satisfies the specification by construction — the
+//! simplest form of the report's "automatically constructing concurrent
+//! programs from their specifications".
+
+use std::collections::BTreeSet;
+
+use crate::interp::PartialInterp;
+use crate::semantics::{satisfiable, BoundedSat, Bounds};
+use crate::syntax::LowExpr;
+
+/// A concrete schedule: the set of events occurring at each instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<BTreeSet<String>>,
+}
+
+impl Schedule {
+    /// The number of instants.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the schedule has no instants.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The events occurring at the given instant.
+    pub fn events_at(&self, instant: usize) -> &BTreeSet<String> {
+        &self.steps[instant]
+    }
+
+    /// All instants.
+    pub fn steps(&self) -> &[BTreeSet<String>] {
+        &self.steps
+    }
+}
+
+/// Completes a consistent constraint into a concrete schedule.
+pub fn complete(constraint: &PartialInterp) -> Schedule {
+    let steps = constraint
+        .conjs()
+        .iter()
+        .map(|c| {
+            c.literals()
+                .filter(|(_, positive)| *positive)
+                .map(|(var, _)| var.to_string())
+                .collect()
+        })
+        .collect();
+    Schedule { steps }
+}
+
+/// Synthesizes a schedule satisfying the expression, if one exists within the bounds.
+pub fn synthesize(expr: &LowExpr, bounds: Bounds) -> Option<Schedule> {
+    match satisfiable(expr, bounds) {
+        BoundedSat::Satisfiable(constraint) => Some(complete(&constraint)),
+        BoundedSat::NoBoundedModel => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_schedule_realizes_the_specification() {
+        // "x happens, and until then y is forbidden": iter*(~y T*, x T*).
+        let spec = LowExpr::neg("y")
+            .concat(LowExpr::TStar)
+            .iter_star(LowExpr::pos("x").concat(LowExpr::TStar));
+        let schedule = synthesize(&spec, Bounds { max_len: 4, max_interps: 10_000 })
+            .expect("specification is satisfiable");
+        // x occurs at some instant, and y never occurs before it.
+        let x_at = schedule.steps().iter().position(|s| s.contains("x")).expect("x occurs");
+        for step in &schedule.steps()[..x_at] {
+            assert!(!step.contains("y"));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_specifications_cannot_be_synthesized() {
+        let spec = LowExpr::pos("x").and(LowExpr::neg("x"));
+        assert!(synthesize(&spec, Bounds::default()).is_none());
+    }
+
+    #[test]
+    fn completion_keeps_only_positive_events() {
+        let spec = LowExpr::pos("x").seq(LowExpr::neg("y"));
+        let schedule = synthesize(&spec, Bounds::default()).unwrap();
+        assert_eq!(schedule.len(), 2);
+        assert!(schedule.events_at(0).contains("x"));
+        assert!(schedule.events_at(1).is_empty());
+        assert!(!schedule.is_empty());
+    }
+}

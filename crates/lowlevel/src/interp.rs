@@ -1,0 +1,254 @@
+//! Partial interpretations (computation sequence constraints) and the
+//! operations on them defined in Appendix C §3.
+//!
+//! A partial interpretation is a finite sequence of conjunctions of literals;
+//! each conjunction constrains one instant of time.  The expression semantics
+//! of the low-level language associates with every expression a set of partial
+//! interpretations; a formula is satisfiable if some associated interpretation
+//! contains no contradictory conjunction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conjunction of literals constraining a single instant: each entry maps a
+/// variable to the required truth value; a variable that is absent is
+/// unconstrained.  A special flag records a contradictory conjunction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Conj {
+    literals: BTreeMap<String, bool>,
+    contradictory: bool,
+}
+
+impl Conj {
+    /// The empty (always satisfiable) conjunction `T`.
+    pub fn top() -> Conj {
+        Conj::default()
+    }
+
+    /// A single-literal conjunction.
+    pub fn lit(var: impl Into<String>, positive: bool) -> Conj {
+        let mut c = Conj::default();
+        c.literals.insert(var.into(), positive);
+        c
+    }
+
+    /// A contradictory conjunction.
+    pub fn bottom() -> Conj {
+        Conj { literals: BTreeMap::new(), contradictory: true }
+    }
+
+    /// `true` if the conjunction is contradictory.
+    pub fn is_contradictory(&self) -> bool {
+        self.contradictory
+    }
+
+    /// The required value of a variable, if constrained.
+    pub fn value(&self, var: &str) -> Option<bool> {
+        self.literals.get(var).copied()
+    }
+
+    /// The conjunction of two conjunctions.
+    pub fn and(&self, other: &Conj) -> Conj {
+        let mut result = self.clone();
+        result.contradictory |= other.contradictory;
+        for (var, &value) in &other.literals {
+            match result.literals.get(var) {
+                Some(&existing) if existing != value => result.contradictory = true,
+                _ => {
+                    result.literals.insert(var.clone(), value);
+                }
+            }
+        }
+        result
+    }
+
+    /// Removes the variable from the conjunction (the `∃x` hiding operation).
+    pub fn hide(&self, var: &str) -> Conj {
+        let mut result = self.clone();
+        result.literals.remove(var);
+        result
+    }
+
+    /// Adds `var = value` unless the variable is already constrained
+    /// (the `Fx` / `Tx` default operations).
+    pub fn default_to(&self, var: &str, value: bool) -> Conj {
+        let mut result = self.clone();
+        result.literals.entry(var.to_string()).or_insert(value);
+        result
+    }
+
+    /// Iterates over the constrained variables and their required values.
+    pub fn literals(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.literals.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Conj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contradictory {
+            return write!(f, "false");
+        }
+        if self.literals.is_empty() {
+            return write!(f, "T");
+        }
+        let parts: Vec<String> = self
+            .literals
+            .iter()
+            .map(|(v, &b)| if b { v.clone() } else { format!("~{v}") })
+            .collect();
+        write!(f, "{}", parts.join("&"))
+    }
+}
+
+/// A partial interpretation: a finite sequence of conjunctions.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartialInterp {
+    conjs: Vec<Conj>,
+}
+
+impl PartialInterp {
+    /// The interpretation of length one constraining nothing.
+    pub fn unit() -> PartialInterp {
+        PartialInterp { conjs: vec![Conj::top()] }
+    }
+
+    /// An interpretation from a list of conjunctions.
+    pub fn from_conjs(conjs: Vec<Conj>) -> PartialInterp {
+        PartialInterp { conjs }
+    }
+
+    /// Length (number of instants).
+    pub fn len(&self) -> usize {
+        self.conjs.len()
+    }
+
+    /// `true` if the interpretation has no instants.
+    pub fn is_empty(&self) -> bool {
+        self.conjs.is_empty()
+    }
+
+    /// The conjunctions.
+    pub fn conjs(&self) -> &[Conj] {
+        &self.conjs
+    }
+
+    /// `true` if no conjunction is contradictory.
+    pub fn is_consistent(&self) -> bool {
+        !self.conjs.iter().any(Conj::is_contradictory)
+    }
+
+    /// `I ∧ J`: pointwise conjunction, the longer extending past the shorter
+    /// (Appendix C §3).
+    pub fn and(&self, other: &PartialInterp) -> PartialInterp {
+        let len = self.len().max(other.len());
+        let mut conjs = Vec::with_capacity(len);
+        for i in 0..len {
+            let c = match (self.conjs.get(i), other.conjs.get(i)) {
+                (Some(a), Some(b)) => a.and(b),
+                (Some(a), None) => a.clone(),
+                (None, Some(b)) => b.clone(),
+                (None, None) => unreachable!("index below max length"),
+            };
+            conjs.push(c);
+        }
+        PartialInterp { conjs }
+    }
+
+    /// `IJ`: concatenation with a one-instant overlap.
+    pub fn concat(&self, other: &PartialInterp) -> PartialInterp {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut conjs = self.conjs[..self.len() - 1].to_vec();
+        conjs.push(self.conjs[self.len() - 1].and(&other.conjs[0]));
+        conjs.extend(other.conjs[1..].iter().cloned());
+        PartialInterp { conjs }
+    }
+
+    /// `I;J`: concatenation without overlap.
+    pub fn seq(&self, other: &PartialInterp) -> PartialInterp {
+        let mut conjs = self.conjs.clone();
+        conjs.extend(other.conjs.iter().cloned());
+        PartialInterp { conjs }
+    }
+
+    /// `∃x I`: deletes `x` from every conjunction.
+    pub fn hide(&self, var: &str) -> PartialInterp {
+        PartialInterp { conjs: self.conjs.iter().map(|c| c.hide(var)).collect() }
+    }
+
+    /// `Fx I` / `Tx I`: defaults `x` to the given value wherever unspecified.
+    pub fn default_to(&self, var: &str, value: bool) -> PartialInterp {
+        PartialInterp { conjs: self.conjs.iter().map(|c| c.default_to(var, value)).collect() }
+    }
+}
+
+impl fmt::Display for PartialInterp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.conjs.iter().map(ToString::to_string).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(var: &str) -> Conj {
+        Conj::lit(var, true)
+    }
+    fn n(var: &str) -> Conj {
+        Conj::lit(var, false)
+    }
+
+    #[test]
+    fn conjunction_detects_contradictions() {
+        assert!(p("x").and(&n("x")).is_contradictory());
+        assert!(!p("x").and(&p("y")).is_contradictory());
+        assert_eq!(p("x").and(&p("x")), p("x"));
+    }
+
+    #[test]
+    fn pointwise_and_extends_the_shorter_operand() {
+        let a = PartialInterp::from_conjs(vec![p("x"), p("y")]);
+        let b = PartialInterp::from_conjs(vec![n("z")]);
+        let c = a.and(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.conjs()[0], p("x").and(&n("z")));
+        assert_eq!(c.conjs()[1], p("y"));
+    }
+
+    #[test]
+    fn concat_overlaps_by_one_instant() {
+        let a = PartialInterp::from_conjs(vec![p("x"), p("y")]);
+        let b = PartialInterp::from_conjs(vec![p("z"), p("w")]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.conjs()[1], p("y").and(&p("z")));
+        let d = a.seq(&b);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn hiding_and_defaults() {
+        let a = PartialInterp::from_conjs(vec![p("x").and(&p("y")), Conj::top()]);
+        let hidden = a.hide("x");
+        assert_eq!(hidden.conjs()[0].value("x"), None);
+        assert_eq!(hidden.conjs()[0].value("y"), Some(true));
+        let defaulted = a.default_to("z", false);
+        assert_eq!(defaulted.conjs()[1].value("z"), Some(false));
+        // Defaults do not overwrite existing constraints.
+        assert_eq!(a.default_to("x", false).conjs()[0].value("x"), Some(true));
+    }
+
+    #[test]
+    fn consistency_check() {
+        let good = PartialInterp::from_conjs(vec![p("x"), n("x")]);
+        assert!(good.is_consistent());
+        let bad = PartialInterp::from_conjs(vec![p("x").and(&n("x"))]);
+        assert!(!bad.is_consistent());
+    }
+}

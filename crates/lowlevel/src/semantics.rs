@@ -1,0 +1,322 @@
+//! Set-of-constraints semantics for the low-level language (Appendix C §3) and
+//! a bounded satisfiability check.
+//!
+//! The denotation `Ψ(α)` of an expression is in general an infinite set of
+//! finite *and infinite* partial interpretations; the report decides
+//! satisfiability with a graph construction of nonelementary complexity.  This
+//! module computes the denotation restricted to interpretations of bounded
+//! length — exact for the iteration-free fragment, and a faithful finite
+//! unrolling of `infloop` / `iter*` / `iter(*)` up to the bound — which is
+//! sufficient to reproduce the report's examples (§1.1, §3, §4.3) and to
+//! cross-check the translations of §5 and §7.  A `Satisfiable` answer is
+//! always correct; `NoBoundedModel` means no model exists within the bound.
+
+use crate::interp::{Conj, PartialInterp};
+use crate::syntax::LowExpr;
+
+/// Resource bounds for the bounded denotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bounds {
+    /// Maximum interpretation length considered.
+    pub max_len: usize,
+    /// Maximum number of interpretations kept per subexpression.
+    pub max_interps: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Bounds {
+        Bounds { max_len: 6, max_interps: 20_000 }
+    }
+}
+
+/// Outcome of the bounded satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedSat {
+    /// A consistent constraint of the given shape exists (a genuine model).
+    Satisfiable(PartialInterp),
+    /// No consistent constraint exists within the bound.
+    NoBoundedModel,
+}
+
+impl BoundedSat {
+    /// `true` if a model was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, BoundedSat::Satisfiable(_))
+    }
+}
+
+/// Computes the denotation of `expr` restricted to interpretations of length at
+/// most `bounds.max_len`.
+pub fn denotation(expr: &LowExpr, bounds: Bounds) -> Vec<PartialInterp> {
+    let mut result = denote(expr, bounds);
+    result.retain(|i| i.len() <= bounds.max_len && !i.is_empty());
+    result.sort();
+    result.dedup();
+    result
+}
+
+fn cap(mut v: Vec<PartialInterp>, bounds: Bounds) -> Vec<PartialInterp> {
+    v.retain(|i| i.len() <= bounds.max_len);
+    v.sort();
+    v.dedup();
+    if v.len() > bounds.max_interps {
+        v.truncate(bounds.max_interps);
+    }
+    v
+}
+
+fn denote(expr: &LowExpr, bounds: Bounds) -> Vec<PartialInterp> {
+    match expr {
+        LowExpr::Lit { var, positive } => {
+            vec![PartialInterp::from_conjs(vec![Conj::lit(var.clone(), *positive)])]
+        }
+        LowExpr::T => vec![PartialInterp::unit()],
+        LowExpr::F => Vec::new(),
+        LowExpr::TStar => (1..=bounds.max_len)
+            .map(|n| PartialInterp::from_conjs(vec![Conj::top(); n]))
+            .collect(),
+        LowExpr::And(a, b) => {
+            let da = denote(a, bounds);
+            let db = denote(b, bounds);
+            cap(
+                da.iter().flat_map(|i| db.iter().map(move |j| i.and(j))).collect(),
+                bounds,
+            )
+        }
+        LowExpr::SameLength(a, b) => {
+            let da = denote(a, bounds);
+            let db = denote(b, bounds);
+            cap(
+                da.iter()
+                    .flat_map(|i| {
+                        db.iter().filter(|j| j.len() == i.len()).map(move |j| i.and(j))
+                    })
+                    .collect(),
+                bounds,
+            )
+        }
+        LowExpr::Or(a, b) => {
+            let mut v = denote(a, bounds);
+            v.extend(denote(b, bounds));
+            cap(v, bounds)
+        }
+        LowExpr::Concat(a, b) => {
+            let da = denote(a, bounds);
+            let db = denote(b, bounds);
+            cap(
+                da.iter().flat_map(|i| db.iter().map(move |j| i.concat(j))).collect(),
+                bounds,
+            )
+        }
+        LowExpr::Seq(a, b) => {
+            let da = denote(a, bounds);
+            let db = denote(b, bounds);
+            cap(
+                da.iter().flat_map(|i| db.iter().map(move |j| i.seq(j))).collect(),
+                bounds,
+            )
+        }
+        LowExpr::Exists(x, a) => {
+            cap(denote(a, bounds).iter().map(|i| i.hide(x)).collect(), bounds)
+        }
+        LowExpr::ForceFalse(x, a) => {
+            cap(denote(a, bounds).iter().map(|i| i.default_to(x, false)).collect(), bounds)
+        }
+        LowExpr::ForceTrue(x, a) => {
+            cap(denote(a, bounds).iter().map(|i| i.default_to(x, true)).collect(), bounds)
+        }
+        LowExpr::Infloop(a) => {
+            // α ∧ (T;α) ∧ (T²;α) ∧ ... truncated at the length bound.
+            let da = denote(a, bounds);
+            let mut result = da.clone();
+            for shift in 1..bounds.max_len {
+                let shifted: Vec<PartialInterp> = da
+                    .iter()
+                    .map(|i| {
+                        PartialInterp::from_conjs(vec![Conj::top(); shift]).seq(i)
+                    })
+                    .collect();
+                result = cap(
+                    result
+                        .iter()
+                        .flat_map(|i| shifted.iter().map(move |j| i.and(j)))
+                        .collect(),
+                    bounds,
+                );
+                if result.is_empty() {
+                    break;
+                }
+            }
+            result
+        }
+        LowExpr::IterStar(a, b) => {
+            // ∨_j [ α as (T;α) as ... as (Tʲ;α) as (Tʲ⁺¹;β) ]
+            let da = denote(a, bounds);
+            let db = denote(b, bounds);
+            let mut result = Vec::new();
+            for j in 0..bounds.max_len {
+                // Build the same-length conjunction of the shifted copies.
+                let mut layer: Vec<PartialInterp> = shift_set(&da, 0);
+                for s in 1..=j {
+                    layer = same_length_product(&layer, &shift_set(&da, s), bounds);
+                    if layer.is_empty() {
+                        break;
+                    }
+                }
+                let with_b = same_length_product(&layer, &shift_set(&db, j + 1), bounds);
+                result.extend(with_b);
+                result = cap(result, bounds);
+            }
+            result
+        }
+        LowExpr::IterWeak(a, b) => {
+            let mut v = denote(&LowExpr::Infloop(a.clone()), bounds);
+            v.extend(denote(&LowExpr::IterStar(a.clone(), b.clone()), bounds));
+            cap(v, bounds)
+        }
+    }
+}
+
+fn shift_set(set: &[PartialInterp], shift: usize) -> Vec<PartialInterp> {
+    set.iter()
+        .map(|i| {
+            if shift == 0 {
+                i.clone()
+            } else {
+                PartialInterp::from_conjs(vec![Conj::top(); shift]).seq(i)
+            }
+        })
+        .collect()
+}
+
+fn same_length_product(
+    a: &[PartialInterp],
+    b: &[PartialInterp],
+    bounds: Bounds,
+) -> Vec<PartialInterp> {
+    cap(
+        a.iter()
+            .flat_map(|i| b.iter().filter(|j| j.len() == i.len()).map(move |j| i.and(j)))
+            .collect(),
+        bounds,
+    )
+}
+
+/// Bounded satisfiability: searches the bounded denotation for a consistent constraint.
+pub fn satisfiable(expr: &LowExpr, bounds: Bounds) -> BoundedSat {
+    for interp in denotation(expr, bounds) {
+        if interp.is_consistent() {
+            return BoundedSat::Satisfiable(interp);
+        }
+    }
+    BoundedSat::NoBoundedModel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LowExpr {
+        LowExpr::pos("x")
+    }
+    fn not_x() -> LowExpr {
+        LowExpr::neg("x")
+    }
+
+    #[test]
+    fn literals_and_constants() {
+        let b = Bounds::default();
+        assert!(satisfiable(&x(), b).is_sat());
+        assert!(!satisfiable(&LowExpr::F, b).is_sat());
+        assert_eq!(denotation(&LowExpr::TStar, Bounds { max_len: 3, max_interps: 100 }).len(), 3);
+    }
+
+    #[test]
+    fn contradiction_via_same_instant_conjunction() {
+        let b = Bounds::default();
+        assert!(!satisfiable(&x().and(not_x()), b).is_sat());
+        // In sequence the two literals are compatible.
+        assert!(satisfiable(&x().seq(not_x()), b).is_sat());
+        // Overlapping concatenation of contradictory instants is contradictory.
+        assert!(!satisfiable(&x().concat(not_x()), b).is_sat());
+    }
+
+    #[test]
+    fn section_4_3_example_iter_star() {
+        // iter*(x T*, q) is equivalent to ∨ᵢ xᶦ ; q : every consistent model has
+        // x constrained true at every instant before the final q instant.
+        let expr = x().concat(LowExpr::TStar).iter_star(LowExpr::pos("q"));
+        let models = denotation(&expr, Bounds { max_len: 4, max_interps: 50_000 });
+        assert!(!models.is_empty());
+        for m in models.iter().filter(|m| m.is_consistent()) {
+            let last = m.len() - 1;
+            assert_eq!(m.conjs()[last].value("q"), Some(true), "model {m}");
+            for i in 0..last {
+                assert_eq!(m.conjs()[i].value("x"), Some(true), "model {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_false_makes_unspecified_instants_false() {
+        // (Fx)(T* x): x occurs exactly at the final instant of the prefix.
+        let expr = LowExpr::TStar.concat(x()).force_false("x");
+        for m in denotation(&expr, Bounds { max_len: 4, max_interps: 1000 }) {
+            let last = m.len() - 1;
+            assert_eq!(m.conjs()[last].value("x"), Some(true));
+            for i in 0..last {
+                assert_eq!(m.conjs()[i].value("x"), Some(false));
+            }
+        }
+    }
+
+    #[test]
+    fn hiding_removes_the_variable() {
+        let expr = x().and(LowExpr::pos("y")).exists("x");
+        for m in denotation(&expr, Bounds::default()) {
+            assert_eq!(m.conjs()[0].value("x"), None);
+            assert_eq!(m.conjs()[0].value("y"), Some(true));
+        }
+    }
+
+    #[test]
+    fn synchronization_example_from_section_3() {
+        // (Fx)(T* x α) ∧ (Fy)(T* y β) ∧ (Fx)(Fy)(T* x T* y):
+        // α begins no later than β begins.  With α = a, β = b and a length
+        // bound, every consistent model places the (hidden) start marker of α
+        // at or before that of β.
+        let alpha = LowExpr::pos("a");
+        let beta = LowExpr::pos("b");
+        let marked_alpha = LowExpr::TStar.concat(x().concat(alpha)).force_false("x");
+        let marked_beta = LowExpr::TStar.concat(LowExpr::pos("y").concat(beta)).force_false("y");
+        let ordering = LowExpr::TStar
+            .concat(x().concat(LowExpr::TStar.concat(LowExpr::pos("y"))))
+            .force_false("x")
+            .force_false("y");
+        let combined = marked_alpha.and(marked_beta).and(ordering);
+        let sat = satisfiable(&combined, Bounds { max_len: 4, max_interps: 50_000 });
+        assert!(sat.is_sat());
+        if let BoundedSat::Satisfiable(m) = sat {
+            let x_pos = m.conjs().iter().position(|c| c.value("x") == Some(true));
+            let y_pos = m.conjs().iter().position(|c| c.value("y") == Some(true));
+            if let (Some(xp), Some(yp)) = (x_pos, y_pos) {
+                assert!(xp <= yp, "α must begin no later than β in {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn infloop_forces_the_property_at_every_instant() {
+        // infloop(x) constrains x at every instant of the bounded unrolling.
+        let models = denotation(&x().infloop(), Bounds { max_len: 3, max_interps: 1000 });
+        assert!(!models.is_empty());
+        for m in models {
+            for c in m.conjs() {
+                assert_eq!(c.value("x"), Some(true));
+            }
+        }
+        // infloop(x) ∧ (T;~x) is contradictory.
+        let clash = x().infloop().and(LowExpr::T.seq(not_x()));
+        assert!(!satisfiable(&clash, Bounds { max_len: 3, max_interps: 1000 }).is_sat());
+    }
+}

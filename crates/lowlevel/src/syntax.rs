@@ -1,0 +1,223 @@
+//! Syntax of the low-level language of Appendix C.
+//!
+//! The language is a generalization of regular expressions over *computation
+//! sequence constraints*: each expression denotes a set of finite or infinite
+//! sequences of conjunctions of literals, specifying which events must or must
+//! not occur at successive instants of time.  The connectives are those of
+//! Appendix C §2: literals, the constants `T`, `F`, `T*`, concurrent
+//! conjunction (`∧`), same-length conjunction (`as`), nondeterministic choice
+//! (`∨`), overlapping concatenation, non-overlapping concatenation (`;`), the
+//! quantifiers `∃x` (hiding), `Fx` (default-false) and `Tx` (default-true), and
+//! the iteration operators `infloop`, `iter*` and `iter(*)`.
+
+use std::fmt;
+
+/// An expression of the low-level language.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LowExpr {
+    /// A propositional variable required to occur (`x`) or not (`¬x`) at a
+    /// single instant.
+    Lit {
+        /// Variable name.
+        var: String,
+        /// `true` for `x`, `false` for `x̄`.
+        positive: bool,
+    },
+    /// `T`: any single instant.
+    T,
+    /// `F`: no computation sequence.
+    F,
+    /// `T*`: any finite or infinite computation sequence.
+    TStar,
+    /// Concurrent conjunction: both run together, the longer extending past the shorter.
+    And(Box<LowExpr>, Box<LowExpr>),
+    /// Same-length conjunction (`as`).
+    SameLength(Box<LowExpr>, Box<LowExpr>),
+    /// Nondeterministic choice.
+    Or(Box<LowExpr>, Box<LowExpr>),
+    /// Concatenation with a one-instant overlap (`αβ`).
+    Concat(Box<LowExpr>, Box<LowExpr>),
+    /// Concatenation without overlap (`α;β`).
+    Seq(Box<LowExpr>, Box<LowExpr>),
+    /// `∃x α`: the event `x` is hidden (deleted from all conjunctions).
+    Exists(String, Box<LowExpr>),
+    /// `Fx α`: `x` is made false wherever `α` does not specify it.
+    ForceFalse(String, Box<LowExpr>),
+    /// `Tx α`: `x` is made true wherever `α` does not specify it.
+    ForceTrue(String, Box<LowExpr>),
+    /// `α∞`: a copy of `α` is begun at every successive instant, forever.
+    Infloop(Box<LowExpr>),
+    /// `iter*(α, β)`: copies of `α` are begun at successive instants until `β`
+    /// is begun, which must eventually happen.
+    IterStar(Box<LowExpr>, Box<LowExpr>),
+    /// `iter(*)(α, β)`: like `iter*` but `β` need never be begun
+    /// (equivalently `infloop(α) ∨ iter*(α, β)`).
+    IterWeak(Box<LowExpr>, Box<LowExpr>),
+}
+
+impl LowExpr {
+    /// A positive literal.
+    pub fn pos(var: impl Into<String>) -> LowExpr {
+        LowExpr::Lit { var: var.into(), positive: true }
+    }
+
+    /// A negative literal.
+    pub fn neg(var: impl Into<String>) -> LowExpr {
+        LowExpr::Lit { var: var.into(), positive: false }
+    }
+
+    /// Concurrent conjunction.
+    pub fn and(self, other: LowExpr) -> LowExpr {
+        LowExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Same-length conjunction.
+    pub fn same_length(self, other: LowExpr) -> LowExpr {
+        LowExpr::SameLength(Box::new(self), Box::new(other))
+    }
+
+    /// Nondeterministic choice.
+    pub fn or(self, other: LowExpr) -> LowExpr {
+        LowExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Overlapping concatenation.
+    pub fn concat(self, other: LowExpr) -> LowExpr {
+        LowExpr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Non-overlapping concatenation.
+    pub fn seq(self, other: LowExpr) -> LowExpr {
+        LowExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Hiding.
+    pub fn exists(self, var: impl Into<String>) -> LowExpr {
+        LowExpr::Exists(var.into(), Box::new(self))
+    }
+
+    /// Default-false quantifier.
+    pub fn force_false(self, var: impl Into<String>) -> LowExpr {
+        LowExpr::ForceFalse(var.into(), Box::new(self))
+    }
+
+    /// Default-true quantifier.
+    pub fn force_true(self, var: impl Into<String>) -> LowExpr {
+        LowExpr::ForceTrue(var.into(), Box::new(self))
+    }
+
+    /// `infloop(self)`.
+    pub fn infloop(self) -> LowExpr {
+        LowExpr::Infloop(Box::new(self))
+    }
+
+    /// `iter*(self, until)`.
+    pub fn iter_star(self, until: LowExpr) -> LowExpr {
+        LowExpr::IterStar(Box::new(self), Box::new(until))
+    }
+
+    /// `iter(*)(self, until)`.
+    pub fn iter_weak(self, until: LowExpr) -> LowExpr {
+        LowExpr::IterWeak(Box::new(self), Box::new(until))
+    }
+
+    /// The number of connectives and literals in the expression.
+    pub fn size(&self) -> usize {
+        match self {
+            LowExpr::Lit { .. } | LowExpr::T | LowExpr::F | LowExpr::TStar => 1,
+            LowExpr::Exists(_, a)
+            | LowExpr::ForceFalse(_, a)
+            | LowExpr::ForceTrue(_, a)
+            | LowExpr::Infloop(a) => 1 + a.size(),
+            LowExpr::And(a, b)
+            | LowExpr::SameLength(a, b)
+            | LowExpr::Or(a, b)
+            | LowExpr::Concat(a, b)
+            | LowExpr::Seq(a, b)
+            | LowExpr::IterStar(a, b)
+            | LowExpr::IterWeak(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// The free propositional variables of the expression.
+    pub fn free_vars(&self) -> Vec<String> {
+        fn go(expr: &LowExpr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            match expr {
+                LowExpr::Lit { var, .. } => {
+                    if !bound.contains(var) && !out.contains(var) {
+                        out.push(var.clone());
+                    }
+                }
+                LowExpr::T | LowExpr::F | LowExpr::TStar => {}
+                LowExpr::Exists(x, a) => {
+                    bound.push(x.clone());
+                    go(a, bound, out);
+                    bound.pop();
+                }
+                // Fx and Tx do not bind x (Appendix C §2).
+                LowExpr::ForceFalse(_, a) | LowExpr::ForceTrue(_, a) | LowExpr::Infloop(a) => {
+                    go(a, bound, out)
+                }
+                LowExpr::And(a, b)
+                | LowExpr::SameLength(a, b)
+                | LowExpr::Or(a, b)
+                | LowExpr::Concat(a, b)
+                | LowExpr::Seq(a, b)
+                | LowExpr::IterStar(a, b)
+                | LowExpr::IterWeak(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for LowExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowExpr::Lit { var, positive } => {
+                if *positive {
+                    write!(f, "{var}")
+                } else {
+                    write!(f, "~{var}")
+                }
+            }
+            LowExpr::T => write!(f, "T"),
+            LowExpr::F => write!(f, "F"),
+            LowExpr::TStar => write!(f, "T*"),
+            LowExpr::And(a, b) => write!(f, "({a} & {b})"),
+            LowExpr::SameLength(a, b) => write!(f, "({a} as {b})"),
+            LowExpr::Or(a, b) => write!(f, "({a} | {b})"),
+            LowExpr::Concat(a, b) => write!(f, "({a} {b})"),
+            LowExpr::Seq(a, b) => write!(f, "({a} ; {b})"),
+            LowExpr::Exists(x, a) => write!(f, "(exists {x}. {a})"),
+            LowExpr::ForceFalse(x, a) => write!(f, "(F{x}. {a})"),
+            LowExpr::ForceTrue(x, a) => write!(f, "(T{x}. {a})"),
+            LowExpr::Infloop(a) => write!(f, "infloop({a})"),
+            LowExpr::IterStar(a, b) => write!(f, "iter*({a}, {b})"),
+            LowExpr::IterWeak(a, b) => write!(f, "iter(*)({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_size() {
+        let e = LowExpr::pos("x").concat(LowExpr::TStar).iter_star(LowExpr::pos("q"));
+        assert_eq!(e.size(), 5);
+        assert!(e.to_string().contains("iter*"));
+    }
+
+    #[test]
+    fn free_variables_respect_hiding_only() {
+        let e = LowExpr::pos("x").and(LowExpr::neg("y")).exists("x").force_false("y");
+        assert_eq!(e.free_vars(), vec!["y".to_string()]);
+    }
+}

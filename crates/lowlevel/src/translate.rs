@@ -1,0 +1,188 @@
+//! Translations into the low-level language.
+//!
+//! * [`from_ltl`] — the encoding of discrete linear-time temporal logic given
+//!   in Appendix C §7: `U(x, y)` becomes `iter(*)(x, y)`, "next" becomes
+//!   `T; x`, "henceforth" becomes `infloop`, "eventually" becomes
+//!   `iter*(T*, x)`, a proposition `p` becomes `p T*` and its negation `p̄ T*`.
+//!   Negation must be pushed to the atoms first (the report notes "it is
+//!   possible to do this"); formulas whose negations cannot be pushed inside
+//!   `U` are rejected.
+//! * [`from_interval`] — interval-logic formulas are translated by composing
+//!   the interval-logic → LTL reduction of `ilogic-core` (the practical
+//!   fragment of the §5 translation) with [`from_ltl`].
+
+use std::fmt;
+
+use ilogic_core::ltl_translate::{self, TranslateError as IlError};
+use ilogic_core::syntax::Formula;
+use ilogic_temporal::syntax::{Atom, Ltl};
+
+use crate::syntax::LowExpr;
+
+/// Errors from the translations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The formula contains an atom that is not a plain proposition.
+    NonPropositionalAtom(String),
+    /// Negation could not be pushed to the atoms.
+    UnsupportedNegation(String),
+    /// The interval-logic formula is outside the LTL-translatable fragment.
+    Interval(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NonPropositionalAtom(a) => {
+                write!(f, "atom {a} is not a plain proposition")
+            }
+            TranslateError::UnsupportedNegation(what) => {
+                write!(f, "cannot push negation through {what}")
+            }
+            TranslateError::Interval(what) => write!(f, "interval-logic translation failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<IlError> for TranslateError {
+    fn from(value: IlError) -> TranslateError {
+        TranslateError::Interval(value.to_string())
+    }
+}
+
+/// Translates an LTL formula into the low-level language (Appendix C §7).
+pub fn from_ltl(formula: &Ltl) -> Result<LowExpr, TranslateError> {
+    translate(formula, true)
+}
+
+/// Translates an interval-logic formula (in the fragment supported by
+/// [`ilogic_core::ltl_translate`]) into the low-level language.
+pub fn from_interval(formula: &Formula) -> Result<LowExpr, TranslateError> {
+    let ltl = ltl_translate::to_ltl(formula)?;
+    from_ltl(&ltl)
+}
+
+fn prop_name(atom: &Atom) -> Result<String, TranslateError> {
+    match atom {
+        Atom::Prop(name) => Ok(name.clone()),
+        other => Err(TranslateError::NonPropositionalAtom(other.to_string())),
+    }
+}
+
+fn translate(formula: &Ltl, positive: bool) -> Result<LowExpr, TranslateError> {
+    match formula {
+        Ltl::True => Ok(if positive { LowExpr::TStar } else { LowExpr::F }),
+        Ltl::False => Ok(if positive { LowExpr::F } else { LowExpr::TStar }),
+        Ltl::Atom(atom) => {
+            let name = prop_name(atom)?;
+            let lit = LowExpr::Lit { var: name, positive };
+            Ok(lit.concat(LowExpr::TStar))
+        }
+        Ltl::Not(inner) => translate(inner, !positive),
+        Ltl::And(a, b) => {
+            let (ta, tb) = (translate(a, positive)?, translate(b, positive)?);
+            Ok(if positive { ta.and(tb) } else { ta.or(tb) })
+        }
+        Ltl::Or(a, b) => {
+            let (ta, tb) = (translate(a, positive)?, translate(b, positive)?);
+            Ok(if positive { ta.or(tb) } else { ta.and(tb) })
+        }
+        Ltl::Next(a) => Ok(LowExpr::T.seq(translate(a, positive)?)),
+        Ltl::Always(a) => {
+            if positive {
+                Ok(translate(a, true)?.infloop())
+            } else {
+                // ¬□a ≡ ◇¬a ≡ iter*(T*, ¬a)
+                Ok(LowExpr::TStar.iter_star(translate(a, false)?))
+            }
+        }
+        Ltl::Eventually(a) => {
+            if positive {
+                Ok(LowExpr::TStar.iter_star(translate(a, true)?))
+            } else {
+                Ok(translate(a, false)?.infloop())
+            }
+        }
+        Ltl::Until(p, q) => {
+            if positive {
+                Ok(translate(p, true)?.iter_weak(translate(q, true)?))
+            } else {
+                Err(TranslateError::UnsupportedNegation(format!("U({p}, {q})")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{satisfiable, Bounds};
+    use ilogic_core::dsl;
+
+    fn p() -> Ltl {
+        Ltl::prop("P")
+    }
+    fn q() -> Ltl {
+        Ltl::prop("Q")
+    }
+
+    #[test]
+    fn shapes_of_the_section_7_encoding() {
+        assert_eq!(from_ltl(&p()).unwrap(), LowExpr::pos("P").concat(LowExpr::TStar));
+        assert_eq!(
+            from_ltl(&p().not()).unwrap(),
+            LowExpr::neg("P").concat(LowExpr::TStar)
+        );
+        assert!(matches!(from_ltl(&p().always()).unwrap(), LowExpr::Infloop(_)));
+        assert!(matches!(from_ltl(&p().eventually()).unwrap(), LowExpr::IterStar(_, _)));
+        assert!(matches!(from_ltl(&p().until(q())).unwrap(), LowExpr::IterWeak(_, _)));
+        assert!(matches!(from_ltl(&p().next()).unwrap(), LowExpr::Seq(_, _)));
+    }
+
+    #[test]
+    fn satisfiability_is_preserved_on_simple_formulas() {
+        let bounds = Bounds { max_len: 4, max_interps: 50_000 };
+        // Satisfiable: ◇P ∧ ◇¬P.
+        let sat = p().eventually().and(p().not().eventually());
+        assert!(satisfiable(&from_ltl(&sat).unwrap(), bounds).is_sat());
+        // Unsatisfiable: □P ∧ ◇¬P.
+        let unsat = p().always().and(p().not().eventually());
+        assert!(!satisfiable(&from_ltl(&unsat).unwrap(), bounds).is_sat());
+        // Unsatisfiable: P ∧ ¬P.
+        let clash = p().and(p().not());
+        assert!(!satisfiable(&from_ltl(&clash).unwrap(), bounds).is_sat());
+    }
+
+    #[test]
+    fn negation_is_pushed_through_compounds() {
+        // ¬(□P ∨ ◇Q) ≡ ◇¬P ∧ □¬Q.
+        let f = p().always().or(q().eventually()).not();
+        let low = from_ltl(&f).unwrap();
+        assert!(low.to_string().contains("infloop"));
+        assert!(low.to_string().contains("iter*"));
+    }
+
+    #[test]
+    fn negated_until_is_rejected() {
+        assert!(from_ltl(&p().until(q()).not()).is_err());
+        let err = from_ltl(&Ltl::cmp(
+            ilogic_temporal::syntax::Term::var("x"),
+            ilogic_temporal::syntax::CmpOp::Gt,
+            ilogic_temporal::syntax::Term::int(0),
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("proposition"));
+    }
+
+    #[test]
+    fn interval_formulas_translate_through_the_ltl_fragment() {
+        let f = dsl::always(dsl::prop("P")).within(dsl::fwd_to(dsl::event(dsl::prop("Q"))));
+        let low = from_interval(&f).expect("fragment formula");
+        assert!(low.size() > 1);
+        let unsupported =
+            dsl::always(dsl::prop("P")).within(dsl::bwd_from(dsl::event(dsl::prop("Q"))));
+        assert!(from_interval(&unsupported).is_err());
+    }
+}

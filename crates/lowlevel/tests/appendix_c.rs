@@ -1,0 +1,234 @@
+//! Integration tests for Appendix C: the graph construction of §4.1/§4.3, the
+//! iteration method of §4.4, and cross-validation of the graph-based decision
+//! procedure against the bounded denotational semantics of §3.
+
+use std::collections::BTreeSet;
+
+use ilogic_lowlevel::decide::{accepted_interps, prune, satisfiable_graph, GraphSat};
+use ilogic_lowlevel::graph::{build_graph, GraphBuilder, GraphLimits};
+use ilogic_lowlevel::interp::PartialInterp;
+use ilogic_lowlevel::semantics::{denotation, satisfiable, BoundedSat, Bounds};
+use ilogic_lowlevel::syntax::LowExpr;
+use proptest::prelude::*;
+
+fn x() -> LowExpr {
+    LowExpr::pos("x")
+}
+fn y() -> LowExpr {
+    LowExpr::pos("y")
+}
+fn q() -> LowExpr {
+    LowExpr::pos("q")
+}
+
+const LEN: usize = 5;
+
+fn bounds() -> Bounds {
+    Bounds { max_len: LEN, max_interps: 100_000 }
+}
+
+/// Consistent bounded denotation, as a set.
+fn denoted(expr: &LowExpr) -> BTreeSet<PartialInterp> {
+    denotation(expr, bounds()).into_iter().filter(PartialInterp::is_consistent).collect()
+}
+
+/// Finite constraints accepted by the graph, as a set.
+fn accepted(expr: &LowExpr) -> BTreeSet<PartialInterp> {
+    let graph = build_graph(expr).expect("graph construction within limits");
+    accepted_interps(&graph, LEN, 200_000).into_iter().collect()
+}
+
+/// The two procedures must produce exactly the same finite constraints for
+/// iteration-free expressions (for which the bounded denotation is exact).
+fn assert_exact_agreement(expr: &LowExpr) {
+    let lhs = denoted(expr);
+    let rhs = accepted(expr);
+    assert_eq!(lhs, rhs, "denotation and graph disagree on {expr}");
+}
+
+#[test]
+fn graph_and_denotation_agree_on_the_core_connectives() {
+    let cases = vec![
+        x(),
+        LowExpr::neg("x"),
+        LowExpr::T,
+        LowExpr::F,
+        LowExpr::TStar,
+        x().or(y()),
+        x().and(y()),
+        x().and(LowExpr::neg("x")),
+        x().same_length(y()),
+        x().same_length(y().seq(q())),
+        x().concat(y()),
+        x().seq(y()),
+        x().seq(y()).seq(q()),
+        x().seq(LowExpr::TStar),
+        LowExpr::TStar.concat(x()),
+        x().or(y()).seq(q()),
+        x().and(y().seq(q())),
+        x().seq(y()).and(LowExpr::TStar.concat(q())),
+        x().and(LowExpr::neg("y")).exists("x"),
+        LowExpr::TStar.concat(x()).force_false("x"),
+        LowExpr::T.seq(LowExpr::T).force_true("y"),
+        x().or(y()).and(LowExpr::neg("x")),
+        x().concat(y()).or(y().concat(x())),
+        x().seq(LowExpr::neg("x")).seq(x()),
+    ];
+    for expr in &cases {
+        assert_exact_agreement(expr);
+    }
+}
+
+#[test]
+fn graph_and_denotation_agree_on_iter_star_examples() {
+    // iter*(x·T*, q) — the §4.3 example — and variants with a two-instant β.
+    let cases = vec![
+        x().concat(LowExpr::TStar).iter_star(q()),
+        x().concat(LowExpr::TStar).iter_star(y().seq(q())),
+        LowExpr::T.concat(LowExpr::TStar).iter_star(q()),
+    ];
+    for expr in &cases {
+        let lhs = denoted(expr);
+        let rhs = accepted(expr);
+        assert_eq!(lhs, rhs, "denotation and graph disagree on {expr}");
+        assert!(!rhs.is_empty(), "expected models for {expr}");
+    }
+}
+
+#[test]
+fn section_4_3_graph_has_the_reported_shape() {
+    // The report draws the graph for iter*(P·T*, Q) with two ordinary nodes
+    // (the initial node and one iteration node) plus END; an a-transition
+    // self-loop labelled P and a b-transition labelled Q.
+    let expr = LowExpr::pos("P").concat(LowExpr::TStar).iter_star(LowExpr::pos("Q"));
+    let graph = build_graph(&expr).expect("graph construction");
+    let pruned = prune(&graph).graph;
+    assert_eq!(pruned.node_count(), 3, "two ordinary nodes plus END\n{pruned}");
+    // Every non-final edge requires P; every edge into END requires Q.
+    for edge in pruned.edges() {
+        if edge.to.is_end() {
+            assert_eq!(edge.prop.value("Q"), Some(true));
+        } else {
+            assert_eq!(edge.prop.value("P"), Some(true));
+        }
+    }
+    // There is a self-loop (repeating P) and it carries the eventuality that
+    // the b-transition discharges.
+    assert!(pruned.edges().iter().any(|e| e.from == e.to && !e.ev.is_empty()));
+    assert!(pruned.edges().iter().any(|e| e.to.is_end() && !e.se.is_empty()));
+}
+
+#[test]
+fn satisfiability_agrees_between_graph_and_bounded_semantics() {
+    let cases = vec![
+        (x(), true),
+        (LowExpr::F, false),
+        (x().and(LowExpr::neg("x")), false),
+        (x().seq(LowExpr::neg("x")), true),
+        (x().concat(LowExpr::neg("x")), false),
+        (x().concat(LowExpr::TStar).iter_star(q()), true),
+        (x().concat(LowExpr::TStar).iter_star(LowExpr::F), false),
+        (x().infloop(), true),
+        (x().infloop().and(LowExpr::T.seq(LowExpr::neg("x"))), false),
+        (x().iter_weak(q()), true),
+        (LowExpr::TStar.force_false("x").same_length(LowExpr::T.seq(x())), false),
+    ];
+    for (expr, expected) in &cases {
+        let graph = build_graph(expr).expect("graph construction");
+        let graph_answer = satisfiable_graph(&graph).is_sat();
+        assert_eq!(graph_answer, *expected, "graph procedure wrong on {expr}");
+        // The bounded procedure agrees on every case whose models (if any)
+        // fit within the bound.
+        let bounded_answer = matches!(satisfiable(expr, bounds()), BoundedSat::Satisfiable(_));
+        assert_eq!(bounded_answer, *expected, "bounded procedure wrong on {expr}");
+    }
+}
+
+#[test]
+fn synchronization_constraint_of_section_3_is_satisfiable_in_the_graph() {
+    // "α begins no later than β begins" (§3), with α = a and β = b.
+    let alpha = LowExpr::pos("a");
+    let beta = LowExpr::pos("b");
+    let marked_alpha = LowExpr::TStar.concat(x().concat(alpha)).force_false("x");
+    let marked_beta = LowExpr::TStar.concat(y().concat(beta)).force_false("y");
+    let ordering = LowExpr::TStar
+        .concat(x().concat(LowExpr::TStar.concat(y())))
+        .force_false("x")
+        .force_false("y");
+    let combined = marked_alpha.and(marked_beta).and(ordering);
+    let graph = build_graph(&combined).expect("graph construction");
+    match satisfiable_graph(&graph) {
+        GraphSat::FiniteModel(model) => {
+            let x_pos = model.conjs().iter().position(|c| c.value("x") == Some(true));
+            let y_pos = model.conjs().iter().position(|c| c.value("y") == Some(true));
+            if let (Some(xp), Some(yp)) = (x_pos, y_pos) {
+                assert!(xp <= yp, "α must begin no later than β in {model}");
+            }
+        }
+        other => panic!("expected a finite model, got {other:?}"),
+    }
+}
+
+#[test]
+fn pruning_statistics_reflect_the_iteration_method() {
+    let expr = x().concat(LowExpr::TStar).iter_star(LowExpr::F);
+    let graph = build_graph(&expr).expect("graph construction");
+    let pruned = prune(&graph);
+    assert!(pruned.stats.edges_before > pruned.stats.edges_after);
+    assert_eq!(pruned.stats.edges_after, 0);
+    assert!(pruned.stats.rounds >= 1);
+}
+
+#[test]
+fn construction_limits_turn_blowup_into_an_error() {
+    // A deliberately tiny limit: even T* exceeds one node.
+    let mut builder = GraphBuilder::with_limits(GraphLimits { max_nodes: 1, max_edges: 1 });
+    assert!(builder.build(&LowExpr::TStar).is_err());
+    // The default limits accommodate every expression used in this test file.
+    assert!(build_graph(&x().concat(LowExpr::TStar).iter_star(q())).is_ok());
+}
+
+/// Random iteration-free expressions over two variables.
+fn iteration_free_expr() -> impl Strategy<Value = LowExpr> {
+    let leaf = prop_oneof![
+        Just(LowExpr::pos("x")),
+        Just(LowExpr::neg("x")),
+        Just(LowExpr::pos("y")),
+        Just(LowExpr::neg("y")),
+        Just(LowExpr::T),
+        Just(LowExpr::TStar),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.same_length(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.concat(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            inner.clone().prop_map(|a| a.exists("x")),
+            inner.clone().prop_map(|a| a.force_false("y")),
+            inner.prop_map(|a| a.force_true("x")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every iteration-free expression, the graph procedure accepts
+    /// exactly the consistent constraints of the bounded denotation.
+    #[test]
+    fn graph_matches_denotation_on_random_iteration_free_expressions(expr in iteration_free_expr()) {
+        // Smaller bounds than the deterministic corpus: the denotation of a
+        // random expression is computed exhaustively per length.
+        let small = Bounds { max_len: 3, max_interps: 200_000 };
+        let lhs: BTreeSet<PartialInterp> = denotation(&expr, small)
+            .into_iter()
+            .filter(PartialInterp::is_consistent)
+            .collect();
+        let graph = build_graph(&expr).expect("graph construction within limits");
+        let rhs: BTreeSet<PartialInterp> =
+            accepted_interps(&graph, small.max_len, 400_000).into_iter().collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+}

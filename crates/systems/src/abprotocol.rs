@@ -1,0 +1,273 @@
+//! The Alternating-Bit protocol (Chapter 7).
+//!
+//! The sender dequeues messages from its input queue, transmits each as a
+//! packet `⟨m, v⟩` carrying a one-bit sequence number `v`, and keeps
+//! retransmitting until an uncorrupted acknowledgment with the same sequence
+//! number arrives; the receiver acknowledges the packets it receives and
+//! delivers each new message (enqueues it into the output queue) exactly once.
+//! The two directions of the unreliable medium are modelled as lossy channels
+//! that may drop or duplicate packets but never reorder them — exactly the
+//! unreliable-queue service of Chapter 5.
+//!
+//! The simulator records the operation events of Figure 7-2:
+//! `atDq(m)/afterDq(m)` (sender obtains the next message), `atTs(m, v)`
+//! (packet transmission), `afterRs(v)` (uncorrupted acknowledgment received by
+//! the sender), `atRr(m, v)/afterRr(m, v)` (packet receipt), `atTr(v)`
+//! (acknowledgment transmission), `atEnq(m)/afterEnq(m)` (delivery to the
+//! receiving user), together with the sender- and receiver-side expected
+//! sequence numbers as the state components `sexp` and `rexp`.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ilogic_core::prelude::*;
+
+/// Configuration of an Alternating-Bit protocol run.
+#[derive(Clone, Copy, Debug)]
+pub struct AbWorkload {
+    /// Number of messages to transfer.
+    pub messages: usize,
+    /// Probability that a packet or acknowledgment is lost in transit.
+    pub loss: f64,
+    /// Probability that a delivered packet or acknowledgment is duplicated.
+    pub duplication: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Safety valve: maximum number of simulation steps.
+    pub max_steps: usize,
+}
+
+impl Default for AbWorkload {
+    fn default() -> AbWorkload {
+        AbWorkload { messages: 4, loss: 0.2, duplication: 0.1, seed: 17, max_steps: 4_000 }
+    }
+}
+
+/// The observable result of a protocol run.
+#[derive(Clone, Debug)]
+pub struct AbRun {
+    /// The recorded computation.
+    pub trace: Trace,
+    /// Messages handed to the sender, in order.
+    pub sent: Vec<i64>,
+    /// Messages delivered to the receiving user, in order.
+    pub delivered: Vec<i64>,
+    /// Number of packet transmissions (including retransmissions).
+    pub transmissions: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SenderState {
+    AwaitingMessage,
+    Sending { message: i64, bit: i64 },
+}
+
+/// Runs the protocol and records the instrumented trace.
+pub fn simulate(workload: AbWorkload) -> AbRun {
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut builder = TraceBuilder::new();
+    builder.set_var("sexp", 0i64);
+    builder.set_var("rexp", 0i64);
+    builder.commit();
+
+    let sent: Vec<i64> = (1..=workload.messages as i64).collect();
+    let mut input: VecDeque<i64> = sent.iter().copied().collect();
+    let mut delivered: Vec<i64> = Vec::new();
+    let mut transmissions = 0usize;
+
+    // The two directions of the unreliable medium (no reordering).
+    let mut data_channel: VecDeque<(i64, i64)> = VecDeque::new();
+    let mut ack_channel: VecDeque<i64> = VecDeque::new();
+
+    let mut sender = SenderState::AwaitingMessage;
+    let mut sender_bit: i64 = 0;
+    let mut receiver_bit: i64 = 0;
+    let mut last_received: Option<(i64, i64)> = None;
+
+    let mut steps = 0usize;
+    while steps < workload.max_steps {
+        steps += 1;
+        let all_done = input.is_empty()
+            && sender == SenderState::AwaitingMessage
+            && delivered.len() == workload.messages;
+        if all_done {
+            break;
+        }
+        match rng.gen_range(0..4) {
+            // Sender actions.
+            0 => match sender {
+                SenderState::AwaitingMessage => {
+                    if let Some(message) = input.pop_front() {
+                        // Dq(m): obtain the next message; no transmission during the call.
+                        builder.pulse(Prop::plain("atDq")).pulse(Prop::with_args("atDq", [message]));
+                        builder.assert_prop(Prop::plain("inDq"));
+                        builder.commit();
+                        builder.retract_prop(&Prop::plain("inDq"));
+                        builder
+                            .pulse(Prop::plain("afterDq"))
+                            .pulse(Prop::with_args("afterDq", [message]));
+                        builder.set_var("sexp", sender_bit);
+                        builder.commit();
+                        sender = SenderState::Sending { message, bit: sender_bit };
+                    } else {
+                        builder.commit();
+                    }
+                }
+                SenderState::Sending { message, bit } => {
+                    // Ts(m, v): (re)transmit the current packet.
+                    transmissions += 1;
+                    builder
+                        .pulse(Prop::plain("atTs"))
+                        .pulse(Prop::with_args("atTs", [message, bit]));
+                    builder.commit();
+                    if !rng.gen_bool(workload.loss) {
+                        data_channel.push_back((message, bit));
+                        if rng.gen_bool(workload.duplication) {
+                            data_channel.push_back((message, bit));
+                        }
+                    }
+                }
+            },
+            // Sender processes an acknowledgment.
+            1 => {
+                if let Some(ack_bit) = ack_channel.pop_front() {
+                    builder
+                        .pulse(Prop::plain("afterRs"))
+                        .pulse(Prop::with_args("afterRs", [ack_bit]));
+                    builder.commit();
+                    if let SenderState::Sending { bit, .. } = sender {
+                        if ack_bit == bit {
+                            sender = SenderState::AwaitingMessage;
+                            sender_bit = 1 - sender_bit;
+                        }
+                    }
+                } else {
+                    builder.commit();
+                }
+            }
+            // Receiver processes a packet.
+            2 => {
+                if let Some((message, bit)) = data_channel.pop_front() {
+                    builder
+                        .pulse(Prop::plain("atRr"))
+                        .pulse(Prop::with_args("atRr", [message, bit]))
+                        .pulse(Prop::with_args("afterRr", [message, bit]));
+                    builder.commit();
+                    last_received = Some((message, bit));
+                    if bit == receiver_bit {
+                        // A new message: deliver it before acknowledging a
+                        // packet with a different sequence number.
+                        builder
+                            .pulse(Prop::plain("atEnq"))
+                            .pulse(Prop::with_args("atEnq", [message]));
+                        builder.set_var("rexp", receiver_bit);
+                        builder.commit();
+                        builder
+                            .pulse(Prop::plain("afterEnq"))
+                            .pulse(Prop::with_args("afterEnq", [message]));
+                        builder.commit();
+                        delivered.push(message);
+                        receiver_bit = 1 - receiver_bit;
+                    }
+                } else {
+                    builder.commit();
+                }
+            }
+            // Receiver (re)acknowledges the last packet received.
+            _ => {
+                if let Some((message, bit)) = last_received {
+                    builder
+                        .pulse(Prop::plain("atTr"))
+                        .pulse(Prop::with_args("atTr", [message, bit]));
+                    builder.commit();
+                    if !rng.gen_bool(workload.loss) {
+                        ack_channel.push_back(bit);
+                        if rng.gen_bool(workload.duplication) {
+                            ack_channel.push_back(bit);
+                        }
+                    }
+                } else {
+                    builder.commit();
+                }
+            }
+        }
+    }
+    builder.commit();
+    AbRun { trace: builder.finish(), sent, delivered, transmissions }
+}
+
+/// A faulty sender that does not alternate its sequence numbers (it stamps
+/// every packet with bit 0), which breaks the protocol over a lossy channel and
+/// violates the sender specification.
+pub fn simulate_stuck_bit(workload: AbWorkload) -> AbRun {
+    let mut run = simulate(AbWorkload { loss: 0.0, duplication: 0.0, ..workload });
+    // Rewrite the recorded packets so that every transmission carries bit 0,
+    // modelling the faulty sender's visible behaviour.
+    let states: Vec<State> = run
+        .trace
+        .states()
+        .iter()
+        .map(|s| {
+            let mut rebuilt = State::new();
+            for (name, value) in s.vars() {
+                rebuilt.set_var(name, value.clone());
+            }
+            for p in s.props() {
+                if p.name == "atTs" && p.args.len() == 2 {
+                    rebuilt.insert(Prop::with_args("atTs", [p.args[0].clone(), Value::Int(0)]));
+                } else {
+                    rebuilt.insert(p.clone());
+                }
+            }
+            rebuilt
+        })
+        .collect();
+    run.trace = Trace::finite(states);
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_run_delivers_everything_in_order() {
+        let run = simulate(AbWorkload { loss: 0.0, duplication: 0.0, ..AbWorkload::default() });
+        assert_eq!(run.delivered, run.sent);
+        assert!(run.transmissions >= run.sent.len());
+    }
+
+    #[test]
+    fn lossy_runs_still_deliver_in_order_without_duplicates() {
+        for seed in 0..8 {
+            let run = simulate(AbWorkload { seed, loss: 0.3, duplication: 0.2, ..AbWorkload::default() });
+            // Whatever was delivered is a prefix of the sent sequence, without
+            // duplication or reordering.
+            assert!(run.delivered.len() <= run.sent.len());
+            assert_eq!(run.delivered, run.sent[..run.delivered.len()], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn retransmissions_happen_under_loss() {
+        let run = simulate(AbWorkload { loss: 0.5, seed: 23, ..AbWorkload::default() });
+        assert!(run.transmissions > run.delivered.len());
+    }
+
+    #[test]
+    fn stuck_bit_variant_reuses_sequence_number_zero() {
+        let run = simulate_stuck_bit(AbWorkload { messages: 3, ..AbWorkload::default() });
+        let mut bits = Vec::new();
+        for state in run.trace.states() {
+            for args in state.args_of("atTs") {
+                if let Some(bit) = args.get(1).and_then(Value::as_int) {
+                    bits.push(bit);
+                }
+            }
+        }
+        assert!(!bits.is_empty());
+        assert!(bits.iter().all(|&b| b == 0));
+    }
+}

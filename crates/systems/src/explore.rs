@@ -1,0 +1,395 @@
+//! Small-scope exhaustive exploration of the case-study algorithms.
+//!
+//! The report argues (Chapter 9) that "no specification method for distributed
+//! and concurrent systems can be successful without mechanical verification
+//! support", because hand analysis of process interleavings is error-prone.
+//! The randomized simulators of this crate exercise *some* interleavings; this
+//! module complements them with a systematic explorer that enumerates *every*
+//! reachable interleaving of a small configuration, checks a safety predicate
+//! in every reachable state, and projects explored runs to traces so that the
+//! interval-logic specifications can be checked over them as well.
+//!
+//! The explorer is generic over a [`Model`]; the module provides
+//! [`MutexModel`], a transition-system rendering of the Chapter 8 distributed
+//! mutual-exclusion algorithm (with a `skip_inspection` switch reproducing the
+//! broken variant), so that the mutual-exclusion property can be verified
+//! exhaustively rather than only on sampled schedules.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ilogic_core::prelude::*;
+
+/// A finite-state transition system explored by [`explore`].
+pub trait Model {
+    /// A global state of the system.
+    type State: Clone + Ord;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The enabled transitions of a state: a human-readable action label plus
+    /// the successor state.
+    fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)>;
+
+    /// Projects a global state onto the propositions recorded in traces.
+    fn observe(&self, state: &Self::State) -> State;
+}
+
+/// Resource limits for an exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum length of any explored run (in actions).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> ExploreLimits {
+        ExploreLimits { max_states: 200_000, max_depth: 128 }
+    }
+}
+
+/// A safety violation found by the explorer.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The sequence of action labels leading to the violating state.
+    pub actions: Vec<String>,
+    /// The violating run projected to a trace (initial state included).
+    pub trace: Trace,
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExplorationReport {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of transitions taken.
+    pub transitions: usize,
+    /// Whether the exploration was truncated by [`ExploreLimits`].
+    pub truncated: bool,
+    /// The first safety violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl ExplorationReport {
+    /// `true` if no violation was found (and the exploration was complete).
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// Explores every state reachable from the initial state (breadth first),
+/// checking `safe` in each and reconstructing a counterexample run for the
+/// first violation found.
+pub fn explore<M: Model>(
+    model: &M,
+    limits: ExploreLimits,
+    safe: impl Fn(&M::State) -> bool,
+) -> ExplorationReport {
+    let initial = model.initial();
+    let mut parent: BTreeMap<M::State, (M::State, String)> = BTreeMap::new();
+    let mut depth: BTreeMap<M::State, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    let mut visited: BTreeSet<M::State> = BTreeSet::new();
+    visited.insert(initial.clone());
+    depth.insert(initial.clone(), 0);
+    queue.push_back(initial.clone());
+
+    let mut transitions = 0usize;
+    let mut truncated = false;
+    let mut violation: Option<Violation> = None;
+
+    if !safe(&initial) {
+        violation = Some(reconstruct(model, &parent, &initial));
+    }
+
+    while let Some(state) = queue.pop_front() {
+        if violation.is_some() {
+            break;
+        }
+        let d = depth[&state];
+        if d >= limits.max_depth {
+            truncated = true;
+            continue;
+        }
+        for (label, next) in model.successors(&state) {
+            transitions += 1;
+            if visited.contains(&next) {
+                continue;
+            }
+            if visited.len() >= limits.max_states {
+                truncated = true;
+                break;
+            }
+            visited.insert(next.clone());
+            parent.insert(next.clone(), (state.clone(), label));
+            depth.insert(next.clone(), d + 1);
+            if !safe(&next) {
+                violation = Some(reconstruct(model, &parent, &next));
+                break;
+            }
+            queue.push_back(next);
+        }
+    }
+
+    ExplorationReport { states: visited.len(), transitions, truncated, violation }
+}
+
+fn reconstruct<M: Model>(
+    model: &M,
+    parent: &BTreeMap<M::State, (M::State, String)>,
+    target: &M::State,
+) -> Violation {
+    let mut actions = Vec::new();
+    let mut states = vec![target.clone()];
+    let mut cursor = target.clone();
+    while let Some((prev, label)) = parent.get(&cursor) {
+        actions.push(label.clone());
+        states.push(prev.clone());
+        cursor = prev.clone();
+    }
+    actions.reverse();
+    states.reverse();
+    let trace = Trace::finite(states.iter().map(|s| model.observe(s)).collect());
+    Violation { actions, trace }
+}
+
+/// Enumerates complete runs of the model (depth-first, up to the limits) and
+/// projects each onto a trace.  A run is complete when it reaches a state with
+/// no enabled transition or the depth limit.
+pub fn collect_runs<M: Model>(model: &M, limits: ExploreLimits, max_runs: usize) -> Vec<Trace> {
+    let mut runs = Vec::new();
+    let mut path = vec![model.initial()];
+    dfs_runs(model, limits, max_runs, &mut path, &mut BTreeSet::new(), &mut runs);
+    runs
+}
+
+fn dfs_runs<M: Model>(
+    model: &M,
+    limits: ExploreLimits,
+    max_runs: usize,
+    path: &mut Vec<M::State>,
+    on_path: &mut BTreeSet<M::State>,
+    runs: &mut Vec<Trace>,
+) {
+    if runs.len() >= max_runs {
+        return;
+    }
+    let current = path.last().expect("path is never empty").clone();
+    let successors = model.successors(&current);
+    // Filter out transitions that immediately revisit a state already on the
+    // path (they only pump cycles and never add new observable behaviour).
+    let fresh: Vec<(String, M::State)> =
+        successors.into_iter().filter(|(_, next)| !on_path.contains(next)).collect();
+    if fresh.is_empty() || path.len() > limits.max_depth {
+        runs.push(Trace::finite(path.iter().map(|s| model.observe(s)).collect()));
+        return;
+    }
+    for (_, next) in fresh {
+        path.push(next.clone());
+        on_path.insert(next.clone());
+        dfs_runs(model, limits, max_runs, path, on_path, runs);
+        on_path.remove(&next);
+        path.pop();
+        if runs.len() >= max_runs {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Chapter 8 distributed mutual-exclusion algorithm as a model.
+// ---------------------------------------------------------------------------
+
+/// Per-process phase of the mutual-exclusion algorithm.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MutexPhase {
+    /// Not competing; the number of critical-section entries still to perform.
+    Idle(usize),
+    /// Flag set; the other processes still to be observed false, plus the
+    /// remaining entry budget.
+    Checking(Vec<usize>, usize),
+    /// In the critical section; remaining entry budget after this entry.
+    Critical(usize),
+    /// Finished.
+    Done,
+}
+
+/// A global state: one phase per process.
+pub type MutexState = Vec<MutexPhase>;
+
+/// The distributed mutual-exclusion algorithm of Chapter 8 as an explorable
+/// transition system.
+#[derive(Clone, Copy, Debug)]
+pub struct MutexModel {
+    /// Number of processes.
+    pub processes: usize,
+    /// Critical-section entries each process performs.
+    pub entries: usize,
+    /// Reproduces the broken variant: processes enter without inspecting the
+    /// other flags.
+    pub skip_inspection: bool,
+}
+
+impl MutexModel {
+    /// The correct algorithm.
+    pub fn correct(processes: usize, entries: usize) -> MutexModel {
+        MutexModel { processes, entries, skip_inspection: false }
+    }
+
+    /// The broken variant that skips flag inspection.
+    pub fn broken(processes: usize, entries: usize) -> MutexModel {
+        MutexModel { processes, entries, skip_inspection: true }
+    }
+
+    fn flag_up(phase: &MutexPhase) -> bool {
+        matches!(phase, MutexPhase::Checking(_, _) | MutexPhase::Critical(_))
+    }
+
+    fn in_cs(phase: &MutexPhase) -> bool {
+        matches!(phase, MutexPhase::Critical(_))
+    }
+
+    /// The safety property of Figure 8-1's derived theorem: at most one
+    /// process in the critical section.
+    pub fn mutual_exclusion(state: &MutexState) -> bool {
+        state.iter().filter(|p| MutexModel::in_cs(p)).count() <= 1
+    }
+}
+
+impl Model for MutexModel {
+    type State = MutexState;
+
+    fn initial(&self) -> MutexState {
+        vec![MutexPhase::Idle(self.entries); self.processes]
+    }
+
+    fn successors(&self, state: &MutexState) -> Vec<(String, MutexState)> {
+        let mut result = Vec::new();
+        for i in 0..self.processes {
+            match &state[i] {
+                MutexPhase::Idle(0) => {
+                    let mut next = state.clone();
+                    next[i] = MutexPhase::Done;
+                    result.push((format!("finish({i})"), next));
+                }
+                MutexPhase::Idle(budget) => {
+                    // Signal the intention to enter: set x(i).
+                    let mut next = state.clone();
+                    let to_check = if self.skip_inspection {
+                        Vec::new()
+                    } else {
+                        (0..self.processes).filter(|&j| j != i).collect()
+                    };
+                    next[i] = MutexPhase::Checking(to_check, *budget);
+                    result.push((format!("set_flag({i})"), next));
+                }
+                MutexPhase::Checking(to_check, budget) => {
+                    if let Some(&j) = to_check.first() {
+                        // Observe x(j): abandon if it is up, tick it off otherwise.
+                        let mut next = state.clone();
+                        if MutexModel::flag_up(&state[j]) {
+                            next[i] = MutexPhase::Idle(*budget);
+                            result.push((format!("abandon({i},{j})"), next));
+                        } else {
+                            let rest = to_check[1..].to_vec();
+                            next[i] = MutexPhase::Checking(rest, *budget);
+                            result.push((format!("observe({i},{j})"), next));
+                        }
+                    } else {
+                        // Every other flag has been observed false: enter.
+                        let mut next = state.clone();
+                        next[i] = MutexPhase::Critical(*budget - 1);
+                        result.push((format!("enter({i})"), next));
+                    }
+                }
+                MutexPhase::Critical(budget) => {
+                    let mut next = state.clone();
+                    next[i] = MutexPhase::Idle(*budget);
+                    result.push((format!("exit({i})"), next));
+                }
+                MutexPhase::Done => {}
+            }
+        }
+        result
+    }
+
+    fn observe(&self, state: &MutexState) -> State {
+        let mut observed = State::new();
+        for (i, phase) in state.iter().enumerate() {
+            if MutexModel::flag_up(phase) {
+                observed.insert(Prop::with_args("x", [i as i64]));
+            }
+            if MutexModel::in_cs(phase) {
+                observed.insert(Prop::with_args("cs", [i as i64]));
+            }
+        }
+        observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutex::mutual_exclusion_holds;
+    use crate::specs::mutual_exclusion_spec;
+
+    #[test]
+    fn correct_algorithm_is_verified_exhaustively_for_two_processes() {
+        let model = MutexModel::correct(2, 2);
+        let report = explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion);
+        assert!(report.verified(), "violation: {:?}", report.violation.map(|v| v.actions));
+        assert!(report.states > 10);
+    }
+
+    #[test]
+    fn correct_algorithm_is_verified_exhaustively_for_three_processes() {
+        let model = MutexModel::correct(3, 1);
+        let report = explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion);
+        assert!(report.verified(), "violation: {:?}", report.violation.map(|v| v.actions));
+        assert!(report.states > 50);
+    }
+
+    #[test]
+    fn broken_algorithm_yields_a_counterexample_run() {
+        let model = MutexModel::broken(2, 1);
+        let report = explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion);
+        let violation = report.violation.expect("the broken variant must be caught");
+        assert!(!mutual_exclusion_holds(&violation.trace, 2));
+        // The counterexample really interleaves two entries.
+        assert!(violation.actions.iter().filter(|a| a.starts_with("enter")).count() == 2);
+    }
+
+    #[test]
+    fn explored_runs_satisfy_the_figure_8_1_specification() {
+        let model = MutexModel::correct(2, 1);
+        let runs = collect_runs(&model, ExploreLimits::default(), 64);
+        assert!(!runs.is_empty());
+        let spec = mutual_exclusion_spec();
+        for trace in &runs {
+            let report = spec.check(trace);
+            assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn exploration_limits_are_respected() {
+        let model = MutexModel::correct(3, 2);
+        let limits = ExploreLimits { max_states: 25, max_depth: 8 };
+        let report = explore(&model, limits, MutexModel::mutual_exclusion);
+        assert!(report.truncated);
+        assert!(report.states <= 25);
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn collect_runs_projects_initial_and_final_states() {
+        let model = MutexModel::correct(2, 1);
+        let runs = collect_runs(&model, ExploreLimits::default(), 8);
+        for trace in &runs {
+            // Initial state: no flags, no critical sections.
+            assert!(trace.states()[0].props().count() == 0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Distributed mutual exclusion (Chapter 8).
+//!
+//! Each process `i` signals its intention to enter the critical section by
+//! setting the shared flag `x(i)`, then inspects the other processes' flags one
+//! at a time; it enters the critical section only after having observed every
+//! other flag to be false, and abandons its claim (resetting `x(i)`) as soon as
+//! it observes a competing flag.  This is exactly the minimal discipline the
+//! specification of Figure 8-1 constrains: every entry of the critical section
+//! by `i` is preceded by a setting of `x(i)` that remains up, within which every
+//! other `x(j)` has been observed false.
+//!
+//! The simulator interleaves one atomic action per trace state, driven by a
+//! seeded RNG, so different seeds yield different contention patterns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ilogic_core::prelude::*;
+
+/// Configuration of a mutual-exclusion simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct MutexWorkload {
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of critical-section entries each process performs.
+    pub entries: usize,
+    /// Number of states a process remains in the critical section.
+    pub cs_duration: usize,
+    /// RNG seed controlling the interleaving.
+    pub seed: u64,
+}
+
+impl Default for MutexWorkload {
+    fn default() -> MutexWorkload {
+        MutexWorkload { processes: 3, entries: 2, cs_duration: 2, seed: 13 }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Flag set; indices of the other processes still to be observed false.
+    Checking(Vec<usize>),
+    /// In the critical section for the given number of remaining states.
+    Critical(usize),
+    Done,
+}
+
+/// Simulates the algorithm and records the trace of the `x(i)` and `cs(i)` predicates.
+pub fn simulate(workload: MutexWorkload) -> Trace {
+    assert!(workload.processes >= 2, "mutual exclusion needs at least two processes");
+    let n = workload.processes;
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut builder = TraceBuilder::new();
+    builder.commit(); // Init: ∀m ¬x(m)
+
+    let mut phase: Vec<Phase> = vec![Phase::Idle; n];
+    let mut remaining: Vec<usize> = vec![workload.entries; n];
+    let mut flags: Vec<bool> = vec![false; n];
+
+    let x = |i: usize| Prop::with_args("x", [i as i64]);
+    let cs = |i: usize| Prop::with_args("cs", [i as i64]);
+
+    let mut guard = 0usize;
+    while phase.iter().any(|p| *p != Phase::Done) && guard < 10_000 {
+        guard += 1;
+        // Pick a process with something to do.
+        let candidates: Vec<usize> = (0..n).filter(|&i| phase[i] != Phase::Done).collect();
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        match phase[i].clone() {
+            Phase::Idle => {
+                if remaining[i] == 0 {
+                    phase[i] = Phase::Done;
+                    continue;
+                }
+                if rng.gen_bool(0.7) {
+                    // Signal the intention to enter.
+                    flags[i] = true;
+                    builder.assert_prop(x(i));
+                    builder.commit();
+                    let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                    phase[i] = Phase::Checking(others);
+                } else {
+                    builder.commit(); // an idle step
+                }
+            }
+            Phase::Checking(mut to_check) => {
+                let Some(&j) = to_check.first() else {
+                    // All other flags were observed false: enter the critical section.
+                    builder.assert_prop(cs(i));
+                    builder.commit();
+                    phase[i] = Phase::Critical(workload.cs_duration);
+                    continue;
+                };
+                // Observe x(j); the observation itself takes one state.
+                builder.commit();
+                if flags[j] {
+                    // Abandon the claim and retry later.
+                    flags[i] = false;
+                    builder.retract_prop(&x(i));
+                    builder.commit();
+                    phase[i] = Phase::Idle;
+                } else {
+                    to_check.remove(0);
+                    phase[i] = Phase::Checking(to_check);
+                }
+            }
+            Phase::Critical(steps) => {
+                if steps > 0 {
+                    builder.commit();
+                    phase[i] = Phase::Critical(steps - 1);
+                } else {
+                    // Leave the critical section, then relinquish the claim.
+                    builder.retract_prop(&cs(i));
+                    builder.commit();
+                    flags[i] = false;
+                    builder.retract_prop(&x(i));
+                    builder.commit();
+                    remaining[i] -= 1;
+                    phase[i] = if remaining[i] == 0 { Phase::Done } else { Phase::Idle };
+                }
+            }
+            Phase::Done => {}
+        }
+    }
+    builder.commit();
+    builder.finish()
+}
+
+/// A deliberately broken variant in which processes skip the inspection of the
+/// other flags, so two processes can be in the critical section simultaneously.
+pub fn simulate_broken(processes: usize) -> Trace {
+    assert!(processes >= 2);
+    let mut builder = TraceBuilder::new();
+    builder.commit();
+    // Both process 0 and process 1 barge straight into the critical section.
+    for i in 0..2usize {
+        builder.assert_prop(Prop::with_args("x", [i as i64]));
+        builder.commit();
+    }
+    for i in 0..2usize {
+        builder.assert_prop(Prop::with_args("cs", [i as i64]));
+        builder.commit();
+    }
+    for i in 0..2usize {
+        builder.retract_prop(&Prop::with_args("cs", [i as i64]));
+        builder.retract_prop(&Prop::with_args("x", [i as i64]));
+        builder.commit();
+    }
+    builder.finish()
+}
+
+/// `true` if no two distinct processes are ever simultaneously in the critical section.
+pub fn mutual_exclusion_holds(trace: &Trace, processes: usize) -> bool {
+    for state in trace.states() {
+        let inside: Vec<usize> = (0..processes)
+            .filter(|&i| state.holds(&Prop::with_args("cs", [i as i64])))
+            .collect();
+        if inside.len() > 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_guarantees_mutual_exclusion_across_seeds() {
+        for seed in 0..10 {
+            let workload = MutexWorkload { seed, ..MutexWorkload::default() };
+            let trace = simulate(workload);
+            assert!(
+                mutual_exclusion_holds(&trace, workload.processes),
+                "mutual exclusion violated for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_process_eventually_enters() {
+        let workload = MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 4 };
+        let trace = simulate(workload);
+        for i in 0..workload.processes {
+            assert!(
+                trace.states().iter().any(|s| s.holds(&Prop::with_args("cs", [i as i64]))),
+                "process {i} never entered"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_variant_violates_mutual_exclusion() {
+        let trace = simulate_broken(2);
+        assert!(!mutual_exclusion_holds(&trace, 2));
+    }
+
+    #[test]
+    fn flags_cover_critical_sections() {
+        let trace = simulate(MutexWorkload::default());
+        for state in trace.states() {
+            for i in 0..3i64 {
+                if state.holds(&Prop::with_args("cs", [i])) {
+                    assert!(state.holds(&Prop::with_args("x", [i])), "cs({i}) without x({i})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Queue simulators for Chapter 5: a reliable FIFO queue, a LIFO stack, and an
+//! intermittently unreliable queue.
+//!
+//! The simulators execute a workload of `Enq`/`Dq` operations against an
+//! in-memory data structure and record an instrumented trace: every operation
+//! contributes `atOp(args)`, `inOp` and `afterOp(args)` states following the
+//! abstract-operation axioms of §2.2 (entry, an interior state, exit).  A
+//! deliberately faulty variant is provided so the specifications can be seen to
+//! reject incorrect implementations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ilogic_core::prelude::*;
+
+/// Which queue discipline the simulator implements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueueKind {
+    /// First-in first-out, no losses.
+    Reliable,
+    /// Last-in first-out (the "Stack" variant obtained by exchanging the
+    /// `atEnq` terms in the queue axiom).
+    Stack,
+    /// First-in first-out, but an enqueue may silently lose its value with the
+    /// given probability (the unreliable queue of Figure 5-1).
+    Unreliable {
+        /// Probability in `[0, 1)` that an enqueued value is lost.
+        loss: f64,
+    },
+    /// A deliberately incorrect implementation that services dequeues from the
+    /// *middle* of the queue, violating the FIFO axiom; used to demonstrate
+    /// that the specification rejects bad implementations.
+    FaultyReordering,
+}
+
+/// Configuration of a queue workload.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueWorkload {
+    /// Number of distinct values enqueued.
+    pub items: usize,
+    /// Number of times each value is (re-)enqueued when the queue is unreliable.
+    pub retries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// If `true`, all enqueues are performed before the first dequeue
+    /// (the workload shape under which the report's stack axiom is exact).
+    pub phased: bool,
+}
+
+impl Default for QueueWorkload {
+    fn default() -> QueueWorkload {
+        QueueWorkload { items: 6, retries: 3, seed: 7, phased: false }
+    }
+}
+
+/// Runs the workload against the chosen queue and records the instrumented trace.
+pub fn simulate(kind: QueueKind, workload: QueueWorkload) -> Trace {
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut builder = TraceBuilder::new();
+    builder.commit(); // initial quiescent state
+
+    let mut backing: Vec<i64> = Vec::new();
+    let mut next_value: i64 = 1;
+    let mut pending: Vec<i64> = (0..workload.items).map(|_| {
+        let v = next_value;
+        next_value += 1;
+        v
+    }).collect();
+    pending.reverse();
+
+    // Interleave enqueues and dequeues; values are distinct (except that the
+    // unreliable queue may re-enqueue a value that was lost).
+    let mut dequeued = 0usize;
+    let mut losses = 0usize;
+    while !pending.is_empty() || !backing.is_empty() {
+        let can_enqueue = !pending.is_empty();
+        let can_dequeue = !backing.is_empty();
+        let do_enqueue = can_enqueue && (workload.phased || !can_dequeue || rng.gen_bool(0.6));
+        if do_enqueue {
+            let value = *pending.last().expect("non-empty");
+            let mut attempts = 0usize;
+            loop {
+                attempts += 1;
+                run_operation(&mut builder, "Enq", &[Value::Int(value)]);
+                let lost = matches!(kind, QueueKind::Unreliable { loss } if rng.gen_bool(loss))
+                    && attempts < workload.retries;
+                if lost {
+                    losses += 1;
+                    continue;
+                }
+                backing.push(value);
+                break;
+            }
+            pending.pop();
+        } else if can_dequeue {
+            let index = match kind {
+                QueueKind::Reliable | QueueKind::Unreliable { .. } => 0,
+                QueueKind::Stack => backing.len() - 1,
+                QueueKind::FaultyReordering => {
+                    if backing.len() > 1 {
+                        rng.gen_range(0..backing.len())
+                    } else {
+                        0
+                    }
+                }
+            };
+            let value = backing.remove(index);
+            run_operation(&mut builder, "Dq", &[Value::Int(value)]);
+            dequeued += 1;
+        }
+    }
+    let _ = (dequeued, losses);
+    builder.commit();
+    builder.finish()
+}
+
+/// Records one complete operation execution (`at`, `in`, `after` states).
+fn run_operation(builder: &mut TraceBuilder, op: &str, args: &[Value]) {
+    let at = Prop::with_args(format!("at{op}"), args.to_vec());
+    let at_bare = Prop::plain(format!("at{op}"));
+    let during = Prop::plain(format!("in{op}"));
+    let after = Prop::with_args(format!("after{op}"), args.to_vec());
+    let after_bare = Prop::plain(format!("after{op}"));
+
+    builder.pulse(at).pulse(at_bare).assert_prop(during.clone());
+    builder.commit();
+    builder.commit(); // an interior state with only inOp
+    builder.retract_prop(&during);
+    builder.pulse(after).pulse(after_bare);
+    builder.commit();
+    builder.commit(); // quiescent gap between operations
+}
+
+/// The values dequeued in a trace, in order of their `afterDq` events.
+pub fn dequeue_order(trace: &Trace) -> Vec<i64> {
+    let mut order = Vec::new();
+    let mut previous_empty = true;
+    for state in trace.states() {
+        let now: Vec<i64> = state
+            .args_of("afterDq")
+            .iter()
+            .filter_map(|args| args.first().and_then(Value::as_int))
+            .collect();
+        if previous_empty {
+            order.extend(now.iter().copied());
+        }
+        previous_empty = now.is_empty();
+    }
+    order
+}
+
+/// The values enqueued in a trace (first `atEnq` occurrence per value), in order.
+pub fn enqueue_order(trace: &Trace) -> Vec<i64> {
+    let mut order: Vec<i64> = Vec::new();
+    for state in trace.states() {
+        for args in state.args_of("atEnq") {
+            if let Some(v) = args.first().and_then(Value::as_int) {
+                if !order.contains(&v) {
+                    order.push(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_queue_preserves_fifo_order() {
+        let trace = simulate(QueueKind::Reliable, QueueWorkload::default());
+        let enq = enqueue_order(&trace);
+        let deq = dequeue_order(&trace);
+        assert_eq!(enq.len(), deq.len());
+        assert_eq!(enq, deq, "reliable queue must dequeue in enqueue order");
+    }
+
+    #[test]
+    fn stack_reverses_order_locally() {
+        let trace = simulate(QueueKind::Stack, QueueWorkload { items: 4, retries: 1, seed: 3, phased: false });
+        let deq = dequeue_order(&trace);
+        assert_eq!(deq.len(), 4);
+    }
+
+    #[test]
+    fn unreliable_queue_dequeues_a_subsequence_in_order() {
+        let trace = simulate(
+            QueueKind::Unreliable { loss: 0.4 },
+            QueueWorkload { items: 8, retries: 4, seed: 11, phased: false },
+        );
+        let deq = dequeue_order(&trace);
+        // Everything dequeued must appear in increasing order (values are
+        // enqueued in increasing order and the queue never reorders).
+        let mut sorted = deq.clone();
+        sorted.sort_unstable();
+        assert_eq!(deq, sorted);
+        assert!(!deq.is_empty());
+    }
+
+    #[test]
+    fn faulty_queue_eventually_reorders() {
+        // With enough items the middle-servicing queue produces an out-of-order
+        // dequeue for some seed.
+        let mut reordered = false;
+        for seed in 0..20 {
+            let trace = simulate(
+                QueueKind::FaultyReordering,
+                QueueWorkload { items: 6, retries: 1, seed, phased: false },
+            );
+            let deq = dequeue_order(&trace);
+            let mut sorted = deq.clone();
+            sorted.sort_unstable();
+            if deq != sorted {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "faulty queue should reorder for some schedule");
+    }
+
+    #[test]
+    fn operation_axioms_hold_for_the_instrumentation() {
+        let trace = simulate(QueueKind::Reliable, QueueWorkload { items: 3, retries: 1, seed: 1, phased: false });
+        let ev = Evaluator::new(&trace);
+        for op in ["Enq", "Dq"] {
+            for (label, axiom) in Operation::new(op).axioms() {
+                assert!(ev.check(&axiom), "operation axiom {label} violated");
+            }
+            assert!(ev.check(&Operation::new(op).termination_axiom()));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Self-timed systems (Chapter 6): the request/acknowledge protocol and the
+//! two-user arbiter.
+//!
+//! Signals are modelled as Boolean propositions (`R`, `A`, `UR1`, `TA2`, ...)
+//! that stay up until explicitly lowered.  The simulators step the modules with
+//! randomized delays, which exercises the speed-independence the self-timed
+//! discipline is designed for, and record one trace state per signal change.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ilogic_core::prelude::*;
+
+/// Configuration of a request/acknowledge channel simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelWorkload {
+    /// Number of complete request/acknowledge cycles.
+    pub cycles: usize,
+    /// Maximum number of idle steps inserted between signal changes.
+    pub max_delay: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChannelWorkload {
+    fn default() -> ChannelWorkload {
+        ChannelWorkload { cycles: 4, max_delay: 2, seed: 5 }
+    }
+}
+
+/// Simulates a single requester/responder pair obeying the four-phase
+/// request/acknowledge protocol of §6.1 and records the `R`/`A` signal trace.
+pub fn simulate_request_ack(workload: ChannelWorkload) -> Trace {
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut builder = TraceBuilder::new();
+    builder.commit(); // Init: ¬R ∧ ¬A
+
+    let r = Prop::plain("R");
+    let a = Prop::plain("A");
+    for _ in 0..workload.cycles {
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.assert_prop(r.clone());
+        builder.commit(); // raise R
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.assert_prop(a.clone());
+        builder.commit(); // raise A (request acknowledged)
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.retract_prop(&r);
+        builder.commit(); // lower R
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.retract_prop(&a);
+        builder.commit(); // lower A: a new request may now begin
+    }
+    builder.commit();
+    builder.finish()
+}
+
+/// Simulates a requester that violates the protocol by withdrawing its request
+/// before the acknowledgment arrives (used to show the specification rejects it).
+pub fn simulate_hasty_requester(workload: ChannelWorkload) -> Trace {
+    let mut builder = TraceBuilder::new();
+    builder.commit();
+    let r = Prop::plain("R");
+    let a = Prop::plain("A");
+    for _ in 0..workload.cycles.max(1) {
+        builder.assert_prop(r.clone());
+        builder.commit();
+        builder.retract_prop(&r); // withdrawn before A was ever raised
+        builder.commit();
+        builder.assert_prop(a.clone());
+        builder.commit();
+        builder.retract_prop(&a);
+        builder.commit();
+    }
+    builder.finish()
+}
+
+fn idle(builder: &mut TraceBuilder, rng: &mut StdRng, max_delay: usize) {
+    for _ in 0..rng.gen_range(0..=max_delay) {
+        builder.commit();
+    }
+}
+
+/// Configuration of an arbiter simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbiterWorkload {
+    /// Number of resource acquisitions per user.
+    pub rounds: usize,
+    /// Maximum number of idle steps between signal changes.
+    pub max_delay: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArbiterWorkload {
+    fn default() -> ArbiterWorkload {
+        ArbiterWorkload { rounds: 3, max_delay: 1, seed: 9 }
+    }
+}
+
+/// Simulates the arbiter of §6.2 serving two user modules and records the trace
+/// of the signals `UR1/UA1`, `UR2/UA2`, `TR1/TA1`, `TR2/TA2`, `RMR/RMA`.
+///
+/// The arbiter grants access to one user at a time: it raises the transfer
+/// request `TRi`, waits for `TAi`, then raises the resource request `RMR`,
+/// waits for `RMA`, and only then acknowledges the user with `UAi`; releases
+/// proceed in the opposite order, following the request/acknowledge discipline
+/// on every signal pair.
+pub fn simulate_arbiter(workload: ArbiterWorkload) -> Trace {
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut builder = TraceBuilder::new();
+    builder.commit(); // Init: all user requests low
+
+    // Outstanding demand per user.
+    let mut remaining = [workload.rounds, workload.rounds];
+    let mut waiting: Vec<usize> = Vec::new();
+    while remaining[0] > 0 || remaining[1] > 0 || !waiting.is_empty() {
+        // Users raise their requests at random moments.
+        for user in 0..2 {
+            if remaining[user] > 0 && !waiting.contains(&user) && rng.gen_bool(0.7) {
+                builder.assert_prop(Prop::plain(format!("UR{}", user + 1)));
+                builder.commit();
+                waiting.push(user);
+            }
+        }
+        idle(&mut builder, &mut rng, workload.max_delay);
+        // The arbiter serves the longest-waiting user.
+        let Some(user) = waiting.first().copied() else { continue };
+        let i = user + 1;
+        let tr = Prop::plain(format!("TR{i}"));
+        let ta = Prop::plain(format!("TA{i}"));
+        let ur = Prop::plain(format!("UR{i}"));
+        let ua = Prop::plain(format!("UA{i}"));
+        let rmr = Prop::plain("RMR");
+        let rma = Prop::plain("RMA");
+
+        builder.assert_prop(tr.clone());
+        builder.commit(); // request the transfer module
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.assert_prop(ta.clone());
+        builder.commit(); // transfer module acknowledges
+        builder.assert_prop(rmr.clone());
+        builder.commit(); // request the resource
+        idle(&mut builder, &mut rng, workload.max_delay);
+        builder.assert_prop(rma.clone());
+        builder.commit(); // resource acknowledges: both acks now up
+        builder.assert_prop(ua.clone());
+        builder.commit(); // acknowledge the user
+        idle(&mut builder, &mut rng, workload.max_delay);
+
+        // Release in the reverse order, completing every handshake.
+        builder.retract_prop(&ur);
+        builder.commit();
+        builder.retract_prop(&ua);
+        builder.commit();
+        builder.retract_prop(&rmr);
+        builder.commit();
+        builder.retract_prop(&rma);
+        builder.commit();
+        builder.retract_prop(&tr);
+        builder.commit();
+        builder.retract_prop(&ta);
+        builder.commit();
+
+        waiting.remove(0);
+        remaining[user] -= 1;
+    }
+    builder.commit();
+    builder.finish()
+}
+
+/// A broken arbiter that acknowledges the user before the resource module has
+/// acknowledged, violating arbiter axiom A1.
+pub fn simulate_premature_arbiter() -> Trace {
+    let mut builder = TraceBuilder::new();
+    builder.commit();
+    builder.assert_prop(Prop::plain("UR1"));
+    builder.commit();
+    builder.assert_prop(Prop::plain("TR1"));
+    builder.commit();
+    builder.assert_prop(Prop::plain("UA1")); // premature acknowledgment
+    builder.commit();
+    builder.assert_prop(Prop::plain("TA1"));
+    builder.commit();
+    builder.assert_prop(Prop::plain("RMR"));
+    builder.commit();
+    builder.assert_prop(Prop::plain("RMA"));
+    builder.commit();
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ack_signals_alternate() {
+        let trace = simulate_request_ack(ChannelWorkload::default());
+        // R is never lowered while A is still low after being requested:
+        // check directly that in every state where A holds, R held at the
+        // moment A was raised (simple sanity independent of the spec).
+        assert!(trace.len() > 8);
+        let ev = Evaluator::new(&trace);
+        // Once R rises, A eventually rises.
+        use ilogic_core::dsl::*;
+        assert!(ev.check(&occurs(event(prop("A"))).within(fwd_from(event(prop("R"))))));
+    }
+
+    #[test]
+    fn arbiter_never_grants_both_transfers() {
+        let trace = simulate_arbiter(ArbiterWorkload::default());
+        for state in trace.states() {
+            assert!(
+                !(state.holds(&Prop::plain("TR1")) && state.holds(&Prop::plain("TR2"))),
+                "both transfer requests up simultaneously"
+            );
+        }
+    }
+
+    #[test]
+    fn arbiter_serves_both_users() {
+        let trace = simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 2 });
+        let served1 = trace.states().iter().any(|s| s.holds(&Prop::plain("UA1")));
+        let served2 = trace.states().iter().any(|s| s.holds(&Prop::plain("UA2")));
+        assert!(served1 && served2);
+    }
+
+    #[test]
+    fn hasty_requester_differs_from_correct_channel() {
+        let trace = simulate_hasty_requester(ChannelWorkload::default());
+        // R goes down before A ever rises somewhere in the trace.
+        let mut seen_r_without_a_then_drop = false;
+        let mut r_up_without_a = false;
+        for state in trace.states() {
+            let r = state.holds(&Prop::plain("R"));
+            let a = state.holds(&Prop::plain("A"));
+            if r && !a {
+                r_up_without_a = true;
+            } else if !r && r_up_without_a && !a {
+                seen_r_without_a_then_drop = true;
+            }
+        }
+        assert!(seen_r_without_a_then_drop);
+    }
+}

@@ -1,0 +1,141 @@
+//! Algorithm A of Appendix B §4: the tableau method with theory-pruned edges.
+//!
+//! Before (and during) the `Iter` deletion loop, every edge whose conjunction
+//! of literals is unsatisfiable in the specialized theory `T` is deleted.  The
+//! formula `A` is valid in the combined theory `TL(T)` iff the initial node of
+//! `Graph(¬A)` is deleted.
+//!
+//! As in the report, Algorithm A interprets every constraint variable as a
+//! *state* variable (its value may differ from instant to instant); formulas
+//! whose intended reading requires extralogical variables should be decided
+//! with Algorithm B instead.
+
+use crate::syntax::Ltl;
+use crate::tableau::{prune, TableauGraph};
+use crate::theory::Theory;
+
+/// Statistics of one run of Algorithm A, for reporting and benchmarking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlgorithmAReport {
+    /// `true` if the queried formula is satisfiable (for [`AlgorithmA::satisfiable`])
+    /// or valid (for [`AlgorithmA::valid`]).
+    pub answer: bool,
+    /// Nodes in the constructed graph before deletion.
+    pub nodes: usize,
+    /// Edges in the constructed graph before deletion.
+    pub edges: usize,
+    /// Nodes surviving the deletion loop.
+    pub live_nodes: usize,
+    /// Edges surviving the deletion loop.
+    pub live_edges: usize,
+    /// Passes of the deletion loop.
+    pub iterations: usize,
+}
+
+/// The combined decision procedure obtained by pruning the tableau with a theory oracle.
+pub struct AlgorithmA<'t> {
+    theory: &'t dyn Theory,
+}
+
+impl<'t> AlgorithmA<'t> {
+    /// Creates the procedure over the given specialized theory.
+    pub fn new(theory: &'t dyn Theory) -> AlgorithmA<'t> {
+        AlgorithmA { theory }
+    }
+
+    /// Decides satisfiability of `formula` in `TL(T)` (state-variable reading).
+    pub fn satisfiable(&self, formula: &Ltl) -> bool {
+        self.satisfiable_report(formula).answer
+    }
+
+    /// Decides satisfiability and returns graph statistics.
+    pub fn satisfiable_report(&self, formula: &Ltl) -> AlgorithmAReport {
+        let graph = TableauGraph::build(formula);
+        let pruned = prune(&graph, self.theory);
+        AlgorithmAReport {
+            answer: pruned.node_alive(graph.initial()),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            live_nodes: pruned.live_nodes(),
+            live_edges: pruned.live_edges(),
+            iterations: pruned.iterations,
+        }
+    }
+
+    /// Decides validity of `formula` in `TL(T)` (state-variable reading).
+    pub fn valid(&self, formula: &Ltl) -> bool {
+        self.valid_report(formula).answer
+    }
+
+    /// Decides validity and returns graph statistics for `Graph(¬formula)`.
+    pub fn valid_report(&self, formula: &Ltl) -> AlgorithmAReport {
+        let mut report = self.satisfiable_report(&formula.clone().not());
+        report.answer = !report.answer;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{CmpOp, Term};
+    use crate::theory::{LinearTheory, PropositionalTheory};
+
+    #[test]
+    fn pure_temporal_validity_matches_tableau() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmA::new(&theory);
+        let p = Ltl::prop("P");
+        assert!(alg.valid(&p.clone().or(p.clone().not())));
+        assert!(!alg.valid(&p.clone().eventually()));
+        assert!(alg.valid(&p.clone().always().implies(p.eventually())));
+    }
+
+    #[test]
+    fn report_example_henceforth_a_ge_1_implies_eventually_a_gt_0() {
+        // "Henceforth a >= 1 implies eventually a > 0" — the motivating example
+        // of Appendix B §1; valid over the integers, not in pure temporal logic.
+        let a_ge_1 = Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1));
+        let a_gt_0 = Ltl::cmp(Term::var("a"), CmpOp::Gt, Term::int(0));
+        let formula = a_ge_1.always().implies(a_gt_0.eventually());
+
+        let linear = LinearTheory::new();
+        assert!(AlgorithmA::new(&linear).valid(&formula));
+
+        let prop = PropositionalTheory::new();
+        assert!(!AlgorithmA::new(&prop).valid(&formula));
+    }
+
+    #[test]
+    fn report_example_double_is_twice() {
+        // □(y = x + x) ⊃ □(y = 2x), valid in the linear theory (x, y state variables).
+        let double = Ltl::cmp(Term::var("y"), CmpOp::Eq, Term::var("x").plus(Term::var("x")));
+        let twice = Ltl::cmp(Term::var("y"), CmpOp::Eq, Term::var("x").times(2));
+        let formula = double.always().implies(twice.always());
+        let linear = LinearTheory::new();
+        assert!(AlgorithmA::new(&linear).valid(&formula));
+    }
+
+    #[test]
+    fn state_variable_reading_of_disjunction_example() {
+        // □(x > 0) ∨ □(x < 1) is NOT valid when x is a state variable
+        // (Appendix B §5.1).
+        let gt = Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0));
+        let lt = Ltl::cmp(Term::var("x"), CmpOp::Lt, Term::int(1));
+        let formula = gt.always().or(lt.always());
+        let linear = LinearTheory::new();
+        assert!(!AlgorithmA::new(&linear).valid(&formula));
+    }
+
+    #[test]
+    fn report_contains_graph_statistics() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmA::new(&theory);
+        let report =
+            alg.valid_report(&Ltl::prop("P").eventually().implies(Ltl::prop("P").eventually()));
+        assert!(report.answer);
+        assert!(report.nodes >= 1);
+        assert!(report.edges >= 1);
+        assert!(report.live_nodes <= report.nodes);
+    }
+}

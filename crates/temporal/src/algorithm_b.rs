@@ -1,0 +1,434 @@
+//! Algorithm B of Appendix B §5: computing the condition formula `C`.
+//!
+//! Given a formula `A`, the algorithm builds `Graph(¬A)` and computes, by a
+//! double fixpoint iteration, a *condition* under which the initial node would
+//! be deleted.  The condition is a monotone Boolean combination of atoms
+//! "□¬prop(e)" for edges `e` of the graph; written in disjunctive normal form
+//! it is the maximal formula `∨ᵢ □Cᵢ` such that `TL ⊨ (∨ᵢ □Cᵢ) ⊃ A`
+//! (Theorem 1).  The specialized theory is consulted only at the very end:
+//!
+//! * when every constraint variable is a *state* variable, `TL(T) ⊨ A` iff
+//!   `T ⊨ Cᵢ` for some `i`, which (because each `Cᵢ` is a conjunction of
+//!   negated edge labels) reduces to every edge label of some implicant being
+//!   `T`-unsatisfiable;
+//! * when every constraint variable is *extralogical*, `TL(T) ⊨ A` iff
+//!   `T ⊨ ∨ᵢ Cᵢ` (Corollary 2), decided here by refuting the negation
+//!   selection by selection;
+//! * for a mixture the first check is still sufficient for validity, and the
+//!   procedure answers [`Decision::Unknown`] when it fails (the report notes
+//!   the general mixed case requires the state variables of each `Cᵢ` to be
+//!   quantified separately).
+//!
+//! As the report describes, the fixpoint iteration is accelerated by iterating
+//! over the strongly connected components of the graph in dependency order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dnf::Dnf;
+use crate::syntax::{Ltl, VarSpec};
+use crate::tableau::{EdgeId, NodeId, TableauGraph};
+use crate::theory::Theory;
+
+/// The answer of the combined decision procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The formula is valid in `TL(T)`.
+    Valid,
+    /// The formula is not valid in `TL(T)` (exact in the supported modes).
+    NotValid,
+    /// The procedure could not establish validity (mixed variable modes, or a
+    /// case-split explosion was cut off); the formula may or may not be valid.
+    Unknown,
+}
+
+/// The condition formula computed by Algorithm B, together with the graph it refers to.
+#[derive(Debug)]
+pub struct Condition {
+    graph: TableauGraph,
+    delete_init: Dnf,
+    outer_rounds: usize,
+}
+
+impl Condition {
+    /// The tableau graph of `¬A` the condition refers to.
+    pub fn graph(&self) -> &TableauGraph {
+        &self.graph
+    }
+
+    /// The condition `delete(init)` as a monotone DNF over edge identifiers.
+    pub fn dnf(&self) -> &Dnf {
+        &self.delete_init
+    }
+
+    /// Number of outer rounds of the double fixpoint iteration.
+    pub fn outer_rounds(&self) -> usize {
+        self.outer_rounds
+    }
+
+    /// `true` if the condition establishes validity in pure temporal logic
+    /// (the condition contains the empty implicant, i.e. it is identically true).
+    pub fn valid_in_pure_tl(&self) -> bool {
+        self.delete_init.is_top()
+    }
+
+    /// The disjuncts `Cᵢ` of the condition, each given as the list of edge
+    /// labels `prop(e)` whose henceforth-negation is conjoined in `Cᵢ`.
+    pub fn disjuncts(&self) -> Vec<Vec<&[crate::syntax::Literal]>> {
+        self.delete_init
+            .implicants()
+            .map(|imp| imp.iter().map(|&e| self.graph.edge(e).literals.as_slice()).collect())
+            .collect()
+    }
+}
+
+/// Algorithm B: condition computation plus the end-of-run theory check.
+pub struct AlgorithmB<'t> {
+    theory: &'t dyn Theory,
+    vars: VarSpec,
+    /// Upper bound on the number of selections explored in the
+    /// extralogical-variable check before giving up with [`Decision::Unknown`].
+    pub selection_limit: usize,
+}
+
+impl<'t> AlgorithmB<'t> {
+    /// Creates the procedure over the given theory and variable classification.
+    pub fn new(theory: &'t dyn Theory, vars: VarSpec) -> AlgorithmB<'t> {
+        AlgorithmB { theory, vars, selection_limit: 200_000 }
+    }
+
+    /// Computes the condition formula for `formula` (i.e. for `Graph(¬formula)`).
+    pub fn condition(&self, formula: &Ltl) -> Condition {
+        let graph = TableauGraph::build(&formula.clone().not());
+        condition_of_graph(graph)
+    }
+
+    /// Decides whether `formula` is valid in `TL(T)`.
+    pub fn decide(&self, formula: &Ltl) -> Decision {
+        let condition = self.condition(formula);
+        self.decide_from_condition(formula, &condition)
+    }
+
+    /// Decides validity given a previously computed condition (allows callers to
+    /// time the construction and iteration phases separately).
+    pub fn decide_from_condition(&self, formula: &Ltl, condition: &Condition) -> Decision {
+        if condition.valid_in_pure_tl() {
+            return Decision::Valid;
+        }
+        if condition.dnf().is_bottom() {
+            return Decision::NotValid;
+        }
+        // Sufficient check, exact when all variables are state variables:
+        // some implicant has every edge label T-unsatisfiable.
+        let graph = condition.graph();
+        let implicant_valid = |implicant: &BTreeSet<EdgeId>| {
+            implicant.iter().all(|&e| !self.theory.satisfiable(&graph.edge(e).literals).is_sat())
+        };
+        if condition.dnf().implicants().any(implicant_valid) {
+            return Decision::Valid;
+        }
+
+        let vars = formula.variables();
+        let has_state = vars.iter().any(|v| !self.vars.is_extralogical(v));
+        let has_extra = vars.iter().any(|v| self.vars.is_extralogical(v));
+        if !has_extra {
+            // Pure state-variable (or purely propositional) mode: the check above is exact.
+            return Decision::NotValid;
+        }
+        if has_state {
+            // Mixed mode: we only implement the sufficient check.
+            return Decision::Unknown;
+        }
+        // Extralogical-only mode: T ⊨ ∨ᵢ Cᵢ  iff  every selection of one edge per
+        // implicant yields a T-unsatisfiable conjunction of edge labels.
+        let implicants: Vec<Vec<EdgeId>> =
+            condition.dnf().implicants().map(|imp| imp.iter().copied().collect()).collect();
+        let total: usize = implicants.iter().map(Vec::len).try_fold(1usize, |acc, n| {
+            acc.checked_mul(n).filter(|&v| v <= self.selection_limit)
+        }).unwrap_or(usize::MAX);
+        if total == usize::MAX {
+            return Decision::Unknown;
+        }
+        let mut selection = vec![0usize; implicants.len()];
+        loop {
+            let mut literals = Vec::new();
+            for (imp, &idx) in implicants.iter().zip(selection.iter()) {
+                literals.extend(graph.edge(imp[idx]).literals.iter().cloned());
+            }
+            if self.theory.satisfiable(&literals).is_sat() {
+                // This selection is a T-model of the negation: not valid.
+                return Decision::NotValid;
+            }
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == implicants.len() {
+                    return Decision::Valid;
+                }
+                selection[pos] += 1;
+                if selection[pos] < implicants[pos].len() {
+                    break;
+                }
+                selection[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// Computes the condition `delete(init)` of a tableau graph by the double
+/// fixpoint iteration of Appendix B §5.3, accelerated per strongly connected
+/// component as described in §6.
+pub fn condition_of_graph(graph: TableauGraph) -> Condition {
+    let n = graph.node_count();
+    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let sccs = strongly_connected_components(&graph);
+
+    let mut delete: Vec<Dnf> = vec![Dnf::bottom(); n];
+    let mut fail: BTreeMap<(usize, NodeId), Dnf> = BTreeMap::new();
+    for (ei, _) in eventualities.iter().enumerate() {
+        for node in 0..n {
+            fail.insert((ei, node), Dnf::top());
+        }
+    }
+    let mut outer_rounds = 0;
+
+    // Process components from the sinks of the condensation upward so that the
+    // conditions of all successors outside the component are already final.
+    for component in &sccs {
+        loop {
+            outer_rounds += 1;
+            // Reset fail to the top element within the component (step 6 / 2).
+            for &node in component {
+                for (ei, _) in eventualities.iter().enumerate() {
+                    fail.insert((ei, node), Dnf::top());
+                }
+            }
+            // Iterate fail to its greatest fixpoint within the component.
+            loop {
+                let mut changed = false;
+                for &node in component {
+                    for (ei, ev) in eventualities.iter().enumerate() {
+                        let new = fail_equation(&graph, node, ei, ev, &delete, &fail);
+                        if new != fail[&(ei, node)] {
+                            fail.insert((ei, node), new);
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Iterate delete to its least fixpoint within the component.
+            let mut delete_changed_any = false;
+            loop {
+                let mut changed = false;
+                for &node in component {
+                    let new = delete_equation(&graph, node, &eventualities, &delete, &fail);
+                    if new != delete[node] {
+                        delete[node] = new;
+                        changed = true;
+                        delete_changed_any = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if !delete_changed_any {
+                break;
+            }
+        }
+    }
+
+    let delete_init = delete[graph.initial()].clone();
+    Condition { graph, delete_init, outer_rounds }
+}
+
+/// delete(N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ ∨_{A ∈ ev(e)} fail(A, fin(e)) )
+fn delete_equation(
+    graph: &TableauGraph,
+    node: NodeId,
+    eventualities: &[Ltl],
+    delete: &[Dnf],
+    fail: &BTreeMap<(usize, NodeId), Dnf>,
+) -> Dnf {
+    Dnf::all(graph.outgoing(node).iter().map(|&eid| {
+        let edge = graph.edge(eid);
+        let mut term = Dnf::atom(eid).or(&delete[edge.to]);
+        for (ei, ev) in eventualities.iter().enumerate() {
+            if edge.eventualities.contains(ev) {
+                term = term.or(&fail[&(ei, edge.to)]);
+            }
+        }
+        term
+    }))
+}
+
+/// fail(A, N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ [A not satisfied by e ∧ fail(A, fin(e))] )
+fn fail_equation(
+    graph: &TableauGraph,
+    node: NodeId,
+    ev_index: usize,
+    ev: &Ltl,
+    delete: &[Dnf],
+    fail: &BTreeMap<(usize, NodeId), Dnf>,
+) -> Dnf {
+    Dnf::all(graph.outgoing(node).iter().map(|&eid| {
+        let edge = graph.edge(eid);
+        let mut term = Dnf::atom(eid).or(&delete[edge.to]);
+        if !edge.fulfilled.contains(ev) {
+            term = term.or(&fail[&(ev_index, edge.to)]);
+        }
+        term
+    }))
+}
+
+/// Tarjan's strongly connected components, returned in reverse topological
+/// order of the condensation (components with no edges into later components
+/// come first), which is the order the fixpoint iteration wants.
+fn strongly_connected_components(graph: &TableauGraph) -> Vec<Vec<NodeId>> {
+    struct Tarjan<'g> {
+        graph: &'g TableauGraph,
+        index: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<NodeId>,
+        next_index: usize,
+        components: Vec<Vec<NodeId>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: NodeId) {
+            self.index[v] = Some(self.next_index);
+            self.lowlink[v] = self.next_index;
+            self.next_index += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for &eid in self.graph.outgoing(v) {
+                let w = self.graph.edge(eid).to;
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.lowlink[v] = self.lowlink[v].min(self.lowlink[w]);
+                } else if self.on_stack[w] {
+                    self.lowlink[v] = self.lowlink[v].min(self.index[w].unwrap());
+                }
+            }
+            if self.lowlink[v] == self.index[v].unwrap() {
+                let mut component = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("stack cannot be empty here");
+                    self.on_stack[w] = false;
+                    component.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.components.push(component);
+            }
+        }
+    }
+    let n = graph.node_count();
+    let mut tarjan = Tarjan {
+        graph,
+        index: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        components: Vec::new(),
+    };
+    for v in 0..n {
+        if tarjan.index[v].is_none() {
+            tarjan.visit(v);
+        }
+    }
+    // Tarjan emits components in reverse topological order already.
+    tarjan.components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{CmpOp, Term};
+    use crate::tableau::valid_pure;
+    use crate::theory::{LinearTheory, PropositionalTheory};
+
+    fn p() -> Ltl {
+        Ltl::prop("P")
+    }
+    fn q() -> Ltl {
+        Ltl::prop("Q")
+    }
+
+    #[test]
+    fn pure_temporal_agreement_with_iter() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let formulas = vec![
+            p().or(p().not()),
+            p().always().implies(p()),
+            p().always().implies(p().eventually()),
+            p().eventually().always().implies(p().always().eventually()),
+            p().always().eventually().implies(p().eventually().always()),
+            p().until(q()).iff(q().or(p().and(p().until(q()).next()))),
+            p().eventually(),
+            p().until(q()),
+        ];
+        for f in formulas {
+            let expected = if valid_pure(&f) { Decision::Valid } else { Decision::NotValid };
+            assert_eq!(alg.decide(&f), expected, "disagreement on {f}");
+        }
+    }
+
+    #[test]
+    fn condition_of_valid_formula_is_top() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let cond = alg.condition(&p().or(p().not()));
+        assert!(cond.valid_in_pure_tl());
+        assert!(cond.outer_rounds() >= 1);
+    }
+
+    #[test]
+    fn state_variable_example_from_section_5_1() {
+        // □(x > 0) ∨ □(x < 1): not valid when x is a state variable.
+        let gt = Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0));
+        let lt = Ltl::cmp(Term::var("x"), CmpOp::Lt, Term::int(1));
+        let formula = gt.always().or(lt.always());
+        let linear = LinearTheory::new();
+        let alg = AlgorithmB::new(&linear, VarSpec::all_state());
+        assert_eq!(alg.decide(&formula), Decision::NotValid);
+    }
+
+    #[test]
+    fn extralogical_variable_example_from_section_5_1() {
+        // □(x > 0) ∨ □(x < 1): valid when x is extralogical (time-independent).
+        let gt = Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0));
+        let lt = Ltl::cmp(Term::var("x"), CmpOp::Lt, Term::int(1));
+        let formula = gt.always().or(lt.always());
+        let linear = LinearTheory::new();
+        let alg = AlgorithmB::new(&linear, VarSpec::with_extralogical(["x"]));
+        assert_eq!(alg.decide(&formula), Decision::Valid);
+    }
+
+    #[test]
+    fn state_theory_example_is_valid_with_algorithm_b_too() {
+        let a_ge_1 = Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1));
+        let a_gt_0 = Ltl::cmp(Term::var("a"), CmpOp::Gt, Term::int(0));
+        let formula = a_ge_1.always().implies(a_gt_0.eventually());
+        let linear = LinearTheory::new();
+        let alg = AlgorithmB::new(&linear, VarSpec::all_state());
+        assert_eq!(alg.decide(&formula), Decision::Valid);
+    }
+
+    #[test]
+    fn disjuncts_expose_edge_labels() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let cond = alg.condition(&p().eventually());
+        // ◇P is not valid; the condition should be non-trivial and expose labels.
+        assert!(!cond.valid_in_pure_tl());
+        let _ = cond.disjuncts();
+        assert!(cond.graph().node_count() >= 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Positive disjunctive normal forms over edge atoms.
+//!
+//! Algorithm B manipulates *conditions*: monotone Boolean combinations of the
+//! atoms "□¬prop(e)" for edges `e` of the tableau graph.  A monotone Boolean
+//! function has a unique minimal DNF (its prime implicants), so representing
+//! conditions as antichains of implicant sets gives a canonical form that makes
+//! the fixpoint convergence test a simple structural equality.
+
+use std::collections::BTreeSet;
+
+/// A monotone condition in minimal disjunctive normal form.
+///
+/// An implicant is a set of edge identifiers, read as the conjunction of the
+/// corresponding "□¬prop(e)" atoms; the condition is the disjunction of its
+/// implicants.  The empty implicant is `true`; the empty set of implicants is
+/// `false`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Dnf {
+    implicants: BTreeSet<BTreeSet<usize>>,
+}
+
+impl Dnf {
+    /// The condition `false`.
+    pub fn bottom() -> Dnf {
+        Dnf { implicants: BTreeSet::new() }
+    }
+
+    /// The condition `true`.
+    pub fn top() -> Dnf {
+        let mut implicants = BTreeSet::new();
+        implicants.insert(BTreeSet::new());
+        Dnf { implicants }
+    }
+
+    /// The condition consisting of the single atom `id`.
+    pub fn atom(id: usize) -> Dnf {
+        let mut implicant = BTreeSet::new();
+        implicant.insert(id);
+        let mut implicants = BTreeSet::new();
+        implicants.insert(implicant);
+        Dnf { implicants }
+    }
+
+    /// `true` if the condition is identically false.
+    pub fn is_bottom(&self) -> bool {
+        self.implicants.is_empty()
+    }
+
+    /// `true` if the condition is identically true.
+    pub fn is_top(&self) -> bool {
+        self.implicants.contains(&BTreeSet::new())
+    }
+
+    /// The implicants of the condition.
+    pub fn implicants(&self) -> impl Iterator<Item = &BTreeSet<usize>> {
+        self.implicants.iter()
+    }
+
+    /// The number of implicants.
+    pub fn implicant_count(&self) -> usize {
+        self.implicants.len()
+    }
+
+    /// Removes implicants that are supersets of other implicants (absorption).
+    fn absorb(mut implicants: BTreeSet<BTreeSet<usize>>) -> Dnf {
+        let list: Vec<BTreeSet<usize>> = implicants.iter().cloned().collect();
+        implicants.retain(|imp| {
+            !list.iter().any(|other| other != imp && other.is_subset(imp))
+        });
+        Dnf { implicants }
+    }
+
+    /// Disjunction of two conditions.
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        if self.is_top() || other.is_top() {
+            return Dnf::top();
+        }
+        let mut implicants = self.implicants.clone();
+        implicants.extend(other.implicants.iter().cloned());
+        Dnf::absorb(implicants)
+    }
+
+    /// Conjunction of two conditions.
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        if self.is_bottom() || other.is_bottom() {
+            return Dnf::bottom();
+        }
+        let mut implicants = BTreeSet::new();
+        for a in &self.implicants {
+            for b in &other.implicants {
+                let mut joined = a.clone();
+                joined.extend(b.iter().copied());
+                implicants.insert(joined);
+            }
+        }
+        Dnf::absorb(implicants)
+    }
+
+    /// Disjunction of an iterator of conditions.
+    pub fn any<I: IntoIterator<Item = Dnf>>(items: I) -> Dnf {
+        items.into_iter().fold(Dnf::bottom(), |acc, d| acc.or(&d))
+    }
+
+    /// Conjunction of an iterator of conditions.
+    pub fn all<I: IntoIterator<Item = Dnf>>(items: I) -> Dnf {
+        items.into_iter().fold(Dnf::top(), |acc, d| acc.and(&d))
+    }
+
+    /// Evaluates the condition under an assignment of atoms to Booleans.
+    pub fn eval(&self, assignment: &dyn Fn(usize) -> bool) -> bool {
+        self.implicants.iter().any(|imp| imp.iter().all(|&id| assignment(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_behave() {
+        assert!(Dnf::bottom().is_bottom());
+        assert!(Dnf::top().is_top());
+        assert!(!Dnf::atom(1).is_bottom());
+        assert!(!Dnf::atom(1).is_top());
+    }
+
+    #[test]
+    fn lattice_laws() {
+        let a = Dnf::atom(1);
+        let b = Dnf::atom(2);
+        assert_eq!(a.or(&Dnf::bottom()), a);
+        assert_eq!(a.and(&Dnf::top()), a);
+        assert_eq!(a.and(&Dnf::bottom()), Dnf::bottom());
+        assert_eq!(a.or(&Dnf::top()), Dnf::top());
+        assert_eq!(a.or(&b), b.or(&a));
+        assert_eq!(a.and(&b), b.and(&a));
+    }
+
+    #[test]
+    fn absorption_keeps_minimal_implicants() {
+        // a ∨ (a ∧ b) = a
+        let a = Dnf::atom(1);
+        let ab = Dnf::atom(1).and(&Dnf::atom(2));
+        assert_eq!(a.or(&ab), a);
+        // (a ∨ b) ∧ a = a
+        let aorb = Dnf::atom(1).or(&Dnf::atom(2));
+        assert_eq!(aorb.and(&a), a);
+    }
+
+    #[test]
+    fn distribution() {
+        // (a ∨ b) ∧ c = (a∧c) ∨ (b∧c)
+        let lhs = Dnf::atom(1).or(&Dnf::atom(2)).and(&Dnf::atom(3));
+        let rhs = Dnf::atom(1).and(&Dnf::atom(3)).or(&Dnf::atom(2).and(&Dnf::atom(3)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let cond = Dnf::atom(1).and(&Dnf::atom(2)).or(&Dnf::atom(3));
+        assert!(cond.eval(&|id| id == 3));
+        assert!(cond.eval(&|id| id == 1 || id == 2));
+        assert!(!cond.eval(&|id| id == 1));
+        assert!(Dnf::top().eval(&|_| false));
+        assert!(!Dnf::bottom().eval(&|_| true));
+    }
+
+    #[test]
+    fn any_and_all_fold_correctly() {
+        let items = vec![Dnf::atom(1), Dnf::atom(2)];
+        assert_eq!(Dnf::any(items.clone()), Dnf::atom(1).or(&Dnf::atom(2)));
+        assert_eq!(Dnf::all(items), Dnf::atom(1).and(&Dnf::atom(2)));
+        assert_eq!(Dnf::any(Vec::new()), Dnf::bottom());
+        assert_eq!(Dnf::all(Vec::new()), Dnf::top());
+    }
+}

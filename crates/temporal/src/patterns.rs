@@ -1,0 +1,124 @@
+//! Formula patterns used in the report's evaluation.
+//!
+//! Appendix B §6 reports measurements for three formulae, R3, R4 and R5, built
+//! from a "latched until" pattern:
+//!
+//! * `LU(P, Q)` is defined as `U(¬P, U(P ∧ ¬Q, Q))`;
+//! * `LUA(X, Y)` is defined as `LU(X, X ∧ Y)`.
+//!
+//! (`U` is the weak until of the report.)  This module reconstructs those
+//! definitions and the three benchmark formulae, as well as a few synthetic
+//! families used by the scaling benchmarks.
+
+use crate::syntax::Ltl;
+
+/// `LU(p, q) = U(¬p, U(p ∧ ¬q, q))`.
+pub fn lu(p: Ltl, q: Ltl) -> Ltl {
+    let inner = p.clone().and(q.clone().not()).until(q);
+    p.not().until(inner)
+}
+
+/// `LUA(x, y) = LU(x, x ∧ y)`.
+pub fn lua(x: Ltl, y: Ltl) -> Ltl {
+    lu(x.clone(), x.and(y))
+}
+
+/// R3: `□LUA(A, X) ∧ □LUA(A, Y) ⊃ □LUA(A, X ∧ Y)`.
+pub fn r3() -> Ltl {
+    let a = Ltl::prop("A");
+    let x = Ltl::prop("X");
+    let y = Ltl::prop("Y");
+    lua(a.clone(), x.clone())
+        .always()
+        .and(lua(a.clone(), y.clone()).always())
+        .implies(lua(a, x.and(y)).always())
+}
+
+/// R4: `□LUA(A, B ∧ C) ∧ □LUA(B, A ∧ ¬C) ⊃ □LUA(A ∨ B, False)`.
+pub fn r4() -> Ltl {
+    let a = Ltl::prop("A");
+    let b = Ltl::prop("B");
+    let c = Ltl::prop("C");
+    lua(a.clone(), b.clone().and(c.clone()))
+        .always()
+        .and(lua(b.clone(), a.clone().and(c.not())).always())
+        .implies(lua(a.or(b), Ltl::False).always())
+}
+
+/// R5: `LUA(A, B) ∧ LUA(B, C) ⊃ LUA(A ∨ B, C)`.
+pub fn r5() -> Ltl {
+    let a = Ltl::prop("A");
+    let b = Ltl::prop("B");
+    let c = Ltl::prop("C");
+    lua(a.clone(), b.clone())
+        .and(lua(b.clone(), c.clone()))
+        .implies(lua(a.or(b), c))
+}
+
+/// The three benchmark formulae of the Appendix B §6 table, with their names.
+pub fn appendix_b_table() -> Vec<(&'static str, Ltl)> {
+    vec![("R3", r3()), ("R4", r4()), ("R5", r5())]
+}
+
+/// A chain of nested eventualities `◇(P1 ∧ ◇(P2 ∧ ... ◇Pn))`, used for scaling studies.
+pub fn eventuality_chain(n: usize) -> Ltl {
+    let mut formula = Ltl::prop(format!("P{n}"));
+    for i in (1..n).rev() {
+        formula = Ltl::prop(format!("P{i}")).and(formula.eventually());
+    }
+    formula.eventually()
+}
+
+/// A response ladder `□(P1 ⊃ ◇P2) ∧ ... ∧ □(P{n-1} ⊃ ◇Pn) ⊃ □(P1 ⊃ ◇Pn)`,
+/// valid for every `n ≥ 2`; used for scaling studies.
+pub fn response_ladder(n: usize) -> Ltl {
+    assert!(n >= 2, "a response ladder needs at least two propositions");
+    let hyp = Ltl::conj((1..n).map(|i| {
+        Ltl::prop(format!("P{i}"))
+            .implies(Ltl::prop(format!("P{}", i + 1)).eventually())
+            .always()
+    }));
+    let concl = Ltl::prop("P1").implies(Ltl::prop(format!("P{n}")).eventually()).always();
+    hyp.implies(concl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::valid_pure;
+
+    #[test]
+    fn lu_of_identical_arguments_is_satisfiable() {
+        assert!(crate::tableau::satisfiable_pure(&lu(Ltl::prop("P"), Ltl::prop("P"))));
+    }
+
+    #[test]
+    fn r3_r4_r5_are_valid_in_pure_temporal_logic() {
+        // The report states these formulae "were all shown to be valid in pure
+        // temporal logic".
+        assert!(valid_pure(&r3()), "R3 should be valid");
+        assert!(valid_pure(&r4()), "R4 should be valid");
+        assert!(valid_pure(&r5()), "R5 should be valid");
+    }
+
+    #[test]
+    fn response_ladders_are_valid() {
+        for n in 2..=4 {
+            assert!(valid_pure(&response_ladder(n)), "ladder {n} should be valid");
+        }
+    }
+
+    #[test]
+    fn eventuality_chains_are_satisfiable_but_not_valid() {
+        for n in 1..=3 {
+            let f = eventuality_chain(n);
+            assert!(crate::tableau::satisfiable_pure(&f));
+            assert!(!valid_pure(&f));
+        }
+    }
+
+    #[test]
+    fn table_has_three_entries() {
+        assert_eq!(appendix_b_table().len(), 3);
+    }
+}

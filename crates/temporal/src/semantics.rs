@@ -1,0 +1,332 @@
+//! Model-theoretic semantics of the temporal logic over concrete computation
+//! sequences.
+//!
+//! An interpretation in the report is an infinite sequence of states.  This
+//! module represents such sequences as *lassos*: a finite list of states whose
+//! last position loops back to a designated position (an ultimately periodic
+//! word).  A finite computation is represented, as the report prescribes for
+//! the interval logic, by extending its last state forever — i.e. a lasso whose
+//! loop is the final state alone.
+//!
+//! Evaluation is exact: the satisfaction sets of all subformulas are computed
+//! bottom-up by fixpoint iteration over the lasso positions, so `□`, `◇` and the
+//! weak `U` are interpreted over the genuinely infinite unrolling.
+
+use std::collections::BTreeMap;
+
+use crate::syntax::{Atom, Ltl};
+
+/// A single state of a computation: truth values for propositions and integer
+/// values for the variables used by constraint atoms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlState {
+    props: BTreeMap<String, bool>,
+    vars: BTreeMap<String, i64>,
+}
+
+impl TlState {
+    /// Creates an empty state (all propositions false, no variables bound).
+    pub fn new() -> TlState {
+        TlState::default()
+    }
+
+    /// Sets the truth value of a proposition, returning `self` for chaining.
+    pub fn with_prop(mut self, name: impl Into<String>, value: bool) -> TlState {
+        self.props.insert(name.into(), value);
+        self
+    }
+
+    /// Sets the value of an integer variable, returning `self` for chaining.
+    pub fn with_var(mut self, name: impl Into<String>, value: i64) -> TlState {
+        self.vars.insert(name.into(), value);
+        self
+    }
+
+    /// Sets the truth value of a proposition.
+    pub fn set_prop(&mut self, name: impl Into<String>, value: bool) {
+        self.props.insert(name.into(), value);
+    }
+
+    /// Sets the value of an integer variable.
+    pub fn set_var(&mut self, name: impl Into<String>, value: i64) {
+        self.vars.insert(name.into(), value);
+    }
+
+    /// The truth value of a proposition (unlisted propositions are false).
+    pub fn prop(&self, name: &str) -> bool {
+        self.props.get(name).copied().unwrap_or(false)
+    }
+
+    /// The value of an integer variable, if bound.
+    pub fn var(&self, name: &str) -> Option<i64> {
+        self.vars.get(name).copied()
+    }
+
+    /// Evaluates an atom in this state.
+    ///
+    /// Constraint atoms with unbound variables evaluate to `false`.
+    pub fn eval_atom(&self, atom: &Atom) -> bool {
+        match atom {
+            Atom::Prop(name) => self.prop(name),
+            Atom::Cmp { lhs, op, rhs } => {
+                let lookup = |name: &str| self.var(name);
+                match (lhs.eval(&lookup), rhs.eval(&lookup)) {
+                    (Some(a), Some(b)) => op.eval(a, b),
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// An ultimately periodic computation sequence (a lasso).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlTrace {
+    states: Vec<TlState>,
+    loop_start: usize,
+}
+
+impl TlTrace {
+    /// Builds a trace from a finite list of states, extending the final state
+    /// forever (the report's convention for finite computations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn finite(states: Vec<TlState>) -> TlTrace {
+        assert!(!states.is_empty(), "a computation must contain at least one state");
+        let loop_start = states.len() - 1;
+        TlTrace { states, loop_start }
+    }
+
+    /// Builds an ultimately periodic trace looping back to `loop_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or `loop_start` is out of range.
+    pub fn lasso(states: Vec<TlState>, loop_start: usize) -> TlTrace {
+        assert!(!states.is_empty(), "a computation must contain at least one state");
+        assert!(loop_start < states.len(), "loop start must index an existing state");
+        TlTrace { states, loop_start }
+    }
+
+    /// Number of distinct represented positions.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always `false`: traces contain at least one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The position the final position loops back to.
+    pub fn loop_start(&self) -> usize {
+        self.loop_start
+    }
+
+    /// The state at a represented position.
+    pub fn state(&self, index: usize) -> &TlState {
+        &self.states[index]
+    }
+
+    /// The successor of a represented position in the infinite unrolling.
+    pub fn successor(&self, index: usize) -> usize {
+        if index + 1 < self.states.len() {
+            index + 1
+        } else {
+            self.loop_start
+        }
+    }
+
+    /// Evaluates `formula` at represented position `index`.
+    pub fn eval_at(&self, formula: &Ltl, index: usize) -> bool {
+        assert!(index < self.states.len(), "position out of range");
+        self.satisfaction(formula)[index]
+    }
+
+    /// Evaluates `formula` at the initial position.
+    pub fn eval(&self, formula: &Ltl) -> bool {
+        self.eval_at(formula, 0)
+    }
+
+    /// Computes the satisfaction vector of `formula` over all represented positions.
+    pub fn satisfaction(&self, formula: &Ltl) -> Vec<bool> {
+        let n = self.states.len();
+        match formula {
+            Ltl::True => vec![true; n],
+            Ltl::False => vec![false; n],
+            Ltl::Atom(a) => (0..n).map(|i| self.states[i].eval_atom(a)).collect(),
+            Ltl::Not(a) => self.satisfaction(a).into_iter().map(|b| !b).collect(),
+            Ltl::And(a, b) => {
+                let sa = self.satisfaction(a);
+                let sb = self.satisfaction(b);
+                sa.into_iter().zip(sb).map(|(x, y)| x && y).collect()
+            }
+            Ltl::Or(a, b) => {
+                let sa = self.satisfaction(a);
+                let sb = self.satisfaction(b);
+                sa.into_iter().zip(sb).map(|(x, y)| x || y).collect()
+            }
+            Ltl::Next(a) => {
+                let sa = self.satisfaction(a);
+                (0..n).map(|i| sa[self.successor(i)]).collect()
+            }
+            Ltl::Always(a) => {
+                // Greatest fixpoint of  X = a ∧ ◦X.
+                let sa = self.satisfaction(a);
+                self.greatest_fixpoint(|next, i| sa[i] && next[self.successor(i)])
+            }
+            Ltl::Eventually(a) => {
+                // Least fixpoint of  X = a ∨ ◦X.
+                let sa = self.satisfaction(a);
+                self.least_fixpoint(|next, i| sa[i] || next[self.successor(i)])
+            }
+            Ltl::Until(p, q) => {
+                // Weak until: greatest fixpoint of  X = q ∨ (p ∧ ◦X).
+                let sp = self.satisfaction(p);
+                let sq = self.satisfaction(q);
+                self.greatest_fixpoint(|next, i| sq[i] || (sp[i] && next[self.successor(i)]))
+            }
+        }
+    }
+
+    fn greatest_fixpoint<F>(&self, step: F) -> Vec<bool>
+    where
+        F: Fn(&[bool], usize) -> bool,
+    {
+        let n = self.states.len();
+        let mut current = vec![true; n];
+        loop {
+            let next: Vec<bool> = (0..n).map(|i| step(&current, i)).collect();
+            if next == current {
+                return current;
+            }
+            current = next;
+        }
+    }
+
+    fn least_fixpoint<F>(&self, step: F) -> Vec<bool>
+    where
+        F: Fn(&[bool], usize) -> bool,
+    {
+        let n = self.states.len();
+        let mut current = vec![false; n];
+        loop {
+            let next: Vec<bool> = (0..n).map(|i| step(&current, i)).collect();
+            if next == current {
+                return current;
+            }
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{CmpOp, Term};
+
+    fn s(p: bool, q: bool) -> TlState {
+        TlState::new().with_prop("P", p).with_prop("Q", q)
+    }
+
+    #[test]
+    fn atoms_and_boolean_connectives() {
+        let trace = TlTrace::finite(vec![s(true, false), s(false, true)]);
+        let p = Ltl::prop("P");
+        let q = Ltl::prop("Q");
+        assert!(trace.eval(&p));
+        assert!(!trace.eval(&q));
+        assert!(trace.eval(&p.clone().and(q.clone().not())));
+        assert!(trace.eval_at(&q, 1));
+        assert!(!trace.eval_at(&p, 1));
+    }
+
+    #[test]
+    fn next_follows_the_lasso() {
+        let trace = TlTrace::lasso(vec![s(true, false), s(false, true)], 0);
+        let p = Ltl::prop("P");
+        // Position 1 loops back to position 0 where P holds.
+        assert!(trace.eval_at(&p.clone().next(), 1));
+        assert!(!trace.eval_at(&p.next(), 0));
+    }
+
+    #[test]
+    fn always_on_finite_trace_uses_stutter_extension() {
+        // P holds in the last state, so □P holds from position 1 onward
+        // because the final state repeats forever.
+        let trace = TlTrace::finite(vec![s(false, false), s(true, false)]);
+        let always_p = Ltl::prop("P").always();
+        assert!(!trace.eval_at(&always_p, 0));
+        assert!(trace.eval_at(&always_p, 1));
+    }
+
+    #[test]
+    fn eventually_distinguishes_lasso_from_finite() {
+        // Q never holds; ◇Q is false everywhere.
+        let trace = TlTrace::lasso(vec![s(true, false), s(true, false)], 0);
+        assert!(!trace.eval(&Ltl::prop("Q").eventually()));
+        // Q holds in the loop, so ◇Q holds everywhere.
+        let trace = TlTrace::lasso(vec![s(true, false), s(false, true)], 0);
+        assert!(trace.eval(&Ltl::prop("Q").eventually()));
+    }
+
+    #[test]
+    fn weak_until_is_satisfied_by_invariance() {
+        // P forever, Q never: weak U(P, Q) holds.
+        let trace = TlTrace::lasso(vec![s(true, false)], 0);
+        assert!(trace.eval(&Ltl::prop("P").until(Ltl::prop("Q"))));
+        // Strong until requires the eventuality.
+        assert!(!trace.eval(&Ltl::prop("P").strong_until(Ltl::prop("Q"))));
+    }
+
+    #[test]
+    fn weak_until_requires_p_up_to_q() {
+        let trace = TlTrace::finite(vec![s(true, false), s(false, false), s(false, true)]);
+        // P fails at position 1 before Q becomes true at 2.
+        assert!(!trace.eval(&Ltl::prop("P").until(Ltl::prop("Q"))));
+        let trace = TlTrace::finite(vec![s(true, false), s(true, false), s(false, true)]);
+        assert!(trace.eval(&Ltl::prop("P").until(Ltl::prop("Q"))));
+    }
+
+    #[test]
+    fn valid_implication_from_the_report() {
+        // <>[]P ⊃ []<>P is valid: check on a few lassos.
+        let f = Ltl::prop("P")
+            .always()
+            .eventually()
+            .implies(Ltl::prop("P").eventually().always());
+        for states in [
+            vec![s(false, false), s(true, false)],
+            vec![s(true, false), s(false, false)],
+            vec![s(false, false), s(false, false)],
+        ] {
+            for loop_start in 0..states.len() {
+                let trace = TlTrace::lasso(states.clone(), loop_start);
+                assert!(trace.eval(&f), "failed on {states:?} loop {loop_start}");
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_atoms_read_state_variables() {
+        let s0 = TlState::new().with_var("x", 3).with_var("y", 6);
+        let s1 = TlState::new().with_var("x", 2).with_var("y", 5);
+        let trace = TlTrace::finite(vec![s0, s1]);
+        let double = Ltl::cmp(
+            Term::var("y"),
+            CmpOp::Eq,
+            Term::var("x").plus(Term::var("x")),
+        );
+        assert!(trace.eval(&double));
+        assert!(!trace.eval(&double.clone().always()));
+    }
+
+    #[test]
+    fn unbound_variables_make_constraints_false() {
+        let trace = TlTrace::finite(vec![TlState::new()]);
+        let c = Ltl::cmp(Term::var("z"), CmpOp::Ge, Term::int(0));
+        assert!(!trace.eval(&c));
+    }
+}

@@ -1,0 +1,539 @@
+//! Abstract syntax of the discrete linear-time propositional temporal logic of
+//! Appendix B ("A Decision Procedure for Combinations of Propositional Temporal
+//! Logic and Other Specialized Theories").
+//!
+//! The logic has the Boolean connectives, the unary temporal connectives `□`
+//! (henceforth), `◇` (eventually) and `◦` (next time), and the binary *weak*
+//! `Until` connective: following the report, `U(p, q)` is true if `p` is
+//! henceforth true and `q` never becomes true.
+//!
+//! Atoms are either uninterpreted propositions or constraints of a specialized
+//! theory (linear arithmetic over integer-valued variables, equalities, ...).
+//! Variables occurring in constraint atoms are classified as *state* variables
+//! (their value may change from instant to instant) or *extralogical* variables
+//! (their value is fixed for the whole computation); the classification is held
+//! in a [`VarSpec`] passed to the decision procedures rather than in the syntax.
+
+use std::fmt;
+
+/// An arithmetic term over integer-valued variables, used inside constraint atoms.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A named variable.
+    Var(String),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two terms.
+    Add(Box<Term>, Box<Term>),
+    /// Difference of two terms.
+    Sub(Box<Term>, Box<Term>),
+    /// Multiplication by an integer constant.
+    Mul(i64, Box<Term>),
+    /// Arithmetic negation.
+    Neg(Box<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A constant term.
+    pub fn int(value: i64) -> Term {
+        Term::Const(value)
+    }
+
+    /// `self + other`.
+    pub fn plus(self, other: Term) -> Term {
+        Term::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn minus(self, other: Term) -> Term {
+        Term::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `k * self`.
+    pub fn times(self, k: i64) -> Term {
+        Term::Mul(k, Box::new(self))
+    }
+
+    /// Collects the variables occurring in the term into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Term::Const(_) => {}
+            Term::Add(a, b) | Term::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Mul(_, a) | Term::Neg(a) => a.collect_vars(out),
+        }
+    }
+
+    /// Evaluates the term under an assignment of integers to variables.
+    ///
+    /// Returns `None` if a variable is unassigned.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        match self {
+            Term::Var(v) => lookup(v),
+            Term::Const(c) => Some(*c),
+            Term::Add(a, b) => Some(a.eval(lookup)?.wrapping_add(b.eval(lookup)?)),
+            Term::Sub(a, b) => Some(a.eval(lookup)?.wrapping_sub(b.eval(lookup)?)),
+            Term::Mul(k, a) => Some(k.wrapping_mul(a.eval(lookup)?)),
+            Term::Neg(a) => Some(-a.eval(lookup)?),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Mul(k, a) => write!(f, "{k}*{a}"),
+            Term::Neg(a) => write!(f, "-{a}"),
+        }
+    }
+}
+
+/// Comparison operator of a constraint atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator satisfied exactly when `self` is not.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates `lhs op rhs` over the integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "/=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An atom of the logic: an uninterpreted proposition or a specialized-theory constraint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// An uninterpreted proposition, e.g. `P`.
+    Prop(String),
+    /// A constraint over integer terms, e.g. `x + 1 <= y`.
+    Cmp {
+        /// Left-hand side.
+        lhs: Term,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand side.
+        rhs: Term,
+    },
+}
+
+impl Atom {
+    /// An uninterpreted proposition atom.
+    pub fn prop(name: impl Into<String>) -> Atom {
+        Atom::Prop(name.into())
+    }
+
+    /// A constraint atom `lhs op rhs`.
+    pub fn cmp(lhs: Term, op: CmpOp, rhs: Term) -> Atom {
+        Atom::Cmp { lhs, op, rhs }
+    }
+
+    /// Collects the variables occurring in the atom.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Atom::Prop(_) => {}
+            Atom::Cmp { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Prop(p) => write!(f, "{p}"),
+            Atom::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+/// A literal: an atom with a polarity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for the atom itself, `false` for its negation.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal { atom, positive: true }
+    }
+
+    /// A negative literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal { atom, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn complement(&self) -> Literal {
+        Literal { atom: self.atom.clone(), positive: !self.positive }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.atom)
+        } else {
+            write!(f, "~{}", self.atom)
+        }
+    }
+}
+
+/// A formula of discrete linear-time propositional temporal logic.
+///
+/// `Until` is the *weak* until of the report: `U(p, q)` holds if `□p` holds or
+/// there is a future instant at which `q` holds and `p` holds at every instant
+/// strictly before it (from now on).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ltl {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// An atom.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Next time (`◦`).
+    Next(Box<Ltl>),
+    /// Henceforth (`□`).
+    Always(Box<Ltl>),
+    /// Eventually (`◇`).
+    Eventually(Box<Ltl>),
+    /// Weak until (`U`).
+    Until(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// A propositional atom.
+    pub fn prop(name: impl Into<String>) -> Ltl {
+        Ltl::Atom(Atom::prop(name))
+    }
+
+    /// A constraint atom.
+    pub fn cmp(lhs: Term, op: CmpOp, rhs: Term) -> Ltl {
+        Ltl::Atom(Atom::cmp(lhs, op, rhs))
+    }
+
+    /// Negation, with trivial simplification of double negation and constants.
+    pub fn not(self) -> Ltl {
+        match self {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Not(inner) => *inner,
+            other => Ltl::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction, with constant simplification.
+    pub fn and(self, other: Ltl) -> Ltl {
+        match (self, other) {
+            (Ltl::True, b) => b,
+            (a, Ltl::True) => a,
+            (Ltl::False, _) | (_, Ltl::False) => Ltl::False,
+            (a, b) => Ltl::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction, with constant simplification.
+    pub fn or(self, other: Ltl) -> Ltl {
+        match (self, other) {
+            (Ltl::False, b) => b,
+            (a, Ltl::False) => a,
+            (Ltl::True, _) | (_, Ltl::True) => Ltl::True,
+            (a, b) => Ltl::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Material implication `self ⊃ other`, expressed with `¬` and `∨`.
+    pub fn implies(self, other: Ltl) -> Ltl {
+        self.not().or(other)
+    }
+
+    /// Biconditional, expressed as conjunction of two implications.
+    pub fn iff(self, other: Ltl) -> Ltl {
+        self.clone().implies(other.clone()).and(other.implies(self))
+    }
+
+    /// Next time.
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Box::new(self))
+    }
+
+    /// Henceforth.
+    pub fn always(self) -> Ltl {
+        Ltl::Always(Box::new(self))
+    }
+
+    /// Eventually.
+    pub fn eventually(self) -> Ltl {
+        Ltl::Eventually(Box::new(self))
+    }
+
+    /// Weak until (the report's `U`).
+    pub fn until(self, other: Ltl) -> Ltl {
+        Ltl::Until(Box::new(self), Box::new(other))
+    }
+
+    /// Strong until: weak until conjoined with the eventuality of the second argument.
+    pub fn strong_until(self, other: Ltl) -> Ltl {
+        self.until(other.clone()).and(other.eventually())
+    }
+
+    /// Conjunction of an iterator of formulas (`True` when empty).
+    pub fn conj<I: IntoIterator<Item = Ltl>>(items: I) -> Ltl {
+        items.into_iter().fold(Ltl::True, |acc, f| acc.and(f))
+    }
+
+    /// Disjunction of an iterator of formulas (`False` when empty).
+    pub fn disj<I: IntoIterator<Item = Ltl>>(items: I) -> Ltl {
+        items.into_iter().fold(Ltl::False, |acc, f| acc.or(f))
+    }
+
+    /// Collects the distinct atoms of the formula, in first-occurrence order.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Ltl::True | Ltl::False => {}
+            Ltl::Atom(a) => {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Always(a) | Ltl::Eventually(a) => {
+                a.collect_atoms(out)
+            }
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Collects the distinct variables occurring in constraint atoms.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for atom in self.atoms() {
+            atom.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// The number of connectives and atoms in the formula, a rough size measure.
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Atom(_) => 1,
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Always(a) | Ltl::Eventually(a) => 1 + a.size(),
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// `true` if the formula contains no temporal connectives.
+    pub fn is_state_formula(&self) -> bool {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Atom(_) => true,
+            Ltl::Not(a) => a.is_state_formula(),
+            Ltl::And(a, b) | Ltl::Or(a, b) => a.is_state_formula() && b.is_state_formula(),
+            Ltl::Next(_) | Ltl::Always(_) | Ltl::Eventually(_) | Ltl::Until(_, _) => false,
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Atom(a) => write!(f, "{a}"),
+            Ltl::Not(a) => write!(f, "~{a}"),
+            Ltl::And(a, b) => write!(f, "({a} & {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ltl::Next(a) => write!(f, "o{a}"),
+            Ltl::Always(a) => write!(f, "[]{a}"),
+            Ltl::Eventually(a) => write!(f, "<>{a}"),
+            Ltl::Until(a, b) => write!(f, "U({a}, {b})"),
+        }
+    }
+}
+
+/// Classification of constraint variables for the combined decision procedures.
+///
+/// State variables may take different values at different instants of time;
+/// extralogical variables have the same value at all instants (Appendix B §2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarSpec {
+    extralogical: Vec<String>,
+}
+
+impl VarSpec {
+    /// A specification in which every variable is a state variable.
+    pub fn all_state() -> VarSpec {
+        VarSpec::default()
+    }
+
+    /// Builds a specification from a list of extralogical variable names.
+    pub fn with_extralogical<I, S>(names: I) -> VarSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        VarSpec { extralogical: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// `true` if the named variable is extralogical (time-independent).
+    pub fn is_extralogical(&self, name: &str) -> bool {
+        self.extralogical.iter().any(|n| n == name)
+    }
+
+    /// Iterates over the extralogical variable names.
+    pub fn extralogical(&self) -> impl Iterator<Item = &str> {
+        self.extralogical.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_simplify_constants() {
+        let p = Ltl::prop("P");
+        assert_eq!(p.clone().and(Ltl::True), p);
+        assert_eq!(Ltl::True.and(p.clone()), p);
+        assert_eq!(p.clone().and(Ltl::False), Ltl::False);
+        assert_eq!(p.clone().or(Ltl::False), p);
+        assert_eq!(p.clone().or(Ltl::True), Ltl::True);
+        assert_eq!(p.clone().not().not(), p);
+        assert_eq!(Ltl::True.not(), Ltl::False);
+    }
+
+    #[test]
+    fn atoms_are_deduplicated() {
+        let p = Ltl::prop("P");
+        let q = Ltl::prop("Q");
+        let f = p.clone().and(q.clone()).or(p.clone()).until(q);
+        assert_eq!(f.atoms().len(), 2);
+    }
+
+    #[test]
+    fn size_counts_connectives() {
+        let f = Ltl::prop("P").and(Ltl::prop("Q")).always();
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn term_eval_and_vars() {
+        let t = Term::var("x").plus(Term::int(3)).times(2);
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string()]);
+        let value = t.eval(&|name| if name == "x" { Some(4) } else { None });
+        assert_eq!(value, Some(14));
+    }
+
+    #[test]
+    fn cmp_op_negation_round_trips() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn state_formula_detection() {
+        assert!(Ltl::prop("P").and(Ltl::prop("Q").not()).is_state_formula());
+        assert!(!Ltl::prop("P").always().is_state_formula());
+    }
+
+    #[test]
+    fn var_spec_classifies() {
+        let spec = VarSpec::with_extralogical(["x"]);
+        assert!(spec.is_extralogical("x"));
+        assert!(!spec.is_extralogical("y"));
+        assert!(VarSpec::all_state().extralogical().next().is_none());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let f = Ltl::prop("P").until(Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0)));
+        assert!(!format!("{f}").is_empty());
+        assert!(format!("{f}").contains("x > 0"));
+    }
+}

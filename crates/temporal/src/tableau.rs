@@ -1,0 +1,563 @@
+//! The tableau-like satisfiability graph of Appendix B §3.
+//!
+//! Given a temporal formula `B`, [`TableauGraph::build`] constructs a graph
+//! `Graph(B)` representing the set of models of `B`.  Nodes represent states
+//! and are labelled with the formulae that must hold of the remaining
+//! computation; edges are labelled with a conjunction of literals (the
+//! propositional commitment made in the source state), a set of
+//! *eventualities* (formulae that must eventually be satisfied on any
+//! continuation) and a set of *satisfied eventualities* (eventualities
+//! discharged by this very transition).
+//!
+//! [`prune`] implements the `Iter` deletion loop: edges whose literal label is
+//! inconsistent (propositionally, or in a specialized theory for Algorithm A)
+//! are removed, edges carrying an eventuality that can no longer be satisfied
+//! by any path are removed, and nodes with no outgoing edges are removed, until
+//! a fixpoint is reached.  `B` is satisfiable iff the initial node survives.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::syntax::{Atom, Literal, Ltl};
+use crate::theory::{Theory, TheoryResult};
+
+/// Identifier of a node in a [`TableauGraph`].
+pub type NodeId = usize;
+/// Identifier of an edge in a [`TableauGraph`].
+pub type EdgeId = usize;
+
+/// An edge of the tableau graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// The conjunction of literals labelling the edge (its "propositional part").
+    pub literals: Vec<Literal>,
+    /// Eventualities promised by this edge: formulae that must hold at some
+    /// later instant on every model continuing through this edge.
+    pub eventualities: BTreeSet<Ltl>,
+    /// Eventualities discharged by this edge: the labelled formula holds in the
+    /// source state of this transition.
+    pub fulfilled: BTreeSet<Ltl>,
+}
+
+/// The tableau graph of a formula.
+#[derive(Clone, Debug)]
+pub struct TableauGraph {
+    labels: Vec<BTreeSet<Ltl>>,
+    edges: Vec<Edge>,
+    outgoing: Vec<Vec<EdgeId>>,
+    initial: NodeId,
+}
+
+/// One saturated expansion of a node label set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Expansion {
+    literals: BTreeMap<Atom, bool>,
+    next: BTreeSet<Ltl>,
+    eventualities: BTreeSet<Ltl>,
+    fulfilled: BTreeSet<Ltl>,
+}
+
+impl TableauGraph {
+    /// Constructs the graph `Graph(formula)` representing the models of `formula`.
+    pub fn build(formula: &Ltl) -> TableauGraph {
+        let mut graph = TableauGraph {
+            labels: Vec::new(),
+            edges: Vec::new(),
+            outgoing: Vec::new(),
+            initial: 0,
+        };
+        let mut index: HashMap<BTreeSet<Ltl>, NodeId> = HashMap::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+
+        let init_label: BTreeSet<Ltl> = [formula.clone()].into_iter().collect();
+        let init = graph.intern(&mut index, init_label);
+        graph.initial = init;
+        queue.push_back(init);
+
+        let mut processed: BTreeSet<NodeId> = BTreeSet::new();
+        while let Some(node) = queue.pop_front() {
+            if !processed.insert(node) {
+                continue;
+            }
+            let expansions = expand_set(&graph.labels[node]);
+            for exp in expansions {
+                let target_label = exp.next.clone();
+                let target = graph.intern(&mut index, target_label);
+                if !processed.contains(&target) {
+                    queue.push_back(target);
+                }
+                let literals = exp
+                    .literals
+                    .iter()
+                    .map(|(atom, positive)| Literal { atom: atom.clone(), positive: *positive })
+                    .collect();
+                let edge = Edge {
+                    from: node,
+                    to: target,
+                    literals,
+                    eventualities: exp.eventualities,
+                    fulfilled: exp.fulfilled,
+                };
+                let id = graph.edges.len();
+                graph.edges.push(edge);
+                graph.outgoing[node].push(id);
+            }
+        }
+        graph
+    }
+
+    fn intern(&mut self, index: &mut HashMap<BTreeSet<Ltl>, NodeId>, label: BTreeSet<Ltl>) -> NodeId {
+        if let Some(&id) = index.get(&label) {
+            return id;
+        }
+        let id = self.labels.len();
+        index.insert(label.clone(), id);
+        self.labels.push(label);
+        self.outgoing.push(Vec::new());
+        id
+    }
+
+    /// The initial node.
+    pub fn initial(&self) -> NodeId {
+        self.initial
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label set of a node.
+    pub fn label(&self, node: NodeId) -> &BTreeSet<Ltl> {
+        &self.labels[node]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// Ids of the edges leaving `node`.
+    pub fn outgoing(&self, node: NodeId) -> &[EdgeId] {
+        &self.outgoing[node]
+    }
+
+    /// The distinct eventualities occurring on any edge.
+    pub fn eventualities(&self) -> BTreeSet<Ltl> {
+        let mut all = BTreeSet::new();
+        for e in &self.edges {
+            all.extend(e.eventualities.iter().cloned());
+        }
+        all
+    }
+}
+
+/// Expands a set of formulae into all of its saturated alternatives.
+fn expand_set(label: &BTreeSet<Ltl>) -> Vec<Expansion> {
+    let mut results = Vec::new();
+    let pending: Vec<Ltl> = label.iter().cloned().collect();
+    expand_rec(pending, BTreeSet::new(), Expansion::default(), &mut results);
+    results
+}
+
+fn expand_rec(
+    mut pending: Vec<Ltl>,
+    mut seen: BTreeSet<Ltl>,
+    mut acc: Expansion,
+    results: &mut Vec<Expansion>,
+) {
+    loop {
+        let Some(formula) = pending.pop() else {
+            results.push(acc);
+            return;
+        };
+        if !seen.insert(formula.clone()) {
+            continue;
+        }
+        match formula {
+            Ltl::True => {}
+            Ltl::False => return, // inconsistent branch
+            Ltl::Atom(atom) => {
+                if !add_literal(&mut acc, atom, true) {
+                    return;
+                }
+            }
+            Ltl::Not(inner) => match *inner {
+                Ltl::True => return,
+                Ltl::False => {}
+                Ltl::Atom(atom) => {
+                    if !add_literal(&mut acc, atom, false) {
+                        return;
+                    }
+                }
+                Ltl::Not(a) => pending.push(*a),
+                Ltl::And(a, b) => {
+                    // ¬(a ∧ b)  →  ¬a ∨ ¬b
+                    pending.push(Ltl::Or(Box::new(a.not()), Box::new(b.not())));
+                }
+                Ltl::Or(a, b) => {
+                    pending.push(a.not());
+                    pending.push(b.not());
+                }
+                Ltl::Next(a) => {
+                    acc.next.insert(a.not());
+                }
+                Ltl::Always(a) => pending.push(Ltl::Eventually(Box::new(a.not()))),
+                Ltl::Eventually(a) => pending.push(Ltl::Always(Box::new(a.not()))),
+                Ltl::Until(p, q) => {
+                    // ¬U(p, q)  →  ¬q ∧ (¬p  ∨  ◦¬U(p, q))  with eventuality ¬p.
+                    let not_p = p.clone().not();
+                    let not_u = Ltl::Until(p, q.clone()).not();
+                    pending.push(q.not());
+                    // Branch 1: ¬p holds now (eventuality fulfilled).
+                    let mut now = Expansion {
+                        literals: acc.literals.clone(),
+                        next: acc.next.clone(),
+                        eventualities: acc.eventualities.clone(),
+                        fulfilled: acc.fulfilled.clone(),
+                    };
+                    now.fulfilled.insert(not_p.clone());
+                    let mut now_pending = pending.clone();
+                    now_pending.push(not_p.clone());
+                    expand_rec(now_pending, seen.clone(), now, results);
+                    // Branch 2: defer; promise the eventuality ¬p.
+                    acc.eventualities.insert(not_p);
+                    acc.next.insert(not_u);
+                    continue;
+                }
+            },
+            Ltl::And(a, b) => {
+                pending.push(*a);
+                pending.push(*b);
+            }
+            Ltl::Or(a, b) => {
+                let mut left_pending = pending.clone();
+                left_pending.push(*a);
+                expand_rec(left_pending, seen.clone(), acc.clone(), results);
+                pending.push(*b);
+                continue;
+            }
+            Ltl::Next(a) => {
+                acc.next.insert(*a);
+            }
+            Ltl::Always(a) => {
+                // □a  →  a ∧ ◦□a
+                acc.next.insert(Ltl::Always(a.clone()));
+                pending.push(*a);
+            }
+            Ltl::Eventually(a) => {
+                // ◇a  →  a  ∨  ◦◇a  (eventuality a).
+                let body = (*a).clone();
+                // Branch 1: a holds now (eventuality fulfilled).
+                let mut now = acc.clone();
+                now.fulfilled.insert(body.clone());
+                let mut now_pending = pending.clone();
+                now_pending.push(body.clone());
+                expand_rec(now_pending, seen.clone(), now, results);
+                // Branch 2: defer.
+                acc.eventualities.insert(body);
+                acc.next.insert(Ltl::Eventually(a));
+                continue;
+            }
+            Ltl::Until(p, q) => {
+                // Weak until:  U(p, q)  →  q  ∨  (p ∧ ◦U(p, q)); no eventuality.
+                let mut q_now = acc.clone();
+                let mut q_pending = pending.clone();
+                q_pending.push((*q).clone());
+                q_now.fulfilled.insert((*q).clone());
+                expand_rec(q_pending, seen.clone(), q_now, results);
+                pending.push((*p).clone());
+                acc.next.insert(Ltl::Until(p, q));
+                continue;
+            }
+        }
+    }
+}
+
+/// Adds a literal to an expansion; returns `false` if it contradicts an existing literal.
+fn add_literal(acc: &mut Expansion, atom: Atom, positive: bool) -> bool {
+    match acc.literals.get(&atom) {
+        Some(&existing) => existing == positive,
+        None => {
+            acc.literals.insert(atom, positive);
+            true
+        }
+    }
+}
+
+/// The result of the `Iter` deletion loop.
+#[derive(Clone, Debug)]
+pub struct Pruned {
+    node_alive: Vec<bool>,
+    edge_alive: Vec<bool>,
+    /// Number of passes of the outer deletion loop.
+    pub iterations: usize,
+}
+
+impl Pruned {
+    /// `true` if the node survived deletion.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.node_alive[node]
+    }
+
+    /// `true` if the edge survived deletion.
+    pub fn edge_alive(&self, edge: EdgeId) -> bool {
+        self.edge_alive[edge]
+    }
+
+    /// Number of surviving nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.node_alive.iter().filter(|b| **b).count()
+    }
+
+    /// Number of surviving edges.
+    pub fn live_edges(&self) -> usize {
+        self.edge_alive.iter().filter(|b| **b).count()
+    }
+}
+
+/// Runs the `Iter` deletion loop on `graph`, deleting edges whose literal
+/// labels are unsatisfiable in `theory` (Algorithm A's extra deletion), edges
+/// whose eventualities cannot be satisfied, and nodes with no outgoing edges.
+pub fn prune(graph: &TableauGraph, theory: &dyn Theory) -> Pruned {
+    let mut node_alive = vec![true; graph.node_count()];
+    let mut edge_alive: Vec<bool> = graph
+        .edges()
+        .iter()
+        .map(|e| theory.satisfiable(&e.literals) == TheoryResult::Satisfiable)
+        .collect();
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+
+        // Delete edges whose eventualities can no longer be satisfied.
+        let eventualities = graph.eventualities();
+        let mut reach: HashMap<&Ltl, Vec<bool>> = HashMap::new();
+        for ev in &eventualities {
+            reach.insert(ev, reachable_to_fulfilling(graph, &node_alive, &edge_alive, ev));
+        }
+        for (id, edge) in graph.edges().iter().enumerate() {
+            if !edge_alive[id] {
+                continue;
+            }
+            for ev in &edge.eventualities {
+                if !reach[ev][edge.to] {
+                    edge_alive[id] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        // Delete edges leading to or from dead nodes, and nodes with no live outgoing edge.
+        for (id, edge) in graph.edges().iter().enumerate() {
+            if edge_alive[id] && (!node_alive[edge.from] || !node_alive[edge.to]) {
+                edge_alive[id] = false;
+                changed = true;
+            }
+        }
+        for node in 0..graph.node_count() {
+            if node_alive[node]
+                && !graph.outgoing(node).iter().any(|&e| edge_alive[e])
+            {
+                node_alive[node] = false;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    Pruned { node_alive, edge_alive, iterations }
+}
+
+/// Computes, for every node, whether a live edge fulfilling `ev` is reachable
+/// from it through live edges (including taking the fulfilling edge itself).
+fn reachable_to_fulfilling(
+    graph: &TableauGraph,
+    node_alive: &[bool],
+    edge_alive: &[bool],
+    ev: &Ltl,
+) -> Vec<bool> {
+    let mut reach = vec![false; graph.node_count()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for (id, edge) in graph.edges().iter().enumerate() {
+        if edge_alive[id] && node_alive[edge.from] && edge.fulfilled.contains(ev) && !reach[edge.from]
+        {
+            reach[edge.from] = true;
+            queue.push_back(edge.from);
+        }
+    }
+    // Backward closure over live edges.
+    let mut incoming: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_count()];
+    for (id, edge) in graph.edges().iter().enumerate() {
+        if edge_alive[id] {
+            incoming[edge.to].push(id);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        for &eid in &incoming[node] {
+            let from = graph.edge(eid).from;
+            if node_alive[from] && !reach[from] {
+                reach[from] = true;
+                queue.push_back(from);
+            }
+        }
+    }
+    reach
+}
+
+/// Decides satisfiability of `formula` in pure temporal logic (all atoms uninterpreted).
+pub fn satisfiable_pure(formula: &Ltl) -> bool {
+    let graph = TableauGraph::build(formula);
+    let pruned = prune(&graph, &crate::theory::PropositionalTheory::new());
+    pruned.node_alive(graph.initial())
+}
+
+/// Decides validity of `formula` in pure temporal logic.
+pub fn valid_pure(formula: &Ltl) -> bool {
+    !satisfiable_pure(&formula.clone().not())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{TlState, TlTrace};
+    use crate::theory::PropositionalTheory;
+
+    fn p() -> Ltl {
+        Ltl::prop("P")
+    }
+    fn q() -> Ltl {
+        Ltl::prop("Q")
+    }
+
+    #[test]
+    fn tautologies_are_valid() {
+        assert!(valid_pure(&p().or(p().not())));
+        assert!(valid_pure(&Ltl::True));
+        assert!(!valid_pure(&p()));
+    }
+
+    #[test]
+    fn contradictions_are_unsatisfiable() {
+        assert!(!satisfiable_pure(&p().and(p().not())));
+        assert!(satisfiable_pure(&p().and(q().not())));
+    }
+
+    #[test]
+    fn eventually_always_implies_always_eventually() {
+        let f = p().always().eventually().implies(p().eventually().always());
+        assert!(valid_pure(&f));
+        // The converse is not valid.
+        let g = p().eventually().always().implies(p().always().eventually());
+        assert!(!valid_pure(&g));
+    }
+
+    #[test]
+    fn eventually_p_implies_eventually_p_is_valid() {
+        assert!(valid_pure(&p().eventually().implies(p().eventually())));
+    }
+
+    #[test]
+    fn always_p_and_not_p_unsat() {
+        assert!(!satisfiable_pure(&p().always().and(p().not().eventually())));
+        assert!(satisfiable_pure(&p().always()));
+    }
+
+    #[test]
+    fn eventuality_forces_fulfilment() {
+        // ◇P ∧ □¬P is unsatisfiable; the eventuality check must detect it.
+        let f = p().eventually().and(p().not().always());
+        assert!(!satisfiable_pure(&f));
+    }
+
+    #[test]
+    fn weak_until_without_eventuality_is_satisfiable_by_invariance() {
+        // U(P, Q) ∧ □¬Q is satisfiable (P can hold forever).
+        let f = p().until(q()).and(q().not().always());
+        assert!(satisfiable_pure(&f));
+        // But additionally requiring ◇¬P makes it unsatisfiable.
+        let g = p().until(q()).and(q().not().always()).and(p().not().eventually());
+        assert!(!satisfiable_pure(&g));
+    }
+
+    #[test]
+    fn negated_weak_until_requires_eventual_not_p() {
+        // ¬U(P, Q) ∧ □P is unsatisfiable (¬U implies ◇¬P).
+        let f = p().until(q()).not().and(p().always());
+        assert!(!satisfiable_pure(&f));
+        // ¬U(P, Q) alone is satisfiable.
+        assert!(satisfiable_pure(&p().until(q()).not()));
+    }
+
+    #[test]
+    fn until_unrolling_is_valid() {
+        // U(p, q)  ≡  q ∨ (p ∧ ◦U(p, q))
+        let u = p().until(q());
+        let unrolled = q().or(p().and(u.clone().next()));
+        assert!(valid_pure(&u.clone().iff(unrolled)));
+    }
+
+    #[test]
+    fn graph_counts_are_positive() {
+        let graph = TableauGraph::build(&p().always().not());
+        assert!(graph.node_count() >= 1);
+        assert!(graph.edge_count() >= 1);
+        let pruned = prune(&graph, &PropositionalTheory::new());
+        assert!(pruned.iterations >= 1);
+    }
+
+    /// Cross-validate the tableau against the concrete semantics on random formulas.
+    #[test]
+    fn tableau_agrees_with_semantics_on_small_formulas() {
+        // Enumerate all traces of length 3 with a loop over props {P, Q} and
+        // compare "satisfiable" with "has a model among these traces".
+        // (Only one direction can be checked exhaustively: a model among the
+        //  enumerated traces implies satisfiability.)
+        let formulas = vec![
+            p().always(),
+            p().eventually().and(q().eventually()),
+            p().until(q()),
+            p().until(q()).not(),
+            p().always().eventually(),
+            p().implies(q().next()).always(),
+        ];
+        for f in formulas {
+            let mut found_model = false;
+            for bits in 0..64u32 {
+                let states: Vec<TlState> = (0..3)
+                    .map(|i| {
+                        TlState::new()
+                            .with_prop("P", bits & (1 << (2 * i)) != 0)
+                            .with_prop("Q", bits & (1 << (2 * i + 1)) != 0)
+                    })
+                    .collect();
+                for loop_start in 0..3 {
+                    let trace = TlTrace::lasso(states.clone(), loop_start);
+                    if trace.eval(&f) {
+                        found_model = true;
+                    }
+                }
+            }
+            if found_model {
+                assert!(satisfiable_pure(&f), "semantic model exists but tableau says unsat: {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Cooperating combination of specialized theories in the style of
+//! Nelson–Oppen.
+//!
+//! Appendix B motivates its combined procedures with the decision procedures
+//! of Nelson, Oppen and Shostak for combinations of quantifier-free theories.
+//! This module provides such a combination for the two interpreted theories of
+//! this crate: constraint literals are *partitioned* between the equality
+//! theory (equalities and disequalities over variables and constants) and the
+//! linear-arithmetic theory (everything else), each partition is decided by
+//! its own procedure, and equalities between shared variables that one theory
+//! entails are *propagated* to the other until a fixed point is reached.
+//!
+//! The propagation loop is complete for convex theories; over the integers
+//! (which are not convex) it remains sound for unsatisfiability — exactly the
+//! contract the [`Theory`] trait requires — and in the rare cases where a case
+//! split on an entailed disjunction of equalities would be needed it
+//! conservatively answers `Satisfiable`.
+
+use crate::syntax::{Atom, CmpOp, Literal, Term};
+use crate::theory::{
+    propositionally_inconsistent, EqualityTheory, LinearTheory, Theory, TheoryResult,
+};
+
+/// The Nelson–Oppen style combination of [`EqualityTheory`] and [`LinearTheory`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombinedTheory {
+    equality: EqualityTheory,
+    linear: LinearTheory,
+}
+
+impl CombinedTheory {
+    /// Creates the combined theory.
+    pub fn new() -> CombinedTheory {
+        CombinedTheory::default()
+    }
+
+    /// `true` if the atom belongs to the equality partition: an equality or
+    /// disequality whose two sides are plain variables or constants.
+    fn is_equality_atom(atom: &Atom) -> bool {
+        match atom {
+            Atom::Cmp { lhs, op, rhs } => {
+                matches!(op, CmpOp::Eq | CmpOp::Ne)
+                    && matches!(lhs, Term::Var(_) | Term::Const(_))
+                    && matches!(rhs, Term::Var(_) | Term::Const(_))
+            }
+            Atom::Prop(_) => false,
+        }
+    }
+
+    /// Splits constraint literals into the equality partition and the linear
+    /// partition (propositional literals are dropped here; their consistency
+    /// is checked separately).
+    fn partition(literals: &[Literal]) -> (Vec<Literal>, Vec<Literal>) {
+        let mut equality = Vec::new();
+        let mut linear = Vec::new();
+        for lit in literals {
+            match &lit.atom {
+                Atom::Prop(_) => {}
+                Atom::Cmp { .. } if CombinedTheory::is_equality_atom(&lit.atom) => {
+                    equality.push(lit.clone())
+                }
+                Atom::Cmp { .. } => linear.push(lit.clone()),
+            }
+        }
+        (equality, linear)
+    }
+
+    /// The variables occurring in the constraint literals.
+    fn variables(literals: &[Literal]) -> Vec<String> {
+        let mut vars = Vec::new();
+        for lit in literals {
+            if let Atom::Cmp { lhs, rhs, .. } = &lit.atom {
+                lhs.collect_vars(&mut vars);
+                rhs.collect_vars(&mut vars);
+            }
+        }
+        vars
+    }
+
+    /// `true` if the theory entails `x = y` given `literals`, i.e. adding
+    /// `x ≠ y` makes the set unsatisfiable.
+    fn entails_equality(theory: &dyn Theory, literals: &[Literal], x: &str, y: &str) -> bool {
+        let mut extended = literals.to_vec();
+        extended.push(Literal::pos(Atom::cmp(Term::var(x), CmpOp::Ne, Term::var(y))));
+        !theory.satisfiable(&extended).is_sat()
+    }
+}
+
+impl Theory for CombinedTheory {
+    fn name(&self) -> &str {
+        "nelson-oppen(equality + linear-integer-arithmetic)"
+    }
+
+    fn satisfiable(&self, literals: &[Literal]) -> TheoryResult {
+        if propositionally_inconsistent(literals) {
+            return TheoryResult::Unsatisfiable;
+        }
+        let (mut eq_part, mut lin_part) = CombinedTheory::partition(literals);
+
+        // Shared variables: those occurring in both partitions are the only
+        // candidates whose entailed equalities need to be exchanged.
+        let eq_vars = CombinedTheory::variables(&eq_part);
+        let lin_vars = CombinedTheory::variables(&lin_part);
+        let shared: Vec<String> =
+            eq_vars.iter().filter(|v| lin_vars.contains(v)).cloned().collect();
+
+        loop {
+            if !self.equality.satisfiable(&eq_part).is_sat()
+                || !self.linear.satisfiable(&lin_part).is_sat()
+            {
+                return TheoryResult::Unsatisfiable;
+            }
+            // Propagate entailed equalities over shared variables.
+            let mut new_equalities = Vec::new();
+            for (i, x) in shared.iter().enumerate() {
+                for y in shared.iter().skip(i + 1) {
+                    let eq_lit = Literal::pos(Atom::cmp(Term::var(x), CmpOp::Eq, Term::var(y)));
+                    let already_known =
+                        eq_part.contains(&eq_lit) && lin_part.contains(&eq_lit);
+                    if already_known {
+                        continue;
+                    }
+                    let entailed = CombinedTheory::entails_equality(&self.equality, &eq_part, x, y)
+                        || CombinedTheory::entails_equality(&self.linear, &lin_part, x, y);
+                    if entailed {
+                        new_equalities.push(eq_lit);
+                    }
+                }
+            }
+            let mut changed = false;
+            for eq_lit in new_equalities {
+                if !eq_part.contains(&eq_lit) {
+                    eq_part.push(eq_lit.clone());
+                    changed = true;
+                }
+                if !lin_part.contains(&eq_lit) {
+                    lin_part.push(eq_lit);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return TheoryResult::Satisfiable;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm_a::AlgorithmA;
+    use crate::syntax::Ltl;
+
+    fn var_eq(a: &str, b: &str) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), CmpOp::Eq, Term::var(b)))
+    }
+    fn var_ne(a: &str, b: &str) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), CmpOp::Ne, Term::var(b)))
+    }
+    fn cmp(a: &str, op: CmpOp, b: Term) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), op, b))
+    }
+
+    #[test]
+    fn propagation_from_linear_to_equality_detects_unsatisfiability() {
+        // Equality partition: a = b, b ≠ c.  Linear partition: a ≥ c, c ≥ a
+        // (which entails a = c).  Each partition alone is satisfiable; the
+        // propagated equality a = c closes the contradiction.
+        let t = CombinedTheory::new();
+        let lits = vec![
+            var_eq("a", "b"),
+            var_ne("b", "c"),
+            cmp("a", CmpOp::Ge, Term::var("c")),
+            cmp("c", CmpOp::Ge, Term::var("a")),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+        // Each component alone accepts its partition.
+        assert!(EqualityTheory::new().satisfiable(&lits[..2]).is_sat());
+        assert!(LinearTheory::new().satisfiable(&lits[2..]).is_sat());
+    }
+
+    #[test]
+    fn propagation_from_equality_to_linear_detects_unsatisfiability() {
+        // Equality partition: a = b.  Linear partition: b ≥ 1, a ≤ 0.
+        let t = CombinedTheory::new();
+        let lits = vec![
+            var_eq("a", "b"),
+            cmp("b", CmpOp::Ge, Term::int(1)),
+            cmp("a", CmpOp::Le, Term::int(0)),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn satisfiable_mixed_sets_are_accepted() {
+        let t = CombinedTheory::new();
+        let lits = vec![
+            var_eq("a", "b"),
+            var_ne("b", "c"),
+            cmp("c", CmpOp::Ge, Term::var("a").plus(Term::int(1))),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Satisfiable);
+        assert!(t.satisfiable(&[]).is_sat());
+    }
+
+    #[test]
+    fn single_theory_inconsistencies_still_surface() {
+        let t = CombinedTheory::new();
+        // Purely linear contradiction.
+        let linear_only = vec![cmp("x", CmpOp::Ge, Term::int(1)), cmp("x", CmpOp::Le, Term::int(0))];
+        assert_eq!(t.satisfiable(&linear_only), TheoryResult::Unsatisfiable);
+        // Purely equational contradiction.
+        let equality_only = vec![var_eq("a", "b"), var_eq("b", "c"), var_ne("a", "c")];
+        assert_eq!(t.satisfiable(&equality_only), TheoryResult::Unsatisfiable);
+        // Propositional contradiction.
+        let prop = Atom::prop("P");
+        let prop_only = vec![Literal::pos(prop.clone()), Literal::neg(prop)];
+        assert_eq!(t.satisfiable(&prop_only), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn chained_propagation_reaches_a_fixed_point() {
+        // Linear: b ≤ c, c ≤ b  (entails b = c).  Equality: a = b, a ≠ c.
+        let t = CombinedTheory::new();
+        let lits = vec![
+            cmp("b", CmpOp::Le, Term::var("c")),
+            cmp("c", CmpOp::Le, Term::var("b")),
+            var_eq("a", "b"),
+            var_ne("a", "c"),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn literal_validity_uses_the_combination() {
+        let t = CombinedTheory::new();
+        // x = x is valid; x = y is not.
+        assert!(t.literal_valid(&Literal::pos(Atom::cmp(
+            Term::var("x"),
+            CmpOp::Eq,
+            Term::var("x")
+        ))));
+        assert!(!t.literal_valid(&var_eq("x", "y")));
+    }
+
+    #[test]
+    fn algorithm_a_accepts_the_combined_theory() {
+        // □(a = b ∧ b ≥ 1) ⊃ ◇(a ≥ 1) is valid over the combination.
+        let premise = Ltl::cmp(Term::var("a"), CmpOp::Eq, Term::var("b"))
+            .and(Ltl::cmp(Term::var("b"), CmpOp::Ge, Term::int(1)))
+            .always();
+        let conclusion = Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1)).eventually();
+        let formula = premise.implies(conclusion);
+        let theory = CombinedTheory::new();
+        assert!(AlgorithmA::new(&theory).valid(&formula));
+        // The same implication with the conclusion strengthened to a ≥ 2 is not valid.
+        let premise = Ltl::cmp(Term::var("a"), CmpOp::Eq, Term::var("b"))
+            .and(Ltl::cmp(Term::var("b"), CmpOp::Ge, Term::int(1)))
+            .always();
+        let wrong = premise.implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(2)).eventually());
+        assert!(!AlgorithmA::new(&theory).valid(&wrong));
+    }
+}

@@ -1,0 +1,214 @@
+//! The theory of equality over uninterpreted values, decided by union-find.
+//!
+//! Appendix B cites the cooperating decision procedures of Nelson–Oppen and
+//! Shostak as the intended suppliers of specialized theories; equality over
+//! uninterpreted constants and variables is the simplest member of that family
+//! and is sufficient for specifications that compare message identities,
+//! sequence numbers, and similar opaque values.
+//!
+//! Atoms handled by this theory are comparisons whose two sides are a variable
+//! or an integer constant and whose operator is `=` or `/=`; any richer
+//! constraint atom is treated as an opaque proposition (consistent unless it
+//! appears with both polarities), which keeps the theory sound for
+//! unsatisfiability.
+
+use std::collections::BTreeMap;
+
+use super::{propositionally_inconsistent, Theory, TheoryResult};
+use crate::syntax::{Atom, CmpOp, Literal, Term};
+
+/// One side of an equality atom.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Node {
+    Var(String),
+    Const(i64),
+}
+
+fn as_node(term: &Term) -> Option<Node> {
+    match term {
+        Term::Var(v) => Some(Node::Var(v.clone())),
+        Term::Const(c) => Some(Node::Const(*c)),
+        Term::Neg(inner) => match as_node(inner) {
+            Some(Node::Const(c)) => Some(Node::Const(-c)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A simple union-find over [`Node`]s.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: Vec<usize>,
+    ids: BTreeMap<Node, usize>,
+    nodes: Vec<Node>,
+}
+
+impl UnionFind {
+    fn id(&mut self, node: Node) -> usize {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.ids.insert(node.clone(), id);
+        self.nodes.push(node);
+        id
+    }
+
+    fn find(&mut self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            self.parent[id] = self.parent[self.parent[id]];
+            id = self.parent[id];
+        }
+        id
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// After all unions, checks that no two distinct constants share a class.
+    fn constants_consistent(&mut self) -> bool {
+        let mut class_const: BTreeMap<usize, i64> = BTreeMap::new();
+        for i in 0..self.nodes.len() {
+            if let Node::Const(c) = self.nodes[i] {
+                let root = self.find(i);
+                if let Some(&existing) = class_const.get(&root) {
+                    if existing != c {
+                        return false;
+                    }
+                } else {
+                    class_const.insert(root, c);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The equality theory over uninterpreted values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EqualityTheory;
+
+impl EqualityTheory {
+    /// Creates the theory.
+    pub fn new() -> EqualityTheory {
+        EqualityTheory
+    }
+
+    fn relevant(atom: &Atom) -> Option<(Node, Node, bool)> {
+        if let Atom::Cmp { lhs, op, rhs } = atom {
+            let eq = match op {
+                CmpOp::Eq => true,
+                CmpOp::Ne => false,
+                _ => return None,
+            };
+            let l = as_node(lhs)?;
+            let r = as_node(rhs)?;
+            return Some((l, r, eq));
+        }
+        None
+    }
+}
+
+impl Theory for EqualityTheory {
+    fn name(&self) -> &str {
+        "equality"
+    }
+
+    fn satisfiable(&self, literals: &[Literal]) -> TheoryResult {
+        if propositionally_inconsistent(literals) {
+            return TheoryResult::Unsatisfiable;
+        }
+        let mut uf = UnionFind::default();
+        let mut disequalities: Vec<(usize, usize)> = Vec::new();
+        for lit in literals {
+            let Some((l, r, eq)) = EqualityTheory::relevant(&lit.atom) else { continue };
+            let li = uf.id(l);
+            let ri = uf.id(r);
+            // A literal asserts equality when (atom is `=`) == (polarity is positive).
+            if eq == lit.positive {
+                uf.union(li, ri);
+            } else {
+                disequalities.push((li, ri));
+            }
+        }
+        if !uf.constants_consistent() {
+            return TheoryResult::Unsatisfiable;
+        }
+        for (a, b) in disequalities {
+            if uf.find(a) == uf.find(b) {
+                return TheoryResult::Unsatisfiable;
+            }
+        }
+        TheoryResult::Satisfiable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(a: &str, b: &str) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), CmpOp::Eq, Term::var(b)))
+    }
+    fn ne(a: &str, b: &str) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), CmpOp::Ne, Term::var(b)))
+    }
+    fn eq_const(a: &str, c: i64) -> Literal {
+        Literal::pos(Atom::cmp(Term::var(a), CmpOp::Eq, Term::int(c)))
+    }
+
+    #[test]
+    fn transitive_equality_conflicts_with_disequality() {
+        let t = EqualityTheory::new();
+        let lits = vec![eq("a", "b"), eq("b", "c"), ne("a", "c")];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn consistent_partition_is_accepted() {
+        let t = EqualityTheory::new();
+        let lits = vec![eq("a", "b"), ne("b", "c"), eq("c", "d")];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Satisfiable);
+    }
+
+    #[test]
+    fn distinct_constants_cannot_be_identified() {
+        let t = EqualityTheory::new();
+        let lits = vec![eq_const("a", 0), eq_const("b", 1), eq("a", "b")];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn negated_disequality_is_equality() {
+        let t = EqualityTheory::new();
+        let lits = vec![
+            Literal::neg(Atom::cmp(Term::var("a"), CmpOp::Ne, Term::var("b"))),
+            ne("a", "b"),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn self_disequality_is_unsatisfiable() {
+        let t = EqualityTheory::new();
+        assert_eq!(t.satisfiable(&[ne("a", "a")]), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn irrelevant_atoms_are_opaque_but_polarities_checked() {
+        let t = EqualityTheory::new();
+        let rich = Atom::cmp(Term::var("a").plus(Term::var("b")), CmpOp::Eq, Term::int(2));
+        assert!(t.satisfiable(&[Literal::pos(rich.clone())]).is_sat());
+        assert_eq!(
+            t.satisfiable(&[Literal::pos(rich.clone()), Literal::neg(rich)]),
+            TheoryResult::Unsatisfiable
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Linear arithmetic over integer-valued variables, decided by Fourier–Motzkin
+//! elimination.
+//!
+//! This is the "theory of linear inequalities of integers" used as the running
+//! example in Appendix B (e.g. *"Henceforth a ≥ 1 implies eventually a > 0"*,
+//! or `□(y = x + x) ⊃ □(y = 2x)`).
+//!
+//! Literals are normalized to constraints of the form `Σ cᵢ·xᵢ ≤ b` (with
+//! strict variants converted to non-strict using integrality), disequalities
+//! are handled by case splitting, and satisfiability of the resulting system is
+//! decided by eliminating variables one at a time.
+//!
+//! # Precision
+//!
+//! The procedure is **sound for unsatisfiability**: whenever it answers
+//! `Unsatisfiable` the literal set really has no integer model (indeed no
+//! rational model).  After strict-to-non-strict tightening it is exact for the
+//! one- and two-variable difference-bound constraints that the report's
+//! examples use; for general integer systems a `Satisfiable` answer may in rare
+//! cases be witnessed only by rationals (the classical Fourier–Motzkin
+//! limitation), which keeps the combined procedures conservative.
+
+use std::collections::BTreeMap;
+
+use super::{propositionally_inconsistent, Theory, TheoryResult};
+use crate::syntax::{Atom, CmpOp, Literal, Term};
+
+/// A linear constraint `Σ coeffs[v]·v  ≤ bound` over integer variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LinearConstraint {
+    coeffs: BTreeMap<String, i128>,
+    bound: i128,
+}
+
+impl LinearConstraint {
+    fn is_trivially_true(&self) -> bool {
+        self.coeffs.is_empty() && 0 <= self.bound
+    }
+
+    fn is_trivially_false(&self) -> bool {
+        self.coeffs.is_empty() && 0 > self.bound
+    }
+}
+
+/// A linear combination of variables plus a constant, the normal form of a [`Term`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct LinearExpr {
+    coeffs: BTreeMap<String, i128>,
+    constant: i128,
+}
+
+impl LinearExpr {
+    fn add_term(&mut self, term: &Term, scale: i128) {
+        match term {
+            Term::Var(v) => {
+                *self.coeffs.entry(v.clone()).or_insert(0) += scale;
+            }
+            Term::Const(c) => self.constant += scale * i128::from(*c),
+            Term::Add(a, b) => {
+                self.add_term(a, scale);
+                self.add_term(b, scale);
+            }
+            Term::Sub(a, b) => {
+                self.add_term(a, scale);
+                self.add_term(b, -scale);
+            }
+            Term::Mul(k, a) => self.add_term(a, scale * i128::from(*k)),
+            Term::Neg(a) => self.add_term(a, -scale),
+        }
+    }
+
+    fn from_term(term: &Term) -> LinearExpr {
+        let mut expr = LinearExpr::default();
+        expr.add_term(term, 1);
+        expr
+    }
+
+    /// `lhs - rhs` as a linear expression.
+    fn difference(lhs: &Term, rhs: &Term) -> LinearExpr {
+        let mut expr = LinearExpr::from_term(lhs);
+        expr.add_term(rhs, -1);
+        expr.coeffs.retain(|_, c| *c != 0);
+        expr
+    }
+}
+
+/// The linear-arithmetic theory of integer variables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinearTheory;
+
+impl LinearTheory {
+    /// Creates the theory.
+    pub fn new() -> LinearTheory {
+        LinearTheory
+    }
+
+    /// Normalizes a single constraint literal into zero or more alternative
+    /// constraint systems (disequalities split into `<` or `>`).
+    ///
+    /// Each inner `Vec<LinearConstraint>` is one branch of the case split; the
+    /// literal is satisfiable iff some branch is.
+    fn normalize(lhs: &Term, op: CmpOp, rhs: &Term, positive: bool) -> Vec<Vec<LinearConstraint>> {
+        let op = if positive { op } else { op.negate() };
+        let diff = LinearExpr::difference(lhs, rhs);
+        // diff.coeffs · vars + diff.constant  <op>  0
+        let le = |expr: &LinearExpr, negate: bool, strict: bool| -> LinearConstraint {
+            // expr ≤ 0   (or  -expr ≤ 0 when negate),  strict tightened by -1
+            // because every variable and coefficient is an integer.
+            let sign: i128 = if negate { -1 } else { 1 };
+            let coeffs = expr.coeffs.iter().map(|(v, c)| (v.clone(), sign * *c)).collect();
+            let mut bound = -sign * expr.constant;
+            if strict {
+                bound -= 1;
+            }
+            LinearConstraint { coeffs, bound }
+        };
+        match op {
+            CmpOp::Le => vec![vec![le(&diff, false, false)]],
+            CmpOp::Lt => vec![vec![le(&diff, false, true)]],
+            CmpOp::Ge => vec![vec![le(&diff, true, false)]],
+            CmpOp::Gt => vec![vec![le(&diff, true, true)]],
+            CmpOp::Eq => vec![vec![le(&diff, false, false), le(&diff, true, false)]],
+            CmpOp::Ne => vec![vec![le(&diff, false, true)], vec![le(&diff, true, true)]],
+        }
+    }
+
+    /// Fourier–Motzkin elimination on a set of `≤` constraints.
+    fn system_satisfiable(mut constraints: Vec<LinearConstraint>) -> bool {
+        // Limit blow-up: the report's literal sets are small, but guard anyway.
+        const MAX_CONSTRAINTS: usize = 50_000;
+        loop {
+            constraints.retain(|c| !c.is_trivially_true());
+            if constraints.iter().any(LinearConstraint::is_trivially_false) {
+                return false;
+            }
+            // Choose the variable occurring in the fewest constraints.
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+            for c in &constraints {
+                for v in c.coeffs.keys() {
+                    *counts.entry(v.as_str()).or_insert(0) += 1;
+                }
+            }
+            let Some((&var, _)) = counts.iter().min_by_key(|(_, n)| **n) else {
+                // No variables left, no trivially false constraint: satisfiable.
+                return true;
+            };
+            let var = var.to_string();
+            let mut uppers: Vec<LinearConstraint> = Vec::new();
+            let mut lowers: Vec<LinearConstraint> = Vec::new();
+            let mut rest: Vec<LinearConstraint> = Vec::new();
+            for c in constraints {
+                match c.coeffs.get(&var).copied().unwrap_or(0) {
+                    0 => rest.push(c),
+                    k if k > 0 => uppers.push(c),
+                    _ => lowers.push(c),
+                }
+            }
+            // Combine each (lower, upper) pair, eliminating `var`.
+            for lo in &lowers {
+                for hi in &uppers {
+                    let a = -lo.coeffs[&var]; // positive
+                    let b = hi.coeffs[&var]; // positive
+                    let mut coeffs: BTreeMap<String, i128> = BTreeMap::new();
+                    for (v, c) in &lo.coeffs {
+                        if v != &var {
+                            *coeffs.entry(v.clone()).or_insert(0) += b * c;
+                        }
+                    }
+                    for (v, c) in &hi.coeffs {
+                        if v != &var {
+                            *coeffs.entry(v.clone()).or_insert(0) += a * c;
+                        }
+                    }
+                    coeffs.retain(|_, c| *c != 0);
+                    let bound = b * lo.bound + a * hi.bound;
+                    rest.push(LinearConstraint { coeffs, bound });
+                    if rest.len() > MAX_CONSTRAINTS {
+                        // Give up conservatively: report satisfiable.
+                        return true;
+                    }
+                }
+            }
+            constraints = rest;
+        }
+    }
+}
+
+impl Theory for LinearTheory {
+    fn name(&self) -> &str {
+        "linear-integer-arithmetic"
+    }
+
+    fn satisfiable(&self, literals: &[Literal]) -> TheoryResult {
+        if propositionally_inconsistent(literals) {
+            return TheoryResult::Unsatisfiable;
+        }
+        // Gather the case-split branches of every constraint literal.
+        let mut branches: Vec<Vec<Vec<LinearConstraint>>> = Vec::new();
+        for lit in literals {
+            if let Atom::Cmp { lhs, op, rhs } = &lit.atom {
+                branches.push(LinearTheory::normalize(lhs, *op, rhs, lit.positive));
+            }
+        }
+        if branches.is_empty() {
+            return TheoryResult::Satisfiable;
+        }
+        // Try every combination of branches (disequalities are rare, so the
+        // product stays small); satisfiable if any combination is.
+        let mut index = vec![0usize; branches.len()];
+        loop {
+            let mut system: Vec<LinearConstraint> = Vec::new();
+            for (b, &i) in branches.iter().zip(index.iter()) {
+                system.extend(b[i].iter().cloned());
+            }
+            if LinearTheory::system_satisfiable(system) {
+                return TheoryResult::Satisfiable;
+            }
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == branches.len() {
+                    return TheoryResult::Unsatisfiable;
+                }
+                index[pos] += 1;
+                if index[pos] < branches[pos].len() {
+                    break;
+                }
+                index[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+    fn y() -> Term {
+        Term::var("y")
+    }
+    fn lit(lhs: Term, op: CmpOp, rhs: Term) -> Literal {
+        Literal::pos(Atom::cmp(lhs, op, rhs))
+    }
+    fn nlit(lhs: Term, op: CmpOp, rhs: Term) -> Literal {
+        Literal::neg(Atom::cmp(lhs, op, rhs))
+    }
+
+    #[test]
+    fn simple_bounds_are_consistent() {
+        let t = LinearTheory::new();
+        let lits = vec![lit(x(), CmpOp::Ge, Term::int(1)), lit(x(), CmpOp::Le, Term::int(5))];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Satisfiable);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_detected() {
+        let t = LinearTheory::new();
+        let lits = vec![lit(x(), CmpOp::Ge, Term::int(6)), lit(x(), CmpOp::Le, Term::int(5))];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn report_example_a_ge_1_implies_a_gt_0() {
+        // a >= 1 and not (a > 0) is unsatisfiable: the key step of
+        // "Henceforth a >= 1 implies eventually a > 0".
+        let t = LinearTheory::new();
+        let a = Term::var("a");
+        let lits = vec![
+            lit(a.clone(), CmpOp::Ge, Term::int(1)),
+            nlit(a, CmpOp::Gt, Term::int(0)),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn report_example_y_eq_x_plus_x_implies_y_eq_2x() {
+        // y = x + x  and  y /= 2x  is unsatisfiable.
+        let t = LinearTheory::new();
+        let lits = vec![
+            lit(y(), CmpOp::Eq, x().plus(x())),
+            nlit(y(), CmpOp::Eq, x().times(2)),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn report_example_x_gt_0_or_x_lt_1_covers_all_integers() {
+        // ¬(x > 0) ∧ ¬(x < 1) is unsatisfiable over the integers
+        // (Appendix B §5.1's extralogical-variable example).
+        let t = LinearTheory::new();
+        let lits = vec![nlit(x(), CmpOp::Gt, Term::int(0)), nlit(x(), CmpOp::Lt, Term::int(1))];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn strict_inequalities_are_tightened_for_integers() {
+        // 0 < x < 1 has no integer solution.
+        let t = LinearTheory::new();
+        let lits = vec![lit(x(), CmpOp::Gt, Term::int(0)), lit(x(), CmpOp::Lt, Term::int(1))];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn disequalities_case_split() {
+        let t = LinearTheory::new();
+        // x /= 3 together with 3 <= x <= 3 is unsatisfiable.
+        let lits = vec![
+            lit(x(), CmpOp::Ne, Term::int(3)),
+            lit(x(), CmpOp::Ge, Term::int(3)),
+            lit(x(), CmpOp::Le, Term::int(3)),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+        // x /= 3 alone is satisfiable.
+        let lits = vec![lit(x(), CmpOp::Ne, Term::int(3))];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Satisfiable);
+    }
+
+    #[test]
+    fn multi_variable_chains() {
+        let t = LinearTheory::new();
+        // x <= y, y <= z, z <= x - 1 is unsatisfiable.
+        let z = Term::var("z");
+        let lits = vec![
+            lit(x(), CmpOp::Le, y()),
+            lit(y(), CmpOp::Le, z.clone()),
+            lit(z, CmpOp::Le, x().minus(Term::int(1))),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn propositional_atoms_are_still_checked() {
+        let t = LinearTheory::new();
+        let p = Atom::prop("P");
+        let lits = vec![Literal::pos(p.clone()), Literal::neg(p)];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn empty_set_is_satisfiable() {
+        assert!(LinearTheory::new().satisfiable(&[]).is_sat());
+    }
+}

@@ -1,0 +1,163 @@
+//! Specialized theories for the combined decision procedures of Appendix B.
+//!
+//! The tableau method reasons about the temporal structure of a formula; each
+//! edge of the tableau graph is labelled with a conjunction of literals whose
+//! consistency is a question for a *specialized theory* `T`.  A theory is
+//! anything that can decide satisfiability of a conjunction of literals:
+//!
+//! * [`PropositionalTheory`] — atoms are uninterpreted; a conjunction is
+//!   satisfiable unless it contains complementary literals.
+//! * [`LinearTheory`] — constraint atoms are linear inequalities over
+//!   integer-valued variables, decided by Fourier–Motzkin elimination
+//!   (see [`linear`]).
+//! * [`EqualityTheory`] — constraint atoms are equalities and disequalities
+//!   between variables and constants, decided by union-find
+//!   (see [`equality`]).
+//! * [`CombinedTheory`] — the Nelson–Oppen style cooperating combination of
+//!   the equality and linear theories (see [`combine`]).
+
+pub mod combine;
+pub mod equality;
+pub mod linear;
+
+use crate::syntax::{Atom, Literal};
+
+pub use combine::CombinedTheory;
+pub use equality::EqualityTheory;
+pub use linear::LinearTheory;
+
+/// Result of a theory satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TheoryResult {
+    /// The conjunction of literals has a model in the theory.
+    Satisfiable,
+    /// The conjunction of literals has no model in the theory.
+    Unsatisfiable,
+}
+
+impl TheoryResult {
+    /// `true` when satisfiable.
+    pub fn is_sat(self) -> bool {
+        matches!(self, TheoryResult::Satisfiable)
+    }
+}
+
+/// A decision procedure for conjunctions of literals in some specialized theory.
+///
+/// Implementations must be *sound for unsatisfiability*: they may only answer
+/// [`TheoryResult::Unsatisfiable`] if the conjunction really has no model.  A
+/// conservative implementation may answer `Satisfiable` when unsure; the
+/// combined procedures then remain sound for validity but may fail to prove
+/// some valid formulas (this matches the report's treatment, which assumes an
+/// oracle and inherits its precision).
+pub trait Theory {
+    /// A short human-readable name, used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Decides whether the conjunction of `literals` is satisfiable in the theory.
+    fn satisfiable(&self, literals: &[Literal]) -> TheoryResult;
+
+    /// Decides whether a single literal is valid (its negation unsatisfiable).
+    fn literal_valid(&self, literal: &Literal) -> bool {
+        !self.satisfiable(&[literal.complement()]).is_sat()
+    }
+}
+
+/// Returns `true` if the literal set contains a complementary pair or a
+/// trivially false literal; shared by all theory implementations.
+pub(crate) fn propositionally_inconsistent(literals: &[Literal]) -> bool {
+    for (i, a) in literals.iter().enumerate() {
+        for b in literals.iter().skip(i + 1) {
+            if a.atom == b.atom && a.positive != b.positive {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The pure propositional theory: every atom is uninterpreted.
+///
+/// This is the theory in force when deciding validity "in pure temporal
+/// logic"; it is also what Algorithm B uses while building its condition
+/// formula, deferring all theory reasoning to the very end.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PropositionalTheory;
+
+impl PropositionalTheory {
+    /// Creates the propositional theory.
+    pub fn new() -> PropositionalTheory {
+        PropositionalTheory
+    }
+}
+
+impl Theory for PropositionalTheory {
+    fn name(&self) -> &str {
+        "propositional"
+    }
+
+    fn satisfiable(&self, literals: &[Literal]) -> TheoryResult {
+        if propositionally_inconsistent(literals) {
+            TheoryResult::Unsatisfiable
+        } else {
+            TheoryResult::Satisfiable
+        }
+    }
+}
+
+/// Splits a literal list into propositional literals and constraint literals.
+pub fn partition_literals(literals: &[Literal]) -> (Vec<Literal>, Vec<Literal>) {
+    let mut props = Vec::new();
+    let mut constraints = Vec::new();
+    for lit in literals {
+        match lit.atom {
+            Atom::Prop(_) => props.push(lit.clone()),
+            Atom::Cmp { .. } => constraints.push(lit.clone()),
+        }
+    }
+    (props, constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Atom, CmpOp, Term};
+
+    #[test]
+    fn propositional_theory_detects_complementary_pairs() {
+        let t = PropositionalTheory::new();
+        let p = Atom::prop("P");
+        let lits = vec![Literal::pos(p.clone()), Literal::neg(p)];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn propositional_theory_accepts_consistent_sets() {
+        let t = PropositionalTheory::new();
+        let lits = vec![
+            Literal::pos(Atom::prop("P")),
+            Literal::neg(Atom::prop("Q")),
+            Literal::pos(Atom::cmp(Term::var("x"), CmpOp::Gt, Term::int(0))),
+        ];
+        assert_eq!(t.satisfiable(&lits), TheoryResult::Satisfiable);
+        assert!(t.satisfiable(&[]).is_sat());
+    }
+
+    #[test]
+    fn literal_validity_via_complement() {
+        let t = PropositionalTheory::new();
+        // No propositional literal is valid on its own.
+        assert!(!t.literal_valid(&Literal::pos(Atom::prop("P"))));
+    }
+
+    #[test]
+    fn partition_splits_props_and_constraints() {
+        let lits = vec![
+            Literal::pos(Atom::prop("P")),
+            Literal::pos(Atom::cmp(Term::var("x"), CmpOp::Gt, Term::int(0))),
+        ];
+        let (p, c) = partition_literals(&lits);
+        assert_eq!(p.len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+}

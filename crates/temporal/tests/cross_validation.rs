@@ -1,0 +1,91 @@
+//! Property-based cross-validation of the Appendix B decision procedures
+//! against the concrete lasso semantics, plus agreement between Algorithm A
+//! (with the propositional theory) and Algorithm B on pure temporal formulas.
+
+use proptest::prelude::*;
+
+use ilogic_temporal::algorithm_a::AlgorithmA;
+use ilogic_temporal::algorithm_b::{AlgorithmB, Decision};
+use ilogic_temporal::prelude::*;
+
+const PROPS: [&str; 2] = ["P", "Q"];
+
+fn arb_formula(depth: u32) -> BoxedStrategy<Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::prop("P")),
+        Just(Ltl::prop("Q")),
+        Just(Ltl::True),
+        Just(Ltl::False),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Ltl::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Ltl::next),
+            inner.clone().prop_map(Ltl::always),
+            inner.clone().prop_map(Ltl::eventually),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = TlTrace> {
+    (
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), PROPS.len()), 1..=max_len),
+        any::<proptest::sample::Index>(),
+    )
+        .prop_map(|(rows, loop_index)| {
+            let states: Vec<TlState> = rows
+                .into_iter()
+                .map(|row| {
+                    let mut s = TlState::new();
+                    for (i, value) in row.into_iter().enumerate() {
+                        s.set_prop(PROPS[i], value);
+                    }
+                    s
+                })
+                .collect();
+            let loop_start = loop_index.index(states.len());
+            TlTrace::lasso(states, loop_start)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any lasso model found by the concrete semantics certifies satisfiability
+    /// in the tableau, and a tableau-unsatisfiable formula has no lasso model.
+    #[test]
+    fn semantic_models_imply_tableau_satisfiability(formula in arb_formula(3), trace in arb_trace(4)) {
+        if trace.eval(&formula) {
+            prop_assert!(satisfiable_pure(&formula), "model exists for {formula}");
+        }
+    }
+
+    /// A formula proved valid by the tableau holds on every generated lasso.
+    #[test]
+    fn valid_formulas_hold_on_all_lassos(formula in arb_formula(3), trace in arb_trace(4)) {
+        if valid_pure(&formula) {
+            prop_assert!(trace.eval(&formula), "valid formula fails on a lasso: {formula}");
+        }
+    }
+
+    /// Algorithm A (propositional theory) and Algorithm B agree on validity of
+    /// pure temporal formulas.
+    #[test]
+    fn algorithm_a_and_b_agree(formula in arb_formula(2)) {
+        let theory = PropositionalTheory::new();
+        let a = AlgorithmA::new(&theory).valid(&formula);
+        let b = AlgorithmB::new(&theory, VarSpec::all_state()).decide(&formula);
+        prop_assert_eq!(b, if a { Decision::Valid } else { Decision::NotValid });
+    }
+
+    /// Duality: exactly one of A and ¬A is satisfiable unless both are
+    /// (contingent formulas), but never neither.
+    #[test]
+    fn formula_or_negation_is_satisfiable(formula in arb_formula(3)) {
+        prop_assert!(satisfiable_pure(&formula) || satisfiable_pure(&formula.clone().not()));
+    }
+}

@@ -1,0 +1,80 @@
+//! Appendix B: regenerate the §6 measurement table (R3, R4, R5) with this
+//! implementation of the tableau construction and Algorithm B, and demonstrate
+//! the combined procedures on theory examples.
+//!
+//! Run with `cargo run --release --example decision_procedure`.
+
+use std::time::Instant;
+
+use ilogic::temporal::algorithm_b::{condition_of_graph, AlgorithmB, Decision};
+use ilogic::temporal::patterns;
+use ilogic::temporal::prelude::*;
+
+fn main() {
+    println!("== Appendix B §6 table: graph construction and iteration ==");
+    println!("{:<4} {:>14} {:>14} {:>7} {:>7} {:>7}", "", "construction", "iteration", "nodes", "edges", "valid");
+    println!("paper (Interlisp, 1983):  R3 67s/14s 13n/108e   R4 105s/22s 16n/166e   R5 13.8s/5s 8n/34e");
+    for (name, formula) in patterns::appendix_b_table() {
+        let negated = formula.clone().not();
+        let t0 = Instant::now();
+        let graph = TableauGraph::build(&negated);
+        let construction = t0.elapsed();
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let t1 = Instant::now();
+        let condition = condition_of_graph(graph);
+        let iteration = t1.elapsed();
+        println!(
+            "{:<4} {:>12.3?} {:>12.3?} {:>7} {:>7} {:>7}",
+            name,
+            construction,
+            iteration,
+            nodes,
+            edges,
+            condition.valid_in_pure_tl()
+        );
+    }
+
+    println!("\n== combined decision procedures with a specialized theory ==");
+    let linear = LinearTheory::new();
+    let a_ge_1 = Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1));
+    let a_gt_0 = Ltl::cmp(Term::var("a"), CmpOp::Gt, Term::int(0));
+    let motivating = a_ge_1.always().implies(a_gt_0.eventually());
+    println!(
+        "[](a>=1) -> <>(a>0)   Algorithm A: {}",
+        AlgorithmA::new(&linear).valid(&motivating)
+    );
+
+    let gt = Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0));
+    let lt = Ltl::cmp(Term::var("x"), CmpOp::Lt, Term::int(1));
+    let disjunction = gt.always().or(lt.always());
+    let state = AlgorithmB::new(&linear, VarSpec::all_state());
+    let extra = AlgorithmB::new(&linear, VarSpec::with_extralogical(["x"]));
+    println!(
+        "[](x>0) | [](x<1)     Algorithm B, x a state variable:        {:?}",
+        state.decide(&disjunction)
+    );
+    println!(
+        "[](x>0) | [](x<1)     Algorithm B, x an extralogical variable: {:?}",
+        extra.decide(&disjunction)
+    );
+    assert_eq!(state.decide(&disjunction), Decision::NotValid);
+    assert_eq!(extra.decide(&disjunction), Decision::Valid);
+
+    println!("\n== Nelson-Oppen style combination of equality and linear arithmetic ==");
+    let combined = CombinedTheory::new();
+    let premise = Ltl::cmp(Term::var("a"), CmpOp::Eq, Term::var("b"))
+        .and(Ltl::cmp(Term::var("b"), CmpOp::Ge, Term::int(1)))
+        .always();
+    let claim = premise.clone().implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1)).eventually());
+    let too_strong =
+        premise.implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(2)).eventually());
+    println!(
+        "[](a=b & b>=1) -> <>(a>=1)   Algorithm A over the combination: {}",
+        AlgorithmA::new(&combined).valid(&claim)
+    );
+    println!(
+        "[](a=b & b>=1) -> <>(a>=2)   Algorithm A over the combination: {}",
+        AlgorithmA::new(&combined).valid(&too_strong)
+    );
+}

@@ -1,0 +1,76 @@
+//! Appendix C §4: build the graph of a low-level-language expression, run the
+//! iteration method, and decide satisfiability — including the report's §4.3
+//! example `iter*(P·T*, Q)` and the §3 synchronization constraint.
+//!
+//! Run with `cargo run --example lowlevel_graphs`.
+
+use ilogic::lowlevel::decide::{accepted_interps, prune, satisfiable_graph, GraphSat};
+use ilogic::lowlevel::graph::build_graph;
+use ilogic::lowlevel::syntax::LowExpr;
+
+fn report(name: &str, expr: &LowExpr) {
+    println!("== {name}: {expr}");
+    let graph = build_graph(expr).expect("graph construction within default limits");
+    let pruned = prune(&graph);
+    println!(
+        "   graph: {} nodes / {} edges, after iteration method: {} nodes / {} edges ({} rounds)",
+        pruned.stats.nodes_before,
+        pruned.stats.edges_before,
+        pruned.stats.nodes_after,
+        pruned.stats.edges_after,
+        pruned.stats.rounds,
+    );
+    match satisfiable_graph(&graph) {
+        GraphSat::FiniteModel(m) => println!("   satisfiable with finite model: {m}"),
+        GraphSat::InfiniteModel(prefix) => {
+            println!("   satisfiable with an infinite model; prefix: {prefix}")
+        }
+        GraphSat::Unsatisfiable => println!("   unsatisfiable"),
+    }
+}
+
+fn main() {
+    // -------------------------------------------------------------------
+    // 1. The §4.3 example: iter*(P·T*, Q) ≡ ∨ᵢ Pⁱ;Q.
+    // -------------------------------------------------------------------
+    let section_4_3 = LowExpr::pos("P").concat(LowExpr::TStar).iter_star(LowExpr::pos("Q"));
+    report("section 4.3 example", &section_4_3);
+    let graph = build_graph(&section_4_3).expect("graph construction");
+    println!("   pruned graph:\n{}", prune(&graph).graph);
+    println!("   accepted constraints up to length 4:");
+    for model in accepted_interps(&graph, 4, 32) {
+        println!("     {model}");
+    }
+
+    // -------------------------------------------------------------------
+    // 2. An eventuality that can never be discharged: iter*(P·T*, F).
+    // -------------------------------------------------------------------
+    report("undischargeable eventuality", &LowExpr::pos("P")
+        .concat(LowExpr::TStar)
+        .iter_star(LowExpr::F));
+
+    // -------------------------------------------------------------------
+    // 3. infloop(x) and a contradiction at the second instant.
+    // -------------------------------------------------------------------
+    report("infloop(x)", &LowExpr::pos("x").infloop());
+    report(
+        "infloop(x) & (T ; ~x)",
+        &LowExpr::pos("x").infloop().and(LowExpr::T.seq(LowExpr::neg("x"))),
+    );
+
+    // -------------------------------------------------------------------
+    // 4. The §3 synchronization constraint: "a begins no later than b".
+    // -------------------------------------------------------------------
+    let marked_a = LowExpr::TStar
+        .concat(LowExpr::pos("start_a").concat(LowExpr::pos("a")))
+        .force_false("start_a");
+    let marked_b = LowExpr::TStar
+        .concat(LowExpr::pos("start_b").concat(LowExpr::pos("b")))
+        .force_false("start_b");
+    let ordering = LowExpr::TStar
+        .concat(LowExpr::pos("start_a").concat(LowExpr::TStar.concat(LowExpr::pos("start_b"))))
+        .force_false("start_a")
+        .force_false("start_b");
+    let sync = marked_a.and(marked_b).and(ordering);
+    report("section 3 synchronization constraint", &sync);
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build interval formulas, evaluate them over traces, parse the
+//! concrete syntax, and call the decision procedures.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ilogic::core::dsl::*;
+use ilogic::core::parser::parse_formula;
+use ilogic::core::prelude::*;
+use ilogic::temporal::prelude::*;
+
+fn main() {
+    // -----------------------------------------------------------------------
+    // 1. An interval formula: [ A => *B ] <> D
+    //    "Between the next A event and the B event that must follow it,
+    //     D occurs at some point."
+    // -----------------------------------------------------------------------
+    let formula = eventually(prop("D")).within(fwd(event(prop("A")), must(event(prop("B")))));
+    println!("formula: {formula}");
+
+    let good = Trace::finite(vec![
+        State::new(),
+        State::new().with("A"),
+        State::new().with("A").with("D"),
+        State::new().with("A").with("B"),
+    ]);
+    let bad = Trace::finite(vec![State::new(), State::new().with("A"), State::new().with("A")]);
+    println!("  holds on the good trace: {}", Evaluator::new(&good).check(&formula));
+    println!("  holds on the bad trace:  {}", Evaluator::new(&bad).check(&formula));
+
+    // -----------------------------------------------------------------------
+    // 2. The same formula from its concrete syntax.
+    // -----------------------------------------------------------------------
+    let parsed = parse_formula("[ A => *B ] <> D").expect("well-formed");
+    assert_eq!(parsed, formula);
+    println!("  parsed form matches the DSL form");
+
+    // -----------------------------------------------------------------------
+    // 3. A valid formula of Chapter 4, confirmed by exhaustive bounded search.
+    // -----------------------------------------------------------------------
+    let v9 = ilogic::core::valid::v9(prop("P"));
+    let checker = BoundedChecker::new(["P"], 4);
+    println!("V9 `[P => begin ~P] []P` has a counterexample up to length 4: {}",
+        checker.counterexample(&v9).is_some());
+
+    // -----------------------------------------------------------------------
+    // 4. The Appendix B combined decision procedure:
+    //    "Henceforth a >= 1 implies eventually a > 0".
+    // -----------------------------------------------------------------------
+    let a_ge_1 = Ltl::cmp(Term::var("a"), ilogic::temporal::syntax::CmpOp::Ge, Term::int(1));
+    let a_gt_0 = Ltl::cmp(Term::var("a"), ilogic::temporal::syntax::CmpOp::Gt, Term::int(0));
+    let claim = a_ge_1.always().implies(a_gt_0.eventually());
+    let linear = LinearTheory::new();
+    println!(
+        "[](a >= 1) -> <>(a > 0) valid over the integers: {}",
+        AlgorithmA::new(&linear).valid(&claim)
+    );
+    println!(
+        "same formula valid in pure temporal logic:       {}",
+        valid_pure(&claim)
+    );
+}

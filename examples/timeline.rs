@@ -1,0 +1,72 @@
+//! Render the report's pictorial notation (Chapter 2 figures and the
+//! Chapter 6 request/acknowledge signalling picture) as ASCII timelines.
+//!
+//! Run with `cargo run --example timeline`.
+
+use ilogic::core::diagram::Diagram;
+use ilogic::core::dsl::*;
+use ilogic::core::prelude::*;
+
+fn main() {
+    // -------------------------------------------------------------------
+    // Formula (3) of Chapter 2: [ (A => B) => C ] <> D
+    // -------------------------------------------------------------------
+    let trace = Trace::finite(vec![
+        State::new(),
+        State::new().with("A"),
+        State::new().with("A").with("B"),
+        State::new().with("A").with("B").with("D"),
+        State::new().with("A").with("B").with("C"),
+    ]);
+    let inner = fwd(event(prop("A")), event(prop("B")));
+    let formula = within(fwd(inner.clone(), event(prop("C"))), eventually(prop("D")));
+    println!("Formula (3): [ (A => B) => C ] <> D\n");
+    println!(
+        "{}",
+        Diagram::new(&trace)
+            .prop_row("A")
+            .prop_row("B")
+            .prop_row("C")
+            .prop_row("D")
+            .interval_term("A => B", &inner)
+            .formula("[ (A=>B) => C ] <> D", &formula)
+            .render()
+    );
+
+    // -------------------------------------------------------------------
+    // Formula (7) of Chapter 2: [ (A <= B) <= C ] <> D — backward search.
+    // -------------------------------------------------------------------
+    let backward = within(
+        fwd(bwd(event(prop("A")), event(prop("B"))), event(prop("C"))),
+        eventually(prop("D")),
+    );
+    println!("Formula (7) uses backward context; verdict on the same trace:");
+    println!("{}\n", Diagram::new(&trace).formula("[ (A<=B) => C ] <> D", &backward).render());
+
+    // -------------------------------------------------------------------
+    // The Chapter 6 request/acknowledge picture: R, A raised and lowered.
+    // -------------------------------------------------------------------
+    let mut builder = TraceBuilder::new();
+    builder.commit(); // both signals low
+    builder.assert_prop(ilogic::core::state::Prop::plain("R")).commit();
+    builder.assert_prop(ilogic::core::state::Prop::plain("A")).commit();
+    builder.retract_prop(&ilogic::core::state::Prop::plain("R")).commit();
+    builder.retract_prop(&ilogic::core::state::Prop::plain("A")).commit();
+    let handshake = builder.finish();
+
+    // Axiom A1 of Figure 6-2: [ R => *A ] ¬A ∧ ◇R
+    let a1 = within(
+        fwd(event(prop("R")), must(event(prop("A")))),
+        not(prop("A")).and(eventually(prop("R"))),
+    );
+    println!("Figure 6-2, axiom A1 over one four-phase handshake:");
+    println!(
+        "{}",
+        Diagram::new(&handshake)
+            .prop_row("R")
+            .prop_row("A")
+            .interval_term("R => *A", &fwd(event(prop("R")), must(event(prop("A")))))
+            .formula("A1", &a1)
+            .render()
+    );
+}

@@ -1,0 +1,27 @@
+//! # ilogic
+//!
+//! Umbrella crate for the reproduction of *"An Interval Logic for Higher-Level
+//! Temporal Reasoning"* (Schwartz, Melliar-Smith, Vogt, Plaisted; NASA CR
+//! 172262 / PODC 1983).  It re-exports the four library crates:
+//!
+//! * [`core`] (`ilogic-core`) — the interval logic itself: syntax, formal
+//!   model, `*`-modifier reduction, valid-formula catalogue, bounded validity
+//!   checking, specifications, parser and the LTL reduction;
+//! * [`temporal`] (`ilogic-temporal`) — the Appendix B linear-time temporal
+//!   logic substrate: tableau graphs, Algorithm A, Algorithm B, and the
+//!   specialized theories they combine with;
+//! * [`lowlevel`] (`ilogic-lowlevel`) — the Appendix C low-level language,
+//!   its constraint semantics, translations and executable specifications;
+//! * [`systems`] (`ilogic-systems`) — the case-study simulators of Chapters
+//!   5–8 (queues, self-timed arbiter, Alternating-Bit protocol, distributed
+//!   mutual exclusion) together with their interval-logic specifications.
+//!
+//! See the crate-level documentation of each member and the runnable programs
+//! under `examples/` for entry points.
+
+#![forbid(unsafe_code)]
+
+pub use ilogic_core as core;
+pub use ilogic_lowlevel as lowlevel;
+pub use ilogic_systems as systems;
+pub use ilogic_temporal as temporal;

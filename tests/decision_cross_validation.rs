@@ -1,0 +1,92 @@
+//! Cross-validation of the three decision pipelines the report describes:
+//!
+//! * the Appendix B tableau procedure for linear-time temporal logic
+//!   (`ilogic_temporal::tableau`),
+//! * the Appendix C §7 encoding of LTL into the low-level language decided by
+//!   the bounded denotational semantics, and
+//! * the same encoding decided by the §4 graph construction + iteration
+//!   method.
+//!
+//! On every formula of the corpus the three procedures must agree on
+//! satisfiability.
+
+use ilogic::lowlevel::decide::satisfiable_graph;
+use ilogic::lowlevel::graph::build_graph;
+use ilogic::lowlevel::semantics::{satisfiable as bounded_satisfiable, Bounds};
+use ilogic::lowlevel::translate::from_ltl;
+use ilogic::temporal::prelude::*;
+
+fn p() -> Ltl {
+    Ltl::prop("P")
+}
+fn q() -> Ltl {
+    Ltl::prop("Q")
+}
+
+/// The corpus: formulas inside the fragment `from_ltl` supports, with their
+/// expected satisfiability.
+fn corpus() -> Vec<(&'static str, Ltl, bool)> {
+    vec![
+        ("P", p(), true),
+        ("P & ~P", p().and(p().not()), false),
+        ("[]P", p().always(), true),
+        ("[]P & <>~P", p().always().and(p().not().eventually()), false),
+        ("<>P & <>~P", p().eventually().and(p().not().eventually()), true),
+        ("<>P & []~P", p().eventually().and(p().not().always()), false),
+        ("o P & ~P", p().next().and(p().not()), true),
+        ("o P & o ~P", p().next().and(p().not().next()), false),
+        (
+            "[](P | Q) & []~P & <>~Q",
+            p().or(q()).always().and(p().not().always()).and(q().not().eventually()),
+            false,
+        ),
+        ("U(P,Q) & []~Q", p().until(q()).and(q().not().always()), true),
+        (
+            "U(P,Q) & []~Q & <>~P",
+            p().until(q()).and(q().not().always()).and(p().not().eventually()),
+            false,
+        ),
+        ("[]P & []Q & <>(~P | ~Q)",
+            p().always().and(q().always()).and(p().not().or(q().not()).eventually()),
+            false),
+    ]
+}
+
+#[test]
+fn tableau_bounded_denotation_and_graph_procedure_agree() {
+    for (name, formula, expected) in corpus() {
+        // Appendix B: the tableau decision procedure.
+        assert_eq!(satisfiable_pure(&formula), expected, "tableau wrong on {name}");
+
+        // Appendix C §7 encoding.
+        let low = from_ltl(&formula).expect("corpus stays inside the supported fragment");
+
+        // Bounded denotational semantics.
+        let bounded = bounded_satisfiable(&low, Bounds { max_len: 5, max_interps: 100_000 });
+        assert_eq!(bounded.is_sat(), expected, "bounded denotation wrong on {name}");
+
+        // §4 graph construction + iteration method.
+        let graph = build_graph(&low).expect("graph construction within limits");
+        assert_eq!(satisfiable_graph(&graph).is_sat(), expected, "graph procedure wrong on {name}");
+    }
+}
+
+#[test]
+fn validity_questions_agree_between_tableau_and_graph_procedure() {
+    // A formula is valid iff its negation is unsatisfiable; the negations of
+    // these validities stay within the translatable fragment.
+    let valid = vec![
+        ("<>[]P -> []<>P", p().always().eventually().not().or(p().eventually().always())),
+        ("[]P -> <>P", p().always().not().or(p().eventually())),
+    ];
+    for (name, formula) in valid {
+        assert!(valid_pure(&formula), "tableau should prove {name}");
+        let negation = formula.not();
+        let low = from_ltl(&negation).expect("negation stays inside the fragment");
+        let graph = build_graph(&low).expect("graph construction");
+        assert!(
+            !satisfiable_graph(&graph).is_sat(),
+            "graph procedure should refute the negation of {name}"
+        );
+    }
+}

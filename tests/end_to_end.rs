@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: simulators checked against specifications,
+//! the interval logic reduced to LTL and decided by the tableau, and the
+//! low-level language agreeing with both.
+
+use ilogic::core::dsl::*;
+use ilogic::core::ltl_translate::to_ltl;
+use ilogic::core::parser::parse_formula;
+use ilogic::core::prelude::*;
+use ilogic::core::spec::close_free_variables;
+use ilogic::lowlevel::prelude::*;
+use ilogic::systems::abprotocol::{simulate as simulate_ab, simulate_stuck_bit, AbWorkload};
+use ilogic::systems::mutex::{simulate as simulate_mutex, simulate_broken, MutexWorkload};
+use ilogic::systems::queue::{simulate as simulate_queue, QueueKind, QueueWorkload};
+use ilogic::systems::selftimed::{simulate_arbiter, ArbiterWorkload};
+use ilogic::systems::specs;
+use ilogic::temporal::prelude::*;
+
+#[test]
+fn ab_protocol_conforms_to_sender_and_receiver_specs() {
+    let run = simulate_ab(AbWorkload {
+        messages: 3,
+        loss: 0.25,
+        duplication: 0.1,
+        seed: 29,
+        max_steps: 2_000,
+    });
+    assert_eq!(run.delivered, run.sent, "the protocol must deliver everything in order");
+    let sender = specs::ab_sender_spec().check(&run.trace);
+    assert!(sender.passed(), "{sender}");
+    let receiver = specs::ab_receiver_spec().check(&run.trace);
+    assert!(receiver.passed(), "{receiver}");
+}
+
+#[test]
+fn stuck_bit_sender_is_rejected() {
+    let run = simulate_stuck_bit(AbWorkload { messages: 3, seed: 3, ..AbWorkload::default() });
+    let report = specs::ab_sender_spec().check(&run.trace);
+    assert!(!report.passed());
+    assert!(report.failures().contains(&"A1-only-current"));
+}
+
+#[test]
+fn arbiter_signal_pairs_obey_the_request_ack_protocol() {
+    let trace = simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 21 });
+    assert!(specs::arbiter_spec().check(&trace).passed());
+    for (r, a) in [("UR1", "UA1"), ("UR2", "UA2"), ("TR1", "TA1"), ("TR2", "TA2"), ("RMR", "RMA")] {
+        let report = specs::request_ack_spec(r, a).check(&trace);
+        assert!(report.passed(), "pair {r}/{a}: {report}");
+    }
+}
+
+#[test]
+fn mutual_exclusion_follows_from_the_spec_on_all_tested_schedules() {
+    let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
+    for seed in 0..6 {
+        let trace = simulate_mutex(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed });
+        let report = specs::mutual_exclusion_spec().check(&trace);
+        assert!(report.passed(), "seed {seed}: {report}");
+        assert!(Evaluator::new(&trace).check(&theorem), "seed {seed}");
+    }
+    // A trace violating the theorem also violates the specification (Figure 8-2's
+    // contrapositive): the spec is strong enough to exclude the broken runs.
+    let broken = simulate_broken(2);
+    assert!(!Evaluator::new(&broken).check(&theorem));
+    assert!(!specs::mutual_exclusion_spec().check(&broken).passed());
+}
+
+#[test]
+fn unreliable_queue_spec_accepts_both_queue_variants() {
+    // The reliable queue refines the unreliable one: Figure 5-1 accepts both.
+    for kind in [QueueKind::Reliable, QueueKind::Unreliable { loss: 0.4 }] {
+        let trace = simulate_queue(kind, QueueWorkload { items: 5, retries: 4, seed: 11, phased: false });
+        let report = specs::unreliable_queue_spec().check(&trace);
+        assert!(report.passed(), "{kind:?}: {report}");
+    }
+}
+
+#[test]
+fn parsed_specification_clause_matches_the_dsl_rendering() {
+    let parsed = parse_formula("[ => afterDq(a) ] *atEnq(a)").unwrap();
+    let built = occurs(event(prop_args("atEnq", [var("a")])))
+        .within(fwd_to(event(prop_args("afterDq", [var("a")]))));
+    assert_eq!(parsed, built);
+    // It is exactly clause I2 of the unreliable-queue specification.
+    let spec = specs::unreliable_queue_spec();
+    assert_eq!(spec.clause("I2").unwrap().formula, built);
+}
+
+#[test]
+fn interval_fragment_agrees_with_ltl_and_lowlevel_pipelines() {
+    // [ => Q ] []P  on a concrete trace, via three engines.
+    let formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
+    let trace = Trace::finite(vec![
+        State::new().with("P"),
+        State::new().with("P"),
+        State::new().with("P").with("Q"),
+        State::new(),
+    ]);
+    let direct = Evaluator::new(&trace).check(&formula);
+
+    let ltl = to_ltl(&formula).unwrap();
+    let tl_trace = TlTrace::finite(
+        trace
+            .states()
+            .iter()
+            .map(|s| {
+                TlState::new()
+                    .with_prop("P", s.holds(&Prop::plain("P")))
+                    .with_prop("Q", s.holds(&Prop::plain("Q")))
+            })
+            .collect(),
+    );
+    let via_ltl = tl_trace.eval(&ltl);
+    assert_eq!(direct, via_ltl);
+    assert!(direct);
+
+    // The low-level translation of the negation must be satisfiable iff the
+    // formula is not valid (it is not: P can fail before Q).
+    let negated = ltl.clone().not();
+    // Push the negation into the fragment the translation accepts.
+    let low = ilogic::lowlevel::translate::from_ltl(&negated);
+    if let Ok(expr) = low {
+        assert!(satisfiable(&expr, Bounds { max_len: 4, max_interps: 50_000 }).is_sat());
+    }
+    assert!(!valid_pure(&ltl));
+}
+
+#[test]
+fn algorithm_b_and_bounded_models_agree_on_interval_fragment_validities() {
+    // Valid: [ => Q ] <>true ; invalid: [ => Q ] []P.
+    let valid_formula = eventually(Formula::True).within(fwd_to(event(prop("Q"))));
+    let invalid_formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
+    let checker = BoundedChecker::new(["P", "Q"], 3);
+    assert!(checker.valid_up_to_bound(&valid_formula));
+    assert!(checker.counterexample(&invalid_formula).is_some());
+
+    let theory = PropositionalTheory::new();
+    let algorithm = ilogic::temporal::algorithm_b::AlgorithmB::new(&theory, VarSpec::all_state());
+    use ilogic::temporal::algorithm_b::Decision;
+    assert_eq!(algorithm.decide(&to_ltl(&valid_formula).unwrap()), Decision::Valid);
+    assert_eq!(algorithm.decide(&to_ltl(&invalid_formula).unwrap()), Decision::NotValid);
+}
