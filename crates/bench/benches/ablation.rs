@@ -51,9 +51,7 @@ fn bench_ablation(c: &mut Criterion) {
     // ------------------------------------------------------------------
     let propositional = PropositionalTheory::new();
     for (name, formula) in [("R3", patterns::r3()), ("R5", patterns::r5())] {
-        group.bench_function(format!("{name}/pure_tableau"), |b| {
-            b.iter(|| valid_pure(&formula))
-        });
+        group.bench_function(format!("{name}/pure_tableau"), |b| b.iter(|| valid_pure(&formula)));
         group.bench_function(format!("{name}/algorithm_a_propositional"), |b| {
             b.iter(|| AlgorithmA::new(&propositional).valid(&formula))
         });

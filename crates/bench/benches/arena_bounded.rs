@@ -1,0 +1,96 @@
+//! Experiment `PR-1`: boxed-AST vs arena-memoized bounded checking.
+//!
+//! Benchmarks `BoundedChecker` over the Chapter-4 valid-formula catalogue in
+//! both modes — the legacy boxed path (`counterexample_boxed`, re-evaluating
+//! the `Box` tree per enumerated computation) and the hash-consed
+//! arena-memoized path (`counterexample_interned`) — and records the per-mode
+//! means plus the speedup in `BENCH_PR1.json` at the workspace root.
+//!
+//! Run with `cargo bench -p ilogic-bench --bench arena_bounded`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{BenchResult, Criterion};
+use ilogic_core::arena::FormulaArena;
+use ilogic_core::bounded::BoundedChecker;
+use ilogic_core::valid;
+
+/// Schemas representative of the catalogue's cost spectrum (the full set is
+/// exercised by the test suite; a subset keeps the bench under a minute).
+const SCHEMAS: &[&str] = &["V1", "V5", "V9", "V13", "V15"];
+
+fn bench_catalogue(c: &mut Criterion) {
+    let checker = BoundedChecker::new(["P", "A", "B"], 2);
+    let catalogue: Vec<_> =
+        valid::catalogue().into_iter().filter(|(name, _)| SCHEMAS.contains(name)).collect();
+
+    let mut group = c.benchmark_group("bounded_boxed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    group.warm_up_time(Duration::from_millis(300));
+    for (name, formula) in &catalogue {
+        group.bench_function(*name, |b| b.iter(|| checker.counterexample_boxed(formula).is_none()));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bounded_arena");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    group.warm_up_time(Duration::from_millis(300));
+    for (name, formula) in &catalogue {
+        // Interning happens once per formula, outside the measured loop —
+        // matching how `Session` amortizes it across queries.
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(formula);
+        group.bench_function(*name, |b| {
+            b.iter(|| checker.counterexample_interned(&arena, id).is_none())
+        });
+    }
+    group.finish();
+}
+
+fn record(results: &[BenchResult]) {
+    let mean_of = |prefix: &str, name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == format!("{prefix}/{name}"))
+            .map(|r| r.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let mut entries = Vec::new();
+    let mut total_boxed = 0.0;
+    let mut total_arena = 0.0;
+    for name in SCHEMAS {
+        let boxed = mean_of("bounded_boxed", name);
+        let arena = mean_of("bounded_arena", name);
+        total_boxed += boxed;
+        total_arena += arena;
+        entries.push(format!(
+            "    {{\"schema\": \"{name}\", \"boxed_ns\": {boxed:.0}, \"arena_ns\": {arena:.0}, \
+             \"speedup\": {:.2}}}",
+            boxed / arena
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"PR1 arena-memoized vs boxed bounded checking\",\n  \
+         \"checker\": \"BoundedChecker::new([P, A, B], 2), lassos on\",\n  \
+         \"unit\": \"ns per full catalogue-schema validity sweep\",\n  \
+         \"schemas\": [\n{}\n  ],\n  \
+         \"total_boxed_ns\": {:.0},\n  \"total_arena_ns\": {:.0},\n  \
+         \"overall_speedup\": {:.2}\n}}\n",
+        entries.join(",\n"),
+        total_boxed,
+        total_arena,
+        total_boxed / total_arena
+    );
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_PR1.json"].iter().collect();
+    std::fs::write(&path, &json).expect("write BENCH_PR1.json");
+    println!("\nrecorded {} (overall speedup {:.2}x)", path.display(), total_boxed / total_arena);
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_catalogue(&mut criterion);
+    record(&criterion.take_results());
+}

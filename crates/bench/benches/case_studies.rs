@@ -15,19 +15,46 @@ use ilogic_systems::specs;
 
 fn summary() {
     println!("\n=== case-study specification outcomes ===");
-    let q = queue::simulate(QueueKind::Reliable, QueueWorkload { items: 4, retries: 1, seed: 2, phased: false });
-    println!("  Chapter 5 reliable queue axiom: {:?}", specs::reliable_queue_spec().check(&q).outcome());
-    let uq = queue::simulate(QueueKind::Unreliable { loss: 0.3 }, QueueWorkload { items: 5, retries: 3, seed: 11, phased: false });
-    println!("  Figure 5-1 unreliable queue: {:?}", specs::unreliable_queue_spec().check(&uq).outcome());
+    let q = queue::simulate(
+        QueueKind::Reliable,
+        QueueWorkload { items: 4, retries: 1, seed: 2, phased: false },
+    );
+    println!(
+        "  Chapter 5 reliable queue axiom: {:?}",
+        specs::reliable_queue_spec().check(&q).outcome()
+    );
+    let uq = queue::simulate(
+        QueueKind::Unreliable { loss: 0.3 },
+        QueueWorkload { items: 5, retries: 3, seed: 11, phased: false },
+    );
+    println!(
+        "  Figure 5-1 unreliable queue: {:?}",
+        specs::unreliable_queue_spec().check(&uq).outcome()
+    );
     let ch = selftimed::simulate_request_ack(ChannelWorkload::default());
-    println!("  Figure 6-2 request/ack: {:?}", specs::request_ack_spec("R", "A").check(&ch).outcome());
+    println!(
+        "  Figure 6-2 request/ack: {:?}",
+        specs::request_ack_spec("R", "A").check(&ch).outcome()
+    );
     let arb = selftimed::simulate_arbiter(ArbiterWorkload::default());
     println!("  Figure 6-4 arbiter: {:?}", specs::arbiter_spec().check(&arb).outcome());
-    let ab = abprotocol::simulate(AbWorkload { messages: 3, loss: 0.2, duplication: 0.1, seed: 5, max_steps: 2000 });
+    let ab = abprotocol::simulate(AbWorkload {
+        messages: 3,
+        loss: 0.2,
+        duplication: 0.1,
+        seed: 5,
+        max_steps: 2000,
+    });
     println!("  Figure 7-3 AB sender: {:?}", specs::ab_sender_spec().check(&ab.trace).outcome());
-    println!("  Figure 7-4 AB receiver: {:?}", specs::ab_receiver_spec().check(&ab.trace).outcome());
+    println!(
+        "  Figure 7-4 AB receiver: {:?}",
+        specs::ab_receiver_spec().check(&ab.trace).outcome()
+    );
     let mx = mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
-    println!("  Figure 8-1 mutual exclusion: {:?}\n", specs::mutual_exclusion_spec().check(&mx).outcome());
+    println!(
+        "  Figure 8-1 mutual exclusion: {:?}\n",
+        specs::mutual_exclusion_spec().check(&mx).outcome()
+    );
 }
 
 fn bench_case_studies(c: &mut Criterion) {
@@ -66,7 +93,8 @@ fn bench_case_studies(c: &mut Criterion) {
 
     group.bench_function("selftimed/arbiter_figure_6_4", |b| {
         b.iter(|| {
-            let trace = selftimed::simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 9 });
+            let trace =
+                selftimed::simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 9 });
             specs::arbiter_spec().check(&trace).passed()
         })
     });
@@ -87,7 +115,12 @@ fn bench_case_studies(c: &mut Criterion) {
 
     group.bench_function("mutex/figure_8_1", |b| {
         b.iter(|| {
-            let trace = mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
+            let trace = mutex::simulate(MutexWorkload {
+                processes: 3,
+                entries: 1,
+                cs_duration: 1,
+                seed: 3,
+            });
             specs::mutual_exclusion_spec().check(&trace).passed()
         })
     });

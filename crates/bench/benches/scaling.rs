@@ -24,9 +24,11 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| valid_pure(f))
         });
         let chain = patterns::eventuality_chain(n);
-        group.bench_with_input(BenchmarkId::new("eventuality_chain_condition", n), &chain, |b, f| {
-            b.iter(|| condition_of_graph(TableauGraph::build(&f.clone().not())))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eventuality_chain_condition", n),
+            &chain,
+            |b, f| b.iter(|| condition_of_graph(TableauGraph::build(&f.clone().not()))),
+        );
     }
     group.finish();
 

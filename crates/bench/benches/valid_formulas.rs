@@ -18,9 +18,9 @@ fn bench_catalogue(c: &mut Criterion) {
     let checker = BoundedChecker::new(["P", "A", "B"], 2);
     // Representative cheap/expensive schemas (the full catalogue is covered by
     // the test suite; benching three keeps the run short).
-    for (name, formula) in valid::catalogue().into_iter().filter(|(n, _)| {
-        matches!(*n, "V1" | "V9" | "V15")
-    }) {
+    for (name, formula) in
+        valid::catalogue().into_iter().filter(|(n, _)| matches!(*n, "V1" | "V9" | "V15"))
+    {
         group.bench_function(name, |b| b.iter(|| checker.valid_up_to_bound(&formula)));
     }
     group.finish();

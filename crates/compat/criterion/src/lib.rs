@@ -1,0 +1,313 @@
+//! Offline stand-in for the `criterion` crate exposing the surface this
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is real wall-clock time: each benchmark is warmed up, then
+//! sampled `sample_size` times with an iteration count autotuned so one
+//! sample spans roughly `measurement_time / sample_size`.  Results are
+//! printed one line per benchmark (mean ± standard deviation across
+//! samples), and can be harvested programmatically via
+//! [`Criterion::take_results`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A single measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group-qualified benchmark name.
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation across samples in nanoseconds.
+    pub stddev_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+impl fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<52} time: [{} ± {}]  ({} iters)",
+            self.name,
+            format_ns(self.mean_ns),
+            format_ns(self.stddev_ns),
+            self.iterations
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line configuration is ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(
+            name.into(),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        println!("{result}");
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of benchmarks with locally adjustable settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// Drains every result measured so far (used to record bench artifacts).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the measurement budget for each benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Sets the warm-up budget for each benchmark in this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(
+            format!("{}/{}", self.name, name),
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.measurement_time.unwrap_or(self.parent.measurement_time),
+            self.warm_up_time.unwrap_or(self.parent.warm_up_time),
+            &mut f,
+        );
+        println!("{result}");
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; results were reported incrementally).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter rendering.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    total_iters: u64,
+    warm_up: bool,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if !self.warm_up {
+            self.samples.push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+            self.total_iters += self.iters_per_sample;
+        }
+    }
+}
+
+fn run_bench(
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> BenchResult {
+    // Warm-up doubles as calibration: find how many iterations fit the budget.
+    let mut bencher =
+        Bencher { iters_per_sample: 1, samples: Vec::new(), total_iters: 0, warm_up: true };
+    let calibration_start = Instant::now();
+    let mut per_iter_ns = loop {
+        let start = Instant::now();
+        f(&mut bencher);
+        let elapsed = start.elapsed().as_nanos() as f64 / bencher.iters_per_sample as f64;
+        if calibration_start.elapsed() >= warm_up_time
+            || elapsed * bencher.iters_per_sample as f64 >= 1e7
+        {
+            break elapsed.max(1.0);
+        }
+        bencher.iters_per_sample = (bencher.iters_per_sample * 2).min(1 << 30);
+    };
+    if per_iter_ns <= 0.0 {
+        per_iter_ns = 1.0;
+    }
+
+    let per_sample_budget = measurement_time.as_nanos() as f64 / sample_size.max(1) as f64;
+    let iters = ((per_sample_budget / per_iter_ns).round() as u64).max(1);
+    let mut bencher =
+        Bencher { iters_per_sample: iters, samples: Vec::new(), total_iters: 0, warm_up: false };
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+    }
+
+    let n = bencher.samples.len().max(1) as f64;
+    let mean = bencher.samples.iter().sum::<f64>() / n;
+    let variance = bencher.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    BenchResult { name, mean_ns: mean, stddev_ns: variance.sqrt(), iterations: bencher.total_iters }
+}
+
+/// Bundles benchmark functions into a runner, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_result() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].mean_ns >= 0.0);
+        assert!(results[0].iterations >= 5);
+    }
+
+    #[test]
+    fn groups_report_qualified_names() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| b.iter(|| n * 2));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].name, "g/f/7");
+    }
+}

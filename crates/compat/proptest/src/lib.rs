@@ -1,0 +1,508 @@
+//! Offline stand-in for the `proptest` crate exposing the surface this
+//! workspace uses: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, [`Just`], `any::<T>()`, `proptest::collection::vec`,
+//! `proptest::sample::Index`, the [`prop_oneof!`] union macro, and the
+//! [`proptest!`] / `prop_assert*` test macros.
+//!
+//! Values are generated from a deterministic SplitMix64 stream (distinct per
+//! test name), so failures are reproducible run-to-run.  Unlike the real
+//! crate there is no shrinking: a failing case is reported as-is by the
+//! underlying assertion.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+/// The deterministic generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary string (e.g. the test name).
+    pub fn from_seed_str(seed: &str) -> TestRng {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in seed.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Rc::new(self) }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves and `recurse`
+    /// wraps an inner strategy into branch cases, to at most `depth` levels.
+    /// The `_desired_size` / `_expected_branch` tuning knobs of the real crate
+    /// are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let recurse: Rc<RecurseFn<Self::Value>> = Rc::new(move |inner| recurse(inner).boxed());
+        Recursive { leaf, recurse, depth }.boxed()
+    }
+}
+
+type RecurseFn<T> = dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>;
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    recurse: Rc<RecurseFn<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Take a leaf at the depth limit, and otherwise with probability 1/4,
+        // which keeps expected sizes modest while still reaching the limit.
+        if self.depth == 0 || rng.below(4) == 0 {
+            return self.leaf.generate(rng);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            recurse: Rc::clone(&self.recurse),
+            depth: self.depth - 1,
+        }
+        .boxed();
+        (self.recurse)(inner).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally typed strategies (behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical strategy, used through [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for any [`Arbitrary`] type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        self.min + rng.below(self.max - self.min + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty collection size range");
+        SizeRange { min, max }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// The index scaled into `[0, len)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((self.raw as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+/// Per-run configuration for [`proptest!`] blocks.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among alternative strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_seed_str(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                    Ok(())
+                })();
+                if let Err(message) = result {
+                    panic!("property failed at case {case}: {message}");
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, "{lhs:?} != {rhs:?}");
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs != rhs {
+            return Err(format!("{lhs:?} != {rhs:?}: {}", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, "{lhs:?} == {rhs:?}");
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return Err(format!("{lhs:?} == {rhs:?}: {}", format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_and_map_compose() {
+        let strategy = prop_oneof![Just(1u32), Just(2u32)].prop_map(|n| n * 10);
+        let mut rng = crate::TestRng::from_seed_str("compose");
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn recursive_respects_depth() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strategy = Just(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::from_seed_str("depth");
+        for _ in 0..200 {
+            assert!(depth(&strategy.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_honour_the_size_range(v in crate::collection::vec(any::<bool>(), 1..=5usize)) {
+            prop_assert!((1..=5).contains(&v.len()), "bad length {}", v.len());
+        }
+
+        #[test]
+        fn indices_stay_in_bounds(ix in any::<crate::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! counterexample to validity; absence of a counterexample up to the bound is
 //! reported by [`BoundedChecker::valid_up_to_bound`].
 
+use crate::arena::{FormulaArena, FormulaId, MemoEvaluator};
 use crate::semantics::Evaluator;
 use crate::state::{Prop, State};
 use crate::syntax::Formula;
@@ -111,7 +112,40 @@ impl BoundedChecker {
     }
 
     /// Searches for a computation (within the bound) that falsifies `formula`.
+    ///
+    /// The formula is interned into a fresh [`FormulaArena`] and evaluated
+    /// with the memoized arena evaluator; to amortize interning over many
+    /// queries, intern once and use
+    /// [`BoundedChecker::counterexample_interned`].
     pub fn counterexample(&self, formula: &Formula) -> Option<Trace> {
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(formula);
+        self.counterexample_interned(&arena, id)
+    }
+
+    /// Searches for a counterexample to an already interned formula.
+    pub fn counterexample_interned(
+        &self,
+        arena: &FormulaArena,
+        formula: FormulaId,
+    ) -> Option<Trace> {
+        let mut memo = MemoEvaluator::new(arena);
+        let mut found = None;
+        self.for_each_trace(|trace| {
+            if !memo.check(trace, formula) {
+                found = Some(trace.clone());
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// [`BoundedChecker::counterexample`] over the boxed AST without interning
+    /// or memoization.  Kept as the reference implementation and as the
+    /// baseline of the arena-vs-boxed benchmark; prefer the default path.
+    pub fn counterexample_boxed(&self, formula: &Formula) -> Option<Trace> {
         let mut found = None;
         self.for_each_trace(|trace| {
             if !Evaluator::new(trace).check(formula) {
@@ -127,6 +161,11 @@ impl BoundedChecker {
     /// `true` if no computation within the bound falsifies `formula`.
     pub fn valid_up_to_bound(&self, formula: &Formula) -> bool {
         self.counterexample(formula).is_none()
+    }
+
+    /// `true` if no computation within the bound falsifies the interned formula.
+    pub fn valid_up_to_bound_interned(&self, arena: &FormulaArena, formula: FormulaId) -> bool {
+        self.counterexample_interned(arena, formula).is_none()
     }
 
     /// Searches for a computation (within the bound) that satisfies `formula`.
@@ -192,9 +231,7 @@ mod tests {
     fn vacuity_of_unconstructible_intervals_is_confirmed() {
         // ¬*I ⊃ [I]α is valid: check the instance with I = event Q, α = false.
         let checker = BoundedChecker::new(["P", "Q"], 3);
-        let f = occurs(event(prop("Q")))
-            .not()
-            .implies(Formula::False.within(event(prop("Q"))));
+        let f = occurs(event(prop("Q"))).not().implies(Formula::False.within(event(prop("Q"))));
         assert!(checker.valid_up_to_bound(&f));
     }
 }

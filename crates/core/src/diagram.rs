@@ -70,7 +70,13 @@ impl<'a> Diagram<'a> {
     /// A diagram over the trace.  Unless rows are added explicitly, every
     /// proposition and state component appearing in the trace gets a row.
     pub fn new(trace: &'a Trace) -> Diagram<'a> {
-        Diagram { trace, prop_rows: Vec::new(), var_rows: Vec::new(), overlays: Vec::new(), auto_rows: true }
+        Diagram {
+            trace,
+            prop_rows: Vec::new(),
+            var_rows: Vec::new(),
+            overlays: Vec::new(),
+            auto_rows: true,
+        }
     }
 
     /// Adds a row tracking a plain proposition, disabling automatic rows.
@@ -97,10 +103,8 @@ impl<'a> Diagram<'a> {
 
     /// Adds an overlay row for an explicit interval.
     pub fn interval(mut self, label: impl Into<String>, interval: Interval) -> Diagram<'a> {
-        self.overlays.push(Overlay {
-            label: label.into(),
-            content: OverlayContent::Interval(interval),
-        });
+        self.overlays
+            .push(Overlay { label: label.into(), content: OverlayContent::Interval(interval) });
         self
     }
 
@@ -127,10 +131,8 @@ impl<'a> Diagram<'a> {
         if let Formula::In(term, _) = formula {
             self = self.interval_term(label.clone(), term);
         }
-        self.overlays.push(Overlay {
-            label,
-            content: OverlayContent::Note(format!("holds: {holds}")),
-        });
+        self.overlays
+            .push(Overlay { label, content: OverlayContent::Note(format!("holds: {holds}")) });
         self
     }
 
@@ -161,12 +163,8 @@ impl<'a> Diagram<'a> {
         }
         width = width.max(format!("{}", columns.saturating_sub(1)).len() + 1);
 
-        let label_width = self
-            .label_texts(&prop_rows, &var_rows)
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(0)
-            .max(4);
+        let label_width =
+            self.label_texts(&prop_rows, &var_rows).map(|s| s.len()).max().unwrap_or(0).max(4);
 
         let mut out = String::new();
         // Header: positions.
@@ -329,9 +327,7 @@ mod tests {
 
     #[test]
     fn missing_interval_renders_a_vacuity_note() {
-        let rendered = Diagram::new(&change_trace())
-            .interval_term("C", &event(prop("C")))
-            .render();
+        let rendered = Diagram::new(&change_trace()).interval_term("C", &event(prop("C"))).render();
         assert!(rendered.contains("not found"), "{rendered}");
     }
 
@@ -347,10 +343,8 @@ mod tests {
 
     #[test]
     fn var_rows_show_component_values() {
-        let trace = Trace::finite(vec![
-            State::new().with_var("y", 2),
-            State::new().with_var("y", 16),
-        ]);
+        let trace =
+            Trace::finite(vec![State::new().with_var("y", 2), State::new().with_var("y", 16)]);
         let rendered = Diagram::new(&trace).var_row("y").render();
         assert!(rendered.contains("y="));
         assert!(rendered.contains("16"));
@@ -358,17 +352,14 @@ mod tests {
 
     #[test]
     fn unbounded_interval_uses_an_arrow() {
-        let rendered = Diagram::new(&change_trace())
-            .interval("tail", Interval::unbounded(1))
-            .render();
+        let rendered =
+            Diagram::new(&change_trace()).interval("tail", Interval::unbounded(1)).render();
         assert!(rendered.contains('>'), "{rendered}");
     }
 
     #[test]
     fn unit_interval_renders_as_a_point() {
-        let rendered = Diagram::new(&change_trace())
-            .interval("begin", Interval::unit(2))
-            .render();
+        let rendered = Diagram::new(&change_trace()).interval("begin", Interval::unit(2)).render();
         assert!(rendered.contains("[]"), "{rendered}");
     }
 }

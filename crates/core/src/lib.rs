@@ -8,6 +8,10 @@
 //!
 //! * [`syntax`] / [`dsl`] — interval formulas and interval terms (`begin`,
 //!   `end`, `⇒`, `⇐`, the `*` modifier), with ergonomic constructors;
+//! * [`arena`] — the hash-consed formula arena (`FormulaId`/`TermId` handles,
+//!   structural sharing) and the memoized arena evaluator;
+//! * [`session`] — the unified checking façade: `Session`, builder-style
+//!   `CheckRequest`, backend selection, and the uniform `Verdict`;
 //! * [`trace`] / [`state`] — computation sequences over parameterized
 //!   propositions and state components;
 //! * [`semantics`] — the formal model of Chapter 3: the interval-construction
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod bounded;
 pub mod diagram;
 pub mod dsl;
@@ -60,6 +65,7 @@ pub mod ops;
 pub mod parser;
 pub mod process;
 pub mod semantics;
+pub mod session;
 pub mod spec;
 pub mod star;
 pub mod state;
@@ -70,12 +76,14 @@ pub mod value;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::arena::{FormulaArena, FormulaId, MemoEvaluator, TermId};
     pub use crate::bounded::BoundedChecker;
     pub use crate::diagram::Diagram;
     pub use crate::interval::{Constructed, Endpoint, Interval};
     pub use crate::ops::Operation;
     pub use crate::process::{ProcessId, ProcessSpec, System};
     pub use crate::semantics::{holds, Dir, Env, Evaluator};
+    pub use crate::session::{Backend, CheckReport, CheckRequest, CheckStats, Session, Verdict};
     pub use crate::spec::{CheckOutcome, Spec, SpecReport};
     pub use crate::state::{Prop, State};
     pub use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};

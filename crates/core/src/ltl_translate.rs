@@ -255,10 +255,7 @@ mod tests {
     fn prefix_interval_up_to_event() {
         // [ ⇒ Q ] □P  and  [ ⇒ Q ] ◇P
         agree_on_small_traces(&always(prop("P")).within(fwd_to(event(prop("Q")))), &["P", "Q"]);
-        agree_on_small_traces(
-            &eventually(prop("P")).within(fwd_to(event(prop("Q")))),
-            &["P", "Q"],
-        );
+        agree_on_small_traces(&eventually(prop("P")).within(fwd_to(event(prop("Q")))), &["P", "Q"]);
     }
 
     #[test]

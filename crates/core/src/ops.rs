@@ -84,15 +84,9 @@ impl Operation {
 
     /// The four axioms of §2.2 characterizing `atO`, `inO` and `afterO`.
     pub fn axioms(&self) -> Vec<(String, Formula)> {
-        let a1 = self
-            .during()
-            .always()
-            .within(fwd(event(self.at()), begin(event(self.after()))));
-        let a2 = self
-            .during()
-            .not()
-            .always()
-            .within(fwd(event(self.after()), begin(event(self.at()))));
+        let a1 = self.during().always().within(fwd(event(self.at()), begin(event(self.after()))));
+        let a2 =
+            self.during().not().always().within(fwd(event(self.after()), begin(event(self.at()))));
         let a3 = self.at().implies(self.during()).always();
         let a4 = self.after().implies(self.during().not()).always();
         vec![

@@ -90,12 +90,12 @@ enum Tok {
     Tilde,
     Amp,
     Pipe,
-    Arrow,     // ->
-    DArrow,    // <->
-    Box,       // []
-    Diamond,   // <>
-    FwdOp,     // =>
-    BwdOp,     // <=  (only meaningful inside terms; also the `<=` comparison)
+    Arrow,   // ->
+    DArrow,  // <->
+    Box,     // []
+    Diamond, // <>
+    FwdOp,   // =>
+    BwdOp,   // <=  (only meaningful inside terms; also the `<=` comparison)
     Star,
     Eq,
     Ne,
@@ -568,8 +568,7 @@ mod tests {
     #[test]
     fn parses_backward_and_prefix_terms() {
         let parsed = parse_formula("[ begin A <= C ] [] ~X").unwrap();
-        let built =
-            always(not(prop("X"))).within(bwd(begin(event(prop("A"))), event(prop("C"))));
+        let built = always(not(prop("X"))).within(bwd(begin(event(prop("A"))), event(prop("C"))));
         assert_eq!(parsed, built);
         let half = parse_formula("[ => afterDq(a) ] *atEnq").unwrap();
         assert!(half.to_string().contains("afterDq"));

@@ -234,10 +234,8 @@ impl System {
         let mut errors = Vec::new();
         for process in &self.processes {
             for name in process.undeclared_names() {
-                errors.push(CompositionError::UndeclaredName {
-                    process: process.id().clone(),
-                    name,
-                });
+                errors
+                    .push(CompositionError::UndeclaredName { process: process.id().clone(), name });
             }
         }
         for (i, a) in self.processes.iter().enumerate() {
@@ -309,14 +307,12 @@ pub fn rename_formula(formula: &Formula, rename: &impl Fn(&str) -> String) -> Fo
         Formula::False => Formula::False,
         Formula::Pred(pred) => Formula::Pred(rename_pred(pred, rename)),
         Formula::Not(a) => Formula::Not(Box::new(rename_formula(a, rename))),
-        Formula::And(a, b) => Formula::And(
-            Box::new(rename_formula(a, rename)),
-            Box::new(rename_formula(b, rename)),
-        ),
-        Formula::Or(a, b) => Formula::Or(
-            Box::new(rename_formula(a, rename)),
-            Box::new(rename_formula(b, rename)),
-        ),
+        Formula::And(a, b) => {
+            Formula::And(Box::new(rename_formula(a, rename)), Box::new(rename_formula(b, rename)))
+        }
+        Formula::Or(a, b) => {
+            Formula::Or(Box::new(rename_formula(a, rename)), Box::new(rename_formula(b, rename)))
+        }
         Formula::Always(a) => Formula::Always(Box::new(rename_formula(a, rename))),
         Formula::Eventually(a) => Formula::Eventually(Box::new(rename_formula(a, rename))),
         Formula::In(term, a) => {
@@ -343,11 +339,9 @@ pub fn rename_term(term: &IntervalTerm, rename: &impl Fn(&str) -> String) -> Int
 fn rename_pred(pred: &Pred, rename: &impl Fn(&str) -> String) -> Pred {
     match pred {
         Pred::Prop { name, args } => Pred::Prop { name: rename(name), args: args.clone() },
-        Pred::Cmp { lhs, op, rhs } => Pred::Cmp {
-            lhs: rename_expr(lhs, rename),
-            op: *op,
-            rhs: rename_expr(rhs, rename),
-        },
+        Pred::Cmp { lhs, op, rhs } => {
+            Pred::Cmp { lhs: rename_expr(lhs, rename), op: *op, rhs: rename_expr(rhs, rename) }
+        }
     }
 }
 
@@ -422,7 +416,10 @@ mod tests {
         Spec::new("claimant")
             .init("I0", not(prop("claim")))
             .axiom("A1", always(prop("cs").implies(prop("claim"))))
-            .axiom("A2", within(fwd(event(prop("claim")), event(prop("cs"))), always(prop("claim"))))
+            .axiom(
+                "A2",
+                within(fwd(event(prop("claim")), event(prop("cs"))), always(prop("claim"))),
+            )
     }
 
     fn claimant(id: &str) -> ProcessSpec {
@@ -457,9 +454,9 @@ mod tests {
             .with_process(ProcessSpec::new("p1", token_spec()).owns_shared("token"))
             .with_process(ProcessSpec::new("p2", token_spec()).owns_shared("token"));
         let errors = system.well_formed().unwrap_err();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, CompositionError::OwnershipConflict { name, .. } if name == "token")));
+        assert!(errors.iter().any(
+            |e| matches!(e, CompositionError::OwnershipConflict { name, .. } if name == "token")
+        ));
         // Two instances of the same process template reusing local names is fine.
         let ok = System::new("ok").with_process(claimant("p1")).with_process(claimant("p2"));
         assert!(ok.well_formed().is_ok());
@@ -484,7 +481,7 @@ mod tests {
         assert!(!report.passed());
         let failures = report.failures();
         assert!(failures.iter().any(|label| label.starts_with("p2.")), "failures: {failures:?}");
-        assert!(!failures.iter().any(|label| *label == "p1.A1"), "failures: {failures:?}");
+        assert!(!failures.contains(&"p1.A1"), "failures: {failures:?}");
 
         // A trace in which both processes behave.
         let good = Trace::finite(vec![
@@ -499,22 +496,18 @@ mod tests {
 
     #[test]
     fn composing_an_ill_formed_system_is_an_error() {
-        let system = System::new("bad")
-            .with_process(ProcessSpec::new("p1", claimant_spec()).owns("claim"));
+        let system =
+            System::new("bad").with_process(ProcessSpec::new("p1", claimant_spec()).owns("claim"));
         assert!(system.compose().is_err());
         assert!(system.check(&Trace::finite(vec![State::new()])).is_err());
     }
 
     #[test]
     fn collect_names_descends_into_interval_terms() {
-        let formula =
-            within(fwd(event(prop("A")), begin(event(prop("B")))), eventually(prop("C")));
+        let formula = within(fwd(event(prop("A")), begin(event(prop("B")))), eventually(prop("C")));
         let mut names = BTreeSet::new();
         collect_names(&formula, &mut names);
-        assert_eq!(
-            names,
-            BTreeSet::from(["A".to_string(), "B".to_string(), "C".to_string()])
-        );
+        assert_eq!(names, BTreeSet::from(["A".to_string(), "B".to_string(), "C".to_string()]));
     }
 
     #[test]

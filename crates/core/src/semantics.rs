@@ -16,15 +16,15 @@
 //! undefined for an infinite set of changes exactly as in the report.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use crate::interval::{Constructed, Endpoint, Interval};
-use crate::state::Prop;
 use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};
 use crate::trace::{Extension, Trace};
 use crate::value::Value;
 
 /// Direction of the interval search (the `d` parameter of the `F` function).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// Search forward for the first occurrence.
     Forward,
@@ -33,9 +33,21 @@ pub enum Dir {
 }
 
 /// A binding environment for data variables.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Internally a persistent chain of `Rc` frames: [`Env::bind`] pushes one
+/// frame in O(1) and shares the tail with the parent environment, so the
+/// evaluator's quantifier instantiation never copies the whole binding set
+/// (the chain is at most as deep as the quantifier nesting).
+#[derive(Clone, Debug, Default)]
 pub struct Env {
-    bindings: BTreeMap<String, Value>,
+    head: Option<Rc<Binding>>,
+}
+
+#[derive(Debug)]
+struct Binding {
+    name: String,
+    value: Value,
+    parent: Option<Rc<Binding>>,
 }
 
 impl Env {
@@ -44,16 +56,23 @@ impl Env {
         Env::default()
     }
 
-    /// Returns a copy of the environment with `name` bound to `value`.
+    /// Returns an environment extending `self` with `name` bound to `value`
+    /// (shadowing any earlier binding of the same name). O(1); the existing
+    /// bindings are shared, not copied.
     pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
-        let mut bindings = self.bindings.clone();
-        bindings.insert(name.into(), value);
-        Env { bindings }
+        Env { head: Some(Rc::new(Binding { name: name.into(), value, parent: self.head.clone() })) }
     }
 
-    /// Looks up a data variable.
+    /// Looks up a data variable (innermost binding wins).
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.bindings.get(name)
+        let mut cursor = self.head.as_deref();
+        while let Some(binding) = cursor {
+            if binding.name == name {
+                return Some(&binding.value);
+            }
+            cursor = binding.parent.as_deref();
+        }
+        None
     }
 
     /// Builds an environment from (name, value) pairs.
@@ -62,11 +81,28 @@ impl Env {
         I: IntoIterator<Item = (S, Value)>,
         S: Into<String>,
     {
-        Env {
-            bindings: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        pairs.into_iter().fold(Env::new(), |env, (name, value)| env.bind(name, value))
+    }
+
+    /// The effective bindings (shadowed entries resolved), sorted by name.
+    pub fn bindings(&self) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        let mut cursor = self.head.as_deref();
+        while let Some(binding) = cursor {
+            out.entry(binding.name.clone()).or_insert_with(|| binding.value.clone());
+            cursor = binding.parent.as_deref();
         }
+        out
     }
 }
+
+impl PartialEq for Env {
+    fn eq(&self, other: &Env) -> bool {
+        self.bindings() == other.bindings()
+    }
+}
+
+impl Eq for Env {}
 
 /// Evaluates interval formulas over a concrete computation sequence.
 #[derive(Debug)]
@@ -149,9 +185,9 @@ impl<'a> Evaluator<'a> {
             IntervalTerm::Begin(inner) => self
                 .construct(inner, ctx, dir, env)
                 .and_then(|iv| Constructed::Found(Interval::unit(iv.first()))),
-            IntervalTerm::End(inner) => self.construct(inner, ctx, dir, env).and_then(|iv| {
-                Constructed::from_option(iv.last().map(Interval::unit))
-            }),
+            IntervalTerm::End(inner) => self
+                .construct(inner, ctx, dir, env)
+                .and_then(|iv| Constructed::from_option(iv.last().map(Interval::unit))),
             IntervalTerm::Must(inner) => match self.construct(inner, ctx, dir, env) {
                 Constructed::NotFound => Constructed::Violated,
                 other => other,
@@ -161,9 +197,7 @@ impl<'a> Evaluator<'a> {
                 (Some(i), None) => {
                     // ⟨ last(F(I, ctx, d)), j ⟩
                     self.construct(i, ctx, dir, env).and_then(|iv| {
-                        Constructed::from_option(
-                            iv.last().map(|lo| Interval { lo, hi: ctx.hi }),
-                        )
+                        Constructed::from_option(iv.last().map(|lo| Interval { lo, hi: ctx.hi }))
                     })
                 }
                 (None, Some(j)) => {
@@ -187,9 +221,7 @@ impl<'a> Evaluator<'a> {
                 (Some(i), None) => {
                     // ⟨ last(F(I, ctx, B)), j ⟩ — the most recent I.
                     self.construct(i, ctx, Dir::Backward, env).and_then(|iv| {
-                        Constructed::from_option(
-                            iv.last().map(|lo| Interval { lo, hi: ctx.hi }),
-                        )
+                        Constructed::from_option(iv.last().map(|lo| Interval { lo, hi: ctx.hi }))
                     })
                 }
                 (None, Some(j)) => {
@@ -222,7 +254,7 @@ impl<'a> Evaluator<'a> {
             let here = Interval { lo: k, hi: ctx.hi };
             if !self.eval(event, before, env) && self.eval(event, here, env) {
                 if let Some(region_start) = loop_region {
-                    if k - 1 >= region_start {
+                    if k > region_start {
                         recurring = true;
                     }
                 }
@@ -293,37 +325,42 @@ impl<'a> Evaluator<'a> {
     /// position with an identical suffix, keeping all positions small.
     fn canonicalize(&self, interval: Interval) -> Interval {
         match interval.hi {
-            Endpoint::Infinite => Interval { lo: self.trace.canonical(interval.lo), hi: interval.hi },
+            Endpoint::Infinite => {
+                Interval { lo: self.trace.canonical(interval.lo), hi: interval.hi }
+            }
             Endpoint::At(_) => interval,
         }
     }
 
-    /// Evaluates a state predicate at a position of the trace.
+    /// Evaluates a state predicate at a position of the trace. Matching is by
+    /// reference throughout — no values or proposition instances are built.
     pub fn eval_pred(&self, pred: &Pred, position: usize, env: &Env) -> bool {
         let state = self.trace.state(position);
         match pred {
-            Pred::Prop { name, args } => {
-                let mut resolved = Vec::with_capacity(args.len());
-                for arg in args {
-                    match arg {
-                        Arg::Value(v) => resolved.push(v.clone()),
-                        Arg::Var(x) => match env.get(x) {
-                            Some(v) => resolved.push(v.clone()),
-                            None => return false,
-                        },
+            Pred::Prop { name, args } => state.props().any(|p| {
+                p.name == *name
+                    && p.args.len() == args.len()
+                    && p.args.iter().zip(args).all(|(held, wanted)| match wanted {
+                        Arg::Value(v) => held == v,
+                        Arg::Var(x) => env.get(x) == Some(held),
+                    })
+            }),
+            Pred::Cmp { lhs, op, rhs } => {
+                fn resolve<'r>(
+                    expr: &'r Expr,
+                    state: &'r crate::state::State,
+                    env: &'r Env,
+                ) -> Option<&'r Value> {
+                    match expr {
+                        Expr::StateVar(name) => state.var(name),
+                        Expr::DataVar(name) => env.get(name),
+                        Expr::Lit(v) => Some(v),
                     }
                 }
-                state.holds(&Prop { name: name.clone(), args: resolved })
-            }
-            Pred::Cmp { lhs, op, rhs } => {
-                let resolve = |expr: &Expr| -> Option<Value> {
-                    match expr {
-                        Expr::StateVar(name) => state.var(name).cloned(),
-                        Expr::DataVar(name) => env.get(name).cloned(),
-                        Expr::Lit(v) => Some(v.clone()),
-                    }
+                let (Some(l), Some(r)) = (resolve(lhs, state, env), resolve(rhs, state, env))
+                else {
+                    return false;
                 };
-                let (Some(l), Some(r)) = (resolve(lhs), resolve(rhs)) else { return false };
                 match op {
                     CmpOp::Eq => l == r,
                     CmpOp::Ne => l != r,
@@ -352,7 +389,7 @@ pub fn holds(trace: &Trace, formula: &Formula) -> bool {
 mod tests {
     use super::*;
     use crate::dsl::*;
-    use crate::state::State;
+    use crate::state::{Prop, State};
 
     /// States where the named propositions hold.
     fn trace_of(rows: &[&[&str]]) -> Trace {
@@ -409,9 +446,7 @@ mod tests {
     #[test]
     fn star_modifier_forces_occurrence() {
         // [ A => *B ] <> D is false (not vacuous) when A occurs but B never does.
-        let f = prop("D")
-            .eventually()
-            .within(event(prop("A")).then(must(event(prop("B")))));
+        let f = prop("D").eventually().within(event(prop("A")).then(must(event(prop("B")))));
         let no_b = trace_of(&[&[], &["A"], &["A"]]);
         assert!(!holds(&no_b, &f));
         // Still vacuously true when A itself never occurs.
@@ -436,9 +471,7 @@ mod tests {
         // [ x(i) <= cs(i) ] — interval from the most recent setting of x(i)
         // back from the cs(i) event (mutual-exclusion shape, Chapter 8).
         // Use propositions X and C; D must hold somewhere in between.
-        let f = prop("D")
-            .eventually()
-            .within(event(prop("X")).back_from(event(prop("C"))));
+        let f = prop("D").eventually().within(event(prop("X")).back_from(event(prop("C"))));
         // X set at 1, D at 3, C at 4: interval from end of the most recent X
         // event (position 1) to the C event.
         let good = trace_of(&[&[], &["X"], &["X"], &["X", "D"], &["X", "C"]]);
@@ -507,9 +540,7 @@ mod tests {
         ]);
         let ev = Evaluator::new(&t);
         // For every value a in the domain, atEnq(a) eventually holds.
-        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a")]))
-            .eventually()
-            .forall("a");
+        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a")])).eventually().forall("a");
         assert!(ev.check(&f));
         // There is a value for which atEnq(a) holds initially.
         let g = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a")])).exists("a");

@@ -1,0 +1,596 @@
+//! The unified checking API: [`Session`], [`CheckRequest`], [`Backend`],
+//! [`Verdict`].
+//!
+//! The repository grew four disconnected ways of asking whether a formula
+//! holds — [`crate::semantics::Evaluator::check`] over a single trace,
+//! [`crate::bounded::BoundedChecker`] over every small computation, run
+//! enumeration from an explorer, and the tableau decision procedure reached
+//! through [`crate::ltl_translate`] — each with its own calling convention and
+//! result shape.  A [`Session`] is the one front door: it owns a hash-consed
+//! [`FormulaArena`] shared by every check (so formulas interned once are
+//! shared across requests), takes a builder-style [`CheckRequest`] selecting a
+//! [`Backend`], and returns a [`CheckReport`] carrying a uniform [`Verdict`]
+//! plus timing and memoization statistics.
+//!
+//! ```
+//! use ilogic_core::dsl::*;
+//! use ilogic_core::session::{CheckRequest, Session, Verdict};
+//!
+//! let mut session = Session::new();
+//! // P ∨ ¬P is a theorem: no computation of length ≤ 3 refutes it.
+//! let request = CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 3);
+//! assert_eq!(session.check(request).verdict, Verdict::ValidUpTo(3));
+//! ```
+//!
+//! The pre-existing entry points remain available as the low-level layer; the
+//! facade is how new code (and all the `examples/`) should check formulas.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use ilogic_temporal::tableau::{valid_pure_bounded, BuildLimits};
+
+use crate::arena::{FormulaArena, FormulaId, MemoEvaluator, MemoStats};
+use crate::bounded::BoundedChecker;
+use crate::ltl_translate::to_ltl;
+use crate::spec::{close_free_variables, Spec, SpecReport};
+use crate::star::eliminate_star;
+use crate::syntax::{Formula, IntervalTerm, Pred};
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// Which checking engine a [`CheckRequest`] runs on.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// Evaluate the formula over one concrete computation.
+    Trace(Trace),
+    /// Evaluate the formula over a set of enumerated runs (typically produced
+    /// by an explorer such as `ilogic_systems::explore::collect_runs`).
+    Explore {
+        /// The runs to check, each projected to a trace.
+        runs: Vec<Trace>,
+    },
+    /// Exhaustive bounded-model validity search over every computation (with
+    /// stutter and optionally lasso extension) up to `max_len` states over the
+    /// proposition alphabet `props`.
+    Bounded {
+        /// Proposition names of the enumerated alphabet.
+        props: Vec<String>,
+        /// Maximum number of explicit states per computation.
+        max_len: usize,
+        /// Whether ultimately periodic (lasso) extensions are enumerated.
+        lassos: bool,
+    },
+    /// Decide validity via the reduction to linear-time temporal logic and the
+    /// Appendix B tableau.  Exact on the translatable fragment; outside it the
+    /// verdict is [`Verdict::Unknown`].
+    Decide,
+}
+
+impl Backend {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Trace(_) => "trace",
+            Backend::Explore { .. } => "explore",
+            Backend::Bounded { .. } => "bounded",
+            Backend::Decide => "decide",
+        }
+    }
+}
+
+/// A builder-style description of one check: the formula plus the backend and
+/// options to run it with.
+#[derive(Clone, Debug)]
+pub struct CheckRequest {
+    formula: Formula,
+    backend: Backend,
+    domain: Option<Vec<Value>>,
+}
+
+impl CheckRequest {
+    /// A request for `formula`, defaulting to the [`Backend::Decide`] engine;
+    /// select another backend with the builder methods.
+    pub fn new(formula: Formula) -> CheckRequest {
+        CheckRequest { formula, backend: Backend::Decide, domain: None }
+    }
+
+    /// Checks the formula over one concrete computation.
+    pub fn on_trace(mut self, trace: &Trace) -> CheckRequest {
+        self.backend = Backend::Trace(trace.clone());
+        self
+    }
+
+    /// Checks the formula over every run in `runs` (e.g. the complete runs of
+    /// an exhaustively explored model).
+    pub fn over_runs(mut self, runs: Vec<Trace>) -> CheckRequest {
+        self.backend = Backend::Explore { runs };
+        self
+    }
+
+    /// Searches for a counterexample among every computation up to `max_len`
+    /// states over the alphabet `props` (lassos included).
+    pub fn bounded<I, S>(mut self, props: I, max_len: usize) -> CheckRequest
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.backend = Backend::Bounded {
+            props: props.into_iter().map(Into::into).collect(),
+            max_len,
+            lassos: true,
+        };
+        self
+    }
+
+    /// Restricts a [`CheckRequest::bounded`] request to stutter extensions only.
+    pub fn without_lassos(mut self) -> CheckRequest {
+        if let Backend::Bounded { lassos, .. } = &mut self.backend {
+            *lassos = false;
+        }
+        self
+    }
+
+    /// Decides validity via the LTL reduction and the tableau.
+    pub fn decide(mut self) -> CheckRequest {
+        self.backend = Backend::Decide;
+        self
+    }
+
+    /// Uses an explicit backend value.
+    pub fn with_backend(mut self, backend: Backend) -> CheckRequest {
+        self.backend = backend;
+        self
+    }
+
+    /// Quantifies data variables over an explicit domain instead of the
+    /// values occurring in each checked trace.
+    pub fn with_domain(mut self, domain: Vec<Value>) -> CheckRequest {
+        self.domain = Some(domain);
+        self
+    }
+}
+
+/// The uniform answer of every backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds of everything the backend examined (a single trace,
+    /// every enumerated run, or — for `Decide` — every computation).
+    Holds,
+    /// A concrete computation falsifying the property.
+    Counterexample(Trace),
+    /// No counterexample exists among computations of up to the given number
+    /// of explicit states (bounded-validity evidence, not a proof).
+    ValidUpTo(usize),
+    /// The backend could not settle the property (e.g. the formula falls
+    /// outside the decidable fragment, or there was nothing to check).
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Holds`] and [`Verdict::ValidUpTo`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Holds | Verdict::ValidUpTo(_))
+    }
+
+    /// The falsifying computation, if one was found.
+    pub fn counterexample(&self) -> Option<&Trace> {
+        match self {
+            Verdict::Counterexample(trace) => Some(trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Holds => write!(f, "holds"),
+            Verdict::Counterexample(trace) => write!(f, "counterexample: {trace}"),
+            Verdict::ValidUpTo(bound) => write!(f, "valid up to bound {bound}"),
+            Verdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Uniform measurements attached to every [`CheckReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Wall-clock time spent inside the backend.
+    pub duration: Duration,
+    /// Number of computations examined.
+    pub traces_checked: usize,
+    /// Memoization counters of the arena evaluator (zero for `Decide`).
+    pub memo: MemoStats,
+    /// Total distinct nodes in the session arena after the check.
+    pub arena_nodes: usize,
+}
+
+/// The result of [`Session::check`]: the verdict plus uniform statistics.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Timing and evaluation statistics.
+    pub stats: CheckStats,
+    /// Name of the backend that ran (`"trace"`, `"explore"`, `"bounded"`,
+    /// `"decide"`).
+    pub backend: &'static str,
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({} traces, {:?}, {} memo hits)",
+            self.backend,
+            self.verdict,
+            self.stats.traces_checked,
+            self.stats.duration,
+            self.stats.memo.hits
+        )
+    }
+}
+
+/// The unified checking façade.
+///
+/// A session owns a [`FormulaArena`]; every checked formula is interned into
+/// it, so repeated checks of overlapping formulas share structure and
+/// spec-clause subformulas are deduplicated across clauses.
+#[derive(Debug, Default)]
+pub struct Session {
+    arena: FormulaArena,
+}
+
+impl Session {
+    /// A fresh session with an empty arena.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The session's arena (for inspection; sizes, node access).
+    pub fn arena(&self) -> &FormulaArena {
+        &self.arena
+    }
+
+    /// Interns a formula into the session arena.
+    pub fn intern(&mut self, formula: &Formula) -> FormulaId {
+        self.arena.intern(formula)
+    }
+
+    /// Reconstructs the boxed formula behind an id interned by this session.
+    pub fn extract(&self, id: FormulaId) -> Formula {
+        self.arena.extract(id)
+    }
+
+    /// Runs a check and reports the verdict with uniform statistics.
+    pub fn check(&mut self, request: CheckRequest) -> CheckReport {
+        let CheckRequest { formula, backend, domain } = request;
+        let backend_name = backend.name();
+        let id = self.arena.intern(&formula);
+        let start = Instant::now();
+        let (verdict, traces_checked, memo) = match backend {
+            Backend::Trace(trace) => {
+                let mut memo = self.evaluator(domain);
+                let verdict = if memo.check(&trace, id) {
+                    Verdict::Holds
+                } else {
+                    Verdict::Counterexample(trace)
+                };
+                (verdict, 1, memo.stats())
+            }
+            Backend::Explore { runs } => {
+                let mut memo = self.evaluator(domain);
+                let mut verdict = if runs.is_empty() { Verdict::Unknown } else { Verdict::Holds };
+                let mut checked = 0;
+                for run in runs {
+                    checked += 1;
+                    if !memo.check(&run, id) {
+                        verdict = Verdict::Counterexample(run);
+                        break;
+                    }
+                }
+                (verdict, checked, memo.stats())
+            }
+            Backend::Bounded { props, max_len, lassos } => {
+                let mut checker = BoundedChecker::new(props, max_len);
+                if !lassos {
+                    checker = checker.without_lassos();
+                }
+                let mut memo = self.evaluator(domain);
+                let mut checked = 0;
+                let mut counterexample = None;
+                checker.for_each_trace(|trace| {
+                    checked += 1;
+                    if memo.check(trace, id) {
+                        true
+                    } else {
+                        counterexample = Some(trace.clone());
+                        false
+                    }
+                });
+                let verdict = match counterexample {
+                    Some(trace) => Verdict::Counterexample(trace),
+                    None => Verdict::ValidUpTo(max_len),
+                };
+                (verdict, checked, memo.stats())
+            }
+            Backend::Decide => self.decide(&formula, id),
+        };
+        CheckReport {
+            verdict,
+            stats: CheckStats {
+                duration: start.elapsed(),
+                traces_checked,
+                memo,
+                arena_nodes: self.arena.formula_count() + self.arena.term_count(),
+            },
+            backend: backend_name,
+        }
+    }
+
+    /// Checks every clause of a specification against a trace through the
+    /// session arena, producing the familiar [`SpecReport`].
+    ///
+    /// Clause formulas are universally closed, `*`-eliminated, and interned —
+    /// so subformulas shared between clauses (ubiquitous in the Chapter 5–8
+    /// specifications) are evaluated once per interval/binding context.
+    pub fn check_spec(&mut self, spec: &Spec, trace: &Trace) -> SpecReport {
+        self.check_spec_with_domain(spec, trace, trace.value_domain())
+    }
+
+    /// [`Session::check_spec`] with an explicit quantifier domain.
+    pub fn check_spec_with_domain(
+        &mut self,
+        spec: &Spec,
+        trace: &Trace,
+        domain: Vec<Value>,
+    ) -> SpecReport {
+        let prepared: Vec<(String, crate::spec::ClauseKind, FormulaId)> = spec
+            .clauses()
+            .iter()
+            .map(|clause| {
+                let closed = close_free_variables(&clause.formula);
+                let reduced = eliminate_star(&closed);
+                (clause.label.clone(), clause.kind, self.arena.intern(&reduced))
+            })
+            .collect();
+        let mut memo = MemoEvaluator::new(&self.arena).with_domain(domain);
+        let verdicts = memo.check_all(trace, prepared.iter().map(|(_, _, id)| *id));
+        let results = prepared
+            .into_iter()
+            .zip(verdicts)
+            .map(|((label, kind, _), holds)| crate::spec::ClauseResult { label, kind, holds })
+            .collect();
+        SpecReport { spec: spec.name().to_string(), results }
+    }
+
+    fn evaluator(&self, domain: Option<Vec<Value>>) -> MemoEvaluator<'_> {
+        let memo = MemoEvaluator::new(&self.arena);
+        match domain {
+            Some(domain) => memo.with_domain(domain),
+            None => memo,
+        }
+    }
+
+    /// The `Decide` backend: translate to LTL and run the tableau under a
+    /// construction budget (deeply nested translations are exponential — a
+    /// blowup yields `Unknown`, never a hang).  On non-validity, search for a
+    /// small concrete counterexample — itself budgeted, since the enumeration
+    /// is exponential in the proposition count — so the verdict stays uniform
+    /// with the other backends.
+    fn decide(&mut self, formula: &Formula, id: FormulaId) -> (Verdict, usize, MemoStats) {
+        let Ok(ltl) = to_ltl(formula) else {
+            return (Verdict::Unknown, 0, MemoStats::default());
+        };
+        match valid_pure_bounded(&ltl, BuildLimits::default()) {
+            Some(true) => (Verdict::Holds, 0, MemoStats::default()),
+            Some(false) | None => {
+                // Refuted (or out of tableau reach): concretize over the
+                // deepest bound whose enumeration fits the budget.
+                let props = proposition_names(formula);
+                let Some(checker) = (1..=DECIDE_REFUTATION_BOUND).rev().find_map(|len| {
+                    let checker = BoundedChecker::new(props.clone(), len);
+                    (checker.model_count() <= DECIDE_REFUTATION_MODELS).then_some(checker)
+                }) else {
+                    return (Verdict::Unknown, 0, MemoStats::default());
+                };
+                let mut memo = MemoEvaluator::new(&self.arena);
+                let mut checked = 0;
+                let mut counterexample = None;
+                checker.for_each_trace(|trace| {
+                    checked += 1;
+                    if memo.check(trace, id) {
+                        true
+                    } else {
+                        counterexample = Some(trace.clone());
+                        false
+                    }
+                });
+                let verdict = match counterexample {
+                    Some(trace) => Verdict::Counterexample(trace),
+                    None => Verdict::Unknown,
+                };
+                (verdict, checked, memo.stats())
+            }
+        }
+    }
+}
+
+/// Trace length used to concretize tableau non-validity into a counterexample.
+const DECIDE_REFUTATION_BOUND: usize = 4;
+
+/// Budget for the refutation search: the enumeration is `(2^props)^len`-sized,
+/// so the bound is lowered (and ultimately abandoned as `Unknown`) rather than
+/// letting a wide alphabet stall a call documented never to hang.
+const DECIDE_REFUTATION_MODELS: usize = 2_000_000;
+
+/// The distinct plain proposition names appearing in a formula.
+fn proposition_names(formula: &Formula) -> Vec<String> {
+    fn walk_formula(formula: &Formula, out: &mut Vec<String>) {
+        match formula {
+            Formula::True | Formula::False => {}
+            Formula::Pred(Pred::Prop { name, .. }) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Formula::Pred(Pred::Cmp { .. }) => {}
+            Formula::Not(a)
+            | Formula::Always(a)
+            | Formula::Eventually(a)
+            | Formula::Forall(_, a)
+            | Formula::Exists(_, a) => walk_formula(a, out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                walk_formula(a, out);
+                walk_formula(b, out);
+            }
+            Formula::In(term, a) => {
+                walk_term(term, out);
+                walk_formula(a, out);
+            }
+        }
+    }
+    fn walk_term(term: &IntervalTerm, out: &mut Vec<String>) {
+        match term {
+            IntervalTerm::Event(f) => walk_formula(f, out),
+            IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
+                walk_term(t, out)
+            }
+            IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
+                if let Some(t) = a {
+                    walk_term(t, out);
+                }
+                if let Some(t) = b {
+                    walk_term(t, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk_formula(formula, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::state::State;
+
+    fn trace_of(rows: &[&[&str]]) -> Trace {
+        Trace::finite(
+            rows.iter()
+                .map(|props| {
+                    let mut state = State::new();
+                    for p in *props {
+                        state.insert(crate::state::Prop::plain(*p));
+                    }
+                    state
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trace_backend_reports_holds_and_counterexample() {
+        let mut session = Session::new();
+        let formula = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
+        let good = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
+        let report = session.check(CheckRequest::new(formula.clone()).on_trace(&good));
+        assert_eq!(report.verdict, Verdict::Holds);
+        assert_eq!(report.backend, "trace");
+        assert_eq!(report.stats.traces_checked, 1);
+
+        let bad = trace_of(&[&[], &["A"], &["A"], &["A", "B"]]);
+        let report = session.check(CheckRequest::new(formula).on_trace(&bad));
+        assert_eq!(report.verdict.counterexample(), Some(&bad));
+    }
+
+    #[test]
+    fn bounded_backend_reports_valid_up_to_bound() {
+        let mut session = Session::new();
+        let tautology = prop("P").or(prop("P").not());
+        let report = session.check(CheckRequest::new(tautology).bounded(["P"], 3));
+        assert_eq!(report.verdict, Verdict::ValidUpTo(3));
+        assert!(report.verdict.passed());
+        assert!(report.stats.traces_checked > 0);
+
+        let contingent = prop("P");
+        let report = session.check(CheckRequest::new(contingent).bounded(["P"], 3));
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)));
+    }
+
+    #[test]
+    fn explore_backend_checks_every_run() {
+        let mut session = Session::new();
+        let runs = vec![trace_of(&[&[], &["A"]]), trace_of(&[&[], &[], &["A"]])];
+        let occurs_a = occurs(event(prop("A")));
+        let report = session.check(CheckRequest::new(occurs_a.clone()).over_runs(runs.clone()));
+        assert_eq!(report.verdict, Verdict::Holds);
+        assert_eq!(report.stats.traces_checked, 2);
+
+        let mut with_bad = runs;
+        with_bad.push(trace_of(&[&[], &[]]));
+        let report = session.check(CheckRequest::new(occurs_a).over_runs(with_bad));
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)));
+
+        let report = session.check(CheckRequest::new(prop("A")).over_runs(Vec::new()));
+        assert_eq!(report.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn decide_backend_settles_the_translatable_fragment() {
+        let mut session = Session::new();
+        // □P ⊃ ◇P is a theorem of the temporal substrate.
+        let theorem = always(prop("P")).implies(eventually(prop("P")));
+        let report = session.check(CheckRequest::new(theorem).decide());
+        assert_eq!(report.verdict, Verdict::Holds);
+        assert_eq!(report.backend, "decide");
+
+        // ◇P is not valid: the tableau refutes it and the bounded search
+        // produces a concrete countermodel.
+        let report = session.check(CheckRequest::new(eventually(prop("P"))).decide());
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)));
+
+        // Quantified formulas are outside the fragment.
+        let report =
+            session.check(CheckRequest::new(prop_args("p", [var("x")]).forall("x")).decide());
+        assert_eq!(report.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn sessions_share_structure_across_checks() {
+        let mut session = Session::new();
+        let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
+        let g = prop("D").always().within(event(prop("A")).then(event(prop("B"))));
+        let t = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
+        session.check(CheckRequest::new(f).on_trace(&t));
+        let nodes_after_first = session.arena().formula_count();
+        session.check(CheckRequest::new(g).on_trace(&t));
+        // The second formula only adds its top connective (plus the In node).
+        assert!(session.arena().formula_count() <= nodes_after_first + 2);
+    }
+
+    #[test]
+    fn spec_checks_route_through_the_arena() {
+        let spec = Spec::new("toy")
+            .init("Init", prop("R").not())
+            .axiom("A1", always(prop("R").implies(eventually(prop("A")))));
+        let good = trace_of(&[&[], &["R"], &["A"]]);
+        let bad = trace_of(&[&["R"], &["R"], &[]]);
+        let mut session = Session::new();
+        assert!(session.check_spec(&spec, &good).passed());
+        let report = session.check_spec(&spec, &bad);
+        assert!(!report.passed());
+        assert_eq!(report.failures(), vec!["Init", "A1"]);
+    }
+
+    #[test]
+    fn reports_render_for_humans() {
+        let mut session = Session::new();
+        let report = session.check(CheckRequest::new(prop("P")).bounded(["P"], 2));
+        let shown = report.to_string();
+        assert!(shown.contains("bounded"));
+        assert!(shown.contains("counterexample"));
+    }
+}

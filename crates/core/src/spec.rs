@@ -105,11 +105,7 @@ impl Spec {
             let closed = close_free_variables(&clause.formula);
             let prepared = eliminate_star(&closed);
             let holds = evaluator.check(&prepared);
-            results.push(ClauseResult {
-                label: clause.label.clone(),
-                kind: clause.kind,
-                holds,
-            });
+            results.push(ClauseResult { label: clause.label.clone(), kind: clause.kind, holds });
         }
         SpecReport { spec: self.name.clone(), results }
     }
@@ -181,9 +177,20 @@ impl SpecReport {
 
 impl fmt::Display for SpecReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "specification {}: {}", self.spec, if self.passed() { "CONFORMS" } else { "VIOLATED" })?;
+        writeln!(
+            f,
+            "specification {}: {}",
+            self.spec,
+            if self.passed() { "CONFORMS" } else { "VIOLATED" }
+        )?;
         for r in &self.results {
-            writeln!(f, "  [{}] {:<12} {}", if r.holds { "ok" } else { "FAIL" }, r.kind.to_string(), r.label)?;
+            writeln!(
+                f,
+                "  [{}] {:<12} {}",
+                if r.holds { "ok" } else { "FAIL" },
+                r.kind.to_string(),
+                r.label
+            )?;
         }
         Ok(())
     }
@@ -246,10 +253,7 @@ mod tests {
 
     #[test]
     fn explicit_domain_controls_quantification() {
-        let spec = Spec::new("d").axiom(
-            "A",
-            prop_args("p", [var("x")]).eventually(),
-        );
+        let spec = Spec::new("d").axiom("A", prop_args("p", [var("x")]).eventually());
         let trace = Trace::finite(vec![State::new().with_args("p", [1i64])]);
         // With the trace domain {1}, the axiom holds.
         assert!(spec.check(&trace).passed());

@@ -90,8 +90,7 @@ pub fn obligations(term: &IntervalTerm) -> Formula {
                 (Some(i), Some(j)) => {
                     // J is searched in the context `I' ⇒`; its obligations are
                     // vacuous when that context cannot be established.
-                    let context =
-                        IntervalTerm::Forward(Some(Box::new(i.strip_must())), None);
+                    let context = IntervalTerm::Forward(Some(Box::new(i.strip_must())), None);
                     obligations(j).within(context)
                 }
             };
@@ -105,8 +104,7 @@ pub fn obligations(term: &IntervalTerm) -> Formula {
                 (None, _) => Formula::True,
                 (Some(i), None) => obligations(i),
                 (Some(i), Some(j)) => {
-                    let context =
-                        IntervalTerm::Backward(None, Some(Box::new(j.strip_must())));
+                    let context = IntervalTerm::Backward(None, Some(Box::new(j.strip_must())));
                     obligations(i).within(context)
                 }
             };
@@ -194,17 +192,15 @@ mod tests {
 
     #[test]
     fn star_under_begin_and_end() {
-        let starred = prop("D")
-            .eventually()
-            .within(fwd(begin(must(event(prop("A")))), event(prop("C"))));
+        let starred =
+            prop("D").eventually().within(fwd(begin(must(event(prop("A")))), event(prop("C"))));
         agree(&starred, &sample_traces());
     }
 
     #[test]
     fn star_in_backward_composition() {
         // [ *A <= C ] <> D : obligations of the backward-searched subterm.
-        let starred =
-            eventually(prop("D")).within(bwd(must(event(prop("A"))), event(prop("C"))));
+        let starred = eventually(prop("D")).within(bwd(must(event(prop("A"))), event(prop("C"))));
         agree(&starred, &sample_traces());
     }
 

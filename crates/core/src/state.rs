@@ -142,10 +142,7 @@ mod tests {
 
     #[test]
     fn props_and_vars_round_trip() {
-        let state = State::new()
-            .with("atDq")
-            .with_args("atEnq", [3i64])
-            .with_var("exp", 1i64);
+        let state = State::new().with("atDq").with_args("atEnq", [3i64]).with_var("exp", 1i64);
         assert!(state.holds(&Prop::plain("atDq")));
         assert!(state.holds(&Prop::with_args("atEnq", [3i64])));
         assert!(!state.holds(&Prop::with_args("atEnq", [4i64])));
@@ -169,7 +166,8 @@ mod tests {
     #[test]
     fn args_of_lists_parameter_tuples() {
         let state = State::new().with_args("atEnq", [1i64]).with_args("atEnq", [2i64]);
-        let mut args: Vec<i64> = state.args_of("atEnq").iter().map(|a| a[0].as_int().unwrap()).collect();
+        let mut args: Vec<i64> =
+            state.args_of("atEnq").iter().map(|a| a[0].as_int().unwrap()).collect();
         args.sort_unstable();
         assert_eq!(args, vec![1, 2]);
     }

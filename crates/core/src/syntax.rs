@@ -207,6 +207,7 @@ impl Formula {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         match self {
             Formula::True => Formula::False,
@@ -546,8 +547,7 @@ mod tests {
 
     #[test]
     fn free_vars_respect_binders() {
-        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a"), Arg::var("b")]))
-            .forall("a");
+        let f = Formula::Pred(Pred::prop_args("atEnq", [Arg::var("a"), Arg::var("b")])).forall("a");
         assert_eq!(f.free_vars(), vec!["b".to_string()]);
     }
 
@@ -591,6 +591,8 @@ mod tests {
     fn state_formula_detection() {
         assert!(Formula::prop("P").and(Formula::prop("Q").not()).is_state_formula());
         assert!(!Formula::prop("P").always().is_state_formula());
-        assert!(!Formula::prop("P").within(IntervalTerm::event(Formula::prop("A"))).is_state_formula());
+        assert!(!Formula::prop("P")
+            .within(IntervalTerm::event(Formula::prop("A")))
+            .is_state_formula());
     }
 }

@@ -72,9 +72,7 @@ pub fn v8(i: IntervalTerm, alpha: Formula) -> Formula {
 /// becomes false, `p` remains true (`p` a state predicate).
 pub fn v9(p: Formula) -> Formula {
     debug_assert!(p.is_state_formula(), "V9 requires a state predicate");
-    p.clone()
-        .always()
-        .within(fwd(event(p.clone()), begin(event(p.not()))))
+    p.clone().always().within(fwd(event(p.clone()), begin(event(p.not()))))
 }
 
 /// V10: `[begin α ⇒]*β ∨ [begin β ⇒]*α` — the fundamental event-ordering

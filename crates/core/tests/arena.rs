@@ -1,0 +1,190 @@
+//! Arena coverage: `extract(intern(f)) == f` round-trips over the parser's
+//! corpus and over randomly generated formulas, interning the V1–V16 catalogue
+//! shares subterms (hash-consing actually deduplicates), and the memoized
+//! arena evaluator agrees with the reference semantics.
+
+use proptest::prelude::*;
+
+use ilogic_core::arena::{FormulaArena, MemoEvaluator};
+use ilogic_core::dsl::*;
+use ilogic_core::parser::parse_formula;
+use ilogic_core::prelude::*;
+use ilogic_core::valid;
+
+/// Concrete-syntax corpus exercising every grammar production: propositions,
+/// parameterized events, comparisons, quantifiers, both interval operators,
+/// `begin`/`end`, the `*` modifier, and the report's specification idioms.
+const PARSER_CORPUS: &[&str] = &[
+    "true",
+    "false",
+    "~P",
+    "P & Q | ~R",
+    "P -> Q <-> ~P | Q",
+    "[] (cs -> x)",
+    "<> atDq",
+    "[ A => B ] <> D",
+    "[ A => *B ] <> D",
+    "[ (A => B) => C ] <> D",
+    "[ A <= C ] [] ~B",
+    "[ begin (A => B) => C ] <> D",
+    "[ end (A => B) ] P",
+    "[ => C ] [] P",
+    "[ A => ] <> P",
+    "[ => ] P",
+    "occurs(A => B)",
+    "[ atEnq(a) <= afterDq(b) ] [] ~UA",
+    "forall a. [ => afterDq(a) ] *atEnq(a)",
+    "exists v. exp = ?v",
+    "exp = 3",
+    "x > z & y /= 0",
+    "[ { exp = ?v } => A ] [] atEnq(v)",
+    "forall a. forall b. [ atEnq(a) => atEnq(b) ] ~afterDq(b)",
+    "[ *(R => A) => R ] ~A",
+];
+
+#[test]
+fn parser_corpus_round_trips_through_the_arena() {
+    let mut arena = FormulaArena::new();
+    for source in PARSER_CORPUS {
+        let formula = parse_formula(source).unwrap_or_else(|e| panic!("corpus `{source}`: {e}"));
+        let id = arena.intern(&formula);
+        assert_eq!(
+            arena.extract(id),
+            formula,
+            "extract(intern(f)) differs from f for corpus entry `{source}`"
+        );
+        // Interning the extraction lands on the same id (idempotence).
+        let again = arena.intern(&arena.extract(id));
+        assert_eq!(id, again, "re-interning `{source}` produced a different id");
+    }
+}
+
+#[test]
+fn catalogue_interning_shares_subterms() {
+    let mut arena = FormulaArena::new();
+    let catalogue = valid::catalogue();
+    let boxed_nodes: usize = catalogue.iter().map(|(_, f)| f.size()).sum();
+    let ids: Vec<_> = catalogue.iter().map(|(_, f)| arena.intern(f)).collect();
+
+    // Round-trip and id stability for every schema.
+    for ((name, formula), id) in catalogue.iter().zip(&ids) {
+        assert_eq!(&arena.extract(*id), formula, "{name} does not round-trip");
+        assert_eq!(arena.intern(formula), *id, "{name} re-interns to a new id");
+    }
+
+    // Hash-consing must make the arena strictly smaller than the sum of the
+    // boxed trees: the catalogue reuses P, Q and the A/B/C events throughout.
+    let arena_nodes = arena.formula_count() + arena.term_count();
+    assert!(
+        arena_nodes < boxed_nodes / 2,
+        "expected substantial sharing: {arena_nodes} arena nodes vs {boxed_nodes} boxed nodes"
+    );
+
+    // The common `A => B` term is literally the same id wherever it occurs.
+    let ab = arena.intern_term(&fwd(event(prop("A")), event(prop("B"))));
+    let ab_again = arena.intern_term(&fwd(event(prop("A")), event(prop("B"))));
+    assert_eq!(ab, ab_again);
+}
+
+fn arb_term(depth: u32) -> BoxedStrategy<IntervalTerm> {
+    let leaf = prop_oneof![
+        Just(event(prop("A"))),
+        Just(event(prop("B"))),
+        Just(event(prop("A").and(prop("C")))),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fwd(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| bwd(a, b)),
+            inner.clone().prop_map(fwd_from),
+            inner.clone().prop_map(fwd_to),
+            inner.clone().prop_map(begin),
+            inner.clone().prop_map(end),
+            inner.clone().prop_map(must),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        Just(prop("A")),
+        Just(prop("B")),
+        Just(prop("C")),
+        Just(prop_args("atEnq", [var("a")])),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(depth, 24, 2, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::always),
+            inner.clone().prop_map(Formula::eventually),
+            inner.clone().prop_map(|f| f.forall("a")),
+            inner.clone().prop_map(|f| f.exists("a")),
+            (arb_term(2), inner.clone()).prop_map(|(t, f)| f.within(t)),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), 3), 1..=max_len).prop_map(
+        |rows| {
+            Trace::finite(
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        let mut s = State::new();
+                        for (p, held) in ["A", "B", "C"].iter().zip(row) {
+                            if held {
+                                s.insert(Prop::plain(*p));
+                            }
+                        }
+                        if i % 2 == 0 {
+                            s = s.with_args("atEnq", [i as i64]);
+                        }
+                        s
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The intern/extract bridge is lossless on arbitrary formulas.
+    #[test]
+    fn intern_extract_round_trips(formula in arb_formula(3)) {
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&formula);
+        prop_assert_eq!(arena.extract(id), formula);
+    }
+
+    /// Structural equality coincides with id equality within one arena.
+    #[test]
+    fn equal_formulas_get_equal_ids(formula in arb_formula(3)) {
+        let mut arena = FormulaArena::new();
+        let id1 = arena.intern(&formula);
+        let id2 = arena.intern(&formula.clone());
+        prop_assert_eq!(id1, id2);
+    }
+
+    /// The memoized arena evaluator computes exactly the reference semantics.
+    #[test]
+    fn memo_evaluator_matches_reference(formula in arb_formula(3), trace in arb_trace(5)) {
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&formula);
+        let mut memo = MemoEvaluator::new(&arena);
+        let reference = Evaluator::new(&trace);
+        prop_assert_eq!(
+            memo.check(&trace, id),
+            reference.check(&formula),
+            "disagreement on {} over {}", formula, trace
+        );
+    }
+}

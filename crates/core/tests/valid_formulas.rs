@@ -33,9 +33,7 @@ fn catalogue_instances_with_q_alphabet() {
 fn near_misses_are_refuted() {
     let checker = BoundedChecker::new(["P", "A", "B"], 3);
     // [I]α ⊃ α is not valid (the interval starts later than the context).
-    let not_valid = always(prop("P"))
-        .within(fwd_from(event(prop("A"))))
-        .implies(always(prop("P")));
+    let not_valid = always(prop("P")).within(fwd_from(event(prop("A")))).implies(always(prop("P")));
     assert!(checker.counterexample(&not_valid).is_some());
     // ◇-distribution over conjunction fails: <>(P ∧ A) vs <>P ∧ <>A.
     let wrong = eventually(prop("P"))
@@ -43,9 +41,8 @@ fn near_misses_are_refuted() {
         .implies(eventually(prop("P").and(prop("A"))));
     assert!(checker.counterexample(&wrong).is_some());
     // The converse of V8 is not valid.
-    let converse_v8 = always(prop("P"))
-        .within(fwd_from(event(prop("A"))))
-        .implies(always(prop("P")));
+    let converse_v8 =
+        always(prop("P")).within(fwd_from(event(prop("A")))).implies(always(prop("P")));
     assert!(checker.counterexample(&converse_v8).is_some());
 }
 

@@ -268,7 +268,8 @@ fn reconstruct(
 fn fair_scc_entry(graph: &LowGraph, visited: &BTreeSet<ProductState>) -> Option<ProductState> {
     // Build the product adjacency restricted to visited states.
     let states: Vec<ProductState> = visited.iter().filter(|s| !s.node.is_end()).cloned().collect();
-    let index: BTreeMap<&ProductState, usize> = states.iter().enumerate().map(|(i, s)| (s, i)).collect();
+    let index: BTreeMap<&ProductState, usize> =
+        states.iter().enumerate().map(|(i, s)| (s, i)).collect();
     let mut succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); states.len()]; // (target, edge idx)
     let edges: Vec<&GraphEdge> = graph.edges().iter().collect();
     for (i, state) in states.iter().enumerate() {

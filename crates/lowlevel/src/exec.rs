@@ -48,10 +48,7 @@ pub fn complete(constraint: &PartialInterp) -> Schedule {
         .conjs()
         .iter()
         .map(|c| {
-            c.literals()
-                .filter(|(_, positive)| *positive)
-                .map(|(var, _)| var.to_string())
-                .collect()
+            c.literals().filter(|(_, positive)| *positive).map(|(var, _)| var.to_string()).collect()
         })
         .collect();
     Schedule { steps }

@@ -258,10 +258,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::TooLarge { nodes, edges } => write!(
-                f,
-                "graph construction exceeded its limits ({nodes} nodes, {edges} edges)"
-            ),
+            GraphError::TooLarge { nodes, edges } => {
+                write!(f, "graph construction exceeded its limits ({nodes} nodes, {edges} edges)")
+            }
         }
     }
 }
@@ -389,11 +388,8 @@ impl GraphBuilder {
         let ga = self.build(a)?;
         let gb = self.build(b)?;
         let m = self.fresh_node();
-        let mut graph = LowGraph {
-            init: m.clone(),
-            nodes: BTreeSet::from([m.clone()]),
-            edges: Vec::new(),
-        };
+        let mut graph =
+            LowGraph { init: m.clone(), nodes: BTreeSet::from([m.clone()]), edges: Vec::new() };
         for source in [&ga, &gb] {
             for edge in &source.edges {
                 graph.register_edge(edge.clone());
@@ -423,11 +419,8 @@ impl GraphBuilder {
         let ga = self.build(a)?;
         let gb = self.build(b)?;
         let init = ga.init().union(gb.init());
-        let mut graph = LowGraph {
-            init: init.clone(),
-            nodes: BTreeSet::from([init]),
-            edges: Vec::new(),
-        };
+        let mut graph =
+            LowGraph { init: init.clone(), nodes: BTreeSet::from([init]), edges: Vec::new() };
         if !same_length {
             // Under ∧ the operand graphs are embedded unchanged so the longer
             // operand can continue after the shorter one has ended.
@@ -465,12 +458,7 @@ impl GraphBuilder {
     }
 
     /// `αβ` (`overlap = true`) and `α;β` (`overlap = false`).
-    fn concat(
-        &mut self,
-        a: &LowExpr,
-        b: &LowExpr,
-        overlap: bool,
-    ) -> Result<LowGraph, GraphError> {
+    fn concat(&mut self, a: &LowExpr, b: &LowExpr, overlap: bool) -> Result<LowGraph, GraphError> {
         let ga = self.build(a)?;
         let gb = self.build(b)?;
         let mut graph = LowGraph {
@@ -527,11 +515,7 @@ impl GraphBuilder {
         let mut interner: BTreeMap<MarkerState, GraphNode> = BTreeMap::new();
         let initial = MarkerState { marks: BTreeSet::new(), mode: Mode::Iterating };
         let init_node = self.intern(&mut interner, initial.clone());
-        let mut graph = LowGraph {
-            init: init_node,
-            nodes: BTreeSet::new(),
-            edges: Vec::new(),
-        };
+        let mut graph = LowGraph { init: init_node, nodes: BTreeSet::new(), edges: Vec::new() };
         graph.nodes.insert(graph.init.clone());
 
         let mut worklist = vec![initial];
@@ -636,13 +620,9 @@ impl GraphBuilder {
                         for spawn in gb.edges_from(gb.init()) {
                             let mut chosen: Vec<&GraphEdge> = combo.clone();
                             chosen.push(spawn);
-                            if let Some(next) = successor(
-                                &chosen,
-                                state,
-                                Mode::BetaRunning,
-                                kind,
-                                SpawnKind::Beta,
-                            ) {
+                            if let Some(next) =
+                                successor(&chosen, state, Mode::BetaRunning, kind, SpawnKind::Beta)
+                            {
                                 let mut body = EdgeBody::combine(&chosen);
                                 if let Some(ev) = eventuality {
                                     body.se.insert(ev);
@@ -670,10 +650,7 @@ impl GraphBuilder {
 }
 
 fn gb_has(gb: Option<&LowGraph>, mark: &Marker) -> bool {
-    match (gb, mark) {
-        (Some(_), Marker::Beta(_)) => true,
-        _ => false,
-    }
+    matches!((gb, mark), (Some(_), Marker::Beta(_)))
 }
 
 /// Which operand (if any) the transition begins a fresh copy of.

@@ -72,25 +72,20 @@ fn denote(expr: &LowExpr, bounds: Bounds) -> Vec<PartialInterp> {
         }
         LowExpr::T => vec![PartialInterp::unit()],
         LowExpr::F => Vec::new(),
-        LowExpr::TStar => (1..=bounds.max_len)
-            .map(|n| PartialInterp::from_conjs(vec![Conj::top(); n]))
-            .collect(),
+        LowExpr::TStar => {
+            (1..=bounds.max_len).map(|n| PartialInterp::from_conjs(vec![Conj::top(); n])).collect()
+        }
         LowExpr::And(a, b) => {
             let da = denote(a, bounds);
             let db = denote(b, bounds);
-            cap(
-                da.iter().flat_map(|i| db.iter().map(move |j| i.and(j))).collect(),
-                bounds,
-            )
+            cap(da.iter().flat_map(|i| db.iter().map(move |j| i.and(j))).collect(), bounds)
         }
         LowExpr::SameLength(a, b) => {
             let da = denote(a, bounds);
             let db = denote(b, bounds);
             cap(
                 da.iter()
-                    .flat_map(|i| {
-                        db.iter().filter(|j| j.len() == i.len()).map(move |j| i.and(j))
-                    })
+                    .flat_map(|i| db.iter().filter(|j| j.len() == i.len()).map(move |j| i.and(j)))
                     .collect(),
                 bounds,
             )
@@ -103,22 +98,14 @@ fn denote(expr: &LowExpr, bounds: Bounds) -> Vec<PartialInterp> {
         LowExpr::Concat(a, b) => {
             let da = denote(a, bounds);
             let db = denote(b, bounds);
-            cap(
-                da.iter().flat_map(|i| db.iter().map(move |j| i.concat(j))).collect(),
-                bounds,
-            )
+            cap(da.iter().flat_map(|i| db.iter().map(move |j| i.concat(j))).collect(), bounds)
         }
         LowExpr::Seq(a, b) => {
             let da = denote(a, bounds);
             let db = denote(b, bounds);
-            cap(
-                da.iter().flat_map(|i| db.iter().map(move |j| i.seq(j))).collect(),
-                bounds,
-            )
+            cap(da.iter().flat_map(|i| db.iter().map(move |j| i.seq(j))).collect(), bounds)
         }
-        LowExpr::Exists(x, a) => {
-            cap(denote(a, bounds).iter().map(|i| i.hide(x)).collect(), bounds)
-        }
+        LowExpr::Exists(x, a) => cap(denote(a, bounds).iter().map(|i| i.hide(x)).collect(), bounds),
         LowExpr::ForceFalse(x, a) => {
             cap(denote(a, bounds).iter().map(|i| i.default_to(x, false)).collect(), bounds)
         }
@@ -132,15 +119,10 @@ fn denote(expr: &LowExpr, bounds: Bounds) -> Vec<PartialInterp> {
             for shift in 1..bounds.max_len {
                 let shifted: Vec<PartialInterp> = da
                     .iter()
-                    .map(|i| {
-                        PartialInterp::from_conjs(vec![Conj::top(); shift]).seq(i)
-                    })
+                    .map(|i| PartialInterp::from_conjs(vec![Conj::top(); shift]).seq(i))
                     .collect();
                 result = cap(
-                    result
-                        .iter()
-                        .flat_map(|i| shifted.iter().map(move |j| i.and(j)))
-                        .collect(),
+                    result.iter().flat_map(|i| shifted.iter().map(move |j| i.and(j))).collect(),
                     bounds,
                 );
                 if result.is_empty() {

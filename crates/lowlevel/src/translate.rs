@@ -39,7 +39,9 @@ impl fmt::Display for TranslateError {
             TranslateError::UnsupportedNegation(what) => {
                 write!(f, "cannot push negation through {what}")
             }
-            TranslateError::Interval(what) => write!(f, "interval-logic translation failed: {what}"),
+            TranslateError::Interval(what) => {
+                write!(f, "interval-logic translation failed: {what}")
+            }
         }
     }
 }
@@ -131,10 +133,7 @@ mod tests {
     #[test]
     fn shapes_of_the_section_7_encoding() {
         assert_eq!(from_ltl(&p()).unwrap(), LowExpr::pos("P").concat(LowExpr::TStar));
-        assert_eq!(
-            from_ltl(&p().not()).unwrap(),
-            LowExpr::neg("P").concat(LowExpr::TStar)
-        );
+        assert_eq!(from_ltl(&p().not()).unwrap(), LowExpr::neg("P").concat(LowExpr::TStar));
         assert!(matches!(from_ltl(&p().always()).unwrap(), LowExpr::Infloop(_)));
         assert!(matches!(from_ltl(&p().eventually()).unwrap(), LowExpr::IterStar(_, _)));
         assert!(matches!(from_ltl(&p().until(q())).unwrap(), LowExpr::IterWeak(_, _)));

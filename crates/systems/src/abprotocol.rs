@@ -101,7 +101,9 @@ pub fn simulate(workload: AbWorkload) -> AbRun {
                 SenderState::AwaitingMessage => {
                     if let Some(message) = input.pop_front() {
                         // Dq(m): obtain the next message; no transmission during the call.
-                        builder.pulse(Prop::plain("atDq")).pulse(Prop::with_args("atDq", [message]));
+                        builder
+                            .pulse(Prop::plain("atDq"))
+                            .pulse(Prop::with_args("atDq", [message]));
                         builder.assert_prop(Prop::plain("inDq"));
                         builder.commit();
                         builder.retract_prop(&Prop::plain("inDq"));
@@ -242,7 +244,8 @@ mod tests {
     #[test]
     fn lossy_runs_still_deliver_in_order_without_duplicates() {
         for seed in 0..8 {
-            let run = simulate(AbWorkload { seed, loss: 0.3, duplication: 0.2, ..AbWorkload::default() });
+            let run =
+                simulate(AbWorkload { seed, loss: 0.3, duplication: 0.2, ..AbWorkload::default() });
             // Whatever was delivered is a prefix of the sent sequence, without
             // duplication or reordering.
             assert!(run.delivered.len() <= run.sent.len());

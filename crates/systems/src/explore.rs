@@ -155,6 +155,24 @@ fn reconstruct<M: Model>(
     Violation { actions, trace }
 }
 
+/// Packages the complete runs of `model` as a [`Backend::Explore`] value, so
+/// model exploration plugs into the unified `Session` checking API:
+///
+/// ```
+/// use ilogic_core::prelude::*;
+/// use ilogic_core::dsl::*;
+/// use ilogic_systems::explore::{explore_backend, ExploreLimits, MutexModel};
+///
+/// let model = MutexModel::correct(2, 1);
+/// let mut session = Session::new();
+/// let request = CheckRequest::new(always(prop("ok").or(prop("ok").not())))
+///     .with_backend(explore_backend(&model, ExploreLimits::default(), 16));
+/// assert!(session.check(request).verdict.passed());
+/// ```
+pub fn explore_backend<M: Model>(model: &M, limits: ExploreLimits, max_runs: usize) -> Backend {
+    Backend::Explore { runs: collect_runs(model, limits, max_runs) }
+}
+
 /// Enumerates complete runs of the model (depth-first, up to the limits) and
 /// projects each onto a trace.  A run is complete when it reaches a state with
 /// no enabled transition or the depth limit.
@@ -367,10 +385,29 @@ mod tests {
         let runs = collect_runs(&model, ExploreLimits::default(), 64);
         assert!(!runs.is_empty());
         let spec = mutual_exclusion_spec();
+        let mut session = Session::new();
         for trace in &runs {
-            let report = spec.check(trace);
+            let report = session.check_spec(&spec, trace);
             assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
         }
+    }
+
+    #[test]
+    fn explore_backend_routes_runs_through_the_session_api() {
+        let model = MutexModel::correct(2, 1);
+        let backend = explore_backend(&model, ExploreLimits::default(), 64);
+        let theorem =
+            ilogic_core::spec::close_free_variables(&crate::specs::mutual_exclusion_theorem());
+        let mut session = Session::new();
+        let report = session.check(CheckRequest::new(theorem.clone()).with_backend(backend));
+        assert_eq!(report.backend, "explore");
+        assert!(report.verdict.passed(), "{}", report.verdict);
+        assert!(report.stats.traces_checked > 0);
+
+        // The broken variant's runs are rejected with a concrete counterexample run.
+        let broken = explore_backend(&MutexModel::broken(2, 1), ExploreLimits::default(), 64);
+        let report = session.check(CheckRequest::new(theorem).with_backend(broken));
+        assert!(report.verdict.counterexample().is_some());
     }
 
     #[test]

@@ -153,9 +153,8 @@ pub fn simulate_broken(processes: usize) -> Trace {
 /// `true` if no two distinct processes are ever simultaneously in the critical section.
 pub fn mutual_exclusion_holds(trace: &Trace, processes: usize) -> bool {
     for state in trace.states() {
-        let inside: Vec<usize> = (0..processes)
-            .filter(|&i| state.holds(&Prop::with_args("cs", [i as i64])))
-            .collect();
+        let inside: Vec<usize> =
+            (0..processes).filter(|&i| state.holds(&Prop::with_args("cs", [i as i64]))).collect();
         if inside.len() > 1 {
             return false;
         }

@@ -61,11 +61,13 @@ pub fn simulate(kind: QueueKind, workload: QueueWorkload) -> Trace {
 
     let mut backing: Vec<i64> = Vec::new();
     let mut next_value: i64 = 1;
-    let mut pending: Vec<i64> = (0..workload.items).map(|_| {
-        let v = next_value;
-        next_value += 1;
-        v
-    }).collect();
+    let mut pending: Vec<i64> = (0..workload.items)
+        .map(|_| {
+            let v = next_value;
+            next_value += 1;
+            v
+        })
+        .collect();
     pending.reverse();
 
     // Interleave enqueues and dequeues; values are distinct (except that the
@@ -179,7 +181,10 @@ mod tests {
 
     #[test]
     fn stack_reverses_order_locally() {
-        let trace = simulate(QueueKind::Stack, QueueWorkload { items: 4, retries: 1, seed: 3, phased: false });
+        let trace = simulate(
+            QueueKind::Stack,
+            QueueWorkload { items: 4, retries: 1, seed: 3, phased: false },
+        );
         let deq = dequeue_order(&trace);
         assert_eq!(deq.len(), 4);
     }
@@ -222,7 +227,10 @@ mod tests {
 
     #[test]
     fn operation_axioms_hold_for_the_instrumentation() {
-        let trace = simulate(QueueKind::Reliable, QueueWorkload { items: 3, retries: 1, seed: 1, phased: false });
+        let trace = simulate(
+            QueueKind::Reliable,
+            QueueWorkload { items: 3, retries: 1, seed: 1, phased: false },
+        );
         let ev = Evaluator::new(&trace);
         for op in ["Enq", "Dq"] {
             for (label, axiom) in Operation::new(op).axioms() {

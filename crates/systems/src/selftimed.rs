@@ -116,8 +116,8 @@ pub fn simulate_arbiter(workload: ArbiterWorkload) -> Trace {
     let mut waiting: Vec<usize> = Vec::new();
     while remaining[0] > 0 || remaining[1] > 0 || !waiting.is_empty() {
         // Users raise their requests at random moments.
-        for user in 0..2 {
-            if remaining[user] > 0 && !waiting.contains(&user) && rng.gen_bool(0.7) {
+        for (user, rem) in remaining.iter().enumerate() {
+            if *rem > 0 && !waiting.contains(&user) && rng.gen_bool(0.7) {
                 builder.assert_prop(Prop::plain(format!("UR{}", user + 1)));
                 builder.commit();
                 waiting.push(user);

@@ -66,24 +66,16 @@ pub fn unreliable_queue_spec() -> Spec {
     let at_enq = |x: &str| evt_args("atEnq", vec![var(x)]);
 
     // I1: dequeues respect the order of the corresponding enqueues.
-    let i1 = Formula::True.within(bwd(
-        must(fwd(at_enq("a"), at_enq("b"))),
-        fwd(after_dq("a"), after_dq("b")),
-    ));
+    let i1 = Formula::True
+        .within(bwd(must(fwd(at_enq("a"), at_enq("b"))), fwd(after_dq("a"), after_dq("b"))));
     // I2: a value must be enqueued before it can be dequeued.
     let i2 = occurs(at_enq("a")).within(fwd_to(after_dq("a")));
     // I3: repeated enqueues of the same value are consecutive — between two
     // enqueues of c no other value is enqueued.
-    let i3 = forall(
-        "d",
-        data_ne("d", "c").implies(occurs(at_enq("d")).not()),
-    )
-    .within(fwd(at_enq("c"), at_enq("c")));
+    let i3 = forall("d", data_ne("d", "c").implies(occurs(at_enq("d")).not()))
+        .within(fwd(at_enq("c"), at_enq("c")));
     // A1: if enqueues and dequeue attempts keep occurring, dequeues return.
-    let a1 = occurs(evt("atEnq"))
-        .and(occurs(evt("atDq")))
-        .implies(occurs(evt("afterDq")))
-        .always();
+    let a1 = occurs(evt("atEnq")).and(occurs(evt("atDq"))).implies(occurs(evt("afterDq"))).always();
     // A2: the Enq operation terminates.
     let a2 = occurs(evt("afterEnq")).within(fwd_from(evt("atEnq")));
 
@@ -114,10 +106,7 @@ pub fn request_ack_spec(r: &str, a: &str) -> Spec {
     // up at least until the acknowledgment is raised (which must happen).
     let a1 = prop(a).not().and(always(prop(r))).within(fwd(req(), must(ack()))).always();
     // A2: the acknowledgment, once raised, remains up as long as the request does.
-    let a2 = prop(r)
-        .and(always(prop(a)))
-        .within(fwd(ack(), begin(must(req_down()))))
-        .always();
+    let a2 = prop(r).and(always(prop(a))).within(fwd(ack(), begin(must(req_down())))).always();
     // A3: after the request is lowered the acknowledgment is eventually lowered.
     let a3 = occurs(ack_down()).within(fwd_from(begin(req_down()))).always();
 
@@ -176,9 +165,8 @@ pub fn arbiter_spec() -> Spec {
 /// their finite-trace form (every completed run has acknowledged every packet),
 /// which is implied by the A1 clauses over the recorded computations.
 pub fn ab_sender_spec() -> Spec {
-    let dq_with = |m: &str, v: &str| {
-        event(prop_args("afterDq", vec![var(m)]).and(state_eq_data("sexp", v)))
-    };
+    let dq_with =
+        |m: &str, v: &str| event(prop_args("afterDq", vec![var(m)]).and(state_eq_data("sexp", v)));
     // Only ⟨m, v⟩ packets may be transmitted until the next message is dequeued.
     let only_current = forall(
         "p",
@@ -192,12 +180,11 @@ pub fn ab_sender_spec() -> Spec {
     .within(fwd(dq_with("m", "v"), evt("atDq")));
     // At least one uncorrupted acknowledgment with the expected sequence number
     // arrives before the next message is dequeued.
-    let ack_before_next = occurs(evt_args("afterRs", vec![var("v")]))
-        .within(fwd(dq_with("m", "v"), evt("atDq")));
+    let ack_before_next =
+        occurs(evt_args("afterRs", vec![var("v")])).within(fwd(dq_with("m", "v"), evt("atDq")));
     // Successive dequeues use alternating sequence numbers.
     let alternation = |v: i64| {
-        let this_bit =
-            event(prop("afterDq").and(state_eq_value("sexp", v)));
+        let this_bit = event(prop("afterDq").and(state_eq_value("sexp", v)));
         let other_bit = prop("afterDq").and(state_eq_value("sexp", 1 - v));
         occurs(event(other_bit)).within(fwd(this_bit.clone(), this_bit)).always()
     };
@@ -301,12 +288,17 @@ mod tests {
     use crate::mutex::{self, MutexWorkload};
     use crate::queue::{self, QueueKind, QueueWorkload};
     use crate::selftimed::{self, ChannelWorkload};
+    use ilogic_core::session::{CheckRequest, Session};
     use ilogic_core::spec::close_free_variables;
 
     #[test]
     fn reliable_queue_conforms_and_faulty_queue_does_not() {
-        let good = queue::simulate(QueueKind::Reliable, QueueWorkload { items: 4, retries: 1, seed: 2, phased: false });
-        assert!(reliable_queue_spec().check(&good).passed());
+        let mut session = Session::new();
+        let good = queue::simulate(
+            QueueKind::Reliable,
+            QueueWorkload { items: 4, retries: 1, seed: 2, phased: false },
+        );
+        assert!(session.check_spec(&reliable_queue_spec(), &good).passed());
 
         let mut rejected = false;
         for seed in 0..20 {
@@ -314,7 +306,7 @@ mod tests {
                 QueueKind::FaultyReordering,
                 QueueWorkload { items: 5, retries: 1, seed, phased: false },
             );
-            if !reliable_queue_spec().check(&bad).passed() {
+            if !session.check_spec(&reliable_queue_spec(), &bad).passed() {
                 rejected = true;
                 break;
             }
@@ -328,35 +320,42 @@ mod tests {
             QueueKind::Stack,
             QueueWorkload { items: 4, retries: 1, seed: 5, phased: true },
         );
-        assert!(stack_spec().check(&trace).passed());
+        let mut session = Session::new();
+        assert!(session.check_spec(&stack_spec(), &trace).passed());
         // And a FIFO queue violates the stack axiom on the same workload.
         let fifo = queue::simulate(
             QueueKind::Reliable,
             QueueWorkload { items: 4, retries: 1, seed: 5, phased: true },
         );
-        assert!(!stack_spec().check(&fifo).passed());
+        assert!(!session.check_spec(&stack_spec(), &fifo).passed());
     }
 
     #[test]
     fn request_ack_protocol_conforms_and_hasty_requester_fails() {
+        let mut session = Session::new();
         let good = selftimed::simulate_request_ack(ChannelWorkload::default());
-        let report = request_ack_spec("R", "A").check(&good);
+        let report = session.check_spec(&request_ack_spec("R", "A"), &good);
         assert!(report.passed(), "{report}");
 
         let bad = selftimed::simulate_hasty_requester(ChannelWorkload::default());
-        assert!(!request_ack_spec("R", "A").check(&bad).passed());
+        assert!(!session.check_spec(&request_ack_spec("R", "A"), &bad).passed());
     }
 
     #[test]
     fn mutual_exclusion_spec_and_theorem_hold_for_the_algorithm() {
-        let trace = mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
-        let report = mutual_exclusion_spec().check(&trace);
+        let mut session = Session::new();
+        let trace =
+            mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
+        let report = session.check_spec(&mutual_exclusion_spec(), &trace);
         assert!(report.passed(), "{report}");
         let theorem = close_free_variables(&mutual_exclusion_theorem());
-        assert!(Evaluator::new(&trace).check(&theorem));
+        assert!(session
+            .check(CheckRequest::new(theorem.clone()).on_trace(&trace))
+            .verdict
+            .passed());
 
         let broken = mutex::simulate_broken(2);
-        assert!(!Evaluator::new(&broken).check(&theorem));
-        assert!(!mutual_exclusion_spec().check(&broken).passed());
+        assert!(!session.check(CheckRequest::new(theorem).on_trace(&broken)).verdict.passed());
+        assert!(!session.check_spec(&mutual_exclusion_spec(), &broken).passed());
     }
 }

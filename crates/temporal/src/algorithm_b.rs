@@ -142,9 +142,11 @@ impl<'t> AlgorithmB<'t> {
         // implicant yields a T-unsatisfiable conjunction of edge labels.
         let implicants: Vec<Vec<EdgeId>> =
             condition.dnf().implicants().map(|imp| imp.iter().copied().collect()).collect();
-        let total: usize = implicants.iter().map(Vec::len).try_fold(1usize, |acc, n| {
-            acc.checked_mul(n).filter(|&v| v <= self.selection_limit)
-        }).unwrap_or(usize::MAX);
+        let total: usize = implicants
+            .iter()
+            .map(Vec::len)
+            .try_fold(1usize, |acc, n| acc.checked_mul(n).filter(|&v| v <= self.selection_limit))
+            .unwrap_or(usize::MAX);
         if total == usize::MAX {
             return Decision::Unknown;
         }

@@ -64,9 +64,7 @@ impl Dnf {
     /// Removes implicants that are supersets of other implicants (absorption).
     fn absorb(mut implicants: BTreeSet<BTreeSet<usize>>) -> Dnf {
         let list: Vec<BTreeSet<usize>> = implicants.iter().cloned().collect();
-        implicants.retain(|imp| {
-            !list.iter().any(|other| other != imp && other.is_subset(imp))
-        });
+        implicants.retain(|imp| !list.iter().any(|other| other != imp && other.is_subset(imp)));
         Dnf { implicants }
     }
 

@@ -50,9 +50,7 @@ pub fn r5() -> Ltl {
     let a = Ltl::prop("A");
     let b = Ltl::prop("B");
     let c = Ltl::prop("C");
-    lua(a.clone(), b.clone())
-        .and(lua(b.clone(), c.clone()))
-        .implies(lua(a.or(b), c))
+    lua(a.clone(), b.clone()).and(lua(b.clone(), c.clone())).implies(lua(a.or(b), c))
 }
 
 /// The three benchmark formulae of the Appendix B §6 table, with their names.
@@ -74,9 +72,7 @@ pub fn eventuality_chain(n: usize) -> Ltl {
 pub fn response_ladder(n: usize) -> Ltl {
     assert!(n >= 2, "a response ladder needs at least two propositions");
     let hyp = Ltl::conj((1..n).map(|i| {
-        Ltl::prop(format!("P{i}"))
-            .implies(Ltl::prop(format!("P{}", i + 1)).eventually())
-            .always()
+        Ltl::prop(format!("P{i}")).implies(Ltl::prop(format!("P{}", i + 1)).eventually()).always()
     }));
     let concl = Ltl::prop("P1").implies(Ltl::prop(format!("P{n}")).eventually()).always();
     hyp.implies(concl)

@@ -293,10 +293,7 @@ mod tests {
     #[test]
     fn valid_implication_from_the_report() {
         // <>[]P ⊃ []<>P is valid: check on a few lassos.
-        let f = Ltl::prop("P")
-            .always()
-            .eventually()
-            .implies(Ltl::prop("P").eventually().always());
+        let f = Ltl::prop("P").always().eventually().implies(Ltl::prop("P").eventually().always());
         for states in [
             vec![s(false, false), s(true, false)],
             vec![s(true, false), s(false, false)],
@@ -314,11 +311,7 @@ mod tests {
         let s0 = TlState::new().with_var("x", 3).with_var("y", 6);
         let s1 = TlState::new().with_var("x", 2).with_var("y", 5);
         let trace = TlTrace::finite(vec![s0, s1]);
-        let double = Ltl::cmp(
-            Term::var("y"),
-            CmpOp::Eq,
-            Term::var("x").plus(Term::var("x")),
-        );
+        let double = Ltl::cmp(Term::var("y"), CmpOp::Eq, Term::var("x").plus(Term::var("x")));
         assert!(trace.eval(&double));
         assert!(!trace.eval(&double.clone().always()));
     }

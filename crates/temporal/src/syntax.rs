@@ -286,6 +286,7 @@ impl Ltl {
     }
 
     /// Negation, with trivial simplification of double negation and constants.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Ltl {
         match self {
             Ltl::True => Ltl::False,

@@ -60,9 +60,45 @@ struct Expansion {
     fulfilled: BTreeSet<Ltl>,
 }
 
+/// Resource budget for [`TableauGraph::try_build`].
+///
+/// The tableau's node set ranges over subsets of the formula's closure and a
+/// single node's expansion branches on every disjunctive connective in its
+/// label, so construction is exponential in the worst case (nested weak-until
+/// translations reach it in practice).  The budget turns a multi-minute blowup
+/// into a quick `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildLimits {
+    /// Maximum number of graph nodes.
+    pub max_nodes: usize,
+    /// Maximum number of graph edges.
+    pub max_edges: usize,
+}
+
+impl Default for BuildLimits {
+    fn default() -> BuildLimits {
+        BuildLimits { max_nodes: 20_000, max_edges: 200_000 }
+    }
+}
+
+impl BuildLimits {
+    /// No limits: construction runs to completion however long it takes.
+    pub fn unbounded() -> BuildLimits {
+        BuildLimits { max_nodes: usize::MAX, max_edges: usize::MAX }
+    }
+}
+
 impl TableauGraph {
     /// Constructs the graph `Graph(formula)` representing the models of `formula`.
     pub fn build(formula: &Ltl) -> TableauGraph {
+        TableauGraph::try_build(formula, BuildLimits::unbounded())
+            .expect("unbounded tableau construction cannot exceed its limits")
+    }
+
+    /// Constructs `Graph(formula)` unless doing so would exceed `limits`, in
+    /// which case `None` is returned (the formula is outside the practical
+    /// reach of the tableau).
+    pub fn try_build(formula: &Ltl, limits: BuildLimits) -> Option<TableauGraph> {
         let mut graph = TableauGraph {
             labels: Vec::new(),
             edges: Vec::new(),
@@ -82,10 +118,14 @@ impl TableauGraph {
             if !processed.insert(node) {
                 continue;
             }
-            let expansions = expand_set(&graph.labels[node]);
+            let budget = limits.max_edges.saturating_sub(graph.edges.len());
+            let expansions = expand_set(&graph.labels[node], budget)?;
             for exp in expansions {
                 let target_label = exp.next.clone();
                 let target = graph.intern(&mut index, target_label);
+                if graph.labels.len() > limits.max_nodes || graph.edges.len() >= limits.max_edges {
+                    return None;
+                }
                 if !processed.contains(&target) {
                     queue.push_back(target);
                 }
@@ -106,10 +146,14 @@ impl TableauGraph {
                 graph.outgoing[node].push(id);
             }
         }
-        graph
+        Some(graph)
     }
 
-    fn intern(&mut self, index: &mut HashMap<BTreeSet<Ltl>, NodeId>, label: BTreeSet<Ltl>) -> NodeId {
+    fn intern(
+        &mut self,
+        index: &mut HashMap<BTreeSet<Ltl>, NodeId>,
+        label: BTreeSet<Ltl>,
+    ) -> NodeId {
         if let Some(&id) = index.get(&label) {
             return id;
         }
@@ -165,42 +209,51 @@ impl TableauGraph {
     }
 }
 
-/// Expands a set of formulae into all of its saturated alternatives.
-fn expand_set(label: &BTreeSet<Ltl>) -> Vec<Expansion> {
+/// Expands a set of formulae into all of its saturated alternatives, or
+/// `None` when more than `cap` alternatives would be produced.
+fn expand_set(label: &BTreeSet<Ltl>, cap: usize) -> Option<Vec<Expansion>> {
     let mut results = Vec::new();
     let pending: Vec<Ltl> = label.iter().cloned().collect();
-    expand_rec(pending, BTreeSet::new(), Expansion::default(), &mut results);
-    results
+    if expand_rec(pending, BTreeSet::new(), Expansion::default(), &mut results, cap) {
+        Some(results)
+    } else {
+        None
+    }
 }
 
+/// Returns `false` when the expansion exceeded `cap` alternatives.
 fn expand_rec(
     mut pending: Vec<Ltl>,
     mut seen: BTreeSet<Ltl>,
     mut acc: Expansion,
     results: &mut Vec<Expansion>,
-) {
+    cap: usize,
+) -> bool {
     loop {
         let Some(formula) = pending.pop() else {
+            if results.len() >= cap {
+                return false;
+            }
             results.push(acc);
-            return;
+            return true;
         };
         if !seen.insert(formula.clone()) {
             continue;
         }
         match formula {
             Ltl::True => {}
-            Ltl::False => return, // inconsistent branch
+            Ltl::False => return true, // inconsistent branch
             Ltl::Atom(atom) => {
                 if !add_literal(&mut acc, atom, true) {
-                    return;
+                    return true;
                 }
             }
             Ltl::Not(inner) => match *inner {
-                Ltl::True => return,
+                Ltl::True => return true,
                 Ltl::False => {}
                 Ltl::Atom(atom) => {
                     if !add_literal(&mut acc, atom, false) {
-                        return;
+                        return true;
                     }
                 }
                 Ltl::Not(a) => pending.push(*a),
@@ -232,7 +285,9 @@ fn expand_rec(
                     now.fulfilled.insert(not_p.clone());
                     let mut now_pending = pending.clone();
                     now_pending.push(not_p.clone());
-                    expand_rec(now_pending, seen.clone(), now, results);
+                    if !expand_rec(now_pending, seen.clone(), now, results, cap) {
+                        return false;
+                    }
                     // Branch 2: defer; promise the eventuality ¬p.
                     acc.eventualities.insert(not_p);
                     acc.next.insert(not_u);
@@ -246,7 +301,9 @@ fn expand_rec(
             Ltl::Or(a, b) => {
                 let mut left_pending = pending.clone();
                 left_pending.push(*a);
-                expand_rec(left_pending, seen.clone(), acc.clone(), results);
+                if !expand_rec(left_pending, seen.clone(), acc.clone(), results, cap) {
+                    return false;
+                }
                 pending.push(*b);
                 continue;
             }
@@ -266,7 +323,9 @@ fn expand_rec(
                 now.fulfilled.insert(body.clone());
                 let mut now_pending = pending.clone();
                 now_pending.push(body.clone());
-                expand_rec(now_pending, seen.clone(), now, results);
+                if !expand_rec(now_pending, seen.clone(), now, results, cap) {
+                    return false;
+                }
                 // Branch 2: defer.
                 acc.eventualities.insert(body);
                 acc.next.insert(Ltl::Eventually(a));
@@ -278,7 +337,9 @@ fn expand_rec(
                 let mut q_pending = pending.clone();
                 q_pending.push((*q).clone());
                 q_now.fulfilled.insert((*q).clone());
-                expand_rec(q_pending, seen.clone(), q_now, results);
+                if !expand_rec(q_pending, seen.clone(), q_now, results, cap) {
+                    return false;
+                }
                 pending.push((*p).clone());
                 acc.next.insert(Ltl::Until(p, q));
                 continue;
@@ -370,11 +431,9 @@ pub fn prune(graph: &TableauGraph, theory: &dyn Theory) -> Pruned {
                 changed = true;
             }
         }
-        for node in 0..graph.node_count() {
-            if node_alive[node]
-                && !graph.outgoing(node).iter().any(|&e| edge_alive[e])
-            {
-                node_alive[node] = false;
+        for (node, alive) in node_alive.iter_mut().enumerate() {
+            if *alive && !graph.outgoing(node).iter().any(|&e| edge_alive[e]) {
+                *alive = false;
                 changed = true;
             }
         }
@@ -397,7 +456,10 @@ fn reachable_to_fulfilling(
     let mut reach = vec![false; graph.node_count()];
     let mut queue: VecDeque<NodeId> = VecDeque::new();
     for (id, edge) in graph.edges().iter().enumerate() {
-        if edge_alive[id] && node_alive[edge.from] && edge.fulfilled.contains(ev) && !reach[edge.from]
+        if edge_alive[id]
+            && node_alive[edge.from]
+            && edge.fulfilled.contains(ev)
+            && !reach[edge.from]
         {
             reach[edge.from] = true;
             queue.push_back(edge.from);
@@ -429,9 +491,23 @@ pub fn satisfiable_pure(formula: &Ltl) -> bool {
     pruned.node_alive(graph.initial())
 }
 
+/// [`satisfiable_pure`] under a construction budget; `None` when the tableau
+/// exceeds `limits` before the answer is known.
+pub fn satisfiable_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
+    let graph = TableauGraph::try_build(formula, limits)?;
+    let pruned = prune(&graph, &crate::theory::PropositionalTheory::new());
+    Some(pruned.node_alive(graph.initial()))
+}
+
 /// Decides validity of `formula` in pure temporal logic.
 pub fn valid_pure(formula: &Ltl) -> bool {
     !satisfiable_pure(&formula.clone().not())
+}
+
+/// [`valid_pure`] under a construction budget; `None` when the tableau
+/// exceeds `limits` before the answer is known.
+pub fn valid_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
+    satisfiable_pure_bounded(&formula.clone().not(), limits).map(|sat| !sat)
 }
 
 #[cfg(test)]

@@ -115,8 +115,7 @@ impl Theory for CombinedTheory {
             for (i, x) in shared.iter().enumerate() {
                 for y in shared.iter().skip(i + 1) {
                     let eq_lit = Literal::pos(Atom::cmp(Term::var(x), CmpOp::Eq, Term::var(y)));
-                    let already_known =
-                        eq_part.contains(&eq_lit) && lin_part.contains(&eq_lit);
+                    let already_known = eq_part.contains(&eq_lit) && lin_part.contains(&eq_lit);
                     if already_known {
                         continue;
                     }
@@ -207,7 +206,8 @@ mod tests {
     fn single_theory_inconsistencies_still_surface() {
         let t = CombinedTheory::new();
         // Purely linear contradiction.
-        let linear_only = vec![cmp("x", CmpOp::Ge, Term::int(1)), cmp("x", CmpOp::Le, Term::int(0))];
+        let linear_only =
+            vec![cmp("x", CmpOp::Ge, Term::int(1)), cmp("x", CmpOp::Le, Term::int(0))];
         assert_eq!(t.satisfiable(&linear_only), TheoryResult::Unsatisfiable);
         // Purely equational contradiction.
         let equality_only = vec![var_eq("a", "b"), var_eq("b", "c"), var_ne("a", "c")];

@@ -188,10 +188,8 @@ mod tests {
     #[test]
     fn negated_disequality_is_equality() {
         let t = EqualityTheory::new();
-        let lits = vec![
-            Literal::neg(Atom::cmp(Term::var("a"), CmpOp::Ne, Term::var("b"))),
-            ne("a", "b"),
-        ];
+        let lits =
+            vec![Literal::neg(Atom::cmp(Term::var("a"), CmpOp::Ne, Term::var("b"))), ne("a", "b")];
         assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
     }
 

@@ -269,10 +269,7 @@ mod tests {
         // "Henceforth a >= 1 implies eventually a > 0".
         let t = LinearTheory::new();
         let a = Term::var("a");
-        let lits = vec![
-            lit(a.clone(), CmpOp::Ge, Term::int(1)),
-            nlit(a, CmpOp::Gt, Term::int(0)),
-        ];
+        let lits = vec![lit(a.clone(), CmpOp::Ge, Term::int(1)), nlit(a, CmpOp::Gt, Term::int(0))];
         assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
     }
 
@@ -280,10 +277,7 @@ mod tests {
     fn report_example_y_eq_x_plus_x_implies_y_eq_2x() {
         // y = x + x  and  y /= 2x  is unsatisfiable.
         let t = LinearTheory::new();
-        let lits = vec![
-            lit(y(), CmpOp::Eq, x().plus(x())),
-            nlit(y(), CmpOp::Eq, x().times(2)),
-        ];
+        let lits = vec![lit(y(), CmpOp::Eq, x().plus(x())), nlit(y(), CmpOp::Eq, x().times(2))];
         assert_eq!(t.satisfiable(&lits), TheoryResult::Unsatisfiable);
     }
 

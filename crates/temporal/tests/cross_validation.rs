@@ -11,12 +11,8 @@ use ilogic_temporal::prelude::*;
 const PROPS: [&str; 2] = ["P", "Q"];
 
 fn arb_formula(depth: u32) -> BoxedStrategy<Ltl> {
-    let leaf = prop_oneof![
-        Just(Ltl::prop("P")),
-        Just(Ltl::prop("Q")),
-        Just(Ltl::True),
-        Just(Ltl::False),
-    ];
+    let leaf =
+        prop_oneof![Just(Ltl::prop("P")), Just(Ltl::prop("Q")), Just(Ltl::True), Just(Ltl::False),];
     leaf.prop_recursive(depth, 16, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(Ltl::not),
@@ -33,7 +29,10 @@ fn arb_formula(depth: u32) -> BoxedStrategy<Ltl> {
 
 fn arb_trace(max_len: usize) -> impl Strategy<Value = TlTrace> {
     (
-        proptest::collection::vec(proptest::collection::vec(any::<bool>(), PROPS.len()), 1..=max_len),
+        proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), PROPS.len()),
+            1..=max_len,
+        ),
         any::<proptest::sample::Index>(),
     )
         .prop_map(|(rows, loop_index)| {

@@ -1,13 +1,17 @@
 //! Chapter 7: the Alternating-Bit protocol over lossy channels, checked against
-//! the Sender and Receiver specifications of Figures 7-3 and 7-4.
+//! the Sender and Receiver specifications of Figures 7-3 and 7-4 through the
+//! unified `Session` API.
 //!
 //! Run with `cargo run --example ab_protocol`.
 
 use ilogic::systems::abprotocol::{simulate, simulate_stuck_bit, AbWorkload};
 use ilogic::systems::specs;
+use ilogic::Session;
 
 fn main() {
-    let workload = AbWorkload { messages: 3, loss: 0.25, duplication: 0.1, seed: 29, max_steps: 2_000 };
+    let mut session = Session::new();
+    let workload =
+        AbWorkload { messages: 3, loss: 0.25, duplication: 0.1, seed: 29, max_steps: 2_000 };
 
     println!("== lossy run ({}% loss) ==", (workload.loss * 100.0) as u32);
     let run = simulate(workload);
@@ -19,13 +23,13 @@ fn main() {
         run.trace.len()
     );
     println!("\n-- Sender specification (Figure 7-3) --");
-    print!("{}", specs::ab_sender_spec().check(&run.trace));
+    print!("{}", session.check_spec(&specs::ab_sender_spec(), &run.trace));
     println!("\n-- Receiver specification (Figure 7-4) --");
-    print!("{}", specs::ab_receiver_spec().check(&run.trace));
+    print!("{}", session.check_spec(&specs::ab_receiver_spec(), &run.trace));
 
     println!("\n== a faulty sender that never alternates its sequence number ==");
     let faulty = simulate_stuck_bit(AbWorkload { messages: 3, ..workload });
-    let report = specs::ab_sender_spec().check(&faulty.trace);
+    let report = session.check_spec(&specs::ab_sender_spec(), &faulty.trace);
     print!("{report}");
     if !report.passed() {
         println!("(as expected, the Sender specification rejects the stuck-bit sender)");

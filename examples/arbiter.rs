@@ -1,4 +1,5 @@
-//! Chapter 6: the self-timed request/acknowledge protocol and the arbiter.
+//! Chapter 6: the self-timed request/acknowledge protocol and the arbiter,
+//! checked through the unified `Session` API.
 //!
 //! Run with `cargo run --example arbiter`.
 
@@ -7,28 +8,31 @@ use ilogic::systems::selftimed::{
     ArbiterWorkload, ChannelWorkload,
 };
 use ilogic::systems::specs;
+use ilogic::Session;
 
 fn main() {
+    let mut session = Session::new();
+
     println!("== request/acknowledge channel against Figure 6-2 ==");
     let channel = simulate_request_ack(ChannelWorkload { cycles: 5, max_delay: 2, seed: 8 });
-    print!("{}", specs::request_ack_spec("R", "A").check(&channel));
+    print!("{}", session.check_spec(&specs::request_ack_spec("R", "A"), &channel));
 
     println!("\n== a hasty requester (withdraws before the ack) is rejected ==");
     let hasty = simulate_hasty_requester(ChannelWorkload::default());
-    print!("{}", specs::request_ack_spec("R", "A").check(&hasty));
+    print!("{}", session.check_spec(&specs::request_ack_spec("R", "A"), &hasty));
 
     println!("\n== arbiter against Figure 6-4 ==");
     let arbiter = simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 21 });
-    print!("{}", specs::arbiter_spec().check(&arbiter));
+    print!("{}", session.check_spec(&specs::arbiter_spec(), &arbiter));
 
     println!("\n== the arbiter's signal pairs also obey the request/ack protocol ==");
     for (r, a) in [("UR1", "UA1"), ("UR2", "UA2"), ("TR1", "TA1"), ("RMR", "RMA")] {
-        let report = specs::request_ack_spec(r, a).check(&arbiter);
+        let report = session.check_spec(&specs::request_ack_spec(r, a), &arbiter);
         println!("  {r}/{a}: {}", if report.passed() { "conforms" } else { "VIOLATED" });
     }
 
     println!("\n== an arbiter that acknowledges the user too early is rejected ==");
     let premature = simulate_premature_arbiter();
-    let report = specs::arbiter_spec().check(&premature);
+    let report = session.check_spec(&specs::arbiter_spec(), &premature);
     print!("{report}");
 }

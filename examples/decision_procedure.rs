@@ -9,11 +9,31 @@ use std::time::Instant;
 use ilogic::temporal::algorithm_b::{condition_of_graph, AlgorithmB, Decision};
 use ilogic::temporal::patterns;
 use ilogic::temporal::prelude::*;
+use ilogic::{CheckRequest, Session, Verdict};
 
 fn main() {
-    println!("== Appendix B §6 table: graph construction and iteration ==");
-    println!("{:<4} {:>14} {:>14} {:>7} {:>7} {:>7}", "", "construction", "iteration", "nodes", "edges", "valid");
-    println!("paper (Interlisp, 1983):  R3 67s/14s 13n/108e   R4 105s/22s 16n/166e   R5 13.8s/5s 8n/34e");
+    // The tableau is also the engine behind `Session`'s `decide` backend:
+    // interval-logic formulas in the translatable fragment route through the
+    // same machinery via the unified API.
+    {
+        use ilogic::core::dsl::*;
+        let mut session = Session::new();
+        let response = always(prop("P").implies(eventually(prop("Q"))));
+        let premise = always(eventually(prop("Q")));
+        let theorem = premise.implies(response);
+        let report = session.check(CheckRequest::new(theorem).decide());
+        println!("Session decide: [](<>Q) -> [](P -> <>Q) is {}", report.verdict);
+        assert_eq!(report.verdict, Verdict::Holds);
+    }
+
+    println!("\n== Appendix B §6 table: graph construction and iteration ==");
+    println!(
+        "{:<4} {:>14} {:>14} {:>7} {:>7} {:>7}",
+        "", "construction", "iteration", "nodes", "edges", "valid"
+    );
+    println!(
+        "paper (Interlisp, 1983):  R3 67s/14s 13n/108e   R4 105s/22s 16n/166e   R5 13.8s/5s 8n/34e"
+    );
     for (name, formula) in patterns::appendix_b_table() {
         let negated = formula.clone().not();
         let t0 = Instant::now();
@@ -40,10 +60,7 @@ fn main() {
     let a_ge_1 = Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1));
     let a_gt_0 = Ltl::cmp(Term::var("a"), CmpOp::Gt, Term::int(0));
     let motivating = a_ge_1.always().implies(a_gt_0.eventually());
-    println!(
-        "[](a>=1) -> <>(a>0)   Algorithm A: {}",
-        AlgorithmA::new(&linear).valid(&motivating)
-    );
+    println!("[](a>=1) -> <>(a>0)   Algorithm A: {}", AlgorithmA::new(&linear).valid(&motivating));
 
     let gt = Ltl::cmp(Term::var("x"), CmpOp::Gt, Term::int(0));
     let lt = Ltl::cmp(Term::var("x"), CmpOp::Lt, Term::int(1));
@@ -66,7 +83,8 @@ fn main() {
     let premise = Ltl::cmp(Term::var("a"), CmpOp::Eq, Term::var("b"))
         .and(Ltl::cmp(Term::var("b"), CmpOp::Ge, Term::int(1)))
         .always();
-    let claim = premise.clone().implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1)).eventually());
+    let claim =
+        premise.clone().implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(1)).eventually());
     let too_strong =
         premise.implies(Ltl::cmp(Term::var("a"), CmpOp::Ge, Term::int(2)).eventually());
     println!(

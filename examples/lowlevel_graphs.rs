@@ -45,9 +45,10 @@ fn main() {
     // -------------------------------------------------------------------
     // 2. An eventuality that can never be discharged: iter*(P·T*, F).
     // -------------------------------------------------------------------
-    report("undischargeable eventuality", &LowExpr::pos("P")
-        .concat(LowExpr::TStar)
-        .iter_star(LowExpr::F));
+    report(
+        "undischargeable eventuality",
+        &LowExpr::pos("P").concat(LowExpr::TStar).iter_star(LowExpr::F),
+    );
 
     // -------------------------------------------------------------------
     // 3. infloop(x) and a contradiction at the second instant.

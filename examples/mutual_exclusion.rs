@@ -1,38 +1,41 @@
 //! Chapter 8: distributed mutual exclusion — the specification of Figure 8-1,
 //! the derived mutual-exclusion theorem, a bounded-model rendition of the
 //! proof obligations of Figure 8-2, and exhaustive small-scope verification of
-//! the algorithm over every interleaving.
+//! the algorithm over every interleaving — all checked through the unified
+//! `Session` API.
 //!
 //! Run with `cargo run --example mutual_exclusion`.
 
-use ilogic::core::prelude::*;
 use ilogic::core::spec::close_free_variables;
-use ilogic::systems::explore::{explore, ExploreLimits, MutexModel};
+use ilogic::systems::explore::{explore, explore_backend, ExploreLimits, MutexModel};
 use ilogic::systems::mutex::{mutual_exclusion_holds, simulate, simulate_broken, MutexWorkload};
 use ilogic::systems::specs;
+use ilogic::{CheckRequest, Session};
 
 fn main() {
+    let mut session = Session::new();
+    let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
+
     println!("== the algorithm against Figure 8-1, several contention schedules ==");
     for seed in [1u64, 7, 13, 29] {
         let workload = MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed };
         let trace = simulate(workload);
-        let report = specs::mutual_exclusion_spec().check(&trace);
-        let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
-        let excl = Evaluator::new(&trace).check(&theorem);
+        let report = session.check_spec(&specs::mutual_exclusion_spec(), &trace);
+        let excl = session.check(CheckRequest::new(theorem.clone()).on_trace(&trace));
         println!(
             "seed {seed:>2}: spec {}, derived []~(cs(i) & cs(j)) {}, direct check {}",
             if report.passed() { "conforms" } else { "VIOLATED" },
-            excl,
+            excl.verdict.passed(),
             mutual_exclusion_holds(&trace, workload.processes),
         );
     }
 
     println!("\n== a broken algorithm that skips the flag inspection ==");
     let broken = simulate_broken(2);
-    let report = specs::mutual_exclusion_spec().check(&broken);
+    let report = session.check_spec(&specs::mutual_exclusion_spec(), &broken);
     print!("{report}");
-    let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
-    println!("derived theorem holds: {}", Evaluator::new(&broken).check(&theorem));
+    let excl = session.check(CheckRequest::new(theorem.clone()).on_trace(&broken));
+    println!("derived theorem: {}", excl.verdict);
 
     println!("\n== Figure 8-2, lemma L2 as a bounded-model check ==");
     // L2 (propositional rendition for two processes): if x_i holds throughout
@@ -46,16 +49,17 @@ fn main() {
             .implies(not(occurs(bwd(event(prop("xj")), event(prop("csj"))))))
             .within(bwd(event(prop("xi")), event(prop("csi")))),
     );
-    let checker = BoundedChecker::new(["xi", "xj", "csi", "csj"], 3);
-    match checker.counterexample(&l2) {
-        None => println!("lemma L2 instance: no counterexample up to the bound"),
-        Some(cex) => println!("lemma L2 instance REFUTED by {cex}"),
-    }
+    let report = session.check(CheckRequest::new(l2).bounded(["xi", "xj", "csi", "csj"], 3));
+    println!(
+        "lemma L2 instance: {} ({} computations, {:?}, {} memo hits)",
+        report.verdict, report.stats.traces_checked, report.stats.duration, report.stats.memo.hits
+    );
 
     println!("\n== exhaustive small-scope verification (every interleaving) ==");
-    for (label, model) in
-        [("2 processes x 2 entries", MutexModel::correct(2, 2)), ("3 processes x 1 entry", MutexModel::correct(3, 1))]
-    {
+    for (label, model) in [
+        ("2 processes x 2 entries", MutexModel::correct(2, 2)),
+        ("3 processes x 1 entry", MutexModel::correct(3, 1)),
+    ] {
         let report = explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion);
         println!(
             "{label}: {} ({} states, {} transitions)",
@@ -64,12 +68,18 @@ fn main() {
             report.transitions
         );
     }
+
+    println!("\n== the derived theorem over every complete run, via the explore backend ==");
+    let backend = explore_backend(&MutexModel::correct(2, 1), ExploreLimits::default(), 256);
+    let report = session.check(CheckRequest::new(theorem).with_backend(backend));
+    println!(
+        "theorem over all runs: {} ({} runs checked in {:?})",
+        report.verdict, report.stats.traces_checked, report.stats.duration
+    );
+
     let broken_model = MutexModel::broken(2, 1);
     let report = explore(&broken_model, ExploreLimits::default(), MutexModel::mutual_exclusion);
     if let Some(violation) = report.violation {
-        println!(
-            "broken variant: counterexample interleaving {:?}",
-            violation.actions
-        );
+        println!("broken variant: counterexample interleaving {:?}", violation.actions);
     }
 }

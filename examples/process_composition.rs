@@ -15,6 +15,7 @@ use ilogic::core::prelude::*;
 use ilogic::core::process::{ProcessSpec, System};
 use ilogic::core::spec::Spec;
 use ilogic::core::state::Prop;
+use ilogic::Session;
 
 /// The requester's half of Figure 6-2, written with its *local* name `R`:
 /// a request may only be raised while the acknowledgment is down, and stays
@@ -33,15 +34,10 @@ fn requester() -> ProcessSpec {
 /// The requester's signal is visible to it under its qualified name.
 fn responder() -> ProcessSpec {
     let r = || prop("requester.R");
-    let a2 = within(
-        fwd(event(prop("A")), begin(must(event(not(r()))))),
-        r().and(always(prop("A"))),
-    );
+    let a2 =
+        within(fwd(event(prop("A")), begin(must(event(not(r()))))), r().and(always(prop("A"))));
     let a3 = within(fwd_from(begin(event(not(r())))), occurs(must(event(not(prop("A"))))));
-    let spec = Spec::new("responder")
-        .init("Init", not(prop("A")))
-        .axiom("A2", a2)
-        .axiom("A3", a3);
+    let spec = Spec::new("responder").init("Init", not(prop("A"))).axiom("A2", a2).axiom("A3", a3);
     ProcessSpec::new("responder", spec).owns_shared("A").shares("requester.R")
 }
 
@@ -73,10 +69,11 @@ fn main() {
         println!("  {:<20} {}", format!("{} {}:", clause.kind, clause.label), clause.formula);
     }
 
+    let mut session = Session::new();
     for (name, trace) in
         [("correct handshake", handshake(true)), ("faulty responder", handshake(false))]
     {
-        let report = system.check(&trace).expect("composition is well-formed");
+        let report = session.check_spec(&composed, &trace);
         println!("\n{name}: {}", if report.passed() { "conforms" } else { "VIOLATED" });
         for failure in report.failures() {
             println!("  violated clause: {failure}");

@@ -1,28 +1,31 @@
-//! Chapter 5: check the queue specifications against simulated queues.
+//! Chapter 5: check the queue specifications against simulated queues through
+//! the unified `Session` API.
 //!
 //! Run with `cargo run --example queue_spec`.
 
 use ilogic::systems::queue::{simulate, QueueKind, QueueWorkload};
 use ilogic::systems::specs;
+use ilogic::Session;
 
 fn main() {
+    let mut session = Session::new();
     let workload = QueueWorkload { items: 5, retries: 3, seed: 41, phased: false };
 
     println!("== reliable queue against the FIFO axiom ==");
     let reliable = simulate(QueueKind::Reliable, workload);
-    print!("{}", specs::reliable_queue_spec().check(&reliable));
+    print!("{}", session.check_spec(&specs::reliable_queue_spec(), &reliable));
 
     println!("\n== unreliable queue (30% loss) against Figure 5-1 ==");
     let unreliable = simulate(QueueKind::Unreliable { loss: 0.3 }, workload);
-    print!("{}", specs::unreliable_queue_spec().check(&unreliable));
+    print!("{}", session.check_spec(&specs::unreliable_queue_spec(), &unreliable));
 
     println!("\n== stack against the stack axiom (phased workload) ==");
     let stack = simulate(QueueKind::Stack, QueueWorkload { phased: true, ..workload });
-    print!("{}", specs::stack_spec().check(&stack));
+    print!("{}", session.check_spec(&specs::stack_spec(), &stack));
 
     println!("\n== a faulty, reordering queue is rejected by the FIFO axiom ==");
     let faulty = simulate(QueueKind::FaultyReordering, QueueWorkload { seed: 3, ..workload });
-    let report = specs::reliable_queue_spec().check(&faulty);
+    let report = session.check_spec(&specs::reliable_queue_spec(), &faulty);
     print!("{report}");
     if !report.passed() {
         println!("(as expected, the specification catches the reordering)");

@@ -1,5 +1,6 @@
-//! Quickstart: build interval formulas, evaluate them over traces, parse the
-//! concrete syntax, and call the decision procedures.
+//! Quickstart: build interval formulas and run every kind of check through the
+//! unified `Session` API — trace conformance, bounded validity search, and the
+//! tableau decision procedure.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -7,8 +8,11 @@ use ilogic::core::dsl::*;
 use ilogic::core::parser::parse_formula;
 use ilogic::core::prelude::*;
 use ilogic::temporal::prelude::*;
+use ilogic::{CheckRequest, Session, Verdict};
 
 fn main() {
+    let mut session = Session::new();
+
     // -----------------------------------------------------------------------
     // 1. An interval formula: [ A => *B ] <> D
     //    "Between the next A event and the B event that must follow it,
@@ -24,8 +28,10 @@ fn main() {
         State::new().with("A").with("B"),
     ]);
     let bad = Trace::finite(vec![State::new(), State::new().with("A"), State::new().with("A")]);
-    println!("  holds on the good trace: {}", Evaluator::new(&good).check(&formula));
-    println!("  holds on the bad trace:  {}", Evaluator::new(&bad).check(&formula));
+    let on_good = session.check(CheckRequest::new(formula.clone()).on_trace(&good));
+    let on_bad = session.check(CheckRequest::new(formula.clone()).on_trace(&bad));
+    println!("  on the good trace: {}", on_good.verdict);
+    println!("  on the bad trace:  {}", on_bad.verdict);
 
     // -----------------------------------------------------------------------
     // 2. The same formula from its concrete syntax.
@@ -35,16 +41,35 @@ fn main() {
     println!("  parsed form matches the DSL form");
 
     // -----------------------------------------------------------------------
-    // 3. A valid formula of Chapter 4, confirmed by exhaustive bounded search.
+    // 3. A valid formula of Chapter 4, confirmed by exhaustive bounded search
+    //    (the same request shape refutes non-theorems with a counterexample).
     // -----------------------------------------------------------------------
     let v9 = ilogic::core::valid::v9(prop("P"));
-    let checker = BoundedChecker::new(["P"], 4);
-    println!("V9 `[P => begin ~P] []P` has a counterexample up to length 4: {}",
-        checker.counterexample(&v9).is_some());
+    let report = session.check(CheckRequest::new(v9).bounded(["P"], 4));
+    println!(
+        "V9 `[P => begin ~P] []P` over every computation of length <= 4: {} \
+         ({} computations in {:?}, {} memo hits)",
+        report.verdict, report.stats.traces_checked, report.stats.duration, report.stats.memo.hits
+    );
 
     // -----------------------------------------------------------------------
-    // 4. The Appendix B combined decision procedure:
-    //    "Henceforth a >= 1 implies eventually a > 0".
+    // 4. A propositional theorem settled exactly by the tableau (`decide`),
+    //    and a refutable formula concretized into a countermodel.
+    // -----------------------------------------------------------------------
+    let theorem = always(prop("P")).implies(eventually(prop("P")));
+    println!(
+        "[]P -> <>P decided by the tableau: {}",
+        session.check(CheckRequest::new(theorem).decide()).verdict
+    );
+    let refuted = session.check(CheckRequest::new(eventually(prop("P"))).decide());
+    match refuted.verdict {
+        Verdict::Counterexample(cex) => println!("<>P is refuted by: {cex}"),
+        other => println!("<>P: {other}"),
+    }
+
+    // -----------------------------------------------------------------------
+    // 5. The low-level layer stays available: the Appendix B combined decision
+    //    procedure with a specialized linear-arithmetic theory.
     // -----------------------------------------------------------------------
     let a_ge_1 = Ltl::cmp(Term::var("a"), ilogic::temporal::syntax::CmpOp::Ge, Term::int(1));
     let a_gt_0 = Ltl::cmp(Term::var("a"), ilogic::temporal::syntax::CmpOp::Gt, Term::int(0));
@@ -53,9 +78,5 @@ fn main() {
     println!(
         "[](a >= 1) -> <>(a > 0) valid over the integers: {}",
         AlgorithmA::new(&linear).valid(&claim)
-    );
-    println!(
-        "same formula valid in pure temporal logic:       {}",
-        valid_pure(&claim)
     );
 }

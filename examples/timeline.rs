@@ -6,6 +6,7 @@
 use ilogic::core::diagram::Diagram;
 use ilogic::core::dsl::*;
 use ilogic::core::prelude::*;
+use ilogic::{CheckRequest, Session};
 
 fn main() {
     // -------------------------------------------------------------------
@@ -59,7 +60,8 @@ fn main() {
         fwd(event(prop("R")), must(event(prop("A")))),
         not(prop("A")).and(eventually(prop("R"))),
     );
-    println!("Figure 6-2, axiom A1 over one four-phase handshake:");
+    let verdict = Session::new().check(CheckRequest::new(a1.clone()).on_trace(&handshake)).verdict;
+    println!("Figure 6-2, axiom A1 over one four-phase handshake ({verdict}):");
     println!(
         "{}",
         Diagram::new(&handshake)

@@ -2,22 +2,85 @@
 //!
 //! Umbrella crate for the reproduction of *"An Interval Logic for Higher-Level
 //! Temporal Reasoning"* (Schwartz, Melliar-Smith, Vogt, Plaisted; NASA CR
-//! 172262 / PODC 1983).  It re-exports the four library crates:
+//! 172262 / PODC 1983), fronted by the unified [`Session`] checking API.
 //!
-//! * [`core`] (`ilogic-core`) — the interval logic itself: syntax, formal
-//!   model, `*`-modifier reduction, valid-formula catalogue, bounded validity
-//!   checking, specifications, parser and the LTL reduction;
-//! * [`temporal`] (`ilogic-temporal`) — the Appendix B linear-time temporal
-//!   logic substrate: tableau graphs, Algorithm A, Algorithm B, and the
-//!   specialized theories they combine with;
-//! * [`lowlevel`] (`ilogic-lowlevel`) — the Appendix C low-level language,
-//!   its constraint semantics, translations and executable specifications;
-//! * [`systems`] (`ilogic-systems`) — the case-study simulators of Chapters
-//!   5–8 (queues, self-timed arbiter, Alternating-Bit protocol, distributed
-//!   mutual exclusion) together with their interval-logic specifications.
+//! # Quick start
 //!
-//! See the crate-level documentation of each member and the runnable programs
-//! under `examples/` for entry points.
+//! Every way of asking "does this formula hold?" goes through one door: build
+//! a [`Session`], describe the check with a builder-style [`CheckRequest`]
+//! selecting a [`Backend`], and read the uniform [`Verdict`] (plus timing and
+//! memoization statistics) off the returned [`CheckReport`]:
+//!
+//! ```
+//! use ilogic::core::dsl::*;
+//! use ilogic::core::prelude::*;
+//! use ilogic::{CheckRequest, Session, Verdict};
+//!
+//! let mut session = Session::new();
+//!
+//! // [ A => *B ] <> D over a concrete computation.
+//! let formula = eventually(prop("D")).within(fwd(event(prop("A")), must(event(prop("B")))));
+//! let trace = Trace::finite(vec![
+//!     State::new(),
+//!     State::new().with("A"),
+//!     State::new().with("A").with("D"),
+//!     State::new().with("A").with("B"),
+//! ]);
+//! assert_eq!(session.check(CheckRequest::new(formula.clone()).on_trace(&trace)).verdict,
+//!            Verdict::Holds);
+//!
+//! // The same formula is not *valid*: bounded search produces a countermodel.
+//! let report = session.check(CheckRequest::new(formula).bounded(["A", "B", "D"], 3));
+//! assert!(report.verdict.counterexample().is_some());
+//!
+//! // Theorems of the translatable fragment are settled exactly by the tableau.
+//! let theorem = always(prop("P")).implies(eventually(prop("P")));
+//! assert_eq!(session.check(CheckRequest::new(theorem).decide()).verdict, Verdict::Holds);
+//! ```
+//!
+//! Specifications (Init clauses + axioms) check the same way, with clause
+//! subformulas hash-consed across the whole session:
+//!
+//! ```
+//! use ilogic::core::dsl::*;
+//! use ilogic::core::prelude::*;
+//! use ilogic::Session;
+//!
+//! let spec = Spec::new("toy").init("I1", not(prop("R")));
+//! let trace = Trace::finite(vec![State::new()]);
+//! assert!(Session::new().check_spec(&spec, &trace).passed());
+//! ```
+//!
+//! # Which checker do I want?
+//!
+//! | Backend | Ask it for | Guarantee | Cost |
+//! |---------|------------|-----------|------|
+//! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) |
+//! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check |
+//! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small |
+//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms |
+//!
+//! Rule of thumb: simulator and explorer traces → `Trace`/`Explore`; "is this
+//! schema a theorem?" → `Decide` first and `Bounded` as the refutation
+//! workhorse; the catalogue and the test suite use `Bounded` throughout.
+//!
+//! # Layers
+//!
+//! The member crates remain the low-level layer, fully public:
+//!
+//! * [`core`] (`ilogic-core`) — syntax, formal model, hash-consed
+//!   [`core::arena`], bounded checking, specifications, parser, LTL reduction,
+//!   and the [`core::session`] module re-exported here;
+//! * [`temporal`] (`ilogic-temporal`) — the Appendix B temporal substrate:
+//!   tableau graphs, Algorithm A, Algorithm B, specialized theories;
+//! * [`lowlevel`] (`ilogic-lowlevel`) — the Appendix C low-level language and
+//!   its decision pipeline;
+//! * [`systems`] (`ilogic-systems`) — the Chapter 5–8 case-study simulators,
+//!   their specifications, and the exhaustive explorer.
+//!
+//! Direct use of `Evaluator::check`, `BoundedChecker::counterexample`,
+//! `explore`, or the tableau remains supported for callers that need the
+//! engine-specific knobs; prefer [`Session`] everywhere else.
 
 #![forbid(unsafe_code)]
 
@@ -25,3 +88,5 @@ pub use ilogic_core as core;
 pub use ilogic_lowlevel as lowlevel;
 pub use ilogic_systems as systems;
 pub use ilogic_temporal as temporal;
+
+pub use ilogic_core::session::{Backend, CheckReport, CheckRequest, CheckStats, Session, Verdict};

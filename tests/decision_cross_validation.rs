@@ -46,9 +46,11 @@ fn corpus() -> Vec<(&'static str, Ltl, bool)> {
             p().until(q()).and(q().not().always()).and(p().not().eventually()),
             false,
         ),
-        ("[]P & []Q & <>(~P | ~Q)",
+        (
+            "[]P & []Q & <>(~P | ~Q)",
             p().always().and(q().always()).and(p().not().or(q().not()).eventually()),
-            false),
+            false,
+        ),
     ]
 }
 

@@ -1,0 +1,90 @@
+//! Cross-crate integration tests for the unified `Session` API: one facade
+//! over trace evaluation, explorer runs, bounded search, and the tableau
+//! decision procedure, with simulator and explorer traces coming from
+//! `ilogic-systems`.
+
+use ilogic::core::dsl::*;
+use ilogic::core::prelude::*;
+use ilogic::core::spec::close_free_variables;
+use ilogic::systems::explore::{explore_backend, ExploreLimits, MutexModel};
+use ilogic::systems::mutex::{simulate, simulate_broken, MutexWorkload};
+use ilogic::systems::specs;
+use ilogic::{Backend, CheckRequest, Session, Verdict};
+
+#[test]
+fn one_session_serves_every_backend() {
+    let mut session = Session::new();
+    let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
+
+    // Trace backend over a simulator run.
+    let workload = MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 5 };
+    let trace = simulate(workload);
+    let report = session.check(CheckRequest::new(theorem.clone()).on_trace(&trace));
+    assert_eq!(report.backend, "trace");
+    assert!(report.verdict.passed(), "{}", report.verdict);
+
+    // Explore backend over every complete run of the small model.
+    let backend = explore_backend(&MutexModel::correct(2, 1), ExploreLimits::default(), 128);
+    let report = session.check(CheckRequest::new(theorem.clone()).with_backend(backend));
+    assert_eq!(report.backend, "explore");
+    assert!(report.verdict.passed());
+    assert!(report.stats.traces_checked > 1);
+
+    // The broken simulator is rejected with a concrete counterexample.
+    let broken = simulate_broken(2);
+    let report = session.check(CheckRequest::new(theorem).on_trace(&broken));
+    assert_eq!(report.verdict.counterexample(), Some(&broken));
+
+    // Bounded backend: V5 (*p ≡ ◇(¬p ∧ ◇p)) has no small counterexample.
+    let v5 = ilogic::core::valid::v5(prop("P"));
+    let report = session.check(CheckRequest::new(v5).bounded(["P"], 3));
+    assert_eq!(report.verdict, Verdict::ValidUpTo(3));
+
+    // Decide backend: an LTL-translatable theorem is settled exactly.
+    let theorem = always(prop("P")).implies(eventually(prop("P")));
+    assert_eq!(session.check(CheckRequest::new(theorem).decide()).verdict, Verdict::Holds);
+
+    // The shared arena has been accumulating structure across all checks.
+    assert!(session.arena().formula_count() > 10);
+}
+
+#[test]
+fn session_spec_checking_matches_the_low_level_path() {
+    let mut session = Session::new();
+    let workload = MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 11 };
+    let trace = simulate(workload);
+    let spec = specs::mutual_exclusion_spec();
+    let via_session = session.check_spec(&spec, &trace);
+    let via_spec = spec.check(&trace);
+    assert_eq!(via_session.passed(), via_spec.passed());
+    assert_eq!(via_session.failures(), via_spec.failures());
+
+    let broken = simulate_broken(2);
+    let via_session = session.check_spec(&spec, &broken);
+    let via_spec = spec.check(&broken);
+    assert!(!via_session.passed());
+    assert_eq!(via_session.failures(), via_spec.failures());
+}
+
+#[test]
+fn bounded_requests_respect_the_lasso_switch() {
+    let mut session = Session::new();
+    // □◇P ∧ ¬◇□P needs a lasso witness; its negation is refutable only with
+    // lassos enabled.
+    let recurring_not_stable =
+        always(eventually(prop("P"))).and(eventually(always(prop("P"))).not());
+    let negation = recurring_not_stable.not();
+    let with_lassos = session.check(CheckRequest::new(negation.clone()).bounded(["P"], 3));
+    assert!(matches!(with_lassos.verdict, Verdict::Counterexample(_)));
+    let without = session.check(CheckRequest::new(negation).bounded(["P"], 3).without_lassos());
+    assert_eq!(without.verdict, Verdict::ValidUpTo(3));
+}
+
+#[test]
+fn explicit_backend_values_compose() {
+    let mut session = Session::new();
+    let runs = vec![Trace::finite(vec![State::new().with("P")])];
+    let report =
+        session.check(CheckRequest::new(prop("P")).with_backend(Backend::Explore { runs }));
+    assert_eq!(report.verdict, Verdict::Holds);
+}
