@@ -17,7 +17,13 @@
 //! * [`MemoEvaluator`] evaluates interned formulas with a memo table keyed on
 //!   `(FormulaId, Interval, environment)`, so shared subterms — made explicit
 //!   by hash-consing — are evaluated once per (interval, binding) context
-//!   rather than once per syntactic occurrence.
+//!   rather than once per syntactic occurrence;
+//! * [`ArenaSnapshot`] is a frozen, `Send + Sync` view of an arena's nodes.
+//!   Snapshotting is how the sharded engines of [`crate::session`] hand one
+//!   interned formula to many worker threads: each worker owns a cheap clone
+//!   of the snapshot (two `Arc`s) plus its private [`MemoEvaluator`], so
+//!   evaluation is shared-nothing — no locks anywhere on the hot path — and
+//!   the per-worker [`MemoStats`] are [merged](MemoStats::merge) at join.
 //!
 //! The memoized evaluator implements exactly the satisfaction relation of
 //! [`crate::semantics::Evaluator`]; the two are cross-checked by the property
@@ -25,6 +31,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use crate::interval::{Constructed, Endpoint, Interval};
 use crate::semantics::Dir;
@@ -232,6 +239,78 @@ impl FormulaArena {
             _ => self.formula(FormulaNode::Not(id)),
         }
     }
+
+    /// A frozen, shareable view of every node interned so far.
+    ///
+    /// The snapshot is `Send + Sync + Clone` (two `Arc`s); ids handed out by
+    /// this arena before the snapshot remain valid against it, so a formula
+    /// interned once can be evaluated concurrently by any number of worker
+    /// threads without locking.  Nodes interned *after* the snapshot are not
+    /// visible in it — take a fresh snapshot per check, as
+    /// [`crate::session::Session`] does.
+    pub fn snapshot(&self) -> ArenaSnapshot {
+        ArenaSnapshot {
+            formulas: Arc::from(self.formulas.as_slice()),
+            terms: Arc::from(self.terms.as_slice()),
+        }
+    }
+}
+
+/// Read-only access to interned nodes: what an evaluator actually needs.
+///
+/// Implemented by [`FormulaArena`] (single-threaded callers keep borrowing the
+/// arena directly) and by [`ArenaSnapshot`] (worker threads read a frozen
+/// view).  [`MemoEvaluator`] is generic over this trait, defaulting to
+/// `FormulaArena` so existing call sites are unchanged.
+pub trait ArenaRead {
+    /// The node behind a formula id.
+    fn formula_node(&self, id: FormulaId) -> &FormulaNode;
+    /// The node behind a term id.
+    fn term_node(&self, id: TermId) -> &TermNode;
+}
+
+impl ArenaRead for FormulaArena {
+    fn formula_node(&self, id: FormulaId) -> &FormulaNode {
+        FormulaArena::formula_node(self, id)
+    }
+
+    fn term_node(&self, id: TermId) -> &TermNode {
+        FormulaArena::term_node(self, id)
+    }
+}
+
+/// A frozen, read-only view of a [`FormulaArena`]'s nodes.
+///
+/// Created by [`FormulaArena::snapshot`]; cloning is two `Arc` bumps.  The
+/// snapshot drops the interning hash maps — it can only *resolve* ids, not
+/// mint new ones — which is exactly the contract of shared-nothing parallel
+/// evaluation: intern on the session thread, evaluate everywhere.
+#[derive(Clone, Debug)]
+pub struct ArenaSnapshot {
+    formulas: Arc<[FormulaNode]>,
+    terms: Arc<[TermNode]>,
+}
+
+impl ArenaSnapshot {
+    /// Number of formula nodes visible in the snapshot.
+    pub fn formula_count(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Number of term nodes visible in the snapshot.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+impl ArenaRead for ArenaSnapshot {
+    fn formula_node(&self, id: FormulaId) -> &FormulaNode {
+        &self.formulas[id.0 as usize]
+    }
+
+    fn term_node(&self, id: TermId) -> &TermNode {
+        &self.terms[id.0 as usize]
+    }
 }
 
 /// A fast multiply-xor hasher (FxHash-style) for the small `Copy` memo keys;
@@ -343,6 +422,22 @@ pub struct MemoStats {
     pub misses: u64,
 }
 
+impl MemoStats {
+    /// Folds another evaluator's counters into this one — how the per-worker
+    /// statistics of a sharded check are combined at join, and how
+    /// [`crate::session::Session`] accumulates counters across requests.
+    pub fn merge(&mut self, other: MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl std::ops::AddAssign for MemoStats {
+    fn add_assign(&mut self, other: MemoStats) {
+        self.merge(other);
+    }
+}
+
 /// Evaluates interned formulas over concrete computations, memoizing every
 /// subformula verdict on `(FormulaId, Interval, environment)` and every
 /// interval construction on `(TermId, Interval, direction, environment)`.
@@ -351,9 +446,14 @@ pub struct MemoStats {
 /// the per-trace memo tables but keeps their allocations and the interned
 /// environments, which is what makes it cheap inside the bounded checker's
 /// enumeration loop.
+///
+/// The evaluator is generic over [`ArenaRead`]: single-threaded code borrows
+/// the [`FormulaArena`] itself (the default), worker threads borrow a
+/// per-worker clone of an [`ArenaSnapshot`].  Either way the memo tables are
+/// private to the evaluator, so concurrent evaluators never contend.
 #[derive(Debug)]
-pub struct MemoEvaluator<'a> {
-    arena: &'a FormulaArena,
+pub struct MemoEvaluator<'a, A: ArenaRead = FormulaArena> {
+    arena: &'a A,
     memo: MemoMap<(FormulaId, Interval, EnvId), bool>,
     construct_memo: MemoMap<(TermId, Interval, Dir, EnvId), Constructed>,
     envs: EnvInterner,
@@ -364,10 +464,10 @@ pub struct MemoEvaluator<'a> {
     needs_domain: MemoMap<FormulaId, bool>,
 }
 
-impl<'a> MemoEvaluator<'a> {
-    /// Creates a memoized evaluator over the arena. The quantifier domain
-    /// defaults to each checked trace's value domain.
-    pub fn new(arena: &'a FormulaArena) -> MemoEvaluator<'a> {
+impl<'a, A: ArenaRead> MemoEvaluator<'a, A> {
+    /// Creates a memoized evaluator over an arena or snapshot. The quantifier
+    /// domain defaults to each checked trace's value domain.
+    pub fn new(arena: &'a A) -> MemoEvaluator<'a, A> {
         MemoEvaluator {
             arena,
             memo: MemoMap::default(),
@@ -380,7 +480,7 @@ impl<'a> MemoEvaluator<'a> {
     }
 
     /// Uses an explicit quantifier domain instead of each trace's value domain.
-    pub fn with_domain(mut self, domain: Vec<Value>) -> MemoEvaluator<'a> {
+    pub fn with_domain(mut self, domain: Vec<Value>) -> MemoEvaluator<'a, A> {
         self.explicit_domain = Some(domain);
         self
     }
@@ -881,6 +981,48 @@ mod tests {
         let p = arena.intern(&prop("P"));
         let np = arena.not(p);
         assert_eq!(arena.not(np), p);
+    }
+
+    #[test]
+    fn snapshots_are_shareable_and_resolve_the_same_nodes() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArenaSnapshot>();
+        assert_send_sync::<MemoEvaluator<'_, ArenaSnapshot>>();
+        assert_send_sync::<crate::semantics::Env>();
+        assert_send_sync::<Trace>();
+
+        let mut arena = FormulaArena::new();
+        let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
+        let id = arena.intern(&f);
+        let snapshot = arena.snapshot();
+        assert_eq!(snapshot.formula_count(), arena.formula_count());
+        assert_eq!(snapshot.term_count(), arena.term_count());
+
+        // Two workers evaluate through clones of the snapshot and agree with
+        // the arena-borrowing evaluator.
+        let trace = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
+        let expected = MemoEvaluator::new(&arena).check(&trace, id);
+        let verdicts = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let local = snapshot.clone();
+                    let trace = &trace;
+                    scope.spawn(move || MemoEvaluator::new(&local).check(trace, id))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(verdicts, vec![expected; 2]);
+    }
+
+    #[test]
+    fn memo_stats_merge_adds_counters() {
+        let mut a = MemoStats { hits: 3, misses: 5 };
+        a.merge(MemoStats { hits: 10, misses: 1 });
+        assert_eq!(a, MemoStats { hits: 13, misses: 6 });
+        let mut b = MemoStats::default();
+        b += a;
+        assert_eq!(b, a);
     }
 
     #[test]

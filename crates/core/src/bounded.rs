@@ -12,8 +12,21 @@
 //! A counterexample returned by [`BoundedChecker::counterexample`] is a genuine
 //! counterexample to validity; absence of a counterexample up to the bound is
 //! reported by [`BoundedChecker::valid_up_to_bound`].
+//!
+//! # Sharding
+//!
+//! The enumeration order is fixed and assigns every computation a *global
+//! index* (`0..model_count()`).  [`BoundedChecker::shard`] carves the
+//! enumeration into `n` interleaved slices — shard `i` yields exactly the
+//! computations whose global index is `≡ i (mod n)` — so `n` workers sweep
+//! disjoint slices of the same search space.  Combined with the
+//! lowest-global-index-wins cancellation of [`crate::pool::Earliest`],
+//! [`BoundedChecker::counterexample_parallel`] returns *bit-identical*
+//! verdicts to the sequential sweep: the same `Option<Trace>`, the very same
+//! counterexample.
 
-use crate::arena::{FormulaArena, FormulaId, MemoEvaluator};
+use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
+use crate::pool::{Earliest, Parallelism, WorkerPool};
 use crate::semantics::Evaluator;
 use crate::state::{Prop, State};
 use crate::syntax::Formula;
@@ -63,42 +76,24 @@ impl BoundedChecker {
     /// Calls `f` for every enumerated computation until it returns `false`;
     /// returns `true` if `f` accepted every computation.
     pub fn for_each_trace(&self, mut f: impl FnMut(&Trace) -> bool) -> bool {
-        let alphabet = 1usize << self.props.len();
-        for len in 1..=self.max_len {
-            let mut word = vec![0usize; len];
-            loop {
-                let states: Vec<State> = word.iter().map(|&bits| self.state_of(bits)).collect();
-                let stutter = Trace::finite(states.clone());
-                if !f(&stutter) {
-                    return false;
-                }
-                if self.include_lassos {
-                    for loop_start in 0..len {
-                        let lasso = Trace::lasso(states.clone(), loop_start);
-                        if !f(&lasso) {
-                            return false;
-                        }
-                    }
-                }
-                // Advance the word (mixed-radix counter).
-                let mut pos = 0;
-                loop {
-                    if pos == len {
-                        break;
-                    }
-                    word[pos] += 1;
-                    if word[pos] < alphabet {
-                        break;
-                    }
-                    word[pos] = 0;
-                    pos += 1;
-                }
-                if pos == len {
-                    break;
-                }
-            }
-        }
-        true
+        self.shard(0, 1).for_each_trace(|_, trace| f(trace))
+    }
+
+    /// The `index`-th of `count` interleaved slices of the enumeration: the
+    /// shard yields exactly the computations whose global enumeration index is
+    /// `≡ index (mod count)`, in increasing index order, lassos included.
+    ///
+    /// `count` shards together cover the full enumeration exactly once, so
+    /// `count` workers each sweeping one shard perform the same search as one
+    /// sequential sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count`.
+    pub fn shard(&self, index: usize, count: usize) -> TraceShard<'_> {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range for {count} shards");
+        TraceShard { checker: self, index, count }
     }
 
     fn state_of(&self, bits: usize) -> State {
@@ -172,6 +167,172 @@ impl BoundedChecker {
     pub fn witness(&self, formula: &Formula) -> Option<Trace> {
         self.counterexample(&formula.clone().not())
     }
+
+    /// Sharded parallel counterexample search: `parallelism` workers sweep
+    /// disjoint interleaved slices of the enumeration, each with a private
+    /// [`MemoEvaluator`] over `arena` (typically an
+    /// [`crate::arena::ArenaSnapshot`]), with early-exit cancellation once a
+    /// counterexample is found.
+    ///
+    /// The verdict is **bit-identical** to the sequential sweep: among all
+    /// counterexamples found, the one with the lowest global enumeration index
+    /// — exactly the computation [`BoundedChecker::counterexample_interned`]
+    /// would return — wins.  Statistics differ only in that
+    /// [`ParallelSweep::traces_checked`] counts every computation any worker
+    /// examined, which can exceed the sequential count while the cancellation
+    /// signal propagates.
+    pub fn sweep_parallel<A>(
+        &self,
+        arena: &A,
+        formula: FormulaId,
+        domain: Option<&[crate::value::Value]>,
+        parallelism: Parallelism,
+    ) -> ParallelSweep
+    where
+        A: ArenaRead + Sync,
+    {
+        let pool = WorkerPool::new(parallelism);
+        let workers = pool.workers();
+        let earliest = Earliest::new();
+        let results = pool.run(|w| {
+            let mut memo = MemoEvaluator::new(arena);
+            if let Some(domain) = domain {
+                memo = memo.with_domain(domain.to_vec());
+            }
+            let mut checked = 0usize;
+            let mut found: Option<(usize, Trace)> = None;
+            self.shard(w, workers).for_each_trace(|global, trace| {
+                if global >= earliest.bound() {
+                    return false;
+                }
+                checked += 1;
+                if memo.check(trace, formula) {
+                    true
+                } else {
+                    earliest.record(global);
+                    found = Some((global, trace.clone()));
+                    false
+                }
+            });
+            (found, checked, memo.stats())
+        });
+        let mut sweep = ParallelSweep {
+            counterexample: None,
+            traces_checked: 0,
+            memo: MemoStats::default(),
+            workers,
+        };
+        let mut finds = Vec::with_capacity(results.len());
+        for (found, checked, stats) in results {
+            sweep.traces_checked += checked;
+            sweep.memo.merge(stats);
+            finds.push(found);
+        }
+        sweep.counterexample = crate::pool::min_find(finds);
+        sweep
+    }
+
+    /// [`BoundedChecker::counterexample`] fanned across a worker pool; the
+    /// returned counterexample is identical to the sequential one.
+    pub fn counterexample_parallel(
+        &self,
+        arena: &FormulaArena,
+        formula: FormulaId,
+        parallelism: Parallelism,
+    ) -> Option<Trace> {
+        let snapshot = arena.snapshot();
+        self.sweep_parallel(&snapshot, formula, None, parallelism)
+            .counterexample
+            .map(|(_, trace)| trace)
+    }
+}
+
+/// The merged outcome of a [`BoundedChecker::sweep_parallel`] search.
+#[derive(Clone, Debug)]
+pub struct ParallelSweep {
+    /// The counterexample with the lowest global enumeration index, if any —
+    /// the same computation the sequential sweep returns first.
+    pub counterexample: Option<(usize, Trace)>,
+    /// Total computations evaluated across all workers.
+    pub traces_checked: usize,
+    /// Per-worker memoization counters, merged at join.
+    pub memo: MemoStats,
+    /// Number of workers that swept.
+    pub workers: usize,
+}
+
+/// One interleaved slice of a [`BoundedChecker`] enumeration; see
+/// [`BoundedChecker::shard`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceShard<'a> {
+    checker: &'a BoundedChecker,
+    index: usize,
+    count: usize,
+}
+
+impl TraceShard<'_> {
+    /// Calls `f(global_index, trace)` for every computation in this shard, in
+    /// increasing global-index order, until `f` returns `false`; returns
+    /// `true` if `f` accepted every computation of the shard.
+    ///
+    /// The enumeration walks the same mixed-radix word order as the sequential
+    /// sweep but only materializes the state vector of a word when the shard
+    /// selects at least one of its extensions, so skipping foreign indices is
+    /// cheap.
+    pub fn for_each_trace(&self, mut f: impl FnMut(usize, &Trace) -> bool) -> bool {
+        let checker = self.checker;
+        let alphabet = 1usize << checker.props.len();
+        // Extensions enumerated per word: the stutter extension plus (with
+        // lassos) one lasso per loop start.
+        let mut global = 0usize;
+        for len in 1..=checker.max_len {
+            let block = if checker.include_lassos { 1 + len } else { 1 };
+            let mut word = vec![0usize; len];
+            loop {
+                // Does this word's block contain any index of the shard?
+                let selected = (0..block).any(|k| (global + k) % self.count == self.index);
+                if selected {
+                    let states: Vec<State> =
+                        word.iter().map(|&bits| checker.state_of(bits)).collect();
+                    if global % self.count == self.index {
+                        let stutter = Trace::finite(states.clone());
+                        if !f(global, &stutter) {
+                            return false;
+                        }
+                    }
+                    if checker.include_lassos {
+                        for loop_start in 0..len {
+                            let at = global + 1 + loop_start;
+                            if at % self.count == self.index {
+                                let lasso = Trace::lasso(states.clone(), loop_start);
+                                if !f(at, &lasso) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                global += block;
+                // Advance the word (mixed-radix counter).
+                let mut pos = 0;
+                loop {
+                    if pos == len {
+                        break;
+                    }
+                    word[pos] += 1;
+                    if word[pos] < alphabet {
+                        break;
+                    }
+                    word[pos] = 0;
+                    pos += 1;
+                }
+                if pos == len {
+                    break;
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +386,72 @@ mod tests {
             true
         });
         assert_eq!(seen, checker.model_count());
+    }
+
+    #[test]
+    fn shards_partition_the_enumeration_exactly() {
+        for (props, max_len, lassos) in
+            [(vec!["P"], 3, true), (vec!["P", "Q"], 2, true), (vec!["P"], 3, false)]
+        {
+            let mut checker = BoundedChecker::new(props, max_len);
+            if !lassos {
+                checker = checker.without_lassos();
+            }
+            // The sequential enumeration, indexed.
+            let mut sequential = Vec::new();
+            checker.for_each_trace(|t| {
+                sequential.push(t.clone());
+                true
+            });
+            assert_eq!(sequential.len(), checker.model_count());
+            for count in 1..=4 {
+                let mut merged: Vec<Option<Trace>> = vec![None; sequential.len()];
+                for index in 0..count {
+                    let mut last = None;
+                    checker.shard(index, count).for_each_trace(|global, trace| {
+                        assert_eq!(global % count, index, "shard yields a foreign index");
+                        assert!(last.is_none_or(|prev| prev < global), "indices not increasing");
+                        last = Some(global);
+                        assert!(merged[global].is_none(), "index {global} yielded twice");
+                        merged[global] = Some(trace.clone());
+                        true
+                    });
+                }
+                for (global, slot) in merged.iter().enumerate() {
+                    assert_eq!(
+                        slot.as_ref(),
+                        Some(&sequential[global]),
+                        "shard union differs from the sequential enumeration at {global}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counterexamples_are_bit_identical_to_sequential() {
+        use crate::pool::Parallelism;
+        let checker = BoundedChecker::new(["P", "Q"], 3);
+        let formulas = [
+            prop("P"),
+            eventually(prop("P")),
+            prop("P").or(prop("P").not()),
+            always(eventually(prop("P"))).implies(eventually(always(prop("P")))),
+            occurs(event(prop("Q"))).not().implies(Formula::False.within(event(prop("Q")))),
+        ];
+        for formula in &formulas {
+            let mut arena = FormulaArena::new();
+            let id = arena.intern(formula);
+            let sequential = checker.counterexample_interned(&arena, id);
+            for workers in 1..=4 {
+                let parallel =
+                    checker.counterexample_parallel(&arena, id, Parallelism::Fixed(workers));
+                assert_eq!(
+                    parallel, sequential,
+                    "parallel({workers}) and sequential verdicts differ on {formula}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod interval;
 pub mod ltl_translate;
 pub mod ops;
 pub mod parser;
+pub mod pool;
 pub mod process;
 pub mod semantics;
 pub mod session;
@@ -76,14 +77,17 @@ pub mod value;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::arena::{FormulaArena, FormulaId, MemoEvaluator, TermId};
+    pub use crate::arena::{ArenaSnapshot, FormulaArena, FormulaId, MemoEvaluator, TermId};
     pub use crate::bounded::BoundedChecker;
     pub use crate::diagram::Diagram;
     pub use crate::interval::{Constructed, Endpoint, Interval};
     pub use crate::ops::Operation;
+    pub use crate::pool::{Parallelism, WorkerPool};
     pub use crate::process::{ProcessId, ProcessSpec, System};
     pub use crate::semantics::{holds, Dir, Env, Evaluator};
-    pub use crate::session::{Backend, CheckReport, CheckRequest, CheckStats, Session, Verdict};
+    pub use crate::session::{
+        Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,
+    };
     pub use crate::spec::{CheckOutcome, Spec, SpecReport};
     pub use crate::state::{Prop, State};
     pub use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};

@@ -74,6 +74,41 @@ pub fn parse_term(input: &str) -> Result<IntervalTerm, ParseError> {
     Ok(term)
 }
 
+/// A concrete-syntax corpus exercising every grammar production: propositions,
+/// parameterized events, comparisons, quantifiers, both interval operators,
+/// `begin`/`end`, the `*` modifier, and the report's specification idioms.
+///
+/// Shared by the arena round-trip tests, the parallel/sequential consistency
+/// suite and the benches, so "every grammar production" means the same thing
+/// everywhere.
+pub const CORPUS: &[&str] = &[
+    "true",
+    "false",
+    "~P",
+    "P & Q | ~R",
+    "P -> Q <-> ~P | Q",
+    "[] (cs -> x)",
+    "<> atDq",
+    "[ A => B ] <> D",
+    "[ A => *B ] <> D",
+    "[ (A => B) => C ] <> D",
+    "[ A <= C ] [] ~B",
+    "[ begin (A => B) => C ] <> D",
+    "[ end (A => B) ] P",
+    "[ => C ] [] P",
+    "[ A => ] <> P",
+    "[ => ] P",
+    "occurs(A => B)",
+    "[ atEnq(a) <= afterDq(b) ] [] ~UA",
+    "forall a. [ => afterDq(a) ] *atEnq(a)",
+    "exists v. exp = ?v",
+    "exp = 3",
+    "x > z & y /= 0",
+    "[ { exp = ?v } => A ] [] atEnq(v)",
+    "forall a. forall b. [ atEnq(a) => atEnq(b) ] ~afterDq(b)",
+    "[ *(R => A) => R ] ~A",
+];
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
     Ident(String),

@@ -1,0 +1,316 @@
+//! A scoped worker pool for the sharded checking engines.
+//!
+//! The bounded validity search is a conjunction over independently enumerable
+//! computations, explore-mode checking is independent per run, and spec
+//! checking is independent per clause — all embarrassingly parallel.  This
+//! module provides the (deliberately small) machinery the parallel paths of
+//! [`crate::session`], [`crate::bounded`] and `ilogic_systems::explore` share:
+//!
+//! * [`Parallelism`] — the user-facing knob ([`Parallelism::Auto`] /
+//!   [`Parallelism::Fixed`] / [`Parallelism::Off`]), with an environment
+//!   override (`ILOGIC_TEST_PARALLEL`) so whole test suites can be swept onto
+//!   the pool without touching call sites;
+//! * [`WorkerPool`] — a scoped fork/join pool over [`std::thread`].  Workers
+//!   borrow from the caller's stack (arena snapshots, traces, models), run one
+//!   closure per worker index, and are joined before `run` returns, so there
+//!   is no lifetime laundering and no idle thread kept around;
+//! * [`Earliest`] — a lock-free "lowest index wins" cancellation cell.  A
+//!   plain `AtomicBool` stop flag would make counterexample selection racy
+//!   (whichever shard set it first would win); publishing the lowest global
+//!   index found so far lets every shard stop as soon as it can no longer
+//!   improve the answer while keeping verdicts bit-identical to the
+//!   sequential sweep.
+//!
+//! The pool uses `std::thread::scope` — no external dependencies — and spawns
+//! workers per call.  The checks this repository runs are coarse (milliseconds
+//! to minutes per shard), so thread spawn cost is noise; a persistent pool
+//! with channels would buy nothing but complexity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many workers a check fans out across.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Fixed(usize),
+    /// Single-threaded: the check runs inline on the calling thread.
+    #[default]
+    Off,
+}
+
+/// Environment variable consulted by [`Parallelism::from_env`]; setting it to
+/// `1`/`auto` forces [`Parallelism::Auto`], to `n > 1` forces
+/// [`Parallelism::Fixed`]`(n)`.  Used by CI to sweep the whole test suite
+/// through the parallel engine without editing every request.
+pub const PARALLELISM_ENV: &str = "ILOGIC_TEST_PARALLEL";
+
+impl Parallelism {
+    /// The number of workers this setting resolves to (always ≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Off => 1,
+        }
+    }
+
+    /// The parallelism forced by the [`PARALLELISM_ENV`] environment
+    /// variable, if set: `1`, `true` or `auto` mean [`Parallelism::Auto`];
+    /// any other number means [`Parallelism::Fixed`] of that many workers;
+    /// `0`, `off` or `false` mean [`Parallelism::Off`]; unset or
+    /// unintelligible values mean no override.
+    pub fn from_env() -> Option<Parallelism> {
+        let raw = std::env::var(PARALLELISM_ENV).ok()?;
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" => None,
+            "1" | "true" | "auto" | "on" => Some(Parallelism::Auto),
+            "0" | "false" | "off" => Some(Parallelism::Off),
+            other => other.parse::<usize>().ok().map(Parallelism::Fixed),
+        }
+    }
+}
+
+/// A scoped fork/join worker pool.
+///
+/// [`WorkerPool::run`] executes one job instance per worker index and returns
+/// the results in worker order.  With a single worker the job runs inline on
+/// the calling thread — `Parallelism::Off` costs nothing over a plain call.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with the worker count resolved from `parallelism`.
+    pub fn new(parallelism: Parallelism) -> WorkerPool {
+        WorkerPool { workers: parallelism.workers() }
+    }
+
+    /// Number of workers `run` fans out across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job(worker_index)` once per worker (indices `0..workers()`),
+    /// concurrently, and collects the results in worker order.
+    ///
+    /// The closure may borrow from the caller's stack — workers are scoped and
+    /// joined before this returns.  A panicking worker propagates its panic to
+    /// the caller after the remaining workers have been joined.
+    pub fn run<T, F>(&self, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_over(vec![(); self.workers], |w, _| job(w))
+            .into_iter()
+            .map(|(result, ())| result)
+            .collect()
+    }
+
+    /// Deterministic lowest-index-wins search over the indices
+    /// `offset .. offset + items`: worker `w` visits `offset + w`,
+    /// `offset + w + n`, … in increasing order, mutating its entry of
+    /// `states`; the first `Some` stops that worker, an [`Earliest`] cell
+    /// lets every worker stop once its next index can no longer beat the
+    /// published best, and the find with the lowest index wins
+    /// ([`min_find`]) — exactly the find a sequential scan of the same range
+    /// would return first.
+    ///
+    /// `states` must hold one entry per worker; it is moved in and handed
+    /// back (in worker order) so callers searching in rounds — e.g. batches
+    /// pulled from a lazy producer — keep per-worker caches and allocations
+    /// alive across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != self.workers()`.
+    pub fn search<St, T, Visit>(
+        &self,
+        items: usize,
+        offset: usize,
+        states: Vec<St>,
+        visit: Visit,
+    ) -> (Option<(usize, T)>, Vec<St>)
+    where
+        St: Send,
+        T: Send,
+        Visit: Fn(&mut St, usize) -> Option<T> + Sync,
+    {
+        assert_eq!(states.len(), self.workers, "one worker state per worker");
+        let earliest = Earliest::new();
+        let results = self.run_over(states, |w, state| {
+            let mut found = None;
+            let mut index = offset + w;
+            while index < offset + items {
+                if index >= earliest.bound() {
+                    break;
+                }
+                if let Some(witness) = visit(state, index) {
+                    earliest.record(index);
+                    found = Some((index, witness));
+                    break;
+                }
+                index += self.workers;
+            }
+            found
+        });
+        let mut finds = Vec::with_capacity(results.len());
+        let mut states = Vec::with_capacity(results.len());
+        for (found, state) in results {
+            finds.push(found);
+            states.push(state);
+        }
+        (min_find(finds), states)
+    }
+
+    /// [`WorkerPool::run`] with owned per-worker state: worker `w` receives
+    /// `&mut states[w]`, and each state is handed back alongside the job's
+    /// result in worker order.
+    fn run_over<St, T, F>(&self, mut states: Vec<St>, job: F) -> Vec<(T, St)>
+    where
+        St: Send,
+        T: Send,
+        F: Fn(usize, &mut St) -> T + Sync,
+    {
+        if self.workers == 1 {
+            let mut state = states.pop().expect("one worker state per worker");
+            let result = job(0, &mut state);
+            return vec![(result, state)];
+        }
+        std::thread::scope(|scope| {
+            let job = &job;
+            let handles: Vec<_> = states
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut state)| {
+                    scope.spawn(move || {
+                        let result = job(w, &mut state);
+                        (result, state)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        })
+    }
+}
+
+/// The deterministic join of a sharded search: among the per-worker finds,
+/// the one with the lowest index — the find a sequential sweep would have
+/// produced first.  Shared by every parallel engine so the tie-break lives in
+/// exactly one place.
+pub fn min_find<T>(finds: impl IntoIterator<Item = Option<(usize, T)>>) -> Option<(usize, T)> {
+    let mut best: Option<(usize, T)> = None;
+    for find in finds.into_iter().flatten() {
+        match &best {
+            Some((index, _)) if *index <= find.0 => {}
+            _ => best = Some(find),
+        }
+    }
+    best
+}
+
+/// A lock-free "earliest find wins" cell for deterministic parallel search.
+///
+/// Shards publish the global enumeration index of each counterexample they
+/// find; [`Earliest::bound`] is then an upper bound on the index any shard
+/// still needs to examine.  Because the bound only ever decreases, a shard
+/// that stops once its next index reaches the bound can never skip a
+/// counterexample earlier than the published one — so taking the minimum over
+/// all shards at join yields exactly the counterexample the sequential sweep
+/// would have returned first.
+#[derive(Debug, Default)]
+pub struct Earliest {
+    best: AtomicUsize,
+}
+
+impl Earliest {
+    /// A cell with no find recorded (bound = `usize::MAX`).
+    pub fn new() -> Earliest {
+        Earliest { best: AtomicUsize::new(usize::MAX) }
+    }
+
+    /// Records a find at `index`, lowering the bound if it improves it.
+    pub fn record(&self, index: usize) {
+        self.best.fetch_min(index, Ordering::Relaxed);
+    }
+
+    /// The lowest index recorded so far (`usize::MAX` if none): enumeration
+    /// indices at or above this can no longer affect the result.
+    pub fn bound(&self) -> usize {
+        self.best.load(Ordering::Relaxed)
+    }
+
+    /// `true` once any find has been recorded.
+    pub fn found(&self) -> bool {
+        self.bound() != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_and_fixed_resolve_to_expected_worker_counts() {
+        assert_eq!(Parallelism::Off.workers(), 1);
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert_eq!(Parallelism::Fixed(3).workers(), 3);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_worker_and_keeps_order() {
+        let pool = WorkerPool::new(Parallelism::Fixed(4));
+        assert_eq!(pool.workers(), 4);
+        let squares = pool.run(|w| w * w);
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(Parallelism::Off);
+        let results = pool.run(|w| w);
+        assert_eq!(results, vec![0]);
+    }
+
+    #[test]
+    fn workers_can_borrow_the_callers_stack() {
+        let data: Vec<usize> = (0..100).collect();
+        let pool = WorkerPool::new(Parallelism::Fixed(3));
+        let sums = pool.run(|w| data.iter().skip(w).step_by(3).sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), data.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn earliest_keeps_the_minimum() {
+        let cell = Earliest::new();
+        assert!(!cell.found());
+        assert_eq!(cell.bound(), usize::MAX);
+        cell.record(42);
+        cell.record(77);
+        cell.record(7);
+        assert_eq!(cell.bound(), 7);
+        assert!(cell.found());
+    }
+
+    #[test]
+    fn earliest_is_deterministic_under_concurrent_records() {
+        let cell = Earliest::new();
+        let pool = WorkerPool::new(Parallelism::Fixed(4));
+        pool.run(|w| {
+            for i in (w..1000).step_by(4) {
+                cell.record(i);
+            }
+        });
+        assert_eq!(cell.bound(), 0);
+    }
+}

@@ -16,7 +16,7 @@
 //! undefined for an infinite set of changes exactly as in the report.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::interval::{Constructed, Endpoint, Interval};
 use crate::syntax::{Arg, CmpOp, Expr, Formula, IntervalTerm, Pred};
@@ -34,20 +34,23 @@ pub enum Dir {
 
 /// A binding environment for data variables.
 ///
-/// Internally a persistent chain of `Rc` frames: [`Env::bind`] pushes one
+/// Internally a persistent chain of `Arc` frames: [`Env::bind`] pushes one
 /// frame in O(1) and shares the tail with the parent environment, so the
 /// evaluator's quantifier instantiation never copies the whole binding set
-/// (the chain is at most as deep as the quantifier nesting).
+/// (the chain is at most as deep as the quantifier nesting).  The frames are
+/// atomically reference-counted so environments — and with them the whole
+/// evaluation core — are `Send + Sync` and can cross into the worker pool of
+/// [`crate::pool`].
 #[derive(Clone, Debug, Default)]
 pub struct Env {
-    head: Option<Rc<Binding>>,
+    head: Option<Arc<Binding>>,
 }
 
 #[derive(Debug)]
 struct Binding {
     name: String,
     value: Value,
-    parent: Option<Rc<Binding>>,
+    parent: Option<Arc<Binding>>,
 }
 
 impl Env {
@@ -60,7 +63,9 @@ impl Env {
     /// (shadowing any earlier binding of the same name). O(1); the existing
     /// bindings are shared, not copied.
     pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
-        Env { head: Some(Rc::new(Binding { name: name.into(), value, parent: self.head.clone() })) }
+        Env {
+            head: Some(Arc::new(Binding { name: name.into(), value, parent: self.head.clone() })),
+        }
     }
 
     /// Looks up a data variable (innermost binding wins).

@@ -26,13 +26,15 @@
 //! facade is how new code (and all the `examples/`) should check formulas.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ilogic_temporal::tableau::{valid_pure_bounded, BuildLimits};
 
-use crate::arena::{FormulaArena, FormulaId, MemoEvaluator, MemoStats};
+use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
 use crate::ltl_translate::to_ltl;
+use crate::pool::{Parallelism, WorkerPool};
 use crate::spec::{close_free_variables, Spec, SpecReport};
 use crate::star::eliminate_star;
 use crate::syntax::{Formula, IntervalTerm, Pred};
@@ -47,8 +49,9 @@ pub enum Backend {
     /// Evaluate the formula over a set of enumerated runs (typically produced
     /// by an explorer such as `ilogic_systems::explore::collect_runs`).
     Explore {
-        /// The runs to check, each projected to a trace.
-        runs: Vec<Trace>,
+        /// Where the runs come from: a pre-collected `Vec<Trace>` or a lazy
+        /// producer consumed (and, under parallelism, batched) at check time.
+        runs: RunSource,
     },
     /// Exhaustive bounded-model validity search over every computation (with
     /// stutter and optionally lasso extension) up to `max_len` states over the
@@ -78,6 +81,72 @@ impl Backend {
     }
 }
 
+/// The runs checked by [`Backend::Explore`].
+///
+/// Either a pre-collected vector ([`RunSource::collected`], what
+/// [`CheckRequest::over_runs`] builds — the PR 1 behaviour) or a lazy producer
+/// ([`RunSource::lazy`]) that is only consumed while the check runs, so
+/// explorers can stream runs into the session without materializing them all:
+/// a model with millions of interleavings costs memory proportional to one
+/// batch, not to the run count.
+#[derive(Clone)]
+pub struct RunSource {
+    inner: RunsInner,
+}
+
+#[derive(Clone)]
+enum RunsInner {
+    Collected(Vec<Trace>),
+    Lazy(Arc<dyn Fn() -> Box<dyn Iterator<Item = Trace> + Send> + Send + Sync>),
+}
+
+impl RunSource {
+    /// Runs already materialized in memory.
+    pub fn collected(runs: Vec<Trace>) -> RunSource {
+        RunSource { inner: RunsInner::Collected(runs) }
+    }
+
+    /// Runs produced on demand.  `make` is called once per check to obtain a
+    /// fresh iterator (the source must be re-iterable because a `CheckRequest`
+    /// is `Clone` and may be checked more than once).
+    pub fn lazy<F, I>(make: F) -> RunSource
+    where
+        F: Fn() -> I + Send + Sync + 'static,
+        I: Iterator<Item = Trace> + Send + 'static,
+    {
+        RunSource {
+            inner: RunsInner::Lazy(Arc::new(move || {
+                Box::new(make()) as Box<dyn Iterator<Item = Trace> + Send>
+            })),
+        }
+    }
+
+    /// The number of runs, when already known (collected sources only).
+    pub fn len_hint(&self) -> Option<usize> {
+        match &self.inner {
+            RunsInner::Collected(runs) => Some(runs.len()),
+            RunsInner::Lazy(_) => None,
+        }
+    }
+}
+
+impl From<Vec<Trace>> for RunSource {
+    fn from(runs: Vec<Trace>) -> RunSource {
+        RunSource::collected(runs)
+    }
+}
+
+impl fmt::Debug for RunSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            RunsInner::Collected(runs) => {
+                f.debug_tuple("RunSource::collected").field(&runs.len()).finish()
+            }
+            RunsInner::Lazy(_) => f.debug_tuple("RunSource::lazy").finish(),
+        }
+    }
+}
+
 /// A builder-style description of one check: the formula plus the backend and
 /// options to run it with.
 #[derive(Clone, Debug)]
@@ -85,13 +154,14 @@ pub struct CheckRequest {
     formula: Formula,
     backend: Backend,
     domain: Option<Vec<Value>>,
+    parallelism: Option<Parallelism>,
 }
 
 impl CheckRequest {
     /// A request for `formula`, defaulting to the [`Backend::Decide`] engine;
     /// select another backend with the builder methods.
     pub fn new(formula: Formula) -> CheckRequest {
-        CheckRequest { formula, backend: Backend::Decide, domain: None }
+        CheckRequest { formula, backend: Backend::Decide, domain: None, parallelism: None }
     }
 
     /// Checks the formula over one concrete computation.
@@ -103,7 +173,28 @@ impl CheckRequest {
     /// Checks the formula over every run in `runs` (e.g. the complete runs of
     /// an exhaustively explored model).
     pub fn over_runs(mut self, runs: Vec<Trace>) -> CheckRequest {
+        self.backend = Backend::Explore { runs: RunSource::collected(runs) };
+        self
+    }
+
+    /// Checks the formula over runs streamed from a lazy producer; see
+    /// [`RunSource::lazy`].
+    pub fn over_run_source(mut self, runs: RunSource) -> CheckRequest {
         self.backend = Backend::Explore { runs };
+        self
+    }
+
+    /// Fans the check across a worker pool (effective for the `Bounded` and
+    /// `Explore` backends; `Trace` and `Decide` run single-threaded).  When
+    /// not set, the session default and then the `ILOGIC_TEST_PARALLEL`
+    /// environment override apply; the fallback is [`Parallelism::Off`].
+    ///
+    /// Verdicts are independent of the worker count — the parallel engines
+    /// select counterexamples deterministically (lowest enumeration index
+    /// wins), so `Fixed(8)` returns bit-identical results to `Off`, just
+    /// faster.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> CheckRequest {
+        self.parallelism = Some(parallelism);
         self
     }
 
@@ -197,12 +288,21 @@ impl fmt::Display for Verdict {
 pub struct CheckStats {
     /// Wall-clock time spent inside the backend.
     pub duration: Duration,
-    /// Number of computations examined.
+    /// Number of computations examined (across all workers; with parallelism
+    /// on, slightly more than the sequential count may be examined while the
+    /// early-exit signal propagates).
     pub traces_checked: usize,
-    /// Memoization counters of the arena evaluator (zero for `Decide`).
+    /// Memoization counters of the arena evaluator for *this* check (zero for
+    /// `Decide`); per-worker counters are merged at join.
     pub memo: MemoStats,
+    /// Memoization counters accumulated by the session across every request
+    /// so far, this one included — see [`Session::cumulative_memo`].
+    pub session_memo: MemoStats,
     /// Total distinct nodes in the session arena after the check.
     pub arena_nodes: usize,
+    /// Number of pool workers the backend fanned out across (1 when the check
+    /// ran single-threaded).
+    pub workers: usize,
 }
 
 /// The result of [`Session::check`]: the verdict plus uniform statistics.
@@ -236,9 +336,18 @@ impl fmt::Display for CheckReport {
 /// A session owns a [`FormulaArena`]; every checked formula is interned into
 /// it, so repeated checks of overlapping formulas share structure and
 /// spec-clause subformulas are deduplicated across clauses.
+///
+/// Checks fan out across a worker pool when parallelism is enabled — per
+/// request ([`CheckRequest::with_parallelism`]), per session
+/// ([`Session::set_parallelism`]), or for a whole process via the
+/// `ILOGIC_TEST_PARALLEL` environment variable.  Worker evaluation is
+/// shared-nothing over an [`crate::arena::ArenaSnapshot`]; verdicts are
+/// bit-identical to the single-threaded path.
 #[derive(Debug, Default)]
 pub struct Session {
     arena: FormulaArena,
+    default_parallelism: Option<Parallelism>,
+    cumulative: MemoStats,
 }
 
 impl Session {
@@ -250,6 +359,35 @@ impl Session {
     /// The session's arena (for inspection; sizes, node access).
     pub fn arena(&self) -> &FormulaArena {
         &self.arena
+    }
+
+    /// Sets the parallelism used by requests that don't choose their own (and
+    /// by [`Session::check_spec`]).  Builder-style variant:
+    /// [`Session::with_parallelism`].
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.default_parallelism = Some(parallelism);
+    }
+
+    /// [`Session::set_parallelism`], builder-style.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Session {
+        self.set_parallelism(parallelism);
+        self
+    }
+
+    /// Memoization counters accumulated across every check this session ran —
+    /// per-request counters are visible in each [`CheckReport`]; this is their
+    /// running sum, making cross-request cache behaviour observable.
+    pub fn cumulative_memo(&self) -> MemoStats {
+        self.cumulative
+    }
+
+    /// Effective parallelism: the request's explicit choice, else the session
+    /// default, else the environment override, else off.
+    fn resolve_parallelism(&self, requested: Option<Parallelism>) -> Parallelism {
+        requested
+            .or(self.default_parallelism)
+            .or_else(Parallelism::from_env)
+            .unwrap_or(Parallelism::Off)
     }
 
     /// Interns a formula into the session arena.
@@ -264,11 +402,12 @@ impl Session {
 
     /// Runs a check and reports the verdict with uniform statistics.
     pub fn check(&mut self, request: CheckRequest) -> CheckReport {
-        let CheckRequest { formula, backend, domain } = request;
+        let CheckRequest { formula, backend, domain, parallelism } = request;
         let backend_name = backend.name();
         let id = self.arena.intern(&formula);
+        let parallelism = self.resolve_parallelism(parallelism);
         let start = Instant::now();
-        let (verdict, traces_checked, memo) = match backend {
+        let (verdict, traces_checked, memo, workers) = match backend {
             Backend::Trace(trace) => {
                 let mut memo = self.evaluator(domain);
                 let verdict = if memo.check(&trace, id) {
@@ -276,53 +415,53 @@ impl Session {
                 } else {
                     Verdict::Counterexample(trace)
                 };
-                (verdict, 1, memo.stats())
+                (verdict, 1, memo.stats(), 1)
             }
             Backend::Explore { runs } => {
-                let mut memo = self.evaluator(domain);
-                let mut verdict = if runs.is_empty() { Verdict::Unknown } else { Verdict::Holds };
-                let mut checked = 0;
-                for run in runs {
-                    checked += 1;
-                    if !memo.check(&run, id) {
-                        verdict = Verdict::Counterexample(run);
-                        break;
-                    }
+                let pool = WorkerPool::new(parallelism);
+                if pool.workers() == 1 {
+                    let (verdict, checked, memo) =
+                        drive_runs(&self.arena, &runs, id, domain.as_deref(), &pool);
+                    (verdict, checked, memo, 1)
+                } else {
+                    let snapshot = self.arena.snapshot();
+                    let (verdict, checked, memo) =
+                        drive_runs(&snapshot, &runs, id, domain.as_deref(), &pool);
+                    (verdict, checked, memo, pool.workers())
                 }
-                (verdict, checked, memo.stats())
             }
             Backend::Bounded { props, max_len, lassos } => {
                 let mut checker = BoundedChecker::new(props, max_len);
                 if !lassos {
                     checker = checker.without_lassos();
                 }
-                let mut memo = self.evaluator(domain);
-                let mut checked = 0;
-                let mut counterexample = None;
-                checker.for_each_trace(|trace| {
-                    checked += 1;
-                    if memo.check(trace, id) {
-                        true
-                    } else {
-                        counterexample = Some(trace.clone());
-                        false
-                    }
-                });
-                let verdict = match counterexample {
-                    Some(trace) => Verdict::Counterexample(trace),
+                let sweep = if parallelism.workers() == 1 {
+                    checker.sweep_parallel(&self.arena, id, domain.as_deref(), Parallelism::Off)
+                } else {
+                    let snapshot = self.arena.snapshot();
+                    checker.sweep_parallel(&snapshot, id, domain.as_deref(), parallelism)
+                };
+                let verdict = match sweep.counterexample {
+                    Some((_, trace)) => Verdict::Counterexample(trace),
                     None => Verdict::ValidUpTo(max_len),
                 };
-                (verdict, checked, memo.stats())
+                (verdict, sweep.traces_checked, sweep.memo, sweep.workers)
             }
-            Backend::Decide => self.decide(&formula, id),
+            Backend::Decide => {
+                let (verdict, checked, memo) = self.decide(&formula, id);
+                (verdict, checked, memo, 1)
+            }
         };
+        self.cumulative.merge(memo);
         CheckReport {
             verdict,
             stats: CheckStats {
                 duration: start.elapsed(),
                 traces_checked,
                 memo,
+                session_memo: self.cumulative,
                 arena_nodes: self.arena.formula_count() + self.arena.term_count(),
+                workers,
             },
             backend: backend_name,
         }
@@ -339,6 +478,11 @@ impl Session {
     }
 
     /// [`Session::check_spec`] with an explicit quantifier domain.
+    ///
+    /// With session parallelism enabled, clauses are striped across the
+    /// worker pool — each worker shares one memo table across *its* clauses,
+    /// so subformulas shared between clauses on the same worker are still
+    /// evaluated once.  Clause verdicts are independent of the worker count.
     pub fn check_spec_with_domain(
         &mut self,
         spec: &Spec,
@@ -354,8 +498,30 @@ impl Session {
                 (clause.label.clone(), clause.kind, self.arena.intern(&reduced))
             })
             .collect();
-        let mut memo = MemoEvaluator::new(&self.arena).with_domain(domain);
-        let verdicts = memo.check_all(trace, prepared.iter().map(|(_, _, id)| *id));
+        let pool = WorkerPool::new(self.resolve_parallelism(None));
+        let verdicts = if pool.workers() == 1 || prepared.len() < 2 {
+            let mut memo = MemoEvaluator::new(&self.arena).with_domain(domain);
+            let verdicts = memo.check_all(trace, prepared.iter().map(|(_, _, id)| *id));
+            self.cumulative.merge(memo.stats());
+            verdicts
+        } else {
+            let snapshot = self.arena.snapshot();
+            let workers = pool.workers();
+            let striped = pool.run(|w| {
+                let mut memo = MemoEvaluator::new(&snapshot).with_domain(domain.clone());
+                let stripe: Vec<FormulaId> =
+                    prepared.iter().skip(w).step_by(workers).map(|(_, _, id)| *id).collect();
+                (memo.check_all(trace, stripe), memo.stats())
+            });
+            let mut verdicts = vec![false; prepared.len()];
+            for (w, (stripe_verdicts, stats)) in striped.into_iter().enumerate() {
+                self.cumulative.merge(stats);
+                for (k, holds) in stripe_verdicts.into_iter().enumerate() {
+                    verdicts[w + k * workers] = holds;
+                }
+            }
+            verdicts
+        };
         let results = prepared
             .into_iter()
             .zip(verdicts)
@@ -414,6 +580,93 @@ impl Session {
             }
         }
     }
+}
+
+/// Runs pulled from a lazy [`RunSource`] per fan-out round.  Collected sources
+/// are dispatched as one batch; lazy sources are consumed batch by batch so
+/// memory stays bounded and early exit doesn't drain the producer.
+const RUN_BATCH_PER_WORKER: usize = 32;
+
+/// The `Explore` engine: checks every run of `runs` against `formula`,
+/// fanning each batch across the pool.  The verdict is independent of the
+/// worker count: among failing runs examined, the lowest run index wins —
+/// exactly the first failure the sequential loop reports.
+fn drive_runs<'a, A: ArenaRead + Sync>(
+    arena: &'a A,
+    runs: &RunSource,
+    formula: FormulaId,
+    domain: Option<&[Value]>,
+    pool: &WorkerPool,
+) -> (Verdict, usize, MemoStats) {
+    let workers = pool.workers();
+    // One evaluator (plus its examined-run counter) per worker for the
+    // *whole* check: batches of a lazy source reuse the memo-table
+    // allocations, interned environments and needs-domain cache instead of
+    // rebuilding them per batch.
+    type Worker<'w, W> = (MemoEvaluator<'w, W>, usize);
+    let mut states: Vec<Worker<'a, A>> = (0..workers)
+        .map(|_| {
+            let memo = MemoEvaluator::new(arena);
+            let memo = match domain {
+                Some(domain) => memo.with_domain(domain.to_vec()),
+                None => memo,
+            };
+            (memo, 0usize)
+        })
+        .collect();
+    let mut failure: Option<(usize, Trace)> = None;
+
+    let sweep_batch = |batch: &[Trace], offset: usize, states: Vec<Worker<'a, A>>| {
+        pool.search(batch.len(), offset, states, |(memo, checked), global| {
+            let run = &batch[global - offset];
+            *checked += 1;
+            if memo.check(run, formula) {
+                None
+            } else {
+                Some(run.clone())
+            }
+        })
+    };
+
+    match &runs.inner {
+        RunsInner::Collected(all) => {
+            let (found, back) = sweep_batch(all, 0, states);
+            states = back;
+            failure = found;
+        }
+        RunsInner::Lazy(make) => {
+            let mut producer = make();
+            let mut offset = 0usize;
+            let batch_size = workers * RUN_BATCH_PER_WORKER;
+            loop {
+                let batch: Vec<Trace> = producer.by_ref().take(batch_size).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                let len = batch.len();
+                let (found, back) = sweep_batch(&batch, offset, states);
+                states = back;
+                if found.is_some() {
+                    failure = found;
+                    break;
+                }
+                offset += len;
+            }
+        }
+    }
+
+    let mut checked_total = 0usize;
+    let mut memo_total = MemoStats::default();
+    for (memo, checked) in &states {
+        checked_total += checked;
+        memo_total.merge(memo.stats());
+    }
+    let verdict = match failure {
+        Some((_, trace)) => Verdict::Counterexample(trace),
+        None if checked_total == 0 => Verdict::Unknown,
+        None => Verdict::Holds,
+    };
+    (verdict, checked_total, memo_total)
 }
 
 /// Trace length used to concretize tableau non-validity into a counterexample.
@@ -583,6 +836,123 @@ mod tests {
         let report = session.check_spec(&spec, &bad);
         assert!(!report.passed());
         assert_eq!(report.failures(), vec!["Init", "A1"]);
+    }
+
+    #[test]
+    fn parallel_bounded_requests_match_sequential_verdicts() {
+        use crate::pool::Parallelism;
+        let formulas = [
+            prop("P").or(prop("P").not()),
+            prop("P"),
+            always(eventually(prop("P"))).implies(eventually(always(prop("P")))),
+        ];
+        for formula in formulas {
+            let sequential =
+                Session::new().check(CheckRequest::new(formula.clone()).bounded(["P", "Q"], 3));
+            for workers in 1..=4 {
+                let parallel = Session::new().check(
+                    CheckRequest::new(formula.clone())
+                        .bounded(["P", "Q"], 3)
+                        .with_parallelism(Parallelism::Fixed(workers)),
+                );
+                assert_eq!(parallel.verdict, sequential.verdict, "workers={workers}");
+                assert_eq!(parallel.stats.workers, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_explore_requests_pick_the_first_failing_run() {
+        use crate::pool::Parallelism;
+        let runs: Vec<Trace> = (0..40)
+            .map(|i| if i % 7 == 3 { trace_of(&[&[], &[]]) } else { trace_of(&[&[], &["A"]]) })
+            .collect();
+        let occurs_a = occurs(event(prop("A")));
+        let sequential =
+            Session::new().check(CheckRequest::new(occurs_a.clone()).over_runs(runs.clone()));
+        // Run index 3 is the first failure in enumeration order.
+        assert_eq!(sequential.verdict.counterexample(), Some(&runs[3]));
+        for workers in 1..=4 {
+            let parallel = Session::new().check(
+                CheckRequest::new(occurs_a.clone())
+                    .over_runs(runs.clone())
+                    .with_parallelism(Parallelism::Fixed(workers)),
+            );
+            assert_eq!(parallel.verdict, sequential.verdict, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lazy_run_sources_stream_batches() {
+        use crate::pool::Parallelism;
+        let mk_run = |with_a: bool| {
+            if with_a {
+                trace_of(&[&[], &["A"]])
+            } else {
+                trace_of(&[&[], &[]])
+            }
+        };
+        // 200 runs, failure at index 130: the lazy source is consumed in
+        // batches and checking stops after the failing batch.
+        let source = RunSource::lazy(move || (0..200).map(move |i| mk_run(i != 130)));
+        assert_eq!(source.len_hint(), None);
+        let occurs_a = occurs(event(prop("A")));
+        for workers in [1, 3] {
+            let report = Session::new().check(
+                CheckRequest::new(occurs_a.clone())
+                    .over_run_source(source.clone())
+                    .with_parallelism(Parallelism::Fixed(workers)),
+            );
+            assert_eq!(report.verdict.counterexample(), Some(&mk_run(false)), "workers={workers}");
+            assert!(
+                report.stats.traces_checked < 200,
+                "early exit must not drain the lazy source (checked {})",
+                report.stats.traces_checked
+            );
+        }
+        // An empty lazy source is Unknown, like an empty collected one.
+        let empty = RunSource::lazy(std::iter::empty::<Trace>);
+        let report = Session::new().check(CheckRequest::new(prop("A")).over_run_source(empty));
+        assert_eq!(report.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn sessions_accumulate_memo_stats_across_requests() {
+        let mut session = Session::new();
+        let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
+        let t = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
+        let first = session.check(CheckRequest::new(f.clone()).on_trace(&t));
+        let after_first = session.cumulative_memo();
+        assert_eq!(
+            after_first, first.stats.memo,
+            "one request: cumulative equals the request's own counters"
+        );
+        let second = session.check(CheckRequest::new(f).on_trace(&t));
+        let after_second = session.cumulative_memo();
+        assert_eq!(after_second.hits, first.stats.memo.hits + second.stats.memo.hits);
+        assert_eq!(after_second.misses, first.stats.memo.misses + second.stats.memo.misses);
+        assert_eq!(second.stats.session_memo, after_second);
+    }
+
+    #[test]
+    fn parallel_spec_checks_match_sequential_clause_verdicts() {
+        use crate::pool::Parallelism;
+        let spec = Spec::new("toy")
+            .init("Init", prop("R").not())
+            .axiom("A1", always(prop("R").implies(eventually(prop("A")))))
+            .axiom("A2", always(prop("A").implies(eventually(prop("R")))));
+        let bad = trace_of(&[&["R"], &["R"], &["A"]]);
+        let sequential = Session::new().check_spec(&spec, &bad);
+        for workers in 1..=4 {
+            let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+            let parallel = session.check_spec(&spec, &bad);
+            assert_eq!(parallel.passed(), sequential.passed(), "workers={workers}");
+            assert_eq!(parallel.failures(), sequential.failures(), "workers={workers}");
+            assert!(
+                session.cumulative_memo().misses > 0,
+                "spec checking must feed the cumulative counters"
+            );
+        }
     }
 
     #[test]

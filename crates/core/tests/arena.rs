@@ -11,36 +11,9 @@ use ilogic_core::parser::parse_formula;
 use ilogic_core::prelude::*;
 use ilogic_core::valid;
 
-/// Concrete-syntax corpus exercising every grammar production: propositions,
-/// parameterized events, comparisons, quantifiers, both interval operators,
-/// `begin`/`end`, the `*` modifier, and the report's specification idioms.
-const PARSER_CORPUS: &[&str] = &[
-    "true",
-    "false",
-    "~P",
-    "P & Q | ~R",
-    "P -> Q <-> ~P | Q",
-    "[] (cs -> x)",
-    "<> atDq",
-    "[ A => B ] <> D",
-    "[ A => *B ] <> D",
-    "[ (A => B) => C ] <> D",
-    "[ A <= C ] [] ~B",
-    "[ begin (A => B) => C ] <> D",
-    "[ end (A => B) ] P",
-    "[ => C ] [] P",
-    "[ A => ] <> P",
-    "[ => ] P",
-    "occurs(A => B)",
-    "[ atEnq(a) <= afterDq(b) ] [] ~UA",
-    "forall a. [ => afterDq(a) ] *atEnq(a)",
-    "exists v. exp = ?v",
-    "exp = 3",
-    "x > z & y /= 0",
-    "[ { exp = ?v } => A ] [] atEnq(v)",
-    "forall a. forall b. [ atEnq(a) => atEnq(b) ] ~afterDq(b)",
-    "[ *(R => A) => R ] ~A",
-];
+/// The shared concrete-syntax corpus (every grammar production), re-exported
+/// from the parser so all suites exercise the same formulas.
+const PARSER_CORPUS: &[&str] = ilogic_core::parser::CORPUS;
 
 #[test]
 fn parser_corpus_round_trips_through_the_arena() {

@@ -14,10 +14,23 @@
 //! mutual-exclusion algorithm (with a `skip_inspection` switch reproducing the
 //! broken variant), so that the mutual-exclusion property can be verified
 //! exhaustively rather than only on sampled schedules.
+//!
+//! # Parallel exploration
+//!
+//! [`explore_with`] expands the breadth-first frontier across the
+//! [`ilogic_core::pool`] worker pool: successor generation — the expensive,
+//! model-specific part — runs on every worker, while the visited-set merge
+//! replays the successors in exactly the sequential order, so the resulting
+//! [`ExplorationReport`] (states, transitions, truncation, *and* the
+//! counterexample run) is identical whatever the worker count.  [`explore`]
+//! itself honours the `ILOGIC_TEST_PARALLEL` environment override, so the
+//! case-study suites can be swept onto the pool wholesale.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
+use ilogic_core::pool::{Parallelism, WorkerPool};
 use ilogic_core::prelude::*;
+use ilogic_core::session::RunSource;
 
 /// A finite-state transition system explored by [`explore`].
 pub trait Model {
@@ -33,6 +46,22 @@ pub trait Model {
 
     /// Projects a global state onto the propositions recorded in traces.
     fn observe(&self, state: &Self::State) -> State;
+}
+
+impl<M: Model + ?Sized> Model for &M {
+    type State = M::State;
+
+    fn initial(&self) -> Self::State {
+        (**self).initial()
+    }
+
+    fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)> {
+        (**self).successors(state)
+    }
+
+    fn observe(&self, state: &Self::State) -> State {
+        (**self).observe(state)
+    }
 }
 
 /// Resource limits for an exploration.
@@ -82,19 +111,46 @@ impl ExplorationReport {
 /// Explores every state reachable from the initial state (breadth first),
 /// checking `safe` in each and reconstructing a counterexample run for the
 /// first violation found.
-pub fn explore<M: Model>(
+///
+/// Honours the `ILOGIC_TEST_PARALLEL` environment override; use
+/// [`explore_with`] to choose the parallelism explicitly.
+pub fn explore<M>(
     model: &M,
     limits: ExploreLimits,
-    safe: impl Fn(&M::State) -> bool,
-) -> ExplorationReport {
+    safe: impl Fn(&M::State) -> bool + Sync,
+) -> ExplorationReport
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    explore_with(model, limits, Parallelism::from_env().unwrap_or(Parallelism::Off), safe)
+}
+
+/// Frontier states expanded per worker per fan-out round: bounds the
+/// successor computations wasted when a violation stops the exploration
+/// mid-level.
+const EXPLORE_CHUNK_PER_WORKER: usize = 64;
+
+/// [`explore`] with an explicit [`Parallelism`]: the breadth-first frontier is
+/// striped across the worker pool for successor generation (in chunks of
+/// [`EXPLORE_CHUNK_PER_WORKER`] states per worker), then merged in frontier
+/// order, which keeps every field of the report — including the
+/// counterexample interleaving — identical to the single-threaded exploration.
+pub fn explore_with<M>(
+    model: &M,
+    limits: ExploreLimits,
+    parallelism: Parallelism,
+    safe: impl Fn(&M::State) -> bool + Sync,
+) -> ExplorationReport
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    let pool = WorkerPool::new(parallelism);
     let initial = model.initial();
     let mut parent: BTreeMap<M::State, (M::State, String)> = BTreeMap::new();
-    let mut depth: BTreeMap<M::State, usize> = BTreeMap::new();
-    let mut queue = VecDeque::new();
     let mut visited: BTreeSet<M::State> = BTreeSet::new();
     visited.insert(initial.clone());
-    depth.insert(initial.clone(), 0);
-    queue.push_back(initial.clone());
 
     let mut transitions = 0usize;
     let mut truncated = false;
@@ -104,33 +160,73 @@ pub fn explore<M: Model>(
         violation = Some(reconstruct(model, &parent, &initial));
     }
 
-    while let Some(state) = queue.pop_front() {
-        if violation.is_some() {
+    // Level-synchronous BFS: `frontier` holds every state at the current
+    // depth, in the order the sequential exploration would pop them.
+    let mut frontier = vec![initial];
+    let mut level_depth = 0usize;
+    'levels: while !frontier.is_empty() && violation.is_none() {
+        if level_depth >= limits.max_depth {
+            truncated = true;
             break;
         }
-        let d = depth[&state];
-        if d >= limits.max_depth {
-            truncated = true;
-            continue;
+        // Expand the level chunk by chunk: within a chunk, worker w computes
+        // the successors of chunk states w, w + n, ... — the model-specific
+        // cost — and the slices are stitched back together in frontier order.
+        // Chunking bounds the work wasted when a violation (which stops the
+        // whole exploration) lands early in a wide level; with one worker the
+        // chunk is expanded lazily inside the merge loop, so the default
+        // sequential path keeps the pre-pool expand-one-check-one behaviour.
+        let workers = pool.workers();
+        let chunk_len = EXPLORE_CHUNK_PER_WORKER * workers;
+        let mut next_frontier = Vec::new();
+        for chunk in frontier.chunks(chunk_len) {
+            let mut expanded: Vec<Vec<(String, M::State)>> = if workers == 1 {
+                Vec::new()
+            } else {
+                let slices = pool.run(|w| {
+                    chunk
+                        .iter()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|state| model.successors(state))
+                        .collect::<Vec<_>>()
+                });
+                let mut slices: Vec<_> = slices.into_iter().map(Vec::into_iter).collect();
+                (0..chunk.len())
+                    .map(|i| slices[i % workers].next().expect("worker slices cover the chunk"))
+                    .collect()
+            };
+            // Merge sequentially, replaying exactly the single-threaded loop:
+            // transition counting, the state cap, safety checks and the
+            // violation break happen in the same order with the same early
+            // exits.
+            for (i, state) in chunk.iter().enumerate() {
+                let succ = if workers == 1 {
+                    model.successors(state)
+                } else {
+                    std::mem::take(&mut expanded[i])
+                };
+                for (label, next) in succ {
+                    transitions += 1;
+                    if visited.contains(&next) {
+                        continue;
+                    }
+                    if visited.len() >= limits.max_states {
+                        truncated = true;
+                        break;
+                    }
+                    visited.insert(next.clone());
+                    parent.insert(next.clone(), (state.clone(), label));
+                    if !safe(&next) {
+                        violation = Some(reconstruct(model, &parent, &next));
+                        break 'levels;
+                    }
+                    next_frontier.push(next);
+                }
+            }
         }
-        for (label, next) in model.successors(&state) {
-            transitions += 1;
-            if visited.contains(&next) {
-                continue;
-            }
-            if visited.len() >= limits.max_states {
-                truncated = true;
-                break;
-            }
-            visited.insert(next.clone());
-            parent.insert(next.clone(), (state.clone(), label));
-            depth.insert(next.clone(), d + 1);
-            if !safe(&next) {
-                violation = Some(reconstruct(model, &parent, &next));
-                break;
-            }
-            queue.push_back(next);
-        }
+        frontier = next_frontier;
+        level_depth += 1;
     }
 
     ExplorationReport { states: visited.len(), transitions, truncated, violation }
@@ -155,8 +251,10 @@ fn reconstruct<M: Model>(
     Violation { actions, trace }
 }
 
-/// Packages the complete runs of `model` as a [`Backend::Explore`] value, so
-/// model exploration plugs into the unified `Session` checking API:
+/// Packages the complete runs of `model` as a *lazy* [`Backend::Explore`]
+/// value: runs are streamed out of a depth-first [`RunIter`] while the check
+/// executes (and batched across the worker pool under parallelism), so the
+/// checker's memory footprint is one batch of runs, not the whole run set.
 ///
 /// ```
 /// use ilogic_core::prelude::*;
@@ -169,49 +267,135 @@ fn reconstruct<M: Model>(
 ///     .with_backend(explore_backend(&model, ExploreLimits::default(), 16));
 /// assert!(session.check(request).verdict.passed());
 /// ```
-pub fn explore_backend<M: Model>(model: &M, limits: ExploreLimits, max_runs: usize) -> Backend {
-    Backend::Explore { runs: collect_runs(model, limits, max_runs) }
+pub fn explore_backend<M>(model: &M, limits: ExploreLimits, max_runs: usize) -> Backend
+where
+    M: Model + Clone + Send + Sync + 'static,
+    M::State: Send,
+{
+    let model = model.clone();
+    Backend::Explore {
+        runs: RunSource::lazy(move || RunIter::new(model.clone(), limits, max_runs)),
+    }
 }
 
 /// Enumerates complete runs of the model (depth-first, up to the limits) and
 /// projects each onto a trace.  A run is complete when it reaches a state with
 /// no enabled transition or the depth limit.
+///
+/// Collects the whole run set eagerly; prefer [`RunIter`] (or the lazy
+/// [`explore_backend`]) when the runs are only consumed once.
 pub fn collect_runs<M: Model>(model: &M, limits: ExploreLimits, max_runs: usize) -> Vec<Trace> {
-    let mut runs = Vec::new();
-    let mut path = vec![model.initial()];
-    dfs_runs(model, limits, max_runs, &mut path, &mut BTreeSet::new(), &mut runs);
-    runs
+    RunIter::new(model, limits, max_runs).collect()
 }
 
-fn dfs_runs<M: Model>(
-    model: &M,
+/// A streaming depth-first enumerator of the complete runs of a model.
+///
+/// Yields each complete run (a path from the initial state to a state with no
+/// fresh successor, or to the depth limit) projected onto a [`Trace`], in
+/// depth-first order — the same order and run set `collect_runs` materializes.
+/// Transitions that immediately revisit a state already on the path are
+/// filtered out: they only pump cycles and never add new observable
+/// behaviour.
+///
+/// The iterator owns its model (use a `&M` model — [`Model`] is implemented
+/// for references — to borrow instead), holds only the current path plus one
+/// pending-successor frame per depth, and is `Send` whenever the model and its
+/// states are, which is what lets [`explore_backend`] hand it to the parallel
+/// explore engine as a lazy run source.
+#[derive(Debug)]
+pub struct RunIter<M: Model> {
+    model: M,
     limits: ExploreLimits,
     max_runs: usize,
-    path: &mut Vec<M::State>,
-    on_path: &mut BTreeSet<M::State>,
-    runs: &mut Vec<Trace>,
-) {
-    if runs.len() >= max_runs {
-        return;
+    emitted: usize,
+    path: Vec<M::State>,
+    on_path: BTreeSet<M::State>,
+    /// Remaining untried successors at each depth; `pending.len()` is always
+    /// `path.len() - 1` outside of `next` (frame `d` holds the siblings of
+    /// `path[d + 1]`).
+    pending: Vec<std::vec::IntoIter<M::State>>,
+    /// Whether the tip of `path` still needs to be expanded.
+    descend: bool,
+    done: bool,
+}
+
+impl<M: Model> RunIter<M> {
+    /// An iterator over the complete runs of `model`.
+    pub fn new(model: M, limits: ExploreLimits, max_runs: usize) -> RunIter<M> {
+        let initial = model.initial();
+        RunIter {
+            model,
+            limits,
+            max_runs,
+            emitted: 0,
+            path: vec![initial],
+            on_path: BTreeSet::new(),
+            pending: Vec::new(),
+            descend: true,
+            done: false,
+        }
     }
-    let current = path.last().expect("path is never empty").clone();
-    let successors = model.successors(&current);
-    // Filter out transitions that immediately revisit a state already on the
-    // path (they only pump cycles and never add new observable behaviour).
-    let fresh: Vec<(String, M::State)> =
-        successors.into_iter().filter(|(_, next)| !on_path.contains(next)).collect();
-    if fresh.is_empty() || path.len() > limits.max_depth {
-        runs.push(Trace::finite(path.iter().map(|s| model.observe(s)).collect()));
-        return;
+
+    fn project(&self) -> Trace {
+        Trace::finite(self.path.iter().map(|s| self.model.observe(s)).collect())
     }
-    for (_, next) in fresh {
-        path.push(next.clone());
-        on_path.insert(next.clone());
-        dfs_runs(model, limits, max_runs, path, on_path, runs);
-        on_path.remove(&next);
-        path.pop();
-        if runs.len() >= max_runs {
-            return;
+
+    /// Pops the current tip and advances to its next pending sibling.
+    /// Returns `false` when the whole tree is exhausted.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some(frame) = self.pending.last_mut() else {
+                return false;
+            };
+            let tip = self.path.pop().expect("path holds a state per frame");
+            self.on_path.remove(&tip);
+            if let Some(sibling) = frame.next() {
+                self.on_path.insert(sibling.clone());
+                self.path.push(sibling);
+                self.descend = true;
+                return true;
+            }
+            self.pending.pop();
+        }
+    }
+}
+
+impl<M: Model> Iterator for RunIter<M> {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        if self.done || self.emitted >= self.max_runs {
+            return None;
+        }
+        loop {
+            if self.descend {
+                self.descend = false;
+                let tip = self.path.last().expect("path is never empty");
+                let fresh: Vec<M::State> = self
+                    .model
+                    .successors(tip)
+                    .into_iter()
+                    .map(|(_, next)| next)
+                    .filter(|next| !self.on_path.contains(next))
+                    .collect();
+                if fresh.is_empty() || self.path.len() > self.limits.max_depth {
+                    let run = self.project();
+                    self.emitted += 1;
+                    if !self.backtrack() {
+                        self.done = true;
+                    }
+                    return Some(run);
+                }
+                let mut frame = fresh.into_iter();
+                let first = frame.next().expect("fresh is non-empty");
+                self.pending.push(frame);
+                self.on_path.insert(first.clone());
+                self.path.push(first);
+                self.descend = true;
+            } else if !self.backtrack() {
+                self.done = true;
+                return None;
+            }
         }
     }
 }
@@ -408,6 +592,63 @@ mod tests {
         let broken = explore_backend(&MutexModel::broken(2, 1), ExploreLimits::default(), 64);
         let report = session.check(CheckRequest::new(theorem).with_backend(broken));
         assert!(report.verdict.counterexample().is_some());
+    }
+
+    #[test]
+    fn parallel_exploration_reports_are_identical_to_sequential() {
+        for model in
+            [MutexModel::correct(2, 2), MutexModel::correct(3, 1), MutexModel::broken(2, 1)]
+        {
+            let sequential = explore_with(
+                &model,
+                ExploreLimits::default(),
+                Parallelism::Off,
+                MutexModel::mutual_exclusion,
+            );
+            for workers in 2..=4 {
+                let parallel = explore_with(
+                    &model,
+                    ExploreLimits::default(),
+                    Parallelism::Fixed(workers),
+                    MutexModel::mutual_exclusion,
+                );
+                assert_eq!(parallel.states, sequential.states, "workers={workers}");
+                assert_eq!(parallel.transitions, sequential.transitions, "workers={workers}");
+                assert_eq!(parallel.truncated, sequential.truncated, "workers={workers}");
+                match (&parallel.violation, &sequential.violation) {
+                    (None, None) => {}
+                    (Some(p), Some(s)) => {
+                        assert_eq!(p.actions, s.actions, "workers={workers}");
+                        assert_eq!(p.trace, s.trace, "workers={workers}");
+                    }
+                    other => panic!("violation mismatch at workers={workers}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_replicates_truncation() {
+        let model = MutexModel::correct(3, 2);
+        let limits = ExploreLimits { max_states: 25, max_depth: 8 };
+        let sequential =
+            explore_with(&model, limits, Parallelism::Off, MutexModel::mutual_exclusion);
+        let parallel =
+            explore_with(&model, limits, Parallelism::Fixed(3), MutexModel::mutual_exclusion);
+        assert!(parallel.truncated);
+        assert_eq!(parallel.states, sequential.states);
+        assert_eq!(parallel.transitions, sequential.transitions);
+    }
+
+    #[test]
+    fn run_iter_streams_the_same_runs_collect_runs_materializes() {
+        let model = MutexModel::correct(2, 1);
+        let collected = collect_runs(&model, ExploreLimits::default(), 64);
+        let streamed: Vec<Trace> = RunIter::new(&model, ExploreLimits::default(), 64).collect();
+        assert_eq!(streamed, collected);
+        // The run cap truncates the stream at the same prefix.
+        let capped: Vec<Trace> = RunIter::new(&model, ExploreLimits::default(), 5).collect();
+        assert_eq!(capped.as_slice(), &collected[..5]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::dnf::Dnf;
 use crate::syntax::{Ltl, VarSpec};
-use crate::tableau::{EdgeId, NodeId, TableauGraph};
+use crate::tableau::{BuildLimits, EdgeId, NodeId, TableauGraph};
 use crate::theory::Theory;
 
 /// The answer of the combined decision procedure.
@@ -102,10 +102,31 @@ impl<'t> AlgorithmB<'t> {
         condition_of_graph(graph)
     }
 
+    /// [`AlgorithmB::condition`] under a [`ConditionLimits`] budget: `None`
+    /// when either the tableau construction or the condition fixpoint blows
+    /// past the budget.  The DNF fixpoint is the dangerous phase — on the
+    /// nested weak-until translations of interval formulas it explodes
+    /// combinatorially even when the graph itself stays small (e.g.
+    /// `¬to_ltl([ => Q ] []P)` builds a 97-node / 3362-edge graph in
+    /// milliseconds whose fixpoint does not terminate in hours).
+    pub fn condition_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Option<Condition> {
+        let graph = TableauGraph::try_build(&formula.clone().not(), limits.build)?;
+        condition_of_graph_bounded(graph, limits.max_implicants)
+    }
+
     /// Decides whether `formula` is valid in `TL(T)`.
     pub fn decide(&self, formula: &Ltl) -> Decision {
         let condition = self.condition(formula);
         self.decide_from_condition(formula, &condition)
+    }
+
+    /// [`AlgorithmB::decide`] under a budget: answers [`Decision::Unknown`]
+    /// instead of hanging when the construction or fixpoint blows up.
+    pub fn decide_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Decision {
+        match self.condition_bounded(formula, limits) {
+            Some(condition) => self.decide_from_condition(formula, &condition),
+            None => Decision::Unknown,
+        }
     }
 
     /// Decides validity given a previously computed condition (allows callers to
@@ -177,10 +198,35 @@ impl<'t> AlgorithmB<'t> {
     }
 }
 
+/// Resource budget for [`AlgorithmB::condition_bounded`] /
+/// [`AlgorithmB::decide_bounded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConditionLimits {
+    /// Budget for the `Graph(¬A)` tableau construction.
+    pub build: BuildLimits,
+    /// Upper bound on the implicant count of any intermediate condition DNF,
+    /// and on the (pre-absorption) implicant-product estimate of any single
+    /// fixpoint equation — whichever trips first aborts the computation.
+    pub max_implicants: usize,
+}
+
+impl Default for ConditionLimits {
+    fn default() -> ConditionLimits {
+        ConditionLimits { build: BuildLimits::default(), max_implicants: 10_000 }
+    }
+}
+
 /// Computes the condition `delete(init)` of a tableau graph by the double
 /// fixpoint iteration of Appendix B §5.3, accelerated per strongly connected
 /// component as described in §6.
 pub fn condition_of_graph(graph: TableauGraph) -> Condition {
+    condition_of_graph_bounded(graph, usize::MAX).expect("an unbounded budget cannot be exceeded")
+}
+
+/// [`condition_of_graph`] under an implicant budget: `None` as soon as any
+/// intermediate DNF (or the conservative size estimate of one equation's
+/// conjunction) exceeds `max_implicants`.
+pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) -> Option<Condition> {
     let n = graph.node_count();
     let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
     let sccs = strongly_connected_components(&graph);
@@ -210,7 +256,8 @@ pub fn condition_of_graph(graph: TableauGraph) -> Condition {
                 let mut changed = false;
                 for &node in component {
                     for (ei, ev) in eventualities.iter().enumerate() {
-                        let new = fail_equation(&graph, node, ei, ev, &delete, &fail);
+                        let new =
+                            fail_equation(&graph, node, ei, ev, &delete, &fail, max_implicants)?;
                         if new != fail[&(ei, node)] {
                             fail.insert((ei, node), new);
                             changed = true;
@@ -226,7 +273,14 @@ pub fn condition_of_graph(graph: TableauGraph) -> Condition {
             loop {
                 let mut changed = false;
                 for &node in component {
-                    let new = delete_equation(&graph, node, &eventualities, &delete, &fail);
+                    let new = delete_equation(
+                        &graph,
+                        node,
+                        &eventualities,
+                        &delete,
+                        &fail,
+                        max_implicants,
+                    )?;
                     if new != delete[node] {
                         delete[node] = new;
                         changed = true;
@@ -244,7 +298,27 @@ pub fn condition_of_graph(graph: TableauGraph) -> Condition {
     }
 
     let delete_init = delete[graph.initial()].clone();
-    Condition { graph, delete_init, outer_rounds }
+    Some(Condition { graph, delete_init, outer_rounds })
+}
+
+/// Conjunction of DNF terms under a budget: `None` when the pre-absorption
+/// product estimate or the resulting implicant count exceeds `budget`.
+///
+/// The estimate is conservative (absorption can collapse a huge product to a
+/// small DNF), but a pessimistic cut is the honest trade: the budgeted caller
+/// reports `Unknown` instead of risking an exponential stall inside a single
+/// equation.
+fn dnf_all_bounded(terms: Vec<Dnf>, budget: usize) -> Option<Dnf> {
+    if budget != usize::MAX {
+        terms.iter().try_fold(1usize, |acc, term| {
+            acc.checked_mul(term.implicant_count().max(1)).filter(|&est| est <= budget)
+        })?;
+    }
+    let result = Dnf::all(terms);
+    if budget != usize::MAX && result.implicant_count() > budget {
+        return None;
+    }
+    Some(result)
 }
 
 /// delete(N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ ∨_{A ∈ ev(e)} fail(A, fin(e)) )
@@ -254,17 +328,23 @@ fn delete_equation(
     eventualities: &[Ltl],
     delete: &[Dnf],
     fail: &BTreeMap<(usize, NodeId), Dnf>,
-) -> Dnf {
-    Dnf::all(graph.outgoing(node).iter().map(|&eid| {
-        let edge = graph.edge(eid);
-        let mut term = Dnf::atom(eid).or(&delete[edge.to]);
-        for (ei, ev) in eventualities.iter().enumerate() {
-            if edge.eventualities.contains(ev) {
-                term = term.or(&fail[&(ei, edge.to)]);
+    budget: usize,
+) -> Option<Dnf> {
+    let terms = graph
+        .outgoing(node)
+        .iter()
+        .map(|&eid| {
+            let edge = graph.edge(eid);
+            let mut term = Dnf::atom(eid).or(&delete[edge.to]);
+            for (ei, ev) in eventualities.iter().enumerate() {
+                if edge.eventualities.contains(ev) {
+                    term = term.or(&fail[&(ei, edge.to)]);
+                }
             }
-        }
-        term
-    }))
+            term
+        })
+        .collect();
+    dnf_all_bounded(terms, budget)
 }
 
 /// fail(A, N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ [A not satisfied by e ∧ fail(A, fin(e))] )
@@ -275,15 +355,21 @@ fn fail_equation(
     ev: &Ltl,
     delete: &[Dnf],
     fail: &BTreeMap<(usize, NodeId), Dnf>,
-) -> Dnf {
-    Dnf::all(graph.outgoing(node).iter().map(|&eid| {
-        let edge = graph.edge(eid);
-        let mut term = Dnf::atom(eid).or(&delete[edge.to]);
-        if !edge.fulfilled.contains(ev) {
-            term = term.or(&fail[&(ev_index, edge.to)]);
-        }
-        term
-    }))
+    budget: usize,
+) -> Option<Dnf> {
+    let terms = graph
+        .outgoing(node)
+        .iter()
+        .map(|&eid| {
+            let edge = graph.edge(eid);
+            let mut term = Dnf::atom(eid).or(&delete[edge.to]);
+            if !edge.fulfilled.contains(ev) {
+                term = term.or(&fail[&(ev_index, edge.to)]);
+            }
+            term
+        })
+        .collect();
+    dnf_all_bounded(terms, budget)
 }
 
 /// Tarjan's strongly connected components, returned in reverse topological
@@ -421,6 +507,49 @@ mod tests {
         let linear = LinearTheory::new();
         let alg = AlgorithmB::new(&linear, VarSpec::all_state());
         assert_eq!(alg.decide(&formula), Decision::Valid);
+    }
+
+    #[test]
+    fn bounded_decision_agrees_with_unbounded_on_small_formulas() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let formulas = vec![
+            p().or(p().not()),
+            p().always().implies(p().eventually()),
+            p().eventually(),
+            p().until(q()),
+        ];
+        for f in formulas {
+            assert_eq!(
+                alg.decide_bounded(&f, ConditionLimits::default()),
+                alg.decide(&f),
+                "budgeted and unbudgeted decisions differ on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_yield_unknown_not_a_wrong_answer() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let tight = ConditionLimits { max_implicants: 1, ..ConditionLimits::default() };
+        // ◇P ∨ ◇Q is NOT valid: under a 1-implicant budget the answer may
+        // degrade to Unknown but must never become Valid.
+        let not_valid = p().eventually().or(q().eventually());
+        assert!(matches!(
+            alg.decide_bounded(&not_valid, tight),
+            Decision::Unknown | Decision::NotValid
+        ));
+        // □P ⊃ ◇P IS valid: under the same budget the answer may degrade to
+        // Unknown but must never become NotValid.
+        let valid = p().always().implies(p().eventually());
+        assert!(matches!(alg.decide_bounded(&valid, tight), Decision::Unknown | Decision::Valid));
+        // And a zero-node build budget trips the construction phase.
+        let limits = ConditionLimits {
+            build: BuildLimits { max_nodes: 1, max_edges: 1 },
+            ..ConditionLimits::default()
+        };
+        assert_eq!(alg.decide_bounded(&not_valid, limits), Decision::Unknown);
     }
 
     #[test]

@@ -10,9 +10,14 @@ use ilogic::core::spec::close_free_variables;
 use ilogic::systems::explore::{explore, explore_backend, ExploreLimits, MutexModel};
 use ilogic::systems::mutex::{mutual_exclusion_holds, simulate, simulate_broken, MutexWorkload};
 use ilogic::systems::specs;
-use ilogic::{CheckRequest, Session};
+use ilogic::{CheckRequest, Parallelism, Session};
 
 fn main() {
+    // Both the Session checks and the exhaustive explorer pick up the
+    // ILOGIC_TEST_PARALLEL override (1/auto, a worker count, or 0); verdicts
+    // are identical whatever the worker count.
+    let parallelism = Parallelism::from_env().unwrap_or(Parallelism::Off);
+    println!("parallelism: {parallelism:?} ({} workers)\n", parallelism.workers());
     let mut session = Session::new();
     let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
 
@@ -51,8 +56,12 @@ fn main() {
     );
     let report = session.check(CheckRequest::new(l2).bounded(["xi", "xj", "csi", "csj"], 3));
     println!(
-        "lemma L2 instance: {} ({} computations, {:?}, {} memo hits)",
-        report.verdict, report.stats.traces_checked, report.stats.duration, report.stats.memo.hits
+        "lemma L2 instance: {} ({} computations, {:?}, {} memo hits, {} workers)",
+        report.verdict,
+        report.stats.traces_checked,
+        report.stats.duration,
+        report.stats.memo.hits,
+        report.stats.workers
     );
 
     println!("\n== exhaustive small-scope verification (every interleaving) ==");

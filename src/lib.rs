@@ -53,16 +53,35 @@
 //!
 //! # Which checker do I want?
 //!
-//! | Backend | Ask it for | Guarantee | Cost |
-//! |---------|------------|-----------|------|
-//! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) |
-//! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check |
-//! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small |
-//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms |
+//! | Backend | Ask it for | Guarantee | Cost | Parallelism |
+//! |---------|------------|-----------|------|-------------|
+//! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) | single-threaded (one trace) |
+//! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check | runs batched across the pool; lazy sources stream batch by batch |
+//! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small | sharded sweep: `n` workers cover interleaved slices with early-exit cancellation |
+//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms | single-threaded (tableau + condition fixpoint) |
 //!
 //! Rule of thumb: simulator and explorer traces → `Trace`/`Explore`; "is this
 //! schema a theorem?" → `Decide` first and `Bounded` as the refutation
 //! workhorse; the catalogue and the test suite use `Bounded` throughout.
+//!
+//! # Parallelism
+//!
+//! Fan a check across a worker pool with
+//! [`CheckRequest::with_parallelism`]([`Parallelism::Auto`] /
+//! [`Parallelism::Fixed`]`(n)` / [`Parallelism::Off`]), set a session-wide
+//! default with [`Session::set_parallelism`] (which also fans
+//! [`Session::check_spec`] clause checking), or force a whole process onto
+//! the pool with the `ILOGIC_TEST_PARALLEL` environment variable (`1`/`auto`,
+//! a worker count, or `0` to force off).  `ilogic::systems::explore::explore`
+//! honours the same override for breadth-first model exploration.
+//!
+//! Verdicts never depend on the worker count: the parallel engines pick
+//! counterexamples deterministically (lowest enumeration index wins), so
+//! parallel runs are bit-identical to sequential ones — same `Verdict`, same
+//! counterexample trace, same exploration report.  Worker evaluation is
+//! shared-nothing over a frozen [`core::arena::ArenaSnapshot`]; per-worker
+//! memo statistics are merged into the report, and the session accumulates
+//! them across requests ([`Session::cumulative_memo`]).
 //!
 //! # Layers
 //!
@@ -89,4 +108,7 @@ pub use ilogic_lowlevel as lowlevel;
 pub use ilogic_systems as systems;
 pub use ilogic_temporal as temporal;
 
-pub use ilogic_core::session::{Backend, CheckReport, CheckRequest, CheckStats, Session, Verdict};
+pub use ilogic_core::pool::{Parallelism, WorkerPool};
+pub use ilogic_core::session::{
+    Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,
+};

@@ -84,7 +84,7 @@ fn bounded_requests_respect_the_lasso_switch() {
 fn explicit_backend_values_compose() {
     let mut session = Session::new();
     let runs = vec![Trace::finite(vec![State::new().with("P")])];
-    let report =
-        session.check(CheckRequest::new(prop("P")).with_backend(Backend::Explore { runs }));
+    let report = session
+        .check(CheckRequest::new(prop("P")).with_backend(Backend::Explore { runs: runs.into() }));
     assert_eq!(report.verdict, Verdict::Holds);
 }
