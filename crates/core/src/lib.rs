@@ -63,7 +63,6 @@ pub mod interval;
 pub mod ltl_translate;
 pub mod ops;
 pub mod parser;
-pub mod pool;
 pub mod process;
 pub mod semantics;
 pub mod session;
@@ -74,6 +73,14 @@ pub mod syntax;
 pub mod trace;
 pub mod valid;
 pub mod value;
+
+/// The workspace worker pool, re-exported from [`ilogic_temporal::pool`].
+///
+/// The pool moved down to `ilogic-temporal` so the tableau and condition-
+/// fixpoint engines (which this crate depends on, not the other way round)
+/// can fan out over the same machinery; `ilogic_core::pool` remains the
+/// canonical path for checker-level callers.
+pub use ilogic_temporal::pool;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {

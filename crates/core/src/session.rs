@@ -29,7 +29,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ilogic_temporal::tableau::{valid_pure_bounded, BuildLimits};
+use ilogic_temporal::tableau::{valid_pure_bounded_with, BuildLimits};
 
 use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
@@ -184,10 +184,11 @@ impl CheckRequest {
         self
     }
 
-    /// Fans the check across a worker pool (effective for the `Bounded` and
-    /// `Explore` backends; `Trace` and `Decide` run single-threaded).  When
-    /// not set, the session default and then the `ILOGIC_TEST_PARALLEL`
-    /// environment override apply; the fallback is [`Parallelism::Off`].
+    /// Fans the check across a worker pool (effective for the `Bounded`,
+    /// `Explore` and `Decide` backends; `Trace` checks one computation and
+    /// runs single-threaded).  When not set, the session default and then the
+    /// `ILOGIC_TEST_PARALLEL` environment override apply; the fallback is
+    /// [`Parallelism::Off`].
     ///
     /// Verdicts are independent of the worker count — the parallel engines
     /// select counterexamples deterministically (lowest enumeration index
@@ -292,8 +293,9 @@ pub struct CheckStats {
     /// on, slightly more than the sequential count may be examined while the
     /// early-exit signal propagates).
     pub traces_checked: usize,
-    /// Memoization counters of the arena evaluator for *this* check (zero for
-    /// `Decide`); per-worker counters are merged at join.
+    /// Memoization counters of the arena evaluator for *this* check (for
+    /// `Decide`, those of the refutation sweep); per-worker counters are
+    /// merged at join.
     pub memo: MemoStats,
     /// Memoization counters accumulated by the session across every request
     /// so far, this one included — see [`Session::cumulative_memo`].
@@ -447,10 +449,7 @@ impl Session {
                 };
                 (verdict, sweep.traces_checked, sweep.memo, sweep.workers)
             }
-            Backend::Decide => {
-                let (verdict, checked, memo) = self.decide(&formula, id);
-                (verdict, checked, memo, 1)
-            }
+            Backend::Decide => self.decide(&formula, id, parallelism),
         };
         self.cumulative.merge(memo);
         CheckReport {
@@ -544,12 +543,26 @@ impl Session {
     /// small concrete counterexample — itself budgeted, since the enumeration
     /// is exponential in the proposition count — so the verdict stays uniform
     /// with the other backends.
-    fn decide(&mut self, formula: &Formula, id: FormulaId) -> (Verdict, usize, MemoStats) {
+    ///
+    /// Under parallelism, every phase fans across the worker pool: the
+    /// tableau is built level-parallel and pruned with sharded reachability
+    /// analyses (`valid_pure_bounded_with`), and the refutation search is the
+    /// same sharded lowest-index-wins sweep the `Bounded` backend uses.
+    /// Verdicts — `Holds`, the concrete counterexample, and
+    /// `Unknown`-under-budget alike — are bit-identical at every worker
+    /// count.
+    fn decide(
+        &mut self,
+        formula: &Formula,
+        id: FormulaId,
+        parallelism: Parallelism,
+    ) -> (Verdict, usize, MemoStats, usize) {
+        let workers = parallelism.workers();
         let Ok(ltl) = to_ltl(formula) else {
-            return (Verdict::Unknown, 0, MemoStats::default());
+            return (Verdict::Unknown, 0, MemoStats::default(), workers);
         };
-        match valid_pure_bounded(&ltl, BuildLimits::default()) {
-            Some(true) => (Verdict::Holds, 0, MemoStats::default()),
+        match valid_pure_bounded_with(&ltl, BuildLimits::default(), parallelism) {
+            Some(true) => (Verdict::Holds, 0, MemoStats::default(), workers),
             Some(false) | None => {
                 // Refuted (or out of tableau reach): concretize over the
                 // deepest bound whose enumeration fits the budget.
@@ -558,25 +571,19 @@ impl Session {
                     let checker = BoundedChecker::new(props.clone(), len);
                     (checker.model_count() <= DECIDE_REFUTATION_MODELS).then_some(checker)
                 }) else {
-                    return (Verdict::Unknown, 0, MemoStats::default());
+                    return (Verdict::Unknown, 0, MemoStats::default(), workers);
                 };
-                let mut memo = MemoEvaluator::new(&self.arena);
-                let mut checked = 0;
-                let mut counterexample = None;
-                checker.for_each_trace(|trace| {
-                    checked += 1;
-                    if memo.check(trace, id) {
-                        true
-                    } else {
-                        counterexample = Some(trace.clone());
-                        false
-                    }
-                });
-                let verdict = match counterexample {
-                    Some(trace) => Verdict::Counterexample(trace),
+                let sweep = if workers == 1 {
+                    checker.sweep_parallel(&self.arena, id, None, Parallelism::Off)
+                } else {
+                    let snapshot = self.arena.snapshot();
+                    checker.sweep_parallel(&snapshot, id, None, parallelism)
+                };
+                let verdict = match sweep.counterexample {
+                    Some((_, trace)) => Verdict::Counterexample(trace),
                     None => Verdict::Unknown,
                 };
-                (verdict, checked, memo.stats())
+                (verdict, sweep.traces_checked, sweep.memo, sweep.workers)
             }
         }
     }

@@ -21,10 +21,41 @@
 //! be cross-validated against the bounded denotational semantics of
 //! [`crate::semantics`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+
+use ilogic_core::pool::{Parallelism, WorkerPool};
 
 use crate::graph::{EvId, GraphEdge, GraphNode, LowGraph};
 use crate::interp::PartialInterp;
+
+/// Evaluates `keep` for every item across the pool ([`WorkerPool::map`]) and
+/// returns the answers in item order.
+///
+/// The predicate must be a pure function of the item (every caller here
+/// passes one), so the mask — and everything the deletion loop derives from
+/// it — is identical at every worker count.
+fn parallel_mask<T, F>(items: &[T], pool: &WorkerPool, keep: F) -> Vec<bool>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    pool.map(items.len(), |i| keep(&items[i]))
+}
+
+/// Retains the items selected by `keep` (evaluated across the pool), in order.
+fn parallel_retain<T, F>(items: &mut Vec<T>, pool: &WorkerPool, keep: F)
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let mask = parallel_mask(items, pool, keep);
+    let mut index = 0;
+    items.retain(|_| {
+        let kept = mask[index];
+        index += 1;
+        kept
+    });
+}
 
 /// Statistics of a pruning run, in the spirit of the report's measurement
 /// table (graph size before and after the iteration method).
@@ -52,12 +83,38 @@ pub struct Pruned {
 }
 
 /// Applies the iteration method of §4.4 to the graph.
+///
+/// Honours the `ILOGIC_TEST_PARALLEL` environment override (the pruned graph
+/// is identical at every worker count); use [`prune_with`] to pick the
+/// parallelism explicitly.
 pub fn prune(graph: &LowGraph) -> Pruned {
+    prune_with(graph, Parallelism::from_env().unwrap_or(Parallelism::Off))
+}
+
+/// [`prune`] with the expensive per-edge deletion predicates fanned across a
+/// worker pool.
+///
+/// Two passes stripe across workers: the upfront contradictory-label filter
+/// (one `is_contradictory` check per edge, once before the loop) and each
+/// round's undischargeable-eventuality filter (an independent pure predicate
+/// per edge against the round's dischargeability map).  The remaining passes
+/// — reachability and the dead-target filter — are cheap set probes behind a
+/// sequentially computed closure and stay inline.  Every predicate is a pure
+/// function of the edge and pre-pass maps, so the deletion sequence (and
+/// [`PruneStats::rounds`]) is identical at every worker count.
+pub fn prune_with(graph: &LowGraph, parallelism: Parallelism) -> Pruned {
+    let pool = WorkerPool::new(parallelism);
     let nodes_before = graph.node_count();
     let edges_before = graph.edge_count();
 
-    let mut edges: Vec<GraphEdge> =
-        graph.edges().iter().filter(|e| !e.prop.is_contradictory()).cloned().collect();
+    let keep = parallel_mask(graph.edges(), &pool, |e| !e.prop.is_contradictory());
+    let mut edges: Vec<GraphEdge> = graph
+        .edges()
+        .iter()
+        .zip(&keep)
+        .filter(|(_, kept)| **kept)
+        .map(|(e, _)| e.clone())
+        .collect();
     let mut rounds = 0;
     loop {
         rounds += 1;
@@ -75,7 +132,7 @@ pub fn prune(graph: &LowGraph) -> Pruned {
         // Delete edges carrying an eventuality that is discharged neither by
         // the edge itself nor by any path from the edge's target.
         let dischargeable = dischargeable_map(&edges);
-        edges.retain(|e| {
+        parallel_retain(&mut edges, &pool, |e| {
             e.ev.iter().all(|ev| {
                 e.se.contains(ev)
                     || dischargeable.get(&e.to).map(|set| set.contains(ev)).unwrap_or(false)
@@ -196,39 +253,59 @@ struct ProductState {
 /// infinite acceptance requires a reachable strongly connected component in
 /// the product graph in which every eventuality that is pending somewhere in
 /// the component is discharged by some edge of the component.
+///
+/// Honours the `ILOGIC_TEST_PARALLEL` environment override (the answer and
+/// the witness constraint are identical at every worker count); use
+/// [`satisfiable_graph_with`] to pick the parallelism explicitly.
 pub fn satisfiable_graph(graph: &LowGraph) -> GraphSat {
-    let pruned = prune(graph).graph;
+    satisfiable_graph_with(graph, Parallelism::from_env().unwrap_or(Parallelism::Off))
+}
+
+/// [`satisfiable_graph`] with the pipeline's independent phases fanned across
+/// a worker pool: pruning stripes its per-edge predicates, the product-space
+/// exploration expands each breadth-first level's successor sets
+/// concurrently, and the fair-cycle search builds its product adjacency in
+/// stripes.
+///
+/// Successor generation is a pure function of the product state, and the
+/// per-level merge — visited checks, parent recording, queue order, and the
+/// first-END-state witness selection — replays the sequential BFS order on
+/// the calling thread, so the verdict *and* the reconstructed witness are
+/// bit-identical at every worker count (the same discipline as the
+/// level-synchronous explorer in `ilogic-systems`).
+pub fn satisfiable_graph_with(graph: &LowGraph, parallelism: Parallelism) -> GraphSat {
+    let pool = WorkerPool::new(parallelism);
+    let pruned = prune_with(graph, parallelism).graph;
     if pruned.edge_count() == 0 {
         return GraphSat::Unsatisfiable;
     }
 
     // Breadth-first exploration of the product space, remembering parents so a
-    // witness constraint can be reconstructed.
+    // witness constraint can be reconstructed.  Successors of one level are
+    // generated across the pool; the merge replays the sequential order.
     let start = ProductState { node: pruned.init().clone(), pending: BTreeSet::new() };
     let mut parent: BTreeMap<ProductState, (ProductState, GraphEdge)> = BTreeMap::new();
     let mut visited: BTreeSet<ProductState> = BTreeSet::new();
-    let mut queue = VecDeque::new();
+    let mut frontier: Vec<ProductState> = Vec::new();
     visited.insert(start.clone());
-    queue.push_back(start.clone());
+    frontier.push(start.clone());
 
     let mut finite_witness: Option<ProductState> = None;
-    while let Some(state) = queue.pop_front() {
-        if state.node.is_end() {
-            if state.pending.is_empty() && finite_witness.is_none() {
-                finite_witness = Some(state.clone());
+    while !frontier.is_empty() {
+        let level = std::mem::take(&mut frontier);
+        let successors = level_successors(&pruned, &level, &pool);
+        for (state, succs) in level.iter().zip(successors) {
+            if state.node.is_end() {
+                if state.pending.is_empty() && finite_witness.is_none() {
+                    finite_witness = Some(state.clone());
+                }
+                continue;
             }
-            continue;
-        }
-        for edge in pruned.edges_from(&state.node) {
-            let mut pending: BTreeSet<EvId> = state.pending.clone();
-            pending.extend(edge.ev.iter().copied());
-            for discharged in &edge.se {
-                pending.remove(discharged);
-            }
-            let next = ProductState { node: edge.to.clone(), pending };
-            if visited.insert(next.clone()) {
-                parent.insert(next.clone(), (state.clone(), edge.clone()));
-                queue.push_back(next.clone());
+            for (next, edge) in succs {
+                if visited.insert(next.clone()) {
+                    parent.insert(next.clone(), (state.clone(), edge));
+                    frontier.push(next);
+                }
             }
         }
     }
@@ -241,10 +318,37 @@ pub fn satisfiable_graph(graph: &LowGraph) -> GraphSat {
     // connected components of the visited product graph and accept any
     // component with an internal edge in which every pending eventuality of
     // the component is discharged by some internal edge.
-    if let Some(entry) = fair_scc_entry(&pruned, &visited) {
+    if let Some(entry) = fair_scc_entry(&pruned, &visited, &pool) {
         return GraphSat::InfiniteModel(reconstruct(&parent, &entry));
     }
     GraphSat::Unsatisfiable
+}
+
+/// Expands every product state of one BFS level, striping the states across
+/// the pool; results come back in level order.  `END` states expand to
+/// nothing (the caller handles their witness bookkeeping).
+fn level_successors(
+    graph: &LowGraph,
+    level: &[ProductState],
+    pool: &WorkerPool,
+) -> Vec<Vec<(ProductState, GraphEdge)>> {
+    let expand = |state: &ProductState| -> Vec<(ProductState, GraphEdge)> {
+        if state.node.is_end() {
+            return Vec::new();
+        }
+        graph
+            .edges_from(&state.node)
+            .map(|edge| {
+                let mut pending: BTreeSet<EvId> = state.pending.clone();
+                pending.extend(edge.ev.iter().copied());
+                for discharged in &edge.se {
+                    pending.remove(discharged);
+                }
+                (ProductState { node: edge.to.clone(), pending }, edge.clone())
+            })
+            .collect()
+    };
+    pool.map(level.len(), |i| expand(&level[i]))
 }
 
 /// Reconstructs the constraint of the path from the initial product state to
@@ -265,14 +369,20 @@ fn reconstruct(
 
 /// Finds a product state inside a reachable fair strongly connected component,
 /// if one exists.
-fn fair_scc_entry(graph: &LowGraph, visited: &BTreeSet<ProductState>) -> Option<ProductState> {
-    // Build the product adjacency restricted to visited states.
+fn fair_scc_entry(
+    graph: &LowGraph,
+    visited: &BTreeSet<ProductState>,
+    pool: &WorkerPool,
+) -> Option<ProductState> {
+    // Build the product adjacency restricted to visited states.  Each state's
+    // adjacency row is independent of the others (a pure function of the
+    // state and the edge list), so the rows stripe across the pool.
     let states: Vec<ProductState> = visited.iter().filter(|s| !s.node.is_end()).cloned().collect();
     let index: BTreeMap<&ProductState, usize> =
         states.iter().enumerate().map(|(i, s)| (s, i)).collect();
-    let mut succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); states.len()]; // (target, edge idx)
     let edges: Vec<&GraphEdge> = graph.edges().iter().collect();
-    for (i, state) in states.iter().enumerate() {
+    let row = |state: &ProductState| -> Vec<(usize, usize)> {
+        let mut row = Vec::new(); // (target, edge idx)
         for (ei, edge) in edges.iter().enumerate() {
             if edge.from != state.node {
                 continue;
@@ -284,10 +394,12 @@ fn fair_scc_entry(graph: &LowGraph, visited: &BTreeSet<ProductState>) -> Option<
             }
             let next = ProductState { node: edge.to.clone(), pending };
             if let Some(&j) = index.get(&next) {
-                succ[i].push((j, ei));
+                row.push((j, ei));
             }
         }
-    }
+        row
+    };
+    let succ: Vec<Vec<(usize, usize)>> = pool.map(states.len(), |i| row(&states[i]));
 
     // Tarjan-style SCC computation (iterative Kosaraju for simplicity).
     let sccs = strongly_connected_components(&succ);

@@ -133,7 +133,7 @@ const EXPLORE_CHUNK_PER_WORKER: usize = 64;
 
 /// [`explore`] with an explicit [`Parallelism`]: the breadth-first frontier is
 /// striped across the worker pool for successor generation (in chunks of
-/// [`EXPLORE_CHUNK_PER_WORKER`] states per worker), then merged in frontier
+/// `EXPLORE_CHUNK_PER_WORKER` states per worker), then merged in frontier
 /// order, which keeps every field of the report — including the
 /// counterexample interleaving — identical to the single-threaded exploration.
 pub fn explore_with<M>(

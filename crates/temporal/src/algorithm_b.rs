@@ -21,10 +21,26 @@
 //!
 //! As the report describes, the fixpoint iteration is accelerated by iterating
 //! over the strongly connected components of the graph in dependency order.
+//!
+//! # Parallelism and budgets
+//!
+//! The §5.3 double fixpoint is the procedure's hot phase — PR 2 measured the
+//! `[ => Q ] []P` blowup *here*, not in tableau construction (the graph is
+//! only 97 nodes / 3362 edges and builds in ~55 ms, but the unbudgeted
+//! fixpoint does not terminate in hours).  [`condition_of_graph_with`]
+//! therefore shards the work: each sweep evaluates its equations as Jacobi
+//! updates against a frozen snapshot of the `delete`/`fail` maps, batched
+//! across the [`crate::pool`] workers, with the [`ConditionLimits`] implicant
+//! budget enforced globally through one shared atomic
+//! [`crate::dnf::DnfBudget`] cell.  Answers — including `Unknown`-under-budget
+//! — are identical at every worker count; see the function's documentation
+//! for why.  [`AlgorithmB::with_parallelism`] routes the whole procedure
+//! (tableau, fixpoint, end-of-run selection check) through the pool.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::dnf::Dnf;
+use crate::dnf::{Dnf, DnfBudget};
+use crate::pool::{Parallelism, WorkerPool};
 use crate::syntax::{Ltl, VarSpec};
 use crate::tableau::{BuildLimits, EdgeId, NodeId, TableauGraph};
 use crate::theory::Theory;
@@ -85,6 +101,7 @@ impl Condition {
 pub struct AlgorithmB<'t> {
     theory: &'t dyn Theory,
     vars: VarSpec,
+    parallelism: Parallelism,
     /// Upper bound on the number of selections explored in the
     /// extralogical-variable check before giving up with [`Decision::Unknown`].
     pub selection_limit: usize,
@@ -93,13 +110,28 @@ pub struct AlgorithmB<'t> {
 impl<'t> AlgorithmB<'t> {
     /// Creates the procedure over the given theory and variable classification.
     pub fn new(theory: &'t dyn Theory, vars: VarSpec) -> AlgorithmB<'t> {
-        AlgorithmB { theory, vars, selection_limit: 200_000 }
+        AlgorithmB { theory, vars, parallelism: Parallelism::Off, selection_limit: 200_000 }
+    }
+
+    /// Fans every phase of the procedure — tableau construction, the condition
+    /// fixpoint sweeps, and the end-of-run selection check — across a worker
+    /// pool.  Answers (including `Unknown`-under-budget) are identical at
+    /// every worker count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> AlgorithmB<'t> {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Computes the condition formula for `formula` (i.e. for `Graph(¬formula)`).
     pub fn condition(&self, formula: &Ltl) -> Condition {
-        let graph = TableauGraph::build(&formula.clone().not());
-        condition_of_graph(graph)
+        let graph = TableauGraph::try_build_with(
+            &formula.clone().not(),
+            BuildLimits::unbounded(),
+            self.parallelism,
+        )
+        .expect("unbounded tableau construction cannot exceed its limits");
+        condition_of_graph_with(graph, usize::MAX, self.parallelism)
+            .expect("an unbounded budget cannot be exceeded")
     }
 
     /// [`AlgorithmB::condition`] under a [`ConditionLimits`] budget: `None`
@@ -110,8 +142,9 @@ impl<'t> AlgorithmB<'t> {
     /// `¬to_ltl([ => Q ] []P)` builds a 97-node / 3362-edge graph in
     /// milliseconds whose fixpoint does not terminate in hours).
     pub fn condition_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Option<Condition> {
-        let graph = TableauGraph::try_build(&formula.clone().not(), limits.build)?;
-        condition_of_graph_bounded(graph, limits.max_implicants)
+        let graph =
+            TableauGraph::try_build_with(&formula.clone().not(), limits.build, self.parallelism)?;
+        condition_of_graph_with(graph, limits.max_implicants, self.parallelism)
     }
 
     /// Decides whether `formula` is valid in `TL(T)`.
@@ -171,29 +204,28 @@ impl<'t> AlgorithmB<'t> {
         if total == usize::MAX {
             return Decision::Unknown;
         }
-        let mut selection = vec![0usize; implicants.len()];
-        loop {
+        // The selections are a mixed-radix enumeration (first implicant
+        // varying fastest); shard it across the pool.  The answer — "does any
+        // selection have a T-model?" — does not depend on *which* satisfiable
+        // selection is found, and the sharded search's lowest-index-wins
+        // early exit keeps even the work pattern deterministic.
+        let pool = WorkerPool::new(self.parallelism);
+        let states = vec![(); pool.workers()];
+        let (sat_selection, _) = pool.search(total, 0, states, |(), index| {
+            let mut rest = index;
             let mut literals = Vec::new();
-            for (imp, &idx) in implicants.iter().zip(selection.iter()) {
-                literals.extend(graph.edge(imp[idx]).literals.iter().cloned());
+            for imp in &implicants {
+                let pick = rest % imp.len();
+                rest /= imp.len();
+                literals.extend(graph.edge(imp[pick]).literals.iter().cloned());
             }
-            if self.theory.satisfiable(&literals).is_sat() {
-                // This selection is a T-model of the negation: not valid.
-                return Decision::NotValid;
-            }
-            // Advance the mixed-radix counter.
-            let mut pos = 0;
-            loop {
-                if pos == implicants.len() {
-                    return Decision::Valid;
-                }
-                selection[pos] += 1;
-                if selection[pos] < implicants[pos].len() {
-                    break;
-                }
-                selection[pos] = 0;
-                pos += 1;
-            }
+            // A satisfiable selection is a T-model of the negation.
+            self.theory.satisfiable(&literals).is_sat().then_some(())
+        });
+        if sat_selection.is_some() {
+            Decision::NotValid
+        } else {
+            Decision::Valid
         }
     }
 }
@@ -227,6 +259,39 @@ pub fn condition_of_graph(graph: TableauGraph) -> Condition {
 /// intermediate DNF (or the conservative size estimate of one equation's
 /// conjunction) exceeds `max_implicants`.
 pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) -> Option<Condition> {
+    condition_of_graph_with(graph, max_implicants, Parallelism::Off)
+}
+
+/// [`condition_of_graph_bounded`] with the fixpoint sweeps sharded across a
+/// worker pool.
+///
+/// The iteration is organized as *Jacobi sweeps*: each sweep evaluates every
+/// equation of the current component against a frozen snapshot of the
+/// `delete`/`fail` maps, and the results are committed together before the
+/// next sweep.  Because each equation then depends only on the snapshot — not
+/// on other equations of the same sweep — the equations batch freely across
+/// workers, and each sweep's outcome is a pure function of the snapshot.  Both
+/// fixpoints still converge to the same place as a dependency-ordered
+/// (Gauss–Seidel) iteration would: `fail` descends monotonically from `⊤` to
+/// its greatest fixpoint and `delete` ascends from `⊥` to its least, and on a
+/// finite lattice chaotic iteration reaches the unique extreme fixpoint in
+/// either discipline.
+///
+/// The `max_implicants` budget is enforced globally through one shared
+/// [`DnfBudget`] cell: the first equation (on any worker) whose product
+/// estimate exceeds the budget trips the cell, every other
+/// in-flight product aborts at its next step, and the whole computation
+/// answers `None`.  Whether an equation trips is a function of the sweep
+/// snapshot alone, so budgeted `None`/`Some` answers — and hence
+/// `Unknown`-vs-decided verdicts upstream — are identical at every worker
+/// count.
+pub fn condition_of_graph_with(
+    graph: TableauGraph,
+    max_implicants: usize,
+    parallelism: Parallelism,
+) -> Option<Condition> {
+    let pool = WorkerPool::new(parallelism);
+    let budget = DnfBudget::new(max_implicants);
     let n = graph.node_count();
     let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
     let sccs = strongly_connected_components(&graph);
@@ -243,6 +308,12 @@ pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) ->
     // Process components from the sinks of the condensation upward so that the
     // conditions of all successors outside the component are already final.
     for component in &sccs {
+        // The equations of one component sweep: every (node, eventuality)
+        // pair for `fail`, every node for `delete`.
+        let fail_tasks: Vec<(NodeId, usize)> = component
+            .iter()
+            .flat_map(|&node| (0..eventualities.len()).map(move |ei| (node, ei)))
+            .collect();
         loop {
             outer_rounds += 1;
             // Reset fail to the top element within the component (step 6 / 2).
@@ -253,15 +324,15 @@ pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) ->
             }
             // Iterate fail to its greatest fixpoint within the component.
             loop {
+                let updates = sweep_equations(fail_tasks.len(), &pool, |i| {
+                    let (node, ei) = fail_tasks[i];
+                    fail_equation(&graph, node, ei, &eventualities[ei], &delete, &fail, &budget)
+                })?;
                 let mut changed = false;
-                for &node in component {
-                    for (ei, ev) in eventualities.iter().enumerate() {
-                        let new =
-                            fail_equation(&graph, node, ei, ev, &delete, &fail, max_implicants)?;
-                        if new != fail[&(ei, node)] {
-                            fail.insert((ei, node), new);
-                            changed = true;
-                        }
+                for (&(node, ei), new) in fail_tasks.iter().zip(updates) {
+                    if new != fail[&(ei, node)] {
+                        fail.insert((ei, node), new);
+                        changed = true;
                     }
                 }
                 if !changed {
@@ -271,16 +342,11 @@ pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) ->
             // Iterate delete to its least fixpoint within the component.
             let mut delete_changed_any = false;
             loop {
+                let updates = sweep_equations(component.len(), &pool, |i| {
+                    delete_equation(&graph, component[i], &eventualities, &delete, &fail, &budget)
+                })?;
                 let mut changed = false;
-                for &node in component {
-                    let new = delete_equation(
-                        &graph,
-                        node,
-                        &eventualities,
-                        &delete,
-                        &fail,
-                        max_implicants,
-                    )?;
+                for (&node, new) in component.iter().zip(updates) {
                     if new != delete[node] {
                         delete[node] = new;
                         changed = true;
@@ -301,24 +367,16 @@ pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) ->
     Some(Condition { graph, delete_init, outer_rounds })
 }
 
-/// Conjunction of DNF terms under a budget: `None` when the pre-absorption
-/// product estimate or the resulting implicant count exceeds `budget`.
-///
-/// The estimate is conservative (absorption can collapse a huge product to a
-/// small DNF), but a pessimistic cut is the honest trade: the budgeted caller
-/// reports `Unknown` instead of risking an exponential stall inside a single
-/// equation.
-fn dnf_all_bounded(terms: Vec<Dnf>, budget: usize) -> Option<Dnf> {
-    if budget != usize::MAX {
-        terms.iter().try_fold(1usize, |acc, term| {
-            acc.checked_mul(term.implicant_count().max(1)).filter(|&est| est <= budget)
-        })?;
-    }
-    let result = Dnf::all(terms);
-    if budget != usize::MAX && result.implicant_count() > budget {
-        return None;
-    }
-    Some(result)
+/// One Jacobi sweep: evaluates `eval(0..count)` — each equation reading only
+/// the caller's frozen snapshot — batched across the pool via
+/// [`WorkerPool::map`], and returns the results in task order, or `None`
+/// when any equation blew the budget.
+fn sweep_equations<T, F>(count: usize, pool: &WorkerPool, eval: F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    pool.map(count, eval).into_iter().collect()
 }
 
 /// delete(N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ ∨_{A ∈ ev(e)} fail(A, fin(e)) )
@@ -328,7 +386,7 @@ fn delete_equation(
     eventualities: &[Ltl],
     delete: &[Dnf],
     fail: &BTreeMap<(usize, NodeId), Dnf>,
-    budget: usize,
+    budget: &DnfBudget,
 ) -> Option<Dnf> {
     let terms = graph
         .outgoing(node)
@@ -344,7 +402,7 @@ fn delete_equation(
             term
         })
         .collect();
-    dnf_all_bounded(terms, budget)
+    Dnf::all_bounded(terms, budget)
 }
 
 /// fail(A, N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ [A not satisfied by e ∧ fail(A, fin(e))] )
@@ -355,7 +413,7 @@ fn fail_equation(
     ev: &Ltl,
     delete: &[Dnf],
     fail: &BTreeMap<(usize, NodeId), Dnf>,
-    budget: usize,
+    budget: &DnfBudget,
 ) -> Option<Dnf> {
     let terms = graph
         .outgoing(node)
@@ -369,7 +427,7 @@ fn fail_equation(
             term
         })
         .collect();
-    dnf_all_bounded(terms, budget)
+    Dnf::all_bounded(terms, budget)
 }
 
 /// Tarjan's strongly connected components, returned in reverse topological

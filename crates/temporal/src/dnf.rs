@@ -5,8 +5,72 @@
 //! function has a unique minimal DNF (its prime implicants), so representing
 //! conditions as antichains of implicant sets gives a canonical form that makes
 //! the fixpoint convergence test a simple structural equality.
+//!
+//! Canonicity also carries the concurrency story: because `∧`/`∨` results do
+//! not depend on evaluation or association order, the Appendix B §5.3
+//! fixpoint can batch whole sweeps of condition products across the
+//! [`crate::pool`] workers and still produce the sequential answer.  The
+//! flip side is cost — conjunction expands a product of implicant sets
+//! before absorption, and on the nested weak-until translations of interval
+//! formulas (the measured `[ => Q ] []P` family) that product grows
+//! combinatorially over thousands of edge atoms.  [`Dnf::all_bounded`] and
+//! the shared [`DnfBudget`] cell exist for exactly that case: every product
+//! in a batch draws on one atomic budget, the first to exceed it trips the
+//! cell, and the whole computation cuts over to an honest "unknown" instead
+//! of stalling.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared, atomic implicant budget for a (possibly parallel) batch of DNF
+/// computations.
+///
+/// One cell is created per [`crate::algorithm_b`] condition computation and
+/// shared by every equation evaluated on every worker: the first computation
+/// to exceed the budget [`DnfBudget::trip`]s the cell, and every other
+/// in-flight [`Dnf::all_bounded`] aborts at its next fold step.  Because a
+/// trip means the whole computation's answer is already `None`, the early
+/// aborts never change an answer — they only stop workers from burning CPU on
+/// a batch whose result is doomed — so budgeted answers are identical at
+/// every worker count.
+#[derive(Debug)]
+pub struct DnfBudget {
+    limit: usize,
+    tripped: AtomicBool,
+}
+
+impl DnfBudget {
+    /// A budget allowing at most `limit` implicants per computed DNF (and the
+    /// same cap on every pre-absorption product estimate).
+    pub fn new(limit: usize) -> DnfBudget {
+        DnfBudget { limit, tripped: AtomicBool::new(false) }
+    }
+
+    /// No budget: computations run to completion however large they get.
+    pub fn unbounded() -> DnfBudget {
+        DnfBudget::new(usize::MAX)
+    }
+
+    /// The implicant cap.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// `true` when the budget has no effect.
+    pub fn is_unbounded(&self) -> bool {
+        self.limit == usize::MAX
+    }
+
+    /// Marks the budget as exhausted, telling every sharer to abort.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any sharer exceeded the budget.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
 
 /// A monotone condition in minimal disjunctive normal form.
 ///
@@ -104,6 +168,52 @@ impl Dnf {
         items.into_iter().fold(Dnf::top(), |acc, d| acc.and(&d))
     }
 
+    /// Conjunction of DNF terms under a shared budget: `None` when the
+    /// pre-absorption product estimate `Π max(1, |termᵢ|)` exceeds
+    /// [`DnfBudget::limit`], or when another sharer of `budget` has already
+    /// tripped it.
+    ///
+    /// The estimate is conservative (absorption can collapse a huge product
+    /// to a small DNF), but a pessimistic cut is the honest trade: the
+    /// budgeted caller reports "unknown" instead of risking an exponential
+    /// stall inside a single conjunction.  The estimate also bounds the
+    /// result — every intermediate and final implicant count is at most the
+    /// pre-absorption product, so an accepted estimate caps the whole
+    /// computation's cost and size; no post-hoc result check is needed.
+    /// Because the estimate is a function of the term multiset alone, the
+    /// `Some`/`None` answer does not depend on evaluation or association
+    /// order; this is what lets a parallel fixpoint sweep batch these
+    /// products across workers and still answer exactly like the sequential
+    /// sweep.
+    pub fn all_bounded(terms: Vec<Dnf>, budget: &DnfBudget) -> Option<Dnf> {
+        if budget.tripped() {
+            // Another sharer already blew the budget: the batch's answer is
+            // `None` regardless of this product, so don't bother computing it.
+            return None;
+        }
+        if !budget.is_unbounded() {
+            let estimate = terms.iter().try_fold(1usize, |acc, term| {
+                acc.checked_mul(term.implicant_count().max(1)).filter(|&est| est <= budget.limit())
+            });
+            if estimate.is_none() {
+                budget.trip();
+                return None;
+            }
+        }
+        let mut acc = Dnf::top();
+        for term in &terms {
+            if budget.tripped() {
+                return None;
+            }
+            acc = acc.and(term);
+        }
+        debug_assert!(
+            budget.is_unbounded() || acc.implicant_count() <= budget.limit(),
+            "a canonical product can never exceed its accepted pre-absorption estimate"
+        );
+        Some(acc)
+    }
+
     /// Evaluates the condition under an assignment of atoms to Booleans.
     pub fn eval(&self, assignment: &dyn Fn(usize) -> bool) -> bool {
         self.implicants.iter().any(|imp| imp.iter().all(|&id| assignment(id)))
@@ -170,5 +280,71 @@ mod tests {
         assert_eq!(Dnf::all(items), Dnf::atom(1).and(&Dnf::atom(2)));
         assert_eq!(Dnf::any(Vec::new()), Dnf::bottom());
         assert_eq!(Dnf::all(Vec::new()), Dnf::top());
+    }
+
+    #[test]
+    fn empty_conditions_under_a_budget() {
+        // The empty conjunction is ⊤ even under the tightest budget (⊤ has
+        // one — empty — implicant, within any limit ≥ 1).
+        let budget = DnfBudget::new(1);
+        assert_eq!(Dnf::all_bounded(Vec::new(), &budget), Some(Dnf::top()));
+        assert!(!budget.tripped());
+        // A conjunction with a ⊥ term collapses to ⊥ (zero implicants), which
+        // also fits every budget; the max(1, ·) estimate must not zero out
+        // the product.
+        let with_bottom = vec![Dnf::atom(1), Dnf::bottom(), Dnf::atom(2)];
+        assert_eq!(Dnf::all_bounded(with_bottom, &budget), Some(Dnf::bottom()));
+        assert!(!budget.tripped());
+    }
+
+    #[test]
+    fn absorption_inside_a_bounded_product() {
+        // (a ∨ b) ∧ (a ∨ c) expands to a ∨ ac ∨ ab ∨ bc and absorbs to
+        // a ∨ bc; the canonical result must match the unbudgeted fold and
+        // fit a budget its pre-absorption expansion merely touches.
+        let a_or_ab = Dnf::atom(1).or(&Dnf::atom(1).and(&Dnf::atom(2)));
+        assert_eq!(a_or_ab, Dnf::atom(1), "absorption keeps the minimal implicant");
+        let terms = vec![Dnf::atom(1).or(&Dnf::atom(2)), Dnf::atom(1).or(&Dnf::atom(3))];
+        let unbudgeted = Dnf::all(terms.clone());
+        let budget = DnfBudget::new(4);
+        assert_eq!(Dnf::all_bounded(terms, &budget), Some(unbudgeted));
+        assert!(!budget.tripped());
+    }
+
+    #[test]
+    fn budget_exhaustion_boundary() {
+        // (a ∨ b) ∧ (c ∨ d): estimate 4, result 4 implicants.
+        let terms = || vec![Dnf::atom(1).or(&Dnf::atom(2)), Dnf::atom(3).or(&Dnf::atom(4))];
+        // Budget exactly at the boundary: allowed, cell untouched.
+        let exact = DnfBudget::new(4);
+        let result = Dnf::all_bounded(terms(), &exact).expect("estimate == limit must pass");
+        assert_eq!(result.implicant_count(), 4);
+        assert!(!exact.tripped());
+        // One below: the pre-absorption estimate trips before any product is
+        // expanded, and the cell records it for every sharer.
+        let tight = DnfBudget::new(3);
+        assert_eq!(Dnf::all_bounded(terms(), &tight), None);
+        assert!(tight.tripped());
+        // A tripped cell rejects even trivially small follow-up work.
+        assert_eq!(Dnf::all_bounded(vec![Dnf::atom(1)], &tight), None);
+        // The unbounded budget never trips.
+        let unbounded = DnfBudget::unbounded();
+        assert!(unbounded.is_unbounded());
+        assert_eq!(Dnf::all_bounded(terms(), &unbounded), Some(result));
+        assert!(!unbounded.tripped());
+    }
+
+    #[test]
+    fn canonical_inputs_keep_estimates_tight() {
+        // Terms are canonical *before* the product: `a ∨ ab` absorbs to `a`
+        // at construction, so its implicant count — and hence the product
+        // estimate — is 1, not 2, and the conjunction fits the tightest
+        // budget.  (The estimate also bounds the result: a canonical product
+        // can never exceed its accepted pre-absorption estimate, which is
+        // why `all_bounded` needs no post-hoc result-size check.)
+        let terms = vec![Dnf::atom(1).or(&Dnf::atom(1).and(&Dnf::atom(2)))];
+        let budget = DnfBudget::new(1);
+        assert_eq!(Dnf::all_bounded(terms, &budget), Some(Dnf::atom(1)));
+        assert!(!budget.tripped());
     }
 }

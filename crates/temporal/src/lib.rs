@@ -19,7 +19,11 @@
 //! * [`algorithm_b`] — Algorithm B: the condition formula `C = ∨ᵢ □Cᵢ` computed
 //!   by a double fixpoint, with the theory consulted only at the end;
 //! * [`patterns`] — the R3/R4/R5 formulae of the report's measurement table
-//!   and synthetic formula families for scaling studies.
+//!   and synthetic formula families for scaling studies;
+//! * [`pool`] — the workspace-wide scoped worker pool and [`pool::Parallelism`]
+//!   knob (re-exported as `ilogic_core::pool`); hosted here, at the bottom of
+//!   the crate graph, so the tableau and fixpoint engines can fan out over the
+//!   same machinery as the higher layers.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod algorithm_a;
 pub mod algorithm_b;
 pub mod dnf;
 pub mod patterns;
+pub mod pool;
 pub mod semantics;
 pub mod syntax;
 pub mod tableau;
@@ -52,9 +57,10 @@ pub mod theory;
 pub mod prelude {
     pub use crate::algorithm_a::{AlgorithmA, AlgorithmAReport};
     pub use crate::algorithm_b::{AlgorithmB, Condition, Decision};
+    pub use crate::pool::{Parallelism, WorkerPool};
     pub use crate::semantics::{TlState, TlTrace};
     pub use crate::syntax::{Atom, CmpOp, Literal, Ltl, Term, VarSpec};
-    pub use crate::tableau::{prune, satisfiable_pure, valid_pure, TableauGraph};
+    pub use crate::tableau::{prune, prune_with, satisfiable_pure, valid_pure, TableauGraph};
     pub use crate::theory::{
         CombinedTheory, EqualityTheory, LinearTheory, PropositionalTheory, Theory, TheoryResult,
     };

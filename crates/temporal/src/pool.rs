@@ -1,10 +1,17 @@
 //! A scoped worker pool for the sharded checking engines.
 //!
 //! The bounded validity search is a conjunction over independently enumerable
-//! computations, explore-mode checking is independent per run, and spec
-//! checking is independent per clause — all embarrassingly parallel.  This
-//! module provides the (deliberately small) machinery the parallel paths of
-//! [`crate::session`], [`crate::bounded`] and `ilogic_systems::explore` share:
+//! computations, explore-mode checking is independent per run, spec checking
+//! is independent per clause, tableau frontier expansion is independent per
+//! node, and the Appendix B §5.3 condition fixpoint evaluates a sweep of
+//! equations from one frozen snapshot — all embarrassingly parallel.  This
+//! module provides the (deliberately small) machinery those parallel paths
+//! share.  It lives in `ilogic-temporal`, the lowest crate of the workspace,
+//! so that every layer — [`crate::tableau`] and [`crate::algorithm_b`] here,
+//! `ilogic_core::session` / `ilogic_core::bounded` (which re-export this
+//! module as `ilogic_core::pool`, the path most callers use),
+//! `ilogic_lowlevel::decide`, and `ilogic_systems::explore` — fans out over
+//! the same machinery:
 //!
 //! * [`Parallelism`] — the user-facing knob ([`Parallelism::Auto`] /
 //!   [`Parallelism::Fixed`] / [`Parallelism::Off`]), with an environment
@@ -111,6 +118,42 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Ordered parallel map: evaluates `f(0..count)` with the indices striped
+    /// across the workers (worker `w` takes `w`, `w + n`, …) and returns the
+    /// results in index order — the canonical "stripe and merge" idiom shared
+    /// by the tableau level expander, the condition-fixpoint sweeps, and the
+    /// low-level pipeline's deletion masks.
+    ///
+    /// `f` must be a pure function of the index (every caller here passes
+    /// one), which makes the output — element for element — identical to the
+    /// sequential `(0..count).map(f)` at any worker count.
+    ///
+    /// Small batches run inline: below [`MAP_INLINE_PER_WORKER`] items per
+    /// worker the per-call `std::thread` spawn/join (~tens of µs) would
+    /// dominate fine-grained work, and iterated callers (fixpoint sweeps run
+    /// hundreds of times) would pay it every call.  Inline and striped
+    /// evaluation produce the same vector, so the cutover is invisible to
+    /// callers.
+    pub fn map<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || count < self.workers * MAP_INLINE_PER_WORKER {
+            return (0..count).map(f).collect();
+        }
+        let striped =
+            self.run(|w| (w..count).step_by(self.workers).map(|i| (i, f(i))).collect::<Vec<_>>());
+        let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (i, result) in striped.into_iter().flatten() {
+            results[i] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("stripes cover every index exactly once"))
+            .collect()
+    }
+
     /// Deterministic lowest-index-wins search over the indices
     /// `offset .. offset + items`: worker `w` visits `offset + w`,
     /// `offset + w + n`, … in increasing order, mutating its entry of
@@ -203,6 +246,14 @@ impl WorkerPool {
     }
 }
 
+/// Minimum items *per worker* below which [`WorkerPool::map`] runs inline
+/// instead of spawning scoped threads.  The work this repository maps is
+/// coarse (tableau node expansions, DNF fixpoint equations, per-edge theory
+/// checks on big graphs), so a small multiple of the worker count is enough
+/// to keep spawn/join cost in the noise while still fanning out every batch
+/// that can plausibly profit.
+pub const MAP_INLINE_PER_WORKER: usize = 4;
+
 /// The deterministic join of a sharded search: among the per-worker finds,
 /// the one with the lowest index — the find a sequential sweep would have
 /// produced first.  Shared by every parallel engine so the tie-break lives in
@@ -288,6 +339,20 @@ mod tests {
         let pool = WorkerPool::new(Parallelism::Fixed(3));
         let sums = pool.run(|w| data.iter().skip(w).step_by(3).sum::<usize>());
         assert_eq!(sums.iter().sum::<usize>(), data.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn map_preserves_index_order_on_both_paths() {
+        let pool = WorkerPool::new(Parallelism::Fixed(3));
+        // Below the inline threshold (runs sequentially)…
+        let small: Vec<usize> = pool.map(5, |i| i * 10);
+        assert_eq!(small, vec![0, 10, 20, 30, 40]);
+        // …and above it (striped across workers): same contract.
+        let threshold = 3 * MAP_INLINE_PER_WORKER;
+        let big: Vec<usize> = pool.map(threshold + 7, |i| i * i);
+        assert_eq!(big, (0..threshold + 7).map(|i| i * i).collect::<Vec<_>>());
+        // Zero items is a no-op on any pool.
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
     }
 
     #[test]

@@ -14,9 +14,26 @@
 //! are removed, edges carrying an eventuality that can no longer be satisfied
 //! by any path are removed, and nodes with no outgoing edges are removed, until
 //! a fixpoint is reached.  `B` is satisfiable iff the initial node survives.
+//!
+//! # Parallelism
+//!
+//! Both phases fan out over the [`crate::pool`] worker pool —
+//! [`TableauGraph::try_build_with`] expands each breadth-first frontier's
+//! node labels concurrently (expansion is a pure function of the label set)
+//! and merges the results in sequential frontier order on the calling
+//! thread, and [`prune_with`] stripes the per-edge theory checks and the
+//! per-eventuality reachability analyses.  The merge discipline makes the
+//! graph *bit-identical* at every worker count: same node ids, same edge
+//! ids, same `None`-under-[`BuildLimits`] answers.  Construction cost is
+//! dominated by the expansion of disjunction-heavy labels, which is exactly
+//! the part that parallelizes; note however that for the measured
+//! `[ => Q ] []P` family the tableau is *not* the bottleneck (97 nodes /
+//! 3362 edges in milliseconds) — the blowup lives in the
+//! [`crate::algorithm_b`] condition fixpoint downstream.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
+use crate::pool::{Parallelism, WorkerPool};
 use crate::syntax::{Atom, Literal, Ltl};
 use crate::theory::{Theory, TheoryResult};
 
@@ -99,6 +116,29 @@ impl TableauGraph {
     /// which case `None` is returned (the formula is outside the practical
     /// reach of the tableau).
     pub fn try_build(formula: &Ltl, limits: BuildLimits) -> Option<TableauGraph> {
+        TableauGraph::try_build_with(formula, limits, Parallelism::Off)
+    }
+
+    /// [`TableauGraph::try_build`] with the frontier expanded across a worker
+    /// pool.
+    ///
+    /// Construction is a breadth-first saturation: each BFS level's node
+    /// labels are expanded (a pure function of the label set) concurrently,
+    /// and the per-node expansion lists are then merged on the calling thread
+    /// *in sequential frontier order* — interning target labels, assigning
+    /// node and edge identifiers, and applying the [`BuildLimits`] checks in
+    /// exactly the order the single-threaded loop would.  The resulting graph
+    /// is therefore bit-identical (same node ids, same edge ids, same edge
+    /// order) at every worker count, and `None`-under-budget answers agree
+    /// too: expansion caps are taken from the level-start edge budget, which
+    /// can only postpone a blowup into the merge's own limit checks, never
+    /// change the answer.
+    pub fn try_build_with(
+        formula: &Ltl,
+        limits: BuildLimits,
+        parallelism: Parallelism,
+    ) -> Option<TableauGraph> {
+        let pool = WorkerPool::new(parallelism);
         let mut graph = TableauGraph {
             labels: Vec::new(),
             edges: Vec::new(),
@@ -106,44 +146,58 @@ impl TableauGraph {
             initial: 0,
         };
         let mut index: HashMap<BTreeSet<Ltl>, NodeId> = HashMap::new();
-        let mut queue: VecDeque<NodeId> = VecDeque::new();
 
         let init_label: BTreeSet<Ltl> = [formula.clone()].into_iter().collect();
         let init = graph.intern(&mut index, init_label);
         graph.initial = init;
-        queue.push_back(init);
 
+        let mut frontier: Vec<NodeId> = vec![init];
         let mut processed: BTreeSet<NodeId> = BTreeSet::new();
-        while let Some(node) = queue.pop_front() {
-            if !processed.insert(node) {
-                continue;
+        while !frontier.is_empty() {
+            // Replay the sequential queue discipline: dequeue in order,
+            // skipping nodes already processed (a node can be discovered
+            // twice before its turn comes).
+            let level: Vec<NodeId> =
+                frontier.drain(..).filter(|node| processed.insert(*node)).collect();
+            if level.is_empty() {
+                break;
             }
+            // Every node of the level is expanded against the level-start
+            // budget; the merge below re-applies the exact per-edge checks.
             let budget = limits.max_edges.saturating_sub(graph.edges.len());
-            let expansions = expand_set(&graph.labels[node], budget)?;
-            for exp in expansions {
-                let target_label = exp.next.clone();
-                let target = graph.intern(&mut index, target_label);
-                if graph.labels.len() > limits.max_nodes || graph.edges.len() >= limits.max_edges {
-                    return None;
+            let expansions = expand_level(&graph.labels, &level, budget, &pool);
+            for (&node, exps) in level.iter().zip(expansions) {
+                // A worker that blew the level budget implies the sequential
+                // loop would have exhausted `max_edges` at this node or an
+                // earlier one — either way the answer is `None`.
+                let exps = exps?;
+                for exp in exps {
+                    let target_label = exp.next.clone();
+                    let target = graph.intern(&mut index, target_label);
+                    if graph.labels.len() > limits.max_nodes
+                        || graph.edges.len() >= limits.max_edges
+                    {
+                        return None;
+                    }
+                    if !processed.contains(&target) {
+                        frontier.push(target);
+                    }
+                    let literals = exp
+                        .literals
+                        .iter()
+                        .map(|(atom, positive)| Literal { atom: atom.clone(), positive: *positive })
+                        .collect();
+                    let edge = Edge {
+                        from: node,
+                        to: target,
+                        literals,
+                        eventualities: exp.eventualities,
+                        fulfilled: exp.fulfilled,
+                    };
+                    let id = graph.edges.len();
+                    graph.edges.push(edge);
+                    graph.outgoing[node].push(id);
                 }
-                if !processed.contains(&target) {
-                    queue.push_back(target);
-                }
-                let literals = exp
-                    .literals
-                    .iter()
-                    .map(|(atom, positive)| Literal { atom: atom.clone(), positive: *positive })
-                    .collect();
-                let edge = Edge {
-                    from: node,
-                    to: target,
-                    literals,
-                    eventualities: exp.eventualities,
-                    fulfilled: exp.fulfilled,
-                };
-                let id = graph.edges.len();
-                graph.edges.push(edge);
-                graph.outgoing[node].push(id);
             }
         }
         Some(graph)
@@ -207,6 +261,21 @@ impl TableauGraph {
         }
         all
     }
+}
+
+/// Expands every node of one BFS level, striping the nodes across the worker
+/// pool, and returns the expansion lists in level order.
+///
+/// Expansion is a pure function of the label set, so the stripes can run
+/// concurrently; the deterministic part — interning targets and assigning
+/// identifiers — stays with the caller's sequential merge.
+fn expand_level(
+    labels: &[BTreeSet<Ltl>],
+    level: &[NodeId],
+    budget: usize,
+    pool: &WorkerPool,
+) -> Vec<Option<Vec<Expansion>>> {
+    pool.map(level.len(), |i| expand_set(&labels[level[i]], budget))
 }
 
 /// Expands a set of formulae into all of its saturated alternatives, or
@@ -394,23 +463,37 @@ impl Pruned {
 /// labels are unsatisfiable in `theory` (Algorithm A's extra deletion), edges
 /// whose eventualities cannot be satisfied, and nodes with no outgoing edges.
 pub fn prune(graph: &TableauGraph, theory: &dyn Theory) -> Pruned {
+    prune_with(graph, theory, Parallelism::Off)
+}
+
+/// [`prune`] with the per-edge theory checks and the per-eventuality
+/// reachability analyses fanned across a worker pool.
+///
+/// Both phases are pure functions of the current alive sets — the theory
+/// filter is independent per edge and the fulfilling-reachability map is
+/// independent per eventuality — so the deletion loop deletes exactly the
+/// same edges in the same rounds at every worker count.
+pub fn prune_with(graph: &TableauGraph, theory: &dyn Theory, parallelism: Parallelism) -> Pruned {
+    let pool = WorkerPool::new(parallelism);
+    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
     let mut node_alive = vec![true; graph.node_count()];
-    let mut edge_alive: Vec<bool> = graph
-        .edges()
-        .iter()
-        .map(|e| theory.satisfiable(&e.literals) == TheoryResult::Satisfiable)
-        .collect();
+    let mut edge_alive: Vec<bool> = pool.map(graph.edge_count(), |i| {
+        theory.satisfiable(&graph.edge(i).literals) == TheoryResult::Satisfiable
+    });
     let mut iterations = 0;
     loop {
         iterations += 1;
         let mut changed = false;
 
-        // Delete edges whose eventualities can no longer be satisfied.
-        let eventualities = graph.eventualities();
-        let mut reach: HashMap<&Ltl, Vec<bool>> = HashMap::new();
-        for ev in &eventualities {
-            reach.insert(ev, reachable_to_fulfilling(graph, &node_alive, &edge_alive, ev));
-        }
+        // Delete edges whose eventualities can no longer be satisfied.  The
+        // backward-reachability map of each eventuality is independent of the
+        // others, so the eventualities stripe across the pool; the shared
+        // incoming-edge index is built once per round.
+        let incoming = incoming_index(graph, &edge_alive);
+        let reach: Vec<Vec<bool>> = pool.map(eventualities.len(), |i| {
+            reachable_to_fulfilling(graph, &node_alive, &edge_alive, &incoming, &eventualities[i])
+        });
+        let reach: HashMap<&Ltl, Vec<bool>> = eventualities.iter().zip(reach).collect();
         for (id, edge) in graph.edges().iter().enumerate() {
             if !edge_alive[id] {
                 continue;
@@ -445,12 +528,25 @@ pub fn prune(graph: &TableauGraph, theory: &dyn Theory) -> Pruned {
     Pruned { node_alive, edge_alive, iterations }
 }
 
+/// The incoming live-edge index shared by every eventuality's reachability
+/// pass of one deletion round.
+fn incoming_index(graph: &TableauGraph, edge_alive: &[bool]) -> Vec<Vec<EdgeId>> {
+    let mut incoming: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_count()];
+    for (id, edge) in graph.edges().iter().enumerate() {
+        if edge_alive[id] {
+            incoming[edge.to].push(id);
+        }
+    }
+    incoming
+}
+
 /// Computes, for every node, whether a live edge fulfilling `ev` is reachable
 /// from it through live edges (including taking the fulfilling edge itself).
 fn reachable_to_fulfilling(
     graph: &TableauGraph,
     node_alive: &[bool],
     edge_alive: &[bool],
+    incoming: &[Vec<EdgeId>],
     ev: &Ltl,
 ) -> Vec<bool> {
     let mut reach = vec![false; graph.node_count()];
@@ -466,12 +562,6 @@ fn reachable_to_fulfilling(
         }
     }
     // Backward closure over live edges.
-    let mut incoming: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_count()];
-    for (id, edge) in graph.edges().iter().enumerate() {
-        if edge_alive[id] {
-            incoming[edge.to].push(id);
-        }
-    }
     while let Some(node) = queue.pop_front() {
         for &eid in &incoming[node] {
             let from = graph.edge(eid).from;
@@ -494,8 +584,19 @@ pub fn satisfiable_pure(formula: &Ltl) -> bool {
 /// [`satisfiable_pure`] under a construction budget; `None` when the tableau
 /// exceeds `limits` before the answer is known.
 pub fn satisfiable_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
-    let graph = TableauGraph::try_build(formula, limits)?;
-    let pruned = prune(&graph, &crate::theory::PropositionalTheory::new());
+    satisfiable_pure_bounded_with(formula, limits, Parallelism::Off)
+}
+
+/// [`satisfiable_pure_bounded`] with construction and pruning fanned across a
+/// worker pool; the answer (including `None`-under-budget) is identical at
+/// every worker count.
+pub fn satisfiable_pure_bounded_with(
+    formula: &Ltl,
+    limits: BuildLimits,
+    parallelism: Parallelism,
+) -> Option<bool> {
+    let graph = TableauGraph::try_build_with(formula, limits, parallelism)?;
+    let pruned = prune_with(&graph, &crate::theory::PropositionalTheory::new(), parallelism);
     Some(pruned.node_alive(graph.initial()))
 }
 
@@ -507,7 +608,17 @@ pub fn valid_pure(formula: &Ltl) -> bool {
 /// [`valid_pure`] under a construction budget; `None` when the tableau
 /// exceeds `limits` before the answer is known.
 pub fn valid_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
-    satisfiable_pure_bounded(&formula.clone().not(), limits).map(|sat| !sat)
+    valid_pure_bounded_with(formula, limits, Parallelism::Off)
+}
+
+/// [`valid_pure_bounded`] with the tableau work fanned across a worker pool;
+/// the answer is identical at every worker count.
+pub fn valid_pure_bounded_with(
+    formula: &Ltl,
+    limits: BuildLimits,
+    parallelism: Parallelism,
+) -> Option<bool> {
+    satisfiable_pure_bounded_with(&formula.clone().not(), limits, parallelism).map(|sat| !sat)
 }
 
 #[cfg(test)]

@@ -50,7 +50,12 @@ impl TheoryResult {
 /// combined procedures then remain sound for validity but may fail to prove
 /// some valid formulas (this matches the report's treatment, which assumes an
 /// oracle and inherits its precision).
-pub trait Theory {
+///
+/// `Send + Sync` is a supertrait requirement: the parallel tableau and
+/// condition-fixpoint engines consult the theory concurrently from pool
+/// workers, so an implementation must be a stateless (or internally
+/// synchronized) oracle.  Every theory in this crate is a plain value type.
+pub trait Theory: Send + Sync {
     /// A short human-readable name, used in diagnostics.
     fn name(&self) -> &str;
 

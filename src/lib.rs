@@ -4,6 +4,12 @@
 //! Temporal Reasoning"* (Schwartz, Melliar-Smith, Vogt, Plaisted; NASA CR
 //! 172262 / PODC 1983), fronted by the unified [`Session`] checking API.
 //!
+//! New to the codebase?  Read `ARCHITECTURE.md` at the repository root
+//! first — it maps the crates, explains the arena + snapshot + pool
+//! concurrency model the parallel engines share, compares the four
+//! backends, and states the determinism guarantees.  Its full text is
+//! reproduced at the end of this page, under [Architecture](#architecture).
+//!
 //! # Quick start
 //!
 //! Every way of asking "does this formula hold?" goes through one door: build
@@ -58,7 +64,7 @@
 //! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) | single-threaded (one trace) |
 //! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check | runs batched across the pool; lazy sources stream batch by batch |
 //! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small | sharded sweep: `n` workers cover interleaved slices with early-exit cancellation |
-//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms | single-threaded (tableau + condition fixpoint) |
+//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms | level-parallel tableau build, sharded prune analyses, sharded refutation sweep |
 //!
 //! Rule of thumb: simulator and explorer traces → `Trace`/`Explore`; "is this
 //! schema a theorem?" → `Decide` first and `Bounded` as the refutation
@@ -73,7 +79,12 @@
 //! [`Session::check_spec`] clause checking), or force a whole process onto
 //! the pool with the `ILOGIC_TEST_PARALLEL` environment variable (`1`/`auto`,
 //! a worker count, or `0` to force off).  `ilogic::systems::explore::explore`
-//! honours the same override for breadth-first model exploration.
+//! honours the same override for breadth-first model exploration, as do the
+//! low-level pipeline's `ilogic::lowlevel::decide::prune` /
+//! `satisfiable_graph`.  At the temporal layer,
+//! `ilogic::temporal::algorithm_b::AlgorithmB::with_parallelism` fans the
+//! Appendix B condition fixpoint (and its end-of-run theory check) across
+//! the same pool.
 //!
 //! Verdicts never depend on the worker count: the parallel engines pick
 //! counterexamples deterministically (lowest enumeration index wins), so
@@ -100,7 +111,9 @@
 //! Direct use of `Evaluator::check`, `BoundedChecker::counterexample`,
 //! `explore`, or the tableau remains supported for callers that need the
 //! engine-specific knobs; prefer [`Session`] everywhere else.
-
+//!
+//! ---
+#![doc = include_str!("../ARCHITECTURE.md")]
 #![forbid(unsafe_code)]
 
 pub use ilogic_core as core;

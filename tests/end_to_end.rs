@@ -176,15 +176,20 @@ fn algorithm_b_is_budgeted_on_the_prefix_invariance_formula() {
 }
 
 #[test]
-#[ignore = "ISSUE 2 triage (measured): unbudgeted AlgorithmB does not terminate in hours on \
-[ => Q ] []P — the Graph(¬A) tableau is only 97 nodes / 3362 edges (~55 ms, inside \
-BuildLimits::default()), but the §5.3 condition fixpoint's intermediate DNFs blow up \
-combinatorially over the 3362 edge atoms; with ConditionLimits::default() the budgeted \
-run above answers Unknown in ~56 ms instead. Run this only to reproduce the blowup."]
+#[ignore = "ISSUE 3 re-triage (measured, under the parallel Jacobi fixpoint): still intractable \
+unbudgeted. The Graph(¬A) tableau of [ => Q ] []P stays cheap (97 nodes / 3362 edges, ~55 ms), \
+and parallelizing the §5.3 condition fixpoint does not tame the blowup — it is combinatorial, \
+not a throughput problem: every ConditionLimits budget from 10^4 to 10^7 implicants trips \
+within 85–140 ms (2 workers, release) on the pre-absorption product estimate of the very first \
+sweeps, answering Unknown identically at every worker count \
+(tests/decide_parallel.rs::prefix_invariance_budget_trip_is_worker_count_independent). The \
+refutation stays with the bounded-model path. Run this only to reproduce the unbudgeted hang."]
 fn algorithm_b_refutes_the_prefix_invariance_formula() {
+    use ilogic::core::pool::Parallelism;
     let invalid_formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
     let theory = PropositionalTheory::new();
-    let algorithm = ilogic::temporal::algorithm_b::AlgorithmB::new(&theory, VarSpec::all_state());
+    let algorithm = ilogic::temporal::algorithm_b::AlgorithmB::new(&theory, VarSpec::all_state())
+        .with_parallelism(Parallelism::Auto);
     use ilogic::temporal::algorithm_b::Decision;
     assert_eq!(algorithm.decide(&to_ltl(&invalid_formula).unwrap()), Decision::NotValid);
 }
