@@ -6,9 +6,9 @@
 //!   construction + `Iter`-equivalent condition fixpoint + end checks) on the
 //!   Appendix B measurement-table formulas and the synthetic scaling
 //!   families, single-threaded vs `Parallelism::Fixed(4)`;
-//! * the budgeted blowup path — `decide_bounded` on the `[ => Q ] []P`
+//! * the budgeted blowup path — `decide_budgeted` on the `[ => Q ] []P`
 //!   prefix-invariance translation, where the §5.3 condition fixpoint trips
-//!   `ConditionLimits::default()` and must answer `Unknown` fast in both
+//!   `ResourceBudget::default()` and must answer `Unknown` fast in both
 //!   modes;
 //! * the `Session` front door — `CheckRequest::decide()` end to end
 //!   (LTL reduction, level-parallel tableau, sharded prune, sharded
@@ -27,9 +27,10 @@ use criterion::{BenchResult, Criterion};
 use ilogic_core::dsl::*;
 use ilogic_core::ltl_translate::to_ltl;
 use ilogic_core::pool::Parallelism;
+use ilogic_core::pool::ResourceBudget;
 use ilogic_core::session::{CheckRequest, Session};
 use ilogic_core::syntax::Formula;
-use ilogic_temporal::algorithm_b::{AlgorithmB, ConditionLimits};
+use ilogic_temporal::algorithm_b::AlgorithmB;
 use ilogic_temporal::patterns;
 use ilogic_temporal::syntax::{Ltl, VarSpec};
 use ilogic_temporal::theory::PropositionalTheory;
@@ -97,12 +98,12 @@ fn bench_decide(c: &mut Criterion) {
         group.warm_up_time(Duration::from_millis(300));
         group.bench_function("prefix_invariance_unknown", |b| {
             let alg = AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
-            b.iter(|| alg.decide_bounded(&prefix_ltl, ConditionLimits::default()))
+            b.iter(|| alg.decide_budgeted(&prefix_ltl, &ResourceBudget::default()))
         });
         group.bench_function("ladder4_unknown", |b| {
             let ladder = patterns::response_ladder(4);
             let alg = AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
-            b.iter(|| alg.decide_bounded(&ladder, ConditionLimits::default()))
+            b.iter(|| alg.decide_budgeted(&ladder, &ResourceBudget::default()))
         });
         group.finish();
     }
@@ -197,7 +198,7 @@ fn record(results: &[BenchResult]) {
          Fan-out speedup is bounded above by hardware_threads — on a 1-thread container the \
          4-worker runs measure thread spawn/merge overhead, not speedup; re-run on multi-core \
          hardware for real fan-out numbers. budget_trips rows time the \
-         ConditionLimits::default() trip to Unknown on the two measured condition-fixpoint \
+         ResourceBudget::default() trip to Unknown on the two measured condition-fixpoint \
          blowups — the [ => Q ] []P prefix-invariance translation (PR 2) and response_ladder(4) \
          (PR 3; intractable unbudgeted under both the old Gauss-Seidel and the new Jacobi \
          iteration) — which must stay milliseconds-fast in both modes\",\n  \

@@ -26,7 +26,9 @@
 //! counterexample.
 
 use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
-use crate::pool::{Earliest, Parallelism, WorkerPool};
+use crate::pool::{
+    Earliest, Exhaustion, Parallelism, ResourceBudget, WorkerPool, INTERRUPT_POLL_PERIOD,
+};
 use crate::semantics::Evaluator;
 use crate::state::{Prop, State};
 use crate::syntax::Formula;
@@ -61,14 +63,23 @@ impl BoundedChecker {
         self
     }
 
-    /// The number of computations that will be enumerated.
+    /// The number of computations that will be enumerated, saturating at
+    /// `usize::MAX` — a space too large to count is, for every caller
+    /// (budget truncation checks, refutation-bound selection), equivalent to
+    /// one larger than any cap.
     pub fn model_count(&self) -> usize {
-        let alphabet = 1usize << self.props.len();
+        let alphabet = match 1usize.checked_shl(self.props.len() as u32) {
+            Some(alphabet) => alphabet,
+            None => return usize::MAX,
+        };
         let mut total = 0usize;
         for len in 1..=self.max_len {
-            let words = alphabet.pow(len as u32);
+            let words = match alphabet.checked_pow(len as u32) {
+                Some(words) => words,
+                None => return usize::MAX,
+            };
             let extensions = if self.include_lassos { 1 + len } else { 1 };
-            total += words * extensions;
+            total = total.saturating_add(words.saturating_mul(extensions));
         }
         total
     }
@@ -191,9 +202,54 @@ impl BoundedChecker {
     where
         A: ArenaRead + Sync,
     {
+        self.sweep_budgeted(arena, formula, domain, parallelism, &ResourceBudget::unbounded())
+    }
+
+    /// [`BoundedChecker::sweep_parallel`] under a [`ResourceBudget`]: only
+    /// computations with global enumeration index below
+    /// `budget.max_enumeration()` are examined, and the deadline/cancellation
+    /// cutoffs are polled every few hundred computations per worker.
+    ///
+    /// The enumeration cap is deterministic — the swept prefix is the same at
+    /// every worker count, so verdicts under it stay bit-identical to the
+    /// capped sequential sweep.  When the cap truncates the enumeration (and
+    /// no counterexample was found below it), [`ParallelSweep::exhausted`]
+    /// reports [`Exhaustion::Enumeration`]; a deadline or cancellation cut is
+    /// reported the same way but is inherently timing-dependent.
+    ///
+    /// The lowest-index-wins guarantee survives timing cuts: a counterexample
+    /// is only reported when every interrupted worker had already examined
+    /// all of its shard's indices *below* the find — otherwise an earlier
+    /// counterexample might sit in the unexamined gap, so the sweep reports
+    /// the interruption instead of a possibly-non-minimal find.
+    pub fn sweep_budgeted<A>(
+        &self,
+        arena: &A,
+        formula: FormulaId,
+        domain: Option<&[crate::value::Value]>,
+        parallelism: Parallelism,
+        budget: &ResourceBudget,
+    ) -> ParallelSweep
+    where
+        A: ArenaRead + Sync,
+    {
         let pool = WorkerPool::new(parallelism);
         let workers = pool.workers();
+        if self.props.len() >= usize::BITS as usize {
+            // The alphabet itself cannot be indexed in a machine word — the
+            // enumeration machinery (bit-pattern words, global indices) does
+            // not extend to such spaces, so the sweep truncates immediately
+            // instead of overflowing.
+            return ParallelSweep {
+                counterexample: None,
+                traces_checked: 0,
+                memo: MemoStats::default(),
+                workers,
+                exhausted: Some(Exhaustion::Enumeration),
+            };
+        }
         let earliest = Earliest::new();
+        let cap = budget.max_enumeration();
         let results = pool.run(|w| {
             let mut memo = MemoEvaluator::new(arena);
             if let Some(domain) = domain {
@@ -201,9 +257,18 @@ impl BoundedChecker {
             }
             let mut checked = 0usize;
             let mut found: Option<(usize, Trace)> = None;
+            // A timing cut, with the first global index this worker did NOT
+            // examine because of it.
+            let mut interrupt: Option<(Exhaustion, usize)> = None;
             self.shard(w, workers).for_each_trace(|global, trace| {
-                if global >= earliest.bound() {
+                if global >= earliest.bound() || global >= cap {
                     return false;
+                }
+                if checked.is_multiple_of(INTERRUPT_POLL_PERIOD) {
+                    if let Some(cut) = budget.interrupted() {
+                        interrupt = Some((cut, global));
+                        return false;
+                    }
                 }
                 checked += 1;
                 if memo.check(trace, formula) {
@@ -214,21 +279,38 @@ impl BoundedChecker {
                     false
                 }
             });
-            (found, checked, memo.stats())
+            (found, checked, memo.stats(), interrupt)
         });
         let mut sweep = ParallelSweep {
             counterexample: None,
             traces_checked: 0,
             memo: MemoStats::default(),
             workers,
+            exhausted: None,
         };
         let mut finds = Vec::with_capacity(results.len());
-        for (found, checked, stats) in results {
+        let mut interrupted: Option<Exhaustion> = None;
+        // Lowest index any interrupted worker left unexamined: finds at or
+        // above it cannot be proven minimal.
+        let mut unexamined_floor = usize::MAX;
+        for (found, checked, stats, interrupt) in results {
             sweep.traces_checked += checked;
             sweep.memo.merge(stats);
+            if let Some((cut, stopped_at)) = interrupt {
+                interrupted = interrupted.or(Some(cut));
+                unexamined_floor = unexamined_floor.min(stopped_at);
+            }
             finds.push(found);
         }
-        sweep.counterexample = crate::pool::min_find(finds);
+        sweep.counterexample =
+            crate::pool::min_find(finds).filter(|(index, _)| *index < unexamined_floor);
+        if sweep.counterexample.is_none() {
+            // The deterministic cut (enumeration cap, a pure function of the
+            // checker and the budget) takes precedence over the
+            // timing-dependent ones so repeated runs agree whenever they can.
+            let truncated = cap < self.model_count();
+            sweep.exhausted = truncated.then_some(Exhaustion::Enumeration).or(interrupted);
+        }
         sweep
     }
 
@@ -247,7 +329,8 @@ impl BoundedChecker {
     }
 }
 
-/// The merged outcome of a [`BoundedChecker::sweep_parallel`] search.
+/// The merged outcome of a [`BoundedChecker::sweep_parallel`] /
+/// [`BoundedChecker::sweep_budgeted`] search.
 #[derive(Clone, Debug)]
 pub struct ParallelSweep {
     /// The counterexample with the lowest global enumeration index, if any —
@@ -259,6 +342,11 @@ pub struct ParallelSweep {
     pub memo: MemoStats,
     /// Number of workers that swept.
     pub workers: usize,
+    /// `Some` when the sweep ended because a [`ResourceBudget`] resource ran
+    /// out *before* the enumeration was exhausted (and no counterexample was
+    /// found below the cut): absence of a counterexample is then inconclusive
+    /// rather than bounded-validity evidence.
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// One interleaved slice of a [`BoundedChecker`] enumeration; see
@@ -452,6 +540,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn model_count_saturates_instead_of_overflowing() {
+        // 16 propositions at length 4: (2^16)^4 = 2^64 words — the count
+        // saturates instead of overflowing, and a budgeted sweep over the
+        // space truncates cleanly under its enumeration cap.
+        let wide = BoundedChecker::new((0..16).map(|i| format!("P{i}")), 4);
+        assert_eq!(wide.model_count(), usize::MAX);
+        // Even the alphabet itself can be too wide to count; its sweep
+        // truncates up front instead of overflowing the word arithmetic.
+        let wider = BoundedChecker::new((0..70).map(|i| format!("P{i}")), 1);
+        assert_eq!(wider.model_count(), usize::MAX);
+        {
+            let mut arena = FormulaArena::new();
+            let id = arena.intern(&prop("P0"));
+            let sweep = wider.sweep_budgeted(
+                &arena,
+                id,
+                None,
+                crate::pool::Parallelism::Off,
+                &ResourceBudget::default(),
+            );
+            assert_eq!(sweep.counterexample, None);
+            assert_eq!(sweep.exhausted, Some(Exhaustion::Enumeration));
+            assert_eq!(sweep.traces_checked, 0);
+        }
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&prop("P0").or(prop("P0").not()));
+        let capped = ResourceBudget::unbounded().with_max_enumeration(10);
+        let sweep = wide.sweep_budgeted(&arena, id, None, crate::pool::Parallelism::Off, &capped);
+        assert_eq!(sweep.counterexample, None);
+        assert_eq!(sweep.exhausted, Some(Exhaustion::Enumeration));
+        assert_eq!(sweep.traces_checked, 10);
+    }
+
+    #[test]
+    fn budgeted_sweeps_cut_deterministically() {
+        use crate::pool::{CancelToken, Parallelism};
+        let checker = BoundedChecker::new(["P"], 2);
+        let mut arena = FormulaArena::new();
+        let not_p = prop("P").not();
+        let id = arena.intern(&not_p);
+        // The first counterexample of ¬P sits at global index 2 (the first
+        // word with P asserted).
+        let full = checker.sweep_parallel(&arena, id, None, Parallelism::Off);
+        assert_eq!(full.counterexample.as_ref().map(|(i, _)| *i), Some(2));
+        assert_eq!(full.exhausted, None);
+        for workers in 1..=4 {
+            let parallelism = Parallelism::Fixed(workers);
+            // A cap below the counterexample index truncates: no
+            // counterexample, exhaustion reported — identically at every
+            // worker count.
+            let capped = ResourceBudget::unbounded().with_max_enumeration(2);
+            let cut = checker.sweep_budgeted(&arena, id, None, parallelism, &capped);
+            assert_eq!(cut.counterexample, None, "workers={workers}");
+            assert_eq!(cut.exhausted, Some(Exhaustion::Enumeration), "workers={workers}");
+            assert!(cut.traces_checked <= 2, "workers={workers}");
+            // A cap above it finds the very same counterexample.
+            let enough = ResourceBudget::unbounded().with_max_enumeration(3);
+            let found = checker.sweep_budgeted(&arena, id, None, parallelism, &enough);
+            assert_eq!(found.counterexample, full.counterexample, "workers={workers}");
+            assert_eq!(found.exhausted, None, "workers={workers}");
+        }
+        // A pre-cancelled token stops the sweep before anything is examined.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = ResourceBudget::unbounded().with_cancel(token);
+        let cut = checker.sweep_budgeted(&arena, id, None, Parallelism::Off, &cancelled);
+        assert_eq!(cut.counterexample, None);
+        assert_eq!(cut.exhausted, Some(Exhaustion::Cancelled));
+        assert_eq!(cut.traces_checked, 0);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! A minimal, dependency-free JSON value type with a parser and printer.
+//!
+//! Reports produced by the checking service ([`crate::session::CheckReport`])
+//! must cross process boundaries — a worker answering over a socket, a batch
+//! runner archiving results, CI diffing recorded verdicts — and this
+//! workspace builds offline, so a hand-rolled JSON layer replaces `serde`.
+//! The surface is deliberately small: the [`Json`] tree, [`Json::parse`] /
+//! [`fmt::Display`] for reading and writing, and typed accessors for
+//! destructuring.  Numbers are kept as `i64`/`f64` (every quantity the
+//! reports carry — counters, indices, nanoseconds — fits `i64`; means and
+//! rates use `f64`), strings support the standard escapes, and object keys
+//! keep their insertion order so output is stable and diff-friendly.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (serialized without a decimal point).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved on both parse and print.
+    Object(Vec<(String, Json)>),
+}
+
+/// A parse or shape error raised by [`Json::parse`] and the typed accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// An error with the given description.
+    pub fn new(message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// An object builder, used with [`Json::field`].
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.into(), value)),
+            other => panic!("Json::field on a non-object: {other:?}"),
+        }
+        self
+    }
+
+    /// The value of `key`, if `self` is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::get`], but a missing key is a [`JsonError`] naming it.
+    pub fn require(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the full input must be one value plus
+    /// whitespace).  Containers may nest at most [`MAX_DEPTH`] levels —
+    /// deeper documents are rejected with a [`JsonError`], so adversarial
+    /// input (this layer parses data that crossed a process boundary) cannot
+    /// overflow the stack of the recursive-descent parser.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing input at byte {} of {}",
+                parser.pos,
+                parser.bytes.len()
+            )));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Keep a decimal point (or exponent) so the value parses
+                    // back as a float, not an integer.
+                    let plain = format!("{x}");
+                    if plain.contains('.') || plain.contains('e') || plain.contains('E') {
+                        f.write_str(&plain)
+                    } else {
+                        write!(f, "{plain}.0")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; null is the conventional stand-in.
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Maximum container nesting [`Json::parse`] accepts; far above any real
+/// report (traces nest four levels) while keeping the recursive parser's
+/// stack use bounded on hostile input.
+pub const MAX_DEPTH: usize = 512;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{}` at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.nested(|parser| parser.array()),
+            Some(b'{') => self.nested(|parser| parser.object()),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(JsonError::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    /// Parses a container one nesting level down, rejecting documents deeper
+    /// than [`MAX_DEPTH`] instead of recursing unboundedly.
+    fn nested(
+        &mut self,
+        container: impl FnOnce(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::new(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let result = container(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!("expected `,` or `]` at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale (the common case).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    JsonError::new(format!("bad \\u escape at byte {}", self.pos))
+                                })?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's payloads; reject them honestly.
+                            let c = char::from_u32(hex).ok_or_else(|| {
+                                JsonError::new(format!("unpaired surrogate at byte {}", self.pos))
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses a number per the JSON grammar — strictly: leading zeros
+    /// (`007`), bare fractions (`1.`, `-.5`) and empty exponents are
+    /// rejected rather than reinterpreted, so this parser agrees with strict
+    /// producers on the other side of the process boundary about which
+    /// documents are valid.
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digit_run();
+        if int_digits == 0 {
+            return Err(JsonError::new(format!("number without digits at byte {start}")));
+        }
+        if int_digits > 1 && self.bytes[self.pos - int_digits] == b'0' {
+            return Err(JsonError::new(format!("leading zero in number at byte {start}")));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(JsonError::new(format!("fraction without digits at byte {start}")));
+            }
+        }
+        if let Some(b'e' | b'E') = self.peek() {
+            is_float = true;
+            self.pos += 1;
+            if let Some(b'+' | b'-') = self.peek() {
+                self.pos += 1;
+            }
+            if self.digit_run() == 0 {
+                return Err(JsonError::new(format!("exponent without digits at byte {start}")));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid UTF-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+        }
+    }
+
+    /// Consumes a run of ASCII digits, returning how many were consumed.
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for source in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let value = Json::parse(source).expect(source);
+            assert_eq!(value.to_string(), source, "round-trip of {source}");
+        }
+        assert_eq!(Json::parse("1e3"), Ok(Json::Float(1000.0)));
+    }
+
+    #[test]
+    fn containers_round_trip_preserving_order() {
+        let source = r#"{"b":[1,2,{"x":null}],"a":"out of alphabetical order","n":-2.25}"#;
+        let value = Json::parse(source).expect("parses");
+        assert_eq!(value.to_string(), source);
+        assert_eq!(value.get("a").and_then(Json::as_str), Some("out of alphabetical order"));
+        assert_eq!(value.get("b").and_then(Json::as_array).map(<[Json]>::len), Some(3));
+        assert_eq!(value.get("n").and_then(Json::as_f64), Some(-2.25));
+        assert!(value.get("missing").is_none());
+        assert!(value.require("missing").is_err());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a \"quoted\" line\nwith a tab\t, a backslash \\ and unicode: λ→∞";
+        let printed = Json::Str(tricky.to_string()).to_string();
+        assert_eq!(Json::parse(&printed), Ok(Json::Str(tricky.to_string())));
+        // Standard escapes parse too.
+        assert_eq!(Json::parse(r#""λ\/""#), Ok(Json::Str("λ/".to_string())));
+    }
+
+    #[test]
+    fn builder_builds_in_order() {
+        let report = Json::object()
+            .field("verdict", Json::Str("holds".into()))
+            .field("traces", Json::Int(42));
+        assert_eq!(report.to_string(), r#"{"verdict":"holds","traces":42}"#);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2", "00x"] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        // Strict number grammar: no leading zeros, no bare fractions or
+        // exponents, no sign games in \u escapes — corrupt wire input is
+        // rejected, never reinterpreted.
+        for bad in ["007", "-007", "1.", "-.5", ".5", "1e", "1e+", "-", "\"\\u+12f\""] {
+            assert!(Json::parse(bad).is_err(), "accepted non-JSON number form {bad:?}");
+        }
+        for good in ["0", "-0", "0.5", "10", "1.25e-3", "\"\\u012f\""] {
+            assert!(Json::parse(good).is_ok(), "rejected valid JSON {good:?}");
+        }
+        // Hostile nesting is a parse error, not a stack overflow.
+        let deep = "[".repeat(200_000);
+        assert!(Json::parse(&deep).is_err());
+        let near = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&near).is_ok(), "documents at the depth limit still parse");
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&over).is_err(), "one past the limit is rejected");
+        // Floats keep their decimal point so they re-parse as floats.
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::parse("2.0"), Ok(Json::Float(2.0)));
+    }
+}

@@ -11,7 +11,13 @@
 //! * [`arena`] — the hash-consed formula arena (`FormulaId`/`TermId` handles,
 //!   structural sharing) and the memoized arena evaluator;
 //! * [`session`] — the unified checking façade: `Session`, builder-style
-//!   `CheckRequest`, backend selection, and the uniform `Verdict`;
+//!   `CheckRequest`, backend selection, the uniform `Verdict`, and the
+//!   batched job API (`submit` / `check_many`);
+//! * [`scheduler`] — cross-request job multiplexing over the worker pool
+//!   (`JobHandle`, deterministic batch execution);
+//! * [`json`] — a dependency-free JSON layer behind
+//!   `CheckReport::to_json`/`from_json`, so reports can cross a process
+//!   boundary;
 //! * [`trace`] / [`state`] — computation sequences over parameterized
 //!   propositions and state components;
 //! * [`semantics`] — the formal model of Chapter 3: the interval-construction
@@ -60,10 +66,12 @@ pub mod bounded;
 pub mod diagram;
 pub mod dsl;
 pub mod interval;
+pub mod json;
 pub mod ltl_translate;
 pub mod ops;
 pub mod parser;
 pub mod process;
+pub mod scheduler;
 pub mod semantics;
 pub mod session;
 pub mod spec;
@@ -89,8 +97,9 @@ pub mod prelude {
     pub use crate::diagram::Diagram;
     pub use crate::interval::{Constructed, Endpoint, Interval};
     pub use crate::ops::Operation;
-    pub use crate::pool::{Parallelism, WorkerPool};
+    pub use crate::pool::{CancelToken, Exhaustion, Parallelism, ResourceBudget, WorkerPool};
     pub use crate::process::{ProcessId, ProcessSpec, System};
+    pub use crate::scheduler::{JobHandle, JobId};
     pub use crate::semantics::{holds, Dir, Env, Evaluator};
     pub use crate::session::{
         Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,

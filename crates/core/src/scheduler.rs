@@ -1,0 +1,174 @@
+//! Cross-request job scheduling for the batched [`crate::session`] API.
+//!
+//! The PR 1 `Session` was strictly one-shot: `check` ran a single request to
+//! completion, and the worker pool only ever accelerated the *inside* of that
+//! request.  A service workload is shaped differently — many independent
+//! checks of very different sizes, where a two-millisecond `Decide` job must
+//! not queue behind a two-minute `Bounded` sweep.  This module supplies the
+//! missing layer: [`Session::submit`](crate::session::Session::submit) hands
+//! out a [`JobHandle`] per queued request, and the crate-private `run_jobs`
+//! multiplexer spreads the whole queue onto the
+//! [`crate::pool::WorkerPool`], one *job* per worker at a time, pulled from a
+//! shared atomic queue head so workers that finish small jobs immediately
+//! pick up the next one.
+//!
+//! # Determinism
+//!
+//! Batched execution keeps the repository's contract that parallelism never
+//! changes an answer:
+//!
+//! * every job is **self-contained** — it reads a frozen
+//!   [`crate::arena::ArenaSnapshot`] and owns its evaluator state, so its
+//!   outcome is a pure function of the prepared request, not of which worker
+//!   ran it or when;
+//! * jobs of a batch execute **single-threaded** (the batch trades
+//!   intra-request fan-out for cross-request fan-out), so each outcome —
+//!   verdict, counterexample, trace counts, memo counters — is bit-identical
+//!   to what a sequential loop of single-threaded
+//!   [`Session::check`](crate::session::Session::check) calls would produce;
+//! * results are **finalized in submission order** on the session thread
+//!   (cumulative counters, arena sizes), replaying the sequential loop's
+//!   bookkeeping exactly.
+//!
+//! Only wall-clock durations — and cutoffs from a shared deadline or
+//! cancellation token, which are timing-dependent by nature — vary between
+//! runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::WorkerPool;
+
+/// Identifier of a job submitted to a [`crate::session::Session`]; issued in
+/// submission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    pub(crate) fn new(id: u64) -> JobId {
+        JobId(id)
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// A claim on the eventual [`crate::session::CheckReport`] of a submitted
+/// job; redeem it with [`Session::wait`](crate::session::Session::wait) (or
+/// `try_wait`) on the session that issued it.
+///
+/// A handle remembers which session minted it (a process-unique nonce), so
+/// presenting it to a *different* session is detected — `try_wait` returns
+/// `None` and `wait` panics — instead of silently redeeming whichever of
+/// that session's jobs happens to share the numeric id.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    session: u64,
+    id: JobId,
+}
+
+impl JobHandle {
+    pub(crate) fn new(session: u64, id: JobId) -> JobHandle {
+        JobHandle { session, id }
+    }
+
+    /// The nonce of the session that issued this handle.
+    pub(crate) fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The job's identifier (stable across the issuing session's lifetime).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+}
+
+/// Runs `count` jobs across the pool and returns their outcomes in job
+/// order.
+///
+/// Workers claim job indices from a shared atomic head — a worker that
+/// finishes a small job immediately claims the next, so the batch's
+/// wall-clock time approaches `total_work / workers` regardless of how
+/// unevenly sized the jobs are (the classic list-scheduling bound: no worker
+/// idles while jobs remain).  `run` must be a pure function of the index —
+/// every caller passes the session's `execute` over a frozen snapshot — so
+/// although the *assignment* of jobs to workers is racy, the returned
+/// outcomes are not.
+pub(crate) fn run_jobs<T, F>(pool: &WorkerPool, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if pool.workers() == 1 || count < 2 {
+        return (0..count).map(run).collect();
+    }
+    let head = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = pool.run(|_| {
+        let mut mine = Vec::new();
+        loop {
+            let index = head.fetch_add(1, Ordering::Relaxed);
+            if index >= count {
+                break;
+            }
+            mine.push((index, run(index)));
+        }
+        mine
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (index, outcome) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "job {index} ran twice");
+        slots[index] = Some(outcome);
+    }
+    slots.into_iter().map(|slot| slot.expect("every job index is claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Parallelism;
+
+    #[test]
+    fn job_ids_order_and_display() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert_eq!(JobId::new(7).to_string(), "job#7");
+        let handle = JobHandle::new(9, JobId::new(3));
+        assert_eq!(handle.id(), JobId::new(3));
+        assert_eq!(handle.session(), 9);
+    }
+
+    #[test]
+    fn run_jobs_returns_outcomes_in_job_order() {
+        for workers in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(Parallelism::Fixed(workers));
+            let outcomes = run_jobs(&pool, 23, |i| i * i);
+            assert_eq!(outcomes, (0..23).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+        // Empty and single-job batches short-circuit.
+        let pool = WorkerPool::new(Parallelism::Fixed(4));
+        assert_eq!(run_jobs(&pool, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_jobs(&pool, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = AtomicUsize::new(0);
+        let pool = WorkerPool::new(Parallelism::Fixed(3));
+        let outcomes = run_jobs(&pool, 50, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            // Uneven work: every 7th job is much heavier.
+            if i % 7 == 0 {
+                (0..10_000).sum::<usize>() + i
+            } else {
+                i
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let expected = if i % 7 == 0 { (0..10_000).sum::<usize>() + i } else { i };
+            assert_eq!(*outcome, expected);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The unified checking API: [`Session`], [`CheckRequest`], [`Backend`],
-//! [`Verdict`].
+//! [`Verdict`] — one-shot ([`Session::check`]) and job-oriented
+//! ([`Session::submit`] / [`Session::check_many`]).
 //!
 //! The repository grew four disconnected ways of asking whether a formula
 //! holds — [`crate::semantics::Evaluator::check`] over a single trace,
@@ -22,19 +23,54 @@
 //! assert_eq!(session.check(request).verdict, Verdict::ValidUpTo(3));
 //! ```
 //!
+//! # The job API
+//!
+//! A service workload is many checks, not one: [`Session::submit`] enqueues a
+//! request and returns a [`JobHandle`] immediately, [`Session::check_many`]
+//! submits a whole batch and waits for all of it, and the
+//! [`crate::scheduler`] multiplexes the queued jobs across the worker pool so
+//! small jobs no longer serialize behind a big sweep.  Batch results are
+//! *bit-identical* (verdicts, counterexamples, deterministic statistics) to a
+//! sequential loop of single-threaded [`Session::check`] calls, at every
+//! worker count — see the scheduler module for the discipline.
+//!
+//! ```
+//! use ilogic_core::dsl::*;
+//! use ilogic_core::session::{CheckRequest, Session};
+//!
+//! let mut session = Session::new();
+//! let reports = session.check_many(vec![
+//!     CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 3),
+//!     CheckRequest::new(always(prop("P")).implies(eventually(prop("P")))).decide(),
+//! ]);
+//! assert!(reports.iter().all(|report| report.verdict.passed()));
+//! ```
+//!
+//! # Resource control
+//!
+//! Every cutoff — tableau size, condition-DNF implicants, enumeration depth,
+//! wall-clock deadline, cooperative cancellation — is one type:
+//! [`ResourceBudget`], attached per request with [`CheckRequest::with_budget`]
+//! or per session with [`Session::set_budget`].  A check that runs out of any
+//! resource answers `Verdict::Unknown { exhausted: Some(…) }` uniformly,
+//! whatever backend it ran on.
+//!
 //! The pre-existing entry points remain available as the low-level layer; the
 //! facade is how new code (and all the `examples/`) should check formulas.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ilogic_temporal::tableau::{valid_pure_bounded_with, BuildLimits};
+use ilogic_temporal::tableau::valid_pure_budgeted;
 
 use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
+use crate::json::{Json, JsonError};
 use crate::ltl_translate::to_ltl;
-use crate::pool::{Parallelism, WorkerPool};
+use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
+use crate::scheduler::{self, JobHandle, JobId};
 use crate::spec::{close_free_variables, Spec, SpecReport};
 use crate::star::eliminate_star;
 use crate::syntax::{Formula, IntervalTerm, Pred};
@@ -155,13 +191,20 @@ pub struct CheckRequest {
     backend: Backend,
     domain: Option<Vec<Value>>,
     parallelism: Option<Parallelism>,
+    budget: Option<ResourceBudget>,
 }
 
 impl CheckRequest {
     /// A request for `formula`, defaulting to the [`Backend::Decide`] engine;
     /// select another backend with the builder methods.
     pub fn new(formula: Formula) -> CheckRequest {
-        CheckRequest { formula, backend: Backend::Decide, domain: None, parallelism: None }
+        CheckRequest {
+            formula,
+            backend: Backend::Decide,
+            domain: None,
+            parallelism: None,
+            budget: None,
+        }
     }
 
     /// Checks the formula over one concrete computation.
@@ -240,6 +283,21 @@ impl CheckRequest {
         self.domain = Some(domain);
         self
     }
+
+    /// Attaches a [`ResourceBudget`] — the single limits surface of every
+    /// backend: tableau node/edge caps and the condition-implicant cap for
+    /// `Decide`, the enumeration cap for `Bounded`/`Explore` and the
+    /// refutation sweep, plus the wall-clock deadline and cancellation token
+    /// honoured by all of them.  When not set, the session default
+    /// ([`Session::set_budget`]) and then [`ResourceBudget::default`] apply.
+    ///
+    /// Running out of any resource yields
+    /// `Verdict::Unknown { exhausted: Some(…) }`; a budget can never flip a
+    /// settled verdict, only withhold one.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> CheckRequest {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 /// The uniform answer of every backend.
@@ -253,15 +311,36 @@ pub enum Verdict {
     /// No counterexample exists among computations of up to the given number
     /// of explicit states (bounded-validity evidence, not a proof).
     ValidUpTo(usize),
-    /// The backend could not settle the property (e.g. the formula falls
-    /// outside the decidable fragment, or there was nothing to check).
-    Unknown,
+    /// The backend could not settle the property.  `exhausted` reports the
+    /// [`ResourceBudget`] resource that ran out, uniformly for every backend;
+    /// `None` means the property is genuinely out of the backend's reach
+    /// (outside the decidable fragment, or there was nothing to check).
+    Unknown {
+        /// The budget resource that ran out, if the cutoff was a budget.
+        exhausted: Option<Exhaustion>,
+    },
 }
 
 impl Verdict {
+    /// The `Unknown` verdict with no budget involvement (outside the
+    /// fragment, nothing to check).
+    pub fn unknown() -> Verdict {
+        Verdict::Unknown { exhausted: None }
+    }
+
+    /// The `Unknown` verdict caused by running out of a budget resource.
+    pub fn exhausted(exhausted: Exhaustion) -> Verdict {
+        Verdict::Unknown { exhausted: Some(exhausted) }
+    }
+
     /// `true` for [`Verdict::Holds`] and [`Verdict::ValidUpTo`].
     pub fn passed(&self) -> bool {
         matches!(self, Verdict::Holds | Verdict::ValidUpTo(_))
+    }
+
+    /// `true` for any [`Verdict::Unknown`], budget-caused or not.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown { .. })
     }
 
     /// The falsifying computation, if one was found.
@@ -279,13 +358,14 @@ impl fmt::Display for Verdict {
             Verdict::Holds => write!(f, "holds"),
             Verdict::Counterexample(trace) => write!(f, "counterexample: {trace}"),
             Verdict::ValidUpTo(bound) => write!(f, "valid up to bound {bound}"),
-            Verdict::Unknown => write!(f, "unknown"),
+            Verdict::Unknown { exhausted: None } => write!(f, "unknown"),
+            Verdict::Unknown { exhausted: Some(cut) } => write!(f, "unknown ({cut})"),
         }
     }
 }
 
 /// Uniform measurements attached to every [`CheckReport`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckStats {
     /// Wall-clock time spent inside the backend.
     pub duration: Duration,
@@ -307,8 +387,24 @@ pub struct CheckStats {
     pub workers: usize,
 }
 
+impl fmt::Display for CheckStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} traces in {:?}, {} memo hits / {} misses, {} arena nodes, {} worker{}",
+            self.traces_checked,
+            self.duration,
+            self.memo.hits,
+            self.memo.misses,
+            self.arena_nodes,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+        )
+    }
+}
+
 /// The result of [`Session::check`]: the verdict plus uniform statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckReport {
     /// The verdict.
     pub verdict: Verdict,
@@ -317,6 +413,24 @@ pub struct CheckReport {
     /// Name of the backend that ran (`"trace"`, `"explore"`, `"bounded"`,
     /// `"decide"`).
     pub backend: &'static str,
+    /// For a [`Verdict::Counterexample`], the enumeration index of the
+    /// falsifying computation in the backend's source: the run-source index
+    /// for `Explore`, the global enumeration index for `Bounded` and the
+    /// `Decide` refutation sweep, `0` for `Trace`.  `None` otherwise.
+    pub failing_index: Option<usize>,
+}
+
+impl CheckReport {
+    /// The falsifying computation together with its source index — for
+    /// `Explore`-backend failures, the index of the failing run in the
+    /// submitted [`RunSource`] (see [`CheckReport::failing_index`] for the
+    /// other backends).
+    pub fn counterexample(&self) -> Option<(usize, &Trace)> {
+        match &self.verdict {
+            Verdict::Counterexample(trace) => Some((self.failing_index.unwrap_or(0), trace)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CheckReport {
@@ -333,6 +447,281 @@ impl fmt::Display for CheckReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serialization: a stable, dependency-free JSON rendering of reports, so
+// results can cross a process boundary (service responses, archived batch
+// runs, CI diffs).  `from_json(to_json(r))` reconstructs every field
+// losslessly, counterexample traces included.
+// ---------------------------------------------------------------------------
+
+impl CheckReport {
+    /// Renders the report as a single-line JSON document; inverse of
+    /// [`CheckReport::from_json`].
+    pub fn to_json(&self) -> String {
+        Json::object()
+            .field("backend", Json::Str(self.backend.to_string()))
+            .field("verdict", verdict_to_json(&self.verdict))
+            .field(
+                "failing_index",
+                match self.failing_index {
+                    Some(index) => Json::Int(index as i64),
+                    None => Json::Null,
+                },
+            )
+            .field("stats", stats_to_json(&self.stats))
+            .to_string()
+    }
+
+    /// Parses a report rendered by [`CheckReport::to_json`].
+    pub fn from_json(input: &str) -> Result<CheckReport, JsonError> {
+        let root = Json::parse(input)?;
+        let backend = match root.require("backend")?.as_str() {
+            Some("trace") => "trace",
+            Some("explore") => "explore",
+            Some("bounded") => "bounded",
+            Some("decide") => "decide",
+            other => return Err(JsonError::new(format!("unknown backend {other:?}"))),
+        };
+        let failing_index = match root.require("failing_index")? {
+            Json::Null => None,
+            value => Some(usize_of(value, "failing_index")?),
+        };
+        Ok(CheckReport {
+            verdict: verdict_from_json(root.require("verdict")?)?,
+            stats: stats_from_json(root.require("stats")?)?,
+            backend,
+            failing_index,
+        })
+    }
+}
+
+fn int_field(value: &Json, name: &str) -> Result<i64, JsonError> {
+    value.as_int().ok_or_else(|| JsonError::new(format!("field `{name}` is not an integer")))
+}
+
+/// A non-negative integer field; negative values are a shape error, not a
+/// wrap-around (this layer parses documents that crossed a process boundary,
+/// so corrupt input must be rejected, never reinterpreted).
+fn uint_field(value: &Json, name: &str) -> Result<u64, JsonError> {
+    u64::try_from(int_field(value, name)?)
+        .map_err(|_| JsonError::new(format!("field `{name}` is negative")))
+}
+
+fn usize_of(value: &Json, name: &str) -> Result<usize, JsonError> {
+    Ok(uint_field(value, name)? as usize)
+}
+
+fn verdict_to_json(verdict: &Verdict) -> Json {
+    match verdict {
+        Verdict::Holds => Json::object().field("kind", Json::Str("holds".into())),
+        Verdict::Counterexample(trace) => Json::object()
+            .field("kind", Json::Str("counterexample".into()))
+            .field("trace", trace_to_json(trace)),
+        Verdict::ValidUpTo(bound) => Json::object()
+            .field("kind", Json::Str("valid_up_to".into()))
+            .field("bound", Json::Int(*bound as i64)),
+        Verdict::Unknown { exhausted } => {
+            Json::object().field("kind", Json::Str("unknown".into())).field(
+                "exhausted",
+                match exhausted {
+                    Some(cut) => Json::Str(exhaustion_name(*cut).into()),
+                    None => Json::Null,
+                },
+            )
+        }
+    }
+}
+
+fn verdict_from_json(value: &Json) -> Result<Verdict, JsonError> {
+    match value.require("kind")?.as_str() {
+        Some("holds") => Ok(Verdict::Holds),
+        Some("counterexample") => {
+            Ok(Verdict::Counterexample(trace_from_json(value.require("trace")?)?))
+        }
+        Some("valid_up_to") => Ok(Verdict::ValidUpTo(usize_of(value.require("bound")?, "bound")?)),
+        Some("unknown") => {
+            let exhausted = match value.require("exhausted")? {
+                Json::Null => None,
+                Json::Str(name) => Some(exhaustion_from_name(name)?),
+                other => return Err(JsonError::new(format!("bad exhaustion {other:?}"))),
+            };
+            Ok(Verdict::Unknown { exhausted })
+        }
+        other => Err(JsonError::new(format!("unknown verdict kind {other:?}"))),
+    }
+}
+
+fn exhaustion_name(cut: Exhaustion) -> &'static str {
+    match cut {
+        Exhaustion::Nodes => "nodes",
+        Exhaustion::Edges => "edges",
+        Exhaustion::Implicants => "implicants",
+        Exhaustion::Enumeration => "enumeration",
+        Exhaustion::Deadline => "deadline",
+        Exhaustion::Cancelled => "cancelled",
+    }
+}
+
+fn exhaustion_from_name(name: &str) -> Result<Exhaustion, JsonError> {
+    Ok(match name {
+        "nodes" => Exhaustion::Nodes,
+        "edges" => Exhaustion::Edges,
+        "implicants" => Exhaustion::Implicants,
+        "enumeration" => Exhaustion::Enumeration,
+        "deadline" => Exhaustion::Deadline,
+        "cancelled" => Exhaustion::Cancelled,
+        other => return Err(JsonError::new(format!("unknown exhaustion `{other}`"))),
+    })
+}
+
+fn stats_to_json(stats: &CheckStats) -> Json {
+    Json::object()
+        .field("duration_ns", Json::Int(stats.duration.as_nanos().min(i64::MAX as u128) as i64))
+        .field("traces_checked", Json::Int(stats.traces_checked as i64))
+        .field("memo", memo_to_json(stats.memo))
+        .field("session_memo", memo_to_json(stats.session_memo))
+        .field("arena_nodes", Json::Int(stats.arena_nodes as i64))
+        .field("workers", Json::Int(stats.workers as i64))
+}
+
+fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
+    Ok(CheckStats {
+        duration: Duration::from_nanos(uint_field(value.require("duration_ns")?, "duration_ns")?),
+        traces_checked: usize_of(value.require("traces_checked")?, "traces_checked")?,
+        memo: memo_from_json(value.require("memo")?)?,
+        session_memo: memo_from_json(value.require("session_memo")?)?,
+        arena_nodes: usize_of(value.require("arena_nodes")?, "arena_nodes")?,
+        workers: usize_of(value.require("workers")?, "workers")?,
+    })
+}
+
+fn memo_to_json(memo: MemoStats) -> Json {
+    Json::object()
+        .field("hits", Json::Int(memo.hits as i64))
+        .field("misses", Json::Int(memo.misses as i64))
+}
+
+fn memo_from_json(value: &Json) -> Result<MemoStats, JsonError> {
+    Ok(MemoStats {
+        hits: uint_field(value.require("hits")?, "hits")?,
+        misses: uint_field(value.require("misses")?, "misses")?,
+    })
+}
+
+fn trace_to_json(trace: &Trace) -> Json {
+    let states: Vec<Json> = trace.states().iter().map(state_to_json).collect();
+    Json::object()
+        .field(
+            "extension",
+            match trace.extension() {
+                crate::trace::Extension::Stutter => Json::Str("stutter".into()),
+                crate::trace::Extension::Loop(start) => {
+                    Json::object().field("loop", Json::Int(start as i64))
+                }
+            },
+        )
+        .field("states", Json::Array(states))
+}
+
+fn trace_from_json(value: &Json) -> Result<Trace, JsonError> {
+    let states: Vec<crate::state::State> = value
+        .require("states")?
+        .as_array()
+        .ok_or_else(|| JsonError::new("`states` is not an array"))?
+        .iter()
+        .map(state_from_json)
+        .collect::<Result<_, _>>()?;
+    if states.is_empty() {
+        return Err(JsonError::new("a trace must contain at least one state"));
+    }
+    match value.require("extension")? {
+        Json::Str(kind) if kind == "stutter" => Ok(Trace::finite(states)),
+        looped @ Json::Object(_) => {
+            let start = usize_of(looped.require("loop")?, "loop")?;
+            if start >= states.len() {
+                return Err(JsonError::new("loop start out of range"));
+            }
+            Ok(Trace::lasso(states, start))
+        }
+        other => Err(JsonError::new(format!("bad extension {other:?}"))),
+    }
+}
+
+fn state_to_json(state: &crate::state::State) -> Json {
+    let props: Vec<Json> = state
+        .props()
+        .map(|prop| {
+            Json::object()
+                .field("name", Json::Str(prop.name.clone()))
+                .field("args", Json::Array(prop.args.iter().map(value_to_json).collect()))
+        })
+        .collect();
+    let vars: Vec<Json> = state
+        .vars()
+        .map(|(name, value)| {
+            Json::object()
+                .field("name", Json::Str(name.to_string()))
+                .field("value", value_to_json(value))
+        })
+        .collect();
+    Json::object().field("props", Json::Array(props)).field("vars", Json::Array(vars))
+}
+
+fn state_from_json(value: &Json) -> Result<crate::state::State, JsonError> {
+    let mut state = crate::state::State::new();
+    for prop in
+        value.require("props")?.as_array().ok_or_else(|| JsonError::new("`props` not an array"))?
+    {
+        let name = prop
+            .require("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("prop name not a string"))?
+            .to_string();
+        let args: Vec<Value> = prop
+            .require("args")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("prop args not an array"))?
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<_, _>>()?;
+        state.insert(crate::state::Prop { name, args });
+    }
+    for var in
+        value.require("vars")?.as_array().ok_or_else(|| JsonError::new("`vars` not an array"))?
+    {
+        let name = var
+            .require("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("var name not a string"))?
+            .to_string();
+        state.set_var(name, value_from_json(var.require("value")?)?);
+    }
+    Ok(state)
+}
+
+fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Int(i) => Json::object().field("int", Json::Int(*i)),
+        Value::Bool(b) => Json::object().field("bool", Json::Bool(*b)),
+        Value::Sym(s) => Json::object().field("sym", Json::Str(s.clone())),
+    }
+}
+
+fn value_from_json(value: &Json) -> Result<Value, JsonError> {
+    if let Some(i) = value.get("int") {
+        return Ok(Value::Int(int_field(i, "int")?));
+    }
+    if let Some(b) = value.get("bool") {
+        return Ok(Value::Bool(b.as_bool().ok_or_else(|| JsonError::new("bad bool value"))?));
+    }
+    if let Some(s) = value.get("sym") {
+        return Ok(Value::Sym(
+            s.as_str().ok_or_else(|| JsonError::new("bad sym value"))?.to_string(),
+        ));
+    }
+    Err(JsonError::new(format!("unrecognized value {value:?}")))
+}
+
 /// The unified checking façade.
 ///
 /// A session owns a [`FormulaArena`]; every checked formula is interned into
@@ -345,11 +734,35 @@ impl fmt::Display for CheckReport {
 /// `ILOGIC_TEST_PARALLEL` environment variable.  Worker evaluation is
 /// shared-nothing over an [`crate::arena::ArenaSnapshot`]; verdicts are
 /// bit-identical to the single-threaded path.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Session {
     arena: FormulaArena,
     default_parallelism: Option<Parallelism>,
+    default_budget: Option<ResourceBudget>,
     cumulative: MemoStats,
+    /// Process-unique nonce stamped into every issued [`JobHandle`], so a
+    /// handle presented to the wrong session is rejected instead of
+    /// redeeming an unrelated job that shares the numeric id.
+    session_nonce: u64,
+    next_job: u64,
+    pending: Vec<(JobId, CheckRequest)>,
+    completed: BTreeMap<JobId, CheckReport>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        static NEXT_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Session {
+            arena: FormulaArena::default(),
+            default_parallelism: None,
+            default_budget: None,
+            cumulative: MemoStats::default(),
+            session_nonce: NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            next_job: 0,
+            pending: Vec::new(),
+            completed: BTreeMap::new(),
+        }
+    }
 }
 
 impl Session {
@@ -376,6 +789,20 @@ impl Session {
         self
     }
 
+    /// Sets the [`ResourceBudget`] used by requests that don't attach their
+    /// own ([`CheckRequest::with_budget`]); the fallback is
+    /// [`ResourceBudget::default`].  Builder-style variant:
+    /// [`Session::with_budget`].
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.default_budget = Some(budget);
+    }
+
+    /// [`Session::set_budget`], builder-style.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Session {
+        self.set_budget(budget);
+        self
+    }
+
     /// Memoization counters accumulated across every check this session ran —
     /// per-request counters are visible in each [`CheckReport`]; this is their
     /// running sum, making cross-request cache behaviour observable.
@@ -392,6 +819,12 @@ impl Session {
             .unwrap_or(Parallelism::Off)
     }
 
+    /// Effective budget: the request's explicit choice, else the session
+    /// default, else [`ResourceBudget::default`].
+    fn resolve_budget(&self, requested: Option<ResourceBudget>) -> ResourceBudget {
+        requested.or_else(|| self.default_budget.clone()).unwrap_or_default()
+    }
+
     /// Interns a formula into the session arena.
     pub fn intern(&mut self, formula: &Formula) -> FormulaId {
         self.arena.intern(formula)
@@ -402,68 +835,188 @@ impl Session {
         self.arena.extract(id)
     }
 
-    /// Runs a check and reports the verdict with uniform statistics.
-    pub fn check(&mut self, request: CheckRequest) -> CheckReport {
-        let CheckRequest { formula, backend, domain, parallelism } = request;
+    /// Interns the request's formula and resolves its knobs, recording the
+    /// arena size the report will quote.  Interning is the only arena
+    /// mutation a check performs, so preparing a whole batch in submission
+    /// order leaves the arena in exactly the state a sequential loop of
+    /// `check` calls would produce.
+    fn prepare(&mut self, request: CheckRequest) -> PreparedJob {
+        let CheckRequest { formula, backend, domain, parallelism, budget } = request;
         let backend_name = backend.name();
         let id = self.arena.intern(&formula);
-        let parallelism = self.resolve_parallelism(parallelism);
-        let start = Instant::now();
-        let (verdict, traces_checked, memo, workers) = match backend {
-            Backend::Trace(trace) => {
-                let mut memo = self.evaluator(domain);
-                let verdict = if memo.check(&trace, id) {
-                    Verdict::Holds
-                } else {
-                    Verdict::Counterexample(trace)
-                };
-                (verdict, 1, memo.stats(), 1)
-            }
-            Backend::Explore { runs } => {
-                let pool = WorkerPool::new(parallelism);
-                if pool.workers() == 1 {
-                    let (verdict, checked, memo) =
-                        drive_runs(&self.arena, &runs, id, domain.as_deref(), &pool);
-                    (verdict, checked, memo, 1)
-                } else {
-                    let snapshot = self.arena.snapshot();
-                    let (verdict, checked, memo) =
-                        drive_runs(&snapshot, &runs, id, domain.as_deref(), &pool);
-                    (verdict, checked, memo, pool.workers())
-                }
-            }
-            Backend::Bounded { props, max_len, lassos } => {
-                let mut checker = BoundedChecker::new(props, max_len);
-                if !lassos {
-                    checker = checker.without_lassos();
-                }
-                let sweep = if parallelism.workers() == 1 {
-                    checker.sweep_parallel(&self.arena, id, domain.as_deref(), Parallelism::Off)
-                } else {
-                    let snapshot = self.arena.snapshot();
-                    checker.sweep_parallel(&snapshot, id, domain.as_deref(), parallelism)
-                };
-                let verdict = match sweep.counterexample {
-                    Some((_, trace)) => Verdict::Counterexample(trace),
-                    None => Verdict::ValidUpTo(max_len),
-                };
-                (verdict, sweep.traces_checked, sweep.memo, sweep.workers)
-            }
-            Backend::Decide => self.decide(&formula, id, parallelism),
-        };
-        self.cumulative.merge(memo);
-        CheckReport {
-            verdict,
-            stats: CheckStats {
-                duration: start.elapsed(),
-                traces_checked,
-                memo,
-                session_memo: self.cumulative,
-                arena_nodes: self.arena.formula_count() + self.arena.term_count(),
-                workers,
-            },
-            backend: backend_name,
+        PreparedJob {
+            id,
+            formula,
+            backend,
+            domain,
+            parallelism: self.resolve_parallelism(parallelism),
+            budget: self.resolve_budget(budget),
+            arena_nodes: self.arena.formula_count() + self.arena.term_count(),
+            backend_name,
         }
+    }
+
+    /// Folds a finished job into the session counters (in submission order
+    /// for batches — the same merge order as a sequential loop) and shapes
+    /// the report.
+    fn finalize(&mut self, job: &PreparedJob, outcome: JobOutcome) -> CheckReport {
+        self.cumulative.merge(outcome.memo);
+        CheckReport {
+            verdict: outcome.verdict,
+            stats: CheckStats {
+                duration: outcome.duration,
+                traces_checked: outcome.traces_checked,
+                memo: outcome.memo,
+                session_memo: self.cumulative,
+                arena_nodes: job.arena_nodes,
+                workers: outcome.workers,
+            },
+            backend: job.backend_name,
+            failing_index: outcome.failing_index,
+        }
+    }
+
+    /// Runs a check and reports the verdict with uniform statistics.
+    pub fn check(&mut self, request: CheckRequest) -> CheckReport {
+        let job = self.prepare(request);
+        // Snapshot the arena only for multi-worker backends whose hot loop
+        // reads it (`Explore`/`Bounded` sweeps).  `Trace` is single-threaded,
+        // and `Decide` touches the arena only in its refutation sweep — often
+        // never (theorems settle in the tableau) — so both run directly over
+        // the exclusively-borrowed arena, which is `Sync` and read-only here;
+        // an O(arena) copy per check would be pure waste.
+        let wants_snapshot = job.parallelism.workers() > 1
+            && matches!(job.backend, Backend::Explore { .. } | Backend::Bounded { .. });
+        let outcome = if wants_snapshot {
+            let snapshot = self.arena.snapshot();
+            execute(&snapshot, &job)
+        } else {
+            execute(&self.arena, &job)
+        };
+        self.finalize(&job, outcome)
+    }
+
+    /// Enqueues a check and returns a handle to its eventual report.
+    ///
+    /// Queued jobs run when the queue is next driven — by
+    /// [`Session::run_pending`], by [`Session::wait`] on any handle, or by
+    /// [`Session::check_many`] — and the whole queue is multiplexed across
+    /// the worker pool by the [`crate::scheduler`], so a queue of mixed jobs
+    /// finishes in the wall-clock time of its slowest jobs rather than their
+    /// sum.
+    ///
+    /// In batch mode every job executes single-threaded: cross-request
+    /// fan-out replaces intra-request fan-out, and a per-request
+    /// [`CheckRequest::with_parallelism`] is deliberately ignored (this is
+    /// what keeps batch results bit-identical to a sequential loop at any
+    /// worker count).  For one heavy request that should itself fan out,
+    /// call [`Session::check`] instead of submitting it.
+    pub fn submit(&mut self, request: CheckRequest) -> JobHandle {
+        let id = JobId::new(self.next_job);
+        self.next_job += 1;
+        self.pending.push((id, request));
+        JobHandle::new(self.session_nonce, id)
+    }
+
+    /// Number of submitted jobs not yet run.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs every queued job, multiplexing the batch across the worker pool
+    /// (the session parallelism, or the `ILOGIC_TEST_PARALLEL` override,
+    /// decides the worker count).  Results become available to
+    /// [`Session::wait`] / [`Session::try_wait`].
+    ///
+    /// Each job of a batch executes single-threaded — the batch trades
+    /// intra-request fan-out for cross-request fan-out — so every job's
+    /// verdict, counterexample, and deterministic statistics are bit-identical
+    /// to a sequential loop of single-threaded [`Session::check`] calls in
+    /// submission order, whatever the worker count.  (Only wall-clock
+    /// durations, and cutoffs from a deadline or cancellation, vary.)
+    pub fn run_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.pending);
+        // Phase 1 — prepare sequentially in submission order: interning
+        // replays the arena states of the sequential loop, and each job's
+        // intra-request parallelism is pinned off (the scheduler owns the
+        // workers).
+        let jobs: Vec<(JobId, PreparedJob)> = queue
+            .into_iter()
+            .map(|(id, request)| {
+                let request = request.with_parallelism(Parallelism::Off);
+                (id, self.prepare(request))
+            })
+            .collect();
+        // Phase 2 — execute the jobs across the pool over one frozen
+        // snapshot.  Per-job results don't depend on which worker runs them.
+        let pool = WorkerPool::new(self.resolve_parallelism(None));
+        let outcomes: Vec<JobOutcome> = if pool.workers() == 1 {
+            jobs.iter().map(|(_, job)| execute(&self.arena, job)).collect()
+        } else {
+            let snapshot = self.arena.snapshot();
+            scheduler::run_jobs(&pool, jobs.len(), |i| execute(&snapshot, &jobs[i].1))
+        };
+        // Phase 3 — finalize in submission order, replaying the sequential
+        // loop's cumulative-counter merges.
+        for ((id, job), outcome) in jobs.iter().zip(outcomes) {
+            let report = self.finalize(job, outcome);
+            self.completed.insert(*id, report);
+        }
+    }
+
+    /// Waits for a submitted job and takes its report (driving the queue if
+    /// the job has not run yet).  Each handle redeems exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was not issued by this session or its report was
+    /// already taken; use [`Session::try_wait`] to probe instead.
+    pub fn wait(&mut self, handle: &JobHandle) -> CheckReport {
+        self.try_wait(handle).expect("unknown or already-redeemed job handle")
+    }
+
+    /// Drains every finished-but-unclaimed report, in job order.
+    ///
+    /// The counterpart to per-handle [`Session::wait`] for service loops:
+    /// reports of jobs whose handle was dropped (a disconnected client, a
+    /// fire-and-forget submission) stay in the session until claimed, so a
+    /// long-lived session should either redeem every handle or drain here
+    /// periodically — otherwise finished reports (counterexample traces
+    /// included) accumulate for its lifetime.  Queued jobs are *not* run by
+    /// this call; invoke [`Session::run_pending`] first to flush them.
+    pub fn take_completed(&mut self) -> Vec<(JobId, CheckReport)> {
+        std::mem::take(&mut self.completed).into_iter().collect()
+    }
+
+    /// [`Session::wait`] returning `None` for a foreign or already-redeemed
+    /// handle instead of panicking.
+    pub fn try_wait(&mut self, handle: &JobHandle) -> Option<CheckReport> {
+        if handle.session() != self.session_nonce {
+            // A handle minted by a different session: its numeric id may
+            // collide with one of ours, so reject it outright rather than
+            // redeem an unrelated job.
+            return None;
+        }
+        if self.pending.iter().any(|(id, _)| *id == handle.id()) {
+            self.run_pending();
+        }
+        self.completed.remove(&handle.id())
+    }
+
+    /// Checks a whole batch of requests, multiplexed across the worker pool,
+    /// and returns the reports in request order.
+    ///
+    /// Equivalent to (and bit-identical with, in everything but wall-clock
+    /// durations) `requests.into_iter().map(|r|
+    /// session.check(r.with_parallelism(Parallelism::Off))).collect()` — see
+    /// [`Session::run_pending`] for the determinism discipline.
+    pub fn check_many(&mut self, requests: Vec<CheckRequest>) -> Vec<CheckReport> {
+        let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.submit(r)).collect();
+        self.run_pending();
+        handles.iter().map(|handle| self.wait(handle)).collect()
     }
 
     /// Checks every clause of a specification against a trace through the
@@ -528,84 +1081,203 @@ impl Session {
             .collect();
         SpecReport { spec: spec.name().to_string(), results }
     }
-
-    fn evaluator(&self, domain: Option<Vec<Value>>) -> MemoEvaluator<'_> {
-        let memo = MemoEvaluator::new(&self.arena);
-        match domain {
-            Some(domain) => memo.with_domain(domain),
-            None => memo,
-        }
-    }
-
-    /// The `Decide` backend: translate to LTL and run the tableau under a
-    /// construction budget (deeply nested translations are exponential — a
-    /// blowup yields `Unknown`, never a hang).  On non-validity, search for a
-    /// small concrete counterexample — itself budgeted, since the enumeration
-    /// is exponential in the proposition count — so the verdict stays uniform
-    /// with the other backends.
-    ///
-    /// Under parallelism, every phase fans across the worker pool: the
-    /// tableau is built level-parallel and pruned with sharded reachability
-    /// analyses (`valid_pure_bounded_with`), and the refutation search is the
-    /// same sharded lowest-index-wins sweep the `Bounded` backend uses.
-    /// Verdicts — `Holds`, the concrete counterexample, and
-    /// `Unknown`-under-budget alike — are bit-identical at every worker
-    /// count.
-    fn decide(
-        &mut self,
-        formula: &Formula,
-        id: FormulaId,
-        parallelism: Parallelism,
-    ) -> (Verdict, usize, MemoStats, usize) {
-        let workers = parallelism.workers();
-        let Ok(ltl) = to_ltl(formula) else {
-            return (Verdict::Unknown, 0, MemoStats::default(), workers);
-        };
-        match valid_pure_bounded_with(&ltl, BuildLimits::default(), parallelism) {
-            Some(true) => (Verdict::Holds, 0, MemoStats::default(), workers),
-            Some(false) | None => {
-                // Refuted (or out of tableau reach): concretize over the
-                // deepest bound whose enumeration fits the budget.
-                let props = proposition_names(formula);
-                let Some(checker) = (1..=DECIDE_REFUTATION_BOUND).rev().find_map(|len| {
-                    let checker = BoundedChecker::new(props.clone(), len);
-                    (checker.model_count() <= DECIDE_REFUTATION_MODELS).then_some(checker)
-                }) else {
-                    return (Verdict::Unknown, 0, MemoStats::default(), workers);
-                };
-                let sweep = if workers == 1 {
-                    checker.sweep_parallel(&self.arena, id, None, Parallelism::Off)
-                } else {
-                    let snapshot = self.arena.snapshot();
-                    checker.sweep_parallel(&snapshot, id, None, parallelism)
-                };
-                let verdict = match sweep.counterexample {
-                    Some((_, trace)) => Verdict::Counterexample(trace),
-                    None => Verdict::Unknown,
-                };
-                (verdict, sweep.traces_checked, sweep.memo, sweep.workers)
-            }
-        }
-    }
 }
 
-/// Runs pulled from a lazy [`RunSource`] per fan-out round.  Collected sources
-/// are dispatched as one batch; lazy sources are consumed batch by batch so
-/// memory stays bounded and early exit doesn't drain the producer.
+/// A [`CheckRequest`] after [`Session::prepare`]: formula interned, knobs
+/// resolved, arena size recorded.  The unit of work the scheduler multiplexes.
+pub(crate) struct PreparedJob {
+    id: FormulaId,
+    formula: Formula,
+    backend: Backend,
+    domain: Option<Vec<Value>>,
+    parallelism: Parallelism,
+    budget: ResourceBudget,
+    arena_nodes: usize,
+    backend_name: &'static str,
+}
+
+/// Everything a backend run produces; [`Session::finalize`] adds the
+/// session-level fields (cumulative counters, arena size).
+pub(crate) struct JobOutcome {
+    verdict: Verdict,
+    traces_checked: usize,
+    memo: MemoStats,
+    workers: usize,
+    failing_index: Option<usize>,
+    duration: Duration,
+}
+
+/// Runs one prepared job against an arena view.  This is the *single*
+/// execution path behind both [`Session::check`] and the batch scheduler —
+/// which is what makes batch results bit-identical to a loop of `check`
+/// calls: there is no second implementation to diverge.
+pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobOutcome {
+    let start = Instant::now();
+    let (verdict, traces_checked, memo, workers, failing_index) = match &job.backend {
+        Backend::Trace(trace) => {
+            let mut memo = MemoEvaluator::new(arena);
+            if let Some(domain) = &job.domain {
+                memo = memo.with_domain(domain.clone());
+            }
+            if let Some(cut) = job.budget.interrupted() {
+                (Verdict::exhausted(cut), 0, MemoStats::default(), 1, None)
+            } else if memo.check(trace, job.id) {
+                (Verdict::Holds, 1, memo.stats(), 1, None)
+            } else {
+                (Verdict::Counterexample(trace.clone()), 1, memo.stats(), 1, Some(0))
+            }
+        }
+        Backend::Explore { runs } => {
+            let pool = WorkerPool::new(job.parallelism);
+            let (verdict, checked, memo, index) =
+                drive_runs(arena, runs, job.id, job.domain.as_deref(), &pool, &job.budget);
+            (verdict, checked, memo, pool.workers(), index)
+        }
+        Backend::Bounded { props, max_len, lassos } => {
+            let mut checker = BoundedChecker::new(props.clone(), *max_len);
+            if !lassos {
+                checker = checker.without_lassos();
+            }
+            let sweep = checker.sweep_budgeted(
+                arena,
+                job.id,
+                job.domain.as_deref(),
+                job.parallelism,
+                &job.budget,
+            );
+            let (verdict, index) = match sweep.counterexample {
+                Some((index, trace)) => (Verdict::Counterexample(trace), Some(index)),
+                None => match sweep.exhausted {
+                    Some(cut) => (Verdict::exhausted(cut), None),
+                    None => (Verdict::ValidUpTo(*max_len), None),
+                },
+            };
+            (verdict, sweep.traces_checked, sweep.memo, sweep.workers, index)
+        }
+        Backend::Decide => decide(arena, job),
+    };
+    JobOutcome { verdict, traces_checked, memo, workers, failing_index, duration: start.elapsed() }
+}
+
+/// The `Decide` backend: translate to LTL and run the tableau under the
+/// job's [`ResourceBudget`] (deeply nested translations are exponential — a
+/// blowup yields `Unknown { exhausted }`, never a hang, under any finite
+/// budget; [`ResourceBudget::unbounded`] is the caller explicitly choosing
+/// run-to-completion, however long that takes).  On non-validity, search for
+/// a small concrete counterexample — the sweep draws on the same budget's
+/// enumeration cap, so the verdict stays uniform with the other backends.
+///
+/// Under parallelism, every phase fans across the worker pool: the tableau
+/// is built level-parallel and pruned with sharded reachability analyses
+/// ([`valid_pure_budgeted`]), and the refutation search is the same sharded
+/// lowest-index-wins sweep the `Bounded` backend uses.  Verdicts — `Holds`,
+/// the concrete counterexample, and `Unknown`-under-budget alike — are
+/// bit-identical at every worker count (deadline/cancellation cuts aside).
+fn decide<A: ArenaRead + Sync>(
+    arena: &A,
+    job: &PreparedJob,
+) -> (Verdict, usize, MemoStats, usize, Option<usize>) {
+    let workers = job.parallelism.workers();
+    let none = MemoStats::default();
+    let Ok(ltl) = to_ltl(&job.formula) else {
+        return (Verdict::unknown(), 0, none, workers, None);
+    };
+    let refuted = match valid_pure_budgeted(&ltl, &job.budget, job.parallelism) {
+        Ok(true) => return (Verdict::Holds, 0, none, workers, None),
+        // Refuted — or out of tableau reach, in which case a concrete
+        // countermodel (sound regardless of the tableau) is still worth the
+        // sweep below; remember the cut for the verdict if none is found.
+        Ok(false) => None,
+        Err(cut) => Some(cut),
+    };
+    // Concretize over the deepest bound whose enumeration fits the budget.
+    // A saturated model count never fits — the enumeration's global indices
+    // would overflow — so a very wide alphabet degrades to `Unknown` even
+    // under an unbounded cap rather than attempting an uncountable sweep.
+    // Whether the *budget* (as opposed to saturation or the internal depth
+    // constant) rejected a deeper bound is tracked so the verdict only
+    // reports `exhausted: Some(Enumeration)` when raising `max_enumeration`
+    // could actually have helped.
+    let props = proposition_names(&job.formula);
+    let cap = job.budget.max_enumeration();
+    let mut cap_blocked_depth = false;
+    let mut chosen = None;
+    for len in (1..=DECIDE_REFUTATION_BOUND).rev() {
+        let checker = BoundedChecker::new(props.clone(), len);
+        let count = checker.model_count();
+        if count == usize::MAX {
+            continue; // Uncountable at this depth: not a budget matter.
+        }
+        if count > cap {
+            cap_blocked_depth = true;
+            continue;
+        }
+        chosen = Some(checker);
+        break;
+    }
+    let budget_cut_depth = cap_blocked_depth.then_some(Exhaustion::Enumeration);
+    let Some(checker) = chosen else {
+        // No enumerable refutation depth at all: name the tableau cut or the
+        // cap if one of them is to blame; pure saturation is a plain
+        // `Unknown` no budget change can fix.
+        return match refuted.or(budget_cut_depth) {
+            Some(cut) => (Verdict::exhausted(cut), 0, none, workers, None),
+            None => (Verdict::unknown(), 0, none, workers, None),
+        };
+    };
+    let sweep = checker.sweep_budgeted(arena, job.id, None, job.parallelism, &job.budget);
+    let (verdict, index) = match sweep.counterexample {
+        Some((index, trace)) => (Verdict::Counterexample(trace), Some(index)),
+        // No countermodel within reach: blame the earliest budget cut — the
+        // tableau exhaustion if there was one, a sweep cut otherwise, or the
+        // enumeration cap when it forced a shallower bound than the budget-
+        // independent choice would have used.  A sweep that ran the deepest
+        // enumerable depth to completion exhausted nothing: the verdict is a
+        // plain `Unknown` (the depth limit is an internal constant, not a
+        // budget resource).
+        None => match refuted.or(sweep.exhausted).or(budget_cut_depth) {
+            Some(cut) => (Verdict::exhausted(cut), None),
+            None => (Verdict::unknown(), None),
+        },
+    };
+    (verdict, sweep.traces_checked, sweep.memo, sweep.workers, index)
+}
+
+/// Runs pulled from a lazy [`RunSource`] per fan-out round.  Collected
+/// sources are dispatched as one search (workers poll the budget's timing
+/// cutoffs in-flight); lazy sources are consumed batch by batch so memory
+/// stays bounded and early exit doesn't drain the producer.
 const RUN_BATCH_PER_WORKER: usize = 32;
+
+/// What stops a worker of an `Explore` sweep at a given run index: a genuine
+/// failing run, or a timing-cutoff poll firing.  Both travel through the
+/// lowest-index-wins search join, so a failure found *above* a cut index is
+/// conservatively discarded (an earlier failure might sit in the cut
+/// worker's unexamined gap) — the same minimality discipline as
+/// [`BoundedChecker::sweep_budgeted`].
+enum RunFind {
+    Fail(Trace),
+    Cut(Exhaustion),
+}
 
 /// The `Explore` engine: checks every run of `runs` against `formula`,
 /// fanning each batch across the pool.  The verdict is independent of the
 /// worker count: among failing runs examined, the lowest run index wins —
-/// exactly the first failure the sequential loop reports.
+/// exactly the first failure the sequential loop reports.  Runs with index at
+/// or beyond the budget's enumeration cap are not examined (a deterministic
+/// truncation reported as `Unknown { exhausted: Enumeration }` when no
+/// earlier run fails); the deadline/cancellation cutoffs are polled between
+/// batches.
 fn drive_runs<'a, A: ArenaRead + Sync>(
     arena: &'a A,
     runs: &RunSource,
     formula: FormulaId,
     domain: Option<&[Value]>,
     pool: &WorkerPool,
-) -> (Verdict, usize, MemoStats) {
+    budget: &ResourceBudget,
+) -> (Verdict, usize, MemoStats, Option<usize>) {
     let workers = pool.workers();
+    let cap = budget.max_enumeration();
     // One evaluator (plus its examined-run counter) per worker for the
     // *whole* check: batches of a lazy source reuse the memo-table
     // allocations, interned environments and needs-domain cache instead of
@@ -622,42 +1294,76 @@ fn drive_runs<'a, A: ArenaRead + Sync>(
         })
         .collect();
     let mut failure: Option<(usize, Trace)> = None;
+    let mut exhausted: Option<Exhaustion> = None;
 
+    // One sharded search per batch.  Runs at index `cap` and beyond are
+    // outside the enumeration budget (a pure function of the index, so the
+    // truncation is identical at every worker count); each worker re-polls
+    // the timing cutoffs every few hundred runs in-flight, surfacing a cut
+    // as a `RunFind::Cut` at the index it stopped — the minimality filter in
+    // the match below does the rest.
     let sweep_batch = |batch: &[Trace], offset: usize, states: Vec<Worker<'a, A>>| {
-        pool.search(batch.len(), offset, states, |(memo, checked), global| {
+        let within = batch.len().min(cap.saturating_sub(offset));
+        pool.search(within, offset, states, |(memo, checked), global| {
+            if checked.is_multiple_of(crate::pool::INTERRUPT_POLL_PERIOD) {
+                if let Some(cut) = budget.interrupted() {
+                    return Some(RunFind::Cut(cut));
+                }
+            }
             let run = &batch[global - offset];
             *checked += 1;
             if memo.check(run, formula) {
                 None
             } else {
-                Some(run.clone())
+                Some(RunFind::Fail(run.clone()))
             }
         })
+    };
+    // Applies one batch's outcome; `true` ends the sweep.  Like the bounded
+    // sweep, the deterministic enumeration-cap truncation takes precedence
+    // over a concurrent timing cut so repeated runs agree whenever they can.
+    let mut settle = |found: Option<(usize, RunFind)>, past_cap: bool| match found {
+        Some((index, RunFind::Fail(trace))) => {
+            failure = Some((index, trace));
+            true
+        }
+        Some((_, RunFind::Cut(cut))) => {
+            exhausted = Some(if past_cap { Exhaustion::Enumeration } else { cut });
+            true
+        }
+        None if past_cap => {
+            // Runs exist at or beyond the cap: truncated, not complete.
+            exhausted = Some(Exhaustion::Enumeration);
+            true
+        }
+        None => false,
     };
 
     match &runs.inner {
         RunsInner::Collected(all) => {
             let (found, back) = sweep_batch(all, 0, states);
             states = back;
-            failure = found;
+            settle(found, all.len() > cap);
         }
         RunsInner::Lazy(make) => {
             let mut producer = make();
             let mut offset = 0usize;
             let batch_size = workers * RUN_BATCH_PER_WORKER;
             loop {
-                let batch: Vec<Trace> = producer.by_ref().take(batch_size).collect();
+                // Beyond the cap, pull a single probe run: enough to tell
+                // truncation from completion without materializing a batch
+                // that would never be examined.
+                let want = batch_size.min(cap.saturating_sub(offset).saturating_add(1));
+                let batch: Vec<Trace> = producer.by_ref().take(want).collect();
                 if batch.is_empty() {
-                    break;
+                    break; // Producer drained below the cap: check complete.
                 }
-                let len = batch.len();
                 let (found, back) = sweep_batch(&batch, offset, states);
                 states = back;
-                if found.is_some() {
-                    failure = found;
+                if settle(found, offset + batch.len() > cap) {
                     break;
                 }
-                offset += len;
+                offset += batch.len();
             }
         }
     }
@@ -668,21 +1374,23 @@ fn drive_runs<'a, A: ArenaRead + Sync>(
         checked_total += checked;
         memo_total.merge(memo.stats());
     }
-    let verdict = match failure {
-        Some((_, trace)) => Verdict::Counterexample(trace),
-        None if checked_total == 0 => Verdict::Unknown,
-        None => Verdict::Holds,
+    let (verdict, index) = match failure {
+        Some((index, trace)) => (Verdict::Counterexample(trace), Some(index)),
+        None => match exhausted {
+            Some(cut) => (Verdict::exhausted(cut), None),
+            None if checked_total == 0 => (Verdict::unknown(), None),
+            None => (Verdict::Holds, None),
+        },
     };
-    (verdict, checked_total, memo_total)
+    (verdict, checked_total, memo_total, index)
 }
 
 /// Trace length used to concretize tableau non-validity into a counterexample.
+/// The enumeration is `(2^props)^len`-sized, so the bound is lowered until the
+/// sweep fits the budget's `max_enumeration` cap (and ultimately abandoned as
+/// `Unknown`) rather than letting a wide alphabet stall a call documented
+/// never to hang.
 const DECIDE_REFUTATION_BOUND: usize = 4;
-
-/// Budget for the refutation search: the enumeration is `(2^props)^len`-sized,
-/// so the bound is lowered (and ultimately abandoned as `Unknown`) rather than
-/// letting a wide alphabet stall a call documented never to hang.
-const DECIDE_REFUTATION_MODELS: usize = 2_000_000;
 
 /// The distinct plain proposition names appearing in a formula.
 fn proposition_names(formula: &Formula) -> Vec<String> {
@@ -795,7 +1503,7 @@ mod tests {
         assert!(matches!(report.verdict, Verdict::Counterexample(_)));
 
         let report = session.check(CheckRequest::new(prop("A")).over_runs(Vec::new()));
-        assert_eq!(report.verdict, Verdict::Unknown);
+        assert_eq!(report.verdict, Verdict::unknown());
     }
 
     #[test]
@@ -815,7 +1523,7 @@ mod tests {
         // Quantified formulas are outside the fragment.
         let report =
             session.check(CheckRequest::new(prop_args("p", [var("x")]).forall("x")).decide());
-        assert_eq!(report.verdict, Verdict::Unknown);
+        assert_eq!(report.verdict, Verdict::unknown());
     }
 
     #[test]
@@ -920,7 +1628,7 @@ mod tests {
         // An empty lazy source is Unknown, like an empty collected one.
         let empty = RunSource::lazy(std::iter::empty::<Trace>);
         let report = Session::new().check(CheckRequest::new(prop("A")).over_run_source(empty));
-        assert_eq!(report.verdict, Verdict::Unknown);
+        assert_eq!(report.verdict, Verdict::unknown());
     }
 
     #[test]

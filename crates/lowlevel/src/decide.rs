@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ilogic_core::pool::{Parallelism, WorkerPool};
+use ilogic_core::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 
 use crate::graph::{EvId, GraphEdge, GraphNode, LowGraph};
 use crate::interp::PartialInterp;
@@ -103,6 +103,18 @@ pub fn prune(graph: &LowGraph) -> Pruned {
 /// function of the edge and pre-pass maps, so the deletion sequence (and
 /// [`PruneStats::rounds`]) is identical at every worker count.
 pub fn prune_with(graph: &LowGraph, parallelism: Parallelism) -> Pruned {
+    prune_budgeted(graph, parallelism, &ResourceBudget::unbounded())
+        .expect("an unbudgeted prune cannot be interrupted")
+}
+
+/// [`prune_with`] under a [`ResourceBudget`]: the deletion loop has no
+/// structural cap (it only shrinks the graph), but the budget's
+/// deadline/cancellation cutoffs are polled once per deletion round.
+pub fn prune_budgeted(
+    graph: &LowGraph,
+    parallelism: Parallelism,
+    budget: &ResourceBudget,
+) -> Result<Pruned, Exhaustion> {
     let pool = WorkerPool::new(parallelism);
     let nodes_before = graph.node_count();
     let edges_before = graph.edge_count();
@@ -117,6 +129,9 @@ pub fn prune_with(graph: &LowGraph, parallelism: Parallelism) -> Pruned {
         .collect();
     let mut rounds = 0;
     loop {
+        if let Some(interrupt) = budget.interrupted() {
+            return Err(interrupt);
+        }
         rounds += 1;
         let before = edges.len();
 
@@ -158,7 +173,7 @@ pub fn prune_with(graph: &LowGraph, parallelism: Parallelism) -> Pruned {
         edges_after: pruned.edge_count(),
         rounds,
     };
-    Pruned { graph: pruned, stats }
+    Ok(Pruned { graph: pruned, stats })
 }
 
 fn rebuild(init: GraphNode, nodes: BTreeSet<GraphNode>, edges: Vec<GraphEdge>) -> LowGraph {
@@ -274,10 +289,26 @@ pub fn satisfiable_graph(graph: &LowGraph) -> GraphSat {
 /// bit-identical at every worker count (the same discipline as the
 /// level-synchronous explorer in `ilogic-systems`).
 pub fn satisfiable_graph_with(graph: &LowGraph, parallelism: Parallelism) -> GraphSat {
+    satisfiable_graph_budgeted(graph, parallelism, &ResourceBudget::unbounded())
+        .expect("an unbudgeted satisfiability check cannot be interrupted")
+}
+
+/// [`satisfiable_graph_with`] under a [`ResourceBudget`]: the product-space
+/// exploration counts its states against `budget.max_nodes()` (the product
+/// space is exponential in the eventuality count, the pipeline's one
+/// genuinely explosive phase) and polls the deadline/cancellation cutoffs at
+/// every BFS level and pruning round.  The structural cap trips as a
+/// function of the graph alone, so `Err(Nodes)` answers are identical at
+/// every worker count.
+pub fn satisfiable_graph_budgeted(
+    graph: &LowGraph,
+    parallelism: Parallelism,
+    budget: &ResourceBudget,
+) -> Result<GraphSat, Exhaustion> {
     let pool = WorkerPool::new(parallelism);
-    let pruned = prune_with(graph, parallelism).graph;
+    let pruned = prune_budgeted(graph, parallelism, budget)?.graph;
     if pruned.edge_count() == 0 {
-        return GraphSat::Unsatisfiable;
+        return Ok(GraphSat::Unsatisfiable);
     }
 
     // Breadth-first exploration of the product space, remembering parents so a
@@ -292,6 +323,9 @@ pub fn satisfiable_graph_with(graph: &LowGraph, parallelism: Parallelism) -> Gra
 
     let mut finite_witness: Option<ProductState> = None;
     while !frontier.is_empty() {
+        if let Some(interrupt) = budget.interrupted() {
+            return Err(interrupt);
+        }
         let level = std::mem::take(&mut frontier);
         let successors = level_successors(&pruned, &level, &pool);
         for (state, succs) in level.iter().zip(successors) {
@@ -303,6 +337,9 @@ pub fn satisfiable_graph_with(graph: &LowGraph, parallelism: Parallelism) -> Gra
             }
             for (next, edge) in succs {
                 if visited.insert(next.clone()) {
+                    if visited.len() > budget.max_nodes() {
+                        return Err(Exhaustion::Nodes);
+                    }
                     parent.insert(next.clone(), (state.clone(), edge));
                     frontier.push(next);
                 }
@@ -311,17 +348,20 @@ pub fn satisfiable_graph_with(graph: &LowGraph, parallelism: Parallelism) -> Gra
     }
 
     if let Some(end_state) = finite_witness {
-        return GraphSat::FiniteModel(reconstruct(&parent, &end_state));
+        return Ok(GraphSat::FiniteModel(reconstruct(&parent, &end_state)));
     }
 
     // Infinite acceptance: look for a reachable fair cycle.  Compute strongly
     // connected components of the visited product graph and accept any
     // component with an internal edge in which every pending eventuality of
     // the component is discharged by some internal edge.
-    if let Some(entry) = fair_scc_entry(&pruned, &visited, &pool) {
-        return GraphSat::InfiniteModel(reconstruct(&parent, &entry));
+    if let Some(interrupt) = budget.interrupted() {
+        return Err(interrupt);
     }
-    GraphSat::Unsatisfiable
+    if let Some(entry) = fair_scc_entry(&pruned, &visited, &pool) {
+        return Ok(GraphSat::InfiniteModel(reconstruct(&parent, &entry)));
+    }
+    Ok(GraphSat::Unsatisfiable)
 }
 
 /// Expands every product state of one BFS level, striping the states across
@@ -606,6 +646,37 @@ mod tests {
         let expr = x().infloop().and(LowExpr::T.seq(LowExpr::neg("x")));
         let g = build_graph(&expr).unwrap();
         assert_eq!(satisfiable_graph(&g), GraphSat::Unsatisfiable);
+    }
+
+    #[test]
+    fn budgeted_pipeline_reports_cuts() {
+        use ilogic_core::pool::CancelToken;
+        let g = build_graph(&x().infloop()).unwrap();
+        // Unbudgeted and unbounded-budget answers agree.
+        assert_eq!(
+            satisfiable_graph_budgeted(&g, Parallelism::Off, &ResourceBudget::unbounded()),
+            Ok(satisfiable_graph(&g))
+        );
+        // A one-state product budget trips the node cap deterministically
+        // (x ; ¬x explores at least three product states: init, mid, END).
+        let chain = build_graph(&x().seq(LowExpr::neg("x"))).unwrap();
+        let starved = ResourceBudget::unbounded().with_max_nodes(1);
+        assert_eq!(
+            satisfiable_graph_budgeted(&chain, Parallelism::Off, &starved),
+            Err(Exhaustion::Nodes)
+        );
+        // A pre-cancelled token interrupts the pipeline in its first phase.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = ResourceBudget::unbounded().with_cancel(token);
+        assert_eq!(
+            satisfiable_graph_budgeted(&g, Parallelism::Off, &cancelled),
+            Err(Exhaustion::Cancelled)
+        );
+        assert_eq!(
+            prune_budgeted(&g, Parallelism::Off, &cancelled).err(),
+            Some(Exhaustion::Cancelled)
+        );
     }
 
     #[test]

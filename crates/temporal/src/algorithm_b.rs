@@ -40,10 +40,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::dnf::{Dnf, DnfBudget};
-use crate::pool::{Parallelism, WorkerPool};
+use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 use crate::syntax::{Ltl, VarSpec};
-use crate::tableau::{BuildLimits, EdgeId, NodeId, TableauGraph};
+use crate::tableau::{EdgeId, NodeId, TableauGraph};
 use crate::theory::Theory;
+
+#[allow(deprecated)]
+use crate::tableau::BuildLimits;
 
 /// The answer of the combined decision procedure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,52 +127,89 @@ impl<'t> AlgorithmB<'t> {
 
     /// Computes the condition formula for `formula` (i.e. for `Graph(¬formula)`).
     pub fn condition(&self, formula: &Ltl) -> Condition {
-        let graph = TableauGraph::try_build_with(
-            &formula.clone().not(),
-            BuildLimits::unbounded(),
-            self.parallelism,
-        )
-        .expect("unbounded tableau construction cannot exceed its limits");
-        condition_of_graph_with(graph, usize::MAX, self.parallelism)
+        self.condition_budgeted(formula, &ResourceBudget::unbounded())
             .expect("an unbounded budget cannot be exceeded")
     }
 
-    /// [`AlgorithmB::condition`] under a [`ConditionLimits`] budget: `None`
-    /// when either the tableau construction or the condition fixpoint blows
-    /// past the budget.  The DNF fixpoint is the dangerous phase — on the
-    /// nested weak-until translations of interval formulas it explodes
+    /// [`AlgorithmB::condition`] under a [`ResourceBudget`]: the `Err` names
+    /// the first resource that ran out in either the tableau construction or
+    /// the condition fixpoint.  The DNF fixpoint is the dangerous phase — on
+    /// the nested weak-until translations of interval formulas it explodes
     /// combinatorially even when the graph itself stays small (e.g.
     /// `¬to_ltl([ => Q ] []P)` builds a 97-node / 3362-edge graph in
     /// milliseconds whose fixpoint does not terminate in hours).
-    pub fn condition_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Option<Condition> {
+    pub fn condition_budgeted(
+        &self,
+        formula: &Ltl,
+        budget: &ResourceBudget,
+    ) -> Result<Condition, Exhaustion> {
         let graph =
-            TableauGraph::try_build_with(&formula.clone().not(), limits.build, self.parallelism)?;
-        condition_of_graph_with(graph, limits.max_implicants, self.parallelism)
+            TableauGraph::try_build_budgeted(&formula.clone().not(), budget, self.parallelism)?;
+        condition_of_graph_budgeted(graph, budget, self.parallelism)
+    }
+
+    /// [`AlgorithmB::condition_budgeted`] with the deprecated
+    /// [`ConditionLimits`] shim type; `None` on any exhaustion.
+    #[allow(deprecated)]
+    pub fn condition_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Option<Condition> {
+        self.condition_budgeted(formula, &limits.into()).ok()
     }
 
     /// Decides whether `formula` is valid in `TL(T)`.
     pub fn decide(&self, formula: &Ltl) -> Decision {
-        let condition = self.condition(formula);
-        self.decide_from_condition(formula, &condition)
+        let budget = ResourceBudget::unbounded().with_max_enumeration(self.selection_limit);
+        self.decide_budgeted(formula, &budget).unwrap_or(Decision::Unknown)
     }
 
-    /// [`AlgorithmB::decide`] under a budget: answers [`Decision::Unknown`]
-    /// instead of hanging when the construction or fixpoint blows up.
+    /// [`AlgorithmB::decide`] under a [`ResourceBudget`]: `Err` (naming the
+    /// exhausted resource) instead of hanging when the construction, the
+    /// fixpoint, or the end-of-run selection enumeration blows past the
+    /// budget.  Callers that only need the three-valued answer can flatten
+    /// `Err(_)` to [`Decision::Unknown`].
+    pub fn decide_budgeted(
+        &self,
+        formula: &Ltl,
+        budget: &ResourceBudget,
+    ) -> Result<Decision, Exhaustion> {
+        let condition = self.condition_budgeted(formula, budget)?;
+        self.decide_from_condition_budgeted(formula, &condition, budget)
+    }
+
+    /// [`AlgorithmB::decide_budgeted`] with the deprecated
+    /// [`ConditionLimits`] shim type; [`Decision::Unknown`] on any
+    /// exhaustion.  `ConditionLimits` carried no enumeration cap, so — as the
+    /// pre-unification implementation did — the end-of-run selection sweep
+    /// stays capped by [`AlgorithmB::selection_limit`].
+    #[allow(deprecated)]
     pub fn decide_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Decision {
-        match self.condition_bounded(formula, limits) {
-            Some(condition) => self.decide_from_condition(formula, &condition),
-            None => Decision::Unknown,
-        }
+        let budget = ResourceBudget::from(limits).with_max_enumeration(self.selection_limit);
+        self.decide_budgeted(formula, &budget).unwrap_or(Decision::Unknown)
     }
 
     /// Decides validity given a previously computed condition (allows callers to
     /// time the construction and iteration phases separately).
     pub fn decide_from_condition(&self, formula: &Ltl, condition: &Condition) -> Decision {
+        let budget = ResourceBudget::unbounded().with_max_enumeration(self.selection_limit);
+        self.decide_from_condition_budgeted(formula, condition, &budget)
+            .unwrap_or(Decision::Unknown)
+    }
+
+    /// [`AlgorithmB::decide_from_condition`] under a [`ResourceBudget`]: the
+    /// extralogical-variable selection check enumerates at most
+    /// `budget.max_enumeration()` selections (`Err(Enumeration)` beyond
+    /// that), and the budget's deadline/cancellation cutoffs are polled
+    /// before the sweep starts.
+    pub fn decide_from_condition_budgeted(
+        &self,
+        formula: &Ltl,
+        condition: &Condition,
+        budget: &ResourceBudget,
+    ) -> Result<Decision, Exhaustion> {
         if condition.valid_in_pure_tl() {
-            return Decision::Valid;
+            return Ok(Decision::Valid);
         }
         if condition.dnf().is_bottom() {
-            return Decision::NotValid;
+            return Ok(Decision::NotValid);
         }
         // Sufficient check, exact when all variables are state variables:
         // some implicant has every edge label T-unsatisfiable.
@@ -178,7 +218,7 @@ impl<'t> AlgorithmB<'t> {
             implicant.iter().all(|&e| !self.theory.satisfiable(&graph.edge(e).literals).is_sat())
         };
         if condition.dnf().implicants().any(implicant_valid) {
-            return Decision::Valid;
+            return Ok(Decision::Valid);
         }
 
         let vars = formula.variables();
@@ -186,32 +226,50 @@ impl<'t> AlgorithmB<'t> {
         let has_extra = vars.iter().any(|v| self.vars.is_extralogical(v));
         if !has_extra {
             // Pure state-variable (or purely propositional) mode: the check above is exact.
-            return Decision::NotValid;
+            return Ok(Decision::NotValid);
         }
         if has_state {
-            // Mixed mode: we only implement the sufficient check.
-            return Decision::Unknown;
+            // Mixed mode: we only implement the sufficient check.  Not a
+            // budget matter — the procedure simply has no exact answer here.
+            return Ok(Decision::Unknown);
         }
         // Extralogical-only mode: T ⊨ ∨ᵢ Cᵢ  iff  every selection of one edge per
         // implicant yields a T-unsatisfiable conjunction of edge labels.
+        if let Some(interrupt) = budget.interrupted() {
+            return Err(interrupt);
+        }
         let implicants: Vec<Vec<EdgeId>> =
             condition.dnf().implicants().map(|imp| imp.iter().copied().collect()).collect();
+        let cap = budget.max_enumeration();
         let total: usize = implicants
             .iter()
             .map(Vec::len)
-            .try_fold(1usize, |acc, n| acc.checked_mul(n).filter(|&v| v <= self.selection_limit))
+            .try_fold(1usize, |acc, n| acc.checked_mul(n).filter(|&v| v <= cap))
             .unwrap_or(usize::MAX);
         if total == usize::MAX {
-            return Decision::Unknown;
+            return Err(Exhaustion::Enumeration);
         }
         // The selections are a mixed-radix enumeration (first implicant
         // varying fastest); shard it across the pool.  The answer — "does any
         // selection have a T-model?" — does not depend on *which* satisfiable
         // selection is found, and the sharded search's lowest-index-wins
-        // early exit keeps even the work pattern deterministic.
+        // early exit keeps even the work pattern deterministic.  Each worker
+        // re-polls the budget's timing cutoffs every few hundred selections,
+        // so a deadline or cancellation cuts a long sweep mid-flight (a
+        // timing-dependent cut, like everywhere else those knobs apply).
+        enum Hit {
+            Sat,
+            Cut(Exhaustion),
+        }
         let pool = WorkerPool::new(self.parallelism);
-        let states = vec![(); pool.workers()];
-        let (sat_selection, _) = pool.search(total, 0, states, |(), index| {
+        let states = vec![0usize; pool.workers()];
+        let (hit, _) = pool.search(total, 0, states, |visited: &mut usize, index| {
+            *visited += 1;
+            if visited.is_multiple_of(crate::pool::INTERRUPT_POLL_PERIOD) {
+                if let Some(cut) = budget.interrupted() {
+                    return Some(Hit::Cut(cut));
+                }
+            }
             let mut rest = index;
             let mut literals = Vec::new();
             for imp in &implicants {
@@ -220,18 +278,30 @@ impl<'t> AlgorithmB<'t> {
                 literals.extend(graph.edge(imp[pick]).literals.iter().cloned());
             }
             // A satisfiable selection is a T-model of the negation.
-            self.theory.satisfiable(&literals).is_sat().then_some(())
+            self.theory.satisfiable(&literals).is_sat().then_some(Hit::Sat)
         });
-        if sat_selection.is_some() {
-            Decision::NotValid
-        } else {
-            Decision::Valid
+        match hit {
+            Some((_, Hit::Sat)) => Ok(Decision::NotValid),
+            Some((_, Hit::Cut(cut))) => Err(cut),
+            None => Ok(Decision::Valid),
         }
     }
 }
 
-/// Resource budget for [`AlgorithmB::condition_bounded`] /
-/// [`AlgorithmB::decide_bounded`].
+/// Deprecated Algorithm B resource budget; use
+/// [`crate::pool::ResourceBudget`] (whose node/edge/implicant caps play
+/// exactly these roles) with [`AlgorithmB::condition_budgeted`] /
+/// [`AlgorithmB::decide_budgeted`] instead.
+///
+/// The type remains as a thin shim so pre-unification call sites keep
+/// compiling: every function that accepts it converts to a `ResourceBudget`
+/// and forwards to the budgeted entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `pool::ResourceBudget` (with_max_implicants + the build caps) and the \
+            `*_budgeted` entry points"
+)]
+#[allow(deprecated)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConditionLimits {
     /// Budget for the `Graph(¬A)` tableau construction.
@@ -242,9 +312,18 @@ pub struct ConditionLimits {
     pub max_implicants: usize,
 }
 
+#[allow(deprecated)]
 impl Default for ConditionLimits {
     fn default() -> ConditionLimits {
-        ConditionLimits { build: BuildLimits::default(), max_implicants: 10_000 }
+        let budget = ResourceBudget::default();
+        ConditionLimits { build: BuildLimits::default(), max_implicants: budget.max_implicants() }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ConditionLimits> for ResourceBudget {
+    fn from(limits: ConditionLimits) -> ResourceBudget {
+        ResourceBudget::from(limits.build).with_max_implicants(limits.max_implicants)
     }
 }
 
@@ -252,12 +331,14 @@ impl Default for ConditionLimits {
 /// fixpoint iteration of Appendix B §5.3, accelerated per strongly connected
 /// component as described in §6.
 pub fn condition_of_graph(graph: TableauGraph) -> Condition {
-    condition_of_graph_bounded(graph, usize::MAX).expect("an unbounded budget cannot be exceeded")
+    condition_of_graph_budgeted(graph, &ResourceBudget::unbounded(), Parallelism::Off)
+        .expect("an unbounded budget cannot be exceeded")
 }
 
 /// [`condition_of_graph`] under an implicant budget: `None` as soon as any
 /// intermediate DNF (or the conservative size estimate of one equation's
-/// conjunction) exceeds `max_implicants`.
+/// conjunction) exceeds `max_implicants`.  Shim over
+/// [`condition_of_graph_budgeted`].
 pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) -> Option<Condition> {
     condition_of_graph_with(graph, max_implicants, Parallelism::Off)
 }
@@ -290,8 +371,25 @@ pub fn condition_of_graph_with(
     max_implicants: usize,
     parallelism: Parallelism,
 ) -> Option<Condition> {
+    condition_of_graph_budgeted(
+        graph,
+        &ResourceBudget::unbounded().with_max_implicants(max_implicants),
+        parallelism,
+    )
+    .ok()
+}
+
+/// [`condition_of_graph_with`] under a full [`ResourceBudget`]: enforces the
+/// implicant cap *and* the budget's deadline/cancellation cutoffs (polled at
+/// every equation through the shared [`DnfBudget`] cell), and names the
+/// exhausted resource on `Err`.
+pub fn condition_of_graph_budgeted(
+    graph: TableauGraph,
+    resource_budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> Result<Condition, Exhaustion> {
     let pool = WorkerPool::new(parallelism);
-    let budget = DnfBudget::new(max_implicants);
+    let budget = DnfBudget::from_budget(resource_budget);
     let n = graph.node_count();
     let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
     let sccs = strongly_connected_components(&graph);
@@ -324,10 +422,12 @@ pub fn condition_of_graph_with(
             }
             // Iterate fail to its greatest fixpoint within the component.
             loop {
-                let updates = sweep_equations(fail_tasks.len(), &pool, |i| {
+                let Some(updates) = sweep_equations(fail_tasks.len(), &pool, |i| {
                     let (node, ei) = fail_tasks[i];
                     fail_equation(&graph, node, ei, &eventualities[ei], &delete, &fail, &budget)
-                })?;
+                }) else {
+                    return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
+                };
                 let mut changed = false;
                 for (&(node, ei), new) in fail_tasks.iter().zip(updates) {
                     if new != fail[&(ei, node)] {
@@ -342,9 +442,11 @@ pub fn condition_of_graph_with(
             // Iterate delete to its least fixpoint within the component.
             let mut delete_changed_any = false;
             loop {
-                let updates = sweep_equations(component.len(), &pool, |i| {
+                let Some(updates) = sweep_equations(component.len(), &pool, |i| {
                     delete_equation(&graph, component[i], &eventualities, &delete, &fail, &budget)
-                })?;
+                }) else {
+                    return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
+                };
                 let mut changed = false;
                 for (&node, new) in component.iter().zip(updates) {
                     if new != delete[node] {
@@ -364,7 +466,7 @@ pub fn condition_of_graph_with(
     }
 
     let delete_init = delete[graph.initial()].clone();
-    Some(Condition { graph, delete_init, outer_rounds })
+    Ok(Condition { graph, delete_init, outer_rounds })
 }
 
 /// One Jacobi sweep: evaluates `eval(0..count)` — each equation reading only
@@ -493,6 +595,9 @@ fn strongly_connected_components(graph: &TableauGraph) -> Vec<Vec<NodeId>> {
 }
 
 #[cfg(test)]
+// The deprecated `ConditionLimits`/`BuildLimits` shims are exercised on
+// purpose: they must keep answering exactly like the budgeted entry points.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::syntax::{CmpOp, Term};
@@ -608,6 +713,33 @@ mod tests {
             ..ConditionLimits::default()
         };
         assert_eq!(alg.decide_bounded(&not_valid, limits), Decision::Unknown);
+    }
+
+    #[test]
+    fn budgeted_decisions_name_the_exhausted_resource() {
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let not_valid = p().eventually().or(q().eventually());
+        // A 1-node/1-edge build budget trips during construction.
+        let no_graph = ResourceBudget::unbounded().with_max_nodes(1).with_max_edges(1);
+        assert!(matches!(
+            alg.decide_budgeted(&not_valid, &no_graph),
+            Err(Exhaustion::Nodes | Exhaustion::Edges)
+        ));
+        // A cancelled token is reported as such from any phase.
+        let token = crate::pool::CancelToken::new();
+        token.cancel();
+        let cancelled = ResourceBudget::unbounded().with_cancel(token);
+        assert_eq!(alg.decide_budgeted(&not_valid, &cancelled), Err(Exhaustion::Cancelled));
+        // The budgeted and shim paths agree: a ConditionLimits value converts
+        // to the ResourceBudget with the same caps.
+        let shim = ConditionLimits { max_implicants: 2, ..ConditionLimits::default() };
+        let converted: ResourceBudget = shim.into();
+        assert_eq!(converted.max_implicants(), 2);
+        assert_eq!(
+            alg.decide_bounded(&not_valid, shim),
+            alg.decide_budgeted(&not_valid, &converted).unwrap_or(Decision::Unknown)
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::pool::{Exhaustion, ResourceBudget};
 
 /// A shared, atomic implicant budget for a (possibly parallel) batch of DNF
 /// computations.
@@ -33,17 +36,43 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// aborts never change an answer — they only stop workers from burning CPU on
 /// a batch whose result is doomed — so budgeted answers are identical at
 /// every worker count.
+///
+/// A cell built from a [`ResourceBudget`] ([`DnfBudget::from_budget`]) also
+/// carries the budget's wall-clock deadline and cancellation token:
+/// [`Dnf::all_bounded`] polls them on entry and trips the cell with
+/// [`Exhaustion::Deadline`] / [`Exhaustion::Cancelled`], so a runaway
+/// fixpoint honours the same cutoffs as every other engine.  The reason the
+/// cell tripped is recorded and exposed by [`DnfBudget::exhaustion`].
 #[derive(Debug)]
 pub struct DnfBudget {
     limit: usize,
+    /// The originating budget, consulted only for its timing cutoffs
+    /// ([`ResourceBudget::interrupted`] — one implementation of the
+    /// cancel-then-deadline priority for every engine); `None` for the
+    /// cap-only constructors.
+    timing: Option<ResourceBudget>,
     tripped: AtomicBool,
+    /// The first recorded trip reason ([`OnceLock`]: later trips lose the
+    /// race and are dropped).
+    reason: OnceLock<Exhaustion>,
 }
 
 impl DnfBudget {
     /// A budget allowing at most `limit` implicants per computed DNF (and the
     /// same cap on every pre-absorption product estimate).
     pub fn new(limit: usize) -> DnfBudget {
-        DnfBudget { limit, tripped: AtomicBool::new(false) }
+        DnfBudget { limit, timing: None, tripped: AtomicBool::new(false), reason: OnceLock::new() }
+    }
+
+    /// A cell enforcing `budget`'s implicant cap, deadline, and cancellation
+    /// token.
+    pub fn from_budget(budget: &ResourceBudget) -> DnfBudget {
+        DnfBudget {
+            limit: budget.max_implicants(),
+            timing: Some(budget.clone()),
+            tripped: AtomicBool::new(false),
+            reason: OnceLock::new(),
+        }
     }
 
     /// No budget: computations run to completion however large they get.
@@ -56,19 +85,46 @@ impl DnfBudget {
         self.limit
     }
 
-    /// `true` when the budget has no effect.
+    /// `true` when the implicant cap has no effect (the timing cutoffs, if
+    /// any, still apply).
     pub fn is_unbounded(&self) -> bool {
         self.limit == usize::MAX
     }
 
-    /// Marks the budget as exhausted, telling every sharer to abort.
+    /// Marks the budget as exhausted by the implicant cap, telling every
+    /// sharer to abort.
     pub fn trip(&self) {
-        self.tripped.store(true, Ordering::Relaxed);
+        self.trip_with(Exhaustion::Implicants);
+    }
+
+    /// Marks the budget as exhausted for `reason`; the first recorded reason
+    /// wins.
+    pub fn trip_with(&self, reason: Exhaustion) {
+        let _ = self.reason.set(reason);
+        self.tripped.store(true, Ordering::Release);
     }
 
     /// `true` once any sharer exceeded the budget.
     pub fn tripped(&self) -> bool {
-        self.tripped.load(Ordering::Relaxed)
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Why the cell tripped, if it has.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.reason.get().copied()
+    }
+
+    /// Polls the timing cutoffs, tripping the cell if one fired; returns
+    /// `true` when the cell is (now) tripped.
+    fn poll_interrupts(&self) -> bool {
+        if self.tripped() {
+            return true;
+        }
+        if let Some(cut) = self.timing.as_ref().and_then(ResourceBudget::interrupted) {
+            self.trip_with(cut);
+            return true;
+        }
+        false
     }
 }
 
@@ -186,9 +242,10 @@ impl Dnf {
     /// products across workers and still answer exactly like the sequential
     /// sweep.
     pub fn all_bounded(terms: Vec<Dnf>, budget: &DnfBudget) -> Option<Dnf> {
-        if budget.tripped() {
-            // Another sharer already blew the budget: the batch's answer is
-            // `None` regardless of this product, so don't bother computing it.
+        if budget.poll_interrupts() {
+            // Another sharer already blew the budget (or the deadline or
+            // cancel token fired): the batch's answer is `None` regardless of
+            // this product, so don't bother computing it.
             return None;
         }
         if !budget.is_unbounded() {
@@ -332,6 +389,35 @@ mod tests {
         assert!(unbounded.is_unbounded());
         assert_eq!(Dnf::all_bounded(terms(), &unbounded), Some(result));
         assert!(!unbounded.tripped());
+    }
+
+    #[test]
+    fn budgets_record_why_they_tripped() {
+        use crate::pool::{CancelToken, Exhaustion, ResourceBudget};
+        // Implicant-cap trip records Implicants.
+        let tight = DnfBudget::new(1);
+        let wide = vec![Dnf::atom(1).or(&Dnf::atom(2)), Dnf::atom(3).or(&Dnf::atom(4))];
+        assert_eq!(Dnf::all_bounded(wide.clone(), &tight), None);
+        assert_eq!(tight.exhaustion(), Some(Exhaustion::Implicants));
+        // The first recorded reason wins.
+        tight.trip_with(Exhaustion::Deadline);
+        assert_eq!(tight.exhaustion(), Some(Exhaustion::Implicants));
+        // A cancelled token trips the cell before any product is expanded.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled =
+            DnfBudget::from_budget(&ResourceBudget::unbounded().with_cancel(token.clone()));
+        assert!(cancelled.is_unbounded());
+        assert_eq!(Dnf::all_bounded(vec![Dnf::atom(1)], &cancelled), None);
+        assert_eq!(cancelled.exhaustion(), Some(Exhaustion::Cancelled));
+        // An expired deadline does the same.
+        let expired = DnfBudget::from_budget(
+            &ResourceBudget::unbounded().with_timeout(std::time::Duration::ZERO),
+        );
+        assert_eq!(Dnf::all_bounded(vec![Dnf::atom(1)], &expired), None);
+        assert_eq!(expired.exhaustion(), Some(Exhaustion::Deadline));
+        // An untripped cell reports nothing.
+        assert_eq!(DnfBudget::unbounded().exhaustion(), None);
     }
 
     #[test]

@@ -26,14 +26,23 @@
 //!   (whichever shard set it first would win); publishing the lowest global
 //!   index found so far lets every shard stop as soon as it can no longer
 //!   improve the answer while keeping verdicts bit-identical to the
-//!   sequential sweep.
+//!   sequential sweep;
+//! * [`ResourceBudget`] / [`CancelToken`] / [`Exhaustion`] — the unified
+//!   resource-control surface every budgeted engine shares: structural caps
+//!   (nodes, edges, implicants, enumerated computations) plus a wall-clock
+//!   deadline and a cooperative cancellation token, reported uniformly as an
+//!   [`Exhaustion`] value.  It lives here for the same reason the pool does:
+//!   every layer above (tableau, condition fixpoint, bounded sweep, low-level
+//!   pipeline, session scheduler) enforces the same budget type.
 //!
 //! The pool uses `std::thread::scope` — no external dependencies — and spawns
 //! workers per call.  The checks this repository runs are coarse (milliseconds
 //! to minutes per shard), so thread spawn cost is noise; a persistent pool
 //! with channels would buy nothing but complexity.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How many workers a check fans out across.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -306,6 +315,250 @@ impl Earliest {
     }
 }
 
+/// Which resource of a [`ResourceBudget`] ran out first.
+///
+/// Carried by `Verdict::Unknown { exhausted }` (and by the budgeted engine
+/// entry points as the `Err` of their `Result`s) so every backend reports a
+/// cutoff the same way instead of each layer inventing its own sentinel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The graph-node cap ([`ResourceBudget::max_nodes`]) tripped — tableau
+    /// nodes, or product states of the low-level search.
+    Nodes,
+    /// The graph-edge cap ([`ResourceBudget::max_edges`]) tripped.
+    Edges,
+    /// The DNF implicant cap ([`ResourceBudget::max_implicants`]) tripped in
+    /// the Appendix B §5.3 condition fixpoint.
+    Implicants,
+    /// The enumeration cap ([`ResourceBudget::max_enumeration`]) tripped — a
+    /// bounded sweep, refutation search, or selection check stopped before
+    /// examining every candidate.  Also reported for a space too large to
+    /// index in a machine word at all (e.g. a bounded sweep over 64+
+    /// propositions), which no cap increase can cover.
+    Enumeration,
+    /// The wall-clock deadline ([`ResourceBudget::with_deadline`]) passed.
+    Deadline,
+    /// The cancellation token ([`ResourceBudget::with_cancel`]) fired.
+    Cancelled,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Exhaustion::Nodes => "node budget exhausted",
+            Exhaustion::Edges => "edge budget exhausted",
+            Exhaustion::Implicants => "implicant budget exhausted",
+            Exhaustion::Enumeration => "enumeration budget exhausted",
+            Exhaustion::Deadline => "deadline passed",
+            Exhaustion::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A cooperative cancellation token shared by every phase of (a batch of)
+/// checks.
+///
+/// Cloning is cheap (an [`Arc`]); every clone observes the same flag.  The
+/// engines poll the token at phase boundaries — per tableau level, per
+/// fixpoint sweep, every few hundred enumerated computations — so
+/// cancellation is prompt but never preemptive.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token: every budget sharing it reports
+    /// [`Exhaustion::Cancelled`] at its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called (on any clone).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The single resource-control surface of every checking engine.
+///
+/// One budget covers all cutoff dimensions that used to be scattered across
+/// the layers (`BuildLimits` for the tableau, `ConditionLimits` for the
+/// condition fixpoint, ad-hoc refutation caps in the session): structural
+/// caps (`max_nodes`/`max_edges` for graphs, `max_implicants` for condition
+/// DNFs, `max_enumeration` for model sweeps) plus a wall-clock deadline and a
+/// cooperative [`CancelToken`].  Whichever trips first ends the work with the
+/// matching [`Exhaustion`], which the session surfaces uniformly as
+/// `Verdict::Unknown { exhausted }`.
+///
+/// # Determinism
+///
+/// The structural caps are functions of the work's *content*, so budgeted
+/// answers under them are bit-identical at every worker count (the same
+/// discipline the PR 2/3 engines established).  The deadline and the cancel
+/// token are wall-clock/timing dependent by nature: they can only turn an
+/// answer into `Unknown`, never flip a settled verdict, but *which* runs are
+/// cut is not reproducible.  Leave them unset (the default) where
+/// reproducibility matters.
+#[derive(Clone, Debug)]
+pub struct ResourceBudget {
+    max_nodes: usize,
+    max_edges: usize,
+    max_implicants: usize,
+    max_enumeration: usize,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl Default for ResourceBudget {
+    /// The service defaults: tableau caps of 20 000 nodes / 200 000 edges
+    /// and 10 000 condition implicants (the pre-unification `BuildLimits` /
+    /// `ConditionLimits` defaults), plus 2 000 000 enumerated computations —
+    /// generalizing the cap that used to apply only to the `Decide`
+    /// refutation sweep to *every* enumerating backend.  Bounded/Explore
+    /// checks had no cap before unification: a sweep larger than the default
+    /// cap now answers `Unknown { exhausted: Enumeration }` instead of
+    /// running arbitrarily long; pass [`ResourceBudget::unbounded`] (or a
+    /// larger `with_max_enumeration`) to restore the old run-to-completion
+    /// behaviour.  No deadline, no cancel token.
+    fn default() -> ResourceBudget {
+        ResourceBudget {
+            max_nodes: 20_000,
+            max_edges: 200_000,
+            max_implicants: 10_000,
+            max_enumeration: 2_000_000,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// The default budget; see [`ResourceBudget::default`].
+    pub fn new() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// No caps, no deadline, no token: every engine runs to completion
+    /// however long that takes.
+    pub fn unbounded() -> ResourceBudget {
+        ResourceBudget {
+            max_nodes: usize::MAX,
+            max_edges: usize::MAX,
+            max_implicants: usize::MAX,
+            max_enumeration: usize::MAX,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Caps the number of graph nodes (tableau nodes; product states of the
+    /// low-level search).
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> ResourceBudget {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Caps the number of graph edges.
+    pub fn with_max_edges(mut self, max_edges: usize) -> ResourceBudget {
+        self.max_edges = max_edges;
+        self
+    }
+
+    /// Caps the implicant count of any condition DNF (and the pre-absorption
+    /// product estimate of any single fixpoint equation).
+    pub fn with_max_implicants(mut self, max_implicants: usize) -> ResourceBudget {
+        self.max_implicants = max_implicants;
+        self
+    }
+
+    /// Caps the number of computations an enumerating sweep examines.
+    pub fn with_max_enumeration(mut self, max_enumeration: usize) -> ResourceBudget {
+        self.max_enumeration = max_enumeration;
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline; work still running past it is
+    /// cut with [`Exhaustion::Deadline`].  Budgets sharing one deadline
+    /// instant (e.g. every job of a batch) expire together.
+    pub fn with_deadline(mut self, deadline: Instant) -> ResourceBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`ResourceBudget::with_deadline`] relative to now.  A timeout too
+    /// large for the clock to represent means no deadline (it could never
+    /// fire anyway), not a panic.
+    pub fn with_timeout(mut self, timeout: Duration) -> ResourceBudget {
+        self.deadline = Instant::now().checked_add(timeout);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token; see [`CancelToken`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ResourceBudget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The graph-node cap.
+    pub fn max_nodes(&self) -> usize {
+        self.max_nodes
+    }
+
+    /// The graph-edge cap.
+    pub fn max_edges(&self) -> usize {
+        self.max_edges
+    }
+
+    /// The condition-DNF implicant cap.
+    pub fn max_implicants(&self) -> usize {
+        self.max_implicants
+    }
+
+    /// The enumeration cap.
+    pub fn max_enumeration(&self) -> usize {
+        self.max_enumeration
+    }
+
+    /// The wall-clock deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the timing-dependent cutoffs: [`Exhaustion::Cancelled`] if the
+    /// token fired, else [`Exhaustion::Deadline`] if the deadline passed,
+    /// else `None`.  The engines call this at phase boundaries — and, inside
+    /// long enumerations, every [`INTERRUPT_POLL_PERIOD`] items per worker;
+    /// the structural caps are checked inline by each engine.
+    pub fn interrupted(&self) -> Option<Exhaustion> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(Exhaustion::Cancelled);
+        }
+        if self.deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            return Some(Exhaustion::Deadline);
+        }
+        None
+    }
+}
+
+/// How many items a worker examines between polls of a [`ResourceBudget`]'s
+/// timing-dependent cutoffs inside a long enumeration (bounded-model sweeps,
+/// explore-run sweeps, selection checks).  One policy for every engine:
+/// polling is a couple of atomic loads plus, with a deadline set, one
+/// `Instant::now()` — a few hundred evaluations apart keeps that in the
+/// noise while still cutting within milliseconds of the signal.
+pub const INTERRUPT_POLL_PERIOD: usize = 512;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +618,46 @@ mod tests {
         cell.record(7);
         assert_eq!(cell.bound(), 7);
         assert!(cell.found());
+    }
+
+    #[test]
+    fn budgets_report_interruption_in_priority_order() {
+        let unbounded = ResourceBudget::unbounded();
+        assert_eq!(unbounded.interrupted(), None);
+        assert_eq!(unbounded.max_nodes(), usize::MAX);
+
+        let token = CancelToken::new();
+        let budget = ResourceBudget::default()
+            .with_timeout(Duration::from_secs(3600))
+            .with_cancel(token.clone());
+        assert_eq!(budget.interrupted(), None);
+        token.cancel();
+        assert_eq!(budget.interrupted(), Some(Exhaustion::Cancelled));
+        // Every clone of the token observes the cancellation.
+        assert!(budget.cancel_token().expect("token attached").is_cancelled());
+
+        let expired = ResourceBudget::default().with_timeout(Duration::ZERO);
+        assert_eq!(expired.interrupted(), Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn budget_builders_set_every_cap() {
+        let budget = ResourceBudget::new()
+            .with_max_nodes(1)
+            .with_max_edges(2)
+            .with_max_implicants(3)
+            .with_max_enumeration(4);
+        assert_eq!(
+            (
+                budget.max_nodes(),
+                budget.max_edges(),
+                budget.max_implicants(),
+                budget.max_enumeration()
+            ),
+            (1, 2, 3, 4)
+        );
+        assert!(budget.deadline().is_none());
+        assert!(budget.cancel_token().is_none());
     }
 
     #[test]

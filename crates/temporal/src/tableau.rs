@@ -24,7 +24,8 @@
 //! thread, and [`prune_with`] stripes the per-edge theory checks and the
 //! per-eventuality reachability analyses.  The merge discipline makes the
 //! graph *bit-identical* at every worker count: same node ids, same edge
-//! ids, same `None`-under-[`BuildLimits`] answers.  Construction cost is
+//! ids, same exhaustion answers under the structural caps of a
+//! [`crate::pool::ResourceBudget`].  Construction cost is
 //! dominated by the expansion of disjunction-heavy labels, which is exactly
 //! the part that parallelizes; note however that for the measured
 //! `[ => Q ] []P` family the tableau is *not* the bottleneck (97 nodes /
@@ -33,7 +34,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
-use crate::pool::{Parallelism, WorkerPool};
+use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 use crate::syntax::{Atom, Literal, Ltl};
 use crate::theory::{Theory, TheoryResult};
 
@@ -77,13 +78,18 @@ struct Expansion {
     fulfilled: BTreeSet<Ltl>,
 }
 
-/// Resource budget for [`TableauGraph::try_build`].
+/// Deprecated tableau-only resource budget; use
+/// [`crate::pool::ResourceBudget`] (whose `max_nodes`/`max_edges` caps play
+/// exactly this role) instead.
 ///
-/// The tableau's node set ranges over subsets of the formula's closure and a
-/// single node's expansion branches on every disjunctive connective in its
-/// label, so construction is exponential in the worst case (nested weak-until
-/// translations reach it in practice).  The budget turns a multi-minute blowup
-/// into a quick `None`.
+/// The type remains as a thin shim so pre-unification call sites keep
+/// compiling: every function that accepts it converts to a `ResourceBudget`
+/// and forwards to the budgeted entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `pool::ResourceBudget` (with_max_nodes/with_max_edges) and the `*_budgeted` \
+            entry points"
+)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BuildLimits {
     /// Maximum number of graph nodes.
@@ -92,12 +98,15 @@ pub struct BuildLimits {
     pub max_edges: usize,
 }
 
+#[allow(deprecated)]
 impl Default for BuildLimits {
     fn default() -> BuildLimits {
-        BuildLimits { max_nodes: 20_000, max_edges: 200_000 }
+        let budget = ResourceBudget::default();
+        BuildLimits { max_nodes: budget.max_nodes(), max_edges: budget.max_edges() }
     }
 }
 
+#[allow(deprecated)]
 impl BuildLimits {
     /// No limits: construction runs to completion however long it takes.
     pub fn unbounded() -> BuildLimits {
@@ -105,39 +114,68 @@ impl BuildLimits {
     }
 }
 
+#[allow(deprecated)]
+impl From<BuildLimits> for ResourceBudget {
+    fn from(limits: BuildLimits) -> ResourceBudget {
+        ResourceBudget::unbounded()
+            .with_max_nodes(limits.max_nodes)
+            .with_max_edges(limits.max_edges)
+    }
+}
+
 impl TableauGraph {
     /// Constructs the graph `Graph(formula)` representing the models of `formula`.
     pub fn build(formula: &Ltl) -> TableauGraph {
-        TableauGraph::try_build(formula, BuildLimits::unbounded())
+        TableauGraph::try_build_budgeted(formula, &ResourceBudget::unbounded(), Parallelism::Off)
             .expect("unbounded tableau construction cannot exceed its limits")
     }
 
     /// Constructs `Graph(formula)` unless doing so would exceed `limits`, in
     /// which case `None` is returned (the formula is outside the practical
     /// reach of the tableau).
+    ///
+    /// Shim over [`TableauGraph::try_build_budgeted`]; prefer that entry
+    /// point, which also reports *which* cap tripped.
+    #[allow(deprecated)]
     pub fn try_build(formula: &Ltl, limits: BuildLimits) -> Option<TableauGraph> {
         TableauGraph::try_build_with(formula, limits, Parallelism::Off)
     }
 
     /// [`TableauGraph::try_build`] with the frontier expanded across a worker
-    /// pool.
-    ///
-    /// Construction is a breadth-first saturation: each BFS level's node
-    /// labels are expanded (a pure function of the label set) concurrently,
-    /// and the per-node expansion lists are then merged on the calling thread
-    /// *in sequential frontier order* — interning target labels, assigning
-    /// node and edge identifiers, and applying the [`BuildLimits`] checks in
-    /// exactly the order the single-threaded loop would.  The resulting graph
-    /// is therefore bit-identical (same node ids, same edge ids, same edge
-    /// order) at every worker count, and `None`-under-budget answers agree
-    /// too: expansion caps are taken from the level-start edge budget, which
-    /// can only postpone a blowup into the merge's own limit checks, never
-    /// change the answer.
+    /// pool.  Shim over [`TableauGraph::try_build_budgeted`].
+    #[allow(deprecated)]
     pub fn try_build_with(
         formula: &Ltl,
         limits: BuildLimits,
         parallelism: Parallelism,
     ) -> Option<TableauGraph> {
+        TableauGraph::try_build_budgeted(formula, &limits.into(), parallelism).ok()
+    }
+
+    /// Constructs `Graph(formula)` under a [`ResourceBudget`], with the
+    /// frontier expanded across a worker pool; the `Err` names the first
+    /// resource that ran out ([`Exhaustion::Nodes`] / [`Exhaustion::Edges`]
+    /// for the structural caps, [`Exhaustion::Deadline`] /
+    /// [`Exhaustion::Cancelled`] for the cooperative cutoffs, polled once per
+    /// BFS level).
+    ///
+    /// Construction is a breadth-first saturation: each BFS level's node
+    /// labels are expanded (a pure function of the label set) concurrently,
+    /// and the per-node expansion lists are then merged on the calling thread
+    /// *in sequential frontier order* — interning target labels, assigning
+    /// node and edge identifiers, and applying the structural cap checks in
+    /// exactly the order the single-threaded loop would.  The resulting graph
+    /// is therefore bit-identical (same node ids, same edge ids, same edge
+    /// order) at every worker count, and structural-cap `Err` answers agree
+    /// too: expansion caps are taken from the level-start edge budget, which
+    /// can only postpone a blowup into the merge's own limit checks, never
+    /// change the answer.  Only the deadline/cancellation cutoffs are
+    /// timing-dependent.
+    pub fn try_build_budgeted(
+        formula: &Ltl,
+        budget: &ResourceBudget,
+        parallelism: Parallelism,
+    ) -> Result<TableauGraph, Exhaustion> {
         let pool = WorkerPool::new(parallelism);
         let mut graph = TableauGraph {
             labels: Vec::new(),
@@ -154,6 +192,9 @@ impl TableauGraph {
         let mut frontier: Vec<NodeId> = vec![init];
         let mut processed: BTreeSet<NodeId> = BTreeSet::new();
         while !frontier.is_empty() {
+            if let Some(interrupt) = budget.interrupted() {
+                return Err(interrupt);
+            }
             // Replay the sequential queue discipline: dequeue in order,
             // skipping nodes already processed (a node can be discovered
             // twice before its turn comes).
@@ -164,20 +205,23 @@ impl TableauGraph {
             }
             // Every node of the level is expanded against the level-start
             // budget; the merge below re-applies the exact per-edge checks.
-            let budget = limits.max_edges.saturating_sub(graph.edges.len());
-            let expansions = expand_level(&graph.labels, &level, budget, &pool);
+            let level_cap = budget.max_edges().saturating_sub(graph.edges.len());
+            let expansions = expand_level(&graph.labels, &level, level_cap, &pool);
             for (&node, exps) in level.iter().zip(expansions) {
                 // A worker that blew the level budget implies the sequential
                 // loop would have exhausted `max_edges` at this node or an
-                // earlier one — either way the answer is `None`.
-                let exps = exps?;
+                // earlier one — either way the edge cap is the answer.
+                let Some(exps) = exps else {
+                    return Err(Exhaustion::Edges);
+                };
                 for exp in exps {
                     let target_label = exp.next.clone();
                     let target = graph.intern(&mut index, target_label);
-                    if graph.labels.len() > limits.max_nodes
-                        || graph.edges.len() >= limits.max_edges
-                    {
-                        return None;
+                    if graph.labels.len() > budget.max_nodes() {
+                        return Err(Exhaustion::Nodes);
+                    }
+                    if graph.edges.len() >= budget.max_edges() {
+                        return Err(Exhaustion::Edges);
                     }
                     if !processed.contains(&target) {
                         frontier.push(target);
@@ -200,7 +244,7 @@ impl TableauGraph {
                 }
             }
         }
-        Some(graph)
+        Ok(graph)
     }
 
     fn intern(
@@ -474,6 +518,20 @@ pub fn prune(graph: &TableauGraph, theory: &dyn Theory) -> Pruned {
 /// independent per eventuality — so the deletion loop deletes exactly the
 /// same edges in the same rounds at every worker count.
 pub fn prune_with(graph: &TableauGraph, theory: &dyn Theory, parallelism: Parallelism) -> Pruned {
+    prune_budgeted(graph, theory, parallelism, &ResourceBudget::unbounded())
+        .expect("an unbudgeted prune cannot be interrupted")
+}
+
+/// [`prune_with`] under a [`ResourceBudget`]: the deletion loop is polynomial
+/// (no structural cap applies), but the budget's deadline/cancellation
+/// cutoffs are polled once per deletion round so a service can abandon a
+/// prune on a very large graph.
+pub fn prune_budgeted(
+    graph: &TableauGraph,
+    theory: &dyn Theory,
+    parallelism: Parallelism,
+    budget: &ResourceBudget,
+) -> Result<Pruned, Exhaustion> {
     let pool = WorkerPool::new(parallelism);
     let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
     let mut node_alive = vec![true; graph.node_count()];
@@ -482,6 +540,9 @@ pub fn prune_with(graph: &TableauGraph, theory: &dyn Theory, parallelism: Parall
     });
     let mut iterations = 0;
     loop {
+        if let Some(interrupt) = budget.interrupted() {
+            return Err(interrupt);
+        }
         iterations += 1;
         let mut changed = false;
 
@@ -525,7 +586,7 @@ pub fn prune_with(graph: &TableauGraph, theory: &dyn Theory, parallelism: Parall
             break;
         }
     }
-    Pruned { node_alive, edge_alive, iterations }
+    Ok(Pruned { node_alive, edge_alive, iterations })
 }
 
 /// The incoming live-edge index shared by every eventuality's reachability
@@ -582,22 +643,36 @@ pub fn satisfiable_pure(formula: &Ltl) -> bool {
 }
 
 /// [`satisfiable_pure`] under a construction budget; `None` when the tableau
-/// exceeds `limits` before the answer is known.
+/// exceeds `limits` before the answer is known.  Shim over
+/// [`satisfiable_pure_budgeted`].
+#[allow(deprecated)]
 pub fn satisfiable_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
     satisfiable_pure_bounded_with(formula, limits, Parallelism::Off)
 }
 
 /// [`satisfiable_pure_bounded`] with construction and pruning fanned across a
-/// worker pool; the answer (including `None`-under-budget) is identical at
-/// every worker count.
+/// worker pool.  Shim over [`satisfiable_pure_budgeted`].
+#[allow(deprecated)]
 pub fn satisfiable_pure_bounded_with(
     formula: &Ltl,
     limits: BuildLimits,
     parallelism: Parallelism,
 ) -> Option<bool> {
-    let graph = TableauGraph::try_build_with(formula, limits, parallelism)?;
-    let pruned = prune_with(&graph, &crate::theory::PropositionalTheory::new(), parallelism);
-    Some(pruned.node_alive(graph.initial()))
+    satisfiable_pure_budgeted(formula, &limits.into(), parallelism).ok()
+}
+
+/// [`satisfiable_pure`] under a [`ResourceBudget`], with construction and
+/// pruning fanned across a worker pool; the answer (including
+/// structural-cap `Err`s) is identical at every worker count.
+pub fn satisfiable_pure_budgeted(
+    formula: &Ltl,
+    budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> Result<bool, Exhaustion> {
+    let graph = TableauGraph::try_build_budgeted(formula, budget, parallelism)?;
+    let pruned =
+        prune_budgeted(&graph, &crate::theory::PropositionalTheory::new(), parallelism, budget)?;
+    Ok(pruned.node_alive(graph.initial()))
 }
 
 /// Decides validity of `formula` in pure temporal logic.
@@ -606,19 +681,33 @@ pub fn valid_pure(formula: &Ltl) -> bool {
 }
 
 /// [`valid_pure`] under a construction budget; `None` when the tableau
-/// exceeds `limits` before the answer is known.
+/// exceeds `limits` before the answer is known.  Shim over
+/// [`valid_pure_budgeted`].
+#[allow(deprecated)]
 pub fn valid_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
     valid_pure_bounded_with(formula, limits, Parallelism::Off)
 }
 
-/// [`valid_pure_bounded`] with the tableau work fanned across a worker pool;
-/// the answer is identical at every worker count.
+/// [`valid_pure_bounded`] with the tableau work fanned across a worker pool.
+/// Shim over [`valid_pure_budgeted`].
+#[allow(deprecated)]
 pub fn valid_pure_bounded_with(
     formula: &Ltl,
     limits: BuildLimits,
     parallelism: Parallelism,
 ) -> Option<bool> {
-    satisfiable_pure_bounded_with(&formula.clone().not(), limits, parallelism).map(|sat| !sat)
+    valid_pure_budgeted(formula, &limits.into(), parallelism).ok()
+}
+
+/// [`valid_pure`] under a [`ResourceBudget`], fanned across a worker pool;
+/// the answer (including structural-cap `Err`s) is identical at every worker
+/// count.
+pub fn valid_pure_budgeted(
+    formula: &Ltl,
+    budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> Result<bool, Exhaustion> {
+    satisfiable_pure_budgeted(&formula.clone().not(), budget, parallelism).map(|sat| !sat)
 }
 
 #[cfg(test)]
@@ -699,6 +788,45 @@ mod tests {
         let u = p().until(q());
         let unrolled = q().or(p().and(u.clone().next()));
         assert!(valid_pure(&u.clone().iff(unrolled)));
+    }
+
+    #[test]
+    fn budgeted_construction_names_the_tripped_cap() {
+        let formula = p().always().not();
+        // Generous budget: construction succeeds and matches the unbounded graph.
+        let graph = TableauGraph::try_build_budgeted(
+            &formula,
+            &ResourceBudget::default(),
+            Parallelism::Off,
+        )
+        .expect("well within the default caps");
+        assert_eq!(graph.node_count(), TableauGraph::build(&formula).node_count());
+        // A 1-node budget trips on Nodes, a 0-edge budget on Edges.
+        let no_nodes = ResourceBudget::unbounded().with_max_nodes(0);
+        assert_eq!(
+            TableauGraph::try_build_budgeted(&formula, &no_nodes, Parallelism::Off).err(),
+            Some(Exhaustion::Nodes)
+        );
+        let no_edges = ResourceBudget::unbounded().with_max_edges(0);
+        assert_eq!(
+            TableauGraph::try_build_budgeted(&formula, &no_edges, Parallelism::Off).err(),
+            Some(Exhaustion::Edges)
+        );
+        // A pre-cancelled token interrupts before the first level.
+        let token = crate::pool::CancelToken::new();
+        token.cancel();
+        let cancelled = ResourceBudget::unbounded().with_cancel(token);
+        assert_eq!(
+            valid_pure_budgeted(&formula, &cancelled, Parallelism::Off).err(),
+            Some(Exhaustion::Cancelled)
+        );
+        // The deprecated shim gives the same yes/no answers as the budgeted path.
+        #[allow(deprecated)]
+        {
+            let limits = BuildLimits { max_nodes: 0, max_edges: usize::MAX };
+            assert!(TableauGraph::try_build(&formula, limits).is_none());
+            assert_eq!(valid_pure_bounded(&p().or(p().not()), BuildLimits::default()), Some(true));
+        }
     }
 
     #[test]

@@ -9,21 +9,42 @@ use std::time::Instant;
 use ilogic::temporal::algorithm_b::{condition_of_graph, AlgorithmB, Decision};
 use ilogic::temporal::patterns;
 use ilogic::temporal::prelude::*;
-use ilogic::{CheckRequest, Session, Verdict};
+use ilogic::{CheckRequest, Exhaustion, ResourceBudget, Session, Verdict};
 
 fn main() {
     // The tableau is also the engine behind `Session`'s `decide` backend:
     // interval-logic formulas in the translatable fragment route through the
-    // same machinery via the unified API.
+    // same machinery via the unified API — here as one submitted batch, with
+    // a single `ResourceBudget` bounding both jobs.
     {
         use ilogic::core::dsl::*;
         let mut session = Session::new();
         let response = always(prop("P").implies(eventually(prop("Q"))));
         let premise = always(eventually(prop("Q")));
         let theorem = premise.implies(response);
-        let report = session.check(CheckRequest::new(theorem).decide());
-        println!("Session decide: [](<>Q) -> [](P -> <>Q) is {}", report.verdict);
-        assert_eq!(report.verdict, Verdict::Holds);
+        let budget = ResourceBudget::default();
+        let reports = session.check_many(vec![
+            CheckRequest::new(theorem).decide().with_budget(budget.clone()),
+            CheckRequest::new(eventually(prop("Q"))).decide().with_budget(budget),
+        ]);
+        println!("Session decide: [](<>Q) -> [](P -> <>Q) is {}", reports[0].verdict);
+        assert_eq!(reports[0].verdict, Verdict::Holds);
+        println!("Session decide: <>Q is {}", reports[1].verdict);
+        assert!(reports[1].verdict.counterexample().is_some());
+    }
+
+    // The unified budget also tames the measured `[ => Q ] []P` condition-
+    // fixpoint blowup: the implicant cap answers with a *named* exhaustion in
+    // milliseconds instead of hanging for hours.
+    {
+        use ilogic::core::dsl::*;
+        use ilogic::core::ltl_translate::to_ltl;
+        let blowup = to_ltl(&always(prop("P")).within(fwd_to(event(prop("Q"))))).unwrap();
+        let theory = PropositionalTheory::new();
+        let alg = AlgorithmB::new(&theory, VarSpec::all_state());
+        let cut = alg.decide_budgeted(&blowup, &ResourceBudget::default());
+        println!("[ => Q ] []P under the default budget: {cut:?}");
+        assert_eq!(cut, Err(Exhaustion::Implicants));
     }
 
     println!("\n== Appendix B §6 table: graph construction and iteration ==");

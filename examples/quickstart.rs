@@ -1,6 +1,7 @@
 //! Quickstart: build interval formulas and run every kind of check through the
-//! unified `Session` API — trace conformance, bounded validity search, and the
-//! tableau decision procedure.
+//! unified `Session` API — trace conformance, then a *batch* of bounded
+//! validity searches and tableau decisions submitted together through
+//! `Session::check_many`.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -41,34 +42,34 @@ fn main() {
     println!("  parsed form matches the DSL form");
 
     // -----------------------------------------------------------------------
-    // 3. A valid formula of Chapter 4, confirmed by exhaustive bounded search
-    //    (the same request shape refutes non-theorems with a counterexample).
+    // 3. A batch: a Chapter 4 valid formula confirmed by exhaustive bounded
+    //    search, a propositional theorem settled exactly by the tableau, and
+    //    a refutable formula concretized into a countermodel — submitted
+    //    together through `check_many`, which multiplexes the jobs across the
+    //    worker pool while keeping every report identical to a sequential
+    //    loop of `check` calls.
     // -----------------------------------------------------------------------
     let v9 = ilogic::core::valid::v9(prop("P"));
-    let report = session.check(CheckRequest::new(v9).bounded(["P"], 4));
-    println!(
-        "V9 `[P => begin ~P] []P` over every computation of length <= 4: {} \
-         ({} computations in {:?}, {} memo hits)",
-        report.verdict, report.stats.traces_checked, report.stats.duration, report.stats.memo.hits
-    );
-
-    // -----------------------------------------------------------------------
-    // 4. A propositional theorem settled exactly by the tableau (`decide`),
-    //    and a refutable formula concretized into a countermodel.
-    // -----------------------------------------------------------------------
     let theorem = always(prop("P")).implies(eventually(prop("P")));
+    let reports = session.check_many(vec![
+        CheckRequest::new(v9).bounded(["P"], 4),
+        CheckRequest::new(theorem).decide(),
+        CheckRequest::new(eventually(prop("P"))).decide(),
+    ]);
     println!(
-        "[]P -> <>P decided by the tableau: {}",
-        session.check(CheckRequest::new(theorem).decide()).verdict
+        "V9 `[P => begin ~P] []P` over every computation of length <= 4: {} ({})",
+        reports[0].verdict, reports[0].stats
     );
-    let refuted = session.check(CheckRequest::new(eventually(prop("P"))).decide());
-    match refuted.verdict {
+    println!("[]P -> <>P decided by the tableau: {}", reports[1].verdict);
+    match &reports[2].verdict {
         Verdict::Counterexample(cex) => println!("<>P is refuted by: {cex}"),
         other => println!("<>P: {other}"),
     }
+    // Any report can cross a process boundary as stable JSON.
+    println!("as JSON: {}", reports[1].to_json());
 
     // -----------------------------------------------------------------------
-    // 5. The low-level layer stays available: the Appendix B combined decision
+    // 4. The low-level layer stays available: the Appendix B combined decision
     //    procedure with a specialized linear-arithmetic theory.
     // -----------------------------------------------------------------------
     let a_ge_1 = Ltl::cmp(Term::var("a"), ilogic::temporal::syntax::CmpOp::Ge, Term::int(1));

@@ -1,0 +1,97 @@
+//! Service-style batched checking: N mixed-backend jobs — tableau decisions,
+//! bounded validity sweeps, explorer conformance, trace conformance — queued
+//! on one `Session`, sharing one `ResourceBudget` with a wall-clock deadline,
+//! and multiplexed across the worker pool by `check_many`.
+//!
+//! Every report is bit-identical to a sequential loop of `check` calls (only
+//! wall-clock timings, and any deadline cuts, vary), and each one serializes
+//! to stable JSON for crossing a process boundary.
+//!
+//! Run with `cargo run --release --example service_batch`.
+
+use std::time::Duration;
+
+use ilogic::core::dsl::*;
+use ilogic::core::spec::close_free_variables;
+use ilogic::core::valid;
+use ilogic::systems::explore::{explore_backend, ExploreLimits, MutexModel};
+use ilogic::systems::specs;
+use ilogic::{CheckReport, CheckRequest, Parallelism, ResourceBudget, Session};
+
+fn main() {
+    // One budget for the whole batch: the default structural caps plus a
+    // shared 10-second deadline — jobs still running when it passes answer
+    // `Unknown { exhausted: deadline }` instead of holding the queue hostage.
+    let budget = ResourceBudget::default().with_timeout(Duration::from_secs(10));
+
+    let mut requests: Vec<(String, CheckRequest)> = Vec::new();
+
+    // Tableau decisions: every catalogue schema through the `Decide` backend.
+    for (name, formula) in valid::catalogue() {
+        requests.push((
+            format!("decide {name}"),
+            CheckRequest::new(formula).decide().with_budget(budget.clone()),
+        ));
+    }
+
+    // Bounded validity evidence for two catalogue schemas at a deeper bound.
+    for (name, formula) in [("V9", valid::v9(prop("P"))), ("V1", valid::catalogue()[0].1.clone())] {
+        requests.push((
+            format!("bounded {name}"),
+            CheckRequest::new(formula).bounded(["P", "Q"], 3).with_budget(budget.clone()),
+        ));
+    }
+
+    // Explorer conformance: the mutual-exclusion theorem over every
+    // interleaving of a correct and a broken mutex model.
+    let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
+    for (name, model) in
+        [("mutex ok", MutexModel::correct(2, 1)), ("mutex broken", MutexModel::broken(2, 1))]
+    {
+        requests.push((
+            format!("explore {name}"),
+            CheckRequest::new(theorem.clone())
+                .with_backend(explore_backend(&model, ExploreLimits::default(), 128))
+                .with_budget(budget.clone()),
+        ));
+    }
+
+    // Trace conformance of a hand-written run.
+    let trace = ilogic::core::trace::Trace::finite(vec![
+        ilogic::core::state::State::new(),
+        ilogic::core::state::State::new().with("A"),
+        ilogic::core::state::State::new().with("B"),
+    ]);
+    requests.push((
+        "trace occurs(A)".to_string(),
+        CheckRequest::new(occurs(event(prop("A")))).on_trace(&trace).with_budget(budget.clone()),
+    ));
+
+    // Submit the whole batch across 4 workers.
+    let mut session = Session::new().with_parallelism(Parallelism::Fixed(4));
+    let labels: Vec<String> = requests.iter().map(|(label, _)| label.clone()).collect();
+    let started = std::time::Instant::now();
+    let reports = session.check_many(requests.into_iter().map(|(_, r)| r).collect());
+    let elapsed = started.elapsed();
+
+    println!("{} jobs in {elapsed:.2?} (4 workers, shared 10s deadline)\n", reports.len());
+    println!("{:<22} {:<10} verdict", "job", "backend");
+    for (label, report) in labels.iter().zip(&reports) {
+        let mut verdict = report.verdict.to_string();
+        if verdict.chars().count() > 72 {
+            verdict = verdict.chars().take(72).chain(['…']).collect();
+        }
+        println!("{label:<22} {:<10} {verdict}", report.backend);
+    }
+
+    let passed = reports.iter().filter(|r| r.verdict.passed()).count();
+    let refuted = reports.iter().filter(|r| r.verdict.counterexample().is_some()).count();
+    let unknown = reports.iter().filter(|r| r.verdict.is_unknown()).count();
+    println!("\npassed {passed}, refuted {refuted}, unknown {unknown}");
+
+    // Reports serialize losslessly for the wire; prove the round trip here.
+    let json = reports[0].to_json();
+    let back = CheckReport::from_json(&json).expect("a rendered report parses back");
+    assert_eq!(back, reports[0], "JSON round-trip must be lossless");
+    println!("\nfirst report as JSON:\n{json}");
+}

@@ -15,7 +15,9 @@
 //! Every way of asking "does this formula hold?" goes through one door: build
 //! a [`Session`], describe the check with a builder-style [`CheckRequest`]
 //! selecting a [`Backend`], and read the uniform [`Verdict`] (plus timing and
-//! memoization statistics) off the returned [`CheckReport`]:
+//! memoization statistics) off the returned [`CheckReport`].  One-shot checks
+//! use [`Session::check`]; batches use the job API ([`Session::submit`] /
+//! [`Session::check_many`]) below:
 //!
 //! ```
 //! use ilogic::core::dsl::*;
@@ -57,18 +59,72 @@
 //! assert!(Session::new().check_spec(&spec, &trace).passed());
 //! ```
 //!
+//! # Batched job submission
+//!
+//! A service workload is many checks with deadlines, not one: enqueue
+//! requests with [`Session::submit`] (returning a [`JobHandle`] per job) or
+//! hand a whole batch to [`Session::check_many`], and the
+//! [`core::scheduler`] multiplexes the queue across the worker pool — a
+//! two-millisecond `Decide` job no longer waits behind a two-minute
+//! `Bounded` sweep.  Batch results are **bit-identical** (verdicts,
+//! counterexamples, deterministic statistics) to a sequential loop of
+//! single-threaded [`Session::check`] calls in submission order, at every
+//! worker count.
+//!
+//! ```
+//! use ilogic::core::dsl::*;
+//! use ilogic::{CheckRequest, Parallelism, ResourceBudget, Session};
+//! use std::time::Duration;
+//!
+//! let mut session = Session::new().with_parallelism(Parallelism::Fixed(4));
+//! // One budget for the whole batch: structural caps + a shared deadline.
+//! let budget = ResourceBudget::default().with_timeout(Duration::from_secs(5));
+//! let reports = session.check_many(vec![
+//!     CheckRequest::new(always(prop("P")).implies(eventually(prop("P"))))
+//!         .decide()
+//!         .with_budget(budget.clone()),
+//!     CheckRequest::new(prop("P").or(prop("P").not()))
+//!         .bounded(["P"], 3)
+//!         .with_budget(budget.clone()),
+//! ]);
+//! assert!(reports.iter().all(|r| r.verdict.passed()));
+//! ```
+//!
+//! Reports serialize to stable JSON for crossing process boundaries —
+//! [`CheckReport::to_json`] / [`CheckReport::from_json`] round-trip every
+//! field, counterexample traces included, with no external dependencies.
+//!
+//! ## Migration note (`check` → `submit` / `check_many`)
+//!
+//! Pre-PR 4 code used one-shot [`Session::check`] in a loop and per-layer
+//! limit types.  The mapping onto the job API:
+//!
+//! * `for r in requests { session.check(r) }` → [`Session::check_many`]
+//!   (same reports, in order, cross-request parallel) or [`Session::submit`]
+//!   + [`Session::wait`] for incremental consumption;
+//! * `BuildLimits` / `ConditionLimits` / ad-hoc refutation caps →
+//!   one [`ResourceBudget`] ([`CheckRequest::with_budget`] or
+//!   [`Session::set_budget`]); the old types survive only as deprecated
+//!   shims over the budgeted entry points;
+//! * matching on `Verdict::Unknown` → `Verdict::Unknown { exhausted }`,
+//!   where `exhausted` names the budget resource that ran out
+//!   ([`Exhaustion`]), or is `None` outside the decidable fragment.
+//!
 //! # Which checker do I want?
 //!
-//! | Backend | Ask it for | Guarantee | Cost | Parallelism |
-//! |---------|------------|-----------|------|-------------|
-//! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) | single-threaded (one trace) |
-//! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check | runs batched across the pool; lazy sources stream batch by batch |
-//! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small | sharded sweep: `n` workers cover interleaved slices with early-exit cancellation |
-//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown` outside the fragment | tableau is exponential worst-case, fast on the report's idioms | level-parallel tableau build, sharded prune analyses, sharded refutation sweep |
+//! | Backend | Ask it for | Guarantee | Cost | Parallelism | Budget caps that apply |
+//! |---------|------------|-----------|------|-------------|------------------------|
+//! | [`Backend::Trace`] (`.on_trace(…)`) | conformance of one simulated/recorded run | exact for that computation | linear-ish in trace × formula (memoized) | single-threaded (one trace) | deadline/cancel only |
+//! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check | runs batched across the pool; lazy sources stream batch by batch | `max_enumeration` over runs; deadline/cancel |
+//! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small | sharded sweep: `n` workers cover interleaved slices with early-exit cancellation | `max_enumeration` over computations; deadline/cancel |
+//! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown { exhausted }` outside the fragment or under budget | tableau is exponential worst-case, fast on the report's idioms | level-parallel tableau build, sharded prune analyses, sharded refutation sweep | `max_nodes`/`max_edges` (tableau), `max_enumeration` (refutation); deadline/cancel |
 //!
 //! Rule of thumb: simulator and explorer traces → `Trace`/`Explore`; "is this
 //! schema a theorem?" → `Decide` first and `Bounded` as the refutation
 //! workhorse; the catalogue and the test suite use `Bounded` throughout.
+//! Whatever the backend, running out of any [`ResourceBudget`] resource
+//! yields `Verdict::Unknown { exhausted: Some(…) }` — a budget can withhold
+//! an answer but never flip one.
 //!
 //! # Parallelism
 //!
@@ -121,7 +177,8 @@ pub use ilogic_lowlevel as lowlevel;
 pub use ilogic_systems as systems;
 pub use ilogic_temporal as temporal;
 
-pub use ilogic_core::pool::{Parallelism, WorkerPool};
+pub use ilogic_core::pool::{CancelToken, Exhaustion, Parallelism, ResourceBudget, WorkerPool};
+pub use ilogic_core::scheduler::{JobHandle, JobId};
 pub use ilogic_core::session::{
     Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,
 };

@@ -11,12 +11,13 @@
 use ilogic::core::dsl::*;
 use ilogic::core::parser::{parse_formula, CORPUS};
 use ilogic::core::pool::Parallelism;
+use ilogic::core::pool::ResourceBudget;
 use ilogic::core::prelude::*;
 use ilogic::core::valid;
-use ilogic::temporal::algorithm_b::{AlgorithmB, ConditionLimits, Decision};
+use ilogic::temporal::algorithm_b::{AlgorithmB, Decision};
 use ilogic::temporal::patterns;
 use ilogic::temporal::prelude::{valid_pure, Ltl, PropositionalTheory, VarSpec};
-use ilogic::temporal::tableau::{prune, prune_with, BuildLimits, TableauGraph};
+use ilogic::temporal::tableau::{prune, prune_with, TableauGraph};
 use ilogic::{CheckRequest, Session};
 
 /// Every interval-logic formula the suite sweeps through `Session::decide`:
@@ -71,20 +72,20 @@ fn decide_backend_verdicts_are_worker_count_independent() {
 #[test]
 fn parallel_tableau_graphs_are_bit_identical() {
     for (label, formula) in pattern_formulas() {
-        let sequential = TableauGraph::try_build_with(
+        let sequential = TableauGraph::try_build_budgeted(
             &formula.clone().not(),
-            BuildLimits::default(),
+            &ResourceBudget::default(),
             Parallelism::Off,
         );
         for workers in 1..=4 {
-            let parallel = TableauGraph::try_build_with(
+            let parallel = TableauGraph::try_build_budgeted(
                 &formula.clone().not(),
-                BuildLimits::default(),
+                &ResourceBudget::default(),
                 Parallelism::Fixed(workers),
             );
             match (&sequential, &parallel) {
-                (None, None) => {}
-                (Some(seq), Some(par)) => {
+                (Err(seq_cut), Err(par_cut)) => assert_eq!(seq_cut, par_cut, "{label}"),
+                (Ok(seq), Ok(par)) => {
                     assert_eq!(seq.node_count(), par.node_count(), "{label} ({workers} workers)");
                     assert_eq!(seq.edges(), par.edges(), "{label} ({workers} workers)");
                     for node in 0..seq.node_count() {
@@ -107,26 +108,27 @@ fn parallel_tableau_graphs_are_bit_identical() {
     }
 }
 
-/// The budgeted condition fixpoint: `AlgorithmB::decide_bounded` answers —
-/// including `Unknown`-under-budget — are identical at every worker count,
-/// both with the default budget and with a tight one that trips.
+/// The budgeted condition fixpoint: `AlgorithmB::decide_budgeted` answers —
+/// including the named exhaustion on a budget trip — are identical at every
+/// worker count, both with the default budget and with a tight one that
+/// trips.
 #[test]
 fn budgeted_algorithm_b_decisions_are_worker_count_independent() {
     let theory = PropositionalTheory::new();
-    let limits =
-        [ConditionLimits::default(), ConditionLimits { max_implicants: 2, ..Default::default() }];
+    let budgets = [ResourceBudget::default(), ResourceBudget::default().with_max_implicants(2)];
     for (label, formula) in pattern_formulas() {
-        for limit in limits {
+        for budget in &budgets {
             let sequential =
-                AlgorithmB::new(&theory, VarSpec::all_state()).decide_bounded(&formula, limit);
+                AlgorithmB::new(&theory, VarSpec::all_state()).decide_budgeted(&formula, budget);
             for workers in 1..=4 {
                 let parallel = AlgorithmB::new(&theory, VarSpec::all_state())
                     .with_parallelism(Parallelism::Fixed(workers))
-                    .decide_bounded(&formula, limit);
+                    .decide_budgeted(&formula, budget);
                 assert_eq!(
-                    parallel, sequential,
+                    parallel,
+                    sequential,
                     "{label}: budgeted decision (max_implicants {}) diverges at {workers} workers",
-                    limit.max_implicants
+                    budget.max_implicants()
                 );
             }
         }
@@ -163,8 +165,8 @@ fn prefix_invariance_budget_trip_is_worker_count_independent() {
             AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
         let started = std::time::Instant::now();
         assert_eq!(
-            algorithm.decide_bounded(&ltl, ConditionLimits::default()),
-            Decision::Unknown,
+            algorithm.decide_budgeted(&ltl, &ResourceBudget::default()),
+            Err(ilogic::core::pool::Exhaustion::Implicants),
             "the budget must trip identically at {workers} workers"
         );
         assert!(

@@ -153,20 +153,25 @@ fn algorithm_b_and_bounded_models_agree_on_interval_fragment_validities() {
 fn algorithm_b_is_budgeted_on_the_prefix_invariance_formula() {
     // ISSUE 2 re-triage of `algorithm_b_refutes_the_prefix_invariance_formula`
     // (measured): the tableau of ¬to_ltl([ => Q ] []P) is *small* — 97 nodes /
-    // 3362 edges, built in ~55 ms, well inside BuildLimits::default() — so the
+    // 3362 edges, built in ~55 ms, well inside the default build caps — so the
     // PR 1 construction budget alone cannot tame this family.  The blowup is
     // in the Appendix B §5.3 condition fixpoint, whose intermediate DNFs
     // explode combinatorially over those 3362 edge atoms (no termination
-    // after hours, unbudgeted).  `ConditionLimits` now budgets that phase
-    // too: the bounded run must answer Unknown in milliseconds, never hang,
-    // and the refutation itself stays with the bounded-model path below.
-    use ilogic::temporal::algorithm_b::{AlgorithmB, ConditionLimits, Decision};
+    // after hours, unbudgeted).  The `ResourceBudget` implicant cap budgets
+    // that phase too: the budgeted run must name the Implicants exhaustion in
+    // milliseconds, never hang, and the refutation itself stays with the
+    // bounded-model path below.
+    use ilogic::core::pool::{Exhaustion, ResourceBudget};
+    use ilogic::temporal::algorithm_b::AlgorithmB;
     let invalid_formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
     let ltl = to_ltl(&invalid_formula).unwrap();
     let theory = PropositionalTheory::new();
     let algorithm = AlgorithmB::new(&theory, VarSpec::all_state());
     let started = std::time::Instant::now();
-    assert_eq!(algorithm.decide_bounded(&ltl, ConditionLimits::default()), Decision::Unknown);
+    assert_eq!(
+        algorithm.decide_budgeted(&ltl, &ResourceBudget::default()),
+        Err(Exhaustion::Implicants)
+    );
     assert!(started.elapsed() < std::time::Duration::from_secs(30), "the budget must trip fast");
 
     // The concrete refutation the unbudgeted run would eventually deliver:
@@ -179,7 +184,7 @@ fn algorithm_b_is_budgeted_on_the_prefix_invariance_formula() {
 #[ignore = "ISSUE 3 re-triage (measured, under the parallel Jacobi fixpoint): still intractable \
 unbudgeted. The Graph(¬A) tableau of [ => Q ] []P stays cheap (97 nodes / 3362 edges, ~55 ms), \
 and parallelizing the §5.3 condition fixpoint does not tame the blowup — it is combinatorial, \
-not a throughput problem: every ConditionLimits budget from 10^4 to 10^7 implicants trips \
+not a throughput problem: every implicant budget from 10^4 to 10^7 trips \
 within 85–140 ms (2 workers, release) on the pre-absorption product estimate of the very first \
 sweeps, answering Unknown identically at every worker count \
 (tests/decide_parallel.rs::prefix_invariance_budget_trip_is_worker_count_independent). The \
