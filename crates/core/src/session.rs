@@ -63,7 +63,12 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ilogic_temporal::tableau::valid_pure_budgeted;
+use ilogic_temporal::algorithm_b::{condition_of_graph_budgeted_stats, AlgorithmB, Decision};
+use ilogic_temporal::syntax::VarSpec;
+use ilogic_temporal::tableau::TableauGraph;
+use ilogic_temporal::theory::PropositionalTheory;
+
+pub use ilogic_temporal::dnf::store::StoreStats as ConditionStats;
 
 use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
@@ -380,6 +385,19 @@ pub struct CheckStats {
     /// Memoization counters accumulated by the session across every request
     /// so far, this one included — see [`Session::cumulative_memo`].
     pub session_memo: MemoStats,
+    /// Condition-store counters of this check's `Decide` run — distinct
+    /// implicants interned, product-memo hits/misses, the widest condition
+    /// DNF — all zero for the other backends (and for `Decide` requests whose
+    /// formula never reaches the condition fixpoint).
+    pub condition: ConditionStats,
+    /// Condition-store counters accumulated by the session across every
+    /// request so far, this one included — see
+    /// [`Session::cumulative_condition`].
+    pub session_condition: ConditionStats,
+    /// The budget resource that ran out, when the verdict is
+    /// `Unknown { exhausted: Some(…) }` — duplicated here so the stats line
+    /// alone says *why* a check stopped early.
+    pub exhausted: Option<Exhaustion>,
     /// Total distinct nodes in the session arena after the check.
     pub arena_nodes: usize,
     /// Number of pool workers the backend fanned out across (1 when the check
@@ -399,7 +417,20 @@ impl fmt::Display for CheckStats {
             self.arena_nodes,
             self.workers,
             if self.workers == 1 { "" } else { "s" },
-        )
+        )?;
+        if self.condition.interned_implicants > 0 {
+            write!(
+                f,
+                ", {} condition implicants ({} memo hits, widest {})",
+                self.condition.interned_implicants,
+                self.condition.memo_hits,
+                self.condition.peak_dnf_width,
+            )?;
+        }
+        if let Some(cut) = self.exhausted {
+            write!(f, ", exhausted: {cut}")?;
+        }
+        Ok(())
     }
 }
 
@@ -580,18 +611,69 @@ fn stats_to_json(stats: &CheckStats) -> Json {
         .field("traces_checked", Json::Int(stats.traces_checked as i64))
         .field("memo", memo_to_json(stats.memo))
         .field("session_memo", memo_to_json(stats.session_memo))
+        .field("condition", condition_to_json(stats.condition))
+        .field("session_condition", condition_to_json(stats.session_condition))
+        .field(
+            "exhausted",
+            match stats.exhausted {
+                Some(cut) => Json::Str(exhaustion_name(cut).into()),
+                None => Json::Null,
+            },
+        )
         .field("arena_nodes", Json::Int(stats.arena_nodes as i64))
         .field("workers", Json::Int(stats.workers as i64))
 }
 
 fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
+    // The condition/exhausted fields were added in PR 5; reports serialized
+    // by earlier versions omit them, and the stable-wire-format promise cuts
+    // both ways — absent fields parse as their defaults instead of rejecting
+    // the document.
+    let exhausted = match value.get("exhausted") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(name)) => Some(exhaustion_from_name(name)?),
+        Some(other) => return Err(JsonError::new(format!("bad stats exhaustion {other:?}"))),
+    };
+    let condition = match value.get("condition") {
+        Some(found) => condition_from_json(found)?,
+        None => ConditionStats::default(),
+    };
+    let session_condition = match value.get("session_condition") {
+        Some(found) => condition_from_json(found)?,
+        None => ConditionStats::default(),
+    };
     Ok(CheckStats {
         duration: Duration::from_nanos(uint_field(value.require("duration_ns")?, "duration_ns")?),
         traces_checked: usize_of(value.require("traces_checked")?, "traces_checked")?,
         memo: memo_from_json(value.require("memo")?)?,
         session_memo: memo_from_json(value.require("session_memo")?)?,
+        condition,
+        session_condition,
+        exhausted,
         arena_nodes: usize_of(value.require("arena_nodes")?, "arena_nodes")?,
         workers: usize_of(value.require("workers")?, "workers")?,
+    })
+}
+
+fn condition_to_json(condition: ConditionStats) -> Json {
+    Json::object()
+        .field("interned_implicants", Json::Int(condition.interned_implicants as i64))
+        .field("interned_dnfs", Json::Int(condition.interned_dnfs as i64))
+        .field("memo_hits", Json::Int(condition.memo_hits.min(i64::MAX as u64) as i64))
+        .field("memo_misses", Json::Int(condition.memo_misses.min(i64::MAX as u64) as i64))
+        .field("peak_dnf_width", Json::Int(condition.peak_dnf_width as i64))
+}
+
+fn condition_from_json(value: &Json) -> Result<ConditionStats, JsonError> {
+    Ok(ConditionStats {
+        interned_implicants: usize_of(
+            value.require("interned_implicants")?,
+            "interned_implicants",
+        )?,
+        interned_dnfs: usize_of(value.require("interned_dnfs")?, "interned_dnfs")?,
+        memo_hits: uint_field(value.require("memo_hits")?, "memo_hits")?,
+        memo_misses: uint_field(value.require("memo_misses")?, "memo_misses")?,
+        peak_dnf_width: usize_of(value.require("peak_dnf_width")?, "peak_dnf_width")?,
     })
 }
 
@@ -740,6 +822,7 @@ pub struct Session {
     default_parallelism: Option<Parallelism>,
     default_budget: Option<ResourceBudget>,
     cumulative: MemoStats,
+    cumulative_condition: ConditionStats,
     /// Process-unique nonce stamped into every issued [`JobHandle`], so a
     /// handle presented to the wrong session is rejected instead of
     /// redeeming an unrelated job that shares the numeric id.
@@ -757,6 +840,7 @@ impl Default for Session {
             default_parallelism: None,
             default_budget: None,
             cumulative: MemoStats::default(),
+            cumulative_condition: ConditionStats::default(),
             session_nonce: NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             next_job: 0,
             pending: Vec::new(),
@@ -810,6 +894,13 @@ impl Session {
         self.cumulative
     }
 
+    /// Condition-store counters accumulated across every `Decide` check this
+    /// session ran (counts add, the peak-width takes the max) — the running
+    /// sum of each report's [`CheckStats::condition`].
+    pub fn cumulative_condition(&self) -> ConditionStats {
+        self.cumulative_condition
+    }
+
     /// Effective parallelism: the request's explicit choice, else the session
     /// default, else the environment override, else off.
     fn resolve_parallelism(&self, requested: Option<Parallelism>) -> Parallelism {
@@ -861,6 +952,11 @@ impl Session {
     /// the report.
     fn finalize(&mut self, job: &PreparedJob, outcome: JobOutcome) -> CheckReport {
         self.cumulative.merge(outcome.memo);
+        self.cumulative_condition.merge(outcome.condition);
+        let exhausted = match &outcome.verdict {
+            Verdict::Unknown { exhausted } => *exhausted,
+            _ => None,
+        };
         CheckReport {
             verdict: outcome.verdict,
             stats: CheckStats {
@@ -868,6 +964,9 @@ impl Session {
                 traces_checked: outcome.traces_checked,
                 memo: outcome.memo,
                 session_memo: self.cumulative,
+                condition: outcome.condition,
+                session_condition: self.cumulative_condition,
+                exhausted,
                 arena_nodes: job.arena_nodes,
                 workers: outcome.workers,
             },
@@ -1102,6 +1201,9 @@ pub(crate) struct JobOutcome {
     verdict: Verdict,
     traces_checked: usize,
     memo: MemoStats,
+    /// Condition-store counters (non-zero only for `Decide` runs that reached
+    /// the condition fixpoint).
+    condition: ConditionStats,
     workers: usize,
     failing_index: Option<usize>,
     duration: Duration,
@@ -1113,6 +1215,7 @@ pub(crate) struct JobOutcome {
 /// calls: there is no second implementation to diverge.
 pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobOutcome {
     let start = Instant::now();
+    let mut condition = ConditionStats::default();
     let (verdict, traces_checked, memo, workers, failing_index) = match &job.backend {
         Backend::Trace(trace) => {
             let mut memo = MemoEvaluator::new(arena);
@@ -1154,12 +1257,24 @@ pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobO
             };
             (verdict, sweep.traces_checked, sweep.memo, sweep.workers, index)
         }
-        Backend::Decide => decide(arena, job),
+        Backend::Decide => {
+            let (verdict, traces_checked, memo, workers, failing_index, stats) = decide(arena, job);
+            condition = stats;
+            (verdict, traces_checked, memo, workers, failing_index)
+        }
     };
-    JobOutcome { verdict, traces_checked, memo, workers, failing_index, duration: start.elapsed() }
+    JobOutcome {
+        verdict,
+        traces_checked,
+        memo,
+        condition,
+        workers,
+        failing_index,
+        duration: start.elapsed(),
+    }
 }
 
-/// The `Decide` backend: translate to LTL and run the tableau under the
+/// The `Decide` backend: translate to LTL and run Algorithm B under the
 /// job's [`ResourceBudget`] (deeply nested translations are exponential — a
 /// blowup yields `Unknown { exhausted }`, never a hang, under any finite
 /// budget; [`ResourceBudget::unbounded`] is the caller explicitly choosing
@@ -1167,27 +1282,79 @@ pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobO
 /// a small concrete counterexample — the sweep draws on the same budget's
 /// enumeration cap, so the verdict stays uniform with the other backends.
 ///
+/// Since the condition-store rewrite the validity check is Algorithm B end
+/// to end.  Under a finite implicant cap the explicit §5 condition is
+/// attempted first on the interned, [`ConditionStats`]-instrumented store —
+/// its counters are the report's condition statistics.  When that artifact
+/// trips the cap (or the cap is infinite), the decision comes from the
+/// *evaluated* fixpoint instead — the same §5.3 iteration run over plain
+/// Booleans — which terminates fast on every input, so verdicts are never
+/// weaker than the pre-store tableau-pruning check, only the statistics
+/// richer.
+///
 /// Under parallelism, every phase fans across the worker pool: the tableau
-/// is built level-parallel and pruned with sharded reachability analyses
-/// ([`valid_pure_budgeted`]), and the refutation search is the same sharded
-/// lowest-index-wins sweep the `Bounded` backend uses.  Verdicts — `Holds`,
-/// the concrete counterexample, and `Unknown`-under-budget alike — are
-/// bit-identical at every worker count (deadline/cancellation cuts aside).
+/// is built level-parallel, the condition fixpoint batches its frozen-phase
+/// sweeps, and the refutation search is the same sharded lowest-index-wins
+/// sweep the `Bounded` backend uses.  Verdicts — `Holds`, the concrete
+/// counterexample, and `Unknown`-under-budget alike — are bit-identical at
+/// every worker count (deadline/cancellation cuts aside).
 fn decide<A: ArenaRead + Sync>(
     arena: &A,
     job: &PreparedJob,
-) -> (Verdict, usize, MemoStats, usize, Option<usize>) {
+) -> (Verdict, usize, MemoStats, usize, Option<usize>, ConditionStats) {
     let workers = job.parallelism.workers();
     let none = MemoStats::default();
+    let mut condition_stats = ConditionStats::default();
     let Ok(ltl) = to_ltl(&job.formula) else {
-        return (Verdict::unknown(), 0, none, workers, None);
+        return (Verdict::unknown(), 0, none, workers, None, condition_stats);
     };
-    let refuted = match valid_pure_budgeted(&ltl, &job.budget, job.parallelism) {
-        Ok(true) => return (Verdict::Holds, 0, none, workers, None),
-        // Refuted — or out of tableau reach, in which case a concrete
-        // countermodel (sound regardless of the tableau) is still worth the
-        // sweep below; remember the cut for the verdict if none is found.
-        Ok(false) => None,
+    let theory = PropositionalTheory::new();
+    let algorithm =
+        AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(job.parallelism);
+    // One tableau build serves both phases below.
+    let decided =
+        match TableauGraph::try_build_budgeted(&ltl.clone().not(), &job.budget, job.parallelism) {
+            Err(cut) => Err(cut),
+            Ok(graph) => {
+                // Phase 1 — the explicit condition artifact, attempted only
+                // under a finite implicant cap: on the interned store it is
+                // cheap for typical formulas and its counters — reported even
+                // when the artifact trips — are the report's condition
+                // statistics.  An *unbounded* request must never be parked on a
+                // condition whose minimal DNF is intractably wide (the nested
+                // weak-until family) when the decision itself doesn't need it.
+                let mut decided: Option<Result<Decision, Exhaustion>> = None;
+                if job.budget.max_implicants() != usize::MAX {
+                    let (artifact, stats) = condition_of_graph_budgeted_stats(
+                        graph.clone(),
+                        &job.budget,
+                        job.parallelism,
+                    );
+                    condition_stats = stats;
+                    if let Ok(condition) = artifact {
+                        decided = Some(algorithm.decide_from_condition_budgeted(
+                            &ltl,
+                            &condition,
+                            &job.budget,
+                        ));
+                    }
+                }
+                // Phase 2 — the evaluated fixpoint
+                // (`AlgorithmB::decide_from_graph_budgeted`): decides validity by
+                // running the §5.3 fixpoint over plain Booleans, so it is exact
+                // and fast on exactly the formulas whose explicit condition blows
+                // the budget.
+                decided.unwrap_or_else(|| {
+                    algorithm.decide_from_graph_budgeted(&ltl, &graph, &job.budget)
+                })
+            }
+        };
+    let refuted = match decided {
+        Ok(Decision::Valid) => return (Verdict::Holds, 0, none, workers, None, condition_stats),
+        // Not valid (or a mixed-mode Unknown, out of reach for the all-state
+        // classification used here): a concrete countermodel is worth the
+        // sweep below.
+        Ok(Decision::NotValid | Decision::Unknown) => None,
         Err(cut) => Some(cut),
     };
     // Concretize over the deepest bound whose enumeration fits the budget.
@@ -1221,8 +1388,8 @@ fn decide<A: ArenaRead + Sync>(
         // cap if one of them is to blame; pure saturation is a plain
         // `Unknown` no budget change can fix.
         return match refuted.or(budget_cut_depth) {
-            Some(cut) => (Verdict::exhausted(cut), 0, none, workers, None),
-            None => (Verdict::unknown(), 0, none, workers, None),
+            Some(cut) => (Verdict::exhausted(cut), 0, none, workers, None, condition_stats),
+            None => (Verdict::unknown(), 0, none, workers, None, condition_stats),
         };
     };
     let sweep = checker.sweep_budgeted(arena, job.id, None, job.parallelism, &job.budget);
@@ -1240,7 +1407,7 @@ fn decide<A: ArenaRead + Sync>(
             None => (Verdict::unknown(), None),
         },
     };
-    (verdict, sweep.traces_checked, sweep.memo, sweep.workers, index)
+    (verdict, sweep.traces_checked, sweep.memo, sweep.workers, index, condition_stats)
 }
 
 /// Runs pulled from a lazy [`RunSource`] per fan-out round.  Collected
@@ -1677,5 +1844,127 @@ mod tests {
         let shown = report.to_string();
         assert!(shown.contains("bounded"));
         assert!(shown.contains("counterexample"));
+    }
+
+    #[test]
+    fn decide_checks_surface_condition_store_counters() {
+        let mut session = Session::new();
+        // ◇P is refutable and Graph(¬◇P) has real edges, so the condition
+        // fixpoint interns real implicants.  (A theorem like □P ⊃ ◇P has a
+        // contradictory negation whose graph is edgeless — its condition is ⊤
+        // with zero interned implicants, legitimately.)
+        let refutable = eventually(prop("P"));
+        let report = session.check(CheckRequest::new(refutable.clone()).decide());
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)), "got {}", report.verdict);
+        assert!(
+            report.stats.condition.interned_implicants > 0,
+            "a tractable Decide must report its condition-store work"
+        );
+        assert_eq!(report.stats.session_condition, report.stats.condition);
+        assert_eq!(session.cumulative_condition(), report.stats.condition);
+        // A second decide accumulates (counts add, peak takes the max).
+        let second = session.check(CheckRequest::new(always(prop("Q"))).decide());
+        assert!(second.stats.condition.interned_implicants > 0);
+        let cumulative = session.cumulative_condition();
+        assert_eq!(
+            cumulative.interned_implicants,
+            report.stats.condition.interned_implicants + second.stats.condition.interned_implicants
+        );
+        assert!(
+            cumulative.peak_dnf_width
+                >= report.stats.condition.peak_dnf_width.max(second.stats.condition.peak_dnf_width)
+        );
+        assert_eq!(second.stats.session_condition, cumulative);
+        // Non-decide backends report zero condition work.
+        let bounded = session.check(CheckRequest::new(prop("P")).bounded(["P"], 2));
+        assert_eq!(bounded.stats.condition, ConditionStats::default());
+        // An unbounded budget skips the explicit artifact — the evaluated
+        // fixpoint decides without interning a single implicant.
+        let unbounded = Session::new()
+            .with_budget(ResourceBudget::unbounded())
+            .check(CheckRequest::new(refutable).decide());
+        assert!(matches!(unbounded.verdict, Verdict::Counterexample(_)));
+        assert_eq!(unbounded.stats.condition, ConditionStats::default());
+    }
+
+    #[test]
+    fn stats_display_names_condition_work_and_exhaustion() {
+        let mut session = Session::new();
+        let decided = session.check(CheckRequest::new(eventually(prop("P"))).decide());
+        assert!(
+            decided.stats.to_string().contains("condition implicants"),
+            "got: {}",
+            decided.stats
+        );
+        // An enumeration-capped bounded sweep names the cut in its stats line.
+        let capped = session.check(
+            CheckRequest::new(prop("P").or(prop("P").not()))
+                .bounded(["P", "Q"], 3)
+                .with_budget(ResourceBudget::default().with_max_enumeration(1)),
+        );
+        assert_eq!(capped.verdict, Verdict::exhausted(Exhaustion::Enumeration));
+        assert_eq!(capped.stats.exhausted, Some(Exhaustion::Enumeration));
+        assert!(
+            capped.stats.to_string().contains("exhausted: enumeration budget exhausted"),
+            "got: {}",
+            capped.stats
+        );
+    }
+
+    #[test]
+    fn pre_condition_era_reports_still_parse() {
+        // A report rendered before the PR 5 stats fields existed (no
+        // `condition`, `session_condition`, or `exhausted`): the stable
+        // wire-format promise means it parses with defaults rather than
+        // being rejected.
+        let legacy = concat!(
+            "{\"backend\":\"trace\",\"verdict\":{\"kind\":\"holds\"},",
+            "\"failing_index\":null,\"stats\":{\"duration_ns\":5,",
+            "\"traces_checked\":1,\"memo\":{\"hits\":2,\"misses\":3},",
+            "\"session_memo\":{\"hits\":2,\"misses\":3},",
+            "\"arena_nodes\":4,\"workers\":1}}",
+        );
+        let parsed = CheckReport::from_json(legacy).expect("legacy reports must parse");
+        assert_eq!(parsed.verdict, Verdict::Holds);
+        assert_eq!(parsed.stats.condition, ConditionStats::default());
+        assert_eq!(parsed.stats.session_condition, ConditionStats::default());
+        assert_eq!(parsed.stats.exhausted, None);
+        assert_eq!(parsed.stats.memo.hits, 2);
+    }
+
+    #[test]
+    fn condition_counters_survive_an_artifact_budget_trip() {
+        // A Decide whose condition artifact trips the implicant cap still
+        // reports the interning work of the attempt (the cap is 3: the graph
+        // of ¬◇P has enough edge atoms to charge past it).
+        let mut session =
+            Session::new().with_budget(ResourceBudget::default().with_max_implicants(3));
+        let report = session.check(CheckRequest::new(eventually(prop("P"))).decide());
+        assert!(
+            report.stats.condition.interned_implicants > 0,
+            "the tripped artifact's counters must surface; got {:?}",
+            report.stats.condition
+        );
+        // The decision itself still settles through the evaluated fixpoint.
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)), "got {}", report.verdict);
+    }
+
+    #[test]
+    fn reports_round_trip_condition_and_exhaustion_fields() {
+        let mut session = Session::new();
+        let reports = vec![
+            session.check(CheckRequest::new(always(prop("P")).implies(prop("P"))).decide()),
+            session.check(
+                CheckRequest::new(prop("P"))
+                    .bounded(["P"], 2)
+                    .with_budget(ResourceBudget::default().with_max_enumeration(1)),
+            ),
+        ];
+        for report in reports {
+            let json = report.to_json();
+            let parsed = CheckReport::from_json(&json).expect("round trip");
+            assert_eq!(parsed, report);
+            assert_eq!(parsed.to_json(), json, "stable rendering");
+        }
     }
 }

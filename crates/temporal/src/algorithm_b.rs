@@ -22,23 +22,41 @@
 //! As the report describes, the fixpoint iteration is accelerated by iterating
 //! over the strongly connected components of the graph in dependency order.
 //!
-//! # Parallelism and budgets
+//! # The condition store, the evaluated fixpoint, and budgets
 //!
 //! The §5.3 double fixpoint is the procedure's hot phase — PR 2 measured the
 //! `[ => Q ] []P` blowup *here*, not in tableau construction (the graph is
 //! only 97 nodes / 3362 edges and builds in ~55 ms, but the unbudgeted
-//! fixpoint does not terminate in hours).  [`condition_of_graph_with`]
-//! therefore shards the work: each sweep evaluates its equations as Jacobi
-//! updates against a frozen snapshot of the `delete`/`fail` maps, batched
-//! across the [`crate::pool`] workers, with the [`ConditionLimits`] implicant
-//! budget enforced globally through one shared atomic
-//! [`crate::dnf::DnfBudget`] cell.  Answers — including `Unknown`-under-budget
-//! — are identical at every worker count; see the function's documentation
-//! for why.  [`AlgorithmB::with_parallelism`] routes the whole procedure
-//! (tableau, fixpoint, end-of-run selection check) through the pool.
+//! fixpoint over explicit `BTreeSet` DNFs does not terminate in hours).  Two
+//! mechanisms now split that cost by what the caller actually needs:
+//!
+//! * **Decisions** ([`AlgorithmB::decide`] / [`AlgorithmB::decide_budgeted`])
+//!   never materialize a condition in the state-variable, mixed, and
+//!   propositional modes: they run the same fixpoint over plain Booleans
+//!   ([`evaluate_condition_at`]) — evaluation at an atom assignment is a
+//!   lattice homomorphism onto the Booleans, so the projected fixpoint
+//!   returns exactly the condition's truth value in O(graph) time.  This is
+//!   what finally refutes the prefix-invariance family in milliseconds.
+//! * **The explicit condition artifact**
+//!   ([`AlgorithmB::condition_budgeted`], [`condition_of_graph_budgeted`])
+//!   runs on the interned [`crate::dnf::store::ConditionStore`]: `delete`/
+//!   `fail` values are hash-consed [`DnfId`]s, products are memoized, and
+//!   the shared atomic [`crate::dnf::DnfBudget`] cell charges *distinct*
+//!   implicants, so heavily-absorbing computations fit budgets the old
+//!   pre-absorption estimate tripped on.  Each Jacobi sweep first replays
+//!   every equation against a frozen store view batched across the
+//!   [`crate::pool`] workers and then computes the remainder sequentially in
+//!   task order — answers, `Err`-under-budget included, are identical at
+//!   every worker count.  The PR 3 `BTreeSet` fixpoint survives as
+//!   [`condition_of_graph_baseline`], the differential baseline for tests
+//!   and the `condition_fixpoint` bench.
+//!
+//! [`AlgorithmB::with_parallelism`] routes the whole procedure (tableau,
+//! fixpoint sweeps, end-of-run selection check) through the pool.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::dnf::store::{ConditionStore, DnfId, FrozenStore, StoreStats};
 use crate::dnf::{Dnf, DnfBudget};
 use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 use crate::syntax::{Ltl, VarSpec};
@@ -66,6 +84,7 @@ pub struct Condition {
     graph: TableauGraph,
     delete_init: Dnf,
     outer_rounds: usize,
+    store_stats: StoreStats,
 }
 
 impl Condition {
@@ -82,6 +101,13 @@ impl Condition {
     /// Number of outer rounds of the double fixpoint iteration.
     pub fn outer_rounds(&self) -> usize {
         self.outer_rounds
+    }
+
+    /// Interning/memoization counters of the [`ConditionStore`] the fixpoint
+    /// ran on (zero for the [`condition_of_graph_baseline`] path, which
+    /// bypasses the store).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store_stats
     }
 
     /// `true` if the condition establishes validity in pure temporal logic
@@ -148,6 +174,22 @@ impl<'t> AlgorithmB<'t> {
         condition_of_graph_budgeted(graph, budget, self.parallelism)
     }
 
+    /// [`AlgorithmB::condition_budgeted`] that also reports the
+    /// [`ConditionStore`] counters of the attempt — on *both* outcomes.  A
+    /// trip still did real interning work (on the measured blowup family,
+    /// thousands of distinct implicants before the cap fires), and the
+    /// session reports surface exactly those counters.
+    pub fn condition_budgeted_with_stats(
+        &self,
+        formula: &Ltl,
+        budget: &ResourceBudget,
+    ) -> (Result<Condition, Exhaustion>, StoreStats) {
+        match TableauGraph::try_build_budgeted(&formula.clone().not(), budget, self.parallelism) {
+            Ok(graph) => condition_of_graph_budgeted_stats(graph, budget, self.parallelism),
+            Err(cut) => (Err(cut), StoreStats::default()),
+        }
+    }
+
     /// [`AlgorithmB::condition_budgeted`] with the deprecated
     /// [`ConditionLimits`] shim type; `None` on any exhaustion.
     #[allow(deprecated)]
@@ -166,13 +208,92 @@ impl<'t> AlgorithmB<'t> {
     /// fixpoint, or the end-of-run selection enumeration blows past the
     /// budget.  Callers that only need the three-valued answer can flatten
     /// `Err(_)` to [`Decision::Unknown`].
+    ///
+    /// # The evaluated fixpoint
+    ///
+    /// In the state-variable, mixed, and purely propositional modes the
+    /// decision never needs the condition *formula* — only the condition
+    /// *evaluated* at up to two atom assignments: `delete(init)` contains an
+    /// implicant of `T`-unsatisfiable edges iff the monotone function it
+    /// denotes is true at the assignment "□¬prop(e) ↦ prop(e)
+    /// T-unsatisfiable", and it is `⊥` iff it is false at the all-true
+    /// assignment.  Because evaluation at a point is a lattice homomorphism
+    /// from canonical monotone DNFs onto the Booleans — it commutes with `∧`,
+    /// `∨`, and hence with every step of the §5.3 iteration, whose extreme
+    /// fixpoints are preserved — these truth values can be computed by
+    /// running the *same* double fixpoint over plain Booleans
+    /// ([`evaluate_condition_at`]): O(graph) work, no DNF ever materialized,
+    /// no implicant budget consumed.
+    ///
+    /// This is what tames the nested weak-until family for good: the
+    /// `[ => Q ] []P` condition's minimal DNF is astronomically wide (the
+    /// interned store pushed the explicit frontier from ~10³ to ~10⁵ distinct
+    /// implicants and it still grows), but its *decision* falls out of the
+    /// Boolean projection in milliseconds.  The explicit condition — the
+    /// artifact the specialized-theory checks and [`Condition::disjuncts`]
+    /// need — remains available through [`AlgorithmB::condition_budgeted`]
+    /// under the distinct-implicant budget, and the purely-extralogical mode
+    /// (whose selection check enumerates the implicants) still computes it.
     pub fn decide_budgeted(
         &self,
         formula: &Ltl,
         budget: &ResourceBudget,
     ) -> Result<Decision, Exhaustion> {
-        let condition = self.condition_budgeted(formula, budget)?;
-        self.decide_from_condition_budgeted(formula, &condition, budget)
+        let graph =
+            TableauGraph::try_build_budgeted(&formula.clone().not(), budget, self.parallelism)?;
+        self.decide_from_graph_budgeted(formula, &graph, budget)
+    }
+
+    /// [`AlgorithmB::decide_budgeted`] over an already-built `Graph(¬formula)`
+    /// — for callers (the `Session` Decide backend) that also compute the
+    /// explicit condition artifact from the same graph and must not pay the
+    /// tableau construction twice.
+    pub fn decide_from_graph_budgeted(
+        &self,
+        formula: &Ltl,
+        graph: &TableauGraph,
+        budget: &ResourceBudget,
+    ) -> Result<Decision, Exhaustion> {
+        let vars = formula.variables();
+        let has_state = vars.iter().any(|v| !self.vars.is_extralogical(v));
+        let has_extra = vars.iter().any(|v| self.vars.is_extralogical(v));
+        if has_extra && !has_state {
+            // Purely extralogical: the selection check needs the actual
+            // implicants, so the explicit (budgeted) condition is computed.
+            let condition = condition_of_graph_budgeted(graph.clone(), budget, self.parallelism)?;
+            return self.decide_from_condition_budgeted(formula, &condition, budget);
+        }
+        if let Some(cut) = budget.interrupted() {
+            return Err(cut);
+        }
+        let mut unsat = Vec::with_capacity(graph.edges().len());
+        for (count, edge) in graph.edges().iter().enumerate() {
+            // Theory checks can be the slow part on big graphs: honour the
+            // deadline/cancellation cutoffs mid-scan like every other engine.
+            if count % crate::pool::INTERRUPT_POLL_PERIOD == 0 {
+                if let Some(cut) = budget.interrupted() {
+                    return Err(cut);
+                }
+            }
+            unsat.push(!self.theory.satisfiable(&edge.literals).is_sat());
+        }
+        if evaluate_condition_at_budgeted(graph, &unsat, budget)? {
+            // Some implicant of delete(init) has only T-unsatisfiable edges
+            // (the empty implicant of a ⊤ condition included).
+            return Ok(Decision::Valid);
+        }
+        if has_state && has_extra {
+            // Mixed mode: the pointwise check is only sufficient.  delete(init)
+            // evaluating false even at the all-true assignment means it is ⊥ —
+            // not valid in any mode; anything else stays out of reach.
+            if !evaluate_condition_at_budgeted(graph, &vec![true; graph.edges().len()], budget)? {
+                return Ok(Decision::NotValid);
+            }
+            return Ok(Decision::Unknown);
+        }
+        // Pure state-variable (or purely propositional) mode: the pointwise
+        // check is exact.
+        Ok(Decision::NotValid)
     }
 
     /// [`AlgorithmB::decide_budgeted`] with the deprecated
@@ -380,10 +501,419 @@ pub fn condition_of_graph_with(
 }
 
 /// [`condition_of_graph_with`] under a full [`ResourceBudget`]: enforces the
-/// implicant cap *and* the budget's deadline/cancellation cutoffs (polled at
-/// every equation through the shared [`DnfBudget`] cell), and names the
-/// exhausted resource on `Err`.
+/// distinct-implicant cap *and* the budget's deadline/cancellation cutoffs
+/// (polled at every sweep and inside large products through the shared
+/// [`DnfBudget`] cell), and names the exhausted resource on `Err`.
+///
+/// # The interned fixpoint
+///
+/// Since the condition-store rewrite this function runs on a
+/// [`ConditionStore`]: `delete`/`fail` values are `Copy` [`DnfId`]s, the
+/// equations' `∨`/`∧` are memoized store operations, and the convergence test
+/// per equation is an id comparison.  Each Jacobi sweep runs in two phases:
+///
+/// 1. **Frozen phase** (batched across the pool): every equation is first
+///    attempted against a read-only [`FrozenStore`] view, where each
+///    operation either resolves by an identity shortcut or a memo hit, or
+///    defers.  In a converging fixpoint most equations' inputs did not change
+///    since the previous sweep, so their whole evaluation is replayed from
+///    the memo tables here — the sharing that makes re-sweeping cheap.
+/// 2. **Sequential phase**: the deferred equations are computed in task
+///    order against the mutable store, interning new implicants (each
+///    distinct one charged once to the shared budget cell) and growing the
+///    memo tables.
+///
+/// A frozen evaluation succeeds exactly when the mutable evaluation would
+/// have mutated nothing and yields the same id, so the store contents — ids,
+/// memo tables, and the budget charge — evolve identically at every worker
+/// count: answers, including `Err`-under-budget, are bit-identical from
+/// `Off` to any `Fixed(n)`.
 pub fn condition_of_graph_budgeted(
+    graph: TableauGraph,
+    resource_budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> Result<Condition, Exhaustion> {
+    condition_of_graph_budgeted_stats(graph, resource_budget, parallelism).0
+}
+
+/// [`condition_of_graph_budgeted`] that also hands back the
+/// [`ConditionStore`] counters on *both* outcomes — a budget trip still did
+/// real interning/memoization work, and the session reports surface it.  On
+/// `Ok` the same counters are also available via [`Condition::store_stats`].
+pub fn condition_of_graph_budgeted_stats(
+    graph: TableauGraph,
+    resource_budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> (Result<Condition, Exhaustion>, StoreStats) {
+    let n = graph.node_count();
+    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let sccs = strongly_connected_components(&graph);
+    let budget = DnfBudget::from_budget(resource_budget);
+
+    let mut store = ConditionStore::new();
+    // The equations' leaves: one □¬prop(e) atom per edge, interned once and
+    // shared by every equation that mentions the edge.
+    let mut atoms: Vec<DnfId> = Vec::with_capacity(graph.edges().len());
+    for eid in 0..graph.edges().len() {
+        match store.atom(eid, &budget) {
+            Some(id) => atoms.push(id),
+            None => {
+                let cut = budget.exhaustion().unwrap_or(Exhaustion::Implicants);
+                return (Err(cut), store.stats());
+            }
+        }
+    }
+    let fixpoint = ConditionFixpoint {
+        graph: &graph,
+        eventualities: &eventualities,
+        atoms,
+        pool: WorkerPool::new(parallelism),
+        n,
+    };
+
+    let mut delete: Vec<DnfId> = vec![ConditionStore::BOTTOM; n];
+    // fail(ev, node) at slot `ev_index * n + node`.
+    let mut fail: Vec<DnfId> = vec![ConditionStore::TOP; n * eventualities.len()];
+    let mut outer_rounds = 0;
+
+    // Process components from the sinks of the condensation upward so that the
+    // conditions of all successors outside the component are already final.
+    for component in &sccs {
+        // The equations of one component sweep: every (node, eventuality)
+        // pair for `fail`, every node for `delete`.
+        let fail_tasks: Vec<(NodeId, EqKind)> = component
+            .iter()
+            .flat_map(|&node| (0..eventualities.len()).map(move |ei| (node, EqKind::Fail(ei))))
+            .collect();
+        let delete_tasks: Vec<(NodeId, EqKind)> =
+            component.iter().map(|&node| (node, EqKind::Delete)).collect();
+        loop {
+            outer_rounds += 1;
+            // Reset fail to the top element within the component (step 6 / 2).
+            for &node in component {
+                for ei in 0..eventualities.len() {
+                    fail[ei * n + node] = ConditionStore::TOP;
+                }
+            }
+            // Iterate fail to its greatest fixpoint within the component.
+            loop {
+                let updates = match fixpoint.sweep(&mut store, &budget, &delete, &fail, &fail_tasks)
+                {
+                    Ok(updates) => updates,
+                    Err(cut) => return (Err(cut), store.stats()),
+                };
+                let mut changed = false;
+                for (&(node, kind), new) in fail_tasks.iter().zip(updates) {
+                    let EqKind::Fail(ei) = kind else { unreachable!("fail task") };
+                    if new != fail[ei * n + node] {
+                        fail[ei * n + node] = new;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Iterate delete to its least fixpoint within the component.
+            let mut delete_changed_any = false;
+            loop {
+                let updates =
+                    match fixpoint.sweep(&mut store, &budget, &delete, &fail, &delete_tasks) {
+                        Ok(updates) => updates,
+                        Err(cut) => return (Err(cut), store.stats()),
+                    };
+                let mut changed = false;
+                for (&(node, _), new) in delete_tasks.iter().zip(updates) {
+                    if new != delete[node] {
+                        delete[node] = new;
+                        changed = true;
+                        delete_changed_any = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if !delete_changed_any {
+                break;
+            }
+        }
+    }
+
+    let delete_init = store.extract(delete[graph.initial()]);
+    let stats = store.stats();
+    (Ok(Condition { graph, delete_init, outer_rounds, store_stats: stats }), stats)
+}
+
+/// Evaluates the condition `delete(init)` of a tableau graph as a plain
+/// Boolean at the atom assignment `atom_true` (indexed by edge id), by
+/// running the Appendix B §5.3 double fixpoint over the two-point lattice
+/// instead of over condition DNFs.
+///
+/// Soundness is the canonicity argument of the [`crate::dnf`] module turned
+/// around: evaluation at a fixed assignment is a lattice homomorphism from
+/// canonical monotone DNFs onto the Booleans, so it commutes with every
+/// `∧`/`∨` of the iteration and with its extreme fixpoints — the Boolean
+/// returned here is exactly `delete(init)` of
+/// [`condition_of_graph_budgeted`] evaluated at `atom_true`, computed in
+/// O(graph · rounds) time and O(graph) space however wide the explicit
+/// condition would be.  [`AlgorithmB::decide_budgeted`] uses it to decide
+/// the state-variable and propositional modes without materializing a single
+/// implicant.
+pub fn evaluate_condition_at(graph: &TableauGraph, atom_true: &[bool]) -> bool {
+    evaluate_condition_at_budgeted(graph, atom_true, &ResourceBudget::unbounded())
+        .expect("an unbounded budget cannot be exceeded")
+}
+
+/// [`evaluate_condition_at`] honouring a [`ResourceBudget`]'s wall-clock
+/// deadline and cancellation token, polled once per fixpoint round (the
+/// structural caps cannot apply — the Boolean projection allocates nothing
+/// to cap).  `Err` names the timing cutoff that fired.
+pub fn evaluate_condition_at_budgeted(
+    graph: &TableauGraph,
+    atom_true: &[bool],
+    budget: &ResourceBudget,
+) -> Result<bool, Exhaustion> {
+    let n = graph.node_count();
+    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let ne = eventualities.len();
+    let sccs = strongly_connected_components(graph);
+    let mut delete = vec![false; n];
+    let mut fail = vec![true; n * ne];
+    for component in &sccs {
+        loop {
+            for &node in component {
+                for ei in 0..ne {
+                    fail[ei * n + node] = true;
+                }
+            }
+            // fail to its greatest fixpoint within the component (in-place
+            // chaotic iteration reaches the same extreme fixpoint as the
+            // Jacobi sweeps of the DNF-valued run).
+            loop {
+                if let Some(cut) = budget.interrupted() {
+                    return Err(cut);
+                }
+                let mut changed = false;
+                for &node in component {
+                    for (ei, ev) in eventualities.iter().enumerate() {
+                        let new = graph.outgoing(node).iter().all(|&eid| {
+                            let edge = graph.edge(eid);
+                            atom_true[eid]
+                                || delete[edge.to]
+                                || (!edge.fulfilled.contains(ev) && fail[ei * n + edge.to])
+                        });
+                        if new != fail[ei * n + node] {
+                            fail[ei * n + node] = new;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // delete to its least fixpoint within the component.
+            let mut delete_changed_any = false;
+            loop {
+                if let Some(cut) = budget.interrupted() {
+                    return Err(cut);
+                }
+                let mut changed = false;
+                for &node in component {
+                    let new = graph.outgoing(node).iter().all(|&eid| {
+                        let edge = graph.edge(eid);
+                        atom_true[eid]
+                            || delete[edge.to]
+                            || eventualities.iter().enumerate().any(|(ei, ev)| {
+                                edge.eventualities.contains(ev) && fail[ei * n + edge.to]
+                            })
+                    });
+                    if new != delete[node] {
+                        delete[node] = new;
+                        changed = true;
+                        delete_changed_any = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if !delete_changed_any {
+                break;
+            }
+        }
+    }
+    Ok(delete[graph.initial()])
+}
+
+/// Which equation of the §5.3 system a sweep task evaluates.
+#[derive(Clone, Copy, Debug)]
+enum EqKind {
+    /// `fail(A, N)` for the eventuality with this index.
+    Fail(usize),
+    /// `delete(N)`.
+    Delete,
+}
+
+/// The per-graph context of the interned condition fixpoint: everything the
+/// sweep equations read besides the evolving `delete`/`fail` vectors.
+struct ConditionFixpoint<'g> {
+    graph: &'g TableauGraph,
+    eventualities: &'g [Ltl],
+    /// Interned `□¬prop(e)` atom conditions, indexed by edge id.
+    atoms: Vec<DnfId>,
+    pool: WorkerPool,
+    n: usize,
+}
+
+impl ConditionFixpoint<'_> {
+    /// One two-phase Jacobi sweep over `tasks` (see
+    /// [`condition_of_graph_budgeted`]): frozen phase batched across the
+    /// pool, deferred equations computed sequentially in task order; results
+    /// in task order, or the exhaustion that tripped the shared budget.
+    fn sweep(
+        &self,
+        store: &mut ConditionStore,
+        budget: &DnfBudget,
+        delete: &[DnfId],
+        fail: &[DnfId],
+        tasks: &[(NodeId, EqKind)],
+    ) -> Result<Vec<DnfId>, Exhaustion> {
+        if budget.poll_interrupts() {
+            return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
+        }
+        // Frozen phase: settle whatever is already fully memoized.
+        let frozen = store.frozen();
+        let settled: Vec<(Option<DnfId>, u64)> = self.pool.map(tasks.len(), |i| {
+            let mut ops = Frozen { view: frozen, hits: 0 };
+            let result = self.eval(&mut ops, delete, fail, tasks[i]);
+            (result, ops.hits)
+        });
+        // A frozen view cannot bump the store's counters, so credit the memo
+        // hits of the *settled* equations here (a deferred equation's lookups
+        // are re-done — and re-counted — by its mutable run below).  The
+        // settled set and each equation's hit count are pure functions of the
+        // frozen store, so the tally is worker-count independent.
+        let frozen_hits: u64 =
+            settled.iter().filter(|(slot, _)| slot.is_some()).map(|&(_, hits)| hits).sum();
+        store.record_frozen_hits(frozen_hits);
+        // Sequential phase: compute the rest in task order.
+        let mut results = Vec::with_capacity(tasks.len());
+        for (i, (slot, _)) in settled.into_iter().enumerate() {
+            match slot {
+                Some(id) => results.push(id),
+                None => {
+                    let mut ops = Mutable { store, budget };
+                    match self.eval(&mut ops, delete, fail, tasks[i]) {
+                        Some(id) => results.push(id),
+                        None => return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants)),
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// One equation of the §5.3 system, evaluated through `ops`:
+    ///
+    /// * delete(N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ ∨_{A ∈ ev(e)} fail(A, fin(e)) )
+    /// * fail(A, N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ \[A not satisfied by e ∧ fail(A, fin(e))\] )
+    ///
+    /// `None` means whatever the ops implementation's failure mode is: "not
+    /// memoized, defer to the sequential phase" for [`Frozen`], "budget
+    /// tripped" for [`Mutable`].
+    fn eval<O: DnfOps>(
+        &self,
+        ops: &mut O,
+        delete: &[DnfId],
+        fail: &[DnfId],
+        (node, kind): (NodeId, EqKind),
+    ) -> Option<DnfId> {
+        let outgoing = self.graph.outgoing(node);
+        let mut terms = Vec::with_capacity(outgoing.len());
+        for &eid in outgoing {
+            let edge = self.graph.edge(eid);
+            let mut term = ops.or(self.atoms[eid], delete[edge.to])?;
+            match kind {
+                EqKind::Delete => {
+                    for (ei, ev) in self.eventualities.iter().enumerate() {
+                        if edge.eventualities.contains(ev) {
+                            term = ops.or(term, fail[ei * self.n + edge.to])?;
+                        }
+                    }
+                }
+                EqKind::Fail(ei) => {
+                    if !edge.fulfilled.contains(&self.eventualities[ei]) {
+                        term = ops.or(term, fail[ei * self.n + edge.to])?;
+                    }
+                }
+            }
+            terms.push(term);
+        }
+        ops.all(&terms)
+    }
+}
+
+/// The store operations an equation evaluation needs, abstracted over the
+/// frozen (read-only, deferring) and mutable (interning, budgeted) phases so
+/// the equation itself is written exactly once.
+trait DnfOps {
+    /// Disjunction; `None` in the implementation's failure mode.
+    fn or(&mut self, a: DnfId, b: DnfId) -> Option<DnfId>;
+    /// Conjunction of all `terms`; `None` in the implementation's failure mode.
+    fn all(&mut self, terms: &[DnfId]) -> Option<DnfId>;
+}
+
+/// Frozen-phase ops: identity shortcuts and memo hits only; `None` defers the
+/// equation to the sequential phase.  Memo hits are tallied locally (the
+/// view is read-only) and committed by the sweep for settled equations.
+struct Frozen<'s> {
+    view: FrozenStore<'s>,
+    hits: u64,
+}
+
+impl DnfOps for Frozen<'_> {
+    fn or(&mut self, a: DnfId, b: DnfId) -> Option<DnfId> {
+        self.view.or_counting(a, b, &mut self.hits)
+    }
+
+    fn all(&mut self, terms: &[DnfId]) -> Option<DnfId> {
+        self.view.all_counting(terms, &mut self.hits)
+    }
+}
+
+/// Sequential-phase ops: full store operations; `None` means the shared
+/// budget tripped.
+struct Mutable<'s, 'b> {
+    store: &'s mut ConditionStore,
+    budget: &'b DnfBudget,
+}
+
+impl DnfOps for Mutable<'_, '_> {
+    fn or(&mut self, a: DnfId, b: DnfId) -> Option<DnfId> {
+        if self.budget.tripped() {
+            return None;
+        }
+        Some(self.store.or(a, b))
+    }
+
+    fn all(&mut self, terms: &[DnfId]) -> Option<DnfId> {
+        self.store.all(terms, self.budget)
+    }
+}
+
+/// The PR 3 `BTreeSet` condition fixpoint, kept verbatim as the differential
+/// baseline: same Jacobi sweeps and SCC acceleration, but explicit [`Dnf`]
+/// values (re-cloned and re-absorbed at every product) and the
+/// pre-absorption estimate cut of [`Dnf::all_bounded_estimated`] instead of
+/// the interned store's distinct-implicant accounting.
+///
+/// Tests pin that it computes the same condition as
+/// [`condition_of_graph_budgeted`] wherever neither path trips its budget,
+/// and the `condition_fixpoint` bench measures the speedup of the interned
+/// path against it (recorded in `BENCH_PR5.json`).
+pub fn condition_of_graph_baseline(
     graph: TableauGraph,
     resource_budget: &ResourceBudget,
     parallelism: Parallelism,
@@ -403,24 +933,18 @@ pub fn condition_of_graph_budgeted(
     }
     let mut outer_rounds = 0;
 
-    // Process components from the sinks of the condensation upward so that the
-    // conditions of all successors outside the component are already final.
     for component in &sccs {
-        // The equations of one component sweep: every (node, eventuality)
-        // pair for `fail`, every node for `delete`.
         let fail_tasks: Vec<(NodeId, usize)> = component
             .iter()
             .flat_map(|&node| (0..eventualities.len()).map(move |ei| (node, ei)))
             .collect();
         loop {
             outer_rounds += 1;
-            // Reset fail to the top element within the component (step 6 / 2).
             for &node in component {
                 for (ei, _) in eventualities.iter().enumerate() {
                     fail.insert((ei, node), Dnf::top());
                 }
             }
-            // Iterate fail to its greatest fixpoint within the component.
             loop {
                 let Some(updates) = sweep_equations(fail_tasks.len(), &pool, |i| {
                     let (node, ei) = fail_tasks[i];
@@ -439,7 +963,6 @@ pub fn condition_of_graph_budgeted(
                     break;
                 }
             }
-            // Iterate delete to its least fixpoint within the component.
             let mut delete_changed_any = false;
             loop {
                 let Some(updates) = sweep_equations(component.len(), &pool, |i| {
@@ -466,11 +989,11 @@ pub fn condition_of_graph_budgeted(
     }
 
     let delete_init = delete[graph.initial()].clone();
-    Ok(Condition { graph, delete_init, outer_rounds })
+    Ok(Condition { graph, delete_init, outer_rounds, store_stats: StoreStats::default() })
 }
 
-/// One Jacobi sweep: evaluates `eval(0..count)` — each equation reading only
-/// the caller's frozen snapshot — batched across the pool via
+/// One baseline Jacobi sweep: evaluates `eval(0..count)` — each equation
+/// reading only the caller's frozen snapshot — batched across the pool via
 /// [`WorkerPool::map`], and returns the results in task order, or `None`
 /// when any equation blew the budget.
 fn sweep_equations<T, F>(count: usize, pool: &WorkerPool, eval: F) -> Option<Vec<T>>
@@ -504,7 +1027,7 @@ fn delete_equation(
             term
         })
         .collect();
-    Dnf::all_bounded(terms, budget)
+    Dnf::all_bounded_estimated(terms, budget)
 }
 
 /// fail(A, N) = ∧ₑ ( □¬prop(e) ∨ delete(fin(e)) ∨ [A not satisfied by e ∧ fail(A, fin(e))] )
@@ -529,7 +1052,7 @@ fn fail_equation(
             term
         })
         .collect();
-    Dnf::all_bounded(terms, budget)
+    Dnf::all_bounded_estimated(terms, budget)
 }
 
 /// Tarjan's strongly connected components, returned in reverse topological

@@ -3,27 +3,46 @@
 //! Algorithm B manipulates *conditions*: monotone Boolean combinations of the
 //! atoms "□¬prop(e)" for edges `e` of the tableau graph.  A monotone Boolean
 //! function has a unique minimal DNF (its prime implicants), so representing
-//! conditions as antichains of implicant sets gives a canonical form that makes
-//! the fixpoint convergence test a simple structural equality.
+//! conditions as antichains of implicant sets gives a canonical form that
+//! makes the fixpoint convergence test a pure equality check.
+//!
+//! The module carries **two representations** of that canonical form:
+//!
+//! * [`Dnf`] — the explicit `BTreeSet<BTreeSet<usize>>` value type.  Simple,
+//!   self-contained, and the *differential baseline*: every interned
+//!   operation is property-tested against it, and
+//!   [`Dnf::all_bounded_estimated`] preserves the PR 3 estimate-cut product
+//!   for benchmark comparison.
+//! * [`store::ConditionStore`] — the interned arena the engines actually run
+//!   on.  Implicants are hash-consed to `Copy` [`store::ImplicantId`]s
+//!   (each distinct atom set stored once), whole antichains to
+//!   [`store::DnfId`]s (equality = id equality), `∧`/`∨` products are
+//!   memoized per `(DnfId, DnfId)` pair, and absorption is an incremental
+//!   bitset-probe insert that never materializes the pre-absorption product.
+//!   See the [`store`] module documentation for the design and the
+//!   frozen-sweep concurrency discipline.
 //!
 //! Canonicity also carries the concurrency story: because `∧`/`∨` results do
 //! not depend on evaluation or association order, the Appendix B §5.3
 //! fixpoint can batch whole sweeps of condition products across the
 //! [`crate::pool`] workers and still produce the sequential answer.  The
-//! flip side is cost — conjunction expands a product of implicant sets
-//! before absorption, and on the nested weak-until translations of interval
-//! formulas (the measured `[ => Q ] []P` family) that product grows
-//! combinatorially over thousands of edge atoms.  [`Dnf::all_bounded`] and
-//! the shared [`DnfBudget`] cell exist for exactly that case: every product
-//! in a batch draws on one atomic budget, the first to exceed it trips the
-//! cell, and the whole computation cuts over to an honest "unknown" instead
-//! of stalling.
+//! historical flip side was cost — on the nested weak-until translations of
+//! interval formulas (the measured `[ => Q ] []P` family) the pre-absorption
+//! products grow combinatorially over thousands of edge atoms, which is
+//! exactly the duplication the interned store collapses.  [`Dnf::all_bounded`]
+//! routes through the store, and the shared [`DnfBudget`] cell now charges
+//! **distinct interned implicants** ([`DnfBudget::charge`]): re-deriving a
+//! known implicant is free, the first computation to push the distinct count
+//! past the cap trips the cell, and the whole (possibly parallel) computation
+//! cuts over to an honest "unknown" instead of stalling.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::pool::{Exhaustion, ResourceBudget};
+
+pub mod store;
 
 /// A shared, atomic implicant budget for a (possibly parallel) batch of DNF
 /// computations.
@@ -51,17 +70,28 @@ pub struct DnfBudget {
     /// cancel-then-deadline priority for every engine); `None` for the
     /// cap-only constructors.
     timing: Option<ResourceBudget>,
+    /// Distinct implicants charged so far ([`DnfBudget::charge`]).
+    charged: AtomicUsize,
     tripped: AtomicBool,
-    /// The first recorded trip reason ([`OnceLock`]: later trips lose the
-    /// race and are dropped).
+    /// The first recorded trip reason ([`OnceLock`]: later [`trip_with`]
+    /// calls lose the `set` race and their reason is dropped — pinned by the
+    /// `first_trip_reason_wins_under_concurrent_trips` regression test).
+    ///
+    /// [`trip_with`]: DnfBudget::trip_with
     reason: OnceLock<Exhaustion>,
 }
 
 impl DnfBudget {
-    /// A budget allowing at most `limit` implicants per computed DNF (and the
-    /// same cap on every pre-absorption product estimate).
+    /// A budget allowing at most `limit` *distinct* implicants across every
+    /// computation sharing this cell (see [`DnfBudget::charge`]).
     pub fn new(limit: usize) -> DnfBudget {
-        DnfBudget { limit, timing: None, tripped: AtomicBool::new(false), reason: OnceLock::new() }
+        DnfBudget {
+            limit,
+            timing: None,
+            charged: AtomicUsize::new(0),
+            tripped: AtomicBool::new(false),
+            reason: OnceLock::new(),
+        }
     }
 
     /// A cell enforcing `budget`'s implicant cap, deadline, and cancellation
@@ -70,6 +100,7 @@ impl DnfBudget {
         DnfBudget {
             limit: budget.max_implicants(),
             timing: Some(budget.clone()),
+            charged: AtomicUsize::new(0),
             tripped: AtomicBool::new(false),
             reason: OnceLock::new(),
         }
@@ -89,6 +120,37 @@ impl DnfBudget {
     /// any, still apply).
     pub fn is_unbounded(&self) -> bool {
         self.limit == usize::MAX
+    }
+
+    /// Charges `new_implicants` freshly interned implicants to the cell;
+    /// `false` when the running total exceeds [`DnfBudget::limit`] (the cell
+    /// is then tripped with [`Exhaustion::Implicants`]) or the cell was
+    /// already tripped.
+    ///
+    /// The [`store::ConditionStore`] calls this exactly once per *distinct*
+    /// implicant — duplicates are interning hits and charge nothing — so the
+    /// cap bounds the size of the condition space explored, not the number of
+    /// operations.  The total charged is a commutative sum over sharers,
+    /// which keeps the trip/no-trip outcome independent of evaluation order
+    /// (and hence of the worker count) for any fixed set of computations.
+    pub fn charge(&self, new_implicants: usize) -> bool {
+        if self.tripped() {
+            return false;
+        }
+        if self.limit == usize::MAX {
+            return true;
+        }
+        let total = self.charged.fetch_add(new_implicants, Ordering::Relaxed) + new_implicants;
+        if total > self.limit {
+            self.trip();
+            return false;
+        }
+        true
+    }
+
+    /// Distinct implicants charged so far.
+    pub fn charged(&self) -> usize {
+        self.charged.load(Ordering::Relaxed)
     }
 
     /// Marks the budget as exhausted by the implicant cap, telling every
@@ -116,7 +178,7 @@ impl DnfBudget {
 
     /// Polls the timing cutoffs, tripping the cell if one fired; returns
     /// `true` when the cell is (now) tripped.
-    fn poll_interrupts(&self) -> bool {
+    pub(crate) fn poll_interrupts(&self) -> bool {
         if self.tripped() {
             return true;
         }
@@ -181,6 +243,19 @@ impl Dnf {
         self.implicants.len()
     }
 
+    /// Wraps an implicant set the caller guarantees is already a minimal
+    /// antichain — the [`store::ConditionStore`] extraction path, where
+    /// minimality is an interning invariant.
+    pub(crate) fn from_implicants_unchecked(implicants: BTreeSet<BTreeSet<usize>>) -> Dnf {
+        debug_assert!(
+            implicants
+                .iter()
+                .all(|imp| !implicants.iter().any(|other| other != imp && other.is_subset(imp))),
+            "store extraction must hand over a minimal antichain"
+        );
+        Dnf { implicants }
+    }
+
     /// Removes implicants that are supersets of other implicants (absorption).
     fn absorb(mut implicants: BTreeSet<BTreeSet<usize>>) -> Dnf {
         let list: Vec<BTreeSet<usize>> = implicants.iter().cloned().collect();
@@ -224,28 +299,59 @@ impl Dnf {
         items.into_iter().fold(Dnf::top(), |acc, d| acc.and(&d))
     }
 
-    /// Conjunction of DNF terms under a shared budget: `None` when the
-    /// pre-absorption product estimate `Π max(1, |termᵢ|)` exceeds
+    /// Conjunction of DNF terms under a shared budget, computed through a
+    /// fresh [`store::ConditionStore`]: `None` when the number of *distinct*
+    /// implicants explored (term implicants plus every product implicant,
+    /// each counted once however often it recurs) exceeds
     /// [`DnfBudget::limit`], or when another sharer of `budget` has already
     /// tripped it.
     ///
-    /// The estimate is conservative (absorption can collapse a huge product
-    /// to a small DNF), but a pessimistic cut is the honest trade: the
-    /// budgeted caller reports "unknown" instead of risking an exponential
-    /// stall inside a single conjunction.  The estimate also bounds the
-    /// result — every intermediate and final implicant count is at most the
-    /// pre-absorption product, so an accepted estimate caps the whole
-    /// computation's cost and size; no post-hoc result check is needed.
-    /// Because the estimate is a function of the term multiset alone, the
-    /// `Some`/`None` answer does not depend on evaluation or association
-    /// order; this is what lets a parallel fixpoint sweep batch these
-    /// products across workers and still answer exactly like the sequential
-    /// sweep.
+    /// This replaces the PR 3 pre-absorption estimate cut (kept as
+    /// [`Dnf::all_bounded_estimated`] for differential benchmarks), which
+    /// tripped on `Π |termᵢ|` even when absorption would have collapsed the
+    /// product to a handful of implicants — the measured failure mode of the
+    /// `[ => Q ] []P` condition fixpoint.  Charging distinct implicants lets
+    /// heavily-absorbing products complete under modest budgets while still
+    /// cutting a genuinely exploding computation off deterministically.
+    /// The per-call distinct count is a function of the term multiset alone
+    /// (interning dedups whatever the arrival order), so the `Some`/`None`
+    /// answer does not depend on evaluation or association order; this is
+    /// what lets a parallel fixpoint sweep batch these products across
+    /// workers and still answer exactly like the sequential sweep.
     pub fn all_bounded(terms: Vec<Dnf>, budget: &DnfBudget) -> Option<Dnf> {
         if budget.poll_interrupts() {
             // Another sharer already blew the budget (or the deadline or
             // cancel token fired): the batch's answer is `None` regardless of
             // this product, so don't bother computing it.
+            return None;
+        }
+        if terms.iter().any(Dnf::is_bottom) {
+            // The product is ⊥ whatever the other terms hold; charging their
+            // implicants would be pure noise.
+            return Some(Dnf::bottom());
+        }
+        let mut store = store::ConditionStore::new();
+        let mut ids = Vec::with_capacity(terms.len());
+        for term in &terms {
+            ids.push(store.intern_dnf(term, budget)?);
+        }
+        let result = store.all(&ids, budget)?;
+        Some(store.extract(result))
+    }
+
+    /// The PR 3 implementation of [`Dnf::all_bounded`]: `None` when the
+    /// pre-absorption product estimate `Π max(1, |termᵢ|)` exceeds
+    /// [`DnfBudget::limit`].
+    ///
+    /// Kept as the *baseline* the interned path is benchmarked and
+    /// property-tested against.  The estimate is a sound but badly
+    /// conservative cut: it bounds every intermediate and final implicant
+    /// count, so an accepted estimate caps the computation's cost — but it
+    /// also trips on products absorption would have collapsed, which is what
+    /// made the nested weak-until condition fixpoints answer `Unknown` at
+    /// every budget from 10⁴ to 10⁷ implicants.
+    pub fn all_bounded_estimated(terms: Vec<Dnf>, budget: &DnfBudget) -> Option<Dnf> {
+        if budget.poll_interrupts() {
             return None;
         }
         if !budget.is_unbounded() {
@@ -357,38 +463,55 @@ mod tests {
     #[test]
     fn absorption_inside_a_bounded_product() {
         // (a ∨ b) ∧ (a ∨ c) expands to a ∨ ac ∨ ab ∨ bc and absorbs to
-        // a ∨ bc; the canonical result must match the unbudgeted fold and
-        // fit a budget its pre-absorption expansion merely touches.
+        // a ∨ bc; the canonical result must match the unbudgeted fold.  The
+        // distinct implicants *charged* are the three atoms plus the one
+        // surviving product implicant bc — the ab/ac transients die inside
+        // the raw product builder before interning — so a budget of 4 fits
+        // exactly.
         let a_or_ab = Dnf::atom(1).or(&Dnf::atom(1).and(&Dnf::atom(2)));
         assert_eq!(a_or_ab, Dnf::atom(1), "absorption keeps the minimal implicant");
         let terms = vec![Dnf::atom(1).or(&Dnf::atom(2)), Dnf::atom(1).or(&Dnf::atom(3))];
         let unbudgeted = Dnf::all(terms.clone());
         let budget = DnfBudget::new(4);
         assert_eq!(Dnf::all_bounded(terms, &budget), Some(unbudgeted));
+        assert_eq!(budget.charged(), 4);
         assert!(!budget.tripped());
     }
 
     #[test]
     fn budget_exhaustion_boundary() {
-        // (a ∨ b) ∧ (c ∨ d): estimate 4, result 4 implicants.
+        // (a ∨ b) ∧ (c ∨ d): 4 atom implicants plus 4 distinct product
+        // implicants = 8 distinct implicants explored, result 4 implicants.
         let terms = || vec![Dnf::atom(1).or(&Dnf::atom(2)), Dnf::atom(3).or(&Dnf::atom(4))];
         // Budget exactly at the boundary: allowed, cell untouched.
-        let exact = DnfBudget::new(4);
-        let result = Dnf::all_bounded(terms(), &exact).expect("estimate == limit must pass");
+        let exact = DnfBudget::new(8);
+        let result = Dnf::all_bounded(terms(), &exact).expect("charge == limit must pass");
         assert_eq!(result.implicant_count(), 4);
+        assert_eq!(exact.charged(), 8);
         assert!(!exact.tripped());
-        // One below: the pre-absorption estimate trips before any product is
-        // expanded, and the cell records it for every sharer.
-        let tight = DnfBudget::new(3);
+        // One below: the last distinct product implicant trips the cell, and
+        // the cell records it for every sharer.
+        let tight = DnfBudget::new(7);
         assert_eq!(Dnf::all_bounded(terms(), &tight), None);
         assert!(tight.tripped());
         // A tripped cell rejects even trivially small follow-up work.
         assert_eq!(Dnf::all_bounded(vec![Dnf::atom(1)], &tight), None);
-        // The unbounded budget never trips.
+        // The unbounded budget never trips (and never counts).
         let unbounded = DnfBudget::unbounded();
         assert!(unbounded.is_unbounded());
-        assert_eq!(Dnf::all_bounded(terms(), &unbounded), Some(result));
+        assert_eq!(Dnf::all_bounded(terms(), &unbounded), Some(result.clone()));
         assert!(!unbounded.tripped());
+        // The estimate-cut baseline still trips on its pre-absorption
+        // estimate: 2 × 2 = 4 > 3.
+        let baseline = DnfBudget::new(3);
+        assert_eq!(Dnf::all_bounded_estimated(terms(), &baseline), None);
+        assert!(baseline.tripped());
+        let baseline_fit = DnfBudget::new(4);
+        assert_eq!(
+            Dnf::all_bounded_estimated(terms(), &baseline_fit).as_ref(),
+            Some(&result),
+            "baseline and interned paths agree whenever neither trips"
+        );
     }
 
     #[test]
@@ -421,16 +544,42 @@ mod tests {
     }
 
     #[test]
-    fn canonical_inputs_keep_estimates_tight() {
+    fn canonical_inputs_keep_charges_tight() {
         // Terms are canonical *before* the product: `a ∨ ab` absorbs to `a`
-        // at construction, so its implicant count — and hence the product
-        // estimate — is 1, not 2, and the conjunction fits the tightest
-        // budget.  (The estimate also bounds the result: a canonical product
-        // can never exceed its accepted pre-absorption estimate, which is
-        // why `all_bounded` needs no post-hoc result-size check.)
+        // at construction, so interning it charges a single distinct
+        // implicant and the conjunction fits the tightest budget.
         let terms = vec![Dnf::atom(1).or(&Dnf::atom(1).and(&Dnf::atom(2)))];
         let budget = DnfBudget::new(1);
         assert_eq!(Dnf::all_bounded(terms, &budget), Some(Dnf::atom(1)));
+        assert_eq!(budget.charged(), 1);
         assert!(!budget.tripped());
+    }
+
+    #[test]
+    fn first_trip_reason_wins_under_concurrent_trips() {
+        // The trip reason is a `OnceLock`: later trips lose the `set` race
+        // and are dropped.  This is the contract `CheckStats` and the JSON
+        // reports rely on — one stable exhaustion reason per computation —
+        // and it must survive representation rewrites, so pin it both
+        // sequentially and under a real multi-thread race.
+        use crate::pool::{Parallelism, WorkerPool};
+        let cell = DnfBudget::new(0);
+        cell.trip_with(Exhaustion::Implicants);
+        let pool = WorkerPool::new(Parallelism::Fixed(4));
+        pool.run(|_| {
+            for _ in 0..100 {
+                cell.trip_with(Exhaustion::Deadline);
+                cell.trip_with(Exhaustion::Cancelled);
+            }
+        });
+        assert!(cell.tripped());
+        assert_eq!(cell.exhaustion(), Some(Exhaustion::Implicants), "first recorded reason wins");
+        // A purely concurrent race records exactly one of the raced reasons.
+        let raced = DnfBudget::new(0);
+        let reasons = [Exhaustion::Implicants, Exhaustion::Deadline, Exhaustion::Cancelled];
+        pool.run(|w| raced.trip_with(reasons[w % reasons.len()]));
+        assert!(raced.tripped());
+        let winner = raced.exhaustion().expect("a raced trip must record a reason");
+        assert!(reasons.contains(&winner));
     }
 }

@@ -33,18 +33,27 @@ fn main() {
         assert!(reports[1].verdict.counterexample().is_some());
     }
 
-    // The unified budget also tames the measured `[ => Q ] []P` condition-
-    // fixpoint blowup: the implicant cap answers with a *named* exhaustion in
-    // milliseconds instead of hanging for hours.
+    // The measured `[ => Q ] []P` condition-fixpoint blowup, post
+    // condition-store rewrite: the *decision* settles in milliseconds (the
+    // evaluated Boolean fixpoint never materializes a condition DNF), while
+    // the *explicit condition artifact* — whose minimal DNF is genuinely
+    // astronomic — still answers with a named exhaustion instead of hanging
+    // for hours.
     {
         use ilogic::core::dsl::*;
         use ilogic::core::ltl_translate::to_ltl;
         let blowup = to_ltl(&always(prop("P")).within(fwd_to(event(prop("Q"))))).unwrap();
         let theory = PropositionalTheory::new();
         let alg = AlgorithmB::new(&theory, VarSpec::all_state());
-        let cut = alg.decide_budgeted(&blowup, &ResourceBudget::default());
-        println!("[ => Q ] []P under the default budget: {cut:?}");
-        assert_eq!(cut, Err(Exhaustion::Implicants));
+        let decision = alg.decide_budgeted(&blowup, &ResourceBudget::default());
+        println!("[ => Q ] []P decision under the default budget: {decision:?}");
+        assert_eq!(decision, Ok(Decision::NotValid));
+        let artifact = alg.condition_budgeted(&blowup, &ResourceBudget::default());
+        println!(
+            "[ => Q ] []P explicit condition under the default budget: Err({})",
+            artifact.as_ref().expect_err("the artifact must trip")
+        );
+        assert!(matches!(artifact, Err(Exhaustion::Implicants)));
     }
 
     println!("\n== Appendix B §6 table: graph construction and iteration ==");

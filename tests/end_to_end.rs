@@ -150,17 +150,18 @@ fn algorithm_b_and_bounded_models_agree_on_interval_fragment_validities() {
 }
 
 #[test]
-fn algorithm_b_is_budgeted_on_the_prefix_invariance_formula() {
-    // ISSUE 2 re-triage of `algorithm_b_refutes_the_prefix_invariance_formula`
-    // (measured): the tableau of ¬to_ltl([ => Q ] []P) is *small* — 97 nodes /
-    // 3362 edges, built in ~55 ms, well inside the default build caps — so the
-    // PR 1 construction budget alone cannot tame this family.  The blowup is
-    // in the Appendix B §5.3 condition fixpoint, whose intermediate DNFs
-    // explode combinatorially over those 3362 edge atoms (no termination
-    // after hours, unbudgeted).  The `ResourceBudget` implicant cap budgets
-    // that phase too: the budgeted run must name the Implicants exhaustion in
-    // milliseconds, never hang, and the refutation itself stays with the
-    // bounded-model path below.
+fn algorithm_b_condition_artifact_is_budgeted_on_the_prefix_invariance_formula() {
+    // ISSUE 5 re-triage of the `[ => Q ] []P` blowup.  The tableau of
+    // ¬to_ltl([ => Q ] []P) is *small* — 97 nodes / 3362 edges, built in
+    // ~55 ms — and since the interned-implicant condition store the
+    // *decision* settles exactly (see
+    // `algorithm_b_refutes_the_prefix_invariance_formula` below).  What
+    // remains genuinely intractable is the *explicit condition artifact*:
+    // its minimal DNF keeps widening past 10^4 implicants per value with no
+    // sign of convergence (measured: distinct-implicant charges grow through
+    // 10^5..10^6 with intermediate antichains 15 000+ wide), so
+    // `condition_budgeted` must trip the distinct-implicant cap — in
+    // well-bounded time, naming the resource — rather than hang.
     use ilogic::core::pool::{Exhaustion, ResourceBudget};
     use ilogic::temporal::algorithm_b::AlgorithmB;
     let invalid_formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
@@ -169,27 +170,26 @@ fn algorithm_b_is_budgeted_on_the_prefix_invariance_formula() {
     let algorithm = AlgorithmB::new(&theory, VarSpec::all_state());
     let started = std::time::Instant::now();
     assert_eq!(
-        algorithm.decide_budgeted(&ltl, &ResourceBudget::default()),
-        Err(Exhaustion::Implicants)
+        algorithm.condition_budgeted(&ltl, &ResourceBudget::default()).err(),
+        Some(Exhaustion::Implicants)
     );
-    assert!(started.elapsed() < std::time::Duration::from_secs(30), "the budget must trip fast");
+    assert!(started.elapsed() < std::time::Duration::from_secs(60), "the budget must trip fast");
 
-    // The concrete refutation the unbudgeted run would eventually deliver:
-    // bounded-model search produces a countermodel immediately.
+    // A concrete refutation is also available from bounded-model search.
     let checker = BoundedChecker::new(["P", "Q"], 3);
     assert!(checker.counterexample(&invalid_formula).is_some());
 }
 
 #[test]
-#[ignore = "ISSUE 3 re-triage (measured, under the parallel Jacobi fixpoint): still intractable \
-unbudgeted. The Graph(¬A) tableau of [ => Q ] []P stays cheap (97 nodes / 3362 edges, ~55 ms), \
-and parallelizing the §5.3 condition fixpoint does not tame the blowup — it is combinatorial, \
-not a throughput problem: every implicant budget from 10^4 to 10^7 trips \
-within 85–140 ms (2 workers, release) on the pre-absorption product estimate of the very first \
-sweeps, answering Unknown identically at every worker count \
-(tests/decide_parallel.rs::prefix_invariance_budget_trip_is_worker_count_independent). The \
-refutation stays with the bounded-model path. Run this only to reproduce the unbudgeted hang."]
 fn algorithm_b_refutes_the_prefix_invariance_formula() {
+    // Un-ignored in ISSUE 5: this hung for hours under the PR 1–4 engines
+    // (the §5.3 condition fixpoint explodes combinatorially on the nested
+    // weak-until translation, and every implicant budget from 10^4 to 10^7
+    // tripped to Unknown).  The condition-store rewrite decides it exactly:
+    // the state-variable/propositional decision only needs the condition
+    // *evaluated* at the unsatisfiable-edge assignment, and evaluation
+    // commutes with the fixpoint — so `decide` runs the same iteration over
+    // plain Booleans and refutes in milliseconds, at every worker count.
     use ilogic::core::pool::Parallelism;
     let invalid_formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
     let theory = PropositionalTheory::new();
