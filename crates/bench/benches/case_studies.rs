@@ -71,7 +71,7 @@ fn bench_case_studies(c: &mut Criterion) {
                 QueueWorkload { items: 4, retries: 1, seed: 2, phased: false },
             );
             specs::reliable_queue_spec().check(&trace).passed()
-        })
+        });
     });
 
     group.bench_function("queue/unreliable_figure_5_1", |b| {
@@ -81,14 +81,14 @@ fn bench_case_studies(c: &mut Criterion) {
                 QueueWorkload { items: 4, retries: 3, seed: 11, phased: false },
             );
             specs::unreliable_queue_spec().check(&trace).passed()
-        })
+        });
     });
 
     group.bench_function("selftimed/request_ack_figure_6_2", |b| {
         b.iter(|| {
             let trace = selftimed::simulate_request_ack(ChannelWorkload::default());
             specs::request_ack_spec("R", "A").check(&trace).passed()
-        })
+        });
     });
 
     group.bench_function("selftimed/arbiter_figure_6_4", |b| {
@@ -96,7 +96,7 @@ fn bench_case_studies(c: &mut Criterion) {
             let trace =
                 selftimed::simulate_arbiter(ArbiterWorkload { rounds: 2, max_delay: 1, seed: 9 });
             specs::arbiter_spec().check(&trace).passed()
-        })
+        });
     });
 
     group.bench_function("abprotocol/sender_receiver_figures_7_3_7_4", |b| {
@@ -110,7 +110,7 @@ fn bench_case_studies(c: &mut Criterion) {
             });
             specs::ab_sender_spec().check(&run.trace).passed()
                 && specs::ab_receiver_spec().check(&run.trace).passed()
-        })
+        });
     });
 
     group.bench_function("mutex/figure_8_1", |b| {
@@ -122,7 +122,7 @@ fn bench_case_studies(c: &mut Criterion) {
                 seed: 3,
             });
             specs::mutual_exclusion_spec().check(&trace).passed()
-        })
+        });
     });
 
     group.finish();

@@ -99,12 +99,12 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
         group.bench_function(format!("store/{name}"), |b| {
             b.iter(|| {
                 condition_of_graph_budgeted(build_graph(&formula), &unbounded, Parallelism::Off)
-            })
+            });
         });
         group.bench_function(format!("baseline/{name}"), |b| {
             b.iter(|| {
                 condition_of_graph_baseline(build_graph(&formula), &unbounded, Parallelism::Off)
-            })
+            });
         });
     }
     group.finish();
@@ -129,17 +129,17 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(2500));
     group.warm_up_time(Duration::from_millis(200));
     group.bench_function("decide_evaluated", |b| {
-        b.iter(|| algorithm.decide_budgeted(&ltl, &budget))
+        b.iter(|| algorithm.decide_budgeted(&ltl, &budget));
     });
     group.bench_function("condition_trip/store", |b| {
         b.iter(|| {
             condition_of_graph_budgeted(build_graph(&ltl), &budget, Parallelism::Off).is_err()
-        })
+        });
     });
     group.bench_function("condition_trip/baseline", |b| {
         b.iter(|| {
             condition_of_graph_baseline(build_graph(&ltl), &budget, Parallelism::Off).is_err()
-        })
+        });
     });
     group.finish();
 
@@ -157,7 +157,7 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
                 session.check(ilogic_core::session::CheckRequest::new(formula.clone()).decide());
             assert!(report.verdict.counterexample().is_some());
             report
-        })
+        });
     });
     group.finish();
 }
@@ -189,7 +189,7 @@ fn record(results: &[BenchResult]) {
     let trip_store = mean_of(results, "prefix_invariance/condition_trip/store");
     let trip_baseline = mean_of(results, "prefix_invariance/condition_trip/baseline");
     let session_decide = mean_of(results, "session/decide/prefix_invariance");
-    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"experiment\": \"PR5 interned-implicant condition store (+ evaluated fixpoint \
          decision) vs the PR3 BTreeSet baseline\",\n  \

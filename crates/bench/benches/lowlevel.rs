@@ -16,17 +16,17 @@ fn bench_lowlevel(c: &mut Criterion) {
     let example = LowExpr::pos("P").concat(LowExpr::TStar).iter_star(LowExpr::pos("Q"));
     let bounds = Bounds { max_len: 5, max_interps: 50_000 };
     group.bench_function("section_4_3_example/denotation", |b| {
-        b.iter(|| denotation(&example, bounds).len())
+        b.iter(|| denotation(&example, bounds).len());
     });
     group.bench_function("section_4_3_example/satisfiability", |b| {
-        b.iter(|| satisfiable(&example, bounds).is_sat())
+        b.iter(|| satisfiable(&example, bounds).is_sat());
     });
 
     // Translation of an LTL formula and bounded satisfiability of the result.
     let ltl = Ltl::prop("P").always().and(Ltl::prop("P").not().eventually());
     let translated = from_ltl(&ltl).expect("translatable");
     group.bench_function("ltl_translation_unsat_check", |b| {
-        b.iter(|| satisfiable(&translated, Bounds { max_len: 4, max_interps: 20_000 }).is_sat())
+        b.iter(|| satisfiable(&translated, Bounds { max_len: 4, max_interps: 20_000 }).is_sat());
     });
 
     // Executable specification synthesis.
@@ -34,20 +34,20 @@ fn bench_lowlevel(c: &mut Criterion) {
         .concat(LowExpr::TStar)
         .iter_star(LowExpr::pos("x").concat(LowExpr::TStar));
     group.bench_function("synthesize_schedule", |b| {
-        b.iter(|| synthesize(&spec, Bounds { max_len: 4, max_interps: 20_000 }).is_some())
+        b.iter(|| synthesize(&spec, Bounds { max_len: 4, max_interps: 20_000 }).is_some());
     });
 
     // The §4 graph construction and iteration method on the same example,
     // mirroring the construction/iteration split of the Appendix B table.
     group.bench_function("section_4_3_example/graph_construction", |b| {
-        b.iter(|| build_graph(&example).expect("within limits").edge_count())
+        b.iter(|| build_graph(&example).expect("within limits").edge_count());
     });
     let graph = build_graph(&example).expect("within limits");
     group.bench_function("section_4_3_example/iteration_method", |b| {
-        b.iter(|| prune(&graph).stats.edges_after)
+        b.iter(|| prune(&graph).stats.edges_after);
     });
     group.bench_function("section_4_3_example/graph_satisfiability", |b| {
-        b.iter(|| satisfiable_graph(&graph).is_sat())
+        b.iter(|| satisfiable_graph(&graph).is_sat());
     });
 
     group.finish();

@@ -42,7 +42,7 @@ fn bench_catalogue(c: &mut Criterion) {
         let mut arena = FormulaArena::new();
         let id = arena.intern(formula);
         group.bench_function(*name, |b| {
-            b.iter(|| checker.counterexample_interned(&arena, id).is_none())
+            b.iter(|| checker.counterexample_interned(&arena, id).is_none());
         });
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_catalogue(c: &mut Criterion) {
         let mut arena = FormulaArena::new();
         let id = arena.intern(formula);
         group.bench_function(*name, |b| {
-            b.iter(|| checker.counterexample_parallel(&arena, id, Parallelism::Fixed(1)).is_none())
+            b.iter(|| checker.counterexample_parallel(&arena, id, Parallelism::Fixed(1)).is_none());
         });
     }
     group.finish();
@@ -78,7 +78,7 @@ fn bench_catalogue(c: &mut Criterion) {
         group.bench_function(*name, |b| {
             b.iter(|| {
                 checker.counterexample_parallel(&arena, id, Parallelism::Fixed(WORKERS)).is_none()
-            })
+            });
         });
     }
     group.finish();
@@ -89,8 +89,7 @@ fn record(results: &[BenchResult]) {
         results
             .iter()
             .find(|r| r.name == format!("{prefix}/{name}"))
-            .map(|r| r.mean_ns)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.mean_ns)
     };
     let mut entries = Vec::new();
     let mut total_seq = 0.0;
@@ -109,7 +108,7 @@ fn record(results: &[BenchResult]) {
             seq / par
         ));
     }
-    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"experiment\": \"PR2 sharded parallel vs sequential arena-memoized bounded \
          checking\",\n  \

@@ -80,7 +80,7 @@ fn bench_decide(c: &mut Criterion) {
             group.bench_function(*name, |b| {
                 let alg =
                     AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
-                b.iter(|| alg.decide(formula))
+                b.iter(|| alg.decide(formula));
             });
         }
         group.finish();
@@ -98,12 +98,12 @@ fn bench_decide(c: &mut Criterion) {
         group.warm_up_time(Duration::from_millis(300));
         group.bench_function("prefix_invariance_unknown", |b| {
             let alg = AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
-            b.iter(|| alg.decide_budgeted(&prefix_ltl, &ResourceBudget::default()))
+            b.iter(|| alg.decide_budgeted(&prefix_ltl, &ResourceBudget::default()));
         });
         group.bench_function("ladder4_unknown", |b| {
             let ladder = patterns::response_ladder(4);
             let alg = AlgorithmB::new(&theory, VarSpec::all_state()).with_parallelism(parallelism);
-            b.iter(|| alg.decide_budgeted(&ladder, &ResourceBudget::default()))
+            b.iter(|| alg.decide_budgeted(&ladder, &ResourceBudget::default()));
         });
         group.finish();
     }
@@ -134,7 +134,7 @@ fn bench_decide(c: &mut Criterion) {
                         )
                         .verdict
                         .passed()
-                })
+                });
             });
         }
         group.finish();
@@ -146,8 +146,7 @@ fn record(results: &[BenchResult]) {
         results
             .iter()
             .find(|r| r.name == format!("{prefix}/{name}"))
-            .map(|r| r.mean_ns)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.mean_ns)
     };
     let mut entries = Vec::new();
     let mut total_seq = 0.0;
@@ -188,7 +187,7 @@ fn record(results: &[BenchResult]) {
             )
         })
         .collect();
-    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"experiment\": \"PR3 parallel Decide pipeline (tableau + DNF condition fixpoint + \
          session backend) vs sequential\",\n  \

@@ -21,7 +21,7 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [2usize, 3, 4] {
         let ladder = patterns::response_ladder(n);
         group.bench_with_input(BenchmarkId::new("response_ladder_valid", n), &ladder, |b, f| {
-            b.iter(|| valid_pure(f))
+            b.iter(|| valid_pure(f));
         });
         let chain = patterns::eventuality_chain(n);
         group.bench_with_input(
@@ -56,7 +56,7 @@ fn bench_scaling(c: &mut Criterion) {
             .collect();
         let trace = Trace::finite(states);
         group.bench_with_input(BenchmarkId::new("interval_spec", len), &trace, |b, t| {
-            b.iter(|| Evaluator::new(t).check(&spec_formula))
+            b.iter(|| Evaluator::new(t).check(&spec_formula));
         });
     }
     group.finish();

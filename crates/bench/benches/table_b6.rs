@@ -46,10 +46,10 @@ fn bench_table_b6(c: &mut Criterion) {
     for (name, formula) in patterns::appendix_b_table() {
         let negated = formula.clone().not();
         group.bench_function(format!("{name}/graph_construction"), |b| {
-            b.iter(|| TableauGraph::build(&negated))
+            b.iter(|| TableauGraph::build(&negated));
         });
         group.bench_function(format!("{name}/iteration"), |b| {
-            b.iter(|| condition_of_graph(TableauGraph::build(&negated)))
+            b.iter(|| condition_of_graph(TableauGraph::build(&negated)));
         });
     }
     group.finish();

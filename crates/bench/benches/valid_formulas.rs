@@ -48,7 +48,7 @@ fn bench_catalogue(c: &mut Criterion) {
             .collect();
         let trace = Trace::finite(states);
         group.bench_function(format!("interval_formula/len{len}"), |b| {
-            b.iter(|| Evaluator::new(&trace).check(&formula))
+            b.iter(|| Evaluator::new(&trace).check(&formula));
         });
     }
     group.finish();

@@ -10,8 +10,6 @@
 //! samples), and can be harvested programmatically via
 //! [`Criterion::take_results`].
 
-#![forbid(unsafe_code)]
-
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -9,8 +9,6 @@
 //! crate there is no shrinking: a failing case is reported as-is by the
 //! underlying assertion.
 
-#![forbid(unsafe_code)]
-
 use std::rc::Rc;
 
 /// The deterministic generator driving all strategies.

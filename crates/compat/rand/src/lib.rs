@@ -8,8 +8,6 @@
 //! `rand::rngs::StdRng`, so seeds chosen against one implementation may
 //! exercise different schedules under the other.
 
-#![forbid(unsafe_code)]
-
 use std::ops::{Range, RangeInclusive};
 
 /// A random number generator constructible from a seed.

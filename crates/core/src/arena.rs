@@ -44,9 +44,31 @@ use crate::value::Value;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FormulaId(u32);
 
+impl FormulaId {
+    /// The raw arena slot of this id — stable within one arena, and the
+    /// currency diagnostics use to point at a subformula.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from a raw slot previously obtained via
+    /// [`FormulaId::index`].  Only meaningful against the same arena the
+    /// index came from (deserialized diagnostics, debugger round-trips).
+    pub fn from_index(index: usize) -> FormulaId {
+        FormulaId(index as u32)
+    }
+}
+
 /// Handle of an interned interval-term node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(u32);
+
+impl TermId {
+    /// The raw arena slot of this id (see [`FormulaId::index`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// An interned formula node: the [`Formula`] constructors with child links
 /// replaced by arena ids.

@@ -68,15 +68,13 @@ impl BoundedChecker {
     /// (budget truncation checks, refutation-bound selection), equivalent to
     /// one larger than any cap.
     pub fn model_count(&self) -> usize {
-        let alphabet = match 1usize.checked_shl(self.props.len() as u32) {
-            Some(alphabet) => alphabet,
-            None => return usize::MAX,
+        let Some(alphabet) = 1usize.checked_shl(self.props.len() as u32) else {
+            return usize::MAX;
         };
         let mut total = 0usize;
         for len in 1..=self.max_len {
-            let words = match alphabet.checked_pow(len as u32) {
-                Some(words) => words,
-                None => return usize::MAX,
+            let Some(words) = alphabet.checked_pow(len as u32) else {
+                return usize::MAX;
             };
             let extensions = if self.include_lassos { 1 + len } else { 1 };
             total = total.saturating_add(words.saturating_mul(extensions));

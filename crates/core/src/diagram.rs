@@ -149,8 +149,7 @@ impl<'a> Diagram<'a> {
                     self.trace
                         .state(i)
                         .var(name)
-                        .map(ToString::to_string)
-                        .unwrap_or_else(|| "-".to_string())
+                        .map_or_else(|| "-".to_string(), ToString::to_string)
                 })
                 .collect();
             var_cells.push(cells);

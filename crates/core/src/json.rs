@@ -257,8 +257,8 @@ impl Parser<'_> {
             Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
             Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.nested(|parser| parser.array()),
-            Some(b'{') => self.nested(|parser| parser.object()),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(JsonError::new(format!(
                 "unexpected {:?} at byte {}",

@@ -10,6 +10,9 @@
 //!   `end`, `⇒`, `⇐`, the `*` modifier), with ergonomic constructors;
 //! * [`arena`] — the hash-consed formula arena (`FormulaId`/`TermId` handles,
 //!   structural sharing) and the memoized arena evaluator;
+//! * [`analysis`] — pre-flight static analysis: well-formedness lints with
+//!   stable diagnostic codes, the structural cost estimator, and the inputs
+//!   `Backend::Auto` routes on;
 //! * [`session`] — the unified checking façade: `Session`, builder-style
 //!   `CheckRequest`, backend selection, the uniform `Verdict`, and the
 //!   batched job API (`submit` / `check_many`);
@@ -58,9 +61,7 @@
 //! assert!(Evaluator::new(&trace).check(&formula));
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
+pub mod analysis;
 pub mod arena;
 pub mod bounded;
 pub mod diagram;
@@ -92,6 +93,10 @@ pub use ilogic_temporal::pool;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::analysis::{
+        analyze, analyze_formula, lint_spec, Analysis, CostEstimate, Diagnostic, DiagnosticCode,
+        Severity,
+    };
     pub use crate::arena::{ArenaSnapshot, FormulaArena, FormulaId, MemoEvaluator, TermId};
     pub use crate::bounded::BoundedChecker;
     pub use crate::diagram::Diagram;

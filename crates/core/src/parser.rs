@@ -217,7 +217,7 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 if bytes.get(i + 1) == Some(&b'>') {
                     tokens.push(Spanned { tok: Tok::Arrow, at });
                     i += 2;
-                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     let (value, next) = lex_int(bytes, i)?;
                     tokens.push(Spanned { tok: Tok::Int(value), at });
                     i = next;

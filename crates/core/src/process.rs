@@ -375,7 +375,7 @@ pub fn collect_term_names(term: &IntervalTerm, out: &mut BTreeSet<String>) {
     match term {
         IntervalTerm::Event(f) => collect_names(f, out),
         IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
-            collect_term_names(t, out)
+            collect_term_names(t, out);
         }
         IntervalTerm::Forward(i, j) | IntervalTerm::Backward(i, j) => {
             if let Some(t) = i {

@@ -70,6 +70,7 @@ use ilogic_temporal::theory::PropositionalTheory;
 
 pub use ilogic_temporal::dnf::store::StoreStats as ConditionStats;
 
+use crate::analysis::{self, Analysis, CostEstimate, Diagnostic, DiagnosticCode};
 use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
 use crate::json::{Json, JsonError};
@@ -78,7 +79,7 @@ use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 use crate::scheduler::{self, JobHandle, JobId};
 use crate::spec::{close_free_variables, Spec, SpecReport};
 use crate::star::eliminate_star;
-use crate::syntax::{Formula, IntervalTerm, Pred};
+use crate::syntax::Formula;
 use crate::trace::Trace;
 use crate::value::Value;
 
@@ -109,6 +110,17 @@ pub enum Backend {
     /// Appendix B tableau.  Exact on the translatable fragment; outside it the
     /// verdict is [`Verdict::Unknown`].
     Decide,
+    /// Let the pre-flight analysis pick: `Decide` (with the evaluated
+    /// fixpoint forced for predicted-blowup shapes) when the formula is
+    /// LTL-translatable, otherwise a `Bounded` refutation sweep over the
+    /// formula's propositions at the deepest depth whose enumeration fits
+    /// the budget — the rule is [`auto_backend`], resolved deterministically
+    /// at prepare time, so `Auto` batches stay bit-identical to sequential
+    /// loops.  `Auto` never routes to `Trace`/`Explore`: those need a
+    /// computation attached, which only an explicit request carries.  The
+    /// report quotes the *resolved* backend's name, and an `R001` diagnostic
+    /// records the routing decision.
+    Auto,
 }
 
 impl Backend {
@@ -118,6 +130,8 @@ impl Backend {
             Backend::Explore { .. } => "explore",
             Backend::Bounded { .. } => "bounded",
             Backend::Decide => "decide",
+            // Resolved away in `Session::prepare`; never reaches a report.
+            Backend::Auto => "auto",
         }
     }
 }
@@ -197,6 +211,7 @@ pub struct CheckRequest {
     domain: Option<Vec<Value>>,
     parallelism: Option<Parallelism>,
     budget: Option<ResourceBudget>,
+    preflight: bool,
 }
 
 impl CheckRequest {
@@ -209,6 +224,7 @@ impl CheckRequest {
             domain: None,
             parallelism: None,
             budget: None,
+            preflight: false,
         }
     }
 
@@ -273,6 +289,25 @@ impl CheckRequest {
     /// Decides validity via the LTL reduction and the tableau.
     pub fn decide(mut self) -> CheckRequest {
         self.backend = Backend::Decide;
+        self
+    }
+
+    /// Routes the request by pre-flight analysis; see [`Backend::Auto`].
+    pub fn auto(mut self) -> CheckRequest {
+        self.backend = Backend::Auto;
+        self
+    }
+
+    /// Enables pre-flight admission for this request: when the structural
+    /// cost estimate says the job cannot complete within its budget, the
+    /// check answers `Verdict::Unknown { exhausted }` *immediately* — with a
+    /// `C002` diagnostic naming the doomed resource — instead of occupying a
+    /// worker discovering the same thing.  Off by default, because admission
+    /// also rejects jobs an engine would have *partially* answered (a sweep
+    /// cut mid-way still examines real computations).  A session-wide switch
+    /// is [`Session::set_preflight`].
+    pub fn with_preflight(mut self) -> CheckRequest {
+        self.preflight = true;
         self
     }
 
@@ -403,6 +438,11 @@ pub struct CheckStats {
     /// Number of pool workers the backend fanned out across (1 when the check
     /// ran single-threaded).
     pub workers: usize,
+    /// The pre-flight [`CostEstimate`] the session computed for the formula
+    /// — what `Backend::Auto` routed on and what pre-flight admission
+    /// compared against the budget.  `None` only in reports parsed from
+    /// pre-analysis (PR ≤ 5) JSON documents.
+    pub estimate: Option<CostEstimate>,
 }
 
 impl fmt::Display for CheckStats {
@@ -449,6 +489,11 @@ pub struct CheckReport {
     /// for `Explore`, the global enumeration index for `Bounded` and the
     /// `Decide` refutation sweep, `0` for `Trace`.  `None` otherwise.
     pub failing_index: Option<usize>,
+    /// Findings of the pre-flight analysis pass: lints on the checked
+    /// formula, the `R001` routing record for `Auto` requests, and the
+    /// `C002` rejection record when pre-flight admission refused the job.
+    /// Deterministic (same request ⇒ same diagnostics, at any worker count).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CheckReport {
@@ -474,7 +519,11 @@ impl fmt::Display for CheckReport {
             self.stats.traces_checked,
             self.stats.duration,
             self.stats.memo.hits
-        )
+        )?;
+        for diagnostic in &self.diagnostics {
+            write!(f, "\n  {diagnostic}")?;
+        }
+        Ok(())
     }
 }
 
@@ -500,6 +549,10 @@ impl CheckReport {
                 },
             )
             .field("stats", stats_to_json(&self.stats))
+            .field(
+                "diagnostics",
+                Json::Array(self.diagnostics.iter().map(diagnostic_to_json).collect()),
+            )
             .to_string()
     }
 
@@ -517,11 +570,21 @@ impl CheckReport {
             Json::Null => None,
             value => Some(usize_of(value, "failing_index")?),
         };
+        // Diagnostics were added in PR 6; reports serialized by earlier
+        // versions omit the field and parse as diagnostic-free.
+        let diagnostics = match root.get("diagnostics") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Array(entries)) => {
+                entries.iter().map(diagnostic_from_json).collect::<Result<_, _>>()?
+            }
+            Some(other) => return Err(JsonError::new(format!("bad diagnostics {other:?}"))),
+        };
         Ok(CheckReport {
             verdict: verdict_from_json(root.require("verdict")?)?,
             stats: stats_from_json(root.require("stats")?)?,
             backend,
             failing_index,
+            diagnostics,
         })
     }
 }
@@ -622,6 +685,13 @@ fn stats_to_json(stats: &CheckStats) -> Json {
         )
         .field("arena_nodes", Json::Int(stats.arena_nodes as i64))
         .field("workers", Json::Int(stats.workers as i64))
+        .field(
+            "estimate",
+            match stats.estimate {
+                Some(estimate) => estimate_to_json(estimate),
+                None => Json::Null,
+            },
+        )
 }
 
 fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
@@ -642,6 +712,11 @@ fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
         Some(found) => condition_from_json(found)?,
         None => ConditionStats::default(),
     };
+    // The estimate was added in PR 6: absent (or Null) in earlier documents.
+    let estimate = match value.get("estimate") {
+        None | Some(Json::Null) => None,
+        Some(found) => Some(estimate_from_json(found)?),
+    };
     Ok(CheckStats {
         duration: Duration::from_nanos(uint_field(value.require("duration_ns")?, "duration_ns")?),
         traces_checked: usize_of(value.require("traces_checked")?, "traces_checked")?,
@@ -652,6 +727,89 @@ fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
         exhausted,
         arena_nodes: usize_of(value.require("arena_nodes")?, "arena_nodes")?,
         workers: usize_of(value.require("workers")?, "workers")?,
+        estimate,
+    })
+}
+
+fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
+    Json::object()
+        .field("code", Json::Str(diagnostic.code.as_str().to_string()))
+        .field("severity", Json::Str(diagnostic.severity.to_string()))
+        .field(
+            "path",
+            Json::Array(diagnostic.path.iter().map(|id| Json::Int(id.index() as i64)).collect()),
+        )
+        .field("message", Json::Str(diagnostic.message.clone()))
+}
+
+fn diagnostic_from_json(value: &Json) -> Result<Diagnostic, JsonError> {
+    let code = match value.require("code")?.as_str() {
+        Some(name) => DiagnosticCode::parse(name)
+            .ok_or_else(|| JsonError::new(format!("unknown diagnostic code `{name}`")))?,
+        None => return Err(JsonError::new("diagnostic `code` is not a string")),
+    };
+    let path = value
+        .require("path")?
+        .as_array()
+        .ok_or_else(|| JsonError::new("diagnostic `path` is not an array"))?
+        .iter()
+        .map(|entry| Ok(FormulaId::from_index(usize_of(entry, "path")?)))
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let message = value
+        .require("message")?
+        .as_str()
+        .ok_or_else(|| JsonError::new("diagnostic `message` is not a string"))?
+        .to_string();
+    // The severity is derived from the code (as `Diagnostic::new` does) —
+    // the serialized field is for human readers and non-Rust consumers.
+    Ok(Diagnostic::new(code, path, message))
+}
+
+/// `u64` counters can saturate at `u64::MAX` (the estimator's way of saying
+/// "assume infinite"), which does not fit the JSON layer's `i64` integers —
+/// so the three magnitude fields are decimal strings on the wire.
+fn u64_str_field(value: &Json, name: &str) -> Result<u64, JsonError> {
+    match value.require(name)?.as_str() {
+        Some(text) => text
+            .parse::<u64>()
+            .map_err(|_| JsonError::new(format!("field `{name}` is not a decimal u64"))),
+        None => Err(JsonError::new(format!("field `{name}` is not a string"))),
+    }
+}
+
+fn estimate_to_json(estimate: CostEstimate) -> Json {
+    Json::object()
+        .field("translatable", Json::Bool(estimate.translatable))
+        .field("closure_components", Json::Int(estimate.closure_components as i64))
+        .field("closure_atoms", Json::Int(estimate.closure_atoms as i64))
+        .field("size", Json::Int(estimate.size as i64))
+        .field("propositions", Json::Int(estimate.propositions as i64))
+        .field("nodes", Json::Str(estimate.nodes.to_string()))
+        .field("edges", Json::Str(estimate.edges.to_string()))
+        .field("condition_width", Json::Str(estimate.condition_width.to_string()))
+        .field("artifact_intractable", Json::Bool(estimate.artifact_intractable))
+        .field("deep_nesting", Json::Bool(estimate.deep_nesting))
+}
+
+fn bool_field(value: &Json, name: &str) -> Result<bool, JsonError> {
+    value
+        .require(name)?
+        .as_bool()
+        .ok_or_else(|| JsonError::new(format!("field `{name}` is not a boolean")))
+}
+
+fn estimate_from_json(value: &Json) -> Result<CostEstimate, JsonError> {
+    Ok(CostEstimate {
+        translatable: bool_field(value, "translatable")?,
+        closure_components: usize_of(value.require("closure_components")?, "closure_components")?,
+        closure_atoms: usize_of(value.require("closure_atoms")?, "closure_atoms")?,
+        size: usize_of(value.require("size")?, "size")?,
+        propositions: usize_of(value.require("propositions")?, "propositions")?,
+        nodes: u64_str_field(value, "nodes")?,
+        edges: u64_str_field(value, "edges")?,
+        condition_width: u64_str_field(value, "condition_width")?,
+        artifact_intractable: bool_field(value, "artifact_intractable")?,
+        deep_nesting: bool_field(value, "deep_nesting")?,
     })
 }
 
@@ -830,6 +988,7 @@ pub struct Session {
     next_job: u64,
     pending: Vec<(JobId, CheckRequest)>,
     completed: BTreeMap<JobId, CheckReport>,
+    preflight: bool,
 }
 
 impl Default for Session {
@@ -845,6 +1004,7 @@ impl Default for Session {
             next_job: 0,
             pending: Vec::new(),
             completed: BTreeMap::new(),
+            preflight: false,
         }
     }
 }
@@ -887,6 +1047,22 @@ impl Session {
         self
     }
 
+    /// Turns pre-flight admission on (or off) for every request this session
+    /// runs: jobs whose predicted cost exceeds their budget answer
+    /// `Unknown { exhausted }` immediately, with a `C002` diagnostic in the
+    /// report, instead of occupying a worker until the budget trips at run
+    /// time.  Off by default; a single request opts in with
+    /// [`CheckRequest::with_preflight`].
+    pub fn set_preflight(&mut self, on: bool) {
+        self.preflight = on;
+    }
+
+    /// [`Session::set_preflight`], builder-style.
+    pub fn with_preflight(mut self) -> Session {
+        self.set_preflight(true);
+        self
+    }
+
     /// Memoization counters accumulated across every check this session ran —
     /// per-request counters are visible in each [`CheckReport`]; this is their
     /// running sum, making cross-request cache behaviour observable.
@@ -926,24 +1102,60 @@ impl Session {
         self.arena.extract(id)
     }
 
-    /// Interns the request's formula and resolves its knobs, recording the
-    /// arena size the report will quote.  Interning is the only arena
-    /// mutation a check performs, so preparing a whole batch in submission
-    /// order leaves the arena in exactly the state a sequential loop of
-    /// `check` calls would produce.
+    /// Interns the request's formula, runs the pre-flight analysis pass, and
+    /// resolves its knobs — including `Backend::Auto` routing and (when
+    /// enabled) pre-flight admission — recording the arena size the report
+    /// will quote.  Interning is the only arena mutation a check performs, so
+    /// preparing a whole batch in submission order leaves the arena in
+    /// exactly the state a sequential loop of `check` calls would produce.
+    /// Routing and admission read only the request and the deterministic
+    /// [`CostEstimate`], so they too replay identically.
     fn prepare(&mut self, request: CheckRequest) -> PreparedJob {
-        let CheckRequest { formula, backend, domain, parallelism, budget } = request;
-        let backend_name = backend.name();
+        let CheckRequest { formula, backend, domain, parallelism, budget, preflight } = request;
         let id = self.arena.intern(&formula);
+        let Analysis { mut diagnostics, estimate } =
+            analysis::analyze_interned(&self.arena, id, &formula);
+        let mut budget = self.resolve_budget(budget);
+        let backend = match backend {
+            Backend::Auto => {
+                let (routed, routed_budget) = auto_backend(&formula, &estimate, &budget);
+                diagnostics.push(Diagnostic::new(
+                    DiagnosticCode::Routed,
+                    vec![id],
+                    format!("auto: routed to `{}` ({})", routed.name(), route_reason(&estimate)),
+                ));
+                budget = routed_budget;
+                routed
+            }
+            chosen => chosen,
+        };
+        let backend_name = backend.name();
+        let rejection = (preflight || self.preflight)
+            .then(|| admission(&backend, &estimate, &budget))
+            .flatten();
+        if let Some(cut) = rejection {
+            diagnostics.push(Diagnostic::new(
+                DiagnosticCode::OverBudget,
+                vec![id],
+                format!(
+                    "pre-flight: predicted cost exceeds the budget ({}); \
+                     the job was rejected without running",
+                    exhaustion_name(cut)
+                ),
+            ));
+        }
         PreparedJob {
             id,
             formula,
             backend,
             domain,
             parallelism: self.resolve_parallelism(parallelism),
-            budget: self.resolve_budget(budget),
+            budget,
             arena_nodes: self.arena.formula_count() + self.arena.term_count(),
             backend_name,
+            diagnostics,
+            estimate,
+            rejection,
         }
     }
 
@@ -969,9 +1181,11 @@ impl Session {
                 exhausted,
                 arena_nodes: job.arena_nodes,
                 workers: outcome.workers,
+                estimate: Some(job.estimate),
             },
             backend: job.backend_name,
             failing_index: outcome.failing_index,
+            diagnostics: job.diagnostics.clone(),
         }
     }
 
@@ -1193,6 +1407,13 @@ pub(crate) struct PreparedJob {
     budget: ResourceBudget,
     arena_nodes: usize,
     backend_name: &'static str,
+    /// Findings of the analysis pass (plus routing/rejection records),
+    /// carried verbatim into the report.
+    diagnostics: Vec<Diagnostic>,
+    estimate: CostEstimate,
+    /// `Some` when pre-flight admission refused the job: [`execute`]
+    /// short-circuits to `Unknown { exhausted }` without running a backend.
+    rejection: Option<Exhaustion>,
 }
 
 /// Everything a backend run produces; [`Session::finalize`] adds the
@@ -1215,6 +1436,20 @@ pub(crate) struct JobOutcome {
 /// calls: there is no second implementation to diverge.
 pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobOutcome {
     let start = Instant::now();
+    if let Some(cut) = job.rejection {
+        // Pre-flight admission already refused this job at prepare time: the
+        // verdict is the same `Unknown { exhausted }` the budget would have
+        // produced, minus the work.
+        return JobOutcome {
+            verdict: Verdict::exhausted(cut),
+            traces_checked: 0,
+            memo: MemoStats::default(),
+            condition: ConditionStats::default(),
+            workers: 1,
+            failing_index: None,
+            duration: start.elapsed(),
+        };
+    }
     let mut condition = ConditionStats::default();
     let (verdict, traces_checked, memo, workers, failing_index) = match &job.backend {
         Backend::Trace(trace) => {
@@ -1262,6 +1497,7 @@ pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobO
             condition = stats;
             (verdict, traces_checked, memo, workers, failing_index)
         }
+        Backend::Auto => unreachable!("Backend::Auto is resolved to a concrete backend at prepare"),
     };
     JobOutcome {
         verdict,
@@ -1365,7 +1601,7 @@ fn decide<A: ArenaRead + Sync>(
     // constant) rejected a deeper bound is tracked so the verdict only
     // reports `exhausted: Some(Enumeration)` when raising `max_enumeration`
     // could actually have helped.
-    let props = proposition_names(&job.formula);
+    let props = analysis::proposition_names(&job.formula);
     let cap = job.budget.max_enumeration();
     let mut cap_blocked_depth = false;
     let mut chosen = None;
@@ -1559,51 +1795,100 @@ fn drive_runs<'a, A: ArenaRead + Sync>(
 /// never to hang.
 const DECIDE_REFUTATION_BOUND: usize = 4;
 
-/// The distinct plain proposition names appearing in a formula.
-fn proposition_names(formula: &Formula) -> Vec<String> {
-    fn walk_formula(formula: &Formula, out: &mut Vec<String>) {
-        match formula {
-            Formula::True | Formula::False => {}
-            Formula::Pred(Pred::Prop { name, .. }) => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
-            }
-            Formula::Pred(Pred::Cmp { .. }) => {}
-            Formula::Not(a)
-            | Formula::Always(a)
-            | Formula::Eventually(a)
-            | Formula::Forall(_, a)
-            | Formula::Exists(_, a) => walk_formula(a, out),
-            Formula::And(a, b) | Formula::Or(a, b) => {
-                walk_formula(a, out);
-                walk_formula(b, out);
-            }
-            Formula::In(term, a) => {
-                walk_term(term, out);
-                walk_formula(a, out);
+/// Resolves [`Backend::Auto`] against the pre-flight [`CostEstimate`]:
+/// the concrete backend plus the (possibly adjusted) budget the routed job
+/// runs under.
+///
+/// * Translatable, no predicted blowup — `Decide` with the caller's budget
+///   unchanged: the explicit §5 condition artifact is cheap here and its
+///   counters are worth having in the report.
+/// * Translatable, predicted blowup (the artifact-intractable
+///   prefix-invariance family, or deeply nested prefixes) — `Decide` with an
+///   infinite implicant cap, which the decide path reads as "skip the explicit
+///   artifact, decide by the evaluated fixpoint": exact, fast, and immune to
+///   the predicted condition width.
+/// * Untranslatable — a `Bounded` refutation sweep over the formula's own
+///   propositions, at the deepest length whose enumeration fits the budget's
+///   `max_enumeration` cap (the same degradation rule the decide path's
+///   concretization sweep uses; depth 1 is the floor).
+///
+/// Routing never picks `Trace` or `Explore`: both need run sources the
+/// request didn't supply.  The function is deterministic in the request and
+/// estimate alone, so batch routing is bit-identical to a sequential loop.
+pub fn auto_backend(
+    formula: &Formula,
+    estimate: &CostEstimate,
+    budget: &ResourceBudget,
+) -> (Backend, ResourceBudget) {
+    if estimate.translatable {
+        let budget = if estimate.blowup() {
+            budget.clone().with_max_implicants(usize::MAX)
+        } else {
+            budget.clone()
+        };
+        (Backend::Decide, budget)
+    } else {
+        let props = analysis::proposition_names(formula);
+        let cap = budget.max_enumeration();
+        let mut max_len = 1;
+        for len in (1..=DECIDE_REFUTATION_BOUND).rev() {
+            let count = BoundedChecker::new(props.clone(), len).model_count();
+            if count != usize::MAX && count <= cap {
+                max_len = len;
+                break;
             }
         }
+        (Backend::Bounded { props, max_len, lassos: true }, budget.clone())
     }
-    fn walk_term(term: &IntervalTerm, out: &mut Vec<String>) {
-        match term {
-            IntervalTerm::Event(f) => walk_formula(f, out),
-            IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
-                walk_term(t, out)
+}
+
+/// The human half of the `R001` routing record: why `Auto` picked what it
+/// picked.
+fn route_reason(estimate: &CostEstimate) -> String {
+    if estimate.artifact_intractable {
+        "artifact-intractable prefix-invariance shape: evaluated fixpoint forced".to_string()
+    } else if estimate.deep_nesting {
+        "deeply nested prefixes: evaluated fixpoint forced".to_string()
+    } else if estimate.translatable {
+        format!(
+            "translatable, predicted ≤{} tableau nodes / ≤{} edges",
+            estimate.nodes, estimate.edges
+        )
+    } else {
+        "outside the translatable fragment: bounded refutation sweep".to_string()
+    }
+}
+
+/// Pre-flight admission: compares the predicted cost of the *resolved*
+/// backend against the budget and names the resource that would trip, or
+/// `None` to admit.  Only predictions the estimator actually makes are
+/// enforced — `Trace`/`Explore` jobs (cost proportional to caller-supplied
+/// run sources) and untranslatable `Decide` jobs are always admitted, so
+/// admission never rejects work the estimator can't see.
+fn admission(
+    backend: &Backend,
+    estimate: &CostEstimate,
+    budget: &ResourceBudget,
+) -> Option<Exhaustion> {
+    match backend {
+        Backend::Bounded { props, max_len, lassos } => {
+            let mut checker = BoundedChecker::new(props.clone(), *max_len);
+            if !lassos {
+                checker = checker.without_lassos();
             }
-            IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
-                if let Some(t) = a {
-                    walk_term(t, out);
-                }
-                if let Some(t) = b {
-                    walk_term(t, out);
-                }
+            (checker.model_count() > budget.max_enumeration()).then_some(Exhaustion::Enumeration)
+        }
+        Backend::Decide if estimate.translatable => {
+            if estimate.nodes > budget.max_nodes() as u64 {
+                Some(Exhaustion::Nodes)
+            } else if estimate.edges > budget.max_edges() as u64 {
+                Some(Exhaustion::Edges)
+            } else {
+                None
             }
         }
+        _ => None,
     }
-    let mut out = Vec::new();
-    walk_formula(formula, &mut out);
-    out
 }
 
 #[cfg(test)]

@@ -308,7 +308,7 @@ impl Formula {
             Formula::True | Formula::False => {}
             Formula::Pred(p) => collect_pred_vars(p, bound, out),
             Formula::Not(a) | Formula::Always(a) | Formula::Eventually(a) => {
-                a.collect_free_vars(bound, out)
+                a.collect_free_vars(bound, out);
             }
             Formula::And(a, b) | Formula::Or(a, b) => {
                 a.collect_free_vars(bound, out);
@@ -469,7 +469,7 @@ impl IntervalTerm {
         match self {
             IntervalTerm::Event(f) => f.collect_free_vars(bound, out),
             IntervalTerm::Begin(t) | IntervalTerm::End(t) | IntervalTerm::Must(t) => {
-                t.collect_free_vars(bound, out)
+                t.collect_free_vars(bound, out);
             }
             IntervalTerm::Forward(a, b) | IntervalTerm::Backward(a, b) => {
                 if let Some(t) = a {

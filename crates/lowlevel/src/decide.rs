@@ -149,8 +149,7 @@ pub fn prune_budgeted(
         let dischargeable = dischargeable_map(&edges);
         parallel_retain(&mut edges, &pool, |e| {
             e.ev.iter().all(|ev| {
-                e.se.contains(ev)
-                    || dischargeable.get(&e.to).map(|set| set.contains(ev)).unwrap_or(false)
+                e.se.contains(ev) || dischargeable.get(&e.to).is_some_and(|set| set.contains(ev))
             })
         });
 
@@ -694,7 +693,8 @@ mod tests {
             }
         }
         // Lengths 2, 3 and 4 are all represented (x;q, x;x;q, x;x;x;q).
-        let lengths: std::collections::BTreeSet<usize> = models.iter().map(|m| m.len()).collect();
+        let lengths: std::collections::BTreeSet<usize> =
+            models.iter().map(super::super::interp::PartialInterp::len).collect();
         assert!(lengths.contains(&2) && lengths.contains(&3) && lengths.contains(&4));
     }
 

@@ -156,7 +156,7 @@ impl LowExpr {
                 }
                 // Fx and Tx do not bind x (Appendix C §2).
                 LowExpr::ForceFalse(_, a) | LowExpr::ForceTrue(_, a) | LowExpr::Infloop(a) => {
-                    go(a, bound, out)
+                    go(a, bound, out);
                 }
                 LowExpr::And(a, b)
                 | LowExpr::SameLength(a, b)

@@ -20,9 +20,6 @@
 //! specifications can be demonstrated to *reject* incorrect implementations,
 //! not merely accept correct ones.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod abprotocol;
 pub mod explore;
 pub mod mutex;

@@ -258,19 +258,20 @@ pub fn ab_receiver_spec() -> Spec {
 
 /// The mutual-exclusion specification of Figure 8-1.
 ///
-/// `A1` constrains the next critical-section entry of each process (the
-/// figure's formula); `A1-every-entry` is the `□`-strengthened version that
-/// constrains every entry of the recorded computation.
+/// The figure's `A1` constrains the *next* critical-section entry of each
+/// process; `A1-every-entry` is its `□`-strengthened version, constraining
+/// every entry of the recorded computation.  Only the strengthened clause is
+/// kept: it syntactically implies the figure's formula, and the analysis
+/// pass (`ilogic_core::analysis::lint_spec`) flags the weaker clause as
+/// subsumed (`L004`) when both are present.
 pub fn mutual_exclusion_spec() -> Spec {
     let x = |i: &str| prop_args("x", vec![var(i)]);
     let cs = |i: &str| prop_args("cs", vec![var(i)]);
     let a1_body = eventually(x("j").not()).within(bwd(event(x("i")), event(cs("i"))));
-    let a1 = data_ne("i", "j").implies(a1_body.clone());
     let a1_every = data_ne("i", "j").implies(a1_body.always());
     let a2 = cs("i").implies(x("i")).always();
     Spec::new("distributed-mutual-exclusion")
         .init("Init", x("m").not())
-        .axiom("A1", a1)
         .axiom("A1-every-entry", a1_every)
         .axiom("A2", a2)
 }

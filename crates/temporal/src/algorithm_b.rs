@@ -63,9 +63,6 @@ use crate::syntax::{Ltl, VarSpec};
 use crate::tableau::{EdgeId, NodeId, TableauGraph};
 use crate::theory::Theory;
 
-#[allow(deprecated)]
-use crate::tableau::BuildLimits;
-
 /// The answer of the combined decision procedure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Decision {
@@ -190,13 +187,6 @@ impl<'t> AlgorithmB<'t> {
         }
     }
 
-    /// [`AlgorithmB::condition_budgeted`] with the deprecated
-    /// [`ConditionLimits`] shim type; `None` on any exhaustion.
-    #[allow(deprecated)]
-    pub fn condition_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Option<Condition> {
-        self.condition_budgeted(formula, &limits.into()).ok()
-    }
-
     /// Decides whether `formula` is valid in `TL(T)`.
     pub fn decide(&self, formula: &Ltl) -> Decision {
         let budget = ResourceBudget::unbounded().with_max_enumeration(self.selection_limit);
@@ -294,17 +284,6 @@ impl<'t> AlgorithmB<'t> {
         // Pure state-variable (or purely propositional) mode: the pointwise
         // check is exact.
         Ok(Decision::NotValid)
-    }
-
-    /// [`AlgorithmB::decide_budgeted`] with the deprecated
-    /// [`ConditionLimits`] shim type; [`Decision::Unknown`] on any
-    /// exhaustion.  `ConditionLimits` carried no enumeration cap, so — as the
-    /// pre-unification implementation did — the end-of-run selection sweep
-    /// stays capped by [`AlgorithmB::selection_limit`].
-    #[allow(deprecated)]
-    pub fn decide_bounded(&self, formula: &Ltl, limits: ConditionLimits) -> Decision {
-        let budget = ResourceBudget::from(limits).with_max_enumeration(self.selection_limit);
-        self.decide_budgeted(formula, &budget).unwrap_or(Decision::Unknown)
     }
 
     /// Decides validity given a previously computed condition (allows callers to
@@ -406,45 +385,6 @@ impl<'t> AlgorithmB<'t> {
             Some((_, Hit::Cut(cut))) => Err(cut),
             None => Ok(Decision::Valid),
         }
-    }
-}
-
-/// Deprecated Algorithm B resource budget; use
-/// [`crate::pool::ResourceBudget`] (whose node/edge/implicant caps play
-/// exactly these roles) with [`AlgorithmB::condition_budgeted`] /
-/// [`AlgorithmB::decide_budgeted`] instead.
-///
-/// The type remains as a thin shim so pre-unification call sites keep
-/// compiling: every function that accepts it converts to a `ResourceBudget`
-/// and forwards to the budgeted entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `pool::ResourceBudget` (with_max_implicants + the build caps) and the \
-            `*_budgeted` entry points"
-)]
-#[allow(deprecated)]
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ConditionLimits {
-    /// Budget for the `Graph(¬A)` tableau construction.
-    pub build: BuildLimits,
-    /// Upper bound on the implicant count of any intermediate condition DNF,
-    /// and on the (pre-absorption) implicant-product estimate of any single
-    /// fixpoint equation — whichever trips first aborts the computation.
-    pub max_implicants: usize,
-}
-
-#[allow(deprecated)]
-impl Default for ConditionLimits {
-    fn default() -> ConditionLimits {
-        let budget = ResourceBudget::default();
-        ConditionLimits { build: BuildLimits::default(), max_implicants: budget.max_implicants() }
-    }
-}
-
-#[allow(deprecated)]
-impl From<ConditionLimits> for ResourceBudget {
-    fn from(limits: ConditionLimits) -> ResourceBudget {
-        ResourceBudget::from(limits.build).with_max_implicants(limits.max_implicants)
     }
 }
 
@@ -1118,9 +1058,6 @@ fn strongly_connected_components(graph: &TableauGraph) -> Vec<Vec<NodeId>> {
 }
 
 #[cfg(test)]
-// The deprecated `ConditionLimits`/`BuildLimits` shims are exercised on
-// purpose: they must keep answering exactly like the budgeted entry points.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::syntax::{CmpOp, Term};
@@ -1205,9 +1142,10 @@ mod tests {
             p().eventually(),
             p().until(q()),
         ];
+        let budget = ResourceBudget::default().with_max_enumeration(alg.selection_limit);
         for f in formulas {
             assert_eq!(
-                alg.decide_bounded(&f, ConditionLimits::default()),
+                alg.decide_budgeted(&f, &budget).unwrap_or(Decision::Unknown),
                 alg.decide(&f),
                 "budgeted and unbudgeted decisions differ on {f}"
             );
@@ -1218,24 +1156,18 @@ mod tests {
     fn tiny_budgets_yield_unknown_not_a_wrong_answer() {
         let theory = PropositionalTheory::new();
         let alg = AlgorithmB::new(&theory, VarSpec::all_state());
-        let tight = ConditionLimits { max_implicants: 1, ..ConditionLimits::default() };
+        let tight = ResourceBudget::unbounded().with_max_implicants(1);
         // ◇P ∨ ◇Q is NOT valid: under a 1-implicant budget the answer may
-        // degrade to Unknown but must never become Valid.
+        // degrade to Unknown (an Err) but must never become Valid.
         let not_valid = p().eventually().or(q().eventually());
-        assert!(matches!(
-            alg.decide_bounded(&not_valid, tight),
-            Decision::Unknown | Decision::NotValid
-        ));
+        assert!(!matches!(alg.decide_budgeted(&not_valid, &tight), Ok(Decision::Valid)));
         // □P ⊃ ◇P IS valid: under the same budget the answer may degrade to
         // Unknown but must never become NotValid.
         let valid = p().always().implies(p().eventually());
-        assert!(matches!(alg.decide_bounded(&valid, tight), Decision::Unknown | Decision::Valid));
-        // And a zero-node build budget trips the construction phase.
-        let limits = ConditionLimits {
-            build: BuildLimits { max_nodes: 1, max_edges: 1 },
-            ..ConditionLimits::default()
-        };
-        assert_eq!(alg.decide_bounded(&not_valid, limits), Decision::Unknown);
+        assert!(!matches!(alg.decide_budgeted(&valid, &tight), Ok(Decision::NotValid)));
+        // And a near-zero build budget trips the construction phase.
+        let no_graph = ResourceBudget::unbounded().with_max_nodes(1).with_max_edges(1);
+        assert!(alg.decide_budgeted(&not_valid, &no_graph).is_err());
     }
 
     #[test]
@@ -1254,15 +1186,6 @@ mod tests {
         token.cancel();
         let cancelled = ResourceBudget::unbounded().with_cancel(token);
         assert_eq!(alg.decide_budgeted(&not_valid, &cancelled), Err(Exhaustion::Cancelled));
-        // The budgeted and shim paths agree: a ConditionLimits value converts
-        // to the ResourceBudget with the same caps.
-        let shim = ConditionLimits { max_implicants: 2, ..ConditionLimits::default() };
-        let converted: ResourceBudget = shim.into();
-        assert_eq!(converted.max_implicants(), 2);
-        assert_eq!(
-            alg.decide_bounded(&not_valid, shim),
-            alg.decide_budgeted(&not_valid, &converted).unwrap_or(Decision::Unknown)
-        );
     }
 
     #[test]

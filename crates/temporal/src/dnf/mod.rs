@@ -44,6 +44,31 @@ use crate::pool::{Exhaustion, ResourceBudget};
 
 pub mod store;
 
+/// The widest a *minimal* DNF over `atoms` edge atoms can possibly be,
+/// saturating at `u64::MAX`.
+///
+/// A minimal DNF is an antichain of implicant sets, and by Sperner's theorem
+/// the largest antichain over an `atoms`-element set has
+/// `C(atoms, ⌊atoms/2⌋)` members.  This is the width hook behind the
+/// `ilogic-core` cost estimator: it clamps structural width predictions to
+/// what an antichain can mathematically reach without running any condition
+/// computation (the bound saturates past 67 atoms — by then the width is
+/// astronomically beyond any practical implicant budget anyway).
+pub fn antichain_width_bound(atoms: usize) -> u64 {
+    let n = atoms as u64;
+    let k = n / 2;
+    // C(n, k) built incrementally: multiply before divide keeps the running
+    // value integral; checked ops saturate the whole bound on overflow.
+    let mut result: u64 = 1;
+    for i in 1..=k {
+        let Some(scaled) = result.checked_mul(n - k + i) else {
+            return u64::MAX;
+        };
+        result = scaled / i;
+    }
+    result
+}
+
 /// A shared, atomic implicant budget for a (possibly parallel) batch of DNF
 /// computations.
 ///

@@ -335,7 +335,7 @@ impl ConditionStore {
     /// `words`).
     fn implicant_bits(&self, imp: ImplicantId, out: &mut [u64]) {
         out.fill(0);
-        for &atom in self.implicants[imp.0 as usize].iter() {
+        for &atom in &self.implicants[imp.0 as usize] {
             out[(atom / 64) as usize] |= 1u64 << (atom % 64);
         }
     }

@@ -40,9 +40,6 @@
 //! assert!(algorithm.valid(&formula));
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod algorithm_a;
 pub mod algorithm_b;
 pub mod dnf;

@@ -67,7 +67,7 @@ impl Parallelism {
     /// The number of workers this setting resolves to (always ≥ 1).
     pub fn workers(self) -> usize {
         match self {
-            Parallelism::Auto => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, usize::from),
             Parallelism::Fixed(n) => n.max(1),
             Parallelism::Off => 1,
         }
@@ -388,8 +388,8 @@ impl CancelToken {
 /// The single resource-control surface of every checking engine.
 ///
 /// One budget covers all cutoff dimensions that used to be scattered across
-/// the layers (`BuildLimits` for the tableau, `ConditionLimits` for the
-/// condition fixpoint, ad-hoc refutation caps in the session): structural
+/// the layers (per-type tableau and condition-fixpoint limit structs,
+/// ad-hoc refutation caps in the session): structural
 /// caps (`max_nodes`/`max_edges` for graphs, `max_implicants` for condition
 /// DNFs, `max_enumeration` for model sweeps) plus a wall-clock deadline and a
 /// cooperative [`CancelToken`].  Whichever trips first ends the work with the
@@ -417,8 +417,8 @@ pub struct ResourceBudget {
 
 impl Default for ResourceBudget {
     /// The service defaults: tableau caps of 20 000 nodes / 200 000 edges
-    /// and 10 000 condition implicants (the pre-unification `BuildLimits` /
-    /// `ConditionLimits` defaults), plus 2 000 000 enumerated computations —
+    /// and 10 000 condition implicants (the pre-unification per-layer
+    /// defaults), plus 2 000 000 enumerated computations —
     /// generalizing the cap that used to apply only to the `Decide`
     /// refutation sweep to *every* enumerating backend.  Bounded/Explore
     /// checks had no cap before unification: a sweep larger than the default

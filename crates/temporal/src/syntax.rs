@@ -353,12 +353,12 @@ impl Ltl {
 
     /// Conjunction of an iterator of formulas (`True` when empty).
     pub fn conj<I: IntoIterator<Item = Ltl>>(items: I) -> Ltl {
-        items.into_iter().fold(Ltl::True, |acc, f| acc.and(f))
+        items.into_iter().fold(Ltl::True, Ltl::and)
     }
 
     /// Disjunction of an iterator of formulas (`False` when empty).
     pub fn disj<I: IntoIterator<Item = Ltl>>(items: I) -> Ltl {
-        items.into_iter().fold(Ltl::False, |acc, f| acc.or(f))
+        items.into_iter().fold(Ltl::False, Ltl::or)
     }
 
     /// Collects the distinct atoms of the formula, in first-occurrence order.
@@ -377,7 +377,7 @@ impl Ltl {
                 }
             }
             Ltl::Not(a) | Ltl::Next(a) | Ltl::Always(a) | Ltl::Eventually(a) => {
-                a.collect_atoms(out)
+                a.collect_atoms(out);
             }
             Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) => {
                 a.collect_atoms(out);

@@ -18,7 +18,7 @@
 //! # Parallelism
 //!
 //! Both phases fan out over the [`crate::pool`] worker pool —
-//! [`TableauGraph::try_build_with`] expands each breadth-first frontier's
+//! [`TableauGraph::try_build_budgeted`] expands each breadth-first frontier's
 //! node labels concurrently (expansion is a pure function of the label set)
 //! and merges the results in sequential frontier order on the calling
 //! thread, and [`prune_with`] stripes the per-edge theory checks and the
@@ -78,78 +78,11 @@ struct Expansion {
     fulfilled: BTreeSet<Ltl>,
 }
 
-/// Deprecated tableau-only resource budget; use
-/// [`crate::pool::ResourceBudget`] (whose `max_nodes`/`max_edges` caps play
-/// exactly this role) instead.
-///
-/// The type remains as a thin shim so pre-unification call sites keep
-/// compiling: every function that accepts it converts to a `ResourceBudget`
-/// and forwards to the budgeted entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `pool::ResourceBudget` (with_max_nodes/with_max_edges) and the `*_budgeted` \
-            entry points"
-)]
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BuildLimits {
-    /// Maximum number of graph nodes.
-    pub max_nodes: usize,
-    /// Maximum number of graph edges.
-    pub max_edges: usize,
-}
-
-#[allow(deprecated)]
-impl Default for BuildLimits {
-    fn default() -> BuildLimits {
-        let budget = ResourceBudget::default();
-        BuildLimits { max_nodes: budget.max_nodes(), max_edges: budget.max_edges() }
-    }
-}
-
-#[allow(deprecated)]
-impl BuildLimits {
-    /// No limits: construction runs to completion however long it takes.
-    pub fn unbounded() -> BuildLimits {
-        BuildLimits { max_nodes: usize::MAX, max_edges: usize::MAX }
-    }
-}
-
-#[allow(deprecated)]
-impl From<BuildLimits> for ResourceBudget {
-    fn from(limits: BuildLimits) -> ResourceBudget {
-        ResourceBudget::unbounded()
-            .with_max_nodes(limits.max_nodes)
-            .with_max_edges(limits.max_edges)
-    }
-}
-
 impl TableauGraph {
     /// Constructs the graph `Graph(formula)` representing the models of `formula`.
     pub fn build(formula: &Ltl) -> TableauGraph {
         TableauGraph::try_build_budgeted(formula, &ResourceBudget::unbounded(), Parallelism::Off)
             .expect("unbounded tableau construction cannot exceed its limits")
-    }
-
-    /// Constructs `Graph(formula)` unless doing so would exceed `limits`, in
-    /// which case `None` is returned (the formula is outside the practical
-    /// reach of the tableau).
-    ///
-    /// Shim over [`TableauGraph::try_build_budgeted`]; prefer that entry
-    /// point, which also reports *which* cap tripped.
-    #[allow(deprecated)]
-    pub fn try_build(formula: &Ltl, limits: BuildLimits) -> Option<TableauGraph> {
-        TableauGraph::try_build_with(formula, limits, Parallelism::Off)
-    }
-
-    /// [`TableauGraph::try_build`] with the frontier expanded across a worker
-    /// pool.  Shim over [`TableauGraph::try_build_budgeted`].
-    #[allow(deprecated)]
-    pub fn try_build_with(
-        formula: &Ltl,
-        limits: BuildLimits,
-        parallelism: Parallelism,
-    ) -> Option<TableauGraph> {
-        TableauGraph::try_build_budgeted(formula, &limits.into(), parallelism).ok()
     }
 
     /// Constructs `Graph(formula)` under a [`ResourceBudget`], with the
@@ -305,6 +238,85 @@ impl TableauGraph {
         }
         all
     }
+}
+
+/// A static size profile of the graph a formula *would* expand into,
+/// computed from the AST alone — no node is ever interned, no edge built.
+///
+/// This is the closure-size hook behind the `ilogic-core` analysis pass:
+/// node labels of [`TableauGraph`] are subsets of the formula's *next
+/// components* (the formulas the expansion rules in this module can insert
+/// into a node's next-set), so `2^components` bounds the node count and
+/// `nodes × 2^atoms` bounds the edge count.  The bounds are loose — see the
+/// calibration notes in `ARCHITECTURE.md` — but they are computed in
+/// microseconds, which is the point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClosureProfile {
+    /// Number of distinct next components: `2^components` bounds the node
+    /// count of the expanded graph.
+    pub components: usize,
+    /// Number of distinct atoms: each transition commits to a subset of the
+    /// atoms, so `2^atoms` bounds the out-degree multiplicity per node pair.
+    pub atoms: usize,
+    /// Plain AST size of the formula.
+    pub size: usize,
+}
+
+/// Computes the [`ClosureProfile`] of `formula` without building a graph.
+///
+/// The component set mirrors `expand_rec` exactly: `◦a` inserts `a` (or `¬a`
+/// under negation), `□a` re-inserts itself, `◇a`/`U(p, q)`/`¬U(p, q)` insert
+/// their deferred forms, and negations of `□`/`◇` insert the pushed-in dual.
+pub fn closure_profile(formula: &Ltl) -> ClosureProfile {
+    fn components(f: &Ltl, positive: bool, out: &mut BTreeSet<Ltl>) {
+        match f {
+            Ltl::True | Ltl::False | Ltl::Atom(_) => {}
+            Ltl::Not(a) => components(a, !positive, out),
+            Ltl::And(a, b) | Ltl::Or(a, b) => {
+                components(a, positive, out);
+                components(b, positive, out);
+            }
+            Ltl::Next(a) => {
+                out.insert(if positive { (**a).clone() } else { (**a).clone().not() });
+                components(a, positive, out);
+            }
+            Ltl::Always(a) => {
+                if positive {
+                    out.insert(f.clone());
+                } else {
+                    // ¬□a expands as ◇¬a, which defers itself.
+                    out.insert((**a).clone().not().eventually());
+                }
+                components(a, positive, out);
+                components(a, !positive, out);
+            }
+            Ltl::Eventually(a) => {
+                if positive {
+                    out.insert(f.clone());
+                } else {
+                    out.insert((**a).clone().not().always());
+                }
+                components(a, positive, out);
+                components(a, !positive, out);
+            }
+            Ltl::Until(p, q) => {
+                if positive {
+                    out.insert(f.clone());
+                } else {
+                    out.insert(f.clone().not());
+                }
+                // Both polarities of both operands can surface during
+                // expansion (q now / defer, ¬q ∧ ¬p now / defer).
+                components(p, true, out);
+                components(p, false, out);
+                components(q, true, out);
+                components(q, false, out);
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    components(formula, true, &mut out);
+    ClosureProfile { components: out.len(), atoms: formula.atoms().len(), size: formula.size() }
 }
 
 /// Expands every node of one BFS level, striping the nodes across the worker
@@ -642,25 +654,6 @@ pub fn satisfiable_pure(formula: &Ltl) -> bool {
     pruned.node_alive(graph.initial())
 }
 
-/// [`satisfiable_pure`] under a construction budget; `None` when the tableau
-/// exceeds `limits` before the answer is known.  Shim over
-/// [`satisfiable_pure_budgeted`].
-#[allow(deprecated)]
-pub fn satisfiable_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
-    satisfiable_pure_bounded_with(formula, limits, Parallelism::Off)
-}
-
-/// [`satisfiable_pure_bounded`] with construction and pruning fanned across a
-/// worker pool.  Shim over [`satisfiable_pure_budgeted`].
-#[allow(deprecated)]
-pub fn satisfiable_pure_bounded_with(
-    formula: &Ltl,
-    limits: BuildLimits,
-    parallelism: Parallelism,
-) -> Option<bool> {
-    satisfiable_pure_budgeted(formula, &limits.into(), parallelism).ok()
-}
-
 /// [`satisfiable_pure`] under a [`ResourceBudget`], with construction and
 /// pruning fanned across a worker pool; the answer (including
 /// structural-cap `Err`s) is identical at every worker count.
@@ -678,25 +671,6 @@ pub fn satisfiable_pure_budgeted(
 /// Decides validity of `formula` in pure temporal logic.
 pub fn valid_pure(formula: &Ltl) -> bool {
     !satisfiable_pure(&formula.clone().not())
-}
-
-/// [`valid_pure`] under a construction budget; `None` when the tableau
-/// exceeds `limits` before the answer is known.  Shim over
-/// [`valid_pure_budgeted`].
-#[allow(deprecated)]
-pub fn valid_pure_bounded(formula: &Ltl, limits: BuildLimits) -> Option<bool> {
-    valid_pure_bounded_with(formula, limits, Parallelism::Off)
-}
-
-/// [`valid_pure_bounded`] with the tableau work fanned across a worker pool.
-/// Shim over [`valid_pure_budgeted`].
-#[allow(deprecated)]
-pub fn valid_pure_bounded_with(
-    formula: &Ltl,
-    limits: BuildLimits,
-    parallelism: Parallelism,
-) -> Option<bool> {
-    valid_pure_budgeted(formula, &limits.into(), parallelism).ok()
 }
 
 /// [`valid_pure`] under a [`ResourceBudget`], fanned across a worker pool;
@@ -820,13 +794,11 @@ mod tests {
             valid_pure_budgeted(&formula, &cancelled, Parallelism::Off).err(),
             Some(Exhaustion::Cancelled)
         );
-        // The deprecated shim gives the same yes/no answers as the budgeted path.
-        #[allow(deprecated)]
-        {
-            let limits = BuildLimits { max_nodes: 0, max_edges: usize::MAX };
-            assert!(TableauGraph::try_build(&formula, limits).is_none());
-            assert_eq!(valid_pure_bounded(&p().or(p().not()), BuildLimits::default()), Some(true));
-        }
+        // The budgeted validity entry settles a theorem under the default caps.
+        assert_eq!(
+            valid_pure_budgeted(&p().or(p().not()), &ResourceBudget::default(), Parallelism::Off),
+            Ok(true)
+        );
     }
 
     #[test]

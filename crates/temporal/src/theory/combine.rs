@@ -57,7 +57,7 @@ impl CombinedTheory {
             match &lit.atom {
                 Atom::Prop(_) => {}
                 Atom::Cmp { .. } if CombinedTheory::is_equality_atom(&lit.atom) => {
-                    equality.push(lit.clone())
+                    equality.push(lit.clone());
                 }
                 Atom::Cmp { .. } => linear.push(lit.clone()),
             }

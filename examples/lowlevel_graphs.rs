@@ -23,7 +23,7 @@ fn report(name: &str, expr: &LowExpr) {
     match satisfiable_graph(&graph) {
         GraphSat::FiniteModel(m) => println!("   satisfiable with finite model: {m}"),
         GraphSat::InfiniteModel(prefix) => {
-            println!("   satisfiable with an infinite model; prefix: {prefix}")
+            println!("   satisfiable with an infinite model; prefix: {prefix}");
         }
         GraphSat::Unsatisfiable => println!("   unsatisfiable"),
     }

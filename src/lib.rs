@@ -102,10 +102,10 @@
 //! * `for r in requests { session.check(r) }` → [`Session::check_many`]
 //!   (same reports, in order, cross-request parallel) or [`Session::submit`]
 //!   + [`Session::wait`] for incremental consumption;
-//! * `BuildLimits` / `ConditionLimits` / ad-hoc refutation caps →
-//!   one [`ResourceBudget`] ([`CheckRequest::with_budget`] or
-//!   [`Session::set_budget`]); the old types survive only as deprecated
-//!   shims over the budgeted entry points;
+//! * per-layer limit types (`BuildLimits` / `ConditionLimits`) and ad-hoc
+//!   refutation caps → one [`ResourceBudget`]
+//!   ([`CheckRequest::with_budget`] or [`Session::set_budget`]); the old
+//!   shim types were removed once all call sites migrated;
 //! * matching on `Verdict::Unknown` → `Verdict::Unknown { exhausted }`,
 //!   where `exhausted` names the budget resource that ran out
 //!   ([`Exhaustion`]), or is `None` outside the decidable fragment.
@@ -118,10 +118,16 @@
 //! | [`Backend::Explore`] (`.over_runs(…)` / `ilogic::systems::explore::explore_backend`) | conformance of **every** interleaving of a small model | exact for the enumerated runs; counterexample run on failure | #runs × trace-check | runs batched across the pool; lazy sources stream batch by batch | `max_enumeration` over runs; deadline/cancel |
 //! | [`Backend::Bounded`] (`.bounded(props, n)`) | validity evidence / refutation of a schema | counterexamples are genuine; `ValidUpTo(n)` is evidence, not proof | exponential in `n` and `props` — keep both small | sharded sweep: `n` workers cover interleaved slices with early-exit cancellation | `max_enumeration` over computations; deadline/cancel |
 //! | [`Backend::Decide`] (`.decide()`) | theoremhood in the LTL-translatable fragment | exact (tableau decision); `Unknown { exhausted }` outside the fragment or under budget | tableau is exponential worst-case, fast on the report's idioms | level-parallel tableau build, sharded prune analyses, sharded refutation sweep | `max_nodes`/`max_edges` (tableau), `max_enumeration` (refutation); deadline/cancel |
+//! | [`Backend::Auto`] (`.auto()`) | "pick the right engine for me" | the pre-flight cost estimator routes to `Decide` or `Bounded`; the report names the routed backend and carries an `R001` routing diagnostic | the routed engine's cost plus microseconds of analysis | the routed engine's shape | the routed engine's caps; routing adjusts `max_implicants` for predicted condition blowups |
 //!
 //! Rule of thumb: simulator and explorer traces → `Trace`/`Explore`; "is this
-//! schema a theorem?" → `Decide` first and `Bounded` as the refutation
-//! workhorse; the catalogue and the test suite use `Bounded` throughout.
+//! schema a theorem?" → `Auto`, or hand-pick `Decide` first and `Bounded` as
+//! the refutation workhorse; the catalogue and the test suite use `Bounded`
+//! throughout.  Every check also runs the pre-flight analysis pass
+//! ([`ilogic_core::analysis`]): lints and a cost estimate ride in each
+//! report, and [`CheckRequest::with_preflight`] rejects predicted-over-budget
+//! jobs at submit time with a `C002` diagnostic instead of occupying a
+//! worker.
 //! Whatever the backend, running out of any [`ResourceBudget`] resource
 //! yields `Verdict::Unknown { exhausted: Some(…) }` — a budget can withhold
 //! an answer but never flip one.
@@ -170,7 +176,6 @@
 //!
 //! ---
 #![doc = include_str!("../ARCHITECTURE.md")]
-#![forbid(unsafe_code)]
 
 pub use ilogic_core as core;
 pub use ilogic_lowlevel as lowlevel;

@@ -1,0 +1,69 @@
+//! The diagnostic-code documentation contract: every code the analysis pass
+//! can emit must be documented in ARCHITECTURE.md's diagnostic table, with
+//! the severity the code actually carries.  CI runs this as its `lint-audit`
+//! step — an undocumented code is a wire-format change nobody wrote down.
+
+use ilogic::core::analysis::{DiagnosticCode, Severity};
+
+const ARCHITECTURE: &str = include_str!("../ARCHITECTURE.md");
+
+/// The table row documenting a code, e.g. ``| `L001` | warning | … |``.
+fn documented_row(code: DiagnosticCode) -> Option<&'static str> {
+    ARCHITECTURE.lines().find(|line| {
+        let mut cells = line.split('|').map(str::trim);
+        cells.nth(1) == Some(&format!("`{}`", code.as_str()))
+    })
+}
+
+#[test]
+fn every_diagnostic_code_is_documented_in_the_architecture_guide() {
+    for code in DiagnosticCode::ALL {
+        assert!(
+            documented_row(code).is_some(),
+            "diagnostic code {code} ({}) has no row in ARCHITECTURE.md's table",
+            code.title()
+        );
+    }
+}
+
+#[test]
+fn documented_severities_match_the_emitted_ones() {
+    for code in DiagnosticCode::ALL {
+        let row = documented_row(code).expect("documented (previous test)");
+        let severity_cell = row.split('|').map(str::trim).nth(2).unwrap_or_default();
+        let expected = match code.severity() {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            // Errors are bolded in the table to stand out.
+            Severity::Error => "**error**",
+        };
+        assert_eq!(
+            severity_cell,
+            expected,
+            "ARCHITECTURE.md documents {code} as `{severity_cell}`, but it is emitted as `{}`",
+            code.severity()
+        );
+    }
+}
+
+#[test]
+fn code_table_has_no_stale_rows() {
+    // Rows whose first cell looks like a diagnostic code must correspond to
+    // a real variant — a deleted code must take its documentation with it.
+    for line in ARCHITECTURE.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some(cell) = cells.nth(1) else { continue };
+        let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        let looks_like_code = name.len() == 4
+            && name.starts_with(['L', 'C', 'R'])
+            && name[1..].chars().all(|c| c.is_ascii_digit());
+        if looks_like_code {
+            assert!(
+                DiagnosticCode::parse(name).is_some(),
+                "ARCHITECTURE.md documents `{name}`, which no DiagnosticCode variant emits"
+            );
+        }
+    }
+}
