@@ -1,37 +1,45 @@
-//! Experiment `PR5`: the interned-implicant condition store vs the PR 3
-//! `BTreeSet` baseline on the Appendix B §5.3 condition fixpoint, and the
-//! evaluated (Boolean-projected) fixpoint on the measured `[ => Q ] []P`
-//! blowup family.
+//! Experiment `PR7`: the semi-naive worklist condition fixpoint vs the PR 5
+//! full-sweep (Jacobi) discipline — plus the PR 3 `BTreeSet` baseline for
+//! context — on the Appendix B §5.3 condition fixpoint, and the evaluated
+//! (Boolean-projected) worklist on the measured `[ => Q ] []P` blowup family.
 //!
-//! Three claims are measured (and asserted before timing):
+//! Four claims are measured (and asserted before timing):
 //!
 //! 1. On tractable conditions (the §6 measurement table, eventuality chains,
-//!    small response ladders) the interned store computes the *same*
-//!    condition as the baseline, faster.
-//! 2. On the prefix-invariance family the explicit condition is intractable
-//!    under both representations, but both trip their budgets fast — the
-//!    store charging distinct implicants, the baseline cutting on its
-//!    pre-absorption estimate.
-//! 3. The decision itself (`AlgorithmB::decide_budgeted`) now settles the
-//!    prefix-invariance formula — `NotValid` via the evaluated fixpoint in
-//!    milliseconds — where every earlier PR answered `Unknown` at every
-//!    budget from 10^4 to 10^7 implicants.
+//!    response ladders) the worklist engine computes the *same* condition as
+//!    the full sweep and the baseline — while evaluating strictly fewer
+//!    equations (the skip rate is recorded per formula).
+//! 2. The Boolean-projected worklist — the per-call path of an evaluated
+//!    decision — beats the PR 5 Boolean sweep by amortizing the per-tableau
+//!    plan (SCCs, reverse-dependency CSR, fulfillment tables) the anchor
+//!    re-derives on every call, at the identical answer.
+//! 3. On the prefix-invariance family the explicit condition is intractable
+//!    under every discipline, but all trip their budgets fast and identically
+//!    (same reason, same distinct-implicant charge for the two interned
+//!    paths).
+//! 4. The decision itself (`AlgorithmB::decide_budgeted`) refutes the
+//!    prefix-invariance formula in milliseconds via the Boolean worklist.
 //!
-//! The bench doubles as the repository's first automated performance gate:
-//! `main` asserts generous wall-clock ceilings on the headline measurements
-//! and exits non-zero past them, and CI's `bench-smoke` job runs it on every
-//! push (see `.github/workflows/ci.yml`).
+//! The bench doubles as an automated performance gate: `main` asserts
+//! generous wall-clock ceilings on the headline measurements, the
+//! skip-rate regression guard — `equations_skipped` must be strictly
+//! positive on ladder3, or the engine has silently fallen back to full
+//! sweeps — and the evaluated-path speedup floor (≥ 1.5x on at least two of
+//! R3/R4/R5/ladder3), and exits non-zero past them.  CI's `bench-smoke` job
+//! runs it on every push (see `.github/workflows/ci.yml`).
 //!
-//! Results are written to `BENCH_PR5.json` at the workspace root.
+//! Results are written to `BENCH_PR7.json` at the workspace root.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use criterion::{BenchResult, Criterion};
+use criterion::{BatchSize, BenchResult, Criterion};
 use ilogic_core::dsl::*;
 use ilogic_core::ltl_translate::to_ltl;
 use ilogic_temporal::algorithm_b::{
-    condition_of_graph_baseline, condition_of_graph_budgeted, AlgorithmB, Decision,
+    condition_of_graph_baseline, condition_of_graph_budgeted_stats,
+    condition_of_graph_full_sweep_stats, evaluate_condition_at_budgeted_stats,
+    evaluate_condition_at_full_sweep_stats, AlgorithmB, Decision,
 };
 use ilogic_temporal::patterns;
 use ilogic_temporal::pool::{Parallelism, ResourceBudget};
@@ -40,13 +48,21 @@ use ilogic_temporal::tableau::TableauGraph;
 use ilogic_temporal::theory::PropositionalTheory;
 
 /// Generous wall-clock ceilings for the CI perf gate: an order of magnitude
-/// above the measured numbers on the 1-thread container (decide ~60 ms, trip
-/// ~300 ms release), so only a genuine regression — not scheduler noise —
+/// above the numbers measured on the 1-thread container (decide ~60 ms, trip
+/// ~250 ms release), so only a genuine regression — not scheduler noise —
 /// fails the job.
 const DECIDE_CEILING: Duration = Duration::from_secs(10);
 const TRIP_CEILING: Duration = Duration::from_secs(60);
 
-/// The tractable condition computations both representations complete.
+/// The evaluated-path speedup floor: the worklist engine's Boolean
+/// projection must beat the PR 5 sweep by at least this factor on at least
+/// [`EVAL_SPEEDUP_MIN_FORMULAS`] of the named formulas (measured margins sit
+/// near 2x, so only a real regression — not noise — crosses the floor).
+const EVAL_SPEEDUP_FLOOR: f64 = 1.5;
+const EVAL_SPEEDUP_MIN_FORMULAS: usize = 2;
+const EVAL_SPEEDUP_CANDIDATES: [&str; 4] = ["R3", "R4", "R5", "ladder3"];
+
+/// The tractable condition computations every discipline completes.
 fn tractable_formulas() -> Vec<(String, Ltl)> {
     let mut formulas: Vec<(String, Ltl)> =
         patterns::appendix_b_table().into_iter().map(|(n, f)| (n.to_string(), f)).collect();
@@ -70,46 +86,137 @@ fn build_graph(formula: &Ltl) -> TableauGraph {
     .expect("the measured graphs fit the default build caps")
 }
 
-fn bench_condition_fixpoint(c: &mut Criterion) {
-    // The tractable comparison runs unbudgeted: both representations
-    // complete these conditions, and an unbounded budget keeps the baseline's
+/// Per-formula work accounting of the two interned disciplines, captured
+/// once before timing and recorded alongside the wall-clock rows.
+struct WorkRow {
+    name: String,
+    evaluated_delta: u64,
+    evaluated_full: u64,
+    skipped_delta: u64,
+    rounds_delta: u64,
+    rounds_full: u64,
+    /// Boolean-projected worklist counters at the measured assignment.
+    eval_bool_delta: u64,
+    eval_bool_full: u64,
+    eval_bool_skipped: u64,
+}
+
+fn bench_condition_fixpoint(c: &mut Criterion) -> Vec<WorkRow> {
+    // The tractable comparison runs unbudgeted: every discipline completes
+    // these conditions, and an unbounded budget keeps the baseline's
     // pessimistic estimate cut (which trips on ladder3 at the default cap
     // even though the computation finishes in milliseconds) out of the
     // timing.
     let unbounded = ResourceBudget::unbounded();
     let budget = ResourceBudget::default();
 
-    // Correctness before timing: identical conditions on every tractable
-    // formula.
+    // Correctness before timing: identical conditions (and identical interned
+    // charges for the two store disciplines) on every tractable formula, and
+    // an identical Boolean at the measured evaluated-path assignment.
+    let mut work = Vec::new();
     for (name, formula) in tractable_formulas() {
-        let interned =
-            condition_of_graph_budgeted(build_graph(&formula), &unbounded, Parallelism::Off)
-                .unwrap_or_else(|cut| panic!("{name}: interned fixpoint tripped {cut}"));
-        let baseline =
-            condition_of_graph_baseline(build_graph(&formula), &unbounded, Parallelism::Off)
-                .unwrap_or_else(|cut| panic!("{name}: baseline fixpoint tripped {cut}"));
-        assert_eq!(interned.dnf(), baseline.dnf(), "{name}: representations disagree");
+        let graph = build_graph(&formula);
+        let (delta, delta_stats) =
+            condition_of_graph_budgeted_stats(graph.clone(), &unbounded, Parallelism::Off);
+        let (full, full_stats) =
+            condition_of_graph_full_sweep_stats(graph.clone(), &unbounded, Parallelism::Off);
+        let delta = delta.unwrap_or_else(|cut| panic!("{name}: worklist fixpoint tripped {cut}"));
+        let full = full.unwrap_or_else(|cut| panic!("{name}: full sweep tripped {cut}"));
+        let atoms_false = vec![false; graph.edge_count()];
+        let (eval_delta, eval_delta_stats) =
+            evaluate_condition_at_budgeted_stats(&graph, &atoms_false, &unbounded);
+        let (eval_full, eval_full_stats) =
+            evaluate_condition_at_full_sweep_stats(&graph, &atoms_false, &unbounded);
+        assert_eq!(
+            eval_delta, eval_full,
+            "{name}: the Boolean-projected worklist and sweep disagree"
+        );
+        let baseline = condition_of_graph_baseline(graph, &unbounded, Parallelism::Off)
+            .unwrap_or_else(|cut| panic!("{name}: baseline fixpoint tripped {cut}"));
+        assert_eq!(delta.dnf(), full.dnf(), "{name}: worklist and full sweep disagree");
+        assert_eq!(delta.dnf(), baseline.dnf(), "{name}: worklist and baseline disagree");
+        assert_eq!(
+            delta_stats.interned_implicants, full_stats.interned_implicants,
+            "{name}: implicant charges diverge between the disciplines"
+        );
+        work.push(WorkRow {
+            name,
+            evaluated_delta: delta_stats.equations_evaluated,
+            evaluated_full: full_stats.equations_evaluated,
+            skipped_delta: delta_stats.equations_skipped,
+            rounds_delta: delta_stats.rounds,
+            rounds_full: full_stats.rounds,
+            eval_bool_delta: eval_delta_stats.equations_evaluated,
+            eval_bool_full: eval_full_stats.equations_evaluated,
+            eval_bool_skipped: eval_delta_stats.equations_skipped,
+        });
     }
+    // The skip-rate regression guard: ladder3 has multi-node SCCs whose
+    // convergence tails the worklist must skip.  Zero skips means the engine
+    // silently degenerated into full sweeps — fail the bench (and hence the
+    // CI bench-smoke job) before any timing.
+    let ladder3 = work.iter().find(|row| row.name == "ladder3").expect("ladder3 is measured");
+    assert!(
+        ladder3.skipped_delta > 0,
+        "regression guard: equations_skipped is zero on ladder3 — the worklist engine is \
+         not skipping ({} evaluated over {} rounds)",
+        ladder3.evaluated_delta,
+        ladder3.rounds_delta,
+    );
 
+    // Timing: the §5.3 fixpoint only — the graph is pre-built and cloned in
+    // the untimed setup half of each iteration, so the rows compare the
+    // disciplines, not the allocator.
     let mut group = c.benchmark_group("condition");
     group.sample_size(10);
     group.measurement_time(Duration::from_millis(1200));
     group.warm_up_time(Duration::from_millis(200));
     for (name, formula) in tractable_formulas() {
-        group.bench_function(format!("store/{name}"), |b| {
-            b.iter(|| {
-                condition_of_graph_budgeted(build_graph(&formula), &unbounded, Parallelism::Off)
-            });
+        let graph = build_graph(&formula);
+        group.bench_function(format!("delta/{name}"), |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |g| condition_of_graph_budgeted_stats(g, &unbounded, Parallelism::Off),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(format!("full_sweep/{name}"), |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |g| condition_of_graph_full_sweep_stats(g, &unbounded, Parallelism::Off),
+                BatchSize::LargeInput,
+            );
         });
         group.bench_function(format!("baseline/{name}"), |b| {
-            b.iter(|| {
-                condition_of_graph_baseline(build_graph(&formula), &unbounded, Parallelism::Off)
-            });
+            b.iter_batched(
+                || graph.clone(),
+                |g| condition_of_graph_baseline(g, &unbounded, Parallelism::Off),
+                BatchSize::LargeInput,
+            );
         });
     }
     group.finish();
 
-    // The blowup family: budget trips (both representations) and the
+    // Timing: the Boolean-projected fixpoint at a fixed edge assignment over
+    // a pre-built tableau — the per-call shape of an evaluated decision,
+    // which runs this loop once per candidate assignment over one graph.
+    let mut group = c.benchmark_group("evaluated");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(400));
+    group.warm_up_time(Duration::from_millis(100));
+    for (name, formula) in tractable_formulas() {
+        let graph = build_graph(&formula);
+        let atoms_false = vec![false; graph.edge_count()];
+        group.bench_function(format!("delta/{name}"), |b| {
+            b.iter(|| evaluate_condition_at_budgeted_stats(&graph, &atoms_false, &unbounded));
+        });
+        group.bench_function(format!("full_sweep/{name}"), |b| {
+            b.iter(|| evaluate_condition_at_full_sweep_stats(&graph, &atoms_false, &unbounded));
+        });
+    }
+    group.finish();
+
+    // The blowup family: budget trips (both interned disciplines) and the
     // evaluated decision.
     let ltl = prefix_invariance_ltl();
     let theory = PropositionalTheory::new();
@@ -119,9 +226,19 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
         Ok(Decision::NotValid),
         "the evaluated fixpoint must refute the prefix-invariance formula"
     );
-    assert!(
-        condition_of_graph_budgeted(build_graph(&ltl), &budget, Parallelism::Off).is_err(),
-        "the explicit condition must trip the default distinct-implicant budget"
+    let blowup_graph = build_graph(&ltl);
+    let (delta_trip, delta_trip_stats) =
+        condition_of_graph_budgeted_stats(blowup_graph.clone(), &budget, Parallelism::Off);
+    let (full_trip, full_trip_stats) =
+        condition_of_graph_full_sweep_stats(blowup_graph.clone(), &budget, Parallelism::Off);
+    assert_eq!(
+        delta_trip.err(),
+        full_trip.err(),
+        "both disciplines must trip the default distinct-implicant budget for the same reason"
+    );
+    assert_eq!(
+        delta_trip_stats.interned_implicants, full_trip_stats.interned_implicants,
+        "the trip charge must be identical across the disciplines"
     );
 
     let mut group = c.benchmark_group("prefix_invariance");
@@ -131,15 +248,19 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
     group.bench_function("decide_evaluated", |b| {
         b.iter(|| algorithm.decide_budgeted(&ltl, &budget));
     });
-    group.bench_function("condition_trip/store", |b| {
-        b.iter(|| {
-            condition_of_graph_budgeted(build_graph(&ltl), &budget, Parallelism::Off).is_err()
-        });
+    group.bench_function("condition_trip/delta", |b| {
+        b.iter_batched(
+            || blowup_graph.clone(),
+            |g| condition_of_graph_budgeted_stats(g, &budget, Parallelism::Off).0.is_err(),
+            BatchSize::LargeInput,
+        );
     });
-    group.bench_function("condition_trip/baseline", |b| {
-        b.iter(|| {
-            condition_of_graph_baseline(build_graph(&ltl), &budget, Parallelism::Off).is_err()
-        });
+    group.bench_function("condition_trip/full_sweep", |b| {
+        b.iter_batched(
+            || blowup_graph.clone(),
+            |g| condition_of_graph_full_sweep_stats(g, &budget, Parallelism::Off).0.is_err(),
+            BatchSize::LargeInput,
+        );
     });
     group.finish();
 
@@ -160,6 +281,7 @@ fn bench_condition_fixpoint(c: &mut Criterion) {
         });
     });
     group.finish();
+    work
 }
 
 fn mean_of(results: &[BenchResult], name: &str) -> f64 {
@@ -170,63 +292,97 @@ fn mean_of(results: &[BenchResult], name: &str) -> f64 {
         .mean_ns
 }
 
-fn record(results: &[BenchResult]) {
+fn record(results: &[BenchResult], work: &[WorkRow]) {
     let mut rows = Vec::new();
-    let mut total_store = 0.0;
-    let mut total_baseline = 0.0;
-    for (name, _) in tractable_formulas() {
-        let store = mean_of(results, &format!("condition/store/{name}"));
+    let mut eval_rows = Vec::new();
+    let mut total_delta = 0.0;
+    let mut total_full = 0.0;
+    let mut eval_floor_hits = 0usize;
+    for row in work {
+        let name = &row.name;
+        let delta = mean_of(results, &format!("condition/delta/{name}"));
+        let full = mean_of(results, &format!("condition/full_sweep/{name}"));
         let baseline = mean_of(results, &format!("condition/baseline/{name}"));
-        total_store += store;
-        total_baseline += baseline;
+        total_delta += delta;
+        total_full += full;
+        let skip_rate =
+            row.skipped_delta as f64 / (row.evaluated_delta + row.skipped_delta).max(1) as f64;
         rows.push(format!(
-            "    {{\"formula\": \"{name}\", \"baseline_btreeset_ns\": {baseline:.0}, \
-             \"interned_store_ns\": {store:.0}, \"speedup\": {:.2}}}",
-            baseline / store
+            "    {{\"formula\": \"{name}\", \"full_sweep_ns\": {full:.0}, \
+             \"delta_ns\": {delta:.0}, \"speedup_delta_vs_full_sweep\": {:.2}, \
+             \"baseline_btreeset_ns\": {baseline:.0}, \
+             \"equations_evaluated_delta\": {}, \"equations_evaluated_full_sweep\": {}, \
+             \"equations_skipped_delta\": {}, \"skip_rate\": {skip_rate:.3}, \
+             \"rounds_delta\": {}, \"rounds_full_sweep\": {}}}",
+            full / delta,
+            row.evaluated_delta,
+            row.evaluated_full,
+            row.skipped_delta,
+            row.rounds_delta,
+            row.rounds_full,
+        ));
+        let eval_delta = mean_of(results, &format!("evaluated/delta/{name}"));
+        let eval_full = mean_of(results, &format!("evaluated/full_sweep/{name}"));
+        let eval_speedup = eval_full / eval_delta;
+        if EVAL_SPEEDUP_CANDIDATES.contains(&name.as_str()) && eval_speedup >= EVAL_SPEEDUP_FLOOR {
+            eval_floor_hits += 1;
+        }
+        eval_rows.push(format!(
+            "    {{\"formula\": \"{name}\", \"full_sweep_ns\": {eval_full:.0}, \
+             \"delta_ns\": {eval_delta:.0}, \"speedup_delta_vs_full_sweep\": {eval_speedup:.2}, \
+             \"equations_evaluated_delta\": {}, \"equations_evaluated_full_sweep\": {}, \
+             \"equations_skipped_delta\": {}}}",
+            row.eval_bool_delta, row.eval_bool_full, row.eval_bool_skipped,
         ));
     }
     let decide = mean_of(results, "prefix_invariance/decide_evaluated");
-    let trip_store = mean_of(results, "prefix_invariance/condition_trip/store");
-    let trip_baseline = mean_of(results, "prefix_invariance/condition_trip/baseline");
+    let trip_delta = mean_of(results, "prefix_invariance/condition_trip/delta");
+    let trip_full = mean_of(results, "prefix_invariance/condition_trip/full_sweep");
     let session_decide = mean_of(results, "session/decide/prefix_invariance");
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
-        "{{\n  \"experiment\": \"PR5 interned-implicant condition store (+ evaluated fixpoint \
-         decision) vs the PR3 BTreeSet baseline\",\n  \
+        "{{\n  \"experiment\": \"PR7 semi-naive worklist condition fixpoint vs the PR5 \
+         full-sweep (Jacobi) discipline, PR3 BTreeSet baseline for context\",\n  \
          \"hardware_threads\": {hw},\n  \"unit\": \"ns\",\n  \
-         \"note\": \"conditions asserted identical across representations before timing. \
-         condition rows: full Algorithm B condition fixpoint (tableau build included), \
-         unbudgeted — both representations complete these. \
-         prefix_invariance rows: the measured [ => Q ] []P blowup — \
-         decide_evaluated is the Boolean-projected fixpoint that now refutes in milliseconds \
-         the formula every budget 10^4..10^7 previously answered Unknown on (and whose \
-         unbudgeted fixpoint ran for hours); its explicit condition stays intractable (minimal \
-         DNF width grows past 15000 with distinct-implicant charges past 10^6), so both \
-         condition_trip rows time the honest budget trip, the store charging distinct retained \
-         implicants and the baseline cutting on its pre-absorption product estimate. \
-         session_decide is the service path end to end: budgeted condition attempt, evaluated \
-         decision, concrete countermodel\",\n  \
+         \"note\": \"conditions asserted identical across all three disciplines (and interned \
+         charges identical across the two store disciplines) before timing. condition rows: \
+         the Appendix B \\u00a75.3 condition fixpoint only, graph pre-built and cloned in the \
+         untimed setup half of each iteration, unbudgeted, 1 worker — delta re-evaluates only \
+         equations whose inputs changed (skip_rate = fraction of a full sweep's evaluations \
+         avoided); its gains are bounded by the bit-identity contract, which makes every \
+         interning and charge identical across disciplines, leaving only replay lookups and \
+         per-call derivations to skip. evaluated_fixpoint rows: the Boolean-projected fixpoint \
+         at a fixed all-false edge assignment over a pre-built tableau — the per-call shape of \
+         an evaluated decision; delta amortizes the per-tableau plan (SCCs, reverse-dependency \
+         CSR, fulfillment tables) the PR5 sweep re-derives on every call, which is where the \
+         headline speedup lives. prefix_invariance rows: the measured [ => Q ] []P blowup — \
+         decide_evaluated is the Boolean-projected worklist that refutes in milliseconds the \
+         formula every budget 10^4..10^7 previously answered Unknown on; its explicit \
+         condition stays intractable, so both condition_trip rows time the honest budget trip \
+         at the default cap (identical charge and reason across disciplines). session_decide \
+         is the service path end to end\",\n  \
          \"condition_fixpoint\": [\n{}\n  ],\n  \
-         \"condition_totals\": {{\"baseline_btreeset_ns\": {total_baseline:.0}, \
-         \"interned_store_ns\": {total_store:.0}, \"speedup\": {:.2}}},\n  \
+         \"condition_totals\": {{\"full_sweep_ns\": {total_full:.0}, \
+         \"delta_ns\": {total_delta:.0}, \"speedup_delta_vs_full_sweep\": {:.2}}},\n  \
+         \"evaluated_fixpoint\": [\n{}\n  ],\n  \
          \"prefix_invariance\": {{\n    \
          \"decide_evaluated_ns\": {decide:.0},\n    \
-         \"decide_before_this_pr\": \"Unknown (budget trip) at every implicant budget \
-         10^4..10^7; hangs unbudgeted\",\n    \
-         \"condition_trip_store_ns\": {trip_store:.0},\n    \
-         \"condition_trip_baseline_ns\": {trip_baseline:.0},\n    \
+         \"condition_trip_delta_ns\": {trip_delta:.0},\n    \
+         \"condition_trip_full_sweep_ns\": {trip_full:.0},\n    \
          \"session_decide_ns\": {session_decide:.0}\n  }}\n}}\n",
         rows.join(",\n"),
-        total_baseline / total_store,
+        total_full / total_delta,
+        eval_rows.join(",\n"),
     );
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_PR5.json"].iter().collect();
-    std::fs::write(&path, &json).expect("write BENCH_PR5.json");
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_PR7.json"].iter().collect();
+    std::fs::write(&path, &json).expect("write BENCH_PR7.json");
     println!("\nrecorded {}", path.display());
 
     // The perf gate: generous ceilings on the headline numbers, so CI fails
-    // on a genuine regression of the decision or of the budget-trip path.
+    // on a genuine regression of the decision or of the budget-trip path —
+    // plus the evaluated-path speedup floor.
     let decide_time = Duration::from_nanos(decide as u64);
-    let trip_time = Duration::from_nanos(trip_store as u64);
+    let trip_time = Duration::from_nanos(trip_delta as u64);
     assert!(
         decide_time < DECIDE_CEILING,
         "perf gate: prefix-invariance decide took {decide_time:?} (ceiling {DECIDE_CEILING:?})"
@@ -236,17 +392,24 @@ fn record(results: &[BenchResult]) {
         "perf gate: prefix-invariance condition budget trip took {trip_time:?} \
          (ceiling {TRIP_CEILING:?})"
     );
+    assert!(
+        eval_floor_hits >= EVAL_SPEEDUP_MIN_FORMULAS,
+        "perf gate: the evaluated worklist beat the PR5 sweep {EVAL_SPEEDUP_FLOOR}x on only \
+         {eval_floor_hits} of {EVAL_SPEEDUP_CANDIDATES:?} (need {EVAL_SPEEDUP_MIN_FORMULAS})"
+    );
     println!(
         "perf gate: decide {decide_time:?} < {DECIDE_CEILING:?}, trip {trip_time:?} < \
-         {TRIP_CEILING:?} — ok"
+         {TRIP_CEILING:?}, evaluated ≥{EVAL_SPEEDUP_FLOOR}x on {eval_floor_hits}/{} named \
+         formulas — ok",
+        EVAL_SPEEDUP_CANDIDATES.len()
     );
 }
 
 // `criterion_group!`/`criterion_main!` are intentionally not used: `main`
-// post-processes the results into BENCH_PR5.json and enforces the perf-gate
-// ceilings.
+// post-processes the results into BENCH_PR7.json and enforces the perf-gate
+// ceilings plus the ladder3 skip-rate regression guard.
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
-    bench_condition_fixpoint(&mut criterion);
-    record(&criterion.take_results());
+    let work = bench_condition_fixpoint(&mut criterion);
+    record(&criterion.take_results(), &work);
 }

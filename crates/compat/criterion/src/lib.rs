@@ -209,6 +209,40 @@ impl Bencher {
             self.total_iters += self.iters_per_sample;
         }
     }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding the setup
+    /// cost from the timing — the real crate's `iter_batched`.  The shim
+    /// regenerates the input for every call whatever the [`BatchSize`] hint.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        if !self.warm_up {
+            self.samples.push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+            self.total_iters += self.iters_per_sample;
+        }
+    }
+}
+
+/// How many inputs to prepare per batch, mirroring the real crate.  The shim
+/// always prepares one input per routine call; the hint only exists so bench
+/// code written against the real API compiles unchanged.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: the real crate batches many per allocation.
+    SmallInput,
+    /// Large inputs: the real crate batches few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
 }
 
 fn run_bench(

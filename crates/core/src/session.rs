@@ -422,8 +422,11 @@ pub struct CheckStats {
     pub session_memo: MemoStats,
     /// Condition-store counters of this check's `Decide` run — distinct
     /// implicants interned, product-memo hits/misses, the widest condition
-    /// DNF — all zero for the other backends (and for `Decide` requests whose
-    /// formula never reaches the condition fixpoint).
+    /// DNF, plus the worklist-fixpoint tallies (`rounds`,
+    /// `equations_evaluated`, `equations_skipped`; the evaluated Boolean
+    /// modes report only the latter trio) — all zero for the other backends
+    /// (and for `Decide` requests whose formula never reaches the condition
+    /// fixpoint).
     pub condition: ConditionStats,
     /// Condition-store counters accumulated by the session across every
     /// request so far, this one included — see
@@ -465,6 +468,18 @@ impl fmt::Display for CheckStats {
                 self.condition.interned_implicants,
                 self.condition.memo_hits,
                 self.condition.peak_dnf_width,
+            )?;
+        }
+        if self.condition.rounds > 0 {
+            // The worklist-fixpoint counters: present whenever the §5.3
+            // iteration ran at all — including the evaluated (Boolean) modes,
+            // which intern nothing but still report their rounds.
+            write!(
+                f,
+                ", {} fixpoint rounds ({} equations evaluated, {} skipped)",
+                self.condition.rounds,
+                self.condition.equations_evaluated,
+                self.condition.equations_skipped,
             )?;
         }
         if let Some(cut) = self.exhausted {
@@ -820,9 +835,27 @@ fn condition_to_json(condition: ConditionStats) -> Json {
         .field("memo_hits", Json::Int(condition.memo_hits.min(i64::MAX as u64) as i64))
         .field("memo_misses", Json::Int(condition.memo_misses.min(i64::MAX as u64) as i64))
         .field("peak_dnf_width", Json::Int(condition.peak_dnf_width as i64))
+        .field("rounds", Json::Int(condition.rounds.min(i64::MAX as u64) as i64))
+        .field(
+            "equations_evaluated",
+            Json::Int(condition.equations_evaluated.min(i64::MAX as u64) as i64),
+        )
+        .field(
+            "equations_skipped",
+            Json::Int(condition.equations_skipped.min(i64::MAX as u64) as i64),
+        )
 }
 
 fn condition_from_json(value: &Json) -> Result<ConditionStats, JsonError> {
+    // The worklist counters (`rounds`/`equations_*`) were added in PR 7:
+    // tolerate their absence so pre-PR7 reports still load (defaulting the
+    // counters to zero, like the whole `condition` object pre-PR5).
+    let worklist_count = |name: &'static str| -> Result<u64, JsonError> {
+        match value.get(name) {
+            Some(found) => uint_field(found, name),
+            None => Ok(0),
+        }
+    };
     Ok(ConditionStats {
         interned_implicants: usize_of(
             value.require("interned_implicants")?,
@@ -832,6 +865,9 @@ fn condition_from_json(value: &Json) -> Result<ConditionStats, JsonError> {
         memo_hits: uint_field(value.require("memo_hits")?, "memo_hits")?,
         memo_misses: uint_field(value.require("memo_misses")?, "memo_misses")?,
         peak_dnf_width: usize_of(value.require("peak_dnf_width")?, "peak_dnf_width")?,
+        rounds: worklist_count("rounds")?,
+        equations_evaluated: worklist_count("equations_evaluated")?,
+        equations_skipped: worklist_count("equations_skipped")?,
     })
 }
 
@@ -1529,9 +1565,9 @@ pub(crate) fn execute<A: ArenaRead + Sync>(arena: &A, job: &PreparedJob) -> JobO
 /// richer.
 ///
 /// Under parallelism, every phase fans across the worker pool: the tableau
-/// is built level-parallel, the condition fixpoint batches its frozen-phase
-/// sweeps, and the refutation search is the same sharded lowest-index-wins
-/// sweep the `Bounded` backend uses.  Verdicts — `Holds`, the concrete
+/// is built level-parallel, the condition fixpoint batches each worklist
+/// round's frozen phase, and the refutation search is the same sharded
+/// lowest-index-wins sweep the `Bounded` backend uses.  Verdicts — `Holds`, the concrete
 /// counterexample, and `Unknown`-under-budget alike — are bit-identical at
 /// every worker count (deadline/cancellation cuts aside).
 fn decide<A: ArenaRead + Sync>(
@@ -1576,12 +1612,17 @@ fn decide<A: ArenaRead + Sync>(
                     }
                 }
                 // Phase 2 — the evaluated fixpoint
-                // (`AlgorithmB::decide_from_graph_budgeted`): decides validity by
-                // running the §5.3 fixpoint over plain Booleans, so it is exact
-                // and fast on exactly the formulas whose explicit condition blows
-                // the budget.
+                // (`AlgorithmB::decide_from_graph_budgeted_stats`): decides
+                // validity by running the §5.3 worklist fixpoint over plain
+                // Booleans, so it is exact and fast on exactly the formulas
+                // whose explicit condition blows the budget.  Its rounds and
+                // evaluated/skipped tallies merge into the report's condition
+                // statistics (its interning counters are zero by nature).
                 decided.unwrap_or_else(|| {
-                    algorithm.decide_from_graph_budgeted(&ltl, &graph, &job.budget)
+                    let (decision, stats) =
+                        algorithm.decide_from_graph_budgeted_stats(&ltl, &graph, &job.budget);
+                    condition_stats.merge(stats);
+                    decision
                 })
             }
         };
@@ -2164,12 +2205,21 @@ mod tests {
         let bounded = session.check(CheckRequest::new(prop("P")).bounded(["P"], 2));
         assert_eq!(bounded.stats.condition, ConditionStats::default());
         // An unbounded budget skips the explicit artifact — the evaluated
-        // fixpoint decides without interning a single implicant.
+        // fixpoint decides without interning a single implicant, but still
+        // reports the rounds and evaluations of its Boolean worklist.
         let unbounded = Session::new()
             .with_budget(ResourceBudget::unbounded())
             .check(CheckRequest::new(refutable).decide());
         assert!(matches!(unbounded.verdict, Verdict::Counterexample(_)));
-        assert_eq!(unbounded.stats.condition, ConditionStats::default());
+        assert_eq!(unbounded.stats.condition.interned_implicants, 0);
+        assert_eq!(unbounded.stats.condition.interned_dnfs, 0);
+        assert_eq!(unbounded.stats.condition.peak_dnf_width, 0);
+        assert!(
+            unbounded.stats.condition.rounds > 0
+                && unbounded.stats.condition.equations_evaluated > 0,
+            "the evaluated fixpoint must report its worklist rounds, got {:?}",
+            unbounded.stats.condition
+        );
     }
 
     #[test]

@@ -43,13 +43,21 @@
 //!   `fail` values are hash-consed [`DnfId`]s, products are memoized, and
 //!   the shared atomic [`crate::dnf::DnfBudget`] cell charges *distinct*
 //!   implicants, so heavily-absorbing computations fit budgets the old
-//!   pre-absorption estimate tripped on.  Each Jacobi sweep first replays
-//!   every equation against a frozen store view batched across the
-//!   [`crate::pool`] workers and then computes the remainder sequentially in
-//!   task order — answers, `Err`-under-budget included, are identical at
-//!   every worker count.  The PR 3 `BTreeSet` fixpoint survives as
-//!   [`condition_of_graph_baseline`], the differential baseline for tests
-//!   and the `condition_fixpoint` bench.
+//!   pre-absorption estimate tripped on.  The iteration itself is
+//!   *semi-naive*: a reverse-dependency graph built once per tableau drives a
+//!   per-component worklist, and each round re-evaluates only the equations
+//!   whose inputs changed since their last evaluation — an equation whose
+//!   inputs did not change would have replayed entirely from the memo tables,
+//!   so skipping it leaves ids, budget charges, and trip reasons bit-identical
+//!   to a full sweep.  Each round's ready set is first attempted against a
+//!   frozen store view batched across the [`crate::pool`] workers, then the
+//!   remainder is computed sequentially in task order — answers,
+//!   `Err`-under-budget included, are identical at every worker count.  The
+//!   PR 5 full-sweep discipline survives as
+//!   [`condition_of_graph_full_sweep_stats`] (the differential anchor for the
+//!   worklist engine), and the PR 3 `BTreeSet` fixpoint as
+//!   [`condition_of_graph_baseline`], the oracle for tests and the
+//!   `condition_fixpoint` bench.
 //!
 //! [`AlgorithmB::with_parallelism`] routes the whole procedure (tableau,
 //! fixpoint sweeps, end-of-run selection check) through the pool.
@@ -60,7 +68,7 @@ use crate::dnf::store::{ConditionStore, DnfId, FrozenStore, StoreStats};
 use crate::dnf::{Dnf, DnfBudget};
 use crate::pool::{Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 use crate::syntax::{Ltl, VarSpec};
-use crate::tableau::{EdgeId, NodeId, TableauGraph};
+use crate::tableau::{EdgeId, EventualityIndex, NodeId, SweepPlan, TableauGraph};
 use crate::theory::Theory;
 
 /// The answer of the combined decision procedure.
@@ -101,8 +109,10 @@ impl Condition {
     }
 
     /// Interning/memoization counters of the [`ConditionStore`] the fixpoint
-    /// ran on (zero for the [`condition_of_graph_baseline`] path, which
-    /// bypasses the store).
+    /// ran on, plus the worklist counters (`rounds`, `equations_evaluated`,
+    /// `equations_skipped`).  The [`condition_of_graph_baseline`] path
+    /// bypasses the store — its interning counters stay zero — but still
+    /// reports its rounds and evaluations.
     pub fn store_stats(&self) -> StoreStats {
         self.store_stats
     }
@@ -244,17 +254,39 @@ impl<'t> AlgorithmB<'t> {
         graph: &TableauGraph,
         budget: &ResourceBudget,
     ) -> Result<Decision, Exhaustion> {
+        self.decide_from_graph_budgeted_stats(formula, graph, budget).0
+    }
+
+    /// [`AlgorithmB::decide_from_graph_budgeted`] that also reports the
+    /// fixpoint counters of the attempt — on *both* outcomes.  In the
+    /// evaluated (Boolean) modes the interning counters stay zero but the
+    /// `rounds`/`equations_evaluated`/`equations_skipped` trio measures the
+    /// worklist engine's work; in the purely extralogical mode the counters
+    /// are those of the explicit condition computation.
+    pub fn decide_from_graph_budgeted_stats(
+        &self,
+        formula: &Ltl,
+        graph: &TableauGraph,
+        budget: &ResourceBudget,
+    ) -> (Result<Decision, Exhaustion>, StoreStats) {
         let vars = formula.variables();
         let has_state = vars.iter().any(|v| !self.vars.is_extralogical(v));
         let has_extra = vars.iter().any(|v| self.vars.is_extralogical(v));
         if has_extra && !has_state {
             // Purely extralogical: the selection check needs the actual
             // implicants, so the explicit (budgeted) condition is computed.
-            let condition = condition_of_graph_budgeted(graph.clone(), budget, self.parallelism)?;
-            return self.decide_from_condition_budgeted(formula, &condition, budget);
+            let (result, stats) =
+                condition_of_graph_budgeted_stats(graph.clone(), budget, self.parallelism);
+            return match result {
+                Ok(condition) => {
+                    (self.decide_from_condition_budgeted(formula, &condition, budget), stats)
+                }
+                Err(cut) => (Err(cut), stats),
+            };
         }
+        let mut stats = StoreStats::default();
         if let Some(cut) = budget.interrupted() {
-            return Err(cut);
+            return (Err(cut), stats);
         }
         let mut unsat = Vec::with_capacity(graph.edges().len());
         for (count, edge) in graph.edges().iter().enumerate() {
@@ -262,28 +294,37 @@ impl<'t> AlgorithmB<'t> {
             // deadline/cancellation cutoffs mid-scan like every other engine.
             if count % crate::pool::INTERRUPT_POLL_PERIOD == 0 {
                 if let Some(cut) = budget.interrupted() {
-                    return Err(cut);
+                    return (Err(cut), stats);
                 }
             }
             unsat.push(!self.theory.satisfiable(&edge.literals).is_sat());
         }
-        if evaluate_condition_at_budgeted(graph, &unsat, budget)? {
+        let (at_unsat, eval_stats) = evaluate_condition_at_budgeted_stats(graph, &unsat, budget);
+        stats.merge(eval_stats);
+        match at_unsat {
+            Err(cut) => return (Err(cut), stats),
             // Some implicant of delete(init) has only T-unsatisfiable edges
             // (the empty implicant of a ⊤ condition included).
-            return Ok(Decision::Valid);
+            Ok(true) => return (Ok(Decision::Valid), stats),
+            Ok(false) => {}
         }
         if has_state && has_extra {
             // Mixed mode: the pointwise check is only sufficient.  delete(init)
             // evaluating false even at the all-true assignment means it is ⊥ —
             // not valid in any mode; anything else stays out of reach.
-            if !evaluate_condition_at_budgeted(graph, &vec![true; graph.edges().len()], budget)? {
-                return Ok(Decision::NotValid);
-            }
-            return Ok(Decision::Unknown);
+            let all_true = vec![true; graph.edges().len()];
+            let (at_top, eval_stats) =
+                evaluate_condition_at_budgeted_stats(graph, &all_true, budget);
+            stats.merge(eval_stats);
+            return match at_top {
+                Err(cut) => (Err(cut), stats),
+                Ok(false) => (Ok(Decision::NotValid), stats),
+                Ok(true) => (Ok(Decision::Unknown), stats),
+            };
         }
         // Pure state-variable (or purely propositional) mode: the pointwise
         // check is exact.
-        Ok(Decision::NotValid)
+        (Ok(Decision::NotValid), stats)
     }
 
     /// Decides validity given a previously computed condition (allows callers to
@@ -404,26 +445,27 @@ pub fn condition_of_graph_bounded(graph: TableauGraph, max_implicants: usize) ->
     condition_of_graph_with(graph, max_implicants, Parallelism::Off)
 }
 
-/// [`condition_of_graph_bounded`] with the fixpoint sweeps sharded across a
+/// [`condition_of_graph_bounded`] with the fixpoint rounds sharded across a
 /// worker pool.
 ///
-/// The iteration is organized as *Jacobi sweeps*: each sweep evaluates every
-/// equation of the current component against a frozen snapshot of the
+/// The iteration is organized as *worklist rounds*: each round evaluates the
+/// equations of the current component whose inputs changed since their last
+/// evaluation — the ready set — against a frozen snapshot of the
 /// `delete`/`fail` maps, and the results are committed together before the
-/// next sweep.  Because each equation then depends only on the snapshot — not
-/// on other equations of the same sweep — the equations batch freely across
-/// workers, and each sweep's outcome is a pure function of the snapshot.  Both
-/// fixpoints still converge to the same place as a dependency-ordered
-/// (Gauss–Seidel) iteration would: `fail` descends monotonically from `⊤` to
-/// its greatest fixpoint and `delete` ascends from `⊥` to its least, and on a
-/// finite lattice chaotic iteration reaches the unique extreme fixpoint in
-/// either discipline.
+/// next round.  Because each evaluated equation depends only on the snapshot
+/// — not on other equations of the same round — the ready set batches freely
+/// across workers, and each round's outcome is a pure function of the
+/// snapshot.  Both fixpoints still converge to the same place as a
+/// dependency-ordered (Gauss–Seidel) iteration would: `fail` descends
+/// monotonically from `⊤` to its greatest fixpoint and `delete` ascends from
+/// `⊥` to its least, and on a finite lattice chaotic iteration reaches the
+/// unique extreme fixpoint in either discipline.
 ///
 /// The `max_implicants` budget is enforced globally through one shared
 /// [`DnfBudget`] cell: the first equation (on any worker) whose product
 /// estimate exceeds the budget trips the cell, every other
 /// in-flight product aborts at its next step, and the whole computation
-/// answers `None`.  Whether an equation trips is a function of the sweep
+/// answers `None`.  Whether an equation trips is a function of the round
 /// snapshot alone, so budgeted `None`/`Some` answers — and hence
 /// `Unknown`-vs-decided verdicts upstream — are identical at every worker
 /// count.
@@ -442,22 +484,28 @@ pub fn condition_of_graph_with(
 
 /// [`condition_of_graph_with`] under a full [`ResourceBudget`]: enforces the
 /// distinct-implicant cap *and* the budget's deadline/cancellation cutoffs
-/// (polled at every sweep and inside large products through the shared
+/// (polled at every round and inside large products through the shared
 /// [`DnfBudget`] cell), and names the exhausted resource on `Err`.
 ///
-/// # The interned fixpoint
+/// # The semi-naive interned fixpoint
 ///
 /// Since the condition-store rewrite this function runs on a
 /// [`ConditionStore`]: `delete`/`fail` values are `Copy` [`DnfId`]s, the
 /// equations' `∨`/`∧` are memoized store operations, and the convergence test
-/// per equation is an id comparison.  Each Jacobi sweep runs in two phases:
+/// per equation is an id comparison — which also makes *change detection*
+/// O(1), the hook the PR 7 worklist engine hangs on.  A reverse-dependency
+/// graph (`preds[m]` = the nodes whose equations read the values at `m`) is
+/// derived once per tableau — it lives in the graph's cached sweep plan,
+/// computed at the end of [`TableauGraph::try_build_budgeted`] alongside the
+/// SCC order and the per-edge fulfillment tables; each inner fixpoint seeds
+/// its worklist with every equation of the component and thereafter
+/// re-evaluates only equations some input of which changed last round.
+/// Each round runs in two phases:
 ///
-/// 1. **Frozen phase** (batched across the pool): every equation is first
-///    attempted against a read-only [`FrozenStore`] view, where each
-///    operation either resolves by an identity shortcut or a memo hit, or
-///    defers.  In a converging fixpoint most equations' inputs did not change
-///    since the previous sweep, so their whole evaluation is replayed from
-///    the memo tables here — the sharing that makes re-sweeping cheap.
+/// 1. **Frozen phase** (batched across the pool via a sparse
+///    [`WorkerPool::map_indexed`]): every ready equation is first attempted
+///    against a read-only [`FrozenStore`] view, where each operation either
+///    resolves by an identity shortcut or a memo hit, or defers.
 /// 2. **Sequential phase**: the deferred equations are computed in task
 ///    order against the mutable store, interning new implicants (each
 ///    distinct one charged once to the shared budget cell) and growing the
@@ -467,7 +515,17 @@ pub fn condition_of_graph_with(
 /// have mutated nothing and yields the same id, so the store contents — ids,
 /// memo tables, and the budget charge — evolve identically at every worker
 /// count: answers, including `Err`-under-budget, are bit-identical from
-/// `Off` to any `Fixed(n)`.
+/// `Off` to any `Fixed(n)`.  Skipping is just as conservative: an equation
+/// whose inputs did not change would have replayed entirely from the memo
+/// tables without mutating the store or charging the budget, so the worklist
+/// run's ids, charges, and trip reasons are bit-identical to the full-sweep
+/// discipline too (only `memo_hits` counts the replays a full sweep would
+/// have performed).  At a single worker the frozen phase is elided — it is
+/// accounting-transparent (a settleable equation replays identically from
+/// memo; a deferred one records nothing), so the ready set is evaluated
+/// directly against the mutable store in task order, same ids and charges,
+/// minus the double memo walk.  [`condition_of_graph_full_sweep_stats`]
+/// keeps the full-sweep discipline callable as the differential anchor.
 pub fn condition_of_graph_budgeted(
     graph: TableauGraph,
     resource_budget: &ResourceBudget,
@@ -485,9 +543,44 @@ pub fn condition_of_graph_budgeted_stats(
     resource_budget: &ResourceBudget,
     parallelism: Parallelism,
 ) -> (Result<Condition, Exhaustion>, StoreStats) {
+    condition_of_graph_engine(graph, resource_budget, parallelism, true)
+}
+
+/// The PR 5 full-sweep (Jacobi) discipline of the interned fixpoint, kept
+/// callable as the differential anchor for the worklist engine: every round
+/// re-evaluates *every* equation of the component until none changes.
+///
+/// Ids, budget charges, and trip reasons are bit-identical to
+/// [`condition_of_graph_budgeted_stats`] — the worklist engine only skips
+/// equations that would have replayed from the memo tables — so the
+/// differential tests compare conditions, implicant charges, and exhaustion
+/// reasons across the two, and the `condition_fixpoint` bench measures the
+/// speedup of skipping (recorded in `BENCH_PR7.json`).  Only the
+/// `memo_hits`/`rounds`/`equations_*` counters legitimately differ.
+pub fn condition_of_graph_full_sweep_stats(
+    graph: TableauGraph,
+    resource_budget: &ResourceBudget,
+    parallelism: Parallelism,
+) -> (Result<Condition, Exhaustion>, StoreStats) {
+    condition_of_graph_engine(graph, resource_budget, parallelism, false)
+}
+
+/// The shared engine behind [`condition_of_graph_budgeted_stats`] (`delta ==
+/// true`, semi-naive worklist) and [`condition_of_graph_full_sweep_stats`]
+/// (`delta == false`, PR 5 Jacobi sweeps).  Both disciplines share the
+/// interned store, the atom leaves, and the §5.3 two-phase outer round; they
+/// differ in which equations a round evaluates — dependents of changed
+/// values vs. everything again — and in the constant-factor machinery that
+/// choice allows (fulfillment tables, hoisted worklist buffers, the
+/// single-worker direct-evaluation sweep).
+fn condition_of_graph_engine(
+    graph: TableauGraph,
+    resource_budget: &ResourceBudget,
+    parallelism: Parallelism,
+    delta: bool,
+) -> (Result<Condition, Exhaustion>, StoreStats) {
     let n = graph.node_count();
-    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
-    let sccs = strongly_connected_components(&graph);
+    let ne = graph.eventualities().len();
     let budget = DnfBudget::from_budget(resource_budget);
 
     let mut store = ConditionStore::new();
@@ -503,81 +596,54 @@ pub fn condition_of_graph_budgeted_stats(
             }
         }
     }
-    let fixpoint = ConditionFixpoint {
-        graph: &graph,
-        eventualities: &eventualities,
-        atoms,
-        pool: WorkerPool::new(parallelism),
-        n,
-    };
 
     let mut delete: Vec<DnfId> = vec![ConditionStore::BOTTOM; n];
     // fail(ev, node) at slot `ev_index * n + node`.
-    let mut fail: Vec<DnfId> = vec![ConditionStore::TOP; n * eventualities.len()];
+    let mut fail: Vec<DnfId> = vec![ConditionStore::TOP; n * ne];
     let mut outer_rounds = 0;
 
-    // Process components from the sinks of the condensation upward so that the
-    // conditions of all successors outside the component are already final.
-    for component in &sccs {
-        // The equations of one component sweep: every (node, eventuality)
-        // pair for `fail`, every node for `delete`.
-        let fail_tasks: Vec<(NodeId, EqKind)> = component
-            .iter()
-            .flat_map(|&node| (0..eventualities.len()).map(move |ei| (node, EqKind::Fail(ei))))
-            .collect();
-        let delete_tasks: Vec<(NodeId, EqKind)> =
-            component.iter().map(|&node| (node, EqKind::Delete)).collect();
-        loop {
-            outer_rounds += 1;
-            // Reset fail to the top element within the component (step 6 / 2).
-            for &node in component {
-                for ei in 0..eventualities.len() {
-                    fail[ei * n + node] = ConditionStore::TOP;
-                }
-            }
-            // Iterate fail to its greatest fixpoint within the component.
-            loop {
-                let updates = match fixpoint.sweep(&mut store, &budget, &delete, &fail, &fail_tasks)
-                {
-                    Ok(updates) => updates,
-                    Err(cut) => return (Err(cut), store.stats()),
-                };
-                let mut changed = false;
-                for (&(node, kind), new) in fail_tasks.iter().zip(updates) {
-                    let EqKind::Fail(ei) = kind else { unreachable!("fail task") };
-                    if new != fail[ei * n + node] {
-                        fail[ei * n + node] = new;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            // Iterate delete to its least fixpoint within the component.
-            let mut delete_changed_any = false;
-            loop {
-                let updates =
-                    match fixpoint.sweep(&mut store, &budget, &delete, &fail, &delete_tasks) {
-                        Ok(updates) => updates,
-                        Err(cut) => return (Err(cut), store.stats()),
-                    };
-                let mut changed = false;
-                for (&(node, _), new) in delete_tasks.iter().zip(updates) {
-                    if new != delete[node] {
-                        delete[node] = new;
-                        changed = true;
-                        delete_changed_any = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            if !delete_changed_any {
-                break;
-            }
+    let run = {
+        // The worklist engine hoists the per-edge eventuality membership
+        // tests and edge targets out of the hot loop into tables computed
+        // once per tableau; the full-sweep anchor keeps PR 5's
+        // per-evaluation `BTreeSet<Ltl>` lookups so its measured cost stays
+        // that of the path it preserves.  The lookups return the same
+        // booleans either way, so the DNF op sequence — and with it every
+        // interned id and budget charge — is unaffected.
+        let tables = if delta { Some(FulfillTables::new(&graph)) } else { None };
+        let fixpoint = ConditionFixpoint {
+            graph: &graph,
+            eventualities: graph.eventualities(),
+            atoms,
+            tables,
+            pool: WorkerPool::new(parallelism),
+            n,
+        };
+        if delta {
+            fixpoint.run_worklist(
+                graph.sweep_plan(),
+                &mut store,
+                &budget,
+                &mut delete,
+                &mut fail,
+                &mut outer_rounds,
+            )
+        } else {
+            // The anchor re-derives the component structure per call, as
+            // PR 5 did — its measured cost is that of the preserved path.
+            let sccs = strongly_connected_components(&graph);
+            fixpoint.run_full_sweep(
+                &sccs,
+                &mut store,
+                &budget,
+                &mut delete,
+                &mut fail,
+                &mut outer_rounds,
+            )
         }
+    };
+    if let Err(cut) = run {
+        return (Err(cut), store.stats());
     }
 
     let delete_init = store.extract(delete[graph.initial()]);
@@ -614,10 +680,179 @@ pub fn evaluate_condition_at_budgeted(
     atom_true: &[bool],
     budget: &ResourceBudget,
 ) -> Result<bool, Exhaustion> {
+    evaluate_condition_at_budgeted_stats(graph, atom_true, budget).0
+}
+
+/// [`evaluate_condition_at_budgeted`] that also reports the worklist
+/// counters of the run — `rounds`, `equations_evaluated`,
+/// `equations_skipped`; the interning counters stay zero, nothing is ever
+/// interned here.  The Boolean projection uses the same semi-naive
+/// discipline as the DNF-valued engine (seed everything at phase start,
+/// re-evaluate only dependents of changes), but evaluates its ready set in
+/// place: over the two-point lattice each value moves monotonically within a
+/// phase, so chaotic in-place iteration reaches the same extreme fixpoint as
+/// the snapshot rounds and skipping never changes the answer.  The run
+/// reads the graph's cached sweep plan (SCC order, reverse-dependency CSR,
+/// flat fulfillment tables) instead of re-deriving any of it, so repeated
+/// evaluations over one tableau — the shape of an evaluated decision —
+/// amortize everything but the fixpoint itself; it directly speeds the
+/// `[ => Q ] []P` family decision (~2x the PR 5 sweep per call,
+/// `BENCH_PR7.json`).
+pub fn evaluate_condition_at_budgeted_stats(
+    graph: &TableauGraph,
+    atom_true: &[bool],
+    budget: &ResourceBudget,
+) -> (Result<bool, Exhaustion>, StoreStats) {
     let n = graph.node_count();
-    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let ne = graph.eventualities().len();
+    let plan = graph.sweep_plan();
+    let tables = FulfillTables::new(graph);
+    let mut stats = StoreStats::default();
+    let mut delete = vec![false; n];
+    let mut fail = vec![true; n * ne];
+    let mut pos: Vec<usize> = vec![usize::MAX; n];
+    // fail(component[ci], ei) at task index `ci * ne + ei` (node-major, like
+    // the DNF engine); delete(component[ci]) at task index `ci`.  The
+    // worklist buffers are sized once for the largest component — per-trip
+    // allocations inside the SCC loop dominate the runtime on tableaux with
+    // thousands of trivial components.
+    let max_cn = plan.sccs.iter().map(Vec::len).max().unwrap_or(0);
+    let mut fail_dirty = vec![false; max_cn * ne];
+    let mut delete_dirty = vec![false; max_cn];
+    let mut ready: Vec<usize> = Vec::with_capacity(max_cn * ne);
+    let mut queue: Vec<usize> = Vec::with_capacity(max_cn * ne);
+    for component in &plan.sccs {
+        let cn = component.len();
+        for (i, &node) in component.iter().enumerate() {
+            pos[node] = i;
+        }
+        loop {
+            for &node in component {
+                for ei in 0..ne {
+                    fail[ei * n + node] = true;
+                }
+            }
+            // fail to its greatest fixpoint within the component: the reset
+            // touched everything, so every task seeds the worklist.
+            queue.clear();
+            queue.extend(0..cn * ne);
+            fail_dirty[..cn * ne].iter_mut().for_each(|d| *d = true);
+            while !queue.is_empty() {
+                if let Some(cut) = budget.interrupted() {
+                    return (Err(cut), stats);
+                }
+                std::mem::swap(&mut ready, &mut queue);
+                queue.clear();
+                ready.sort_unstable();
+                stats.rounds += 1;
+                stats.equations_evaluated += ready.len() as u64;
+                stats.equations_skipped += (cn * ne - ready.len()) as u64;
+                for &t in &ready {
+                    fail_dirty[t] = false;
+                }
+                for &t in &ready {
+                    let node = component[t / ne];
+                    let ei = t % ne;
+                    let new = graph.outgoing(node).iter().all(|&eid| {
+                        let to = tables.plan.targets[eid] as usize;
+                        atom_true[eid]
+                            || delete[to]
+                            || (tables.plan.unfulfilled[eid * ne + ei] && fail[ei * n + to])
+                    });
+                    if new != fail[ei * n + node] {
+                        fail[ei * n + node] = new;
+                        for &p in plan.preds_of(node) {
+                            let pp = pos[p as usize];
+                            if pp != usize::MAX {
+                                let pt = pp * ne + ei;
+                                if !fail_dirty[pt] {
+                                    fail_dirty[pt] = true;
+                                    queue.push(pt);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // delete to its least fixpoint within the component; the fail
+            // phase moved the inputs of every delete equation, so all seed.
+            let mut rerun_outer = false;
+            queue.clear();
+            queue.extend(0..cn);
+            delete_dirty[..cn].iter_mut().for_each(|d| *d = true);
+            while !queue.is_empty() {
+                if let Some(cut) = budget.interrupted() {
+                    return (Err(cut), stats);
+                }
+                std::mem::swap(&mut ready, &mut queue);
+                queue.clear();
+                ready.sort_unstable();
+                stats.rounds += 1;
+                stats.equations_evaluated += ready.len() as u64;
+                stats.equations_skipped += (cn - ready.len()) as u64;
+                for &t in &ready {
+                    delete_dirty[t] = false;
+                }
+                for &t in &ready {
+                    let node = component[t];
+                    let new = graph.outgoing(node).iter().all(|&eid| {
+                        let to = tables.plan.targets[eid] as usize;
+                        atom_true[eid]
+                            || delete[to]
+                            || tables.mentions(eid).iter().any(|&ei| fail[ei as usize * n + to])
+                    });
+                    if new != delete[node] {
+                        delete[node] = new;
+                        for &p in plan.preds_of(node) {
+                            let pp = pos[p as usize];
+                            if pp != usize::MAX {
+                                // Some in-component equation reads this
+                                // value, so the fail gfp it was computed
+                                // against is stale: rerun the outer round.
+                                // A change nothing in the component reads
+                                // (every predecessor lies in a later
+                                // component of the reverse-topological
+                                // order) cannot move the fixpoint here.
+                                rerun_outer = true;
+                                if !delete_dirty[pp] {
+                                    delete_dirty[pp] = true;
+                                    queue.push(pp);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !rerun_outer {
+                break;
+            }
+        }
+        for &node in component {
+            pos[node] = usize::MAX;
+        }
+    }
+    (Ok(delete[graph.initial()]), stats)
+}
+
+/// The PR 5 Boolean projection, preserved verbatim as the differential
+/// anchor for [`evaluate_condition_at_budgeted_stats`]: full Jacobi sweeps —
+/// every component equation re-evaluated every round until an unchanged
+/// round — with the per-edge `BTreeSet<Ltl>` fulfillment lookups of the
+/// original hot loop.  The worklist engine must compute the identical
+/// Boolean at every assignment (pinned by the differential tests); the
+/// `condition_fixpoint` bench measures the delta engine's speedup against
+/// this path.  Reports `rounds`/`equations_evaluated` like the engines
+/// (`equations_skipped` zero by construction; nothing is ever interned).
+pub fn evaluate_condition_at_full_sweep_stats(
+    graph: &TableauGraph,
+    atom_true: &[bool],
+    budget: &ResourceBudget,
+) -> (Result<bool, Exhaustion>, StoreStats) {
+    let n = graph.node_count();
+    let eventualities = graph.eventualities();
     let ne = eventualities.len();
     let sccs = strongly_connected_components(graph);
+    let mut stats = StoreStats::default();
     let mut delete = vec![false; n];
     let mut fail = vec![true; n * ne];
     for component in &sccs {
@@ -632,8 +867,10 @@ pub fn evaluate_condition_at_budgeted(
             // Jacobi sweeps of the DNF-valued run).
             loop {
                 if let Some(cut) = budget.interrupted() {
-                    return Err(cut);
+                    return (Err(cut), stats);
                 }
+                stats.rounds += 1;
+                stats.equations_evaluated += (component.len() * ne) as u64;
                 let mut changed = false;
                 for &node in component {
                     for (ei, ev) in eventualities.iter().enumerate() {
@@ -657,8 +894,10 @@ pub fn evaluate_condition_at_budgeted(
             let mut delete_changed_any = false;
             loop {
                 if let Some(cut) = budget.interrupted() {
-                    return Err(cut);
+                    return (Err(cut), stats);
                 }
+                stats.rounds += 1;
+                stats.equations_evaluated += component.len() as u64;
                 let mut changed = false;
                 for &node in component {
                     let new = graph.outgoing(node).iter().all(|&eid| {
@@ -684,7 +923,7 @@ pub fn evaluate_condition_at_budgeted(
             }
         }
     }
-    Ok(delete[graph.initial()])
+    (Ok(delete[graph.initial()]), stats)
 }
 
 /// Which equation of the §5.3 system a sweep task evaluates.
@@ -696,6 +935,31 @@ enum EqKind {
     Delete,
 }
 
+/// Per-tableau fulfillment tables: the `A ∈ ev(e)` / `A fulfilled by e`
+/// membership tests of the §5.3 equations as flat arrays — borrowed from the
+/// graph's cached [`EventualityIndex`] and [`SweepPlan`] — so the hot loop
+/// indexes integers instead of running `BTreeSet<Ltl>` lookups (deep
+/// structural comparisons) on every edge of every evaluation.  The booleans
+/// are definitionally those of the set lookups, so using the tables cannot
+/// change an evaluation's DNF op sequence — only its constant factor.
+struct FulfillTables<'g> {
+    /// The graph's eventuality index (per-edge mention lists).
+    index: &'g EventualityIndex,
+    /// The graph's fixpoint plan (`targets`, dense `unfulfilled`).
+    plan: &'g SweepPlan,
+}
+
+impl<'g> FulfillTables<'g> {
+    fn new(graph: &'g TableauGraph) -> FulfillTables<'g> {
+        FulfillTables { index: graph.eventuality_index(), plan: graph.sweep_plan() }
+    }
+
+    /// Eventuality indices mentioned by edge `eid`, ascending.
+    fn mentions(&self, eid: usize) -> &[u32] {
+        self.index.mentions(eid)
+    }
+}
+
 /// The per-graph context of the interned condition fixpoint: everything the
 /// sweep equations read besides the evolving `delete`/`fail` vectors.
 struct ConditionFixpoint<'g> {
@@ -703,15 +967,241 @@ struct ConditionFixpoint<'g> {
     eventualities: &'g [Ltl],
     /// Interned `□¬prop(e)` atom conditions, indexed by edge id.
     atoms: Vec<DnfId>,
+    /// `Some` in the worklist engine; `None` in the full-sweep anchor, which
+    /// keeps PR 5's per-evaluation set lookups (see
+    /// [`condition_of_graph_full_sweep_stats`]).
+    tables: Option<FulfillTables<'g>>,
     pool: WorkerPool,
     n: usize,
 }
 
 impl ConditionFixpoint<'_> {
-    /// One two-phase Jacobi sweep over `tasks` (see
+    /// The semi-naive worklist discipline driving
+    /// [`condition_of_graph_budgeted_stats`]: every phase seeds its full
+    /// equation set (a phase boundary touches every equation's inputs), and
+    /// afterwards only the dependents of values that actually changed —
+    /// looked up in the reverse-dependency CSR — re-enter the ready set,
+    /// which each round evaluates in ascending task order so the interning
+    /// sequence matches the Jacobi path's.  The outer §5.3 round repeats
+    /// only while some `delete` change is read *inside* the component;
+    /// a change every reader of which lies in a later component of the
+    /// reverse-topological order cannot move this component's fixpoint, so
+    /// its verification round (all replays, no interning, no charges) is
+    /// skipped.  Worklist buffers are sized once for the largest component;
+    /// per-component allocations dominate on tableaux with thousands of
+    /// trivial SCCs.
+    fn run_worklist(
+        &self,
+        plan: &SweepPlan,
+        store: &mut ConditionStore,
+        budget: &DnfBudget,
+        delete: &mut [DnfId],
+        fail: &mut [DnfId],
+        outer_rounds: &mut usize,
+    ) -> Result<(), Exhaustion> {
+        let sccs = &plan.sccs;
+        let n = self.n;
+        let ne = self.eventualities.len();
+        // Dense position of each node within the component being processed;
+        // `usize::MAX` marks nodes outside it (their values are already
+        // final, so changes never propagate to them).
+        let mut pos: Vec<usize> = vec![usize::MAX; n];
+        let max_cn = sccs.iter().map(Vec::len).max().unwrap_or(0);
+        let mut fail_tasks: Vec<(NodeId, EqKind)> = Vec::with_capacity(max_cn * ne);
+        let mut delete_tasks: Vec<(NodeId, EqKind)> = Vec::with_capacity(max_cn);
+        let mut fail_dirty = vec![false; max_cn * ne];
+        let mut delete_dirty = vec![false; max_cn];
+        let mut ready: Vec<usize> = Vec::with_capacity(max_cn * ne);
+        let mut queue: Vec<usize> = Vec::with_capacity(max_cn * ne);
+        let mut scratch: Vec<DnfId> = Vec::new();
+        for component in sccs {
+            let cn = component.len();
+            for (i, &node) in component.iter().enumerate() {
+                pos[node] = i;
+            }
+            // The equations of one component: every (node, eventuality) pair
+            // for `fail` — task index `pos[node] * ne + ei`, node-major —
+            // and every node for `delete` — task index `pos[node]`.
+            fail_tasks.clear();
+            fail_tasks.extend(
+                component.iter().flat_map(|&node| (0..ne).map(move |ei| (node, EqKind::Fail(ei)))),
+            );
+            delete_tasks.clear();
+            delete_tasks.extend(component.iter().map(|&node| (node, EqKind::Delete)));
+            loop {
+                *outer_rounds += 1;
+                // Reset fail to the top element within the component (step
+                // 6 / 2); the reset touched everything, so all tasks seed.
+                for &node in component {
+                    for ei in 0..ne {
+                        fail[ei * n + node] = ConditionStore::TOP;
+                    }
+                }
+                queue.clear();
+                queue.extend(0..cn * ne);
+                fail_dirty[..cn * ne].iter_mut().for_each(|d| *d = true);
+                // Iterate fail to its greatest fixpoint within the component.
+                while !queue.is_empty() {
+                    std::mem::swap(&mut ready, &mut queue);
+                    queue.clear();
+                    ready.sort_unstable();
+                    for &t in &ready {
+                        fail_dirty[t] = false;
+                    }
+                    let updates =
+                        self.sweep(store, budget, delete, fail, &fail_tasks, &ready, &mut scratch)?;
+                    for (&t, new) in ready.iter().zip(updates) {
+                        let (node, kind) = fail_tasks[t];
+                        let EqKind::Fail(ei) = kind else { unreachable!("fail task") };
+                        if new != fail[ei * n + node] {
+                            fail[ei * n + node] = new;
+                            for &p in plan.preds_of(node) {
+                                let pp = pos[p as usize];
+                                if pp != usize::MAX {
+                                    let pt = pp * ne + ei;
+                                    if !fail_dirty[pt] {
+                                        fail_dirty[pt] = true;
+                                        queue.push(pt);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Iterate delete to its least fixpoint within the component.
+                // The fail phase just moved (or at least reset-and-
+                // recomputed) the fail values every delete equation reads,
+                // so all tasks seed.
+                let mut rerun_outer = false;
+                queue.clear();
+                queue.extend(0..cn);
+                delete_dirty[..cn].iter_mut().for_each(|d| *d = true);
+                while !queue.is_empty() {
+                    std::mem::swap(&mut ready, &mut queue);
+                    queue.clear();
+                    ready.sort_unstable();
+                    for &t in &ready {
+                        delete_dirty[t] = false;
+                    }
+                    let updates = self.sweep(
+                        store,
+                        budget,
+                        delete,
+                        fail,
+                        &delete_tasks,
+                        &ready,
+                        &mut scratch,
+                    )?;
+                    for (&t, new) in ready.iter().zip(updates) {
+                        let (node, _) = delete_tasks[t];
+                        if new != delete[node] {
+                            delete[node] = new;
+                            for &p in plan.preds_of(node) {
+                                let pp = pos[p as usize];
+                                if pp != usize::MAX {
+                                    // Some in-component equation reads this
+                                    // value, so the fail gfp it was computed
+                                    // against is stale: rerun the outer
+                                    // round.
+                                    rerun_outer = true;
+                                    if !delete_dirty[pp] {
+                                        delete_dirty[pp] = true;
+                                        queue.push(pp);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if !rerun_outer {
+                    break;
+                }
+            }
+            for &node in component {
+                pos[node] = usize::MAX;
+            }
+        }
+        Ok(())
+    }
+
+    /// The PR 5 discipline driving [`condition_of_graph_full_sweep_stats`]:
+    /// Jacobi rounds that re-evaluate every component equation until an
+    /// unchanged round, with no worklist bookkeeping — the preserved path
+    /// the worklist engine is differentially pinned against and benchmarked
+    /// over.
+    fn run_full_sweep(
+        &self,
+        sccs: &[Vec<NodeId>],
+        store: &mut ConditionStore,
+        budget: &DnfBudget,
+        delete: &mut [DnfId],
+        fail: &mut [DnfId],
+        outer_rounds: &mut usize,
+    ) -> Result<(), Exhaustion> {
+        let n = self.n;
+        let ne = self.eventualities.len();
+        for component in sccs {
+            let fail_tasks: Vec<(NodeId, EqKind)> = component
+                .iter()
+                .flat_map(|&node| (0..ne).map(move |ei| (node, EqKind::Fail(ei))))
+                .collect();
+            let delete_tasks: Vec<(NodeId, EqKind)> =
+                component.iter().map(|&node| (node, EqKind::Delete)).collect();
+            loop {
+                *outer_rounds += 1;
+                // Reset fail to the top element within the component.
+                for &node in component {
+                    for ei in 0..ne {
+                        fail[ei * n + node] = ConditionStore::TOP;
+                    }
+                }
+                // Iterate fail to its greatest fixpoint within the component.
+                loop {
+                    let updates = self.sweep_all(store, budget, delete, fail, &fail_tasks)?;
+                    let mut changed = false;
+                    for (&(node, kind), new) in fail_tasks.iter().zip(updates) {
+                        let EqKind::Fail(ei) = kind else { unreachable!("fail task") };
+                        if new != fail[ei * n + node] {
+                            fail[ei * n + node] = new;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                // Iterate delete to its least fixpoint within the component.
+                let mut delete_changed_any = false;
+                loop {
+                    let updates = self.sweep_all(store, budget, delete, fail, &delete_tasks)?;
+                    let mut changed = false;
+                    for (&(node, _), new) in delete_tasks.iter().zip(updates) {
+                        if new != delete[node] {
+                            delete[node] = new;
+                            changed = true;
+                            delete_changed_any = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                if !delete_changed_any {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One two-phase round over the `ready` subset of `tasks` (see
     /// [`condition_of_graph_budgeted`]): frozen phase batched across the
-    /// pool, deferred equations computed sequentially in task order; results
-    /// in task order, or the exhaustion that tripped the shared budget.
+    /// pool via the sparse [`WorkerPool::map_indexed`], deferred equations
+    /// computed sequentially in task order; results aligned with `ready`, or
+    /// the exhaustion that tripped the shared budget.  Records the round's
+    /// evaluated/skipped tallies on the store before evaluating (so a
+    /// tripped round is still counted in the trip report).
+    #[allow(clippy::too_many_arguments)]
     fn sweep(
         &self,
         store: &mut ConditionStore,
@@ -719,15 +1209,38 @@ impl ConditionFixpoint<'_> {
         delete: &[DnfId],
         fail: &[DnfId],
         tasks: &[(NodeId, EqKind)],
+        ready: &[usize],
+        scratch: &mut Vec<DnfId>,
     ) -> Result<Vec<DnfId>, Exhaustion> {
         if budget.poll_interrupts() {
             return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
         }
+        store.record_sweep(ready.len() as u64, (tasks.len() - ready.len()) as u64);
+        // A single worker gains nothing from the frozen pre-pass, and the
+        // pass is accounting-transparent: a frozen-settleable equation is
+        // fully memoized, so its mutable evaluation performs the identical
+        // lookups (same memo hits, no interning, no charges), while a
+        // deferred equation's frozen attempt records nothing and is re-done
+        // mutably anyway.  Evaluating the ready set directly in task order
+        // therefore produces bit-identical ids, charges, trips, and counters
+        // — pinned across worker counts by the differential tests — while
+        // skipping the double memo walk the anchor always pays.
+        if self.pool.workers() == 1 {
+            let mut results = Vec::with_capacity(ready.len());
+            for &t in ready {
+                let mut ops = Mutable { store, budget };
+                match self.eval_scratch(&mut ops, delete, fail, tasks[t], scratch) {
+                    Some(id) => results.push(id),
+                    None => return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants)),
+                }
+            }
+            return Ok(results);
+        }
         // Frozen phase: settle whatever is already fully memoized.
         let frozen = store.frozen();
-        let settled: Vec<(Option<DnfId>, u64)> = self.pool.map(tasks.len(), |i| {
+        let settled: Vec<(Option<DnfId>, u64)> = self.pool.map_indexed(ready, |t| {
             let mut ops = Frozen { view: frozen, hits: 0 };
-            let result = self.eval(&mut ops, delete, fail, tasks[i]);
+            let result = self.eval(&mut ops, delete, fail, tasks[t]);
             (result, ops.hits)
         });
         // A frozen view cannot bump the store's counters, so credit the memo
@@ -739,6 +1252,47 @@ impl ConditionFixpoint<'_> {
             settled.iter().filter(|(slot, _)| slot.is_some()).map(|&(_, hits)| hits).sum();
         store.record_frozen_hits(frozen_hits);
         // Sequential phase: compute the rest in task order.
+        let mut results = Vec::with_capacity(ready.len());
+        for (i, (slot, _)) in settled.into_iter().enumerate() {
+            match slot {
+                Some(id) => results.push(id),
+                None => {
+                    let mut ops = Mutable { store, budget };
+                    match self.eval_scratch(&mut ops, delete, fail, tasks[ready[i]], scratch) {
+                        Some(id) => results.push(id),
+                        None => return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants)),
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// [`ConditionFixpoint::sweep`] over *every* task — the PR 5 Jacobi
+    /// round, kept verbatim for the full-sweep anchor: frozen phase batched
+    /// across the pool at any worker count (including one, as PR 5 always
+    /// did), deferred equations sequential in task order.
+    fn sweep_all(
+        &self,
+        store: &mut ConditionStore,
+        budget: &DnfBudget,
+        delete: &[DnfId],
+        fail: &[DnfId],
+        tasks: &[(NodeId, EqKind)],
+    ) -> Result<Vec<DnfId>, Exhaustion> {
+        if budget.poll_interrupts() {
+            return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
+        }
+        store.record_sweep(tasks.len() as u64, 0);
+        let frozen = store.frozen();
+        let settled: Vec<(Option<DnfId>, u64)> = self.pool.map(tasks.len(), |t| {
+            let mut ops = Frozen { view: frozen, hits: 0 };
+            let result = self.eval(&mut ops, delete, fail, tasks[t]);
+            (result, ops.hits)
+        });
+        let frozen_hits: u64 =
+            settled.iter().filter(|(slot, _)| slot.is_some()).map(|&(_, hits)| hits).sum();
+        store.record_frozen_hits(frozen_hits);
         let mut results = Vec::with_capacity(tasks.len());
         for (i, (slot, _)) in settled.into_iter().enumerate() {
             match slot {
@@ -768,30 +1322,71 @@ impl ConditionFixpoint<'_> {
         ops: &mut O,
         delete: &[DnfId],
         fail: &[DnfId],
+        task: (NodeId, EqKind),
+    ) -> Option<DnfId> {
+        let mut terms = Vec::with_capacity(self.graph.outgoing(task.0).len());
+        self.eval_scratch(ops, delete, fail, task, &mut terms)
+    }
+
+    /// [`ConditionFixpoint::eval`] writing its per-edge terms into a caller
+    /// scratch buffer, so sequential sweeps reuse one allocation across the
+    /// whole run.  The result is a pure function of the inputs either way.
+    fn eval_scratch<O: DnfOps>(
+        &self,
+        ops: &mut O,
+        delete: &[DnfId],
+        fail: &[DnfId],
         (node, kind): (NodeId, EqKind),
+        terms: &mut Vec<DnfId>,
     ) -> Option<DnfId> {
         let outgoing = self.graph.outgoing(node);
-        let mut terms = Vec::with_capacity(outgoing.len());
-        for &eid in outgoing {
-            let edge = self.graph.edge(eid);
-            let mut term = ops.or(self.atoms[eid], delete[edge.to])?;
-            match kind {
-                EqKind::Delete => {
-                    for (ei, ev) in self.eventualities.iter().enumerate() {
-                        if edge.eventualities.contains(ev) {
-                            term = ops.or(term, fail[ei * self.n + edge.to])?;
+        terms.clear();
+        match &self.tables {
+            // Worklist engine: flat-table lookups, no `Edge` struct access.
+            Some(tables) => {
+                let ne = self.eventualities.len();
+                for &eid in outgoing {
+                    let to = tables.plan.targets[eid] as usize;
+                    let mut term = ops.or(self.atoms[eid], delete[to])?;
+                    match kind {
+                        EqKind::Delete => {
+                            for &ei in tables.mentions(eid) {
+                                term = ops.or(term, fail[ei as usize * self.n + to])?;
+                            }
+                        }
+                        EqKind::Fail(ei) => {
+                            if tables.plan.unfulfilled[eid * ne + ei] {
+                                term = ops.or(term, fail[ei * self.n + to])?;
+                            }
                         }
                     }
-                }
-                EqKind::Fail(ei) => {
-                    if !edge.fulfilled.contains(&self.eventualities[ei]) {
-                        term = ops.or(term, fail[ei * self.n + edge.to])?;
-                    }
+                    terms.push(term);
                 }
             }
-            terms.push(term);
+            // Full-sweep anchor: PR 5's per-evaluation set lookups.
+            None => {
+                for &eid in outgoing {
+                    let edge = self.graph.edge(eid);
+                    let mut term = ops.or(self.atoms[eid], delete[edge.to])?;
+                    match kind {
+                        EqKind::Delete => {
+                            for (ei, ev) in self.eventualities.iter().enumerate() {
+                                if edge.eventualities.contains(ev) {
+                                    term = ops.or(term, fail[ei * self.n + edge.to])?;
+                                }
+                            }
+                        }
+                        EqKind::Fail(ei) => {
+                            if !edge.fulfilled.contains(&self.eventualities[ei]) {
+                                term = ops.or(term, fail[ei * self.n + edge.to])?;
+                            }
+                        }
+                    }
+                    terms.push(term);
+                }
+            }
         }
-        ops.all(&terms)
+        ops.all(terms)
     }
 }
 
@@ -843,16 +1438,20 @@ impl DnfOps for Mutable<'_, '_> {
     }
 }
 
-/// The PR 3 `BTreeSet` condition fixpoint, kept verbatim as the differential
+/// The PR 3 `BTreeSet` condition fixpoint, kept as the differential
 /// baseline: same Jacobi sweeps and SCC acceleration, but explicit [`Dnf`]
 /// values (re-cloned and re-absorbed at every product) and the
 /// pre-absorption estimate cut of [`Dnf::all_bounded_estimated`] instead of
-/// the interned store's distinct-implicant accounting.
+/// the interned store's distinct-implicant accounting.  It stays naive —
+/// every sweep re-evaluates every equation — but reports its `rounds` and
+/// `equations_evaluated` through [`Condition::store_stats`] (interning
+/// counters zero, `equations_skipped` zero by construction) so the
+/// differential tests can compare convergence against the worklist engine.
 ///
 /// Tests pin that it computes the same condition as
 /// [`condition_of_graph_budgeted`] wherever neither path trips its budget,
 /// and the `condition_fixpoint` bench measures the speedup of the interned
-/// path against it (recorded in `BENCH_PR5.json`).
+/// paths against it.
 pub fn condition_of_graph_baseline(
     graph: TableauGraph,
     resource_budget: &ResourceBudget,
@@ -861,7 +1460,7 @@ pub fn condition_of_graph_baseline(
     let pool = WorkerPool::new(parallelism);
     let budget = DnfBudget::from_budget(resource_budget);
     let n = graph.node_count();
-    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let eventualities = graph.eventualities();
     let sccs = strongly_connected_components(&graph);
 
     let mut delete: Vec<Dnf> = vec![Dnf::bottom(); n];
@@ -872,6 +1471,7 @@ pub fn condition_of_graph_baseline(
         }
     }
     let mut outer_rounds = 0;
+    let mut stats = StoreStats::default();
 
     for component in &sccs {
         let fail_tasks: Vec<(NodeId, usize)> = component
@@ -886,6 +1486,8 @@ pub fn condition_of_graph_baseline(
                 }
             }
             loop {
+                stats.rounds += 1;
+                stats.equations_evaluated += fail_tasks.len() as u64;
                 let Some(updates) = sweep_equations(fail_tasks.len(), &pool, |i| {
                     let (node, ei) = fail_tasks[i];
                     fail_equation(&graph, node, ei, &eventualities[ei], &delete, &fail, &budget)
@@ -905,8 +1507,10 @@ pub fn condition_of_graph_baseline(
             }
             let mut delete_changed_any = false;
             loop {
+                stats.rounds += 1;
+                stats.equations_evaluated += component.len() as u64;
                 let Some(updates) = sweep_equations(component.len(), &pool, |i| {
-                    delete_equation(&graph, component[i], &eventualities, &delete, &fail, &budget)
+                    delete_equation(&graph, component[i], eventualities, &delete, &fail, &budget)
                 }) else {
                     return Err(budget.exhaustion().unwrap_or(Exhaustion::Implicants));
                 };
@@ -929,7 +1533,7 @@ pub fn condition_of_graph_baseline(
     }
 
     let delete_init = delete[graph.initial()].clone();
-    Ok(Condition { graph, delete_init, outer_rounds, store_stats: StoreStats::default() })
+    Ok(Condition { graph, delete_init, outer_rounds, store_stats: stats })
 }
 
 /// One baseline Jacobi sweep: evaluates `eval(0..count)` — each equation
@@ -998,7 +1602,7 @@ fn fail_equation(
 /// Tarjan's strongly connected components, returned in reverse topological
 /// order of the condensation (components with no edges into later components
 /// come first), which is the order the fixpoint iteration wants.
-fn strongly_connected_components(graph: &TableauGraph) -> Vec<Vec<NodeId>> {
+pub(crate) fn strongly_connected_components(graph: &TableauGraph) -> Vec<Vec<NodeId>> {
     struct Tarjan<'g> {
         graph: &'g TableauGraph,
         index: Vec<Option<usize>>,

@@ -25,7 +25,11 @@
 //! Canonicity also carries the concurrency story: because `∧`/`∨` results do
 //! not depend on evaluation or association order, the Appendix B §5.3
 //! fixpoint can batch whole sweeps of condition products across the
-//! [`crate::pool`] workers and still produce the sequential answer.  The
+//! [`crate::pool`] workers and still produce the sequential answer — and the
+//! semi-naive worklist engine of [`crate::algorithm_b`] leans on the same
+//! canonicity in the other direction: an equation whose input ids did not
+//! change replays to the id it already has, so skipping it (and the whole
+//! verification round of a converged component) is invisible to the store.  The
 //! historical flip side was cost — on the nested weak-until translations of
 //! interval formulas (the measured `[ => Q ] []P` family) the pre-absorption
 //! products grow combinatorially over thousands of edge atoms, which is

@@ -22,7 +22,9 @@
 //!   change?") is an integer comparison instead of a structural one.
 //! * **Products are memoized**: `∧`/`∨` results are cached per `(DnfId,
 //!   DnfId)` pair, so re-evaluating an equation whose inputs did not change
-//!   since the last sweep costs a handful of hash lookups.
+//!   since the last round costs a handful of hash lookups — and the PR 7
+//!   worklist engine goes one step further and never re-visits such an
+//!   equation at all (see [`StoreStats::equations_skipped`]).
 //! * **Absorption is incremental and pre-interning**: products stream
 //!   through a bitset antichain builder — implicants as flat bitsets over the atom
 //!   universe, subsumption a few early-exiting word comparisons, candidates
@@ -42,15 +44,19 @@
 //! # Concurrency
 //!
 //! The store itself is a plain single-writer structure.  Parallel fixpoint
-//! sweeps keep determinism by the snapshot discipline of
-//! `ilogic_core::arena::ArenaSnapshot`: a sweep first attempts every equation
-//! against a [`FrozenStore`] view (read-only — memo lookups may *hit* but
-//! never insert), batched freely across workers, and then computes the
-//! remaining equations sequentially in task order against the mutable store.
-//! Because a frozen evaluation succeeds exactly when the mutable evaluation
-//! would have touched nothing, the store contents — ids, memo tables, and the
-//! distinct-implicant budget charge — after a sweep are identical at every
-//! worker count, including one.
+//! rounds keep determinism by the snapshot discipline of
+//! `ilogic_core::arena::ArenaSnapshot`: a round first attempts every equation
+//! of its ready set — under the PR 7 worklist engine only the equations whose
+//! inputs changed since their last evaluation, under a full (Jacobi) sweep
+//! all of them — against a [`FrozenStore`] view (read-only — memo lookups may
+//! *hit* but never insert), batched freely across workers, and then computes
+//! the remaining equations sequentially in task order against the mutable
+//! store.  Because a frozen evaluation succeeds exactly when the mutable
+//! evaluation would have touched nothing, and an equation with unchanged
+//! inputs would have replayed entirely from the memo tables anyway, the store
+//! contents — ids, memo tables, and the distinct-implicant budget charge —
+//! after a round are identical at every worker count, including one, and
+//! identical whether or not the unchanged equations were skipped.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -102,6 +108,23 @@ pub struct StoreStats {
     /// Widest antichain interned: the largest implicant count of any single
     /// condition DNF the computation produced.
     pub peak_dnf_width: usize,
+    /// Fixpoint rounds run: every worklist (or full-sweep) round of the §5.3
+    /// iteration, `fail` and `delete` phases both counted.  The evaluated
+    /// Boolean fixpoint reports its rounds here too (with zero interning
+    /// counters), and the naive baseline reports rounds so differential tests
+    /// can compare convergence.
+    pub rounds: u64,
+    /// Equations actually evaluated across all rounds.  Under the semi-naive
+    /// worklist engine only equations whose inputs changed since their last
+    /// evaluation are evaluated; under a full (Jacobi) sweep this is
+    /// `rounds × equations`.
+    pub equations_evaluated: u64,
+    /// Equations *skipped* by the worklist engine: per round, the equations
+    /// of the active phase whose inputs did not change and which a Jacobi
+    /// sweep would have re-evaluated (from memo) anyway.  Zero for full-sweep
+    /// and baseline runs — the bench-smoke regression guard asserts it is
+    /// strictly positive on the wide tableaux.
+    pub equations_skipped: u64,
 }
 
 impl StoreStats {
@@ -113,6 +136,9 @@ impl StoreStats {
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.peak_dnf_width = self.peak_dnf_width.max(other.peak_dnf_width);
+        self.rounds += other.rounds;
+        self.equations_evaluated += other.equations_evaluated;
+        self.equations_skipped += other.equations_skipped;
     }
 }
 
@@ -214,6 +240,18 @@ impl ConditionStore {
     /// identical at every worker count.
     pub fn record_frozen_hits(&mut self, hits: u64) {
         self.stats.memo_hits += hits;
+    }
+
+    /// Records one fixpoint round of the worklist engine: how many equations
+    /// the round actually evaluated (its ready set) and how many it skipped
+    /// because none of their inputs changed since their last evaluation.  A
+    /// full (Jacobi) sweep records `skipped == 0`.  Both tallies are pure
+    /// functions of the iteration history, so — like every other counter —
+    /// they are identical at every worker count.
+    pub fn record_sweep(&mut self, evaluated: u64, skipped: u64) {
+        self.stats.rounds += 1;
+        self.stats.equations_evaluated += evaluated;
+        self.stats.equations_skipped += skipped;
     }
 
     /// Number of distinct implicants interned (seeds excluded) — the quantity

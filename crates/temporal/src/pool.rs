@@ -163,6 +163,40 @@ impl WorkerPool {
             .collect()
     }
 
+    /// [`WorkerPool::map`] over a *sparse* index set: evaluates `f(i)` for
+    /// each `i` in `indices` (striped across the workers by list position)
+    /// and returns the results in list order — the fan-out primitive of the
+    /// semi-naive condition fixpoint, whose per-round ready set is a small,
+    /// changing subset of the equation universe.
+    ///
+    /// Like [`WorkerPool::map`], `f` must be a pure function of the index, so
+    /// the output is — element for element — identical to the sequential
+    /// `indices.iter().map(|&i| f(i))` at any worker count, and small ready
+    /// sets run inline under the same [`MAP_INLINE_PER_WORKER`] threshold.
+    pub fn map_indexed<T, F>(&self, indices: &[usize], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || indices.len() < self.workers * MAP_INLINE_PER_WORKER {
+            return indices.iter().map(|&i| f(i)).collect();
+        }
+        let striped = self.run(|w| {
+            (w..indices.len())
+                .step_by(self.workers)
+                .map(|pos| (pos, f(indices[pos])))
+                .collect::<Vec<_>>()
+        });
+        let mut results: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
+        for (pos, result) in striped.into_iter().flatten() {
+            results[pos] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("stripes cover every position exactly once"))
+            .collect()
+    }
+
     /// Deterministic lowest-index-wins search over the indices
     /// `offset .. offset + items`: worker `w` visits `offset + w`,
     /// `offset + w + n`, … in increasing order, mutating its entry of
@@ -606,6 +640,22 @@ mod tests {
         assert_eq!(big, (0..threshold + 7).map(|i| i * i).collect::<Vec<_>>());
         // Zero items is a no-op on any pool.
         assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_indexed_preserves_list_order_on_both_paths() {
+        let pool = WorkerPool::new(Parallelism::Fixed(3));
+        // A sparse, unsorted index set below the inline threshold…
+        let small = [7usize, 2, 9];
+        assert_eq!(pool.map_indexed(&small, |i| i * 10), vec![70, 20, 90]);
+        // …and one above it (striped): same contract, list order kept.
+        let big: Vec<usize> = (0..3 * MAP_INLINE_PER_WORKER + 5).map(|i| i * 3 + 1).collect();
+        assert_eq!(
+            pool.map_indexed(&big, |i| i + 1),
+            big.iter().map(|&i| i + 1).collect::<Vec<_>>()
+        );
+        // The empty ready set is a no-op on any pool.
+        assert_eq!(pool.map_indexed(&[], |i| i), Vec::<usize>::new());
     }
 
     #[test]

@@ -67,6 +67,144 @@ pub struct TableauGraph {
     edges: Vec<Edge>,
     outgoing: Vec<Vec<EdgeId>>,
     initial: NodeId,
+    ev_index: EventualityIndex,
+    plan: SweepPlan,
+}
+
+/// Per-graph eventuality index, derived once at the end of construction:
+/// the distinct eventualities of the graph in ascending order, plus
+/// CSR-packed per-edge lists of the indices each edge mentions
+/// (`eventualities`) and fulfills (`fulfilled`).  Algorithm B's fixpoint
+/// engines and the Boolean projection consult it instead of re-deriving the
+/// union and re-probing the per-edge `BTreeSet`s — deep structural `Ltl`
+/// comparisons that used to dominate whole evaluator calls — on every run
+/// over the same graph.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EventualityIndex {
+    /// The distinct eventualities, ascending in `Ltl`'s order.
+    pub(crate) all: Vec<Ltl>,
+    /// Concatenated ascending per-edge lists of mentioned indices.
+    mentions: Vec<u32>,
+    /// `mentions` range of edge `eid`: `starts[eid]..starts[eid + 1]`.
+    mentions_starts: Vec<u32>,
+    /// Concatenated ascending per-edge lists of fulfilled indices.
+    fulfilled: Vec<u32>,
+    /// `fulfilled` range of edge `eid`.
+    fulfilled_starts: Vec<u32>,
+}
+
+impl EventualityIndex {
+    fn build(edges: &[Edge]) -> EventualityIndex {
+        let mut set: BTreeSet<&Ltl> = BTreeSet::new();
+        for edge in edges {
+            set.extend(edge.eventualities.iter());
+        }
+        let all: Vec<Ltl> = set.into_iter().cloned().collect();
+        let mut mentions = Vec::new();
+        let mut mentions_starts = Vec::with_capacity(edges.len() + 1);
+        let mut fulfilled = Vec::new();
+        let mut fulfilled_starts = Vec::with_capacity(edges.len() + 1);
+        mentions_starts.push(0);
+        fulfilled_starts.push(0);
+        for edge in edges {
+            // Both `BTreeSet`s iterate ascending in the same order as `all`,
+            // so the CSR rows come out ascending.
+            for ev in &edge.eventualities {
+                if let Ok(ei) = all.binary_search(ev) {
+                    mentions.push(ei as u32);
+                }
+            }
+            mentions_starts.push(mentions.len() as u32);
+            for ev in &edge.fulfilled {
+                if let Ok(ei) = all.binary_search(ev) {
+                    fulfilled.push(ei as u32);
+                }
+            }
+            fulfilled_starts.push(fulfilled.len() as u32);
+        }
+        EventualityIndex { all, mentions, mentions_starts, fulfilled, fulfilled_starts }
+    }
+
+    /// Ascending indices (into [`EventualityIndex::all`]) of the
+    /// eventualities edge `eid` mentions.
+    pub(crate) fn mentions(&self, eid: EdgeId) -> &[u32] {
+        &self.mentions[self.mentions_starts[eid] as usize..self.mentions_starts[eid + 1] as usize]
+    }
+
+    /// Ascending indices of the eventualities edge `eid` fulfills.
+    pub(crate) fn fulfilled(&self, eid: EdgeId) -> &[u32] {
+        &self.fulfilled
+            [self.fulfilled_starts[eid] as usize..self.fulfilled_starts[eid + 1] as usize]
+    }
+}
+
+/// Per-graph fixpoint plan, derived once at the end of construction for the
+/// semi-naive worklist engines of [`crate::algorithm_b`]: the strongly
+/// connected components in reverse-topological order, the reverse-dependency
+/// CSR that turns a changed `delete`/`fail` value into the tasks to mark
+/// dirty, each edge's target node as a flat array, and the dense
+/// edge × eventuality "not fulfilled" table the `fail` equations branch on.
+/// Every entry is a pure function of the finished graph, so computing it
+/// here amortizes it across every fixpoint run — most visibly across the
+/// thousands of Boolean-projected evaluations one evaluated decision makes
+/// over the same tableau.  The full-sweep and baseline disciplines
+/// deliberately do *not* read it: they preserve their original per-call
+/// derivations as the comparison anchors.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SweepPlan {
+    /// Strongly connected components, reverse-topological (every edge leaves
+    /// a component listed no earlier than its target's).
+    pub(crate) sccs: Vec<Vec<NodeId>>,
+    /// `rev_preds` range of node `m`: `rev_starts[m]..rev_starts[m + 1]`.
+    rev_starts: Vec<u32>,
+    /// Concatenated ascending predecessor lists: the nodes whose equations
+    /// read the values at `m`.
+    rev_preds: Vec<u32>,
+    /// Target node of each edge.
+    pub(crate) targets: Vec<u32>,
+    /// `unfulfilled[eid * ne + ei]`: edge `eid` does not fulfill eventuality
+    /// `ei` (an index into [`EventualityIndex::all`]).
+    pub(crate) unfulfilled: Vec<bool>,
+}
+
+impl SweepPlan {
+    fn build(graph: &TableauGraph) -> SweepPlan {
+        let n = graph.node_count();
+        let sccs = crate::algorithm_b::strongly_connected_components(graph);
+        let mut rev_starts = vec![0u32; n + 1];
+        for node in 0..n {
+            for &eid in graph.outgoing(node) {
+                rev_starts[graph.edges[eid].to + 1] += 1;
+            }
+        }
+        for m in 0..n {
+            rev_starts[m + 1] += rev_starts[m];
+        }
+        let mut rev_preds = vec![0u32; rev_starts[n] as usize];
+        let mut cursor = rev_starts.clone();
+        // The outer loop ascends in `node`, so every row comes out ascending.
+        for node in 0..n {
+            for &eid in graph.outgoing(node) {
+                let to = graph.edges[eid].to;
+                rev_preds[cursor[to] as usize] = node as u32;
+                cursor[to] += 1;
+            }
+        }
+        let ne = graph.ev_index.all.len();
+        let targets = graph.edges.iter().map(|edge| edge.to as u32).collect();
+        let mut unfulfilled = vec![true; graph.edges.len() * ne];
+        for eid in 0..graph.edges.len() {
+            for &ei in graph.ev_index.fulfilled(eid) {
+                unfulfilled[eid * ne + ei as usize] = false;
+            }
+        }
+        SweepPlan { sccs, rev_starts, rev_preds, targets, unfulfilled }
+    }
+
+    /// Nodes whose equations read the values at `m`, ascending.
+    pub(crate) fn preds_of(&self, m: NodeId) -> &[u32] {
+        &self.rev_preds[self.rev_starts[m] as usize..self.rev_starts[m + 1] as usize]
+    }
 }
 
 /// One saturated expansion of a node label set.
@@ -115,6 +253,8 @@ impl TableauGraph {
             edges: Vec::new(),
             outgoing: Vec::new(),
             initial: 0,
+            ev_index: EventualityIndex::default(),
+            plan: SweepPlan::default(),
         };
         let mut index: HashMap<BTreeSet<Ltl>, NodeId> = HashMap::new();
 
@@ -177,6 +317,8 @@ impl TableauGraph {
                 }
             }
         }
+        graph.ev_index = EventualityIndex::build(&graph.edges);
+        graph.plan = SweepPlan::build(&graph);
         Ok(graph)
     }
 
@@ -230,13 +372,20 @@ impl TableauGraph {
         &self.outgoing[node]
     }
 
-    /// The distinct eventualities occurring on any edge.
-    pub fn eventualities(&self) -> BTreeSet<Ltl> {
-        let mut all = BTreeSet::new();
-        for e in &self.edges {
-            all.extend(e.eventualities.iter().cloned());
-        }
-        all
+    /// The distinct eventualities occurring on any edge, ascending in
+    /// `Ltl`'s order (cached at construction).
+    pub fn eventualities(&self) -> &[Ltl] {
+        &self.ev_index.all
+    }
+
+    /// The per-graph eventuality index (see [`EventualityIndex`]).
+    pub(crate) fn eventuality_index(&self) -> &EventualityIndex {
+        &self.ev_index
+    }
+
+    /// The per-graph fixpoint plan of the semi-naive worklist engines.
+    pub(crate) fn sweep_plan(&self) -> &SweepPlan {
+        &self.plan
     }
 }
 
@@ -545,7 +694,7 @@ pub fn prune_budgeted(
     budget: &ResourceBudget,
 ) -> Result<Pruned, Exhaustion> {
     let pool = WorkerPool::new(parallelism);
-    let eventualities: Vec<Ltl> = graph.eventualities().into_iter().collect();
+    let eventualities = graph.eventualities();
     let mut node_alive = vec![true; graph.node_count()];
     let mut edge_alive: Vec<bool> = pool.map(graph.edge_count(), |i| {
         theory.satisfiable(&graph.edge(i).literals) == TheoryResult::Satisfiable
