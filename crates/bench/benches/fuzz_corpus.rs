@@ -1,0 +1,169 @@
+//! Experiment `PR-8`: differential-fuzz corpus throughput.
+//!
+//! The CI gate runs thousands of generated instances through the full
+//! cross-backend oracle (`ilogic_fuzz::oracle::check_instance`); this bench
+//! measures what that costs and how it scales, so the corpus size in CI can
+//! be sized against a number instead of a guess:
+//!
+//! * **generation** — formulas + systems alone, no checking (the floor);
+//! * **oracle sweep** — the full invariant battery at three corpus sizes,
+//!   instances/sec derived (the headline: CI's 2000-instance budget in
+//!   seconds is `2000 / instances_per_sec`);
+//! * **shrinker** — one planted disagreement minimized to its local minimum
+//!   (the failure path must stay interactive, not just the happy path).
+//!
+//! Before anything is timed the swept slice is asserted disagreement-free —
+//! a timing run that silently skipped a failing oracle would measure
+//! garbage.  Results are written to `BENCH_PR8.json` at the workspace root.
+//!
+//! Run with `cargo bench -p ilogic-bench --bench fuzz_corpus`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{BenchResult, Criterion};
+use ilogic_fuzz::oracle::{check_instance, Instance};
+use ilogic_fuzz::shrink::shrink_instance;
+use ilogic_fuzz::sysgen::system_from_seed;
+use ilogic_fuzz::{FormulaGenerator, GeneratorConfig};
+
+/// Corpus sizes of the timed sweeps — enough of a spread to expose
+/// super-linear surprises (there should be none: instances are independent).
+const SWEEPS: [u64; 3] = [16, 32, 64];
+
+/// Wall-clock ceiling for the CI-size extrapolation: the measured rate must
+/// put 2000 instances under this bound, or the corpus job is about to start
+/// timing out.  Release-profile measurements sit around 35 s for 2000; the
+/// ceiling is generous enough that only a genuine regression crosses it.
+const CI_CORPUS: f64 = 2000.0;
+const CI_CEILING: Duration = Duration::from_secs(600);
+
+fn bench_corpus(c: &mut Criterion) {
+    // Contract first: the slice about to be timed has zero disagreements.
+    for seed in 0..SWEEPS[SWEEPS.len() - 1] {
+        let instance = Instance::from_seed(seed);
+        if let Err(disagreement) = check_instance(&instance) {
+            panic!("cannot time a disagreeing corpus: {disagreement}");
+        }
+    }
+
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(150));
+    group.bench_function("formulas_and_systems_64", |b| {
+        b.iter(|| {
+            let mut sizes = 0usize;
+            for seed in 0..64u64 {
+                let mut generator = FormulaGenerator::from_seed(seed, GeneratorConfig::default());
+                sizes += format!("{}", generator.next_formula()).len();
+                sizes += system_from_seed(seed).states();
+            }
+            sizes
+        });
+    });
+    group.finish();
+
+    for sweep in SWEEPS {
+        let mut group = c.benchmark_group(format!("oracle_sweep_{sweep}"));
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(2500));
+        group.warm_up_time(Duration::from_millis(300));
+        group.bench_function("check_instance", |b| {
+            b.iter(|| {
+                let mut ok = 0usize;
+                for seed in 0..sweep {
+                    let instance = Instance::from_seed(seed);
+                    ok += usize::from(check_instance(&instance).is_ok());
+                }
+                assert_eq!(ok as u64, sweep);
+                ok
+            });
+        });
+        group.finish();
+    }
+
+    // The failure path: shrink a planted disagreement ("the formula mentions
+    // q") to its local minimum.  Uses a fixed instance known to mention `q`.
+    let planted = (0..64)
+        .map(Instance::from_seed)
+        .find(|i| ilogic_core::analysis::proposition_names(&i.formula).contains(&"q".to_string()))
+        .expect("some seed mentions q");
+    let mentions_q = |i: &Instance| {
+        ilogic_core::analysis::proposition_names(&i.formula).contains(&"q".to_string())
+    };
+    let mut group = c.benchmark_group("shrinker");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(150));
+    group.bench_function("planted_disagreement", |b| {
+        b.iter(|| shrink_instance(planted.clone(), mentions_q).formula.to_string().len());
+    });
+    group.finish();
+
+    record(&c.take_results());
+}
+
+fn record(results: &[BenchResult]) {
+    let mean_of =
+        |name: &str| results.iter().find(|r| r.name == name).map_or(f64::NAN, |r| r.mean_ns);
+    let generation_ns = mean_of("generation/formulas_and_systems_64");
+    let shrink_ns = mean_of("shrinker/planted_disagreement");
+    let sweep_ns: Vec<(u64, f64)> =
+        SWEEPS.iter().map(|&n| (n, mean_of(&format!("oracle_sweep_{n}/check_instance")))).collect();
+    // instances/sec from the largest sweep (the most amortized measurement).
+    let (largest, largest_ns) = sweep_ns[sweep_ns.len() - 1];
+    let instances_per_sec = largest as f64 / (largest_ns * 1e-9);
+    let ci_seconds = CI_CORPUS / instances_per_sec;
+    assert!(
+        ci_seconds < CI_CEILING.as_secs_f64(),
+        "extrapolated CI corpus time {ci_seconds:.0} s exceeds the {CI_CEILING:?} ceiling \
+         ({instances_per_sec:.1} instances/sec)"
+    );
+    // Independence check: doubling the corpus should roughly double the time
+    // (generous 3x bound — only catches super-linear blowups, not noise).
+    for window in sweep_ns.windows(2) {
+        let (small_n, small_ns) = window[0];
+        let (large_n, large_ns) = window[1];
+        let per_instance_ratio = (large_ns / large_n as f64) / (small_ns / small_n as f64);
+        assert!(
+            per_instance_ratio < 3.0,
+            "per-instance cost grew {per_instance_ratio:.2}x from {small_n} to {large_n} \
+             instances; the corpus must scale linearly"
+        );
+    }
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let sweeps_json: Vec<String> = sweep_ns
+        .iter()
+        .map(|(n, ns)| format!("    {{\"instances\": {n}, \"sweep_ns\": {ns:.0}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"PR8 differential-fuzz corpus throughput: generation floor, \
+         full-oracle sweeps at {SWEEPS:?} instances, planted-disagreement shrink\",\n  \
+         \"hardware_threads\": {hw},\n  \
+         \"unit\": \"ns per whole sweep; instances/sec derived from the largest\",\n  \
+         \"note\": \"every timed instance runs the complete invariant battery \
+         (decide-vs-bounded, evaluated-vs-artifact, auto-vs-hand-routed, explore-vs-reference, \
+         budget monotonicity, subsampled parallelism invariance); the slice is asserted \
+         disagreement-free before timing\",\n  \
+         \"generation_64_ns\": {generation_ns:.0},\n  \
+         \"sweeps\": [\n{}\n  ],\n  \
+         \"instances_per_sec\": {instances_per_sec:.1},\n  \
+         \"ci_corpus_instances\": {CI_CORPUS:.0},\n  \
+         \"ci_corpus_extrapolated_sec\": {ci_seconds:.1},\n  \
+         \"shrink_planted_ns\": {shrink_ns:.0}\n}}\n",
+        sweeps_json.join(",\n")
+    );
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_PR8.json"].iter().collect();
+    std::fs::write(&path, &json).expect("write BENCH_PR8.json");
+    println!(
+        "\nrecorded {} ({instances_per_sec:.1} instances/sec; {CI_CORPUS:.0} CI instances \
+         ≈ {ci_seconds:.0} s)",
+        path.display()
+    );
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_corpus(&mut criterion);
+}

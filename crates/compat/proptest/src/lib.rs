@@ -1,8 +1,9 @@
 //! Offline stand-in for the `proptest` crate exposing the surface this
-//! workspace uses: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
-//! `boxed`, [`Just`], `any::<T>()`, `proptest::collection::vec`,
-//! `proptest::sample::Index`, the [`prop_oneof!`] union macro, and the
-//! [`proptest!`] / `prop_assert*` test macros.
+//! workspace uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, [`Just`], `any::<T>()`,
+//! `proptest::collection::vec`, `proptest::sample::Index` /
+//! `proptest::sample::select`, the [`prop_oneof!`] union macro (uniform and
+//! weighted arms), and the [`proptest!`] / `prop_assert*` test macros.
 //!
 //! Values are generated from a deterministic SplitMix64 stream (distinct per
 //! test name), so failures are reproducible run-to-run.  Unlike the real
@@ -28,6 +29,17 @@ impl TestRng {
         TestRng { state }
     }
 
+    /// A generator seeded from a numeric seed — the replayable handle the
+    /// fuzz harnesses print in failure messages (`seed = <n>`): the same
+    /// `u64` always reproduces the same value stream.
+    pub fn from_seed_u64(seed: u64) -> TestRng {
+        // Scramble once so small consecutive seeds don't start on nearly
+        // identical streams.
+        let mut rng = TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        rng.next_u64();
+        rng
+    }
+
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -36,7 +48,10 @@ impl TestRng {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, bound: usize) -> usize {
+    /// Draws a uniform value in `0..bound` (multiply-shift, no modulo bias).
+    /// Public so byte-level mutation fuzzers can drive positions and choices
+    /// from the same replayable stream the strategies use.
+    pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "cannot sample below 0");
         ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
@@ -61,6 +76,20 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Derives a *dependent* strategy from each generated value: `f` maps the
+    /// value to a new strategy, which is then drawn from.  This is the
+    /// combinator behind "pick a size, then generate that many dependent
+    /// parts" generators (e.g. a transition system whose edge strategy
+    /// depends on the generated state count).
+    fn prop_flat_map<O, S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy<Value = O>,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
     }
 
     /// Type-erases the strategy (cheaply cloneable).
@@ -133,6 +162,25 @@ where
     }
 }
 
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy<Value = O>,
+    F: Fn(S::Value) -> T,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
 struct Recursive<T> {
     leaf: BoxedStrategy<T>,
     recurse: Rc<RecurseFn<T>>,
@@ -169,19 +217,42 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-/// Uniform choice among equally typed strategies (behind [`prop_oneof!`]).
+/// Choice among equally typed strategies (behind [`prop_oneof!`]) — uniform
+/// via [`Union::new`], or frequency-weighted via [`Union::new_weighted`].
 pub struct Union<T> {
-    options: Vec<BoxedStrategy<T>>,
+    /// `(cumulative weight, strategy)` pairs; the last cumulative weight is
+    /// the total mass.
+    options: Vec<(u64, BoxedStrategy<T>)>,
 }
 
 impl<T> Union<T> {
-    /// A union of the given alternatives.
+    /// A uniform union of the given alternatives.
     ///
     /// # Panics
     ///
     /// Panics if `options` is empty.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// A weighted union: alternative `i` is drawn with probability
+    /// `weights[i] / total`.  Zero-weight alternatives are never drawn (but
+    /// at least one weight must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or every weight is zero.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
         assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        let mut cumulative = 0u64;
+        let options: Vec<(u64, BoxedStrategy<T>)> = options
+            .into_iter()
+            .map(|(weight, strategy)| {
+                cumulative += u64::from(weight);
+                (cumulative, strategy)
+            })
+            .collect();
+        assert!(cumulative > 0, "prop_oneof! needs at least one positive weight");
         Union { options }
     }
 }
@@ -190,8 +261,10 @@ impl<T> Strategy for Union<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
-        let pick = rng.below(self.options.len());
-        self.options[pick].generate(rng)
+        let total = self.options.last().expect("options are non-empty").0;
+        let roll = rng.below(total as usize) as u64;
+        let pick = self.options.partition_point(|(cumulative, _)| *cumulative <= roll);
+        self.options[pick].1.generate(rng)
     }
 }
 
@@ -342,6 +415,29 @@ pub mod sample {
             Index { raw: rng.next_u64() }
         }
     }
+
+    /// A strategy yielding one element of `options`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> super::Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
 }
 
 /// Per-run configuration for [`proptest!`] blocks.
@@ -372,9 +468,22 @@ pub mod prelude {
     };
 }
 
-/// Uniform choice among alternative strategies of the same value type.
+/// Choice among alternative strategies of the same value type.
+///
+/// Arms are either bare strategies (uniform choice) or weighted with the
+/// upstream `weight => strategy` syntax:
+///
+/// ```ignore
+/// prop_oneof![
+///     4 => Just(Shape::Hard),
+///     1 => Just(Shape::Diversified),
+/// ]
+/// ```
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$(($weight, $crate::Strategy::boxed($strategy))),+])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
     };
@@ -490,6 +599,66 @@ mod tests {
         }
     }
 
+    #[test]
+    fn weighted_union_respects_weights() {
+        let strategy = prop_oneof![9 => Just(0u32), 1 => Just(1u32)];
+        let mut rng = crate::TestRng::from_seed_u64(7);
+        let ones: usize = (0..2000).filter(|_| strategy.generate(&mut rng) == 1).count();
+        // Expected ~200 draws of the 1-in-10 arm; a 3x band on either side
+        // keeps the check robust without loosening it into meaninglessness.
+        assert!((60..600).contains(&ones), "weight-1 arm drawn {ones}/2000 times");
+    }
+
+    #[test]
+    fn weighted_union_skips_zero_weight_arms() {
+        let strategy = prop_oneof![1 => Just(0u32), 0 => Just(1u32), 2 => Just(2u32)];
+        let mut rng = crate::TestRng::from_seed_u64(11);
+        for _ in 0..500 {
+            assert_ne!(strategy.generate(&mut rng), 1, "zero-weight arm was drawn");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        // The whole point of the fuzz harness: a printed seed must replay
+        // to the identical instance. Exercise every combinator the
+        // generators rely on under two rngs built from the same seed.
+        let strategy = prop_oneof![
+            3 => crate::sample::select(vec!["a", "b", "c"])
+                .prop_flat_map(|s| Just(s).prop_map(|s| format!("{s}{s}")))
+                .boxed(),
+            1 => Just(String::from("fixed")).boxed(),
+        ];
+        let mut left = crate::TestRng::from_seed_u64(0xDEAD_BEEF);
+        let mut right = crate::TestRng::from_seed_u64(0xDEAD_BEEF);
+        for _ in 0..200 {
+            assert_eq!(strategy.generate(&mut left), strategy.generate(&mut right));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let strategy = crate::collection::vec(any::<bool>(), 8usize);
+        let mut left = crate::TestRng::from_seed_u64(1);
+        let mut right = crate::TestRng::from_seed_u64(2);
+        let diverged =
+            (0..50).any(|_| strategy.generate(&mut left) != strategy.generate(&mut right));
+        assert!(diverged, "distinct seeds produced identical streams");
+    }
+
+    #[test]
+    fn flat_map_feeds_the_outer_value_through() {
+        // Dependent generation: the inner strategy must see the outer draw.
+        let strategy = crate::sample::select(vec![1usize, 2, 3]).prop_flat_map(|len| {
+            crate::collection::vec(Just(0u8), len).prop_map(move |v| (len, v))
+        });
+        let mut rng = crate::TestRng::from_seed_u64(42);
+        for _ in 0..100 {
+            let (len, v) = strategy.generate(&mut rng);
+            assert_eq!(v.len(), len);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -501,6 +670,11 @@ mod tests {
         #[test]
         fn indices_stay_in_bounds(ix in any::<crate::sample::Index>()) {
             prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn selected_elements_come_from_the_options(s in crate::sample::select(vec![2u32, 4, 6])) {
+            prop_assert!([2, 4, 6].contains(&s), "unexpected element {s}");
         }
     }
 }

@@ -1,0 +1,293 @@
+//! Seeded random generation of interval-logic formulas.
+//!
+//! This is the formula half of the differential-fuzzing corpus (the system
+//! half lives in `ilogic-fuzz`): a deterministic, depth- and
+//! operator-weighted generator over the propositional fragment — the
+//! fragment every backend can answer, so cross-backend verdicts are
+//! comparable.
+//!
+//! The schedule follows the diversification/intensification split of
+//! constructive-heuristics tuning: most draws are *intensified* near the
+//! shape family that historically stressed this codebase — the
+//! `[ => Q ] []P` prefix-invariance family whose condition fixpoint blows up
+//! combinatorially (see `ROADMAP.md` and the §5.3 notes in
+//! `ilogic-temporal`) — while a diversified tail keeps exercising arbitrary
+//! operator mixes.
+//!
+//! Determinism contract: the same seed and config produce the same formula
+//! sequence on every platform and at every parallelism level.  The
+//! generator embeds its own SplitMix64 stream rather than depending on a
+//! compat RNG crate, keeping `ilogic-core` dependency-free.
+
+use crate::arena::{FormulaArena, FormulaId};
+use crate::syntax::{Formula, IntervalTerm};
+
+/// Tuning knobs for [`FormulaGenerator`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Proposition alphabet formulas are built over.  Small alphabets make
+    /// cross-backend disagreements dramatically more likely per instance.
+    pub props: Vec<String>,
+    /// Maximum operator-nesting depth of generated formulas.
+    pub max_depth: u32,
+    /// Percentage (0–100) of draws intensified onto the hard
+    /// `[ => Q ] []P` shape family; the rest are diversified draws over the
+    /// full propositional grammar.
+    pub hard_family_percent: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            props: vec!["p".into(), "q".into(), "r".into()],
+            max_depth: 3,
+            hard_family_percent: 40,
+        }
+    }
+}
+
+/// A seeded, deterministic formula generator over the propositional
+/// fragment (no `Forall`/`Exists`, so the `Decide` backend always applies).
+#[derive(Clone, Debug)]
+pub struct FormulaGenerator {
+    rng: SplitMix64,
+    config: GeneratorConfig,
+}
+
+impl FormulaGenerator {
+    /// A generator whose entire output stream is determined by `seed`.
+    pub fn from_seed(seed: u64, config: GeneratorConfig) -> FormulaGenerator {
+        assert!(!config.props.is_empty(), "generator needs a non-empty alphabet");
+        assert!(config.hard_family_percent <= 100, "hard_family_percent is a percentage");
+        FormulaGenerator { rng: SplitMix64::new(seed), config }
+    }
+
+    /// The next formula in the stream.
+    pub fn next_formula(&mut self) -> Formula {
+        if self.rng.below(100) < u64::from(self.config.hard_family_percent) {
+            self.hard_family()
+        } else {
+            self.formula(self.config.max_depth)
+        }
+    }
+
+    /// The next formula, interned into `arena`.
+    pub fn next_interned(&mut self, arena: &mut FormulaArena) -> FormulaId {
+        arena.intern(&self.next_formula())
+    }
+
+    /// A draw from the `[ => Q ] []P` prefix-invariance family: the
+    /// paper's §5.3 shape whose condition fixpoint is combinatorial, plus
+    /// close mutations (`◇` for `□`, `*`-modified and `begin`/`end`-wrapped
+    /// search terms, negated bodies, conjunction with a sibling instance).
+    fn hard_family(&mut self) -> Formula {
+        let q = Formula::prop(self.pick_prop());
+        let p = Formula::prop(self.pick_prop());
+        let mut term = IntervalTerm::Forward(None, Some(Box::new(IntervalTerm::event(q))));
+        match self.rng.below(4) {
+            0 => term = IntervalTerm::Must(Box::new(term)),
+            1 => term = term.begin(),
+            2 => term = term.end(),
+            _ => {}
+        }
+        let body = match self.rng.below(4) {
+            0 => Formula::eventually(p),
+            1 => Formula::always(p).not(),
+            2 => Formula::always(Formula::or(p, Formula::prop(self.pick_prop()))),
+            _ => Formula::always(p),
+        };
+        let core = Formula::In(term, Box::new(body));
+        match self.rng.below(4) {
+            0 => Formula::and(core, self.formula(1)),
+            1 => core.not(),
+            _ => core,
+        }
+    }
+
+    /// A diversified draw over the full propositional grammar.
+    fn formula(&mut self, depth: u32) -> Formula {
+        if depth == 0 {
+            return self.leaf();
+        }
+        // Weighted operator table: connectives and temporal operators
+        // dominate, `In` (the expensive, paper-specific construct) stays
+        // common enough to matter, constants stay rare.
+        match self.rng.below(16) {
+            0 | 1 => self.leaf(),
+            2 | 3 => self.formula(depth - 1).not(),
+            4..=6 => Formula::and(self.formula(depth - 1), self.formula(depth - 1)),
+            7..=9 => Formula::or(self.formula(depth - 1), self.formula(depth - 1)),
+            10 | 11 => Formula::always(self.formula(depth - 1)),
+            12 | 13 => Formula::eventually(self.formula(depth - 1)),
+            _ => Formula::In(self.term(depth - 1), Box::new(self.formula(depth - 1))),
+        }
+    }
+
+    /// A random interval term of bounded depth.
+    fn term(&mut self, depth: u32) -> IntervalTerm {
+        let event = IntervalTerm::event(self.leaf());
+        if depth == 0 {
+            return event;
+        }
+        match self.rng.below(8) {
+            0 | 1 => event,
+            2 => self.term(depth - 1).begin(),
+            3 => self.term(depth - 1).end(),
+            4 => IntervalTerm::Must(Box::new(self.term(depth - 1))),
+            5 => IntervalTerm::Forward(
+                self.opt_term(depth - 1).map(Box::new),
+                self.opt_term(depth - 1).map(Box::new),
+            ),
+            6 => IntervalTerm::Backward(
+                self.opt_term(depth - 1).map(Box::new),
+                self.opt_term(depth - 1).map(Box::new),
+            ),
+            _ => self.term(depth - 1).then(self.term(depth - 1)),
+        }
+    }
+
+    fn opt_term(&mut self, depth: u32) -> Option<IntervalTerm> {
+        if self.rng.below(3) == 0 {
+            None
+        } else {
+            Some(self.term(depth))
+        }
+    }
+
+    fn leaf(&mut self) -> Formula {
+        // Mostly propositions; constants appear rarely so folding paths
+        // stay covered without collapsing whole instances.
+        match self.rng.below(12) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::prop(self.pick_prop()),
+        }
+    }
+
+    fn pick_prop(&mut self) -> String {
+        let ix = self.rng.below(self.config.props.len() as u64) as usize;
+        self.config.props[ix].clone()
+    }
+}
+
+/// SplitMix64: tiny, fast, and statistically fine for fuzz scheduling.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (multiply-shift; bias is < 2⁻⁵⁰ for the
+    /// tiny bounds used here).
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn quantifier_free(f: &Formula) -> bool {
+        match f {
+            Formula::Forall(..) | Formula::Exists(..) => false,
+            Formula::True | Formula::False | Formula::Pred(_) => true,
+            Formula::Not(a) | Formula::Always(a) | Formula::Eventually(a) => quantifier_free(a),
+            Formula::And(a, b) | Formula::Or(a, b) => quantifier_free(a) && quantifier_free(b),
+            Formula::In(_, a) => quantifier_free(a),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let config = GeneratorConfig::default();
+        let mut a = FormulaGenerator::from_seed(17, config.clone());
+        let mut b = FormulaGenerator::from_seed(17, config);
+        for _ in 0..200 {
+            assert_eq!(a.next_formula(), b.next_formula());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FormulaGenerator::from_seed(1, GeneratorConfig::default());
+        let mut b = FormulaGenerator::from_seed(2, GeneratorConfig::default());
+        let diverged = (0..64).any(|_| a.next_formula() != b.next_formula());
+        assert!(diverged, "distinct seeds produced identical formula streams");
+    }
+
+    #[test]
+    fn output_is_propositional_over_the_alphabet() {
+        let config = GeneratorConfig::default();
+        let props = config.props.clone();
+        let mut generator = FormulaGenerator::from_seed(99, config);
+        for _ in 0..500 {
+            let formula = generator.next_formula();
+            assert!(quantifier_free(&formula), "generated a quantifier: {formula:?}");
+            for name in analysis::proposition_names(&formula) {
+                assert!(props.contains(&name), "unknown proposition {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_family_shapes_actually_occur() {
+        // With a 40% intensification bias a 200-draw stream must contain
+        // the `[ => Q ] ...` skeleton many times over.
+        fn has_forward_to_event(f: &Formula) -> bool {
+            match f {
+                Formula::In(IntervalTerm::Forward(None, Some(_)), _) => true,
+                Formula::In(
+                    IntervalTerm::Must(t) | IntervalTerm::Begin(t) | IntervalTerm::End(t),
+                    _,
+                ) if matches!(**t, IntervalTerm::Forward(None, Some(_))) => true,
+                Formula::Not(a) => has_forward_to_event(a),
+                Formula::And(a, b) => has_forward_to_event(a) || has_forward_to_event(b),
+                _ => false,
+            }
+        }
+        let mut generator = FormulaGenerator::from_seed(3, GeneratorConfig::default());
+        let hits = (0..200).filter(|_| has_forward_to_event(&generator.next_formula())).count();
+        assert!(hits >= 40, "only {hits}/200 draws hit the hard family");
+    }
+
+    #[test]
+    fn interning_the_stream_is_stable() {
+        let mut arena_a = FormulaArena::new();
+        let mut arena_b = FormulaArena::new();
+        let mut a = FormulaGenerator::from_seed(5, GeneratorConfig::default());
+        let mut b = FormulaGenerator::from_seed(5, GeneratorConfig::default());
+        let ids_a: Vec<FormulaId> = (0..100).map(|_| a.next_interned(&mut arena_a)).collect();
+        let ids_b: Vec<FormulaId> = (0..100).map(|_| b.next_interned(&mut arena_b)).collect();
+        assert_eq!(ids_a, ids_b, "hash-consed ids must match under identical streams");
+        // Hash-consing must actually dedupe: 100 draws over a 3-letter
+        // alphabet repeat subterms constantly.
+        assert!(arena_a.formula_count() < 100 * 8, "no sharing in the arena?");
+    }
+
+    #[test]
+    fn depth_zero_yields_leaves() {
+        let config =
+            GeneratorConfig { max_depth: 0, hard_family_percent: 0, ..GeneratorConfig::default() };
+        let mut generator = FormulaGenerator::from_seed(8, config);
+        for _ in 0..50 {
+            assert!(matches!(
+                generator.next_formula(),
+                Formula::True | Formula::False | Formula::Pred(_)
+            ));
+        }
+    }
+}

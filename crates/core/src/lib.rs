@@ -66,6 +66,7 @@ pub mod arena;
 pub mod bounded;
 pub mod diagram;
 pub mod dsl;
+pub mod generate;
 pub mod interval;
 pub mod json;
 pub mod ltl_translate;

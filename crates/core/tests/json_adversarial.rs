@@ -1,0 +1,210 @@
+//! Adversarial input for the hand-rolled JSON layer.
+//!
+//! [`Json::parse`] sits on a process boundary (workers answering over
+//! sockets, CI diffing archived reports), so it must treat its input as
+//! hostile: truncated documents, pathological nesting, and huge numeric
+//! literals are all *errors*, never panics, never unbounded recursion.  The
+//! cases here complement the round-trip tests in `json.rs` itself: those pin
+//! what valid documents mean, these pin that invalid ones fail safely.
+
+use ilogic_core::json::{Json, JsonError, MAX_DEPTH};
+use ilogic_core::prelude::*;
+use proptest::TestRng;
+
+/// A real production document: a `CheckReport` as the service serializes it.
+/// Exercising the adversarial cases against actual payloads (not just
+/// hand-written snippets) keeps the corpus honest about what crosses the
+/// boundary.
+fn report_document() -> String {
+    let mut session = Session::new();
+    let report = session.check(
+        CheckRequest::new(ilogic_core::dsl::prop("P").or(ilogic_core::dsl::prop("P").not()))
+            .bounded(["P"], 2),
+    );
+    report.to_json()
+}
+
+/// Every seed document the adversarial sweeps start from.
+fn seed_documents() -> Vec<String> {
+    vec![
+        report_document(),
+        r#"{"b":[1,2,{"x":null}],"a":"text with \"escapes\"\n","n":-2.25e-3}"#.to_string(),
+        r#"[true,false,null,0,-17,3.5,"λ→∞",[],{}]"#.to_string(),
+    ]
+}
+
+#[test]
+fn every_truncation_of_a_valid_document_errors_cleanly() {
+    for document in seed_documents() {
+        assert!(Json::parse(&document).is_ok(), "seed must parse: {document}");
+        for end in 0..document.len() {
+            if !document.is_char_boundary(end) {
+                continue;
+            }
+            let truncated = &document[..end];
+            // A strict prefix of these documents is never itself valid JSON
+            // (none of them are scalar-prefixed); all that matters is that
+            // the parser returns an error instead of panicking or hanging.
+            assert!(
+                Json::parse(truncated).is_err(),
+                "truncation at byte {end} of {document:?} parsed"
+            );
+        }
+    }
+}
+
+#[test]
+fn nesting_is_accepted_up_to_the_limit_and_rejected_beyond() {
+    let arrays = |depth: usize| format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+    assert!(Json::parse(&arrays(MAX_DEPTH)).is_ok());
+    assert!(Json::parse(&arrays(MAX_DEPTH + 1)).is_err());
+
+    // Objects and mixed containers count against the same limit.
+    let objects = |depth: usize| format!("{}null{}", "{\"k\":".repeat(depth), "}".repeat(depth));
+    assert!(Json::parse(&objects(MAX_DEPTH)).is_ok());
+    assert!(Json::parse(&objects(MAX_DEPTH + 1)).is_err());
+    let mixed = format!("{}0{}", "[{\"k\":".repeat(MAX_DEPTH), "}]".repeat(MAX_DEPTH));
+    assert!(Json::parse(&mixed).is_err(), "2×MAX_DEPTH mixed nesting must be rejected");
+}
+
+#[test]
+fn unclosed_deep_nesting_does_not_overflow_the_stack() {
+    // The classic parser bomb: a million openers and no closers.  The depth
+    // guard must cut the recursion long before the stack does.
+    for opener in ["[", "{\"k\":", "[[{\"deep\":"] {
+        let bomb = opener.repeat(1_000_000 / opener.len());
+        let error = Json::parse(&bomb).expect_err("a bomb must not parse");
+        assert!(
+            error.to_string().contains("nesting deeper"),
+            "expected the depth guard, got: {error}"
+        );
+    }
+}
+
+#[test]
+fn huge_numeric_literals_error_or_saturate_never_panic() {
+    // Integers beyond i64 are rejected (the report payloads all fit i64;
+    // silently rounding through f64 would corrupt counters).
+    assert_eq!(Json::parse("9223372036854775807"), Ok(Json::Int(i64::MAX)));
+    assert_eq!(Json::parse("-9223372036854775808"), Ok(Json::Int(i64::MIN)));
+    assert!(Json::parse("9223372036854775808").is_err(), "i64::MAX + 1 must be rejected");
+    assert!(Json::parse("-9223372036854775809").is_err());
+    let thousand_digits = "9".repeat(1000);
+    assert!(Json::parse(&thousand_digits).is_err());
+
+    // Floats saturate per IEEE 754 (standard strtod behavior) — and the
+    // printer renders non-finite values as `null`, JSON's only honest
+    // stand-in, so a saturated parse cannot smuggle `inf` back out.
+    let overflow = Json::parse("1e309").expect("float overflow still parses");
+    assert!(overflow.as_f64().is_some_and(f64::is_infinite));
+    assert_eq!(overflow.to_string(), "null");
+    let underflow = Json::parse("1e-400").expect("float underflow still parses");
+    assert_eq!(underflow.as_f64(), Some(0.0));
+    // A huge-but-finite mantissa parses to the nearest representable double.
+    let long_fraction = format!("0.{}1", "0".repeat(400));
+    assert!(Json::parse(&long_fraction).is_ok());
+
+    // Exponents big enough to overflow an exponent accumulator in a naive
+    // implementation.
+    for source in ["1e99999999999999999999", "1e-99999999999999999999"] {
+        // Rejection is equally fine; panicking is not.
+        if let Ok(value) = Json::parse(source) {
+            assert!(value.as_f64().is_some(), "{source} parsed to a non-number");
+        }
+    }
+}
+
+#[test]
+fn malformed_numbers_are_rejected_not_reinterpreted() {
+    for source in ["007", "1.", "-.5", ".5", "1e", "1e+", "--1", "+1", "0x10", "1_000", "NaN"] {
+        assert!(Json::parse(source).is_err(), "{source:?} must not parse");
+    }
+}
+
+/// What the printer's non-finite-floats-as-`null` convention makes of a
+/// value: the shape a print/parse round trip must reproduce exactly.
+fn null_out_non_finite(value: Json) -> Json {
+    match value {
+        Json::Float(x) if !x.is_finite() => Json::Null,
+        Json::Array(items) => Json::Array(items.into_iter().map(null_out_non_finite).collect()),
+        Json::Object(fields) => {
+            Json::Object(fields.into_iter().map(|(k, v)| (k, null_out_non_finite(v))).collect())
+        }
+        other => other,
+    }
+}
+
+/// Deterministic byte-level mutation fuzz over the seed documents: flips,
+/// deletions, insertions and splices of the document text.  Whatever comes
+/// out, `parse` must return — `Ok` for mutations that happen to stay valid,
+/// `Err` otherwise — and everything it accepts must survive a print/parse
+/// round trip.  2000 mutants per seed document keeps the test near-instant
+/// while covering every byte position many times over.
+#[test]
+fn mutation_fuzz_never_panics_and_accepted_mutants_round_trip() {
+    let interesting: &[u8] = b"\"\\{}[]:,.-+eE0 \x00\x7fnt";
+    for (doc_index, document) in seed_documents().into_iter().enumerate() {
+        let mut rng = TestRng::from_seed_u64(0xADE5_0000 + doc_index as u64);
+        for _ in 0..2000 {
+            let mut bytes = document.clone().into_bytes();
+            for _ in 0..=rng.below(3) {
+                let position = rng.below(bytes.len());
+                match rng.below(4) {
+                    0 => bytes[position] ^= 1 << rng.below(8),
+                    1 => {
+                        bytes[position] = interesting[rng.below(interesting.len())];
+                    }
+                    2 => {
+                        bytes.remove(position);
+                    }
+                    _ => {
+                        let byte = interesting[rng.below(interesting.len())];
+                        bytes.insert(position, byte);
+                    }
+                }
+                if bytes.is_empty() {
+                    break;
+                }
+            }
+            // Invalid UTF-8 never reaches `parse` (its input is `&str`); the
+            // mutation space is the valid-UTF-8 slice of byte strings.
+            let Ok(mutant) = String::from_utf8(bytes) else { continue };
+            if let Ok(value) = Json::parse(&mutant) {
+                let printed = value.to_string();
+                let reparsed = Json::parse(&printed).unwrap_or_else(|error| {
+                    panic!("accepted mutant {mutant:?} printed as unparseable {printed:?}: {error}")
+                });
+                // The one documented round-trip exception: non-finite floats
+                // (a mutant like `1e999` saturates to infinity) print as
+                // `null`, so compare against that normalization.
+                assert_eq!(
+                    reparsed,
+                    null_out_non_finite(value),
+                    "round trip drifted for mutant {mutant:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn report_parsing_rejects_mutilated_documents_without_panicking() {
+    // One level up from raw JSON: `CheckReport::from_json` faces the same
+    // boundary.  Shape errors (valid JSON, wrong fields) must come back as
+    // `JsonError`s too.
+    let document = report_document();
+    assert!(CheckReport::from_json(&document).is_ok());
+    let cases: Vec<String> = vec![
+        document.replace("verdict", "verdikt"),
+        document.replace("valid_up_to", "maybe"),
+        document.replace("\"bound\":2", "\"bound\":\"two\""),
+        "{}".to_string(),
+        "[]".to_string(),
+        "null".to_string(),
+        document[..document.len() / 2].to_string(),
+    ];
+    for case in cases {
+        let result: Result<CheckReport, JsonError> = CheckReport::from_json(&case);
+        assert!(result.is_err(), "mutilated report parsed: {case:?}");
+    }
+}

@@ -1,0 +1,383 @@
+//! The differential oracle: one generated instance, every applicable
+//! backend, and the invariants that must hold between their answers.
+//!
+//! Backends answer different questions (bounded validity, full validity,
+//! validity over an enumerated run set), so raw verdicts are first folded
+//! into a three-valued [`Outcome`]: `Pass` (`Holds`/`ValidUpTo`), `Fail`
+//! (`Counterexample`), `Unknown`.  A disagreement is `Pass` vs `Fail` —
+//! `Unknown` (a withheld verdict) agrees with everything.  On top of the
+//! three-valued agreement the harness checks sharper, structural identities
+//! where the implementation guarantees them:
+//!
+//! * `Decide`'s refutation sweep *is* the `Bounded` enumeration (same
+//!   propositions, same depth), so when both refute, the counterexample
+//!   computations and enumeration indices must be bit-identical;
+//! * the evaluated Boolean fixpoint and the explicit condition artifact
+//!   decide the same logic, so their verdicts must agree outcome-for-outcome;
+//! * `Backend::Auto` must produce the same report as hand-routing through
+//!   [`ilogic_core::session::auto_backend`];
+//! * the `Explore` backend must agree with a sequential per-run reference
+//!   loop over the same collected runs — verdict, failing index and
+//!   counterexample alike;
+//! * a *tighter* budget may only withhold a verdict (`Unknown`), never flip
+//!   `Pass`↔`Fail`;
+//! * `Parallelism::Fixed(0/2/4)` must not change any verdict, failing index
+//!   or budget trip.
+//!
+//! All budgets are structural (no wall-clock deadline, no cancellation), so
+//! every check is deterministic in the instance alone.
+
+use ilogic_core::analysis::{self, proposition_names};
+use ilogic_core::generate::{FormulaGenerator, GeneratorConfig};
+use ilogic_core::prelude::*;
+use ilogic_core::session::auto_backend;
+use ilogic_systems::explore::{collect_runs, ExploreLimits};
+
+use crate::sysgen::{system_from_seed, RandomSystem};
+
+/// Depth shared by the `Bounded` cross-check and `Decide`'s refutation sweep
+/// (the session's internal `DECIDE_REFUTATION_BOUND`).
+pub const CROSS_CHECK_DEPTH: usize = 4;
+
+/// Limits for run collection from generated systems.
+const RUN_LIMITS: ExploreLimits = ExploreLimits { max_states: 10_000, max_depth: 7 };
+
+/// Runs collected per generated system.
+const MAX_RUNS: usize = 48;
+
+/// One generated instance of the differential corpus.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The seed the instance was generated from (and is replayed by).
+    pub seed: u64,
+    /// The random formula.
+    pub formula: Formula,
+    /// The random transition system.
+    pub system: RandomSystem,
+}
+
+impl Instance {
+    /// Regenerates the instance for `seed` — the deterministic inverse of
+    /// the seed printed in a failure message.
+    pub fn from_seed(seed: u64) -> Instance {
+        let mut generator = FormulaGenerator::from_seed(seed, GeneratorConfig::default());
+        Instance { seed, formula: generator.next_formula(), system: system_from_seed(seed) }
+    }
+
+    /// A compact rendering for failure messages and the repro artifact.
+    pub fn describe(&self) -> String {
+        format!(
+            "seed = {}\nformula = {}\nsystem = {}",
+            self.seed,
+            self.formula,
+            self.system.describe()
+        )
+    }
+}
+
+/// The three-valued folding of a [`Verdict`] the agreement check runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `Holds` or `ValidUpTo`.
+    Pass,
+    /// `Counterexample`.
+    Fail,
+    /// Any `Unknown` — agrees with everything.
+    Unknown,
+}
+
+/// Folds a verdict into its [`Outcome`].
+pub fn classify(verdict: &Verdict) -> Outcome {
+    match verdict {
+        Verdict::Holds | Verdict::ValidUpTo(_) => Outcome::Pass,
+        Verdict::Counterexample(_) => Outcome::Fail,
+        Verdict::Unknown { .. } => Outcome::Unknown,
+    }
+}
+
+/// `true` when the two outcomes contradict each other (`Pass` vs `Fail`).
+pub fn disagree(a: Outcome, b: Outcome) -> bool {
+    matches!((a, b), (Outcome::Pass, Outcome::Fail) | (Outcome::Fail, Outcome::Pass))
+}
+
+/// A cross-backend disagreement, carrying everything a failure message
+/// needs.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// Seed of the offending instance.
+    pub seed: u64,
+    /// Which oracle invariant broke.
+    pub invariant: &'static str,
+    /// Human-readable description of the two conflicting answers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cross-backend disagreement [{}] at seed = {}: {}\nreplay with: ILOGIC_FUZZ_SEED={} cargo test -p ilogic-fuzz --test differential",
+            self.invariant, self.seed, self.detail, self.seed
+        )
+    }
+}
+
+/// The structural budget every oracle check runs under: the service defaults
+/// (no deadline, no cancellation — deterministic at any worker count), with
+/// the implicant cap pulled down so hard-family instances whose explicit
+/// condition artifact is intractable trip fast and fall through to the
+/// evaluated fixpoint instead of interning tens of thousands of implicants
+/// per instance.
+pub fn oracle_budget() -> ResourceBudget {
+    ResourceBudget::default().with_max_implicants(512)
+}
+
+/// A deliberately tight structural budget for the monotonicity check.
+pub fn tight_budget() -> ResourceBudget {
+    ResourceBudget::new()
+        .with_max_nodes(48)
+        .with_max_edges(192)
+        .with_max_implicants(64)
+        .with_max_enumeration(300)
+}
+
+/// The full oracle: runs every invariant against the instance and returns
+/// the first disagreement found.
+pub fn check_instance(instance: &Instance) -> Result<(), Disagreement> {
+    let mut session = Session::new();
+    let fail = |invariant: &'static str, detail: String| Disagreement {
+        seed: instance.seed,
+        invariant,
+        detail,
+    };
+
+    // --- Decide vs Bounded: same alphabet, same depth --------------------
+    let props = proposition_names(&instance.formula);
+    let decide = session
+        .check(CheckRequest::new(instance.formula.clone()).decide().with_budget(oracle_budget()));
+    let bounded = if props.is_empty() {
+        None
+    } else {
+        Some(
+            session.check(
+                CheckRequest::new(instance.formula.clone())
+                    .bounded(props.clone(), CROSS_CHECK_DEPTH)
+                    .with_budget(oracle_budget()),
+            ),
+        )
+    };
+    if let Some(bounded) = &bounded {
+        let (d, b) = (classify(&decide.verdict), classify(&bounded.verdict));
+        if disagree(d, b) {
+            return Err(fail(
+                "decide-vs-bounded",
+                format!("decide: {} | bounded: {}", decide.verdict, bounded.verdict),
+            ));
+        }
+        if let (Verdict::Counterexample(dc), Verdict::Counterexample(bc)) =
+            (&decide.verdict, &bounded.verdict)
+        {
+            if dc != bc || decide.failing_index != bounded.failing_index {
+                return Err(fail(
+                    "decide-vs-bounded-counterexample",
+                    format!(
+                        "decide cx #{:?} {dc} | bounded cx #{:?} {bc}",
+                        decide.failing_index, bounded.failing_index
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Evaluated fixpoint vs explicit condition artifact ---------------
+    let evaluated = session.check(
+        CheckRequest::new(instance.formula.clone())
+            .decide()
+            .with_budget(oracle_budget().with_max_implicants(usize::MAX)),
+    );
+    let (e, d) = (classify(&evaluated.verdict), classify(&decide.verdict));
+    if disagree(e, d) {
+        return Err(fail(
+            "evaluated-vs-artifact",
+            format!(
+                "evaluated fixpoint: {} | artifact path: {}",
+                evaluated.verdict, decide.verdict
+            ),
+        ));
+    }
+
+    // --- Auto vs hand-routed ---------------------------------------------
+    let auto = session
+        .check(CheckRequest::new(instance.formula.clone()).auto().with_budget(oracle_budget()));
+    let estimate = analysis::analyze_formula(&instance.formula).estimate;
+    let (routed_backend, routed_budget) =
+        auto_backend(&instance.formula, &estimate, &oracle_budget());
+    let routed = session.check(
+        CheckRequest::new(instance.formula.clone())
+            .with_backend(routed_backend)
+            .with_budget(routed_budget),
+    );
+    if auto.verdict != routed.verdict
+        || auto.failing_index != routed.failing_index
+        || auto.backend != routed.backend
+    {
+        return Err(fail(
+            "auto-vs-hand-routed",
+            format!(
+                "auto [{}]: {} (#{:?}) | routed [{}]: {} (#{:?})",
+                auto.backend,
+                auto.verdict,
+                auto.failing_index,
+                routed.backend,
+                routed.verdict,
+                routed.failing_index
+            ),
+        ));
+    }
+
+    // --- Explore vs sequential per-run reference -------------------------
+    let runs = collect_runs(&instance.system, RUN_LIMITS, MAX_RUNS);
+    let explore = session.check(
+        CheckRequest::new(instance.formula.clone())
+            .over_runs(runs.clone())
+            .with_budget(oracle_budget()),
+    );
+    let mut reference: Option<(usize, &Trace)> = None;
+    for (index, run) in runs.iter().enumerate() {
+        let report = session.check(CheckRequest::new(instance.formula.clone()).on_trace(run));
+        if classify(&report.verdict) == Outcome::Fail {
+            reference = Some((index, run));
+            break;
+        }
+    }
+    match (&explore.verdict, reference) {
+        (Verdict::Counterexample(trace), Some((index, run)))
+            if (trace != run || explore.failing_index != Some(index)) =>
+        {
+            return Err(fail(
+                "explore-vs-reference",
+                format!(
+                    "explore cx #{:?} {trace} | reference cx #{index} {run}",
+                    explore.failing_index
+                ),
+            ));
+        }
+        (Verdict::Counterexample(trace), None) => {
+            return Err(fail(
+                "explore-vs-reference",
+                format!("explore found cx {trace} but no run fails sequentially"),
+            ));
+        }
+        (verdict, Some((index, run))) if classify(verdict) == Outcome::Pass => {
+            return Err(fail(
+                "explore-vs-reference",
+                format!("explore passed ({verdict}) but run #{index} fails sequentially: {run}"),
+            ));
+        }
+        _ => {}
+    }
+
+    // --- Budget monotonicity: tighter budgets only withhold --------------
+    let full = classify(&decide.verdict);
+    let tight = session
+        .check(CheckRequest::new(instance.formula.clone()).decide().with_budget(tight_budget()));
+    let tight_outcome = classify(&tight.verdict);
+    if tight_outcome != Outcome::Unknown && full != Outcome::Unknown && tight_outcome != full {
+        return Err(fail(
+            "budget-monotonicity",
+            format!("full budget: {} | tight budget: {}", decide.verdict, tight.verdict),
+        ));
+    }
+
+    // --- Parallelism invariance: Fixed(0/2/4) bit-identity ----------------
+    // Subsampled: the sweep re-runs the two heaviest backends three times
+    // each, so spending it on every fourth seed keeps the corpus cheap while
+    // still covering hundreds of instances per CI run.
+    if !instance.seed.is_multiple_of(4) {
+        return Ok(());
+    }
+    for (name, request) in [
+        ("decide", CheckRequest::new(instance.formula.clone()).decide()),
+        ("explore", CheckRequest::new(instance.formula.clone()).over_runs(runs.clone())),
+    ] {
+        let mut baseline: Option<CheckReport> = None;
+        for workers in [0usize, 2, 4] {
+            let report = session.check(
+                request
+                    .clone()
+                    .with_budget(oracle_budget())
+                    .with_parallelism(Parallelism::Fixed(workers)),
+            );
+            if let Some(baseline) = &baseline {
+                if report.verdict != baseline.verdict
+                    || report.failing_index != baseline.failing_index
+                    || report.stats.exhausted != baseline.stats.exhausted
+                {
+                    return Err(fail(
+                        "parallelism-invariance",
+                        format!(
+                            "[{name}] workers=0: {} (#{:?}) | workers={workers}: {} (#{:?})",
+                            baseline.verdict,
+                            baseline.failing_index,
+                            report.verdict,
+                            report.failing_index
+                        ),
+                    ));
+                }
+            } else {
+                baseline = Some(report);
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_folds_every_verdict() {
+        assert_eq!(classify(&Verdict::Holds), Outcome::Pass);
+        assert_eq!(classify(&Verdict::ValidUpTo(4)), Outcome::Pass);
+        assert_eq!(classify(&Verdict::unknown()), Outcome::Unknown);
+        assert_eq!(classify(&Verdict::exhausted(Exhaustion::Nodes)), Outcome::Unknown);
+        assert_eq!(
+            classify(&Verdict::Counterexample(Trace::finite(vec![State::new()]))),
+            Outcome::Fail
+        );
+    }
+
+    #[test]
+    fn unknown_agrees_with_everything() {
+        for outcome in [Outcome::Pass, Outcome::Fail, Outcome::Unknown] {
+            assert!(!disagree(Outcome::Unknown, outcome));
+            assert!(!disagree(outcome, Outcome::Unknown));
+        }
+        assert!(disagree(Outcome::Pass, Outcome::Fail));
+        assert!(!disagree(Outcome::Pass, Outcome::Pass));
+    }
+
+    #[test]
+    fn instances_replay_deterministically() {
+        for seed in 0..20 {
+            let a = Instance::from_seed(seed);
+            let b = Instance::from_seed(seed);
+            assert_eq!(a.formula, b.formula);
+            assert_eq!(a.system, b.system);
+        }
+    }
+
+    #[test]
+    fn a_slice_of_the_corpus_agrees() {
+        // The full corpus runs in tests/differential.rs; this in-module
+        // smoke keeps the oracle itself covered by `cargo test -p`.
+        for seed in 0..8 {
+            let instance = Instance::from_seed(seed);
+            if let Err(disagreement) = check_instance(&instance) {
+                panic!("{disagreement}\n{}", instance.describe());
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Greedy minimization of a disagreeing instance.
+//!
+//! Given an instance on which some oracle predicate reports a disagreement,
+//! [`shrink_instance`] repeatedly tries structurally smaller candidates —
+//! replacing the formula by its direct subformulas or a constant, dropping
+//! system states and transitions, clearing label bits — and commits the
+//! first candidate that still disagrees, until no candidate does (a local
+//! minimum).  The process is deterministic, so replaying the printed seed
+//! reproduces not only the original instance but the exact shrunk repro.
+
+use ilogic_core::prelude::*;
+
+use crate::oracle::Instance;
+use crate::sysgen::RandomSystem;
+
+/// Greedily shrinks `instance` while `disagrees` keeps reporting the
+/// disagreement.  Returns a local minimum: no single shrink step of the
+/// result still disagrees.
+pub fn shrink_instance(mut instance: Instance, disagrees: impl Fn(&Instance) -> bool) -> Instance {
+    debug_assert!(disagrees(&instance), "shrinking a non-disagreeing instance");
+    loop {
+        let mut advanced = false;
+        for candidate in candidates(&instance) {
+            if disagrees(&candidate) {
+                instance = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return instance;
+        }
+    }
+}
+
+/// The single-step shrink candidates, in decreasing order of aggression:
+/// formula shrinks first (they collapse the search fastest), then system
+/// shrinks.
+pub fn candidates(instance: &Instance) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for formula in formula_shrinks(&instance.formula) {
+        out.push(Instance { formula, ..instance.clone() });
+    }
+    for system in system_shrinks(&instance.system) {
+        out.push(Instance { system, ..instance.clone() });
+    }
+    out
+}
+
+/// Structural size of a formula — what the shrinker drives down.
+pub fn formula_size(formula: &Formula) -> usize {
+    match formula {
+        Formula::True | Formula::False => 1,
+        // A predicate outweighs a constant so the `Pred → True` shrink is
+        // strictly decreasing too.
+        Formula::Pred(_) => 2,
+        Formula::Not(a)
+        | Formula::Always(a)
+        | Formula::Eventually(a)
+        | Formula::Forall(_, a)
+        | Formula::Exists(_, a) => 1 + formula_size(a),
+        Formula::And(a, b) | Formula::Or(a, b) => 1 + formula_size(a) + formula_size(b),
+        // Interval terms count a flat 1: the shrinker replaces the whole
+        // `In` by its body rather than rewriting terms.
+        Formula::In(_, a) => 2 + formula_size(a),
+    }
+}
+
+fn formula_shrinks(formula: &Formula) -> Vec<Formula> {
+    let mut out = Vec::new();
+    // Hoist every direct subformula over the operator...
+    match formula {
+        Formula::True | Formula::False => {}
+        Formula::Pred(_) => out.push(Formula::True),
+        Formula::Not(a)
+        | Formula::Always(a)
+        | Formula::Eventually(a)
+        | Formula::In(_, a)
+        | Formula::Forall(_, a)
+        | Formula::Exists(_, a) => out.push((**a).clone()),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+    }
+    // ...then recurse: the same operator over a shrunken child.
+    match formula {
+        Formula::True | Formula::False | Formula::Pred(_) => {}
+        Formula::Not(a) => {
+            out.extend(formula_shrinks(a).into_iter().map(|s| Formula::Not(Box::new(s))));
+        }
+        Formula::Always(a) => {
+            out.extend(formula_shrinks(a).into_iter().map(|s| Formula::Always(Box::new(s))));
+        }
+        Formula::Eventually(a) => {
+            out.extend(formula_shrinks(a).into_iter().map(|s| Formula::Eventually(Box::new(s))));
+        }
+        Formula::In(term, a) => {
+            out.extend(
+                formula_shrinks(a).into_iter().map(|s| Formula::In(term.clone(), Box::new(s))),
+            );
+        }
+        Formula::Forall(x, a) => {
+            out.extend(
+                formula_shrinks(a).into_iter().map(|s| Formula::Forall(x.clone(), Box::new(s))),
+            );
+        }
+        Formula::Exists(x, a) => {
+            out.extend(
+                formula_shrinks(a).into_iter().map(|s| Formula::Exists(x.clone(), Box::new(s))),
+            );
+        }
+        Formula::And(a, b) => {
+            out.extend(
+                formula_shrinks(a).into_iter().map(|s| Formula::And(Box::new(s), b.clone())),
+            );
+            out.extend(
+                formula_shrinks(b).into_iter().map(|s| Formula::And(a.clone(), Box::new(s))),
+            );
+        }
+        Formula::Or(a, b) => {
+            out.extend(formula_shrinks(a).into_iter().map(|s| Formula::Or(Box::new(s), b.clone())));
+            out.extend(formula_shrinks(b).into_iter().map(|s| Formula::Or(a.clone(), Box::new(s))));
+        }
+    }
+    out
+}
+
+fn system_shrinks(system: &RandomSystem) -> Vec<RandomSystem> {
+    let mut out = Vec::new();
+    let n = system.states();
+    // Drop a non-initial state, rerouting nothing: transitions into it are
+    // removed, later state ids shift down.
+    for dropped in 1..n {
+        let mut shrunk = system.clone();
+        shrunk.transitions.remove(dropped);
+        shrunk.labels.remove(dropped);
+        for successors in &mut shrunk.transitions {
+            successors.retain(|&s| s != dropped);
+            for s in successors.iter_mut() {
+                if *s > dropped {
+                    *s -= 1;
+                }
+            }
+        }
+        out.push(shrunk);
+    }
+    // Drop a single transition.
+    for state in 0..n {
+        for slot in 0..system.transitions[state].len() {
+            let mut shrunk = system.clone();
+            shrunk.transitions[state].remove(slot);
+            out.push(shrunk);
+        }
+    }
+    // Clear a single label bit.
+    for state in 0..n {
+        for bit in 0..system.props.len() {
+            if system.labels[state] & (1 << bit) != 0 {
+                let mut shrunk = system.clone();
+                shrunk.labels[state] &= !(1 << bit);
+                out.push(shrunk);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilogic_core::dsl::*;
+
+    #[test]
+    fn formula_shrinks_strictly_reduce_size() {
+        let formula = always(prop("p").and(eventually(prop("q")))).or(prop("r").not());
+        for shrunk in formula_shrinks(&formula) {
+            assert!(
+                formula_size(&shrunk) < formula_size(&formula),
+                "{shrunk} is no smaller than {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn system_shrinks_strictly_reduce() {
+        let system = crate::sysgen::system_from_seed(7);
+        let weight = |s: &RandomSystem| {
+            s.states()
+                + s.transitions.iter().map(Vec::len).sum::<usize>()
+                + s.labels.iter().map(|l| l.count_ones() as usize).sum::<usize>()
+        };
+        for shrunk in system_shrinks(&system) {
+            assert!(weight(&shrunk) < weight(&system));
+            for successors in &shrunk.transitions {
+                assert!(successors.iter().all(|&s| s < shrunk.states()), "dangling transition");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_terminates_at_a_local_minimum() {
+        // Predicate: "the formula mentions q" — the minimum is the bare
+        // proposition over the smallest system.
+        let instance = Instance {
+            seed: 0,
+            formula: always(prop("p").and(prop("q")).or(eventually(prop("q")))),
+            system: crate::sysgen::system_from_seed(3),
+        };
+        let mentions_q = |i: &Instance| {
+            ilogic_core::analysis::proposition_names(&i.formula).contains(&"q".to_string())
+        };
+        assert!(mentions_q(&instance));
+        let shrunk = shrink_instance(instance, mentions_q);
+        assert_eq!(shrunk.formula, prop("q"), "not minimal: {}", shrunk.formula);
+        // The system is irrelevant to the predicate, so it shrinks to the
+        // single-state skeleton with no transitions or labels.
+        assert_eq!(shrunk.system.states(), 1);
+        assert!(shrunk.system.transitions.iter().all(Vec::is_empty));
+        assert!(shrunk.system.labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Seeded random transition systems implementing the [`Model`] trait.
+//!
+//! A [`RandomSystem`] is a small labelled graph: each state holds a subset of
+//! a tiny proposition alphabet and steps to a few successor states.  The
+//! systems are generated through the compat `proptest` combinators
+//! (weighted unions, `prop_flat_map` for the size-dependent parts,
+//! `sample::select`) from a [`TestRng`] seeded per instance, so the same
+//! seed always yields the same system.
+//!
+//! Small alphabets and state counts are deliberate: cross-backend
+//! disagreements, if any exist, concentrate on dense small instances, and
+//! the exhaustive backends stay cheap enough to run thousands of instances
+//! per CI job.
+
+use ilogic_core::prelude::*;
+use ilogic_systems::explore::Model;
+use proptest::prelude::*;
+use proptest::{collection, sample, TestRng};
+
+/// A randomly generated finite transition system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomSystem {
+    /// Successor state ids per state.
+    pub transitions: Vec<Vec<usize>>,
+    /// Bitmask over [`RandomSystem::props`] held in each state.
+    pub labels: Vec<u8>,
+    /// The proposition alphabet.
+    pub props: Vec<String>,
+}
+
+impl RandomSystem {
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// A compact single-line rendering for failure messages and repro files.
+    pub fn describe(&self) -> String {
+        let states: Vec<String> = (0..self.states())
+            .map(|s| {
+                let held: Vec<&str> = self
+                    .props
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| self.labels[s] & (1 << bit) != 0)
+                    .map(|(_, name)| name.as_str())
+                    .collect();
+                format!("s{s}{{{}}}→{:?}", held.join(","), self.transitions[s])
+            })
+            .collect();
+        states.join(" ")
+    }
+}
+
+impl Model for RandomSystem {
+    type State = usize;
+
+    fn initial(&self) -> usize {
+        0
+    }
+
+    fn successors(&self, state: &usize) -> Vec<(String, usize)> {
+        self.transitions[*state].iter().map(|&next| (format!("goto({next})"), next)).collect()
+    }
+
+    fn observe(&self, state: &usize) -> State {
+        let mut observed = State::new();
+        for (bit, name) in self.props.iter().enumerate() {
+            if self.labels[*state] & (1 << bit) != 0 {
+                observed.insert(Prop::plain(name));
+            }
+        }
+        observed
+    }
+}
+
+/// A strategy for random systems over `props` (at most 8 propositions).
+///
+/// The state count is drawn first and the per-state structure flows from it
+/// via `prop_flat_map`; out-degrees are weighted towards branching (degree 2)
+/// with a tail of dead ends, which keeps the run trees bushy but finite-ish.
+pub fn system_strategy(props: Vec<String>) -> impl Strategy<Value = RandomSystem> {
+    assert!((1..=8).contains(&props.len()), "the label bitmask carries at most 8 propositions");
+    let mask_ceiling = 1u16 << props.len();
+    sample::select(vec![2usize, 3, 4, 5]).prop_flat_map(move |states| {
+        let labels =
+            collection::vec(sample::select((0..mask_ceiling).map(|m| m as u8).collect()), states);
+        let degree = prop_oneof![
+            1 => Just(0usize),
+            3 => Just(1usize),
+            4 => Just(2usize),
+            1 => Just(3usize),
+        ];
+        let transitions = collection::vec(
+            degree
+                .prop_flat_map(move |d| collection::vec(sample::select((0..states).collect()), d)),
+            states,
+        );
+        let props = props.clone();
+        (labels, transitions).prop_map(move |(labels, transitions)| RandomSystem {
+            transitions,
+            labels,
+            props: props.clone(),
+        })
+    })
+}
+
+/// The system for a given instance seed, over the default `p`/`q`/`r`
+/// alphabet — the deterministic entry point the oracle harness uses.
+pub fn system_from_seed(seed: u64) -> RandomSystem {
+    // Offset the stream so the formula generator (seeded with the raw seed)
+    // and the system generator never share a stream even if their PRNGs
+    // coincide.
+    let mut rng = TestRng::from_seed_u64(seed ^ 0x5157_A119_5157_A119);
+    system_strategy(vec!["p".into(), "q".into(), "r".into()]).generate(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilogic_systems::explore::{collect_runs, random_run, ExploreLimits};
+
+    #[test]
+    fn same_seed_same_system() {
+        for seed in 0..50 {
+            assert_eq!(system_from_seed(seed), system_from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn seeds_produce_varied_shapes() {
+        let distinct: std::collections::BTreeSet<String> =
+            (0..50).map(|seed| system_from_seed(seed).describe()).collect();
+        assert!(distinct.len() > 30, "only {} distinct systems in 50 seeds", distinct.len());
+    }
+
+    #[test]
+    fn generated_systems_are_well_formed() {
+        for seed in 0..100 {
+            let system = system_from_seed(seed);
+            let n = system.states();
+            assert!((2..=5).contains(&n));
+            assert_eq!(system.labels.len(), n);
+            for successors in &system.transitions {
+                assert!(successors.len() <= 3);
+                assert!(successors.iter().all(|&s| s < n));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_and_random_walks_stay_in_bounds() {
+        let limits = ExploreLimits { max_states: 1000, max_depth: 8 };
+        for seed in 0..20 {
+            let system = system_from_seed(seed);
+            let runs = collect_runs(&system, limits, 32);
+            assert!(!runs.is_empty(), "every system has at least the initial-state run");
+            let walk = random_run(&system, 16, seed);
+            assert!(walk.states().len() <= 17);
+        }
+    }
+}

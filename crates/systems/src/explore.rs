@@ -278,6 +278,30 @@ where
     }
 }
 
+/// One randomly scheduled run of the model, projected onto a trace: at every
+/// state a uniformly chosen enabled transition is taken, until the system
+/// quiesces or `max_steps` transitions have fired.  Deterministic in `seed` —
+/// this is how the simulators and the differential-fuzz corpus sample
+/// schedules the exhaustive explorer would only reach late.
+pub fn random_run<M: Model>(model: &M, max_steps: usize, seed: u64) -> Trace {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = model.initial();
+    let mut states = vec![model.observe(&state)];
+    for _ in 0..max_steps {
+        let mut successors = model.successors(&state);
+        if successors.is_empty() {
+            break;
+        }
+        let pick = rng.gen_range(0..successors.len());
+        state = successors.swap_remove(pick).1;
+        states.push(model.observe(&state));
+    }
+    Trace::finite(states)
+}
+
 /// Enumerates complete runs of the model (depth-first, up to the limits) and
 /// projects each onto a trace.  A run is complete when it reaches a state with
 /// no enabled transition or the depth limit.

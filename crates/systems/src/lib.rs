@@ -24,5 +24,7 @@ pub mod abprotocol;
 pub mod explore;
 pub mod mutex;
 pub mod queue;
+pub mod ring;
 pub mod selftimed;
+pub mod sensorbus;
 pub mod specs;

@@ -1,0 +1,289 @@
+//! Ring leader election (Chang–Roberts), a PODC-venue case study.
+//!
+//! `n` nodes sit on a unidirectional ring; each starts by sending its own
+//! (distinct) id clockwise.  A node receiving an id larger than its own
+//! forwards it, discards a smaller one, and claims leadership when its own id
+//! comes back around — the classic argument being that only the maximum id
+//! survives a full lap.  The interval-logic rendering of the correctness
+//! properties (a unique, stable leader, holding the maximum id) is in
+//! [`ring_election_spec`]/[`leader_uniqueness_theorem`], checked both over
+//! exhaustively explored runs and over randomly scheduled simulations.
+//!
+//! The broken variant ([`RingModel::broken`]) skips the id comparison
+//! entirely — a node takes *any* arriving token for its own returning
+//! candidacy — so several nodes claim leadership, which the explorer catches
+//! with a concrete interleaving.
+
+use std::collections::BTreeMap;
+
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+
+use crate::explore::Model;
+
+/// The Chang–Roberts election on a unidirectional ring as an explorable
+/// transition system.
+#[derive(Clone, Debug)]
+pub struct RingModel {
+    /// Node ids by ring position (`ids[i]` sends to position `i + 1 mod n`);
+    /// must be pairwise distinct.
+    pub ids: Vec<u64>,
+    /// Reproduces the broken variant: nodes skip the id comparison and claim
+    /// leadership on any arriving token.
+    pub skip_comparison: bool,
+}
+
+/// A global election state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RingState {
+    /// Tokens in flight towards each position (sorted multiset).
+    pub channels: Vec<Vec<u64>>,
+    /// Whether each position has injected its own candidacy yet.
+    pub started: Vec<bool>,
+    /// Whether each position has claimed leadership.
+    pub leader: Vec<bool>,
+}
+
+impl RingModel {
+    /// The correct election over the given ring of distinct ids.
+    pub fn correct(ids: Vec<u64>) -> RingModel {
+        RingModel::with_flags(ids, false)
+    }
+
+    /// The broken variant that claims leadership on any arriving token.
+    pub fn broken(ids: Vec<u64>) -> RingModel {
+        RingModel::with_flags(ids, true)
+    }
+
+    fn with_flags(ids: Vec<u64>, skip_comparison: bool) -> RingModel {
+        assert!(ids.len() >= 2, "a ring election needs at least two nodes");
+        let mut seen = ids.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ids.len(), "ring ids must be pairwise distinct");
+        RingModel { ids, skip_comparison }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Safety: at most one node has claimed leadership.
+    pub fn at_most_one_leader(state: &RingState) -> bool {
+        state.leader.iter().filter(|l| **l).count() <= 1
+    }
+
+    /// Safety: any claimed leader holds the maximum id of the ring.
+    pub fn leader_is_maximum(&self, state: &RingState) -> bool {
+        let max = *self.ids.iter().max().expect("ring is non-empty");
+        state.leader.iter().zip(&self.ids).all(|(claimed, id)| !claimed || *id == max)
+    }
+}
+
+impl Model for RingModel {
+    type State = RingState;
+
+    fn initial(&self) -> RingState {
+        let n = self.nodes();
+        RingState { channels: vec![Vec::new(); n], started: vec![false; n], leader: vec![false; n] }
+    }
+
+    fn successors(&self, state: &RingState) -> Vec<(String, RingState)> {
+        let n = self.nodes();
+        let mut result = Vec::new();
+        for i in 0..n {
+            if !state.started[i] {
+                // Inject the node's own candidacy clockwise.
+                let mut next = state.clone();
+                next.started[i] = true;
+                let slot = next.channels[(i + 1) % n].binary_search(&self.ids[i]).unwrap_err();
+                next.channels[(i + 1) % n].insert(slot, self.ids[i]);
+                result.push((format!("start({i})"), next));
+            }
+            // Deliver each distinct pending token (the channel is a sorted
+            // multiset, so deduplicating adjacent entries keeps the successor
+            // set canonical).
+            let mut previous = None;
+            for (slot, &token) in state.channels[i].iter().enumerate() {
+                if previous == Some(token) {
+                    continue;
+                }
+                previous = Some(token);
+                let mut next = state.clone();
+                next.channels[i].remove(slot);
+                if self.skip_comparison || token == self.ids[i] {
+                    // Own id back around (or the broken variant's blanket
+                    // claim): leadership.
+                    next.leader[i] = true;
+                    result.push((format!("claim({i},{token})"), next));
+                } else if token > self.ids[i] {
+                    let slot =
+                        next.channels[(i + 1) % n].binary_search(&token).unwrap_or_else(|e| e);
+                    next.channels[(i + 1) % n].insert(slot, token);
+                    result.push((format!("forward({i},{token})"), next));
+                } else {
+                    result.push((format!("discard({i},{token})"), next));
+                }
+            }
+        }
+        result
+    }
+
+    fn observe(&self, state: &RingState) -> State {
+        let mut observed = State::new();
+        for i in 0..self.nodes() {
+            if state.leader[i] {
+                observed.insert(Prop::with_args("leader", [i as i64]));
+            }
+            if !state.channels[i].is_empty() {
+                observed.insert(Prop::with_args("tok", [i as i64]));
+            }
+        }
+        observed
+    }
+}
+
+/// The interval-logic specification of the election.
+///
+/// * `Init` — nobody is a leader before the protocol runs;
+/// * `Unique` — two distinct positions never both claim leadership;
+/// * `Stable` — from the interval in which `leader(i)` is raised, it stays
+///   raised: a leader never abdicates.
+pub fn ring_election_spec() -> Spec {
+    let leader = |i: &str| prop_args("leader", vec![var(i)]);
+    let unique = data_ne("i", "j").implies(leader("i").and(leader("j")).not().always());
+    let stable = always(leader("i")).within(fwd_from(event(leader("i")))).always();
+    Spec::new("ring-election")
+        .init("Init", leader("m").not())
+        .axiom("Unique", unique)
+        .axiom("Stable", stable)
+}
+
+/// The uniqueness property alone: `i ≠ j ⊃ □¬(leader(i) ∧ leader(j))`.
+pub fn leader_uniqueness_theorem() -> Formula {
+    let leader = |i: &str| prop_args("leader", vec![var(i)]);
+    data_ne("i", "j").implies(leader("i").and(leader("j")).not().always())
+}
+
+fn data_ne(a: &str, b: &str) -> Formula {
+    Formula::Pred(Pred::cmp(Expr::data(a), CmpOp::Ne, Expr::data(b)))
+}
+
+/// Counts, over every complete run of the model, how often each node ends up
+/// leader — a distribution the tests use to show the *correct* ring elects
+/// exactly the maximum id on every schedule.
+pub fn leadership_census(model: &RingModel, max_runs: usize) -> BTreeMap<usize, usize> {
+    let mut census = BTreeMap::new();
+    for run in crate::explore::collect_runs(model, Default::default(), max_runs) {
+        let last = run.states().last().expect("runs are non-empty");
+        for i in 0..model.nodes() {
+            if last.holds(&Prop::with_args("leader", [i as i64])) {
+                *census.entry(i).or_insert(0) += 1;
+            }
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{collect_runs, explore, explore_backend, random_run, ExploreLimits};
+    use ilogic_core::spec::close_free_variables;
+
+    #[test]
+    fn correct_ring_elects_at_most_one_leader_exhaustively() {
+        let model = RingModel::correct(vec![2, 1, 3]);
+        let report = explore(&model, ExploreLimits::default(), RingModel::at_most_one_leader);
+        assert!(report.verified(), "violation: {:?}", report.violation.map(|v| v.actions));
+        assert!(report.states > 20);
+    }
+
+    #[test]
+    fn any_claimed_leader_holds_the_maximum_id() {
+        let model = RingModel::correct(vec![4, 2, 7, 1]);
+        let report = explore(&model, ExploreLimits::default(), |s| model.leader_is_maximum(s));
+        assert!(report.verified(), "violation: {:?}", report.violation.map(|v| v.actions));
+    }
+
+    #[test]
+    fn every_complete_run_elects_exactly_the_maximum() {
+        let model = RingModel::correct(vec![2, 1, 3]);
+        let census = leadership_census(&model, 512);
+        // Position 2 holds the maximum id 3; no other position ever leads.
+        assert_eq!(census.keys().copied().collect::<Vec<_>>(), vec![2]);
+        assert!(census[&2] > 0);
+    }
+
+    #[test]
+    fn broken_ring_yields_a_multi_leader_counterexample() {
+        let model = RingModel::broken(vec![2, 1, 3]);
+        let report = explore(&model, ExploreLimits::default(), RingModel::at_most_one_leader);
+        let violation = report.violation.expect("the broken variant must be caught");
+        assert!(violation.actions.iter().filter(|a| a.starts_with("claim")).count() >= 2);
+    }
+
+    #[test]
+    fn explored_runs_satisfy_the_election_spec() {
+        let model = RingModel::correct(vec![2, 1, 3]);
+        let runs = collect_runs(&model, ExploreLimits::default(), 64);
+        assert!(!runs.is_empty());
+        let spec = ring_election_spec();
+        let mut session = Session::new();
+        for trace in &runs {
+            let report = session.check_spec(&spec, trace);
+            assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn uniqueness_theorem_checked_by_every_applicable_backend() {
+        let theorem = close_free_variables(&leader_uniqueness_theorem());
+        let mut session = Session::new();
+
+        // Explore: holds over every run of the correct model...
+        let good = explore_backend(&RingModel::correct(vec![2, 1, 3]), Default::default(), 128);
+        let report = session.check(CheckRequest::new(theorem.clone()).with_backend(good));
+        assert_eq!(report.backend, "explore");
+        assert!(report.verdict.passed(), "{}", report.verdict);
+
+        // ...and is violated, with a concrete run, on the broken one.
+        let bad = explore_backend(&RingModel::broken(vec![2, 1, 3]), Default::default(), 128);
+        let report = session.check(CheckRequest::new(theorem.clone()).with_backend(bad));
+        assert!(report.verdict.counterexample().is_some());
+
+        // Trace backend: a random schedule of the correct ring conforms.
+        let trace = random_run(&RingModel::correct(vec![2, 1, 3]), 64, 11);
+        assert!(session.check(CheckRequest::new(theorem).on_trace(&trace)).verdict.passed());
+    }
+
+    #[test]
+    fn uniqueness_is_refuted_identically_by_bounded_and_decide() {
+        // The propositional rendering of uniqueness for two fixed positions
+        // is *not valid* (nothing forces the props apart in an arbitrary
+        // computation): Bounded finds a counterexample computation, and
+        // Decide's refutation sweep — the same enumeration over the same
+        // alphabet — must land on the identical one.
+        let unique = prop("lead_a").and(prop("lead_b")).not().always();
+        let mut session = Session::new();
+        let bounded =
+            session.check(CheckRequest::new(unique.clone()).bounded(vec!["lead_a", "lead_b"], 4));
+        let decide = session.check(CheckRequest::new(unique).decide());
+        let bounded_cx = bounded.verdict.counterexample().expect("bounded refutes");
+        let decide_cx = decide.verdict.counterexample().expect("decide refutes");
+        assert_eq!(bounded_cx, decide_cx, "the two refutations must be bit-identical");
+    }
+
+    #[test]
+    fn random_schedules_never_break_the_spec() {
+        let model = RingModel::correct(vec![5, 3, 8, 1]);
+        let spec = ring_election_spec();
+        let mut session = Session::new();
+        for seed in 0..10 {
+            let trace = random_run(&model, 96, seed);
+            let report = session.check_spec(&spec, &trace);
+            assert!(report.passed(), "seed {seed}: {:?}", report.failures());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A master/slave sensor-bus protocol with timeouts and retries.
+//!
+//! One master polls `n` sensor slaves over a shared bus, strictly one
+//! transaction at a time: it raises a request to the current slave and waits;
+//! the slave either answers (the sensor read succeeds) or the watchdog fires
+//! a timeout, in which case the master retries the same slave up to
+//! `max_retries` times before declaring it dead and moving on.  The
+//! interval-logic specification ([`sensor_bus_spec`]) pins down bus
+//! exclusivity (one outstanding transaction), resolution (every poll ends in
+//! a reading or a declared failure), and verdict stability/consistency — the
+//! embedded-comm shape of the ROADMAP's protocol-zoo item.
+//!
+//! The broken variant ([`SensorBusModel::broken`]) lets the master grow
+//! impatient: while still waiting on a slow slave it may already poll the
+//! next one, overlapping two transactions on the bus — a violation the
+//! exhaustive explorer catches with a concrete schedule.
+
+use ilogic_core::dsl::*;
+use ilogic_core::prelude::*;
+
+use crate::explore::Model;
+
+/// The sensor bus as an explorable transition system.
+#[derive(Clone, Copy, Debug)]
+pub struct SensorBusModel {
+    /// Number of slave sensors on the bus.
+    pub slaves: usize,
+    /// Timeouts tolerated per slave before it is declared dead.
+    pub max_retries: usize,
+    /// Reproduces the broken variant: the master may poll the next slave
+    /// while a transaction is still outstanding.
+    pub overlap_polls: bool,
+}
+
+/// A global bus state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BusState {
+    /// Next slave the master will poll.
+    pub cursor: usize,
+    /// Outstanding transaction per slave: `Some(attempt)` while a request to
+    /// that slave is on the bus.
+    pub outstanding: Vec<Option<usize>>,
+    /// Slaves that delivered a reading.
+    pub ok: Vec<bool>,
+    /// Slaves declared dead after exhausting the retries.
+    pub dead: Vec<bool>,
+}
+
+impl SensorBusModel {
+    /// The disciplined master: one transaction at a time.
+    pub fn correct(slaves: usize, max_retries: usize) -> SensorBusModel {
+        SensorBusModel { slaves, max_retries, overlap_polls: false }
+    }
+
+    /// The impatient master that overlaps transactions.
+    pub fn broken(slaves: usize, max_retries: usize) -> SensorBusModel {
+        SensorBusModel { slaves, max_retries, overlap_polls: true }
+    }
+
+    /// Safety: at most one transaction outstanding on the bus.
+    pub fn bus_exclusive(state: &BusState) -> bool {
+        state.outstanding.iter().filter(|o| o.is_some()).count() <= 1
+    }
+}
+
+impl Model for SensorBusModel {
+    type State = BusState;
+
+    fn initial(&self) -> BusState {
+        BusState {
+            cursor: 0,
+            outstanding: vec![None; self.slaves],
+            ok: vec![false; self.slaves],
+            dead: vec![false; self.slaves],
+        }
+    }
+
+    fn successors(&self, state: &BusState) -> Vec<(String, BusState)> {
+        let mut result = Vec::new();
+        let bus_idle = state.outstanding.iter().all(Option::is_none);
+        if state.cursor < self.slaves && (bus_idle || self.overlap_polls) {
+            // Poll the next slave (the broken master does so even while a
+            // transaction is still outstanding).
+            let slave = state.cursor;
+            let mut next = state.clone();
+            next.cursor += 1;
+            next.outstanding[slave] = Some(0);
+            result.push((format!("poll({slave})"), next));
+        }
+        for slave in 0..self.slaves {
+            let Some(attempt) = state.outstanding[slave] else {
+                continue;
+            };
+            // The slave answers: record the reading, release the bus.
+            let mut responded = state.clone();
+            responded.outstanding[slave] = None;
+            responded.ok[slave] = true;
+            result.push((format!("respond({slave})"), responded));
+            // The watchdog fires: retry in place, or give the slave up.
+            let mut timed_out = state.clone();
+            if attempt < self.max_retries {
+                timed_out.outstanding[slave] = Some(attempt + 1);
+                result.push((format!("retry({slave},{})", attempt + 1), timed_out));
+            } else {
+                timed_out.outstanding[slave] = None;
+                timed_out.dead[slave] = true;
+                result.push((format!("give_up({slave})"), timed_out));
+            }
+        }
+        result
+    }
+
+    fn observe(&self, state: &BusState) -> State {
+        let mut observed = State::new();
+        for slave in 0..self.slaves {
+            if state.outstanding[slave].is_some() {
+                observed.insert(Prop::with_args("busy", [slave as i64]));
+            }
+            if state.ok[slave] {
+                observed.insert(Prop::with_args("ok", [slave as i64]));
+            }
+            if state.dead[slave] {
+                observed.insert(Prop::with_args("dead", [slave as i64]));
+            }
+        }
+        observed
+    }
+}
+
+/// The interval-logic specification of the bus discipline.
+///
+/// * `Init` — the bus starts idle with no verdicts recorded;
+/// * `Exclusive` — two distinct slaves are never simultaneously polled;
+/// * `Resolved` — from the interval in which a transaction to `i` is opened,
+///   a reading or a declared failure eventually follows;
+/// * `Verdict-stable` — a recorded reading is never retracted;
+/// * `Verdict-consistent` — a slave is never both read and declared dead.
+pub fn sensor_bus_spec() -> Spec {
+    let busy = |i: &str| prop_args("busy", vec![var(i)]);
+    let ok = |i: &str| prop_args("ok", vec![var(i)]);
+    let dead = |i: &str| prop_args("dead", vec![var(i)]);
+    let exclusive = data_ne("i", "j").implies(busy("i").and(busy("j")).not().always());
+    let resolved = occurs(event(ok("i").or(dead("i")))).within(fwd_from(event(busy("i")))).always();
+    let stable = always(ok("i")).within(fwd_from(event(ok("i")))).always();
+    let consistent = ok("i").and(dead("i")).not().always();
+    Spec::new("sensor-bus")
+        .init("Init", busy("m").not().and(ok("m").not()).and(dead("m").not()))
+        .axiom("Exclusive", exclusive)
+        .axiom("Resolved", resolved)
+        .axiom("Verdict-stable", stable)
+        .axiom("Verdict-consistent", consistent)
+}
+
+/// The exclusivity property alone: `i ≠ j ⊃ □¬(busy(i) ∧ busy(j))`.
+pub fn bus_exclusivity_theorem() -> Formula {
+    let busy = |i: &str| prop_args("busy", vec![var(i)]);
+    data_ne("i", "j").implies(busy("i").and(busy("j")).not().always())
+}
+
+fn data_ne(a: &str, b: &str) -> Formula {
+    Formula::Pred(Pred::cmp(Expr::data(a), CmpOp::Ne, Expr::data(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{collect_runs, explore, explore_backend, random_run, ExploreLimits};
+    use ilogic_core::spec::close_free_variables;
+
+    #[test]
+    fn disciplined_master_keeps_the_bus_exclusive_exhaustively() {
+        let model = SensorBusModel::correct(3, 1);
+        let report = explore(&model, ExploreLimits::default(), SensorBusModel::bus_exclusive);
+        assert!(report.verified(), "violation: {:?}", report.violation.map(|v| v.actions));
+        assert!(report.states > 10);
+    }
+
+    #[test]
+    fn impatient_master_overlaps_transactions() {
+        let model = SensorBusModel::broken(2, 1);
+        let report = explore(&model, ExploreLimits::default(), SensorBusModel::bus_exclusive);
+        let violation = report.violation.expect("the broken variant must be caught");
+        assert!(violation.actions.iter().filter(|a| a.starts_with("poll")).count() >= 2);
+    }
+
+    #[test]
+    fn every_complete_run_resolves_every_slave() {
+        let model = SensorBusModel::correct(2, 1);
+        let runs = collect_runs(&model, ExploreLimits::default(), 256);
+        assert!(!runs.is_empty());
+        for run in &runs {
+            let last = run.states().last().expect("runs are non-empty");
+            for slave in 0..2i64 {
+                let ok = last.holds(&Prop::with_args("ok", [slave]));
+                let dead = last.holds(&Prop::with_args("dead", [slave]));
+                assert!(ok ^ dead, "slave {slave} unresolved (or double-resolved) in {run}");
+            }
+        }
+    }
+
+    #[test]
+    fn explored_runs_satisfy_the_bus_spec() {
+        let model = SensorBusModel::correct(2, 1);
+        let runs = collect_runs(&model, ExploreLimits::default(), 128);
+        let spec = sensor_bus_spec();
+        let mut session = Session::new();
+        for trace in &runs {
+            let report = session.check_spec(&spec, trace);
+            assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn exclusivity_theorem_checked_by_every_applicable_backend() {
+        let theorem = close_free_variables(&bus_exclusivity_theorem());
+        let mut session = Session::new();
+
+        let good = explore_backend(&SensorBusModel::correct(2, 1), Default::default(), 128);
+        let report = session.check(CheckRequest::new(theorem.clone()).with_backend(good));
+        assert_eq!(report.backend, "explore");
+        assert!(report.verdict.passed(), "{}", report.verdict);
+
+        let bad = explore_backend(&SensorBusModel::broken(2, 1), Default::default(), 128);
+        let report = session.check(CheckRequest::new(theorem.clone()).with_backend(bad));
+        assert!(report.verdict.counterexample().is_some());
+
+        let trace = random_run(&SensorBusModel::correct(3, 2), 64, 23);
+        assert!(session.check(CheckRequest::new(theorem).on_trace(&trace)).verdict.passed());
+    }
+
+    #[test]
+    fn exclusivity_is_refuted_identically_by_bounded_and_decide() {
+        // As with the ring's uniqueness property: the propositional rendering
+        // is not valid, and Bounded and Decide must refute it with the same
+        // counterexample computation.
+        let exclusive = prop("busy_a").and(prop("busy_b")).not().always();
+        let mut session = Session::new();
+        let bounded = session
+            .check(CheckRequest::new(exclusive.clone()).bounded(vec!["busy_a", "busy_b"], 4));
+        let decide = session.check(CheckRequest::new(exclusive).decide());
+        let bounded_cx = bounded.verdict.counterexample().expect("bounded refutes");
+        let decide_cx = decide.verdict.counterexample().expect("decide refutes");
+        assert_eq!(bounded_cx, decide_cx, "the two refutations must be bit-identical");
+    }
+
+    #[test]
+    fn random_schedules_never_break_the_spec() {
+        let model = SensorBusModel::correct(3, 2);
+        let spec = sensor_bus_spec();
+        let mut session = Session::new();
+        for seed in 0..10 {
+            let trace = random_run(&model, 96, seed);
+            let report = session.check_spec(&spec, &trace);
+            assert!(report.passed(), "seed {seed}: {:?}", report.failures());
+        }
+    }
+}

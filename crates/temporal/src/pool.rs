@@ -76,15 +76,41 @@ impl Parallelism {
     /// The parallelism forced by the [`PARALLELISM_ENV`] environment
     /// variable, if set: `1`, `true` or `auto` mean [`Parallelism::Auto`];
     /// any other number means [`Parallelism::Fixed`] of that many workers;
-    /// `0`, `off` or `false` mean [`Parallelism::Off`]; unset or
-    /// unintelligible values mean no override.
+    /// `0`, `off` or `false` mean [`Parallelism::Off`]; unset or empty means
+    /// no override.
+    ///
+    /// A set-but-unintelligible value (say `ILOGIC_TEST_PARALLEL=fuor` in a
+    /// CI matrix) is treated as no override, but warns once on stderr — a
+    /// typo'd parallel sweep must not silently masquerade as a sequential
+    /// run.
     pub fn from_env() -> Option<Parallelism> {
         let raw = std::env::var(PARALLELISM_ENV).ok()?;
+        match Parallelism::parse(&raw) {
+            Ok(parallelism) => parallelism,
+            Err(message) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("warning: {message}; ignoring the override"));
+                None
+            }
+        }
+    }
+
+    /// Parses a [`PARALLELISM_ENV`] override value.
+    ///
+    /// `Ok(None)` means "no override" (empty/whitespace value); `Err` carries
+    /// a human-readable description of a malformed value.
+    pub fn parse(raw: &str) -> Result<Option<Parallelism>, String> {
         match raw.trim().to_ascii_lowercase().as_str() {
-            "" => None,
-            "1" | "true" | "auto" | "on" => Some(Parallelism::Auto),
-            "0" | "false" | "off" => Some(Parallelism::Off),
-            other => other.parse::<usize>().ok().map(Parallelism::Fixed),
+            "" => Ok(None),
+            "1" | "true" | "auto" | "on" => Ok(Some(Parallelism::Auto)),
+            "0" | "false" | "off" => Ok(Some(Parallelism::Off)),
+            other => match other.parse::<usize>() {
+                Ok(n) => Ok(Some(Parallelism::Fixed(n))),
+                Err(_) => Err(format!(
+                    "{PARALLELISM_ENV}={raw:?} is not a worker count (expected a number, \
+                     `auto`, or `off`)"
+                )),
+            },
         }
     }
 }
@@ -708,6 +734,30 @@ mod tests {
         );
         assert!(budget.deadline().is_none());
         assert!(budget.cancel_token().is_none());
+    }
+
+    #[test]
+    fn parallelism_parse_accepts_the_documented_forms() {
+        assert_eq!(Parallelism::parse(""), Ok(None));
+        assert_eq!(Parallelism::parse("  "), Ok(None));
+        assert_eq!(Parallelism::parse("1"), Ok(Some(Parallelism::Auto)));
+        assert_eq!(Parallelism::parse("true"), Ok(Some(Parallelism::Auto)));
+        assert_eq!(Parallelism::parse("AUTO"), Ok(Some(Parallelism::Auto)));
+        assert_eq!(Parallelism::parse("on"), Ok(Some(Parallelism::Auto)));
+        assert_eq!(Parallelism::parse("0"), Ok(Some(Parallelism::Off)));
+        assert_eq!(Parallelism::parse("off"), Ok(Some(Parallelism::Off)));
+        assert_eq!(Parallelism::parse("false"), Ok(Some(Parallelism::Off)));
+        assert_eq!(Parallelism::parse(" 4 "), Ok(Some(Parallelism::Fixed(4))));
+        assert_eq!(Parallelism::parse("16"), Ok(Some(Parallelism::Fixed(16))));
+    }
+
+    #[test]
+    fn parallelism_parse_rejects_malformed_values() {
+        for bad in ["fuor", "4.0", "-2", "yes please", "auto2"] {
+            let err = Parallelism::parse(bad).expect_err("should reject");
+            assert!(err.contains(PARALLELISM_ENV), "error must name the variable: {err}");
+            assert!(err.contains(bad.trim()), "error must echo the value: {err}");
+        }
     }
 
     #[test]

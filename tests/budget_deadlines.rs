@@ -1,0 +1,172 @@
+//! Deadline and cancellation edge cases, uniformly across all four backends.
+//!
+//! The timing-dependent cutoffs (`with_deadline`/`with_timeout`/`with_cancel`)
+//! are the only non-structural parts of a [`ResourceBudget`]; these tests pin
+//! their boundary behavior: a zero or already-expired deadline withholds the
+//! verdict as `Unknown { exhausted: Deadline }` on `Trace`, `Explore`,
+//! `Bounded` and `Decide` alike (never a fabricated or flipped verdict); a
+//! pre-cancelled token withholds as `Unknown { exhausted: Cancelled }` and
+//! wins over an expired deadline; and a cancellation that loses the race with
+//! completion leaves the settled verdict untouched.  The random-corpus
+//! monotonicity version of the expired-deadline property lives in
+//! `tests/batch_api.rs` (`expired_deadlines_only_withhold_verdicts`); this
+//! file is the deterministic per-backend catalogue.
+
+use std::time::{Duration, Instant};
+
+use ilogic::core::dsl::*;
+use ilogic::core::prelude::*;
+use ilogic::{CancelToken, CheckRequest, Exhaustion, ResourceBudget, Session, Verdict};
+
+/// One request per backend, all over the same small formula; the trace-backed
+/// backends run on runs where `P` holds so every backend settles (to `Holds`
+/// or a concrete counterexample) whenever the budget lets it.
+fn requests_for_all_backends(budget: &ResourceBudget) -> Vec<(&'static str, CheckRequest)> {
+    let formula = always(prop("P"));
+    let run = Trace::finite(vec![State::new().with("P"), State::new().with("P")]);
+    vec![
+        ("trace", CheckRequest::new(formula.clone()).on_trace(&run).with_budget(budget.clone())),
+        (
+            "explore",
+            CheckRequest::new(formula.clone())
+                .over_runs(vec![run.clone()])
+                .with_budget(budget.clone()),
+        ),
+        (
+            "bounded",
+            CheckRequest::new(formula.clone()).bounded(["P"], 2).with_budget(budget.clone()),
+        ),
+        ("decide", CheckRequest::new(formula).decide().with_budget(budget.clone())),
+    ]
+}
+
+/// Runs every backend under `budget` and asserts the uniform outcome.
+fn assert_uniformly(budget: &ResourceBudget, expected: &Verdict, label: &str) {
+    let mut session = Session::new();
+    for (backend, request) in requests_for_all_backends(budget) {
+        let report = session.check(request);
+        assert_eq!(
+            &report.verdict, expected,
+            "{label}: the {backend} backend answered {} instead of {expected}",
+            report.verdict
+        );
+        // The stats mirror the verdict's exhaustion record.
+        if let Verdict::Unknown { exhausted } = expected {
+            assert_eq!(report.stats.exhausted, *exhausted, "{label}/{backend}: stats drifted");
+        }
+    }
+}
+
+#[test]
+fn a_zero_deadline_withholds_every_backend() {
+    // `with_timeout(ZERO)` sets the deadline to "now": by the time any
+    // backend polls, it has passed.  No backend may answer anything but
+    // `Unknown { exhausted: Deadline }` — in particular the cheap trace
+    // check must not sneak a verdict in before noticing.
+    let budget = ResourceBudget::default().with_timeout(Duration::ZERO);
+    assert_uniformly(&budget, &Verdict::exhausted(Exhaustion::Deadline), "zero timeout");
+}
+
+#[test]
+fn an_already_expired_deadline_withholds_every_backend() {
+    // A deadline strictly in the past (not merely "now").  `checked_sub`
+    // guards platforms whose `Instant` epoch is too recent to subtract from;
+    // falling back to `now` still yields an expired deadline.
+    let past = Instant::now().checked_sub(Duration::from_secs(3600)).unwrap_or_else(Instant::now);
+    let budget = ResourceBudget::default().with_deadline(past);
+    assert_uniformly(&budget, &Verdict::exhausted(Exhaustion::Deadline), "expired deadline");
+}
+
+#[test]
+fn a_generous_deadline_changes_nothing() {
+    // Contrast case: the same requests under a one-hour deadline settle to
+    // exactly the verdicts of the deadline-free default budget.
+    let generous = ResourceBudget::default().with_timeout(Duration::from_secs(3600));
+    let mut session = Session::new();
+    let baseline: Vec<Verdict> = requests_for_all_backends(&ResourceBudget::default())
+        .into_iter()
+        .map(|(_, request)| session.check(request).verdict)
+        .collect();
+    for ((backend, request), expected) in
+        requests_for_all_backends(&generous).into_iter().zip(baseline)
+    {
+        let report = session.check(request);
+        assert!(!report.verdict.is_unknown(), "{backend}: a generous deadline withheld");
+        assert_eq!(report.verdict, expected, "{backend}: a generous deadline flipped the verdict");
+    }
+}
+
+#[test]
+fn a_pre_cancelled_token_withholds_every_backend() {
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = ResourceBudget::default().with_cancel(token);
+    assert_uniformly(&budget, &Verdict::exhausted(Exhaustion::Cancelled), "pre-cancelled");
+}
+
+#[test]
+fn cancellation_wins_over_an_expired_deadline() {
+    // Both cutoffs fired: the exhaustion record must name the cancellation,
+    // deterministically, so retry logic keyed on `Exhaustion` can distinguish
+    // "the caller gave up" from "time ran out".
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = ResourceBudget::default().with_timeout(Duration::ZERO).with_cancel(token);
+    assert_uniformly(&budget, &Verdict::exhausted(Exhaustion::Cancelled), "cancel + deadline");
+}
+
+#[test]
+fn cancellation_after_completion_leaves_settled_verdicts_alone() {
+    // The deterministic rendering of "cancellation raced with completion":
+    // when the check finishes first, its verdict is settled and stays
+    // settled — cancelling afterwards affects only *future* checks on the
+    // same token.  Either race outcome is thus one of {the settled verdict,
+    // `Unknown { Cancelled }`}; a flipped or fabricated verdict is neither.
+    let token = CancelToken::new();
+    let budget = ResourceBudget::default().with_cancel(token.clone());
+    let mut session = Session::new();
+    let settled: Vec<(&'static str, Verdict)> = requests_for_all_backends(&budget)
+        .into_iter()
+        .map(|(backend, request)| (backend, session.check(request).verdict))
+        .collect();
+    for (backend, verdict) in &settled {
+        assert!(!verdict.is_unknown(), "{backend}: completed before any cancellation, yet unknown");
+    }
+    token.cancel();
+    assert!(token.is_cancelled());
+    // The already-produced verdicts are values; re-running the same requests
+    // under the now-cancelled token is what changes.
+    for (backend, request) in requests_for_all_backends(&budget) {
+        let rerun = session.check(request);
+        assert_eq!(
+            rerun.verdict,
+            Verdict::exhausted(Exhaustion::Cancelled),
+            "{backend}: a cancelled token must withhold on re-runs"
+        );
+    }
+    // And the pre-cancellation verdicts still read exactly as settled.
+    for (backend, verdict) in settled {
+        assert!(!verdict.is_unknown(), "{backend}: settled verdict mutated after cancel");
+    }
+}
+
+#[test]
+fn cancelling_mid_batch_cuts_only_the_unfinished_tail() {
+    // A sequential loop over one shared token: cancel between two checks.
+    // Everything before the cancel settles, everything after is uniformly
+    // withheld — the per-job boundary is exactly where the cut lands.
+    let token = CancelToken::new();
+    let budget = ResourceBudget::default().with_cancel(token.clone());
+    let mut session = Session::new();
+    let before = session.check(
+        CheckRequest::new(prop("P").or(prop("P").not()))
+            .bounded(["P"], 3)
+            .with_budget(budget.clone()),
+    );
+    assert_eq!(before.verdict, Verdict::ValidUpTo(3));
+    token.cancel();
+    let after = session.check(
+        CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 3).with_budget(budget),
+    );
+    assert_eq!(after.verdict, Verdict::exhausted(Exhaustion::Cancelled));
+}
