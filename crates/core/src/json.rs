@@ -32,22 +32,75 @@ pub enum Json {
     Object(Vec<(String, Json)>),
 }
 
+/// What class of failure a [`JsonError`] reports.
+///
+/// Network input fails in two distinguishable ways: the bytes are not JSON
+/// at all ([`JsonErrorKind::Syntax`] — the parser stopped at a specific byte
+/// offset), or they are well-formed JSON of the wrong shape
+/// ([`JsonErrorKind::Shape`] — a missing field, a wrong type, an unknown
+/// enum string).  A service answering a malformed body wants to say which,
+/// and for syntax errors *where*, so the client can fix its payload instead
+/// of guessing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// The input is not syntactically valid JSON; [`JsonError::offset`]
+    /// carries the byte position at which parsing failed.
+    Syntax,
+    /// The input parsed but does not have the expected structure (missing or
+    /// mistyped fields, unknown discriminants, out-of-range values).
+    Shape,
+}
+
 /// A parse or shape error raised by [`Json::parse`] and the typed accessors.
+///
+/// Syntax errors (built with [`JsonError::at`]) carry the byte offset in the
+/// original input at which the parser stopped; shape errors (built with
+/// [`JsonError::new`]) describe a structural mismatch in an
+/// already-parsed document, where a byte offset no longer exists.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JsonError {
     message: String,
+    offset: Option<usize>,
+    kind: JsonErrorKind,
 }
 
 impl JsonError {
-    /// An error with the given description.
+    /// A shape error with the given description (no byte position: the
+    /// document parsed; its structure is what's wrong).
     pub fn new(message: impl Into<String>) -> JsonError {
-        JsonError { message: message.into() }
+        JsonError { message: message.into(), offset: None, kind: JsonErrorKind::Shape }
+    }
+
+    /// A syntax error at the given byte offset of the input.
+    pub fn at(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), offset: Some(offset), kind: JsonErrorKind::Syntax }
+    }
+
+    /// The byte offset in the original input at which parsing failed —
+    /// always `Some` for [`JsonErrorKind::Syntax`] errors, `None` for shape
+    /// errors.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// Whether this is a syntax or a shape error.
+    pub fn kind(&self) -> JsonErrorKind {
+        self.kind
+    }
+
+    /// The human-readable description (without the position prefix
+    /// [`fmt::Display`] adds).
+    pub fn message(&self) -> &str {
+        &self.message
     }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error: {}", self.message)
+        match self.offset {
+            Some(offset) => write!(f, "JSON error at byte {offset}: {}", self.message),
+            None => write!(f, "JSON error: {}", self.message),
+        }
     }
 }
 
@@ -137,11 +190,10 @@ impl Json {
         let value = parser.value()?;
         parser.skip_ws();
         if parser.pos != parser.bytes.len() {
-            return Err(JsonError::new(format!(
-                "trailing input at byte {} of {}",
+            return Err(JsonError::at(
                 parser.pos,
-                parser.bytes.len()
-            )));
+                format!("trailing input ({} bytes total)", parser.bytes.len()),
+            ));
         }
         Ok(value)
     }
@@ -238,7 +290,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(format!("expected `{}` at byte {}", byte as char, self.pos)))
+            Err(JsonError::at(self.pos, format!("expected `{}`", byte as char)))
         }
     }
 
@@ -260,11 +312,9 @@ impl Parser<'_> {
             Some(b'[') => self.nested(Parser::array),
             Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(JsonError::new(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            ))),
+            other => {
+                Err(JsonError::at(self.pos, format!("unexpected {:?}", other.map(|b| b as char))))
+            }
         }
     }
 
@@ -275,10 +325,7 @@ impl Parser<'_> {
         container: impl FnOnce(&mut Self) -> Result<Json, JsonError>,
     ) -> Result<Json, JsonError> {
         if self.depth >= MAX_DEPTH {
-            return Err(JsonError::new(format!(
-                "nesting deeper than {MAX_DEPTH} levels at byte {}",
-                self.pos
-            )));
+            return Err(JsonError::at(self.pos, format!("nesting deeper than {MAX_DEPTH} levels")));
         }
         self.depth += 1;
         let result = container(self);
@@ -304,9 +351,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Array(items));
                 }
-                _ => {
-                    return Err(JsonError::new(format!("expected `,` or `]` at byte {}", self.pos)))
-                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `]`")),
             }
         }
     }
@@ -334,12 +379,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Object(fields));
                 }
-                _ => {
-                    return Err(JsonError::new(format!(
-                        "expected `,` or `}}` at byte {}",
-                        self.pos
-                    )))
-                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `}`")),
             }
         }
     }
@@ -358,7 +398,7 @@ impl Parser<'_> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?,
+                    .map_err(|_| JsonError::at(start, "invalid UTF-8 in string"))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -383,28 +423,24 @@ impl Parser<'_> {
                                 .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| {
-                                    JsonError::new(format!("bad \\u escape at byte {}", self.pos))
-                                })?;
+                                .ok_or_else(|| JsonError::at(self.pos, "bad \\u escape"))?;
                             // Surrogate pairs are not needed by this
                             // workspace's payloads; reject them honestly.
-                            let c = char::from_u32(hex).ok_or_else(|| {
-                                JsonError::new(format!("unpaired surrogate at byte {}", self.pos))
-                            })?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| JsonError::at(self.pos, "unpaired surrogate"))?;
                             out.push(c);
                             self.pos += 4;
                         }
                         other => {
-                            return Err(JsonError::new(format!(
-                                "bad escape {:?} at byte {}",
-                                other.map(|b| b as char),
-                                self.pos
-                            )))
+                            return Err(JsonError::at(
+                                self.pos,
+                                format!("bad escape {:?}", other.map(|b| b as char)),
+                            ))
                         }
                     }
                     self.pos += 1;
                 }
-                _ => return Err(JsonError::new("unterminated string")),
+                _ => return Err(JsonError::at(self.pos, "unterminated string")),
             }
         }
     }
@@ -421,17 +457,17 @@ impl Parser<'_> {
         }
         let int_digits = self.digit_run();
         if int_digits == 0 {
-            return Err(JsonError::new(format!("number without digits at byte {start}")));
+            return Err(JsonError::at(start, "number without digits"));
         }
         if int_digits > 1 && self.bytes[self.pos - int_digits] == b'0' {
-            return Err(JsonError::new(format!("leading zero in number at byte {start}")));
+            return Err(JsonError::at(start, "leading zero in number"));
         }
         let mut is_float = false;
         if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
             if self.digit_run() == 0 {
-                return Err(JsonError::new(format!("fraction without digits at byte {start}")));
+                return Err(JsonError::at(start, "fraction without digits"));
             }
         }
         if let Some(b'e' | b'E') = self.peek() {
@@ -441,19 +477,19 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             if self.digit_run() == 0 {
-                return Err(JsonError::new(format!("exponent without digits at byte {start}")));
+                return Err(JsonError::at(start, "exponent without digits"));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError::new("invalid UTF-8 in number"))?;
+            .map_err(|_| JsonError::at(start, "invalid UTF-8 in number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)
-                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+                .map_err(|_| JsonError::at(start, format!("bad number `{text}`")))
         } else {
             text.parse::<i64>()
                 .map(Json::Int)
-                .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+                .map_err(|_| JsonError::at(start, format!("bad number `{text}`")))
         }
     }
 

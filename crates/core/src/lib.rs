@@ -108,7 +108,7 @@ pub mod prelude {
     pub use crate::scheduler::{JobHandle, JobId};
     pub use crate::semantics::{holds, Dir, Env, Evaluator};
     pub use crate::session::{
-        Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,
+        Backend, CheckReport, CheckRequest, CheckStats, ErrorReport, RunSource, Session, Verdict,
     };
     pub use crate::spec::{CheckOutcome, Spec, SpecReport};
     pub use crate::state::{Prop, State};

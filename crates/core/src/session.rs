@@ -338,6 +338,13 @@ impl CheckRequest {
         self.budget = Some(budget);
         self
     }
+
+    /// The budget attached with [`CheckRequest::with_budget`], if any —
+    /// admission layers inspect it (e.g. to refuse a request whose deadline
+    /// already expired) without consuming the request.
+    pub fn budget(&self) -> Option<&ResourceBudget> {
+        self.budget.as_ref()
+    }
 }
 
 /// The uniform answer of every backend.
@@ -604,6 +611,138 @@ impl CheckReport {
     }
 }
 
+/// A structured error answer with a stable machine-readable code — the one
+/// failure shape shared by every consumer-facing refusal: HTTP 4xx/5xx
+/// bodies from the checking service, pre-flight admission rejections
+/// (diagnostic code `C002`), and any other path that must say *no* across a
+/// process boundary.  Round-trips through JSON like [`CheckReport`] does.
+///
+/// The `code` is the contract: clients branch on it, so codes are stable
+/// strings (`"parse"`, `"lint"`, `"bad-json"`, `"shed"`, `"C002"`, …) while
+/// `message` stays free-form for humans.  `diagnostics` carries the same
+/// [`Diagnostic`] objects reports do, so a lint rejection loses nothing
+/// relative to a completed check; `retry_after_ms` is set when the refusal
+/// is load-dependent (shedding) rather than inherent to the request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReport {
+    /// Stable machine-readable error code clients branch on.
+    pub code: String,
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Analysis findings that caused or accompanied the refusal (lint
+    /// diagnostics for 400s, the `C002` record for admission rejections).
+    pub diagnostics: Vec<Diagnostic>,
+    /// For load-dependent refusals (shedding): how long the client should
+    /// wait before retrying, in milliseconds.  `None` when retrying cannot
+    /// help (malformed input, unknown route).
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorReport {
+    /// An error with the given stable code and human-readable message.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> ErrorReport {
+        ErrorReport {
+            code: code.into(),
+            message: message.into(),
+            diagnostics: Vec::new(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches analysis diagnostics (builder-style).
+    pub fn with_diagnostics(mut self, diagnostics: Vec<Diagnostic>) -> ErrorReport {
+        self.diagnostics = diagnostics;
+        self
+    }
+
+    /// Marks the refusal as load-dependent, advising a retry after the given
+    /// number of milliseconds (builder-style).
+    pub fn with_retry_after_ms(mut self, retry_after_ms: u64) -> ErrorReport {
+        self.retry_after_ms = Some(retry_after_ms);
+        self
+    }
+
+    /// The pre-flight admission refusal carried by `report`, if it was
+    /// rejected at submit time: a report whose diagnostics contain the
+    /// `C002` over-budget record (see [`CheckRequest::with_preflight`])
+    /// becomes an `ErrorReport` with code `"C002"`, quoting the rejection
+    /// message and every diagnostic of the original report.  Returns `None`
+    /// for reports that actually ran.
+    pub fn from_rejection(report: &CheckReport) -> Option<ErrorReport> {
+        let rejection = report.diagnostics.iter().find(|d| d.code == DiagnosticCode::OverBudget)?;
+        Some(
+            ErrorReport::new(DiagnosticCode::OverBudget.as_str(), rejection.message.clone())
+                .with_diagnostics(report.diagnostics.clone()),
+        )
+    }
+
+    /// Renders the error as a JSON object (not yet a string — services embed
+    /// it in larger bodies); inverse of [`ErrorReport::from_json_value`].
+    pub fn to_json_value(&self) -> Json {
+        let mut value = Json::object()
+            .field("error", Json::Str(self.code.clone()))
+            .field("message", Json::Str(self.message.clone()))
+            .field(
+                "diagnostics",
+                Json::Array(self.diagnostics.iter().map(diagnostic_to_json).collect()),
+            );
+        if let Some(ms) = self.retry_after_ms {
+            value = value.field("retry_after_ms", Json::Int(ms.min(i64::MAX as u64) as i64));
+        }
+        value
+    }
+
+    /// Renders the error as a single-line JSON document; inverse of
+    /// [`ErrorReport::from_json`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Parses an error rendered by [`ErrorReport::to_json_value`].
+    pub fn from_json_value(root: &Json) -> Result<ErrorReport, JsonError> {
+        let code = root
+            .require("error")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("field `error` is not a string"))?
+            .to_string();
+        let message = root
+            .require("message")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("field `message` is not a string"))?
+            .to_string();
+        let diagnostics = match root.get("diagnostics") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Array(entries)) => {
+                entries.iter().map(diagnostic_from_json).collect::<Result<_, _>>()?
+            }
+            Some(other) => return Err(JsonError::new(format!("bad diagnostics {other:?}"))),
+        };
+        let retry_after_ms = match root.get("retry_after_ms") {
+            None | Some(Json::Null) => None,
+            Some(found) => Some(uint_field(found, "retry_after_ms")?),
+        };
+        Ok(ErrorReport { code, message, diagnostics, retry_after_ms })
+    }
+
+    /// Parses an error rendered by [`ErrorReport::to_json`].
+    pub fn from_json(input: &str) -> Result<ErrorReport, JsonError> {
+        ErrorReport::from_json_value(&Json::parse(input)?)
+    }
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms}ms)")?;
+        }
+        for diagnostic in &self.diagnostics {
+            write!(f, "\n  {diagnostic}")?;
+        }
+        Ok(())
+    }
+}
+
 fn int_field(value: &Json, name: &str) -> Result<i64, JsonError> {
     value.as_int().ok_or_else(|| JsonError::new(format!("field `{name}` is not an integer")))
 }
@@ -746,7 +885,11 @@ fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
     })
 }
 
-fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
+/// Renders one [`Diagnostic`] as the JSON object embedded in
+/// [`CheckReport::to_json`] documents and [`ErrorReport`] bodies; inverse of
+/// [`diagnostic_from_json`].  Public so wire layers (the HTTP service)
+/// can emit diagnostics in error payloads without reimplementing the shape.
+pub fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
     Json::object()
         .field("code", Json::Str(diagnostic.code.as_str().to_string()))
         .field("severity", Json::Str(diagnostic.severity.to_string()))
@@ -757,7 +900,8 @@ fn diagnostic_to_json(diagnostic: &Diagnostic) -> Json {
         .field("message", Json::Str(diagnostic.message.clone()))
 }
 
-fn diagnostic_from_json(value: &Json) -> Result<Diagnostic, JsonError> {
+/// Parses a [`Diagnostic`] rendered by [`diagnostic_to_json`].
+pub fn diagnostic_from_json(value: &Json) -> Result<Diagnostic, JsonError> {
     let code = match value.require("code")?.as_str() {
         Some(name) => DiagnosticCode::parse(name)
             .ok_or_else(|| JsonError::new(format!("unknown diagnostic code `{name}`")))?,
@@ -884,7 +1028,12 @@ fn memo_from_json(value: &Json) -> Result<MemoStats, JsonError> {
     })
 }
 
-fn trace_to_json(trace: &Trace) -> Json {
+/// Renders one [`Trace`] as the JSON object used inside
+/// [`CheckReport::to_json`] counterexamples; inverse of [`trace_from_json`].
+/// Public so wire layers can ship concrete computations (a `Trace` backend's
+/// trace, an `Explore` backend's runs) in request bodies using the exact
+/// shape reports already use.
+pub fn trace_to_json(trace: &Trace) -> Json {
     let states: Vec<Json> = trace.states().iter().map(state_to_json).collect();
     Json::object()
         .field(
@@ -899,7 +1048,8 @@ fn trace_to_json(trace: &Trace) -> Json {
         .field("states", Json::Array(states))
 }
 
-fn trace_from_json(value: &Json) -> Result<Trace, JsonError> {
+/// Parses a [`Trace`] rendered by [`trace_to_json`].
+pub fn trace_from_json(value: &Json) -> Result<Trace, JsonError> {
     let states: Vec<crate::state::State> = value
         .require("states")?
         .as_array()
@@ -975,7 +1125,9 @@ fn state_from_json(value: &Json) -> Result<crate::state::State, JsonError> {
     Ok(state)
 }
 
-fn value_to_json(value: &Value) -> Json {
+/// Renders one [`Value`] as the JSON object used inside serialized traces
+/// and domains; inverse of [`value_from_json`].
+pub fn value_to_json(value: &Value) -> Json {
     match value {
         Value::Int(i) => Json::object().field("int", Json::Int(*i)),
         Value::Bool(b) => Json::object().field("bool", Json::Bool(*b)),
@@ -983,7 +1135,8 @@ fn value_to_json(value: &Value) -> Json {
     }
 }
 
-fn value_from_json(value: &Json) -> Result<Value, JsonError> {
+/// Parses a [`Value`] rendered by [`value_to_json`].
+pub fn value_from_json(value: &Json) -> Result<Value, JsonError> {
     if let Some(i) = value.get("int") {
         return Ok(Value::Int(int_field(i, "int")?));
     }
@@ -2299,6 +2452,39 @@ mod tests {
             let json = report.to_json();
             let parsed = CheckReport::from_json(&json).expect("round trip");
             assert_eq!(parsed, report);
+            assert_eq!(parsed.to_json(), json, "stable rendering");
+        }
+    }
+
+    #[test]
+    fn error_reports_round_trip_and_quote_preflight_rejections() {
+        // A pre-flight rejection becomes a structured error carrying the
+        // original C002 diagnostic...
+        let mut session = Session::new();
+        let rejected = session.check(
+            CheckRequest::new(eventually(prop("P")))
+                .decide()
+                .with_preflight()
+                .with_budget(ResourceBudget::default().with_max_nodes(1)),
+        );
+        let error = ErrorReport::from_rejection(&rejected)
+            .expect("a preflight-rejected report yields an error");
+        assert_eq!(error.code, "C002");
+        assert!(error.diagnostics.iter().any(|d| d.code == DiagnosticCode::OverBudget));
+        // ...and a report that actually ran yields none.
+        let ran = session.check(CheckRequest::new(prop("P").or(prop("P").not())).decide());
+        assert_eq!(ErrorReport::from_rejection(&ran), None);
+
+        // Round trip, with and without the optional fields.
+        let cases = vec![
+            error,
+            ErrorReport::new("shed", "over capacity").with_retry_after_ms(250),
+            ErrorReport::new("bad-json", "JSON error at byte 3: expected `:`"),
+        ];
+        for case in cases {
+            let json = case.to_json();
+            let parsed = ErrorReport::from_json(&json).expect("round trip");
+            assert_eq!(parsed, case);
             assert_eq!(parsed.to_json(), json, "stable rendering");
         }
     }

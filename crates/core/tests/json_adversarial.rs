@@ -7,7 +7,7 @@
 //! cases here complement the round-trip tests in `json.rs` itself: those pin
 //! what valid documents mean, these pin that invalid ones fail safely.
 
-use ilogic_core::json::{Json, JsonError, MAX_DEPTH};
+use ilogic_core::json::{Json, JsonError, JsonErrorKind, MAX_DEPTH};
 use ilogic_core::prelude::*;
 use proptest::TestRng;
 
@@ -185,6 +185,52 @@ fn mutation_fuzz_never_panics_and_accepted_mutants_round_trip() {
             }
         }
     }
+}
+
+#[test]
+fn syntax_errors_carry_the_failing_byte_offset() {
+    // A service answering a malformed body over the wire points at the
+    // exact byte; these pin the reported offsets so 400 messages stay
+    // actionable rather than approximate.
+    let cases: &[(&str, usize)] = &[
+        ("{\"a\":}", 5),          // value expected where `}` sits
+        ("[1,2 3]", 5),           // missing comma: the stray `3`
+        ("{\"a\":1 \"b\":2}", 7), // missing comma between members
+        ("{\"a\" 1}", 5),         // missing colon
+        ("\"ab\\x\"", 4),         // bad escape letter
+        ("[1,2]x", 5),            // trailing input after the document
+        ("007", 0),               // leading zero, anchored at number start
+        ("1.e3", 0),              // bare fraction, anchored at number start
+        ("nul", 0),               // keyword typo
+    ];
+    for &(source, expected) in cases {
+        let error = Json::parse(source).expect_err(source);
+        assert_eq!(error.kind(), JsonErrorKind::Syntax, "{source:?}: {error}");
+        assert_eq!(error.offset(), Some(expected), "{source:?}: {error}");
+        assert!(
+            error.to_string().contains(&format!("at byte {expected}")),
+            "{source:?} display lacks the offset: {error}"
+        );
+    }
+
+    // Truncations report an offset somewhere inside the input (never past
+    // its end), across every seed document.
+    for document in seed_documents() {
+        for end in (0..document.len()).filter(|&end| document.is_char_boundary(end)) {
+            let truncated = &document[..end];
+            let error = Json::parse(truncated).expect_err("truncations never parse");
+            assert_eq!(error.kind(), JsonErrorKind::Syntax);
+            let offset = error.offset().expect("syntax errors carry offsets");
+            assert!(offset <= end, "offset {offset} past the {end}-byte input");
+        }
+    }
+
+    // Shape errors come from accessors on already-parsed documents, where
+    // no byte position exists any more.
+    let shape = Json::parse("{}").unwrap().require("verdict").expect_err("missing field");
+    assert_eq!(shape.kind(), JsonErrorKind::Shape);
+    assert_eq!(shape.offset(), None);
+    assert!(shape.to_string().contains("missing field `verdict`"));
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! Cross-thread `Session` coverage: the single-owner concurrency model.
+//!
+//! A [`Session`] is a plain owned value — no interior `Rc`/`RefCell`, no
+//! thread-affine state — so the supported concurrency model is
+//! **single-owner**: each thread owns its own session (or a session is
+//! *moved* between threads), and determinism is per-session.  That is
+//! exactly the model `ilogic-server` runs in production: every `/check`
+//! and every batch job set gets a fresh session on whichever worker thread
+//! picks it up.  These tests pin the two halves of the contract:
+//!
+//! 1. `Session` (and requests/reports) are `Send` — the compile-time audit.
+//! 2. Concurrent sessions on many threads produce reports bit-identical to
+//!    each other and to a fresh main-thread session — the stress test.
+//!
+//! `&Session` sharing across threads is *not* part of the contract:
+//! checking mutates memo tables, so the API takes `&mut self` and the
+//! borrow checker already rules shared mutation out.  Moving is the model.
+
+use std::thread;
+use std::time::Duration;
+
+use ilogic_core::dsl::prop;
+use ilogic_core::generate::{FormulaGenerator, GeneratorConfig};
+use ilogic_core::prelude::*;
+
+/// The compile-time audit: session values may move across threads.  (This
+/// is a *static* assertion — if a thread-affine field ever sneaks into
+/// these types, this test stops compiling, not just passing.)
+#[test]
+fn sessions_requests_and_reports_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<CheckRequest>();
+    assert_send::<CheckReport>();
+    assert_send::<ResourceBudget>();
+}
+
+fn workload() -> Vec<CheckRequest> {
+    let mut generator = FormulaGenerator::from_seed(
+        0x5EED_1E57,
+        GeneratorConfig { max_depth: 3, ..GeneratorConfig::default() },
+    );
+    (0..24)
+        .map(|_| {
+            CheckRequest::new(generator.next_formula())
+                .auto()
+                .with_budget(ResourceBudget::default().with_timeout(Duration::from_secs(30)))
+        })
+        .collect()
+}
+
+fn zero_durations(reports: &mut [CheckReport]) {
+    for report in reports {
+        report.stats.duration = Duration::ZERO;
+    }
+}
+
+/// Eight threads, each with its own fresh session over the same request
+/// stream: all of them must agree bit-for-bit with a main-thread session.
+/// This is the determinism guarantee the server's fresh-session-per-job-set
+/// design leans on — thread identity must never leak into a report.
+#[test]
+fn concurrent_sessions_are_bit_identical_across_threads() {
+    let mut baseline = Session::new().check_many(workload());
+    zero_durations(&mut baseline);
+
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            thread::spawn(|| {
+                let mut reports = Session::new().check_many(workload());
+                zero_durations(&mut reports);
+                reports
+            })
+        })
+        .collect();
+    for (index, worker) in workers.into_iter().enumerate() {
+        let reports = worker.join().expect("worker thread completes");
+        assert_eq!(reports, baseline, "thread {index} diverged from the main-thread baseline");
+    }
+}
+
+/// A session may migrate between threads mid-life (ownership transfer, the
+/// other leg of the single-owner model): results accumulated before the
+/// move remain fetchable after it, and checking continues deterministically.
+#[test]
+fn a_session_moved_across_threads_keeps_its_state() {
+    let mut session = Session::new();
+    let first = session.check(CheckRequest::new(prop("P").or(prop("P").not())).decide());
+    assert!(first.verdict.passed());
+    let handle = session.submit(CheckRequest::new(prop("Q").implies(prop("Q"))).decide());
+
+    // Move the session (and the pending handle) into another thread.
+    let joined = thread::spawn(move || {
+        let report = session.wait(&handle);
+        (session, report)
+    })
+    .join()
+    .expect("the migrated session thread completes");
+    let (mut session, report) = joined;
+    assert!(report.verdict.passed(), "pending work resolves after the move");
+
+    // And back on this thread, the same session keeps checking.
+    let last = session.check(CheckRequest::new(prop("R").and(prop("R").not()).not()).decide());
+    assert!(last.verdict.passed());
+}

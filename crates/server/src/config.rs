@@ -1,0 +1,167 @@
+//! Server configuration: the thread model, connection deadlines, admission
+//! capacity, and the budget clamp every request is subjected to.
+
+use std::time::Duration;
+
+use ilogic_core::pool::ResourceBudget;
+
+/// Everything the daemon needs to know before binding a socket.
+///
+/// The configuration is the resource-discipline surface of the service: the
+/// thread counts are *fixed* (no per-connection spawning, so a connection
+/// flood cannot exhaust threads), every connection gets read/write
+/// deadlines, every request's [`ResourceBudget`] is clamped dimension-wise
+/// by [`ServerConfig::budget_caps`] and capped at
+/// [`ServerConfig::max_timeout`] of wall clock, and the admission gate sheds
+/// load beyond [`ServerConfig::capacity`] in-flight jobs with an immediate
+/// 503 instead of queueing unboundedly.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7015` (port `0` for ephemeral).
+    pub addr: String,
+    /// Number of threads serving connections (each runs one connection at a
+    /// time; `POST /check` executes on these threads).
+    pub connection_threads: usize,
+    /// Number of threads draining the `POST /batch` job-set queue.
+    pub batch_workers: usize,
+    /// Maximum number of jobs in flight (executing or queued in an admitted
+    /// batch) before the admission gate starts shedding with 503s.
+    pub capacity: usize,
+    /// The `retry_after_ms` advice carried by shed 503 bodies (also the
+    /// `Retry-After` header, rounded up to whole seconds).
+    pub retry_after_ms: u64,
+    /// Per-connection read deadline: a socket idle (or trickling) past this
+    /// while a request is being read is closed.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline for responses.
+    pub write_timeout: Duration,
+    /// Maximum accepted request-body size in bytes; larger bodies answer
+    /// `413` without being read.
+    pub max_body_bytes: usize,
+    /// Maximum number of jobs a single `POST /batch` may carry.
+    pub max_batch_jobs: usize,
+    /// Dimension-wise upper caps for per-request budgets: a request may ask
+    /// for *less* than these in any dimension, never more.
+    pub budget_caps: ResourceBudget,
+    /// Upper cap on a request's wall-clock budget.  Every admitted job runs
+    /// under a deadline of at most this much — a request that asks for no
+    /// timeout gets exactly this one, so no job can occupy a worker forever.
+    pub max_timeout: Duration,
+    /// Forces pre-flight admission on every job (requests can also opt in
+    /// individually with `"preflight": true`).
+    pub preflight: bool,
+    /// How many completed job sets `GET /jobs/:id` keeps fetchable; the
+    /// oldest finished sets are evicted beyond this.
+    pub job_sets_retained: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7015".to_string(),
+            connection_threads: 4,
+            batch_workers: 2,
+            capacity: 64,
+            retry_after_ms: 250,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1 << 20,
+            max_batch_jobs: 256,
+            budget_caps: ResourceBudget::default(),
+            max_timeout: Duration::from_secs(10),
+            preflight: false,
+            job_sets_retained: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Parses a command-line flag sequence (`--addr 0.0.0.0:7015
+    /// --capacity 32 …`) over the defaults.  Unknown flags and malformed
+    /// values are errors, not silent fallbacks — a typo in a deploy script
+    /// must not run a daemon with default capacity.
+    pub fn from_args<I>(args: I) -> Result<ServerConfig, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut config = ServerConfig::default();
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value =
+                |flag: &str| args.next().ok_or_else(|| format!("flag {flag} needs a value"));
+            match flag.as_str() {
+                "--addr" => config.addr = value("--addr")?,
+                "--connection-threads" => {
+                    config.connection_threads = parse(&value("--connection-threads")?)?;
+                }
+                "--batch-workers" => config.batch_workers = parse(&value("--batch-workers")?)?,
+                "--capacity" => config.capacity = parse(&value("--capacity")?)?,
+                "--retry-after-ms" => config.retry_after_ms = parse(&value("--retry-after-ms")?)?,
+                "--read-timeout-ms" => {
+                    config.read_timeout =
+                        Duration::from_millis(parse(&value("--read-timeout-ms")?)?);
+                }
+                "--write-timeout-ms" => {
+                    config.write_timeout =
+                        Duration::from_millis(parse(&value("--write-timeout-ms")?)?);
+                }
+                "--max-body-bytes" => config.max_body_bytes = parse(&value("--max-body-bytes")?)?,
+                "--max-batch-jobs" => config.max_batch_jobs = parse(&value("--max-batch-jobs")?)?,
+                "--max-timeout-ms" => {
+                    config.max_timeout = Duration::from_millis(parse(&value("--max-timeout-ms")?)?);
+                }
+                "--preflight" => config.preflight = true,
+                "--job-sets-retained" => {
+                    config.job_sets_retained = parse(&value("--job-sets-retained")?)?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Rejects configurations that cannot serve at all (zero threads, zero
+    /// capacity).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.connection_threads == 0 {
+            return Err("--connection-threads must be at least 1".to_string());
+        }
+        if self.batch_workers == 0 {
+            return Err("--batch-workers must be at least 1".to_string());
+        }
+        if self.capacity == 0 {
+            return Err("--capacity must be at least 1".to_string());
+        }
+        if self.max_batch_jobs == 0 {
+            return Err("--max-batch-jobs must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("malformed numeric value `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_defaults_and_typos_are_errors() {
+        let config = ServerConfig::from_args(
+            ["--capacity", "8", "--max-timeout-ms", "500", "--preflight"].map(String::from),
+        )
+        .expect("valid flags parse");
+        assert_eq!(config.capacity, 8);
+        assert_eq!(config.max_timeout, Duration::from_millis(500));
+        assert!(config.preflight);
+        assert_eq!(config.connection_threads, ServerConfig::default().connection_threads);
+
+        assert!(ServerConfig::from_args(["--capactiy", "8"].map(String::from)).is_err());
+        assert!(ServerConfig::from_args(["--capacity"].map(String::from)).is_err());
+        assert!(ServerConfig::from_args(["--capacity", "many"].map(String::from)).is_err());
+        assert!(ServerConfig::from_args(["--capacity", "0"].map(String::from)).is_err());
+    }
+}

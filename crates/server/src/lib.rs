@@ -1,0 +1,55 @@
+//! `ilogic-server`: a dependency-free HTTP/1.1 checking daemon over the
+//! [`ilogic_core::session`] API.
+//!
+//! The crate turns the library's synchronous checking pipeline into a small
+//! service with explicit overload behaviour:
+//!
+//! - [`http`] — a hand-rolled HTTP/1.1 reader/writer over
+//!   [`std::net::TcpStream`] (no hyper, no tokio: the target container has
+//!   no network access to crates.io, and the protocol subset we need —
+//!   `content-length` bodies, keep-alive — is ~200 lines).
+//! - [`wire`] — the JSON request schema: formulas as parser-grammar
+//!   strings, backends and budgets as plain JSON, translated into
+//!   [`ilogic_core::session::CheckRequest`] with server-side budget clamps.
+//! - [`shed`] + [`metrics`] — admission control: a global in-flight cap,
+//!   immediate structured 503s beyond it, and counters that always satisfy
+//!   `accepted = completed + shed + in_flight`.
+//! - [`store`] — asynchronous job sets behind `POST /batch` /
+//!   `GET /jobs/:id`, each run on a fresh session so wire results are
+//!   bit-identical to in-process [`Session::check_many`].
+//! - [`router`] + [`server`] — dispatch and the fixed-thread daemon.
+//! - [`client`] — the minimal client used by the load generator, the
+//!   end-to-end tests, and the `service_client` example.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use ilogic_server::config::ServerConfig;
+//!
+//! let handle = ilogic_server::server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.shutdown();
+//! ```
+//!
+//! Over the wire:
+//!
+//! ```text
+//! $ curl -s localhost:7015/check -d '{"formula": "[](P -> <>Q)"}'
+//! {"verdict": ..., "backend": "decision", ...}
+//! ```
+//!
+//! [`Session::check_many`]: ilogic_core::session::Session::check_many
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod shed;
+pub mod store;
+pub mod wire;
+
+pub use client::{ClientConn, ClientResponse};
+pub use config::ServerConfig;
+pub use server::{start, ServerHandle};

@@ -1,0 +1,33 @@
+//! The `ilogic-server` daemon binary.
+//!
+//! ```text
+//! ilogic-server [--addr HOST:PORT] [--capacity N] [--preflight] ...
+//! ```
+//!
+//! Prints the bound address on stdout once listening (the CI smoke job and
+//! scripts wait for that line), then serves until killed.  See
+//! [`ilogic_server::config::ServerConfig::from_args`] for every flag.
+
+use std::io::Write;
+
+use ilogic_server::config::ServerConfig;
+
+fn main() {
+    let config = match ServerConfig::from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("ilogic-server: {message}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match ilogic_server::server::start(config) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("ilogic-server: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("ilogic-server listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    ilogic_server::server::run_forever(handle);
+}

@@ -1,0 +1,99 @@
+//! The admission gate: graceful load shedding with structured 503s.
+//!
+//! The shedding state machine has three stations a job can pass through:
+//!
+//! ```text
+//!            ┌──────────────── over capacity ────────────────┐
+//!            │                                               ▼
+//!  request ──┤ admit ──► in-flight ──┬── ran ──────────► completed
+//!            │                       │
+//!            │                       └── refused without running
+//!            │                           (pre-flight C002, deadline
+//!            ▼                            already expired) ──► shed
+//!          shed (503 + retry_after)
+//! ```
+//!
+//! A refusal is always *immediate* and *structured*: the client gets a 503
+//! whose [`ErrorReport`] body says why (`shed` for capacity, `C002` for
+//! predicted-over-budget, `deadline` for a budget that expired before the
+//! job could start) and, for load-dependent refusals, how long to wait.
+//! Nothing queues behind the gate: capacity is the configured in-flight
+//! cap, so a load spike costs each excess request one admission check and
+//! one small response — never a worker, never unbounded memory.
+
+use std::sync::Arc;
+
+use ilogic_core::pool::ResourceBudget;
+use ilogic_core::session::ErrorReport;
+
+use crate::metrics::Metrics;
+
+/// The admission gate; cheap to clone via [`Arc`], shared by every
+/// connection thread.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    metrics: Arc<Metrics>,
+    retry_after_ms: u64,
+}
+
+impl AdmissionGate {
+    /// A gate over the given shared counters.
+    pub fn new(metrics: Arc<Metrics>, retry_after_ms: u64) -> AdmissionGate {
+        AdmissionGate { metrics, retry_after_ms }
+    }
+
+    /// Presents `jobs` jobs; on refusal the structured `shed` error carries
+    /// the retry advice.  Admitted jobs are in the in-flight gauge and MUST
+    /// subsequently be moved out via [`Metrics::complete`] or
+    /// [`Metrics::shed_in_flight`] — the accounting identity depends on it.
+    pub fn try_admit(&self, jobs: u64) -> Result<(), ErrorReport> {
+        if self.metrics.admit(jobs) {
+            Ok(())
+        } else {
+            Err(ErrorReport::new(
+                "shed",
+                format!("over capacity: {jobs} job(s) shed, retry after the advised delay"),
+            )
+            .with_retry_after_ms(self.retry_after_ms))
+        }
+    }
+
+    /// The `deadline` refusal for a single check whose budget expired before
+    /// it could start (e.g. `timeout_ms: 0`): answered 503 without occupying
+    /// a worker, and moved from in-flight to shed by the caller.
+    pub fn expired_error(&self) -> ErrorReport {
+        ErrorReport::new("deadline", "the request's budget deadline expired before it could start")
+            .with_retry_after_ms(self.retry_after_ms)
+    }
+
+    /// Whether `budget`'s deadline has already passed at admission time.
+    pub fn already_expired(budget: &ResourceBudget) -> bool {
+        budget.interrupted().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn refusals_are_structured_and_capacity_recovers() {
+        let metrics = Metrics::new(1);
+        let gate = AdmissionGate::new(Arc::clone(&metrics), 125);
+        assert!(gate.try_admit(1).is_ok());
+        let refusal = gate.try_admit(1).expect_err("full gate sheds");
+        assert_eq!(refusal.code, "shed");
+        assert_eq!(refusal.retry_after_ms, Some(125));
+        metrics.complete(1, Duration::from_micros(10));
+        assert!(gate.try_admit(1).is_ok(), "completion frees capacity");
+    }
+
+    #[test]
+    fn expired_budgets_are_detected_at_admission() {
+        let fresh = ResourceBudget::default().with_timeout(Duration::from_secs(60));
+        assert!(!AdmissionGate::already_expired(&fresh));
+        let expired = ResourceBudget::default().with_timeout(Duration::ZERO);
+        assert!(AdmissionGate::already_expired(&expired));
+    }
+}

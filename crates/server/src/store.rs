@@ -1,0 +1,255 @@
+//! The job-set store behind `POST /batch` and `GET /jobs/:id`.
+//!
+//! A batch becomes a *job set*: an id, its translated requests, and —
+//! eventually — its reports.  Batch worker threads drain a FIFO of queued
+//! sets; each set runs on a **fresh [`Session`]** via
+//! [`Session::check_many`], which snapshots the session arena per job
+//! exactly as the in-process batch API does.  One session per set (rather
+//! than one long-lived session for the daemon) is the single-owner
+//! concurrency model: no cross-request arena sharing, so a set's reports
+//! are bit-identical to an in-process `check_many` of the same requests on
+//! a fresh session, which is precisely what the end-to-end tests assert.
+//! Memoization is still shared *within* a set, where determinism is
+//! guaranteed.
+//!
+//! Finished sets stay fetchable until evicted (oldest-finished-first beyond
+//! the configured retention); queued and running sets are never evicted.
+//! Admitted sets always run to completion — shutdown drains the queue
+//! before the workers exit, so an accepted job is never silently dropped.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use ilogic_core::session::{CheckReport, CheckRequest, Session};
+
+use crate::metrics::Metrics;
+
+/// Where a job set is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobSetStatus {
+    /// Admitted, waiting for a batch worker.
+    Queued,
+    /// A batch worker is running it.
+    Running,
+    /// All reports are available.
+    Done,
+}
+
+impl JobSetStatus {
+    /// The wire rendering (`"queued"` / `"running"` / `"done"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobSetStatus::Queued => "queued",
+            JobSetStatus::Running => "running",
+            JobSetStatus::Done => "done",
+        }
+    }
+}
+
+/// A poll answer for one job set.
+#[derive(Clone, Debug)]
+pub struct JobSetView {
+    /// The set's id.
+    pub id: u64,
+    /// Lifecycle station.
+    pub status: JobSetStatus,
+    /// Number of jobs in the set.
+    pub jobs: usize,
+    /// The reports, present once `status` is [`JobSetStatus::Done`].
+    pub reports: Option<Vec<CheckReport>>,
+}
+
+#[derive(Debug)]
+struct JobSet {
+    requests: Option<Vec<CheckRequest>>,
+    reports: Option<Vec<CheckReport>>,
+    jobs: usize,
+    status: JobSetStatus,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    sets: BTreeMap<u64, JobSet>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// The shared store; every connection thread enqueues and polls, every
+/// batch worker drains.
+#[derive(Debug)]
+pub struct JobStore {
+    state: Mutex<StoreState>,
+    work_ready: Condvar,
+    retained: usize,
+}
+
+impl JobStore {
+    /// An empty store retaining up to `retained` finished sets.
+    pub fn new(retained: usize) -> Arc<JobStore> {
+        Arc::new(JobStore {
+            state: Mutex::new(StoreState::default()),
+            work_ready: Condvar::new(),
+            retained: retained.max(1),
+        })
+    }
+
+    /// Admits a translated batch into the queue, returning its set id.
+    /// The caller has already passed the admission gate for `requests.len()`
+    /// jobs.
+    pub fn enqueue(&self, requests: Vec<CheckRequest>) -> u64 {
+        let mut state = self.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        let jobs = requests.len();
+        state.sets.insert(
+            id,
+            JobSet { requests: Some(requests), reports: None, jobs, status: JobSetStatus::Queued },
+        );
+        state.queue.push_back(id);
+        drop(state);
+        self.work_ready.notify_one();
+        id
+    }
+
+    /// The current view of set `id`, or `None` if it never existed or was
+    /// evicted.
+    pub fn status(&self, id: u64) -> Option<JobSetView> {
+        let state = self.lock();
+        state.sets.get(&id).map(|set| JobSetView {
+            id,
+            status: set.status,
+            jobs: set.jobs,
+            reports: set.reports.clone(),
+        })
+    }
+
+    /// The batch-worker body: blocks for queued sets and runs each on a
+    /// fresh [`Session`], until [`JobStore::shutdown`] is called *and* the
+    /// queue is drained (admitted work is never dropped).  Completion moves
+    /// the set's jobs out of the in-flight gauge with one latency sample
+    /// per job.
+    pub fn worker_loop(&self, metrics: &Metrics) {
+        loop {
+            let (id, requests) = {
+                let mut state = self.lock();
+                loop {
+                    if let Some(id) = state.queue.pop_front() {
+                        let set = state.sets.get_mut(&id).expect("queued set exists");
+                        set.status = JobSetStatus::Running;
+                        let requests = set.requests.take().expect("queued set has requests");
+                        break (id, requests);
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+
+            let jobs = requests.len() as u64;
+            let started = Instant::now();
+            let reports = Session::new().check_many(requests);
+            let elapsed = started.elapsed();
+
+            let mut state = self.lock();
+            let set = state.sets.get_mut(&id).expect("running set exists");
+            set.reports = Some(reports);
+            set.status = JobSetStatus::Done;
+            self.evict_finished(&mut state);
+            drop(state);
+            metrics.complete(jobs, elapsed);
+        }
+    }
+
+    /// Evicts oldest finished sets beyond the retention cap; queued and
+    /// running sets are never evicted.
+    fn evict_finished(&self, state: &mut StoreState) {
+        loop {
+            let done: Vec<u64> = state
+                .sets
+                .iter()
+                .filter(|(_, set)| set.status == JobSetStatus::Done)
+                .map(|(&id, _)| id)
+                .collect();
+            if done.len() <= self.retained {
+                return;
+            }
+            state.sets.remove(&done[0]);
+        }
+    }
+
+    /// Asks the workers to exit once the queue is drained.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work_ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilogic_core::dsl::prop;
+    use std::thread;
+
+    fn request() -> CheckRequest {
+        CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 2)
+    }
+
+    #[test]
+    fn sets_run_to_done_and_reports_match_in_process_check_many() {
+        let store = JobStore::new(8);
+        let metrics = Metrics::new(16);
+        assert!(metrics.admit(2));
+        let id = store.enqueue(vec![request(), request()]);
+        let worker = {
+            let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || store.worker_loop(&metrics))
+        };
+        let view = loop {
+            let view = store.status(id).expect("set exists");
+            if view.status == JobSetStatus::Done {
+                break view;
+            }
+            thread::yield_now();
+        };
+        store.shutdown();
+        worker.join().expect("worker exits");
+
+        let mut fetched = view.reports.expect("done sets carry reports");
+        let mut expected = Session::new().check_many(vec![request(), request()]);
+        for report in fetched.iter_mut().chain(expected.iter_mut()) {
+            report.stats.duration = std::time::Duration::ZERO;
+        }
+        assert_eq!(fetched, expected, "per-set fresh sessions reproduce in-process batches");
+        assert!(store.status(9999).is_none(), "unknown ids answer None");
+    }
+
+    #[test]
+    fn finished_sets_are_evicted_oldest_first() {
+        let store = JobStore::new(2);
+        let metrics = Metrics::new(64);
+        let ids: Vec<u64> = (0..4)
+            .map(|_| {
+                assert!(metrics.admit(1));
+                store.enqueue(vec![request()])
+            })
+            .collect();
+        store.shutdown();
+        // Workers drain the whole queue before exiting on shutdown.
+        store.worker_loop(&metrics);
+        assert!(store.status(ids[0]).is_none(), "oldest evicted");
+        assert!(store.status(ids[1]).is_none(), "second-oldest evicted");
+        assert!(store.status(ids[2]).is_some());
+        assert!(store.status(ids[3]).is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end tests: a real daemon on an ephemeral port, a real TCP client.
+//!
+//! The headline assertion is **wire/in-process bit-identity**: a mixed batch
+//! POSTed over HTTP — all four explicit backends, plus one
+//! pre-flight-rejected job and one job whose deadline expired before it
+//! could start — must come back (via `GET /jobs/:id`) equal to
+//! `Session::check_many` on the *same* requests translated through the
+//! *same* wire layer in-process, with only the wall-clock `duration` field
+//! zeroed on both sides.  The overload test then verifies the shedding
+//! contract over a live connection: structured 503 with retry advice, the
+//! connection survives (keep-alive, never dropped mid-response), and the
+//! metrics identity `accepted = completed + shed + in_flight` holds at
+//! every scrape.
+
+use std::time::{Duration, Instant};
+
+use ilogic_core::json::Json;
+use ilogic_core::session::{trace_to_json, ErrorReport, Session};
+use ilogic_core::state::Prop;
+use ilogic_core::trace::TraceBuilder;
+use ilogic_server::client::ClientConn;
+use ilogic_server::config::ServerConfig;
+use ilogic_server::router::reports_from_jobs_body;
+use ilogic_server::{server, wire};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        connection_threads: 2,
+        batch_workers: 1,
+        capacity: 16,
+        max_timeout: Duration::from_secs(5),
+        // Tight idle timeouts so shutdown (which waits for open keep-alive
+        // connections to quiesce) stays fast in tests.
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> ClientConn {
+    ClientConn::connect(addr, Duration::from_secs(10)).expect("daemon accepts connections")
+}
+
+/// The identity `accepted = completed + shed + in_flight` must hold at every
+/// scrape, and the daemon must never have counted an internal 5xx.
+fn assert_balanced(snapshot: &Json) {
+    let counter = |name: &str| snapshot.get(name).and_then(Json::as_int).unwrap_or(-1);
+    assert_eq!(
+        counter("accepted"),
+        counter("completed") + counter("shed") + counter("in_flight"),
+        "metrics identity broken: {snapshot}"
+    );
+    assert_eq!(counter("errors_5xx"), 0, "internal errors: {snapshot}");
+}
+
+/// A short witness trace: P pulses at step 1, Q from step 2 on.
+fn witness_trace_json() -> String {
+    let mut builder = TraceBuilder::new();
+    builder.commit();
+    builder.assert_prop(Prop::plain("P"));
+    builder.commit();
+    builder.retract_prop(&Prop::plain("P"));
+    builder.assert_prop(Prop::plain("Q"));
+    builder.commit();
+    trace_to_json(&builder.finish()).to_string()
+}
+
+/// The mixed batch: every explicit backend, a pre-flight rejection, and an
+/// already-expired deadline.  Returned as the raw wire body so both the
+/// HTTP POST and the in-process comparison translate the *same bytes*.
+fn mixed_batch_body() -> String {
+    let trace = witness_trace_json();
+    format!(
+        concat!(
+            r#"{{"jobs": ["#,
+            r#"{{"formula": "[](P -> <>Q)", "backend": {{"kind": "decide"}}}}, "#,
+            r#"{{"formula": "<>(P & ~Q)", "backend": {{"kind": "bounded", "props": ["P", "Q"], "max_len": 3}}}}, "#,
+            r#"{{"formula": "<> Q", "backend": {{"kind": "trace", "trace": {trace}}}}}, "#,
+            r#"{{"formula": "[] ~(P & Q)", "backend": {{"kind": "explore", "runs": [{trace}]}}}}, "#,
+            r#"{{"formula": "<> P", "backend": {{"kind": "decide"}}, "budget": {{"max_nodes": 1}}, "preflight": true}}, "#,
+            r#"{{"formula": "P | ~P", "backend": {{"kind": "decide"}}, "budget": {{"timeout_ms": 0}}}}"#,
+            r#"]}}"#
+        ),
+        trace = trace
+    )
+}
+
+fn poll_until_done(conn: &mut ClientConn, id: i64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let poll = conn.get(&format!("/jobs/{id}")).expect("poll succeeds");
+        assert_eq!(poll.status, 200, "{}", poll.body);
+        let root = Json::parse(&poll.body).expect("poll body is JSON");
+        if root.get("status").and_then(Json::as_str) == Some("done") {
+            return poll.body;
+        }
+        assert!(Instant::now() < deadline, "batch never completed: {}", poll.body);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn wire_batches_are_bit_identical_to_in_process_check_many() {
+    let config = test_config();
+    let handle = server::start(config.clone()).expect("daemon starts");
+    let mut conn = connect(handle.addr());
+
+    let health = conn.get("/healthz").expect("healthz answers");
+    assert_eq!((health.status, health.body.as_str()), (200, r#"{"status":"ok"}"#));
+
+    let body = mixed_batch_body();
+    let accepted = conn.post("/batch", &body).expect("batch posts");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let root = Json::parse(&accepted.body).expect("202 body is JSON");
+    let id = root.get("id").and_then(Json::as_int).expect("202 carries the set id");
+    assert_eq!(root.get("jobs").and_then(Json::as_int), Some(6));
+
+    let done = poll_until_done(&mut conn, id);
+    let mut fetched = reports_from_jobs_body(&done).expect("reports parse");
+
+    // The comparison side: the same bytes through the same wire translation,
+    // run in-process on a fresh session exactly as the batch workers do.
+    let requests = wire::batch_from_json(&Json::parse(&body).expect("batch body parses"), &config)
+        .expect("the mixed batch translates");
+    let mut expected = Session::new().check_many(requests);
+
+    assert_eq!(fetched.len(), 6);
+    for report in fetched.iter_mut().chain(expected.iter_mut()) {
+        report.stats.duration = Duration::ZERO;
+    }
+    assert_eq!(fetched, expected, "wire reports must be bit-identical to in-process ones");
+
+    // Spot-check the interesting members: the pre-flight job carries its
+    // C002 rejection, the expired job its deadline exhaustion — *as
+    // reports*, because an admitted batch always runs every job.
+    assert!(
+        fetched[4].diagnostics.iter().any(|d| format!("{:?}", d.code).contains("OverBudget")),
+        "job 4 was pre-flight rejected: {:?}",
+        fetched[4]
+    );
+    assert!(!fetched[4].verdict.passed(), "a rejected job cannot claim a pass");
+    assert!(!fetched[5].verdict.passed(), "an expired job cannot claim a pass");
+
+    let metrics = conn.get("/metrics").expect("metrics answers");
+    assert_balanced(&Json::parse(&metrics.body).expect("metrics body is JSON"));
+    // Closing the client first lets the serving thread quiesce immediately
+    // instead of waiting out the idle read timeout.
+    drop(conn);
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_structured_503s_and_keeps_the_connection() {
+    let mut config = test_config();
+    config.capacity = 2;
+    config.retry_after_ms = 180;
+    let handle = server::start(config).expect("daemon starts");
+    let mut conn = connect(handle.addr());
+
+    // Fill the admission gate from inside the process — deterministic
+    // overload, no timing games.
+    assert!(handle.metrics().admit(2), "the empty gate admits up to capacity");
+
+    let shed = conn
+        .post("/check", r#"{"formula": "P | ~P", "backend": {"kind": "decide"}}"#)
+        .expect("the refusal is a complete response, not a dropped connection");
+    assert_eq!(shed.status, 503, "{}", shed.body);
+    let error = ErrorReport::from_json(&shed.body).expect("structured 503");
+    assert_eq!(error.code, "shed");
+    assert_eq!(error.retry_after_ms, Some(180));
+    assert_eq!(shed.retry_after, Some(1), "retry advice mirrors into the header (rounded up)");
+
+    // The identity holds while the gate is full...
+    let metrics = conn.get("/metrics").expect("metrics answers while overloaded");
+    let snapshot = Json::parse(&metrics.body).expect("metrics body is JSON");
+    assert_balanced(&snapshot);
+    assert_eq!(snapshot.get("in_flight").and_then(Json::as_int), Some(2), "{snapshot}");
+
+    // ...and the *same connection* recovers once capacity frees up: the 503
+    // did not cost us the keep-alive session.
+    handle.metrics().complete(2, Duration::from_micros(50));
+    let ok = conn
+        .post("/check", r#"{"formula": "P | ~P", "backend": {"kind": "decide"}}"#)
+        .expect("the connection survived the shed");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    let metrics = conn.get("/metrics").expect("metrics answers");
+    let snapshot = Json::parse(&metrics.body).expect("metrics body is JSON");
+    assert_balanced(&snapshot);
+    assert_eq!(snapshot.get("shed").and_then(Json::as_int), Some(1), "{snapshot}");
+    drop(conn);
+    handle.shutdown();
+}
+
+#[test]
+fn single_checks_round_trip_error_reports_over_the_wire() {
+    let handle = server::start(test_config()).expect("daemon starts");
+    let mut conn = connect(handle.addr());
+
+    // Syntax error: the hardened JSON layer's byte offset reaches the client.
+    let bad = conn.post("/check", r#"{"formula": }"#).expect("400 answers");
+    assert_eq!(bad.status, 400);
+    let error = ErrorReport::from_json(&bad.body).expect("structured 400");
+    assert_eq!(error.code, "bad-json");
+    assert!(error.message.contains("byte 12"), "offset of the bad token: {error}");
+
+    // Lint refusal: diagnostics survive the wire round trip.
+    let lint = conn.post("/check", r#"{"formula": "P & ~P"}"#).expect("400 answers");
+    assert_eq!(lint.status, 400);
+    let error = ErrorReport::from_json(&lint.body).expect("structured 400");
+    assert_eq!(error.code, "lint");
+    assert!(!error.diagnostics.is_empty(), "{error}");
+
+    // A well-formed check still answers on the same (kept-alive) connection.
+    let ok = conn.post("/check", r#"{"formula": "[](P -> P)"}"#).expect("200 answers");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    drop(conn);
+    handle.shutdown();
+}

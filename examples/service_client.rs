@@ -1,0 +1,136 @@
+//! The service layer end to end: start `ilogic-server` in-process, then
+//! drive it the way an external client would — the PODC protocol zoo's
+//! ring-election and sensor-bus theorems POSTed over HTTP as parser-grammar
+//! strings with serialized runs, a mixed `/batch` polled to completion, and
+//! a final `/metrics` scrape showing the accounting identity.
+//!
+//! Run with `cargo run --example service_client`.
+
+use std::time::Duration;
+
+use ilogic::core::json::Json;
+use ilogic::core::session::trace_to_json;
+use ilogic::core::trace::Trace;
+use ilogic::server::client::ClientConn;
+use ilogic::server::config::ServerConfig;
+use ilogic::systems::explore::{collect_runs, ExploreLimits};
+use ilogic::systems::ring::RingModel;
+use ilogic::systems::sensorbus::SensorBusModel;
+
+/// The wire carries formulas as parser-grammar strings, and the grammar is
+/// ground (no `?i /= ?j` variable comparisons), so a quantified theorem
+/// like `i ≠ j ⊃ □¬(leader(i) ∧ leader(j))` travels as its ground
+/// instantiation over the model's concrete positions — one `[] ~(p(i) &
+/// p(j))` conjunct per unordered pair.
+fn ground_uniqueness(prop: &str, positions: usize) -> String {
+    let mut conjuncts = Vec::new();
+    for i in 0..positions {
+        for j in (i + 1)..positions {
+            conjuncts.push(format!("[] ~({prop}({i}) & {prop}({j}))"));
+        }
+    }
+    conjuncts.join(" & ")
+}
+
+/// One ground theorem + the runs it should be checked over, as a wire job.
+fn explore_job(theorem: &str, runs: &[Trace]) -> Json {
+    let runs = Json::Array(runs.iter().map(trace_to_json).collect());
+    Json::object()
+        .field("formula", Json::Str(theorem.to_string()))
+        .field(
+            "backend",
+            Json::object().field("kind", Json::Str("explore".into())).field("runs", runs),
+        )
+        .field("budget", Json::object().field("timeout_ms", Json::Int(10_000)))
+}
+
+fn main() {
+    // An ephemeral port keeps the example runnable anywhere (CI included);
+    // against a long-lived daemon you would connect to its --addr instead.
+    let handle = ilogic::server::server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("the daemon starts");
+    let addr = handle.addr();
+    println!("ilogic-server listening on {addr}");
+    let mut conn = ClientConn::connect(addr, Duration::from_secs(30)).expect("client connects");
+
+    let limits = ExploreLimits::default();
+    // Leader uniqueness over the 3-node ring; bus exclusivity over the
+    // 2-slave sensor bus — the PODC zoo's headline theorems, ground form.
+    let ring_theorem = ground_uniqueness("leader", 3);
+    let bus_theorem = ground_uniqueness("busy", 2);
+
+    println!("\n== POST /check: the theorems over each model's complete runs ==");
+    let cases = [
+        (
+            "ring correct",
+            &ring_theorem,
+            collect_runs(&RingModel::correct(vec![2, 1, 3]), limits, 48),
+        ),
+        ("ring broken", &ring_theorem, collect_runs(&RingModel::broken(vec![2, 1, 3]), limits, 48)),
+        ("bus correct", &bus_theorem, collect_runs(&SensorBusModel::correct(2, 1), limits, 48)),
+        ("bus broken", &bus_theorem, collect_runs(&SensorBusModel::broken(2, 1), limits, 48)),
+    ];
+    for (name, theorem, runs) in &cases {
+        let body = explore_job(theorem, runs).to_string();
+        let response = conn.post("/check", &body).expect("the daemon answers");
+        assert_eq!(response.status, 200, "{name}: {}", response.body);
+        let report = Json::parse(&response.body).expect("the body is a report");
+        println!(
+            "{name}: verdict {} over {} runs (backend {})",
+            report.get("verdict").map_or_else(|| "?".into(), Json::to_string),
+            runs.len(),
+            report.get("backend").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+
+    println!("\n== POST /batch: both theorems in one job set, polled to done ==");
+    let jobs =
+        Json::Array(cases.iter().map(|(_, theorem, runs)| explore_job(theorem, runs)).collect());
+    let body = Json::object().field("jobs", jobs).to_string();
+    let accepted = conn.post("/batch", &body).expect("the batch posts");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = Json::parse(&accepted.body)
+        .ok()
+        .and_then(|root| root.get("id").and_then(Json::as_int))
+        .expect("the 202 carries the set id");
+    println!("accepted as job set {id}");
+    let done = loop {
+        let poll = conn.get(&format!("/jobs/{id}")).expect("the poll answers");
+        let root = Json::parse(&poll.body).expect("the poll body is JSON");
+        if root.get("status").and_then(Json::as_str) == Some("done") {
+            break root;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let reports = done.get("reports").and_then(Json::as_array).expect("done sets carry reports");
+    for ((name, _, _), report) in cases.iter().zip(reports) {
+        println!(
+            "set {id} / {name}: verdict {}",
+            report.get("verdict").map_or_else(|| "?".into(), Json::to_string)
+        );
+    }
+
+    println!("\n== GET /metrics: the accounting identity ==");
+    let metrics = conn.get("/metrics").expect("the scrape answers");
+    let snapshot = Json::parse(&metrics.body).expect("the snapshot is JSON");
+    let counter = |name: &str| snapshot.get(name).and_then(Json::as_int).unwrap_or(-1);
+    println!(
+        "accepted {} = completed {} + shed {} + in_flight {}",
+        counter("accepted"),
+        counter("completed"),
+        counter("shed"),
+        counter("in_flight"),
+    );
+    assert_eq!(
+        counter("accepted"),
+        counter("completed") + counter("shed") + counter("in_flight"),
+        "the metrics identity must hold at every scrape"
+    );
+
+    drop(conn);
+    handle.shutdown();
+    println!("\ndaemon drained and stopped cleanly");
+}

@@ -179,11 +179,12 @@
 
 pub use ilogic_core as core;
 pub use ilogic_lowlevel as lowlevel;
+pub use ilogic_server as server;
 pub use ilogic_systems as systems;
 pub use ilogic_temporal as temporal;
 
 pub use ilogic_core::pool::{CancelToken, Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 pub use ilogic_core::scheduler::{JobHandle, JobId};
 pub use ilogic_core::session::{
-    Backend, CheckReport, CheckRequest, CheckStats, RunSource, Session, Verdict,
+    Backend, CheckReport, CheckRequest, CheckStats, ErrorReport, RunSource, Session, Verdict,
 };
