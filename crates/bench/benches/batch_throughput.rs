@@ -54,13 +54,13 @@ fn bench_batches(c: &mut Criterion) {
 
     // Contract first: batch reports are bit-identical to the sequential loop
     // (durations aside) at every worker count.
-    let mut reference = Session::new();
+    let reference = Session::new();
     let sequential: Vec<_> = requests
         .iter()
         .map(|r| reference.check(r.clone().with_parallelism(Parallelism::Off)))
         .collect();
     for workers in [1, WORKERS] {
-        let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+        let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
         let reports = session.check_many(requests.clone());
         for (job, (batched, looped)) in reports.iter().zip(&sequential).enumerate() {
             assert_eq!(batched.verdict, looped.verdict, "job {job} diverged at {workers} workers");
@@ -76,7 +76,7 @@ fn bench_batches(c: &mut Criterion) {
         group.warm_up_time(Duration::from_millis(300));
         group.bench_function("check_many", |b| {
             b.iter(|| {
-                let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+                let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
                 session.check_many(requests.clone()).len()
             });
         });
@@ -112,11 +112,11 @@ fn bench_batches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.bench_function("check_loop", |b| {
         b.iter(|| {
-            let mut session = Session::new();
+            let session = Session::new();
             requests
                 .iter()
                 .map(|r| session.check(r.clone().with_parallelism(Parallelism::Off)))
-                .count()
+                .collect::<Vec<_>>()
         });
     });
     group.finish();

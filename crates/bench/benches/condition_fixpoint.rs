@@ -273,7 +273,7 @@ fn bench_condition_fixpoint(c: &mut Criterion) -> Vec<WorkRow> {
     group.bench_function("decide/prefix_invariance", |b| {
         let formula = always(prop("P")).within(fwd_to(event(prop("Q"))));
         b.iter(|| {
-            let mut session = ilogic_core::session::Session::new();
+            let session = ilogic_core::session::Session::new();
             let report =
                 session.check(ilogic_core::session::CheckRequest::new(formula.clone()).decide());
             assert!(report.verdict.counterexample().is_some());

@@ -124,7 +124,7 @@ fn bench_decide(c: &mut Criterion) {
                 .verdict;
             assert_eq!(parallel, sequential, "{name}: parallel verdict diverged");
             group.bench_function(name, move |b| {
-                let mut session = Session::new();
+                let session = Session::new();
                 b.iter(|| {
                     session
                         .check(

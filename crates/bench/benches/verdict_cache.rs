@@ -1,0 +1,164 @@
+//! Experiment `PR-10`: the session verdict cache on a duplicate-heavy batch.
+//!
+//! Models the millions-of-users service workload: a batch where 90% of the
+//! requests repeat an earlier request body.  Three modes over the *same*
+//! 100-job batch:
+//!
+//! * `cold` — `Session::new().with_verdict_cache(false)`: every job
+//!   recomputes its decision (the pre-PR-10 behaviour);
+//! * `warm_batch` — a fresh cache-on session per batch: the 10 distinct
+//!   jobs miss, the 90 duplicates replay stored outcomes;
+//! * `warm_service` — one persistent session across iterations (the daemon
+//!   steady state): after the first batch every job is a cache hit.
+//!
+//! Before anything is timed, the warm batch's reports are asserted
+//! bit-identical to the cold batch's (durations and the cache counters
+//! themselves aside) — the cache must be semantically invisible.  The
+//! recorded `speedup_warm_vs_cold` is the PR's acceptance gate: ≥5x on the
+//! 90%-duplicate batch.
+//!
+//! Results are recorded in `BENCH_PR10.json` at the workspace root.
+//!
+//! Run with `cargo bench -p ilogic-bench --bench verdict_cache`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{BenchResult, Criterion};
+use ilogic_core::session::{CacheStats, CheckRequest, Session};
+use ilogic_core::valid;
+
+/// Distinct request bodies in the batch.
+const DISTINCT: usize = 10;
+
+/// Total jobs per batch (90% duplicates at 10 distinct bodies).
+const JOBS: usize = 100;
+
+/// The duplicate-heavy batch: `DISTINCT` distinct jobs — catalogue schemas
+/// through `Decide` plus bounded sweeps, so a recomputation costs real work —
+/// then duplicates cycling over them until the batch holds `JOBS` jobs.
+fn batch() -> Vec<CheckRequest> {
+    let mut distinct = Vec::new();
+    for (index, (_, formula)) in valid::catalogue().into_iter().enumerate() {
+        if distinct.len() == DISTINCT {
+            break;
+        }
+        // The 3-proposition bounded sweeps cost milliseconds each — real
+        // recomputation work for a hit to save — with tableau decisions
+        // (microseconds) mixed in so the batch is not one uniform job size.
+        distinct.push(if index % 2 == 0 {
+            CheckRequest::new(formula).bounded(["P", "Q", "A"], 2)
+        } else {
+            CheckRequest::new(formula).decide()
+        });
+    }
+    assert_eq!(distinct.len(), DISTINCT, "the catalogue covers the distinct pool");
+    (0..JOBS).map(|job| distinct[job % DISTINCT].clone()).collect()
+}
+
+fn bench_verdict_cache(c: &mut Criterion) {
+    let requests = batch();
+
+    // Contract first: the cache must not change a single answer.  Mask only
+    // the wall-clock duration and the cache counters (a hit is *labelled* a
+    // hit; everything else is the recomputation's bytes).
+    let mut cold = Session::new().with_verdict_cache(false).check_many(requests.clone());
+    let mut warm = Session::new().check_many(requests.clone());
+    let hits: u64 = warm.iter().map(|r| r.stats.cache.hits).sum();
+    assert_eq!(hits as usize, JOBS - DISTINCT, "every duplicate hits the fresh warm session");
+    for report in cold.iter_mut().chain(warm.iter_mut()) {
+        report.stats.duration = Duration::ZERO;
+        report.stats.cache = CacheStats::default();
+        report.stats.session_cache = CacheStats::default();
+    }
+    assert_eq!(cold, warm, "cached reports must be bit-identical to recomputation");
+
+    let mut group = c.benchmark_group("cold");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(2500));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("check_many", |b| {
+        b.iter(|| Session::new().with_verdict_cache(false).check_many(requests.clone()).len());
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("warm_batch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(2500));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("check_many", |b| {
+        b.iter(|| Session::new().check_many(requests.clone()).len());
+    });
+    group.finish();
+
+    // The daemon steady state: the session (and its cache) outlives every
+    // batch, so after warm-up the whole batch replays from the cache.
+    let service = Session::new();
+    service.check_many(requests.clone());
+    let mut group = c.benchmark_group("warm_service");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(2500));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("check_many", |b| {
+        b.iter(|| service.check_many(requests.clone()).len());
+    });
+    group.finish();
+
+    record(&c.take_results());
+}
+
+fn record(results: &[BenchResult]) {
+    let mean_of =
+        |name: &str| results.iter().find(|r| r.name == name).map_or(f64::NAN, |r| r.mean_ns);
+    let cold_ns = mean_of("cold/check_many");
+    let warm_ns = mean_of("warm_batch/check_many");
+    let service_ns = mean_of("warm_service/check_many");
+    let speedup = cold_ns / warm_ns;
+    // The PR-10 acceptance gate: ≥5x on the 90%-duplicate batch.
+    assert!(
+        speedup >= 5.0,
+        "verdict cache speedup {speedup:.2}x on the 90%-duplicate batch \
+         ({cold_ns:.0} ns cold vs {warm_ns:.0} ns warm); the acceptance floor is 5x"
+    );
+    let jobs_per_sec = |batch_ns: f64| JOBS as f64 / (batch_ns * 1e-9);
+    let json = format!(
+        "{{\n  \"experiment\": \"PR10 session verdict cache: duplicate-heavy batches vs cold \
+         checking\",\n  \
+         \"jobs_per_batch\": {JOBS},\n  \"distinct_bodies\": {DISTINCT},\n  \
+         \"duplicate_share\": {dup:.2},\n  \
+         \"batch_composition\": \"catalogue schemas x (bounded[P,Q,A]x2 | decide), duplicates \
+         cycling over {DISTINCT} distinct requests\",\n  \
+         \"unit\": \"ns per whole batch; jobs/sec derived\",\n  \
+         \"note\": \"warm reports asserted bit-identical to cold recomputation (durations and \
+         cache counters masked) before timing. warm_batch = fresh cache-on session per batch \
+         ({DISTINCT} misses + {dups} hits); warm_service = one persistent session, every job a \
+         hit after warm-up\",\n  \
+         \"cold_ns\": {cold_ns:.0},\n  \
+         \"warm_batch_ns\": {warm_ns:.0},\n  \
+         \"warm_service_ns\": {service_ns:.0},\n  \
+         \"jobs_per_sec_cold\": {:.0},\n  \
+         \"jobs_per_sec_warm_batch\": {:.0},\n  \
+         \"jobs_per_sec_warm_service\": {:.0},\n  \
+         \"speedup_warm_vs_cold\": {speedup:.2},\n  \
+         \"speedup_service_vs_cold\": {:.2}\n}}\n",
+        jobs_per_sec(cold_ns),
+        jobs_per_sec(warm_ns),
+        jobs_per_sec(service_ns),
+        cold_ns / service_ns,
+        dup = (JOBS - DISTINCT) as f64 / JOBS as f64,
+        dups = JOBS - DISTINCT,
+    );
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_PR10.json"].iter().collect();
+    std::fs::write(&path, &json).expect("write BENCH_PR10.json");
+    println!(
+        "\nrecorded {} ({speedup:.2}x warm-batch vs cold, {:.2}x steady-state service)",
+        path.display(),
+        cold_ns / service_ns
+    );
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_verdict_cache(&mut criterion);
+}

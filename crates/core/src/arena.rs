@@ -18,12 +18,21 @@
 //!   `(FormulaId, Interval, environment)`, so shared subterms — made explicit
 //!   by hash-consing — are evaluated once per (interval, binding) context
 //!   rather than once per syntactic occurrence;
-//! * [`ArenaSnapshot`] is a frozen, `Send + Sync` view of an arena's nodes.
-//!   Snapshotting is how the sharded engines of [`crate::session`] hand one
-//!   interned formula to many worker threads: each worker owns a cheap clone
-//!   of the snapshot (two `Arc`s) plus its private [`MemoEvaluator`], so
-//!   evaluation is shared-nothing — no locks anywhere on the hot path — and
-//!   the per-worker [`MemoStats`] are [merged](MemoStats::merge) at join.
+//! * [`ArenaSnapshot`] is a frozen, `Send + Sync` *version* of an arena's
+//!   nodes.  The arena's storage is multiversion — an append-only store of
+//!   `Arc`-shared chunks — so taking a snapshot is O(1) (one `Arc` bump per
+//!   store) and never copies nodes; interning *after* a snapshot leaves every
+//!   outstanding snapshot untouched, because the id space is append-only and
+//!   a writer that would mutate a shared chunk copies it first
+//!   ([`Arc::make_mut`]).  Snapshotting is how the sharded engines of
+//!   [`crate::session`] hand one interned formula to many worker threads:
+//!   each worker owns a cheap clone of the snapshot plus its private
+//!   [`MemoEvaluator`], so evaluation is shared-nothing — no locks anywhere
+//!   on the hot path — and the per-worker [`MemoStats`] are
+//!   [merged](MemoStats::merge) at join.  Because snapshots are this cheap,
+//!   new formulas can be interned and dispatched *while* earlier checks are
+//!   still running over older versions — there is no stop-the-world barrier
+//!   between interning and checking.
 //!
 //! The memoized evaluator implements exactly the satisfaction relation of
 //! [`crate::semantics::Evaluator`]; the two are cross-checked by the property
@@ -115,15 +124,97 @@ pub enum TermNode {
     Must(TermId),
 }
 
+/// Log₂ of the chunk size of the multiversion node stores.  1024 nodes per
+/// chunk keeps the copy-on-write unit small (a writer racing a live snapshot
+/// re-copies at most one chunk) while the power of two turns id resolution
+/// into a shift and a mask.
+const CHUNK_SHIFT: usize = 10;
+/// Nodes per chunk (`1 << CHUNK_SHIFT`).
+const CHUNK: usize = 1 << CHUNK_SHIFT;
+
+/// Append-only, `Arc`-chunked node storage: the multiversion substrate under
+/// [`FormulaArena`].
+///
+/// Nodes live in fixed-size chunks, each behind its own `Arc`, with the chunk
+/// spine itself behind one more `Arc`.  A snapshot clones the spine `Arc` —
+/// O(1), no node is copied — and an append goes through [`Arc::make_mut`]
+/// twice: the spine (a `Vec` of pointers) and the tail chunk are each copied
+/// only when a live snapshot still shares them, and at most once per
+/// snapshot.  Ids are dense indices, so the id space is append-only: a node's
+/// slot never moves, and every snapshot resolves the ids minted before it to
+/// bit-identical nodes.
+#[derive(Clone, Debug)]
+struct ChunkedStore<T> {
+    spine: Arc<Vec<Arc<Vec<T>>>>,
+    len: usize,
+}
+
+impl<T> Default for ChunkedStore<T> {
+    fn default() -> ChunkedStore<T> {
+        ChunkedStore { spine: Arc::new(Vec::new()), len: 0 }
+    }
+}
+
+impl<T: Clone> ChunkedStore<T> {
+    fn push(&mut self, value: T) {
+        let spine = Arc::make_mut(&mut self.spine);
+        if self.len & (CHUNK - 1) == 0 {
+            spine.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let tail = spine.last_mut().expect("a chunk was just ensured");
+        let chunk = Arc::make_mut(tail);
+        chunk.reserve(CHUNK - chunk.len());
+        chunk.push(value);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn get(&self, index: usize) -> &T {
+        &self.spine[index >> CHUNK_SHIFT][index & (CHUNK - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The O(1) versioned view: one `Arc` bump; sees exactly `len` nodes.
+    fn freeze(&self) -> FrozenStore<T> {
+        FrozenStore { spine: Arc::clone(&self.spine), len: self.len }
+    }
+}
+
+/// One version of a [`ChunkedStore`]: an immutable prefix view.
+#[derive(Clone, Debug)]
+struct FrozenStore<T> {
+    spine: Arc<Vec<Arc<Vec<T>>>>,
+    len: usize,
+}
+
+impl<T> FrozenStore<T> {
+    #[inline]
+    fn get(&self, index: usize) -> &T {
+        debug_assert!(index < self.len, "id {index} minted after this snapshot's version");
+        &self.spine[index >> CHUNK_SHIFT][index & (CHUNK - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// A hash-consing arena for formulas and interval terms.
 ///
 /// Every distinct node is stored exactly once; interning the same structure
 /// twice returns the same id.  Ids are only meaningful within the arena that
 /// produced them.
+///
+/// Storage is multiversion (see [`FormulaArena::snapshot`]): nodes live in
+/// append-only `Arc`-shared chunks, so snapshots are O(1) and interning never
+/// invalidates one — ids stay stable for the lifetime of the arena.
 #[derive(Clone, Debug, Default)]
 pub struct FormulaArena {
-    formulas: Vec<FormulaNode>,
-    terms: Vec<TermNode>,
+    formulas: ChunkedStore<FormulaNode>,
+    terms: ChunkedStore<TermNode>,
     formula_ids: HashMap<FormulaNode, FormulaId>,
     term_ids: HashMap<TermNode, TermId>,
 }
@@ -145,6 +236,12 @@ impl FormulaArena {
         id
     }
 
+    /// The arena's current version: the number of formula and term nodes
+    /// interned so far, i.e. exactly the ids a snapshot taken now would see.
+    pub fn version(&self) -> ArenaVersion {
+        ArenaVersion { formulas: self.formulas.len(), terms: self.terms.len() }
+    }
+
     /// Interns a term node, deduplicating structurally equal terms.
     pub fn term(&mut self, node: TermNode) -> TermId {
         if let Some(&id) = self.term_ids.get(&node) {
@@ -158,12 +255,12 @@ impl FormulaArena {
 
     /// The node behind a formula id.
     pub fn formula_node(&self, id: FormulaId) -> &FormulaNode {
-        &self.formulas[id.0 as usize]
+        self.formulas.get(id.0 as usize)
     }
 
     /// The node behind a term id.
     pub fn term_node(&self, id: TermId) -> &TermNode {
-        &self.terms[id.0 as usize]
+        self.terms.get(id.0 as usize)
     }
 
     /// Number of distinct formula nodes interned.
@@ -262,20 +359,34 @@ impl FormulaArena {
         }
     }
 
-    /// A frozen, shareable view of every node interned so far.
+    /// An O(1) versioned handle on every node interned so far.
     ///
-    /// The snapshot is `Send + Sync + Clone` (two `Arc`s); ids handed out by
-    /// this arena before the snapshot remain valid against it, so a formula
-    /// interned once can be evaluated concurrently by any number of worker
-    /// threads without locking.  Nodes interned *after* the snapshot are not
-    /// visible in it — take a fresh snapshot per check, as
-    /// [`crate::session::Session`] does.
+    /// The snapshot is `Send + Sync + Clone` and costs two `Arc` bumps to
+    /// take — no node is ever copied.  It sees *exactly* the ids interned
+    /// before it ([`ArenaSnapshot::version`]): ids handed out by this arena
+    /// up to that point resolve to bit-identical nodes in every snapshot
+    /// that contains them, so a formula interned once can be evaluated
+    /// concurrently by any number of worker threads without locking.  Nodes
+    /// interned *after* the snapshot are not visible in it, and — because
+    /// the store is multiversion — interning more never disturbs an
+    /// outstanding snapshot.  Snapshots are cheap enough to take per check,
+    /// and long-lived enough to keep: [`crate::session::Session`] interns
+    /// and dispatches new jobs while earlier jobs are still evaluating over
+    /// older versions.
     pub fn snapshot(&self) -> ArenaSnapshot {
-        ArenaSnapshot {
-            formulas: Arc::from(self.formulas.as_slice()),
-            terms: Arc::from(self.terms.as_slice()),
-        }
+        ArenaSnapshot { formulas: self.formulas.freeze(), terms: self.terms.freeze() }
     }
+}
+
+/// The version of an arena or snapshot: how many formula and term nodes are
+/// visible.  Ids are dense, so `FormulaId::index() < version.formulas` is
+/// exactly "this id resolves in that version".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArenaVersion {
+    /// Number of formula nodes visible.
+    pub formulas: usize,
+    /// Number of term nodes visible.
+    pub terms: usize,
 }
 
 /// Read-only access to interned nodes: what an evaluator actually needs.
@@ -301,16 +412,20 @@ impl ArenaRead for FormulaArena {
     }
 }
 
-/// A frozen, read-only view of a [`FormulaArena`]'s nodes.
+/// One version of a [`FormulaArena`]: a frozen, read-only view of the nodes
+/// interned before it was taken.
 ///
-/// Created by [`FormulaArena::snapshot`]; cloning is two `Arc` bumps.  The
-/// snapshot drops the interning hash maps — it can only *resolve* ids, not
-/// mint new ones — which is exactly the contract of shared-nothing parallel
-/// evaluation: intern on the session thread, evaluate everywhere.
+/// Created by [`FormulaArena::snapshot`] in O(1); cloning is two `Arc`
+/// bumps.  The snapshot shares the arena's chunks rather than copying them —
+/// the arena's copy-on-write appends guarantee the shared prefix never
+/// changes underneath it.  It drops the interning hash maps — it can only
+/// *resolve* ids, not mint new ones — which is exactly the contract of
+/// shared-nothing parallel evaluation: intern on the session side, evaluate
+/// everywhere, at whatever version each job was dispatched with.
 #[derive(Clone, Debug)]
 pub struct ArenaSnapshot {
-    formulas: Arc<[FormulaNode]>,
-    terms: Arc<[TermNode]>,
+    formulas: FrozenStore<FormulaNode>,
+    terms: FrozenStore<TermNode>,
 }
 
 impl ArenaSnapshot {
@@ -323,15 +438,20 @@ impl ArenaSnapshot {
     pub fn term_count(&self) -> usize {
         self.terms.len()
     }
+
+    /// The version this snapshot was taken at: exactly the ids it resolves.
+    pub fn version(&self) -> ArenaVersion {
+        ArenaVersion { formulas: self.formulas.len(), terms: self.terms.len() }
+    }
 }
 
 impl ArenaRead for ArenaSnapshot {
     fn formula_node(&self, id: FormulaId) -> &FormulaNode {
-        &self.formulas[id.0 as usize]
+        self.formulas.get(id.0 as usize)
     }
 
     fn term_node(&self, id: TermId) -> &TermNode {
-        &self.terms[id.0 as usize]
+        self.terms.get(id.0 as usize)
     }
 }
 
@@ -1035,6 +1155,46 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
         });
         assert_eq!(verdicts, vec![expected; 2]);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_versions_of_an_append_only_id_space() {
+        let mut arena = FormulaArena::new();
+        let first = arena.intern(&prop("P").always());
+        let v1 = arena.snapshot();
+        assert_eq!(v1.version(), arena.version());
+
+        // Interning past the snapshot (enough to cross a chunk boundary and
+        // force tail copy-on-write several times over) must not disturb it.
+        let before = v1.version();
+        let mut later = Vec::new();
+        for i in 0..(super::CHUNK * 2 + 7) {
+            later.push(arena.intern(&prop(format!("Q{i}")).eventually()));
+        }
+        let v2 = arena.snapshot();
+        assert_eq!(v1.version(), before, "an old snapshot never grows");
+        assert!(v2.version() > v1.version());
+
+        // Old ids resolve to bit-identical nodes in the arena and both
+        // versions; new ids resolve only where they exist.
+        let node = arena.formula_node(first).clone();
+        assert_eq!(*ArenaRead::formula_node(&v1, first), node);
+        assert_eq!(*ArenaRead::formula_node(&v2, first), node);
+        for &id in &later {
+            assert!(id.index() < v2.version().formulas);
+            assert_eq!(ArenaRead::formula_node(&v2, id), arena.formula_node(id));
+        }
+        assert!(
+            later.iter().all(|id| id.index() >= v1.version().formulas),
+            "nodes interned after v1 are outside v1's id space"
+        );
+
+        // And both versions evaluate their ids identically to the live arena.
+        let trace = trace_of(&[&["P"], &["P"]]);
+        assert_eq!(
+            MemoEvaluator::new(&v1).check(&trace, first),
+            MemoEvaluator::new(&arena).check(&trace, first)
+        );
     }
 
     #[test]

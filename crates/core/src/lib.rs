@@ -98,7 +98,9 @@ pub mod prelude {
         analyze, analyze_formula, lint_spec, Analysis, CostEstimate, Diagnostic, DiagnosticCode,
         Severity,
     };
-    pub use crate::arena::{ArenaSnapshot, FormulaArena, FormulaId, MemoEvaluator, TermId};
+    pub use crate::arena::{
+        ArenaSnapshot, ArenaVersion, FormulaArena, FormulaId, MemoEvaluator, TermId,
+    };
     pub use crate::bounded::BoundedChecker;
     pub use crate::diagram::Diagram;
     pub use crate::interval::{Constructed, Endpoint, Interval};
@@ -108,7 +110,8 @@ pub mod prelude {
     pub use crate::scheduler::{JobHandle, JobId};
     pub use crate::semantics::{holds, Dir, Env, Evaluator};
     pub use crate::session::{
-        Backend, CheckReport, CheckRequest, CheckStats, ErrorReport, RunSource, Session, Verdict,
+        Backend, CacheStats, CheckHandle, CheckReport, CheckRequest, CheckStats, ErrorReport,
+        InternHandle, RunSource, Session, Verdict,
     };
     pub use crate::spec::{CheckOutcome, Spec, SpecReport};
     pub use crate::state::{Prop, State};

@@ -12,6 +12,13 @@
 //! shared atomic queue head so workers that finish small jobs immediately
 //! pick up the next one.
 //!
+//! Since the multiversion arena landed, `submit`/`wait`/`check_many` take
+//! `&self`: the queue lives behind a short-lived session lock, so any thread
+//! holding a `&Session` may enqueue work — including while earlier jobs are
+//! executing, because each job reads the arena *version* current at its own
+//! prepare and later interns only append ids that older versions never
+//! resolve.
+//!
 //! # Determinism
 //!
 //! Batched execution keeps the repository's contract that parallelism never
@@ -27,8 +34,10 @@
 //!   to what a sequential loop of single-threaded
 //!   [`Session::check`](crate::session::Session::check) calls would produce;
 //! * results are **finalized in submission order** on the session thread
-//!   (cumulative counters, arena sizes), replaying the sequential loop's
-//!   bookkeeping exactly.
+//!   (cumulative counters, arena sizes, verdict-cache stores), replaying the
+//!   sequential loop's bookkeeping exactly — which is also what lets a
+//!   duplicate of an in-flight job *defer* to its twin and replay the stored
+//!   outcome rather than racing it.
 //!
 //! Only wall-clock durations — and cutoffs from a shared deadline or
 //! cancellation token, which are timing-dependent by nature — vary between

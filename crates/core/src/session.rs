@@ -17,7 +17,7 @@
 //! use ilogic_core::dsl::*;
 //! use ilogic_core::session::{CheckRequest, Session, Verdict};
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! // P ∨ ¬P is a theorem: no computation of length ≤ 3 refutes it.
 //! let request = CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 3);
 //! assert_eq!(session.check(request).verdict, Verdict::ValidUpTo(3));
@@ -38,13 +38,42 @@
 //! use ilogic_core::dsl::*;
 //! use ilogic_core::session::{CheckRequest, Session};
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! let reports = session.check_many(vec![
 //!     CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 3),
 //!     CheckRequest::new(always(prop("P")).implies(eventually(prop("P")))).decide(),
 //! ]);
 //! assert!(reports.iter().all(|report| report.verdict.passed()));
 //! ```
+//!
+//! # Concurrency
+//!
+//! Every dispatch method takes `&self`: a `Session` is `Sync`, and threads
+//! sharing one (directly, or through the split [`Session::interner`] /
+//! [`Session::checker`] handles) may intern, check, submit, and wait
+//! concurrently.  Backends never run under the session's locks — each check
+//! executes over an O(1) [`crate::arena::ArenaSnapshot`] of the arena
+//! version it was prepared against, so submitting new work (which interns)
+//! proceeds while earlier jobs are still running on older versions.  Only
+//! the configuration setters ([`Session::set_parallelism`],
+//! [`Session::set_budget`], [`Session::set_preflight`],
+//! [`Session::set_verdict_cache`]) still take `&mut self`: configuration is
+//! fixed while a session is shared.
+//!
+//! # The verdict cache
+//!
+//! `Decide` and `Bounded` verdicts are pure functions of the interned
+//! formula and the structural budget caps, so the session memoizes them
+//! across requests: a repeated check replays the stored outcome —
+//! bit-identical to recomputation in everything but wall-clock duration and
+//! the [`CheckStats::cache`] counters themselves.  Requests that are *not*
+//! such pure functions bypass the cache entirely: `Trace`/`Explore`
+//! backends (their verdicts depend on caller-supplied computations),
+//! explicit quantifier domains, budgets carrying a cancellation token, and
+//! requests whose deadline has already expired.  Outcomes cut by a deadline
+//! or a cancellation are never stored.  [`Session::cumulative_cache`]
+//! exposes the running hit/miss tally; [`Session::set_verdict_cache`] turns
+//! the cache off for A/B comparisons.
 //!
 //! # Resource control
 //!
@@ -58,9 +87,10 @@
 //! The pre-existing entry points remain available as the low-level layer; the
 //! facade is how new code (and all the `examples/`) should check formulas.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use ilogic_temporal::algorithm_b::{condition_of_graph_budgeted_stats, AlgorithmB, Decision};
@@ -71,7 +101,7 @@ use ilogic_temporal::theory::PropositionalTheory;
 pub use ilogic_temporal::dnf::store::StoreStats as ConditionStats;
 
 use crate::analysis::{self, Analysis, CostEstimate, Diagnostic, DiagnosticCode};
-use crate::arena::{ArenaRead, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
+use crate::arena::{ArenaRead, ArenaVersion, FormulaArena, FormulaId, MemoEvaluator, MemoStats};
 use crate::bounded::BoundedChecker;
 use crate::json::{Json, JsonError};
 use crate::ltl_translate::to_ltl;
@@ -345,6 +375,12 @@ impl CheckRequest {
     pub fn budget(&self) -> Option<&ResourceBudget> {
         self.budget.as_ref()
     }
+
+    /// The formula the request checks — deduplication and cache layers key
+    /// on it without consuming the request.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
 }
 
 /// The uniform answer of every backend.
@@ -411,6 +447,26 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Hit/miss counters of the session's cross-request verdict cache — the
+/// cache-level analogue of [`MemoStats`].  See the module-level *verdict
+/// cache* section for what is (and is not) cached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered by replaying a stored outcome, no backend run.
+    pub hits: u64,
+    /// Cacheable requests that ran a backend (and stored their outcome).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Adds another counter set into this one (used for the session's
+    /// running totals).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
 /// Uniform measurements attached to every [`CheckReport`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckStats {
@@ -453,6 +509,16 @@ pub struct CheckStats {
     /// compared against the budget.  `None` only in reports parsed from
     /// pre-analysis (PR ≤ 5) JSON documents.
     pub estimate: Option<CostEstimate>,
+    /// Verdict-cache activity of *this* request: `hits == 1` when the report
+    /// was replayed from the session's cross-request verdict cache,
+    /// `misses == 1` when the request was cacheable but had to run (storing
+    /// its outcome), both zero when the request bypassed the cache
+    /// (uncacheable backend, explicit domain, cancellable or already-expired
+    /// budget, pre-flight rejection, or a disabled cache).
+    pub cache: CacheStats,
+    /// Verdict-cache counters accumulated by the session across every
+    /// request so far, this one included — see [`Session::cumulative_cache`].
+    pub session_cache: CacheStats,
 }
 
 impl fmt::Display for CheckStats {
@@ -491,6 +557,9 @@ impl fmt::Display for CheckStats {
         }
         if let Some(cut) = self.exhausted {
             write!(f, ", exhausted: {cut}")?;
+        }
+        if self.cache.hits > 0 {
+            write!(f, ", verdict cache hit")?;
         }
         Ok(())
     }
@@ -846,6 +915,8 @@ fn stats_to_json(stats: &CheckStats) -> Json {
                 None => Json::Null,
             },
         )
+        .field("cache", cache_to_json(stats.cache))
+        .field("session_cache", cache_to_json(stats.session_cache))
 }
 
 fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
@@ -871,6 +942,16 @@ fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
         None | Some(Json::Null) => None,
         Some(found) => Some(estimate_from_json(found)?),
     };
+    // The verdict-cache counters were added in PR 10; absent fields default
+    // to zero, like the PR 5 condition fields above.
+    let cache = match value.get("cache") {
+        Some(found) => cache_from_json(found)?,
+        None => CacheStats::default(),
+    };
+    let session_cache = match value.get("session_cache") {
+        Some(found) => cache_from_json(found)?,
+        None => CacheStats::default(),
+    };
     Ok(CheckStats {
         duration: Duration::from_nanos(uint_field(value.require("duration_ns")?, "duration_ns")?),
         traces_checked: usize_of(value.require("traces_checked")?, "traces_checked")?,
@@ -882,6 +963,8 @@ fn stats_from_json(value: &Json) -> Result<CheckStats, JsonError> {
         arena_nodes: usize_of(value.require("arena_nodes")?, "arena_nodes")?,
         workers: usize_of(value.require("workers")?, "workers")?,
         estimate,
+        cache,
+        session_cache,
     })
 }
 
@@ -1012,6 +1095,19 @@ fn condition_from_json(value: &Json) -> Result<ConditionStats, JsonError> {
         rounds: worklist_count("rounds")?,
         equations_evaluated: worklist_count("equations_evaluated")?,
         equations_skipped: worklist_count("equations_skipped")?,
+    })
+}
+
+fn cache_to_json(cache: CacheStats) -> Json {
+    Json::object()
+        .field("hits", Json::Int(cache.hits.min(i64::MAX as u64) as i64))
+        .field("misses", Json::Int(cache.misses.min(i64::MAX as u64) as i64))
+}
+
+fn cache_from_json(value: &Json) -> Result<CacheStats, JsonError> {
+    Ok(CacheStats {
+        hits: uint_field(value.require("hits")?, "hits")?,
+        misses: uint_field(value.require("misses")?, "misses")?,
     })
 }
 
@@ -1151,11 +1247,146 @@ pub fn value_from_json(value: &Json) -> Result<Value, JsonError> {
     Err(JsonError::new(format!("unrecognized value {value:?}")))
 }
 
+/// Recovers the guard from a poisoned lock: a panic in one checking thread
+/// must not wedge every other thread of a long-lived session (the state a
+/// mid-panic update could skew is statistics, never verdicts).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arena, cumulative counters, and the verdict cache — everything a check
+/// touches at prepare and finalize time, under one lock that is *never*
+/// held while a backend runs.
+#[derive(Debug, Default)]
+struct SessionState {
+    arena: FormulaArena,
+    cumulative: MemoStats,
+    cumulative_condition: ConditionStats,
+    cumulative_cache: CacheStats,
+    verdicts: HashMap<CacheKey, CachedOutcome>,
+}
+
+/// The job queue: pending submissions, ids currently being driven by some
+/// thread's [`Session::run_pending`], and finished-but-unclaimed reports.
+#[derive(Debug, Default)]
+struct SchedState {
+    pending: Vec<(JobId, CheckRequest)>,
+    running: HashSet<JobId>,
+    completed: BTreeMap<JobId, CheckReport>,
+}
+
+/// A read view of the session arena, returned by [`Session::arena`]: derefs
+/// to [`FormulaArena`] while holding the session's state lock.
+///
+/// Keep it short-lived: the session cannot prepare or finalize checks while
+/// a view is alive, and calling any other `Session` method from the same
+/// thread while holding one deadlocks (the lock is not reentrant).
+#[derive(Debug)]
+pub struct ArenaRef<'a>(MutexGuard<'a, SessionState>);
+
+impl std::ops::Deref for ArenaRef<'_> {
+    type Target = FormulaArena;
+
+    fn deref(&self) -> &FormulaArena {
+        &self.0.arena
+    }
+}
+
+/// The cacheable subset of [`Backend`] — the decision procedures whose
+/// outcome is a pure function of the interned formula and the structural
+/// budget caps.  `Trace`/`Explore` verdicts depend on caller-supplied
+/// computations the key cannot name, so those backends never reach a key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CacheableBackend {
+    Decide,
+    Bounded { props: Vec<String>, max_len: usize, lassos: bool },
+}
+
+/// Key of the session verdict cache.  Hash-consing makes the formula
+/// component a single [`FormulaId`], and every *structural* budget cap is
+/// part of the key (two requests that could be cut at different points are
+/// different entries), as is the worker count (reports quote it).
+/// Wall-clock deadlines are deliberately **not** in the key — see
+/// [`Session::cache_plan`] for the timing rules.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    formula: FormulaId,
+    backend: CacheableBackend,
+    max_nodes: usize,
+    max_edges: usize,
+    max_implicants: usize,
+    max_enumeration: usize,
+    workers: usize,
+}
+
+/// A stored backend outcome: every deterministic field of a [`JobOutcome`]
+/// (the wall-clock duration is supplied per replay).
+#[derive(Clone, Debug)]
+struct CachedOutcome {
+    verdict: Verdict,
+    traces_checked: usize,
+    memo: MemoStats,
+    condition: ConditionStats,
+    workers: usize,
+    failing_index: Option<usize>,
+}
+
+impl CachedOutcome {
+    fn of(outcome: &JobOutcome) -> CachedOutcome {
+        CachedOutcome {
+            verdict: outcome.verdict.clone(),
+            traces_checked: outcome.traces_checked,
+            memo: outcome.memo,
+            condition: outcome.condition,
+            workers: outcome.workers,
+            failing_index: outcome.failing_index,
+        }
+    }
+
+    /// Rebuilds the outcome a fresh run would have produced, so `finalize`
+    /// replays the cumulative-counter merges exactly as recomputation would.
+    fn replay(&self, duration: Duration) -> JobOutcome {
+        JobOutcome {
+            verdict: self.verdict.clone(),
+            traces_checked: self.traces_checked,
+            memo: self.memo,
+            condition: self.condition,
+            workers: self.workers,
+            failing_index: self.failing_index,
+            duration,
+        }
+    }
+}
+
+/// What the verdict cache decided about one prepared job.
+#[derive(Clone, Debug)]
+enum CachePlan {
+    /// The request is uncacheable: run it, store nothing, count nothing.
+    Bypass,
+    /// Found in the session cache: replay the stored outcome, no backend.
+    Hit(CachedOutcome),
+    /// Cacheable but absent: execute, then store under this key at finalize
+    /// time (unless the run was cut by a deadline or a cancellation — those
+    /// outcomes are timing-dependent and must never be replayed).
+    Miss(CacheKey),
+    /// A duplicate of an earlier not-yet-finalized job in the same batch:
+    /// skip execution and replay the entry that job stores when it
+    /// finalizes — exactly the hit a sequential loop would have scored.
+    Defer(CacheKey),
+}
+
+/// Entry cap of the verdict cache: a long-lived server session must not
+/// grow without bound, so once the cap is reached new outcomes simply stop
+/// being stored (lookups, and the determinism rules, are unaffected).
+const VERDICT_CACHE_CAP: usize = 1 << 16;
+
 /// The unified checking façade.
 ///
 /// A session owns a [`FormulaArena`]; every checked formula is interned into
 /// it, so repeated checks of overlapping formulas share structure and
-/// spec-clause subformulas are deduplicated across clauses.
+/// spec-clause subformulas are deduplicated across clauses.  `Decide` and
+/// `Bounded` verdicts are additionally memoized across requests by the
+/// session verdict cache (module-level *verdict cache* section).
 ///
 /// Checks fan out across a worker pool when parallelism is enabled — per
 /// request ([`CheckRequest::with_parallelism`]), per session
@@ -1163,37 +1394,42 @@ pub fn value_from_json(value: &Json) -> Result<Value, JsonError> {
 /// `ILOGIC_TEST_PARALLEL` environment variable.  Worker evaluation is
 /// shared-nothing over an [`crate::arena::ArenaSnapshot`]; verdicts are
 /// bit-identical to the single-threaded path.
+///
+/// Dispatch takes `&self` (module-level *concurrency* section): internal
+/// state lives behind two short-held locks — `state` for the arena,
+/// counters, and cache; `sched` for the job queue — and backends always run
+/// over an O(1) arena snapshot with neither lock held.
 #[derive(Debug)]
 pub struct Session {
-    arena: FormulaArena,
+    state: Mutex<SessionState>,
+    sched: Mutex<SchedState>,
+    /// Signalled when a batch finishes; [`Session::wait`] parks here while
+    /// another thread's `run_pending` is driving the job it wants.
+    finished: Condvar,
     default_parallelism: Option<Parallelism>,
     default_budget: Option<ResourceBudget>,
-    cumulative: MemoStats,
-    cumulative_condition: ConditionStats,
     /// Process-unique nonce stamped into every issued [`JobHandle`], so a
     /// handle presented to the wrong session is rejected instead of
     /// redeeming an unrelated job that shares the numeric id.
     session_nonce: u64,
-    next_job: u64,
-    pending: Vec<(JobId, CheckRequest)>,
-    completed: BTreeMap<JobId, CheckReport>,
+    next_job: AtomicU64,
     preflight: bool,
+    cache_enabled: bool,
 }
 
 impl Default for Session {
     fn default() -> Session {
-        static NEXT_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        static NEXT_SESSION: AtomicU64 = AtomicU64::new(0);
         Session {
-            arena: FormulaArena::default(),
+            state: Mutex::new(SessionState::default()),
+            sched: Mutex::new(SchedState::default()),
+            finished: Condvar::new(),
             default_parallelism: None,
             default_budget: None,
-            cumulative: MemoStats::default(),
-            cumulative_condition: ConditionStats::default(),
-            session_nonce: NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            next_job: 0,
-            pending: Vec::new(),
-            completed: BTreeMap::new(),
+            session_nonce: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
+            next_job: AtomicU64::new(0),
             preflight: false,
+            cache_enabled: true,
         }
     }
 }
@@ -1204,9 +1440,25 @@ impl Session {
         Session::default()
     }
 
-    /// The session's arena (for inspection; sizes, node access).
-    pub fn arena(&self) -> &FormulaArena {
-        &self.arena
+    /// A read view of the session's arena (for inspection; sizes, node
+    /// access, [`FormulaArena::version`]).  The view holds the session's
+    /// state lock — drop it before calling other session methods.
+    pub fn arena(&self) -> ArenaRef<'_> {
+        ArenaRef(lock(&self.state))
+    }
+
+    /// The interning half of this session: a `Copy` handle exposing only
+    /// [`Session::intern`] / [`Session::extract`] / the arena version, for
+    /// threads that grow the formula store while others run checks.
+    pub fn interner(&self) -> InternHandle<'_> {
+        InternHandle { session: self }
+    }
+
+    /// The checking half of this session: a `Copy` handle exposing only the
+    /// dispatch surface (`check`, `submit`, `wait`, …), for worker threads
+    /// that must not reconfigure the session.
+    pub fn checker(&self) -> CheckHandle<'_> {
+        CheckHandle { session: self }
     }
 
     /// Sets the parallelism used by requests that don't choose their own (and
@@ -1252,18 +1504,37 @@ impl Session {
         self
     }
 
+    /// Turns the cross-request verdict cache off (or back on).  On by
+    /// default; turning it off makes every request run its backend, which is
+    /// what the differential fuzzer compares cached sessions against.
+    pub fn set_verdict_cache(&mut self, on: bool) {
+        self.cache_enabled = on;
+    }
+
+    /// [`Session::set_verdict_cache`], builder-style.
+    pub fn with_verdict_cache(mut self, on: bool) -> Session {
+        self.set_verdict_cache(on);
+        self
+    }
+
     /// Memoization counters accumulated across every check this session ran —
     /// per-request counters are visible in each [`CheckReport`]; this is their
     /// running sum, making cross-request cache behaviour observable.
     pub fn cumulative_memo(&self) -> MemoStats {
-        self.cumulative
+        lock(&self.state).cumulative
     }
 
     /// Condition-store counters accumulated across every `Decide` check this
     /// session ran (counts add, the peak-width takes the max) — the running
     /// sum of each report's [`CheckStats::condition`].
     pub fn cumulative_condition(&self) -> ConditionStats {
-        self.cumulative_condition
+        lock(&self.state).cumulative_condition
+    }
+
+    /// Verdict-cache hit/miss counters accumulated across every request this
+    /// session ran — the running sum of each report's [`CheckStats::cache`].
+    pub fn cumulative_cache(&self) -> CacheStats {
+        lock(&self.state).cumulative_cache
     }
 
     /// Effective parallelism: the request's explicit choice, else the session
@@ -1281,29 +1552,42 @@ impl Session {
         requested.or_else(|| self.default_budget.clone()).unwrap_or_default()
     }
 
-    /// Interns a formula into the session arena.
-    pub fn intern(&mut self, formula: &Formula) -> FormulaId {
-        self.arena.intern(formula)
+    /// Interns a formula into the session arena.  Safe to call while checks
+    /// are mid-flight on other threads: they read older arena versions
+    /// through their snapshots and never observe the new ids.
+    pub fn intern(&self, formula: &Formula) -> FormulaId {
+        lock(&self.state).arena.intern(formula)
     }
 
     /// Reconstructs the boxed formula behind an id interned by this session.
     pub fn extract(&self, id: FormulaId) -> Formula {
-        self.arena.extract(id)
+        lock(&self.state).arena.extract(id)
     }
 
     /// Interns the request's formula, runs the pre-flight analysis pass, and
     /// resolves its knobs — including `Backend::Auto` routing and (when
     /// enabled) pre-flight admission — recording the arena size the report
-    /// will quote.  Interning is the only arena mutation a check performs, so
-    /// preparing a whole batch in submission order leaves the arena in
-    /// exactly the state a sequential loop of `check` calls would produce.
-    /// Routing and admission read only the request and the deterministic
-    /// [`CostEstimate`], so they too replay identically.
-    fn prepare(&mut self, request: CheckRequest) -> PreparedJob {
+    /// will quote and the job's verdict-cache plan.  Interning is the only
+    /// arena mutation a check performs, so preparing a whole batch in
+    /// submission order leaves the arena in exactly the state a sequential
+    /// loop of `check` calls would produce.  Routing and admission read only
+    /// the request and the deterministic [`CostEstimate`], so they too
+    /// replay identically.
+    ///
+    /// `batch_keys` is the set of cache keys earlier jobs of the same batch
+    /// plan to store: a duplicate becomes a [`CachePlan::Defer`], scoring
+    /// the hit the sequential loop would have scored (where the earlier
+    /// duplicate has already finalized) instead of executing twice.
+    fn prepare(
+        &self,
+        state: &mut SessionState,
+        request: CheckRequest,
+        batch_keys: Option<&mut HashSet<CacheKey>>,
+    ) -> PreparedJob {
         let CheckRequest { formula, backend, domain, parallelism, budget, preflight } = request;
-        let id = self.arena.intern(&formula);
+        let id = state.arena.intern(&formula);
         let Analysis { mut diagnostics, estimate } =
-            analysis::analyze_interned(&self.arena, id, &formula);
+            analysis::analyze_interned(&state.arena, id, &formula);
         let mut budget = self.resolve_budget(budget);
         let backend = match backend {
             Backend::Auto => {
@@ -1333,27 +1617,111 @@ impl Session {
                 ),
             ));
         }
-        PreparedJob {
+        let mut job = PreparedJob {
             id,
             formula,
             backend,
             domain,
             parallelism: self.resolve_parallelism(parallelism),
             budget,
-            arena_nodes: self.arena.formula_count() + self.arena.term_count(),
+            arena_nodes: state.arena.formula_count() + state.arena.term_count(),
             backend_name,
             diagnostics,
             estimate,
             rejection,
+            cache: CachePlan::Bypass,
+        };
+        job.cache = self.cache_plan(state, &job);
+        if let (Some(seen), CachePlan::Miss(key)) = (batch_keys, &job.cache) {
+            if !seen.insert(key.clone()) {
+                job.cache = CachePlan::Defer(key.clone());
+            }
+        }
+        job
+    }
+
+    /// Decides how the verdict cache treats one prepared job: replay a
+    /// stored outcome, execute-and-store, or bypass.
+    ///
+    /// The timing rules keep cached reports bit-identical to recomputation:
+    ///
+    /// * a budget carrying a **cancellation token** bypasses — the request
+    ///   races its token by design, and a replay would erase that race;
+    /// * a budget whose deadline (or token) has **already tripped** bypasses
+    ///   — the backend will answer `Unknown { exhausted }` without running,
+    ///   and that answer must not be hidden behind a cached settled verdict;
+    /// * a *live* deadline does **not** bypass: serving a settled outcome is
+    ///   bit-identical to a recomputation that didn't trip, and outcomes
+    ///   that *were* cut by a deadline are never stored (see
+    ///   [`Session::finalize`]), so a replay can never launder a cut.
+    ///
+    /// Structural exhaustions (`Nodes`/`Edges`/`Implicants`/`Enumeration`)
+    /// are deterministic in the key's caps and cache like any settled
+    /// verdict.
+    fn cache_plan(&self, state: &SessionState, job: &PreparedJob) -> CachePlan {
+        if !self.cache_enabled
+            || job.rejection.is_some()
+            || job.domain.is_some()
+            || job.budget.cancel_token().is_some()
+            || job.budget.interrupted().is_some()
+        {
+            return CachePlan::Bypass;
+        }
+        let backend = match &job.backend {
+            Backend::Decide => CacheableBackend::Decide,
+            Backend::Bounded { props, max_len, lassos } => CacheableBackend::Bounded {
+                props: props.clone(),
+                max_len: *max_len,
+                lassos: *lassos,
+            },
+            _ => return CachePlan::Bypass,
+        };
+        let key = CacheKey {
+            formula: job.id,
+            backend,
+            max_nodes: job.budget.max_nodes(),
+            max_edges: job.budget.max_edges(),
+            max_implicants: job.budget.max_implicants(),
+            max_enumeration: job.budget.max_enumeration(),
+            workers: job.parallelism.workers(),
+        };
+        match state.verdicts.get(&key) {
+            Some(stored) => CachePlan::Hit(stored.clone()),
+            None => CachePlan::Miss(key),
         }
     }
 
     /// Folds a finished job into the session counters (in submission order
-    /// for batches — the same merge order as a sequential loop) and shapes
-    /// the report.
-    fn finalize(&mut self, job: &PreparedJob, outcome: JobOutcome) -> CheckReport {
-        self.cumulative.merge(outcome.memo);
-        self.cumulative_condition.merge(outcome.condition);
+    /// for batches — the same merge order as a sequential loop), stores
+    /// cache misses, and shapes the report.
+    fn finalize(
+        &self,
+        state: &mut SessionState,
+        job: &PreparedJob,
+        outcome: JobOutcome,
+    ) -> CheckReport {
+        let request_cache = match &job.cache {
+            CachePlan::Bypass => CacheStats::default(),
+            CachePlan::Hit(_) | CachePlan::Defer(_) => CacheStats { hits: 1, misses: 0 },
+            CachePlan::Miss(key) => {
+                // Deadline/cancellation cuts are where the run *stopped*,
+                // not what the formula *is* — replaying one later would be
+                // wrong, so they are never stored.
+                let timing_cut = matches!(
+                    outcome.verdict,
+                    Verdict::Unknown {
+                        exhausted: Some(Exhaustion::Deadline | Exhaustion::Cancelled)
+                    }
+                );
+                if !timing_cut && state.verdicts.len() < VERDICT_CACHE_CAP {
+                    state.verdicts.insert(key.clone(), CachedOutcome::of(&outcome));
+                }
+                CacheStats { hits: 0, misses: 1 }
+            }
+        };
+        state.cumulative.merge(outcome.memo);
+        state.cumulative_condition.merge(outcome.condition);
+        state.cumulative_cache.merge(request_cache);
         let exhausted = match &outcome.verdict {
             Verdict::Unknown { exhausted } => *exhausted,
             _ => None,
@@ -1364,13 +1732,15 @@ impl Session {
                 duration: outcome.duration,
                 traces_checked: outcome.traces_checked,
                 memo: outcome.memo,
-                session_memo: self.cumulative,
+                session_memo: state.cumulative,
                 condition: outcome.condition,
-                session_condition: self.cumulative_condition,
+                session_condition: state.cumulative_condition,
                 exhausted,
                 arena_nodes: job.arena_nodes,
                 workers: outcome.workers,
                 estimate: Some(job.estimate),
+                cache: request_cache,
+                session_cache: state.cumulative_cache,
             },
             backend: job.backend_name,
             failing_index: outcome.failing_index,
@@ -1379,23 +1749,21 @@ impl Session {
     }
 
     /// Runs a check and reports the verdict with uniform statistics.
-    pub fn check(&mut self, request: CheckRequest) -> CheckReport {
-        let job = self.prepare(request);
-        // Snapshot the arena only for multi-worker backends whose hot loop
-        // reads it (`Explore`/`Bounded` sweeps).  `Trace` is single-threaded,
-        // and `Decide` touches the arena only in its refutation sweep — often
-        // never (theorems settle in the tableau) — so both run directly over
-        // the exclusively-borrowed arena, which is `Sync` and read-only here;
-        // an O(arena) copy per check would be pure waste.
-        let wants_snapshot = job.parallelism.workers() > 1
-            && matches!(job.backend, Backend::Explore { .. } | Backend::Bounded { .. });
-        let outcome = if wants_snapshot {
-            let snapshot = self.arena.snapshot();
-            execute(&snapshot, &job)
-        } else {
-            execute(&self.arena, &job)
+    pub fn check(&self, request: CheckRequest) -> CheckReport {
+        let start = Instant::now();
+        let (job, snapshot) = {
+            let mut state = lock(&self.state);
+            let job = self.prepare(&mut state, request, None);
+            (job, state.arena.snapshot())
         };
-        self.finalize(&job, outcome)
+        // Execute with no lock held, over the O(1) snapshot taken at prepare
+        // time: other threads intern and dispatch freely while this backend
+        // runs.  A cache hit replays the stored outcome instead.
+        let outcome = match &job.cache {
+            CachePlan::Hit(stored) => stored.replay(start.elapsed()),
+            _ => execute(&snapshot, &job),
+        };
+        self.finalize(&mut lock(&self.state), &job, outcome)
     }
 
     /// Enqueues a check and returns a handle to its eventual report.
@@ -1413,16 +1781,15 @@ impl Session {
     /// what keeps batch results bit-identical to a sequential loop at any
     /// worker count).  For one heavy request that should itself fan out,
     /// call [`Session::check`] instead of submitting it.
-    pub fn submit(&mut self, request: CheckRequest) -> JobHandle {
-        let id = JobId::new(self.next_job);
-        self.next_job += 1;
-        self.pending.push((id, request));
+    pub fn submit(&self, request: CheckRequest) -> JobHandle {
+        let id = JobId::new(self.next_job.fetch_add(1, Ordering::Relaxed));
+        lock(&self.sched).pending.push((id, request));
         JobHandle::new(self.session_nonce, id)
     }
 
     /// Number of submitted jobs not yet run.
     pub fn pending_jobs(&self) -> usize {
-        self.pending.len()
+        lock(&self.sched).pending.len()
     }
 
     /// Runs every queued job, multiplexing the batch across the worker pool
@@ -1436,37 +1803,87 @@ impl Session {
     /// to a sequential loop of single-threaded [`Session::check`] calls in
     /// submission order, whatever the worker count.  (Only wall-clock
     /// durations, and cutoffs from a deadline or cancellation, vary.)
-    pub fn run_pending(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let queue = std::mem::take(&mut self.pending);
-        // Phase 1 — prepare sequentially in submission order: interning
-        // replays the arena states of the sequential loop, and each job's
-        // intra-request parallelism is pinned off (the scheduler owns the
-        // workers).
-        let jobs: Vec<(JobId, PreparedJob)> = queue
-            .into_iter()
-            .map(|(id, request)| {
-                let request = request.with_parallelism(Parallelism::Off);
-                (id, self.prepare(request))
-            })
-            .collect();
-        // Phase 2 — execute the jobs across the pool over one frozen
-        // snapshot.  Per-job results don't depend on which worker runs them.
-        let pool = WorkerPool::new(self.resolve_parallelism(None));
-        let outcomes: Vec<JobOutcome> = if pool.workers() == 1 {
-            jobs.iter().map(|(_, job)| execute(&self.arena, job)).collect()
-        } else {
-            let snapshot = self.arena.snapshot();
-            scheduler::run_jobs(&pool, jobs.len(), |i| execute(&snapshot, &jobs[i].1))
+    pub fn run_pending(&self) {
+        let queue = {
+            let mut sched = lock(&self.sched);
+            if sched.pending.is_empty() {
+                return;
+            }
+            let queue = std::mem::take(&mut sched.pending);
+            sched.running.extend(queue.iter().map(|(id, _)| *id));
+            queue
         };
-        // Phase 3 — finalize in submission order, replaying the sequential
-        // loop's cumulative-counter merges.
-        for ((id, job), outcome) in jobs.iter().zip(outcomes) {
-            let report = self.finalize(job, outcome);
-            self.completed.insert(*id, report);
+        let results = self.run_batch(queue);
+        let mut sched = lock(&self.sched);
+        for (id, report) in results {
+            sched.running.remove(&id);
+            sched.completed.insert(id, report);
         }
+        drop(sched);
+        self.finished.notify_all();
+    }
+
+    /// Prepares, executes, and finalizes one drained batch — the single
+    /// engine behind [`Session::run_pending`] / [`Session::check_many`].
+    fn run_batch(&self, queue: Vec<(JobId, CheckRequest)>) -> Vec<(JobId, CheckReport)> {
+        // Phase 1 — prepare sequentially in submission order under the state
+        // lock: interning replays the arena states of the sequential loop,
+        // and each job's intra-request parallelism is pinned off (the
+        // scheduler owns the workers).  One O(1) snapshot of the resulting
+        // arena version serves the whole batch.
+        let (jobs, snapshot) = {
+            let mut state = lock(&self.state);
+            let mut batch_keys = HashSet::new();
+            let jobs: Vec<(JobId, PreparedJob)> = queue
+                .into_iter()
+                .map(|(id, request)| {
+                    let request = request.with_parallelism(Parallelism::Off);
+                    (id, self.prepare(&mut state, request, Some(&mut batch_keys)))
+                })
+                .collect();
+            (jobs, state.arena.snapshot())
+        };
+        // Phase 2 — execute the jobs that actually need a backend across the
+        // pool, with no lock held.  Cache hits and within-batch duplicates
+        // skip execution entirely; per-job results don't depend on which
+        // worker runs them.
+        let pool = WorkerPool::new(self.resolve_parallelism(None));
+        let runnable: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, job))| matches!(job.cache, CachePlan::Bypass | CachePlan::Miss(_)))
+            .map(|(index, _)| index)
+            .collect();
+        let outcomes: Vec<JobOutcome> = scheduler::run_jobs(&pool, runnable.len(), |i| {
+            execute(&snapshot, &jobs[runnable[i]].1)
+        });
+        let mut slots: Vec<Option<JobOutcome>> = jobs.iter().map(|_| None).collect();
+        for (index, outcome) in runnable.into_iter().zip(outcomes) {
+            slots[index] = Some(outcome);
+        }
+        // Phase 3 — finalize in submission order, replaying the sequential
+        // loop's cumulative-counter merges and cache stores/replays.
+        let mut state = lock(&self.state);
+        jobs.into_iter()
+            .zip(slots)
+            .map(|((id, job), slot)| {
+                let outcome = match (&job.cache, slot) {
+                    (_, Some(outcome)) => outcome,
+                    (CachePlan::Hit(stored), None) => stored.replay(Duration::ZERO),
+                    (CachePlan::Defer(key), None) => match state.verdicts.get(key) {
+                        Some(stored) => stored.replay(Duration::ZERO),
+                        // The earlier duplicate was cut by its deadline and
+                        // stored nothing: run the job after all (rare, and
+                        // timing cuts are outside the bit-identity contract
+                        // anyway).
+                        None => execute(&snapshot, &job),
+                    },
+                    (_, None) => unreachable!("runnable jobs have an outcome"),
+                };
+                let report = self.finalize(&mut state, &job, outcome);
+                (id, report)
+            })
+            .collect()
     }
 
     /// Waits for a submitted job and takes its report (driving the queue if
@@ -1476,7 +1893,7 @@ impl Session {
     ///
     /// Panics if the handle was not issued by this session or its report was
     /// already taken; use [`Session::try_wait`] to probe instead.
-    pub fn wait(&mut self, handle: &JobHandle) -> CheckReport {
+    pub fn wait(&self, handle: &JobHandle) -> CheckReport {
         self.try_wait(handle).expect("unknown or already-redeemed job handle")
     }
 
@@ -1489,23 +1906,50 @@ impl Session {
     /// periodically — otherwise finished reports (counterexample traces
     /// included) accumulate for its lifetime.  Queued jobs are *not* run by
     /// this call; invoke [`Session::run_pending`] first to flush them.
-    pub fn take_completed(&mut self) -> Vec<(JobId, CheckReport)> {
-        std::mem::take(&mut self.completed).into_iter().collect()
+    pub fn take_completed(&self) -> Vec<(JobId, CheckReport)> {
+        std::mem::take(&mut lock(&self.sched).completed).into_iter().collect()
     }
 
     /// [`Session::wait`] returning `None` for a foreign or already-redeemed
     /// handle instead of panicking.
-    pub fn try_wait(&mut self, handle: &JobHandle) -> Option<CheckReport> {
+    ///
+    /// Like `wait`, this *blocks* while the job is being driven by another
+    /// thread's [`Session::run_pending`], and drives the queue itself while
+    /// the job is still pending — `None` means the handle is foreign or its
+    /// report was already taken, never "not finished yet".
+    pub fn try_wait(&self, handle: &JobHandle) -> Option<CheckReport> {
         if handle.session() != self.session_nonce {
             // A handle minted by a different session: its numeric id may
             // collide with one of ours, so reject it outright rather than
             // redeem an unrelated job.
             return None;
         }
-        if self.pending.iter().any(|(id, _)| *id == handle.id()) {
+        loop {
+            {
+                let mut sched = lock(&self.sched);
+                if let Some(report) = sched.completed.remove(&handle.id()) {
+                    return Some(report);
+                }
+                if sched.running.contains(&handle.id()) {
+                    // Another thread's batch is driving this job: park until
+                    // a batch finishes, then re-check.  (The timeout is pure
+                    // insurance against a missed wakeup; correctness doesn't
+                    // depend on it.)
+                    let (guard, _) = self
+                        .finished
+                        .wait_timeout(sched, Duration::from_millis(20))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    drop(guard);
+                    continue;
+                }
+                if !sched.pending.iter().any(|(id, _)| *id == handle.id()) {
+                    return None;
+                }
+            }
+            // Still queued: drive the queue ourselves (concurrent drivers
+            // drain disjoint batches, so this cannot run the job twice).
             self.run_pending();
         }
-        self.completed.remove(&handle.id())
     }
 
     /// Checks a whole batch of requests, multiplexed across the worker pool,
@@ -1515,10 +1959,24 @@ impl Session {
     /// durations) `requests.into_iter().map(|r|
     /// session.check(r.with_parallelism(Parallelism::Off))).collect()` — see
     /// [`Session::run_pending`] for the determinism discipline.
-    pub fn check_many(&mut self, requests: Vec<CheckRequest>) -> Vec<CheckReport> {
+    pub fn check_many(&self, requests: Vec<CheckRequest>) -> Vec<CheckReport> {
         let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.submit(r)).collect();
         self.run_pending();
         handles.iter().map(|handle| self.wait(handle)).collect()
+    }
+
+    /// Deprecated `&mut` shim for [`Session::submit`], kept for one release:
+    /// `submit` now takes `&self`, so call it directly.
+    #[deprecated(since = "0.1.0", note = "Session::submit now takes &self; call it directly")]
+    pub fn submit_mut(&mut self, request: CheckRequest) -> JobHandle {
+        self.submit(request)
+    }
+
+    /// Deprecated `&mut` shim for [`Session::check_many`], kept for one
+    /// release: `check_many` now takes `&self`, so call it directly.
+    #[deprecated(since = "0.1.0", note = "Session::check_many now takes &self; call it directly")]
+    pub fn check_many_mut(&mut self, requests: Vec<CheckRequest>) -> Vec<CheckReport> {
+        self.check_many(requests)
     }
 
     /// Checks every clause of a specification against a trace through the
@@ -1527,7 +1985,7 @@ impl Session {
     /// Clause formulas are universally closed, `*`-eliminated, and interned —
     /// so subformulas shared between clauses (ubiquitous in the Chapter 5–8
     /// specifications) are evaluated once per interval/binding context.
-    pub fn check_spec(&mut self, spec: &Spec, trace: &Trace) -> SpecReport {
+    pub fn check_spec(&self, spec: &Spec, trace: &Trace) -> SpecReport {
         self.check_spec_with_domain(spec, trace, trace.value_domain())
     }
 
@@ -1538,28 +1996,34 @@ impl Session {
     /// so subformulas shared between clauses on the same worker are still
     /// evaluated once.  Clause verdicts are independent of the worker count.
     pub fn check_spec_with_domain(
-        &mut self,
+        &self,
         spec: &Spec,
         trace: &Trace,
         domain: Vec<Value>,
     ) -> SpecReport {
-        let prepared: Vec<(String, crate::spec::ClauseKind, FormulaId)> = spec
-            .clauses()
-            .iter()
-            .map(|clause| {
-                let closed = close_free_variables(&clause.formula);
-                let reduced = eliminate_star(&closed);
-                (clause.label.clone(), clause.kind, self.arena.intern(&reduced))
-            })
-            .collect();
+        // Intern every clause under the state lock, then evaluate over an
+        // O(1) snapshot of the resulting arena version with no lock held —
+        // the same prepare/execute split the check paths use.
+        let (prepared, snapshot) = {
+            let mut state = lock(&self.state);
+            let prepared: Vec<(String, crate::spec::ClauseKind, FormulaId)> = spec
+                .clauses()
+                .iter()
+                .map(|clause| {
+                    let closed = close_free_variables(&clause.formula);
+                    let reduced = eliminate_star(&closed);
+                    (clause.label.clone(), clause.kind, state.arena.intern(&reduced))
+                })
+                .collect();
+            (prepared, state.arena.snapshot())
+        };
         let pool = WorkerPool::new(self.resolve_parallelism(None));
         let verdicts = if pool.workers() == 1 || prepared.len() < 2 {
-            let mut memo = MemoEvaluator::new(&self.arena).with_domain(domain);
+            let mut memo = MemoEvaluator::new(&snapshot).with_domain(domain);
             let verdicts = memo.check_all(trace, prepared.iter().map(|(_, _, id)| *id));
-            self.cumulative.merge(memo.stats());
+            lock(&self.state).cumulative.merge(memo.stats());
             verdicts
         } else {
-            let snapshot = self.arena.snapshot();
             let workers = pool.workers();
             let striped = pool.run(|w| {
                 let mut memo = MemoEvaluator::new(&snapshot).with_domain(domain.clone());
@@ -1568,8 +2032,9 @@ impl Session {
                 (memo.check_all(trace, stripe), memo.stats())
             });
             let mut verdicts = vec![false; prepared.len()];
+            let mut state = lock(&self.state);
             for (w, (stripe_verdicts, stats)) in striped.into_iter().enumerate() {
-                self.cumulative.merge(stats);
+                state.cumulative.merge(stats);
                 for (k, holds) in stripe_verdicts.into_iter().enumerate() {
                     verdicts[w + k * workers] = holds;
                 }
@@ -1582,6 +2047,99 @@ impl Session {
             .map(|((label, kind, _), holds)| crate::spec::ClauseResult { label, kind, holds })
             .collect();
         SpecReport { spec: spec.name().to_string(), results }
+    }
+}
+
+/// The interning half of a [`Session`], from [`Session::interner`]: a
+/// `Copy` handle that can only grow (and read back) the formula store —
+/// hand it to producer threads that mint ids while consumer threads check.
+///
+/// ```
+/// use ilogic_core::dsl::*;
+/// use ilogic_core::session::Session;
+///
+/// let session = Session::new();
+/// let interner = session.interner();
+/// let id = interner.intern(&prop("P").or(prop("P").not()));
+/// assert_eq!(interner.extract(id), prop("P").or(prop("P").not()));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct InternHandle<'s> {
+    session: &'s Session,
+}
+
+impl InternHandle<'_> {
+    /// See [`Session::intern`].
+    pub fn intern(&self, formula: &Formula) -> FormulaId {
+        self.session.intern(formula)
+    }
+
+    /// See [`Session::extract`].
+    pub fn extract(&self, id: FormulaId) -> Formula {
+        self.session.extract(id)
+    }
+
+    /// The arena version covering everything interned so far: ids below it
+    /// are visible to every [`crate::arena::ArenaSnapshot`] taken from now
+    /// on (see [`FormulaArena::version`]).
+    pub fn version(&self) -> ArenaVersion {
+        self.session.arena().version()
+    }
+}
+
+/// The checking half of a [`Session`], from [`Session::checker`]: a `Copy`
+/// handle exposing the dispatch surface and the cumulative counters, but
+/// not the `&mut self` configuration setters — hand it to worker threads
+/// that must not reconfigure the session they share.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckHandle<'s> {
+    session: &'s Session,
+}
+
+impl CheckHandle<'_> {
+    /// See [`Session::check`].
+    pub fn check(&self, request: CheckRequest) -> CheckReport {
+        self.session.check(request)
+    }
+
+    /// See [`Session::submit`].
+    pub fn submit(&self, request: CheckRequest) -> JobHandle {
+        self.session.submit(request)
+    }
+
+    /// See [`Session::check_many`].
+    pub fn check_many(&self, requests: Vec<CheckRequest>) -> Vec<CheckReport> {
+        self.session.check_many(requests)
+    }
+
+    /// See [`Session::run_pending`].
+    pub fn run_pending(&self) {
+        self.session.run_pending();
+    }
+
+    /// See [`Session::wait`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle is foreign or already redeemed, exactly as
+    /// [`Session::wait`] does.
+    pub fn wait(&self, handle: &JobHandle) -> CheckReport {
+        self.session.wait(handle)
+    }
+
+    /// See [`Session::try_wait`].
+    pub fn try_wait(&self, handle: &JobHandle) -> Option<CheckReport> {
+        self.session.try_wait(handle)
+    }
+
+    /// See [`Session::pending_jobs`].
+    pub fn pending_jobs(&self) -> usize {
+        self.session.pending_jobs()
+    }
+
+    /// See [`Session::cumulative_cache`].
+    pub fn cumulative_cache(&self) -> CacheStats {
+        self.session.cumulative_cache()
     }
 }
 
@@ -1603,6 +2161,8 @@ pub(crate) struct PreparedJob {
     /// `Some` when pre-flight admission refused the job: [`execute`]
     /// short-circuits to `Unknown { exhausted }` without running a backend.
     rejection: Option<Exhaustion>,
+    /// What the verdict cache decided for this job at prepare time.
+    cache: CachePlan,
 }
 
 /// Everything a backend run produces; [`Session::finalize`] adds the
@@ -2107,7 +2667,7 @@ mod tests {
 
     #[test]
     fn trace_backend_reports_holds_and_counterexample() {
-        let mut session = Session::new();
+        let session = Session::new();
         let formula = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
         let good = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
         let report = session.check(CheckRequest::new(formula.clone()).on_trace(&good));
@@ -2122,7 +2682,7 @@ mod tests {
 
     #[test]
     fn bounded_backend_reports_valid_up_to_bound() {
-        let mut session = Session::new();
+        let session = Session::new();
         let tautology = prop("P").or(prop("P").not());
         let report = session.check(CheckRequest::new(tautology).bounded(["P"], 3));
         assert_eq!(report.verdict, Verdict::ValidUpTo(3));
@@ -2136,7 +2696,7 @@ mod tests {
 
     #[test]
     fn explore_backend_checks_every_run() {
-        let mut session = Session::new();
+        let session = Session::new();
         let runs = vec![trace_of(&[&[], &["A"]]), trace_of(&[&[], &[], &["A"]])];
         let occurs_a = occurs(event(prop("A")));
         let report = session.check(CheckRequest::new(occurs_a.clone()).over_runs(runs.clone()));
@@ -2154,7 +2714,7 @@ mod tests {
 
     #[test]
     fn decide_backend_settles_the_translatable_fragment() {
-        let mut session = Session::new();
+        let session = Session::new();
         // □P ⊃ ◇P is a theorem of the temporal substrate.
         let theorem = always(prop("P")).implies(eventually(prop("P")));
         let report = session.check(CheckRequest::new(theorem).decide());
@@ -2174,7 +2734,7 @@ mod tests {
 
     #[test]
     fn sessions_share_structure_across_checks() {
-        let mut session = Session::new();
+        let session = Session::new();
         let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
         let g = prop("D").always().within(event(prop("A")).then(event(prop("B"))));
         let t = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
@@ -2192,7 +2752,7 @@ mod tests {
             .axiom("A1", always(prop("R").implies(eventually(prop("A")))));
         let good = trace_of(&[&[], &["R"], &["A"]]);
         let bad = trace_of(&[&["R"], &["R"], &[]]);
-        let mut session = Session::new();
+        let session = Session::new();
         assert!(session.check_spec(&spec, &good).passed());
         let report = session.check_spec(&spec, &bad);
         assert!(!report.passed());
@@ -2279,7 +2839,7 @@ mod tests {
 
     #[test]
     fn sessions_accumulate_memo_stats_across_requests() {
-        let mut session = Session::new();
+        let session = Session::new();
         let f = prop("D").eventually().within(event(prop("A")).then(event(prop("B"))));
         let t = trace_of(&[&[], &["A"], &["A", "D"], &["A", "B"]]);
         let first = session.check(CheckRequest::new(f.clone()).on_trace(&t));
@@ -2305,7 +2865,7 @@ mod tests {
         let bad = trace_of(&[&["R"], &["R"], &["A"]]);
         let sequential = Session::new().check_spec(&spec, &bad);
         for workers in 1..=4 {
-            let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+            let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
             let parallel = session.check_spec(&spec, &bad);
             assert_eq!(parallel.passed(), sequential.passed(), "workers={workers}");
             assert_eq!(parallel.failures(), sequential.failures(), "workers={workers}");
@@ -2318,7 +2878,7 @@ mod tests {
 
     #[test]
     fn reports_render_for_humans() {
-        let mut session = Session::new();
+        let session = Session::new();
         let report = session.check(CheckRequest::new(prop("P")).bounded(["P"], 2));
         let shown = report.to_string();
         assert!(shown.contains("bounded"));
@@ -2327,7 +2887,7 @@ mod tests {
 
     #[test]
     fn decide_checks_surface_condition_store_counters() {
-        let mut session = Session::new();
+        let session = Session::new();
         // ◇P is refutable and Graph(¬◇P) has real edges, so the condition
         // fixpoint interns real implicants.  (A theorem like □P ⊃ ◇P has a
         // contradictory negation whose graph is edgeless — its condition is ⊤
@@ -2377,7 +2937,7 @@ mod tests {
 
     #[test]
     fn stats_display_names_condition_work_and_exhaustion() {
-        let mut session = Session::new();
+        let session = Session::new();
         let decided = session.check(CheckRequest::new(eventually(prop("P"))).decide());
         assert!(
             decided.stats.to_string().contains("condition implicants"),
@@ -2425,8 +2985,7 @@ mod tests {
         // A Decide whose condition artifact trips the implicant cap still
         // reports the interning work of the attempt (the cap is 3: the graph
         // of ¬◇P has enough edge atoms to charge past it).
-        let mut session =
-            Session::new().with_budget(ResourceBudget::default().with_max_implicants(3));
+        let session = Session::new().with_budget(ResourceBudget::default().with_max_implicants(3));
         let report = session.check(CheckRequest::new(eventually(prop("P"))).decide());
         assert!(
             report.stats.condition.interned_implicants > 0,
@@ -2439,7 +2998,7 @@ mod tests {
 
     #[test]
     fn reports_round_trip_condition_and_exhaustion_fields() {
-        let mut session = Session::new();
+        let session = Session::new();
         let reports = vec![
             session.check(CheckRequest::new(always(prop("P")).implies(prop("P"))).decide()),
             session.check(
@@ -2460,7 +3019,7 @@ mod tests {
     fn error_reports_round_trip_and_quote_preflight_rejections() {
         // A pre-flight rejection becomes a structured error carrying the
         // original C002 diagnostic...
-        let mut session = Session::new();
+        let session = Session::new();
         let rejected = session.check(
             CheckRequest::new(eventually(prop("P")))
                 .decide()
@@ -2487,5 +3046,150 @@ mod tests {
             assert_eq!(parsed, case);
             assert_eq!(parsed.to_json(), json, "stable rendering");
         }
+    }
+
+    #[test]
+    fn verdict_cache_replays_reports_bit_identically() {
+        let requests = || {
+            vec![
+                // A counterexample with a failing index and condition work...
+                CheckRequest::new(eventually(prop("P"))).decide(),
+                // ...and a *structural* exhaustion, which caches like any
+                // settled verdict (it is a pure function of the caps).
+                CheckRequest::new(prop("P").or(prop("P").not()))
+                    .bounded(["P", "Q"], 3)
+                    .with_budget(ResourceBudget::default().with_max_enumeration(1)),
+            ]
+        };
+        let cached = Session::new();
+        let uncached = Session::new().with_verdict_cache(false);
+        for (request, twin) in requests().into_iter().zip(requests()) {
+            let first = cached.check(request.clone());
+            uncached.check(twin.clone());
+            assert_eq!(first.stats.cache, CacheStats { hits: 0, misses: 1 });
+            let mut hit = cached.check(request);
+            let mut recomputed = uncached.check(twin);
+            assert_eq!(hit.stats.cache, CacheStats { hits: 1, misses: 0 });
+            assert_eq!(recomputed.stats.cache, CacheStats::default());
+            // The replayed report is bit-identical to the recomputation the
+            // cache-off session performed — wall clock and the cache
+            // counters themselves aside.
+            hit.stats.duration = Duration::ZERO;
+            recomputed.stats.duration = Duration::ZERO;
+            hit.stats.cache = CacheStats::default();
+            hit.stats.session_cache = CacheStats::default();
+            assert_eq!(hit, recomputed);
+        }
+        assert_eq!(cached.cumulative_cache(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(uncached.cumulative_cache(), CacheStats::default());
+    }
+
+    #[test]
+    fn batched_duplicates_score_the_sequential_loops_hits() {
+        use crate::pool::Parallelism;
+        let theorem = always(prop("P")).implies(eventually(prop("P")));
+        let batch = || -> Vec<CheckRequest> {
+            (0..4).map(|_| CheckRequest::new(theorem.clone()).decide()).collect()
+        };
+        let session = Session::new();
+        let reports = session.check_many(batch());
+        assert_eq!(reports[0].stats.cache, CacheStats { hits: 0, misses: 1 });
+        for report in &reports[1..] {
+            assert_eq!(report.stats.cache, CacheStats { hits: 1, misses: 0 });
+        }
+        // Bit-identical (durations aside) to the sequential loop of `check`
+        // calls, where the duplicates hit the session cache one by one.
+        let sequential = Session::new();
+        let looped: Vec<CheckReport> = batch()
+            .into_iter()
+            .map(|r| sequential.check(r.with_parallelism(Parallelism::Off)))
+            .collect();
+        for (mut batched, mut one_shot) in reports.into_iter().zip(looped) {
+            batched.stats.duration = Duration::ZERO;
+            one_shot.stats.duration = Duration::ZERO;
+            assert_eq!(batched, one_shot);
+        }
+    }
+
+    #[test]
+    fn timing_budgets_bypass_the_verdict_cache() {
+        // An already-expired deadline: the cut answer must come from the
+        // backend both times, never from (or into) the cache.
+        let session = Session::new();
+        let expired = || {
+            CheckRequest::new(eventually(prop("P")))
+                .decide()
+                .with_budget(ResourceBudget::default().with_timeout(Duration::ZERO))
+        };
+        for _ in 0..2 {
+            let report = session.check(expired());
+            assert_eq!(report.verdict, Verdict::exhausted(Exhaustion::Deadline));
+            assert_eq!(report.stats.cache, CacheStats::default());
+        }
+        // A cancellable budget bypasses even when its token never fires.
+        let token = crate::pool::CancelToken::new();
+        let cancellable = CheckRequest::new(eventually(prop("P")))
+            .decide()
+            .with_budget(ResourceBudget::default().with_cancel(token));
+        let report = session.check(cancellable);
+        assert!(matches!(report.verdict, Verdict::Counterexample(_)));
+        assert_eq!(report.stats.cache, CacheStats::default());
+        assert_eq!(session.cumulative_cache(), CacheStats::default());
+        // ...but a *live* deadline may serve a settled cached verdict: the
+        // replay is bit-identical to a recomputation that didn't trip.
+        let warm = session.check(CheckRequest::new(eventually(prop("P"))).decide());
+        assert_eq!(warm.stats.cache, CacheStats { hits: 0, misses: 1 });
+        let live = session.check(
+            CheckRequest::new(eventually(prop("P")))
+                .decide()
+                .with_budget(ResourceBudget::default().with_timeout(Duration::from_secs(3600))),
+        );
+        assert_eq!(live.stats.cache, CacheStats { hits: 1, misses: 0 });
+        assert_eq!(live.verdict, warm.verdict);
+    }
+
+    #[test]
+    fn cache_counters_round_trip_json() {
+        let session = Session::new();
+        let request = CheckRequest::new(always(prop("P")).implies(prop("P"))).decide();
+        session.check(request.clone());
+        let hit = session.check(request);
+        assert_eq!(hit.stats.cache, CacheStats { hits: 1, misses: 0 });
+        assert_eq!(hit.stats.session_cache, CacheStats { hits: 1, misses: 1 });
+        assert!(hit.stats.to_string().contains("verdict cache hit"), "got: {}", hit.stats);
+        let json = hit.to_json();
+        assert!(json.contains("\"cache\""));
+        let parsed = CheckReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed, hit);
+        assert_eq!(parsed.to_json(), json, "stable rendering");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mut_shims_forward_to_the_shared_api() {
+        let mut session = Session::new();
+        let handle = session.submit_mut(CheckRequest::new(prop("P")).bounded(["P"], 2));
+        let reports = session
+            .check_many_mut(vec![
+                CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 2)
+            ]);
+        assert!(reports[0].verdict.passed());
+        assert!(matches!(session.wait(&handle).verdict, Verdict::Counterexample(_)));
+    }
+
+    #[test]
+    fn split_handles_cover_interning_and_checking() {
+        let session = Session::new();
+        let interner = session.interner();
+        let checker = session.checker();
+        let id = interner.intern(&prop("P").or(prop("P").not()));
+        let before = interner.version();
+        let handle = checker.submit(CheckRequest::new(interner.extract(id)).bounded(["P"], 3));
+        assert_eq!(checker.pending_jobs(), 1);
+        let report = checker.wait(&handle);
+        assert_eq!(report.verdict, Verdict::ValidUpTo(3));
+        // Checking interned nothing new: the formula was already present.
+        assert_eq!(interner.version(), before);
+        assert_eq!(checker.cumulative_cache(), CacheStats { hits: 0, misses: 1 });
     }
 }

@@ -16,7 +16,7 @@ use proptest::TestRng;
 /// hand-written snippets) keeps the corpus honest about what crosses the
 /// boundary.
 fn report_document() -> String {
-    let mut session = Session::new();
+    let session = Session::new();
     let report = session.check(
         CheckRequest::new(ilogic_core::dsl::prop("P").or(ilogic_core::dsl::prop("P").not()))
             .bounded(["P"], 2),

@@ -21,6 +21,10 @@
 //!   counterexample alike;
 //! * a *tighter* budget may only withhold a verdict (`Unknown`), never flip
 //!   `Pass`↔`Fail`;
+//! * the session verdict cache must be semantically invisible: a warm
+//!   session replaying duplicate requests answers reports bit-identical to
+//!   a `with_verdict_cache(false)` session running the same sequence
+//!   (durations and the cache counters themselves aside);
 //! * `Parallelism::Fixed(0/2/4)` must not change any verdict, failing index
 //!   or budget trip.
 //!
@@ -144,7 +148,7 @@ pub fn tight_budget() -> ResourceBudget {
 /// The full oracle: runs every invariant against the instance and returns
 /// the first disagreement found.
 pub fn check_instance(instance: &Instance) -> Result<(), Disagreement> {
-    let mut session = Session::new();
+    let session = Session::new();
     let fail = |invariant: &'static str, detail: String| Disagreement {
         seed: instance.seed,
         invariant,
@@ -286,6 +290,59 @@ pub fn check_instance(instance: &Instance) -> Result<(), Disagreement> {
         return Err(fail(
             "budget-monotonicity",
             format!("full budget: {} | tight budget: {}", decide.verdict, tight.verdict),
+        ));
+    }
+
+    // --- Verdict-cache transparency: cached == recomputed ----------------
+    // The same duplicate-heavy sequence through a cache-on and a cache-off
+    // session: every report must be bit-identical once durations and the
+    // cache counters themselves (definitionally different) are masked.
+    // Explicitly sequential (overriding `ILOGIC_TEST_PARALLEL`): a parallel
+    // early-exit sweep's `traces_checked` may overshoot nondeterministically
+    // between two independent runs, and this invariant is about the cache —
+    // the parallelism-invariance sweep below owns worker-count coverage.
+    let sequence = || {
+        let decide = CheckRequest::new(instance.formula.clone())
+            .decide()
+            .with_budget(oracle_budget())
+            .with_parallelism(Parallelism::Off);
+        let mut requests = vec![decide.clone()];
+        if !props.is_empty() {
+            requests.push(
+                CheckRequest::new(instance.formula.clone())
+                    .bounded(props.clone(), CROSS_CHECK_DEPTH)
+                    .with_budget(oracle_budget())
+                    .with_parallelism(Parallelism::Off),
+            );
+        }
+        requests.push(decide.clone());
+        requests.push(decide);
+        requests
+    };
+    let warm = Session::new();
+    let cold = Session::new().with_verdict_cache(false);
+    for (step, request) in sequence().into_iter().enumerate() {
+        let mut cached = warm.check(request.clone());
+        let mut recomputed = cold.check(request);
+        for report in [&mut cached, &mut recomputed] {
+            report.stats.duration = std::time::Duration::ZERO;
+            report.stats.cache = CacheStats::default();
+            report.stats.session_cache = CacheStats::default();
+        }
+        if cached != recomputed {
+            return Err(fail(
+                "cache-transparency",
+                format!("step {step}: cached {cached:?} | recomputed {recomputed:?}"),
+            ));
+        }
+    }
+    if warm.cumulative_cache().hits < 2 {
+        return Err(fail(
+            "cache-transparency",
+            format!(
+                "the duplicate decides never hit the warm cache: {:?}",
+                warm.cumulative_cache()
+            ),
         ));
     }
 

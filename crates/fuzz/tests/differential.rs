@@ -55,7 +55,7 @@ fn buggy_oracle_disagrees(instance: &Instance) -> bool {
         };
     // Reference: the real verdict of the formula over the system's runs.
     let runs = collect_runs(&instance.system, ExploreLimits { max_states: 1000, max_depth: 6 }, 16);
-    let mut session = Session::new();
+    let session = Session::new();
     let reference = session.check(CheckRequest::new(instance.formula.clone()).over_runs(runs));
     disagree(buggy_outcome, classify(&reference.verdict))
 }
@@ -94,7 +94,7 @@ type ZooEntry = (&'static str, Formula, Box<dyn Fn() -> Vec<Trace>>);
 
 #[test]
 fn protocol_zoo_instances_agree_across_backends() {
-    let mut session = Session::new();
+    let session = Session::new();
     let zoo: Vec<ZooEntry> = vec![
         (
             "ring-correct",
@@ -177,7 +177,7 @@ fn explore_backend_and_collected_runs_agree_on_the_zoo() {
     // (same model, same limits, same cap) — streaming is an implementation
     // detail, not a semantics change.
     let theorem = ilogic_core::spec::close_free_variables(&leader_uniqueness_theorem());
-    let mut session = Session::new();
+    let session = Session::new();
     for model in [RingModel::correct(vec![2, 1, 3]), RingModel::broken(vec![2, 1, 3])] {
         let collected = collect_runs(&model, ExploreLimits::default(), 96);
         let eager = session.check(CheckRequest::new(theorem.clone()).over_runs(collected));

@@ -3,20 +3,27 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7015 [--connections 8] [--seconds 5]
 //!         [--seed 9001] [--out BENCH_PR9.json] [--max-shed-rate 0.9]
+//!         [--duplicate-rate 0.0] [--min-cache-hit-rate 0.0]
 //! ```
 //!
 //! Each connection thread drives one keep-alive connection with a stream of
 //! `POST /check` jobs drawn from [`FormulaGenerator`] (seed + thread index,
-//! so runs are reproducible and threads never collide).  After the window
-//! it scrapes `GET /metrics` and verifies the service-level contract:
+//! so runs are reproducible and threads never collide).  With
+//! `--duplicate-rate p`, each job re-sends a recently sent formula with
+//! probability `p` (seeded, so the mix is reproducible) — the
+//! millions-of-users workload shape the server's warm verdict cache exists
+//! for.  After the window it scrapes `GET /metrics` and verifies the
+//! service-level contract:
 //!
 //! - the accounting identity `accepted = completed + shed + in_flight`;
 //! - zero non-shed 5xx responses (500s, broken connections);
-//! - the shed rate stays under `--max-shed-rate`.
+//! - the shed rate stays under `--max-shed-rate`;
+//! - with `--min-cache-hit-rate r`: the server-side verdict-cache hit rate
+//!   `cache_hits / (cache_hits + cache_misses)` reaches at least `r`.
 //!
-//! Results (jobs/sec, p50/p99 latency, shed rate, metric counters) go to
-//! stdout and to `--out` as JSON.  Exit status is non-zero when any
-//! contract clause fails, so CI can gate on it directly.
+//! Results (jobs/sec, p50/p99 latency, shed rate, cache hit rate, metric
+//! counters) go to stdout and to `--out` as JSON.  Exit status is non-zero
+//! when any contract clause fails, so CI can gate on it directly.
 
 use std::io::Write as _;
 use std::net::SocketAddr;
@@ -35,6 +42,8 @@ struct Args {
     seed: u64,
     out: Option<String>,
     max_shed_rate: f64,
+    duplicate_rate: f64,
+    min_cache_hit_rate: Option<f64>,
 }
 
 #[derive(Default)]
@@ -63,7 +72,8 @@ fn main() {
             let stop = Arc::clone(&stop);
             let addr = args.addr;
             let seed = args.seed.wrapping_add(index as u64);
-            std::thread::spawn(move || drive_connection(addr, seed, &stop))
+            let duplicate_rate = args.duplicate_rate;
+            std::thread::spawn(move || drive_connection(addr, seed, duplicate_rate, &stop))
         })
         .collect();
     std::thread::sleep(Duration::from_secs(args.seconds));
@@ -104,15 +114,51 @@ fn main() {
     }
 }
 
-/// One connection's request loop: generate, post, classify, repeat.
-fn drive_connection(addr: SocketAddr, seed: u64, stop: &AtomicBool) -> ThreadOutcome {
+/// How many recently sent formulas each connection keeps for re-sending
+/// under `--duplicate-rate`.
+const DUPLICATE_POOL: usize = 16;
+
+/// A tiny seeded xorshift64 step — enough randomness to mix duplicates into
+/// the stream reproducibly without pulling in a real PRNG.
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One connection's request loop: generate (or re-send), post, classify,
+/// repeat.
+fn drive_connection(
+    addr: SocketAddr,
+    seed: u64,
+    duplicate_rate: f64,
+    stop: &AtomicBool,
+) -> ThreadOutcome {
     let mut outcome = ThreadOutcome::default();
     let mut generator = FormulaGenerator::from_seed(seed, GeneratorConfig::default());
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut pool: Vec<String> = Vec::new();
     let mut conn: Option<ClientConn> = None;
     while !stop.load(Ordering::SeqCst) {
         let Some(client) = connected(&mut conn, addr, &mut outcome) else { continue };
+        let duplicate =
+            !pool.is_empty() && (next_u64(&mut rng) as f64 / u64::MAX as f64) < duplicate_rate;
+        let formula = if duplicate {
+            pool[next_u64(&mut rng) as usize % pool.len()].clone()
+        } else {
+            let fresh = generator.next_formula().to_string();
+            if pool.len() < DUPLICATE_POOL {
+                pool.push(fresh.clone());
+            } else {
+                pool[next_u64(&mut rng) as usize % DUPLICATE_POOL] = fresh.clone();
+            }
+            fresh
+        };
         let body = Json::object()
-            .field("formula", Json::Str(generator.next_formula().to_string()))
+            .field("formula", Json::Str(formula))
             .field("backend", Json::object().field("kind", Json::Str("auto".into())))
             .field("budget", Json::object().field("timeout_ms", Json::Int(2_000)))
             .to_string();
@@ -180,6 +226,17 @@ fn shed_rate(total: &ThreadOutcome) -> f64 {
     total.shed as f64 / answered as f64
 }
 
+/// The server-side verdict-cache counters and hit rate from a `/metrics`
+/// snapshot; `None` when the scrape failed or the fields are missing.
+fn cache_hit_rate(metrics: Option<&Json>) -> Option<(i64, i64, f64)> {
+    let snapshot = metrics?;
+    let hits = snapshot.get("cache_hits").and_then(Json::as_int)?;
+    let misses = snapshot.get("cache_misses").and_then(Json::as_int)?;
+    let total = hits + misses;
+    let rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+    Some((hits, misses, rate))
+}
+
 fn build_report(
     args: &Args,
     total: &ThreadOutcome,
@@ -187,6 +244,7 @@ fn build_report(
     metrics: Option<&Json>,
 ) -> Json {
     let jobs_per_sec = total.ok as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (cache_hits, cache_misses, hit_rate) = cache_hit_rate(metrics).unwrap_or((0, 0, 0.0));
     Json::object()
         .field("bench", Json::Str("ilogic-server loadgen".into()))
         .field("addr", Json::Str(args.addr.to_string()))
@@ -202,6 +260,10 @@ fn build_report(
         .field("p50_us", Json::Int(percentile(&total.latencies_us, 0.50) as i64))
         .field("p99_us", Json::Int(percentile(&total.latencies_us, 0.99) as i64))
         .field("shed_rate", Json::Float((shed_rate(total) * 10_000.0).round() / 10_000.0))
+        .field("duplicate_rate", Json::Float(args.duplicate_rate))
+        .field("cache_hits", Json::Int(cache_hits))
+        .field("cache_misses", Json::Int(cache_misses))
+        .field("cache_hit_rate", Json::Float((hit_rate * 10_000.0).round() / 10_000.0))
         .field("server_metrics", metrics.cloned().unwrap_or(Json::Null))
 }
 
@@ -238,6 +300,20 @@ fn contract_violations(args: &Args, total: &ThreadOutcome, metrics: Option<&Json
             }
         }
     }
+    if let Some(min) = args.min_cache_hit_rate {
+        match cache_hit_rate(metrics) {
+            None => violations
+                .push("no cache counters in /metrics to gate --min-cache-hit-rate on".to_string()),
+            Some((hits, misses, rate)) => {
+                if rate < min {
+                    violations.push(format!(
+                        "verdict-cache hit rate {rate:.4} ({hits} hits / {misses} misses) \
+                         below --min-cache-hit-rate {min}"
+                    ));
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -249,6 +325,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         seed: 9001,
         out: None,
         max_shed_rate: 0.9,
+        duplicate_rate: 0.0,
+        min_cache_hit_rate: None,
     };
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
@@ -274,6 +352,22 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 parsed.max_shed_rate = value("--max-shed-rate")?
                     .parse()
                     .map_err(|_| "bad --max-shed-rate".to_string())?;
+            }
+            "--duplicate-rate" => {
+                parsed.duplicate_rate = value("--duplicate-rate")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|rate| (0.0..=1.0).contains(rate))
+                    .ok_or_else(|| "bad --duplicate-rate (want 0.0..=1.0)".to_string())?;
+            }
+            "--min-cache-hit-rate" => {
+                parsed.min_cache_hit_rate = Some(
+                    value("--min-cache-hit-rate")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|rate| (0.0..=1.0).contains(rate))
+                        .ok_or_else(|| "bad --min-cache-hit-rate (want 0.0..=1.0)".to_string())?,
+                );
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -65,6 +65,11 @@ impl ClientConn {
         self.request("GET", path, "")
     }
 
+    /// `DELETE` helper (job-set cancellation).
+    pub fn delete(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("DELETE", path, "")
+    }
+
     fn read_response(&mut self) -> io::Result<ClientResponse> {
         let status_line = self.read_line()?;
         let mut parts = status_line.split_whitespace();

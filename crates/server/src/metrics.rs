@@ -27,6 +27,8 @@ struct MetricsInner {
     rejected: u64,
     errors_5xx: u64,
     in_flight: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     latency_counts: [u64; LATENCY_BUCKETS_US.len() + 1],
     latency_sum_us: u64,
     latency_samples: u64,
@@ -95,6 +97,16 @@ impl Metrics {
         self.lock().rejected += 1;
     }
 
+    /// Accumulates the verdict-cache counters a completed `/check` report
+    /// carried (`report.stats.cache`): how many of its decisions were served
+    /// from the shared session's cross-request cache vs computed fresh.
+    /// Bypassed requests contribute to neither counter.
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        let mut inner = self.lock();
+        inner.cache_hits += hits;
+        inner.cache_misses += misses;
+    }
+
     /// Counts one internal 5xx that was *not* a shed 503 — the smoke job
     /// asserts this stays zero.
     pub fn error_5xx(&self) {
@@ -120,6 +132,8 @@ impl Metrics {
             .field("errors_5xx", Json::Int(inner.errors_5xx as i64))
             .field("in_flight", Json::Int(inner.in_flight as i64))
             .field("capacity", Json::Int(self.capacity as i64))
+            .field("cache_hits", Json::Int(inner.cache_hits as i64))
+            .field("cache_misses", Json::Int(inner.cache_misses as i64))
             .field(
                 "latency",
                 Json::object()
@@ -165,6 +179,16 @@ mod tests {
         assert_eq!(field(&snapshot, "shed"), 2, "one gate shed + one post-admission shed");
         assert_eq!(field(&snapshot, "rejected"), 1);
         assert_eq!(field(&snapshot, "in_flight"), 1);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_surface_in_the_snapshot() {
+        let metrics = Metrics::new(8);
+        metrics.record_cache(0, 1);
+        metrics.record_cache(2, 0);
+        let snapshot = metrics.snapshot();
+        assert_eq!(field(&snapshot, "cache_hits"), 2, "{snapshot}");
+        assert_eq!(field(&snapshot, "cache_misses"), 1, "{snapshot}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! | `POST /check` | one job, synchronously: `200` with the [`CheckReport`] JSON |
 //! | `POST /batch` | many jobs: `202` with `{"id", "jobs"}` |
 //! | `GET /jobs/:id` | poll: `200` with `{"id", "status", "jobs"}` plus `"reports"` once done |
+//! | `DELETE /jobs/:id` | cancel: `200` with `{"id", "status", "jobs", "cancelled"}` |
 //! | `GET /healthz` | `200 {"status":"ok"}` |
 //! | `GET /metrics` | `200` with the counter snapshot |
 //!
@@ -18,6 +19,20 @@
 //! `Unknown { Deadline }`), because a batch's contract is that its reports
 //! are bit-identical to in-process [`Session::check_many`] of the same
 //! requests, refusals included.
+//!
+//! Their execution substrates differ the same way.  `POST /check` runs on
+//! one long-lived **warm session** shared by every connection thread (the
+//! multiversion arena makes concurrent interning and checking safe), so a
+//! duplicate body — same formula, same backend, same structural budget —
+//! short-circuits to the session's verdict cache: the report is
+//! bit-identical to recomputation, answered without running a decision, and
+//! the hit lands in `report.stats.cache` and the `/metrics`
+//! `cache_hits`/`cache_misses` counters.  `POST /batch` keeps its
+//! fresh-session-per-set model (that is what its bit-identity contract is
+//! stated against), and its per-set [`CancelToken`] budgets bypass the
+//! verdict cache by design.
+//!
+//! [`CancelToken`]: ilogic_core::pool::CancelToken
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +58,10 @@ pub struct ServerContext {
     pub gate: AdmissionGate,
     /// The batch job-set store.
     pub store: Arc<JobStore>,
+    /// The long-lived warm session every `POST /check` runs on: its
+    /// multiversion arena interns concurrently from all connection threads,
+    /// and its verdict cache answers duplicate bodies without recomputing.
+    pub session: Session,
 }
 
 /// Dispatches one request to its handler.
@@ -53,6 +72,7 @@ pub fn handle(request: &Request, ctx: &ServerContext) -> Response {
         ("POST", "/check") => check(request, ctx),
         ("POST", "/batch") => batch(request, ctx),
         ("GET", path) if path.starts_with("/jobs/") => jobs(path, ctx),
+        ("DELETE", path) if path.starts_with("/jobs/") => cancel_jobs(path, ctx),
         (_, "/healthz" | "/metrics" | "/check" | "/batch") => rejected(
             ctx,
             405,
@@ -105,12 +125,10 @@ fn check(request: &Request, ctx: &ServerContext) -> Response {
         return shed_response(&ctx.gate.expired_error());
     }
     let started = Instant::now();
-    // `check_many` on a fresh session — the same execution path batches
-    // take, so a single check is bit-identical to a one-job batch.
-    let report = Session::new()
-        .check_many(vec![job])
-        .pop()
-        .expect("check_many answers one report per request");
+    // The shared warm session: a repeated body is answered from the verdict
+    // cache (bit-identical to recomputation), and the arena's hash-consing
+    // makes re-interning a known formula cheap.
+    let report = ctx.session.check(job);
     let elapsed = started.elapsed();
     // The pre-flight C002 path: the job was predicted too expensive for its
     // budget and never ran; answer 503 with the structured rejection.
@@ -118,6 +136,7 @@ fn check(request: &Request, ctx: &ServerContext) -> Response {
         ctx.metrics.shed_in_flight(1);
         return shed_response(&error);
     }
+    ctx.metrics.record_cache(report.stats.cache.hits, report.stats.cache.misses);
     ctx.metrics.complete(1, elapsed);
     Response::new(200, report.to_json())
 }
@@ -167,6 +186,9 @@ fn jobs(path: &str, ctx: &ServerContext) -> Response {
         view.status.as_str(),
         view.jobs
     );
+    if view.cancelled {
+        body.push_str(",\"cancelled\":true");
+    }
     if let Some(reports) = &view.reports {
         body.push_str(",\"reports\":[");
         for (index, report) in reports.iter().enumerate() {
@@ -178,6 +200,34 @@ fn jobs(path: &str, ctx: &ServerContext) -> Response {
         body.push(']');
     }
     body.push('}');
+    Response::new(200, body)
+}
+
+/// `DELETE /jobs/:id`: trips the set's cancel token.  Remaining jobs settle
+/// as `Unknown { Cancelled }` reports — the set still completes and stays
+/// fetchable, so cancellation never breaks the "admitted work always
+/// reports" contract.  Unknown ids answer a structured 404.
+fn cancel_jobs(path: &str, ctx: &ServerContext) -> Response {
+    let Ok(id) = path["/jobs/".len()..].parse::<u64>() else {
+        return rejected(
+            ctx,
+            400,
+            ErrorReport::new("bad-request", format!("`{path}` is not /jobs/<integer id>")),
+        );
+    };
+    let Some(view) = ctx.store.cancel(id) else {
+        return rejected(
+            ctx,
+            404,
+            ErrorReport::new("not-found", format!("no job set {id} (never submitted or evicted)")),
+        );
+    };
+    let body = Json::object()
+        .field("id", Json::Int(view.id as i64))
+        .field("status", Json::Str(view.status.as_str().into()))
+        .field("jobs", Json::Int(view.jobs as i64))
+        .field("cancelled", Json::Bool(true))
+        .to_string();
     Response::new(200, body)
 }
 
@@ -205,6 +255,7 @@ mod tests {
         ServerContext {
             gate: AdmissionGate::new(Arc::clone(&metrics), config.retry_after_ms),
             store: JobStore::new(config.job_sets_retained),
+            session: Session::new(),
             metrics,
             config,
         }
@@ -305,6 +356,75 @@ mod tests {
         let reports = reports_from_jobs_body(&poll.body).expect("reports parse");
         assert_eq!(reports.len(), 1);
         assert!(reports[0].verdict.passed());
+    }
+
+    #[test]
+    fn duplicate_checks_short_circuit_to_the_verdict_cache() {
+        let ctx = context();
+        let body = r#"{"formula": "[](P -> <>Q)", "backend": {"kind": "decide"}}"#;
+        let cold = handle(&post("/check", body), &ctx);
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        let warm = handle(&post("/check", body), &ctx);
+        assert_eq!(warm.status, 200, "{}", warm.body);
+
+        let cold = CheckReport::from_json(&cold.body).expect("cold report parses");
+        let warm = CheckReport::from_json(&warm.body).expect("warm report parses");
+        assert_eq!((cold.stats.cache.hits, cold.stats.cache.misses), (0, 1), "first body misses");
+        assert_eq!((warm.stats.cache.hits, warm.stats.cache.misses), (1, 0), "repeat body hits");
+        // The cached answer is the recomputation's answer.
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.failing_index, cold.failing_index);
+        assert_eq!(warm.stats.memo, cold.stats.memo);
+
+        let snapshot = ctx.metrics.snapshot();
+        assert_eq!(snapshot.get("cache_hits").and_then(Json::as_int), Some(1), "{snapshot}");
+        assert_eq!(snapshot.get("cache_misses").and_then(Json::as_int), Some(1), "{snapshot}");
+    }
+
+    #[test]
+    fn delete_cancels_job_sets_and_answers_structured_errors() {
+        let ctx = context();
+        let accepted = handle(
+            &post("/batch", r#"{"jobs": [{"formula": "[](P -> <>Q)"}, {"formula": "<>P"}]}"#),
+            &ctx,
+        );
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let id = Json::parse(&accepted.body).unwrap().get("id").and_then(Json::as_int).unwrap();
+
+        let delete = |path: &str| Request {
+            method: "DELETE".into(),
+            path: path.into(),
+            body: String::new(),
+            keep_alive: true,
+        };
+        // Unknown and malformed ids answer structured errors.
+        assert_eq!(handle(&delete("/jobs/999"), &ctx).status, 404);
+        assert_eq!(handle(&delete("/jobs/xyz"), &ctx).status, 400);
+
+        // Cancelling the queued set answers its view with the flag set...
+        let cancelled = handle(&delete(&format!("/jobs/{id}")), &ctx);
+        assert_eq!(cancelled.status, 200, "{}", cancelled.body);
+        let root = Json::parse(&cancelled.body).expect("cancel body is JSON");
+        assert_eq!(root.get("cancelled"), Some(&Json::Bool(true)), "{root}");
+        assert_eq!(root.get("status").and_then(Json::as_str), Some("queued"));
+
+        // ...and once a worker drains it, every job settled as cancelled —
+        // the set completed and its reports stay fetchable.
+        ctx.store.shutdown();
+        ctx.store.worker_loop(&ctx.metrics);
+        let poll = handle(&get(&format!("/jobs/{id}")), &ctx);
+        assert!(poll.body.contains("\"cancelled\":true"), "{}", poll.body);
+        let reports = reports_from_jobs_body(&poll.body).expect("reports parse");
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            use ilogic_core::pool::Exhaustion;
+            use ilogic_core::session::Verdict;
+            assert_eq!(
+                report.verdict,
+                Verdict::Unknown { exhausted: Some(Exhaustion::Cancelled) },
+                "{report:?}"
+            );
+        }
     }
 
     #[test]

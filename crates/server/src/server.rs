@@ -54,6 +54,10 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let context = Arc::new(ServerContext {
         gate: AdmissionGate::new(Arc::clone(&metrics), config.retry_after_ms),
         store: JobStore::new(config.job_sets_retained),
+        // One warm session for the daemon's lifetime: every `POST /check`
+        // interns into its multiversion arena and consults its verdict
+        // cache, from whichever connection thread picked the request up.
+        session: ilogic_core::session::Session::new(),
         metrics,
         config: config.clone(),
     });

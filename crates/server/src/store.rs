@@ -16,11 +16,22 @@
 //! the configured retention); queued and running sets are never evicted.
 //! Admitted sets always run to completion — shutdown drains the queue
 //! before the workers exit, so an accepted job is never silently dropped.
+//!
+//! Every set carries a [`CancelToken`] attached to each job's budget before
+//! the worker runs it, so `DELETE /jobs/:id` can interrupt a queued *or*
+//! mid-flight set: its remaining jobs settle as `Unknown { Cancelled }`
+//! reports (still fetchable — cancellation is a fast completion, not a
+//! deletion).  Because cancel-capable budgets bypass the verdict cache by
+//! design, batch jobs never share cached verdicts — which is also what keeps
+//! a set's reports bit-identical to an in-process [`Session::check_many`]
+//! of the same requests with the same token attached (see
+//! [`attach_cancel`]).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use ilogic_core::pool::CancelToken;
 use ilogic_core::session::{CheckReport, CheckRequest, Session};
 
 use crate::metrics::Metrics;
@@ -58,6 +69,8 @@ pub struct JobSetView {
     pub jobs: usize,
     /// The reports, present once `status` is [`JobSetStatus::Done`].
     pub reports: Option<Vec<CheckReport>>,
+    /// Whether the set's cancel token has been tripped.
+    pub cancelled: bool,
 }
 
 #[derive(Debug)]
@@ -66,6 +79,7 @@ struct JobSet {
     reports: Option<Vec<CheckReport>>,
     jobs: usize,
     status: JobSetStatus,
+    cancel: CancelToken,
 }
 
 #[derive(Debug, Default)]
@@ -105,7 +119,13 @@ impl JobStore {
         let jobs = requests.len();
         state.sets.insert(
             id,
-            JobSet { requests: Some(requests), reports: None, jobs, status: JobSetStatus::Queued },
+            JobSet {
+                requests: Some(requests),
+                reports: None,
+                jobs,
+                status: JobSetStatus::Queued,
+                cancel: CancelToken::new(),
+            },
         );
         state.queue.push_back(id);
         drop(state);
@@ -122,6 +142,26 @@ impl JobStore {
             status: set.status,
             jobs: set.jobs,
             reports: set.reports.clone(),
+            cancelled: set.cancel.is_cancelled(),
+        })
+    }
+
+    /// Trips set `id`'s cancel token and answers its (post-trip) view, or
+    /// `None` if the set never existed or was evicted.  A queued set still
+    /// runs, but every job settles immediately as `Unknown { Cancelled }`;
+    /// a running set's in-flight jobs are interrupted at their next budget
+    /// probe; a done set is unaffected beyond the `cancelled` flag.
+    pub fn cancel(&self, id: u64) -> Option<JobSetView> {
+        let state = self.lock();
+        state.sets.get(&id).map(|set| {
+            set.cancel.cancel();
+            JobSetView {
+                id,
+                status: set.status,
+                jobs: set.jobs,
+                reports: set.reports.clone(),
+                cancelled: true,
+            }
         })
     }
 
@@ -132,14 +172,14 @@ impl JobStore {
     /// per job.
     pub fn worker_loop(&self, metrics: &Metrics) {
         loop {
-            let (id, requests) = {
+            let (id, requests, cancel) = {
                 let mut state = self.lock();
                 loop {
                     if let Some(id) = state.queue.pop_front() {
                         let set = state.sets.get_mut(&id).expect("queued set exists");
                         set.status = JobSetStatus::Running;
                         let requests = set.requests.take().expect("queued set has requests");
-                        break (id, requests);
+                        break (id, requests, set.cancel.clone());
                     }
                     if state.shutdown {
                         return;
@@ -151,6 +191,7 @@ impl JobStore {
                 }
             };
 
+            let requests = attach_cancel(requests, &cancel);
             let jobs = requests.len() as u64;
             let started = Instant::now();
             let reports = Session::new().check_many(requests);
@@ -194,6 +235,19 @@ impl JobStore {
     }
 }
 
+/// Attaches `token` to every request's budget — the exact transformation a
+/// batch worker applies before running a set, exported so the end-to-end
+/// bit-identity tests can reproduce the server's execution byte for byte.
+pub fn attach_cancel(requests: Vec<CheckRequest>, token: &CancelToken) -> Vec<CheckRequest> {
+    requests
+        .into_iter()
+        .map(|request| {
+            let budget = request.budget().cloned().unwrap_or_default().with_cancel(token.clone());
+            request.with_budget(budget)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,7 +280,11 @@ mod tests {
         worker.join().expect("worker exits");
 
         let mut fetched = view.reports.expect("done sets carry reports");
-        let mut expected = Session::new().check_many(vec![request(), request()]);
+        // The comparison side applies the same per-set cancel-token
+        // transformation the worker does (an untripped token only flips the
+        // jobs' verdict-cache plans to bypass — which is the point).
+        let expected = attach_cancel(vec![request(), request()], &CancelToken::new());
+        let mut expected = Session::new().check_many(expected);
         for report in fetched.iter_mut().chain(expected.iter_mut()) {
             report.stats.duration = std::time::Duration::ZERO;
         }

@@ -4,6 +4,7 @@
 //!
 //! ```json
 //! {
+//!   "api_version": 1,
 //!   "formula": "[](P -> <>Q)",
 //!   "backend": {"kind": "bounded", "props": ["P", "Q"], "max_len": 3},
 //!   "budget": {"max_nodes": 10000, "timeout_ms": 2000},
@@ -22,7 +23,9 @@
 //!
 //! Translation failures are structured [`ErrorReport`]s with stable codes:
 //! `bad-json` (the body is not JSON — the message carries the byte offset),
-//! `bad-request` (valid JSON, wrong shape), `parse` (the formula string does
+//! `bad-request` (valid JSON, wrong shape), `api-version` (an
+//! `"api_version"` other than [`API_VERSION`]; the field is optional and
+//! defaults to the current version), `parse` (the formula string does
 //! not parse — the message carries the position), and `lint` (the formula
 //! parsed but carries an error-severity analysis finding; the report quotes
 //! the [`Diagnostic`](ilogic_core::analysis::Diagnostic)s).  The same
@@ -54,6 +57,23 @@ fn bad_request(message: impl Into<String>) -> ErrorReport {
     ErrorReport::new("bad-request", message)
 }
 
+/// The wire schema version this server speaks.
+pub const API_VERSION: i64 = 1;
+
+/// Validates an optional `"api_version"` field: absent defaults to the
+/// current version ([`API_VERSION`]); any other value is refused with the
+/// stable `api-version` code so old clients get a structured, actionable
+/// error instead of a shape mismatch deeper in translation.
+fn api_version_field(value: &Json) -> Result<(), ErrorReport> {
+    match value.get("api_version") {
+        None | Some(Json::Int(API_VERSION)) => Ok(()),
+        Some(other) => Err(ErrorReport::new(
+            "api-version",
+            format!("unsupported api_version {other} (this server speaks {API_VERSION})"),
+        )),
+    }
+}
+
 /// Translates one job object into a [`CheckRequest`], clamping its budget by
 /// `config`; see the module docs for the schema and the error codes.
 pub fn check_request_from_json(
@@ -64,10 +84,14 @@ pub fn check_request_from_json(
         return Err(bad_request("a job must be a JSON object"));
     };
     for (key, _) in fields {
-        if !matches!(key.as_str(), "formula" | "backend" | "budget" | "preflight" | "domain") {
+        if !matches!(
+            key.as_str(),
+            "formula" | "backend" | "budget" | "preflight" | "domain" | "api_version"
+        ) {
             return Err(bad_request(format!("unknown job field `{key}`")));
         }
     }
+    api_version_field(value)?;
 
     let formula = formula_field(value)?;
     let mut request = CheckRequest::new(formula);
@@ -251,6 +275,7 @@ pub fn batch_from_json(
     root: &Json,
     config: &ServerConfig,
 ) -> Result<Vec<CheckRequest>, ErrorReport> {
+    api_version_field(root)?;
     let jobs = root
         .require("jobs")
         .map_err(|error| bad_request(error.to_string()))?
@@ -336,6 +361,28 @@ mod tests {
             let error = check_request_from_json(&value, &config).expect_err(body);
             assert_eq!(error.code, code, "{body}: {error}");
         }
+    }
+
+    #[test]
+    fn api_versions_default_to_current_and_refuse_the_rest() {
+        let config = config();
+        for body in [r#"{"formula": "P"}"#, r#"{"formula": "P", "api_version": 1}"#] {
+            let value = Json::parse(body).expect("test body parses");
+            check_request_from_json(&value, &config).expect(body);
+        }
+        for body in
+            [r#"{"formula": "P", "api_version": 2}"#, r#"{"formula": "P", "api_version": "1"}"#]
+        {
+            let value = Json::parse(body).expect("test body parses");
+            let error = check_request_from_json(&value, &config).expect_err(body);
+            assert_eq!(error.code, "api-version", "{body}: {error}");
+            assert!(error.message.contains("speaks 1"), "{error}");
+        }
+        // The batch root takes the same field with the same refusal.
+        let root = Json::parse(r#"{"api_version": 0, "jobs": [{"formula": "P"}]}"#).unwrap();
+        assert_eq!(batch_from_json(&root, &config).expect_err("refused").code, "api-version");
+        let root = Json::parse(r#"{"api_version": 1, "jobs": [{"formula": "P"}]}"#).unwrap();
+        assert_eq!(batch_from_json(&root, &config).expect("accepted").len(), 1);
     }
 
     #[test]

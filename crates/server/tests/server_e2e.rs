@@ -15,13 +15,14 @@
 use std::time::{Duration, Instant};
 
 use ilogic_core::json::Json;
-use ilogic_core::session::{trace_to_json, ErrorReport, Session};
+use ilogic_core::pool::CancelToken;
+use ilogic_core::session::{trace_to_json, CheckReport, ErrorReport, Session};
 use ilogic_core::state::Prop;
 use ilogic_core::trace::TraceBuilder;
 use ilogic_server::client::ClientConn;
 use ilogic_server::config::ServerConfig;
 use ilogic_server::router::reports_from_jobs_body;
-use ilogic_server::{server, wire};
+use ilogic_server::{server, store, wire};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
@@ -120,9 +121,11 @@ fn wire_batches_are_bit_identical_to_in_process_check_many() {
     let mut fetched = reports_from_jobs_body(&done).expect("reports parse");
 
     // The comparison side: the same bytes through the same wire translation,
-    // run in-process on a fresh session exactly as the batch workers do.
+    // run in-process on a fresh session exactly as the batch workers do —
+    // including the per-set cancel token every admitted set's budgets carry.
     let requests = wire::batch_from_json(&Json::parse(&body).expect("batch body parses"), &config)
         .expect("the mixed batch translates");
+    let requests = store::attach_cancel(requests, &CancelToken::new());
     let mut expected = Session::new().check_many(requests);
 
     assert_eq!(fetched.len(), 6);
@@ -189,6 +192,74 @@ fn overload_sheds_with_structured_503s_and_keeps_the_connection() {
     let snapshot = Json::parse(&metrics.body).expect("metrics body is JSON");
     assert_balanced(&snapshot);
     assert_eq!(snapshot.get("shed").and_then(Json::as_int), Some(1), "{snapshot}");
+    drop(conn);
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_checks_hit_the_warm_verdict_cache_over_the_wire() {
+    let handle = server::start(test_config()).expect("daemon starts");
+    let mut conn = connect(handle.addr());
+
+    // The same body twice — versioned, to exercise the api_version field on
+    // the accept path too.  The repeat must be served from the shared
+    // session's verdict cache with the identical answer.
+    let body = r#"{"api_version": 1, "formula": "[](P -> <>Q)", "backend": {"kind": "decide"}}"#;
+    let cold = conn.post("/check", body).expect("first check answers");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let warm = conn.post("/check", body).expect("repeat check answers");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    let cold = CheckReport::from_json(&cold.body).expect("cold report parses");
+    let warm = CheckReport::from_json(&warm.body).expect("warm report parses");
+    assert_eq!((cold.stats.cache.hits, cold.stats.cache.misses), (0, 1), "{cold:?}");
+    assert_eq!((warm.stats.cache.hits, warm.stats.cache.misses), (1, 0), "{warm:?}");
+    assert_eq!(warm.verdict, cold.verdict, "a cached verdict is the recomputed verdict");
+    assert_eq!(warm.failing_index, cold.failing_index);
+    assert_eq!(warm.diagnostics, cold.diagnostics);
+
+    // The hit rate is scrapeable.
+    let metrics = conn.get("/metrics").expect("metrics answers");
+    let snapshot = Json::parse(&metrics.body).expect("metrics body is JSON");
+    assert_balanced(&snapshot);
+    assert_eq!(snapshot.get("cache_hits").and_then(Json::as_int), Some(1), "{snapshot}");
+    assert_eq!(snapshot.get("cache_misses").and_then(Json::as_int), Some(1), "{snapshot}");
+
+    // An unsupported wire version is refused with the stable code.
+    let refused = conn.post("/check", r#"{"api_version": 2, "formula": "P"}"#).expect("answers");
+    assert_eq!(refused.status, 400, "{}", refused.body);
+    assert_eq!(ErrorReport::from_json(&refused.body).unwrap().code, "api-version");
+
+    drop(conn);
+    handle.shutdown();
+}
+
+#[test]
+fn delete_cancels_a_job_set_over_the_wire() {
+    let handle = server::start(test_config()).expect("daemon starts");
+    let mut conn = connect(handle.addr());
+
+    let accepted = conn
+        .post("/batch", r#"{"api_version": 1, "jobs": [{"formula": "[](P -> <>Q)"}]}"#)
+        .expect("batch posts");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = Json::parse(&accepted.body).unwrap().get("id").and_then(Json::as_int).unwrap();
+
+    // Cancellation answers the set's view with the flag up, whatever station
+    // the race put it in (queued, running, or already done).
+    let cancelled = conn.delete(&format!("/jobs/{id}")).expect("delete answers");
+    assert_eq!(cancelled.status, 200, "{}", cancelled.body);
+    let root = Json::parse(&cancelled.body).expect("cancel body is JSON");
+    assert_eq!(root.get("cancelled"), Some(&Json::Bool(true)), "{root}");
+
+    // The set still completes and reports: cancellation is a fast
+    // completion, never a dropped answer.
+    poll_until_done(&mut conn, id);
+
+    // Unknown ids answer a structured 404.
+    let missing = conn.delete("/jobs/424242").expect("delete answers");
+    assert_eq!(missing.status, 404, "{}", missing.body);
+    assert_eq!(ErrorReport::from_json(&missing.body).unwrap().code, "not-found");
+
     drop(conn);
     handle.shutdown();
 }

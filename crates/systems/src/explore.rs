@@ -593,7 +593,7 @@ mod tests {
         let runs = collect_runs(&model, ExploreLimits::default(), 64);
         assert!(!runs.is_empty());
         let spec = mutual_exclusion_spec();
-        let mut session = Session::new();
+        let session = Session::new();
         for trace in &runs {
             let report = session.check_spec(&spec, trace);
             assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
@@ -606,7 +606,7 @@ mod tests {
         let backend = explore_backend(&model, ExploreLimits::default(), 64);
         let theorem =
             ilogic_core::spec::close_free_variables(&crate::specs::mutual_exclusion_theorem());
-        let mut session = Session::new();
+        let session = Session::new();
         let report = session.check(CheckRequest::new(theorem.clone()).with_backend(backend));
         assert_eq!(report.backend, "explore");
         assert!(report.verdict.passed(), "{}", report.verdict);

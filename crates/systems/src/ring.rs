@@ -230,7 +230,7 @@ mod tests {
         let runs = collect_runs(&model, ExploreLimits::default(), 64);
         assert!(!runs.is_empty());
         let spec = ring_election_spec();
-        let mut session = Session::new();
+        let session = Session::new();
         for trace in &runs {
             let report = session.check_spec(&spec, trace);
             assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn uniqueness_theorem_checked_by_every_applicable_backend() {
         let theorem = close_free_variables(&leader_uniqueness_theorem());
-        let mut session = Session::new();
+        let session = Session::new();
 
         // Explore: holds over every run of the correct model...
         let good = explore_backend(&RingModel::correct(vec![2, 1, 3]), Default::default(), 128);
@@ -266,7 +266,7 @@ mod tests {
         // Decide's refutation sweep — the same enumeration over the same
         // alphabet — must land on the identical one.
         let unique = prop("lead_a").and(prop("lead_b")).not().always();
-        let mut session = Session::new();
+        let session = Session::new();
         let bounded =
             session.check(CheckRequest::new(unique.clone()).bounded(vec!["lead_a", "lead_b"], 4));
         let decide = session.check(CheckRequest::new(unique).decide());
@@ -279,7 +279,7 @@ mod tests {
     fn random_schedules_never_break_the_spec() {
         let model = RingModel::correct(vec![5, 3, 8, 1]);
         let spec = ring_election_spec();
-        let mut session = Session::new();
+        let session = Session::new();
         for seed in 0..10 {
             let trace = random_run(&model, 96, seed);
             let report = session.check_spec(&spec, &trace);

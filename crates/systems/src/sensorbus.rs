@@ -203,7 +203,7 @@ mod tests {
         let model = SensorBusModel::correct(2, 1);
         let runs = collect_runs(&model, ExploreLimits::default(), 128);
         let spec = sensor_bus_spec();
-        let mut session = Session::new();
+        let session = Session::new();
         for trace in &runs {
             let report = session.check_spec(&spec, trace);
             assert!(report.passed(), "spec violated on run {trace}: {:?}", report.failures());
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn exclusivity_theorem_checked_by_every_applicable_backend() {
         let theorem = close_free_variables(&bus_exclusivity_theorem());
-        let mut session = Session::new();
+        let session = Session::new();
 
         let good = explore_backend(&SensorBusModel::correct(2, 1), Default::default(), 128);
         let report = session.check(CheckRequest::new(theorem.clone()).with_backend(good));
@@ -234,7 +234,7 @@ mod tests {
         // is not valid, and Bounded and Decide must refute it with the same
         // counterexample computation.
         let exclusive = prop("busy_a").and(prop("busy_b")).not().always();
-        let mut session = Session::new();
+        let session = Session::new();
         let bounded = session
             .check(CheckRequest::new(exclusive.clone()).bounded(vec!["busy_a", "busy_b"], 4));
         let decide = session.check(CheckRequest::new(exclusive).decide());
@@ -247,7 +247,7 @@ mod tests {
     fn random_schedules_never_break_the_spec() {
         let model = SensorBusModel::correct(3, 2);
         let spec = sensor_bus_spec();
-        let mut session = Session::new();
+        let session = Session::new();
         for seed in 0..10 {
             let trace = random_run(&model, 96, seed);
             let report = session.check_spec(&spec, &trace);

@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn reliable_queue_conforms_and_faulty_queue_does_not() {
-        let mut session = Session::new();
+        let session = Session::new();
         let good = queue::simulate(
             QueueKind::Reliable,
             QueueWorkload { items: 4, retries: 1, seed: 2, phased: false },
@@ -321,7 +321,7 @@ mod tests {
             QueueKind::Stack,
             QueueWorkload { items: 4, retries: 1, seed: 5, phased: true },
         );
-        let mut session = Session::new();
+        let session = Session::new();
         assert!(session.check_spec(&stack_spec(), &trace).passed());
         // And a FIFO queue violates the stack axiom on the same workload.
         let fifo = queue::simulate(
@@ -333,7 +333,7 @@ mod tests {
 
     #[test]
     fn request_ack_protocol_conforms_and_hasty_requester_fails() {
-        let mut session = Session::new();
+        let session = Session::new();
         let good = selftimed::simulate_request_ack(ChannelWorkload::default());
         let report = session.check_spec(&request_ack_spec("R", "A"), &good);
         assert!(report.passed(), "{report}");
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn mutual_exclusion_spec_and_theorem_hold_for_the_algorithm() {
-        let mut session = Session::new();
+        let session = Session::new();
         let trace =
             mutex::simulate(MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 3 });
         let report = session.check_spec(&mutual_exclusion_spec(), &trace);

@@ -9,7 +9,7 @@ use ilogic::systems::specs;
 use ilogic::Session;
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
     let workload =
         AbWorkload { messages: 3, loss: 0.25, duplication: 0.1, seed: 29, max_steps: 2_000 };
 

@@ -11,7 +11,7 @@ use ilogic::systems::specs;
 use ilogic::Session;
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
 
     println!("== request/acknowledge channel against Figure 6-2 ==");
     let channel = simulate_request_ack(ChannelWorkload { cycles: 5, max_delay: 2, seed: 8 });

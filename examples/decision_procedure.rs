@@ -18,7 +18,7 @@ fn main() {
     // a single `ResourceBudget` bounding both jobs.
     {
         use ilogic::core::dsl::*;
-        let mut session = Session::new();
+        let session = Session::new();
         let response = always(prop("P").implies(eventually(prop("Q"))));
         let premise = always(eventually(prop("Q")));
         let theorem = premise.implies(response);

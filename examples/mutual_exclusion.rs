@@ -18,7 +18,7 @@ fn main() {
     // are identical whatever the worker count.
     let parallelism = Parallelism::from_env().unwrap_or(Parallelism::Off);
     println!("parallelism: {parallelism:?} ({} workers)\n", parallelism.workers());
-    let mut session = Session::new();
+    let session = Session::new();
     let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
 
     println!("== the algorithm against Figure 8-1, several contention schedules ==");

@@ -42,7 +42,7 @@ fn main() {
 
     // -- 2. Auto-routing ----------------------------------------------------
     println!("\nBackend::Auto routing (the R001 record explains each choice):\n");
-    let mut session = Session::new();
+    let session = Session::new();
     for source in ["[] P -> P", "[ => Q ] [] P", "[ A => B ] <> D"] {
         let formula = parse_formula(source).expect("corpus syntax");
         let report = session.check(CheckRequest::new(formula).auto());

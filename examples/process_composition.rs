@@ -69,7 +69,7 @@ fn main() {
         println!("  {:<20} {}", format!("{} {}:", clause.kind, clause.label), clause.formula);
     }
 
-    let mut session = Session::new();
+    let session = Session::new();
     for (name, trace) in
         [("correct handshake", handshake(true)), ("faulty responder", handshake(false))]
     {

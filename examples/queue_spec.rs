@@ -8,7 +8,7 @@ use ilogic::systems::specs;
 use ilogic::Session;
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
     let workload = QueueWorkload { items: 5, retries: 3, seed: 41, phased: false };
 
     println!("== reliable queue against the FIFO axiom ==");

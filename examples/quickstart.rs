@@ -12,7 +12,7 @@ use ilogic::temporal::prelude::*;
 use ilogic::{CheckRequest, Session, Verdict};
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
 
     // -----------------------------------------------------------------------
     // 1. An interval formula: [ A => *B ] <> D

@@ -15,7 +15,7 @@ use ilogic::systems::ring::{
 use ilogic::{CheckRequest, Session};
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
     let ids = vec![2u64, 1, 3];
     let correct = RingModel::correct(ids.clone());
     let broken = RingModel::broken(ids.clone());

@@ -15,7 +15,7 @@ use ilogic::systems::sensorbus::{bus_exclusivity_theorem, sensor_bus_spec, Senso
 use ilogic::{CheckRequest, Session};
 
 fn main() {
-    let mut session = Session::new();
+    let session = Session::new();
     let correct = SensorBusModel::correct(2, 1);
     let broken = SensorBusModel::broken(2, 1);
     let limits = ExploreLimits::default();

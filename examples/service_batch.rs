@@ -68,7 +68,7 @@ fn main() {
     ));
 
     // Submit the whole batch across 4 workers.
-    let mut session = Session::new().with_parallelism(Parallelism::Fixed(4));
+    let session = Session::new().with_parallelism(Parallelism::Fixed(4));
     let labels: Vec<String> = requests.iter().map(|(label, _)| label.clone()).collect();
     let started = std::time::Instant::now();
     let reports = session.check_many(requests.into_iter().map(|(_, r)| r).collect());

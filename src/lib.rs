@@ -110,6 +110,28 @@
 //!   where `exhausted` names the budget resource that ran out
 //!   ([`Exhaustion`]), or is `None` outside the decidable fragment.
 //!
+//! ## Migration note (`&mut Session` → `&Session`)
+//!
+//! Since PR 10 every checking entry point — [`Session::check`],
+//! [`Session::submit`], [`Session::check_many`], [`Session::wait`] — takes
+//! `&self`: interning, the job queue, and the verdict cache live behind
+//! short-lived internal locks, so a session can be shared by reference
+//! across threads (the warm-cache model `ilogic::server` runs).  Migrating:
+//!
+//! * drop the `mut` from `let mut session = Session::new()` — an immutable
+//!   binding now checks, submits, and waits;
+//! * code that wants to hand "interning" and "checking" to different
+//!   components can split the surface into the `Copy` handles
+//!   `Session::interner()` ([`ilogic_core::session::InternHandle`]) and
+//!   `Session::checker()` ([`ilogic_core::session::CheckHandle`]);
+//! * the deprecated `submit_mut`/`check_many_mut` shims forward to the
+//!   `&self` methods and will be removed next release;
+//! * duplicate requests now replay cached outcomes —
+//!   [`CheckStats`]`.cache` labels hits per request,
+//!   `Session::cumulative_cache` totals them, and
+//!   `Session::with_verdict_cache(false)` restores the old
+//!   always-recompute behaviour.
+//!
 //! # Which checker do I want?
 //!
 //! | Backend | Ask it for | Guarantee | Cost | Parallelism | Budget caps that apply |
@@ -186,5 +208,6 @@ pub use ilogic_temporal as temporal;
 pub use ilogic_core::pool::{CancelToken, Exhaustion, Parallelism, ResourceBudget, WorkerPool};
 pub use ilogic_core::scheduler::{JobHandle, JobId};
 pub use ilogic_core::session::{
-    Backend, CheckReport, CheckRequest, CheckStats, ErrorReport, RunSource, Session, Verdict,
+    Backend, CacheStats, CheckHandle, CheckReport, CheckRequest, CheckStats, ErrorReport,
+    InternHandle, RunSource, Session, Verdict,
 };

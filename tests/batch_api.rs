@@ -56,13 +56,13 @@ fn check_many_is_bit_identical_to_a_sequential_check_loop() {
         .map(|(label, f)| (label, CheckRequest::new(f).bounded(["P", "A", "B"], 2)))
         .collect();
     // The reference: one session, single-threaded checks in submission order.
-    let mut reference = Session::new();
+    let reference = Session::new();
     let sequential: Vec<CheckReport> = requests
         .iter()
         .map(|(_, r)| reference.check(r.clone().with_parallelism(Parallelism::Off)))
         .collect();
     for workers in 1..=4 {
-        let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+        let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
         let batch = session.check_many(requests.iter().map(|(_, r)| r.clone()).collect());
         assert_eq!(batch.len(), sequential.len());
         for (((label, _), batched), loop_report) in requests.iter().zip(&batch).zip(&sequential) {
@@ -105,7 +105,7 @@ fn mixed_backend_batches_match_the_loop() {
             })
         })),
     ];
-    let mut reference = Session::new();
+    let reference = Session::new();
     let sequential: Vec<CheckReport> = requests
         .iter()
         .map(|r| reference.check(r.clone().with_parallelism(Parallelism::Off)))
@@ -115,7 +115,7 @@ fn mixed_backend_batches_match_the_loop() {
     assert_eq!(sequential[6].failing_index, Some(37));
     assert_eq!(sequential[5].counterexample().map(|(i, _)| i), Some(1));
     for workers in 1..=4 {
-        let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+        let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
         let batch = session.check_many(requests.clone());
         for (job, (batched, loop_report)) in batch.iter().zip(&sequential).enumerate() {
             assert_reports_identical(
@@ -132,7 +132,7 @@ fn mixed_backend_batches_match_the_loop() {
 /// once.
 #[test]
 fn submit_and_wait_drive_the_queue_once() {
-    let mut session = Session::new().with_parallelism(Parallelism::Fixed(2));
+    let session = Session::new().with_parallelism(Parallelism::Fixed(2));
     let h1 = session.submit(CheckRequest::new(prop("P").or(prop("P").not())).bounded(["P"], 2));
     let h2 = session.submit(CheckRequest::new(prop("P")).bounded(["P"], 2));
     let h3 = session
@@ -153,7 +153,7 @@ fn submit_and_wait_drive_the_queue_once() {
     assert!(session.try_wait(&h4).is_some());
     // A handle minted by a *different* session is rejected, not silently
     // redeemed against a colliding numeric id.
-    let mut other = Session::new();
+    let other = Session::new();
     let foreign = other.submit(CheckRequest::new(prop("R")).bounded(["R"], 1));
     assert!(session.try_wait(&foreign).is_none(), "foreign handles must not redeem");
     assert!(other.try_wait(&foreign).is_some(), "…but still redeem at their own session");
@@ -273,7 +273,7 @@ fn shared_cancellation_cuts_the_whole_batch_uniformly() {
             .with_budget(budget.clone()),
     ];
     token.cancel();
-    let mut session = Session::new().with_parallelism(Parallelism::Fixed(2));
+    let session = Session::new().with_parallelism(Parallelism::Fixed(2));
     for (job, report) in session.check_many(requests).into_iter().enumerate() {
         assert_eq!(
             report.verdict,
@@ -301,7 +301,7 @@ fn reports_round_trip_through_json() {
             .decide()
             .with_budget(ResourceBudget::unbounded().with_max_nodes(0).with_max_enumeration(0)),
     ];
-    let mut session = Session::new();
+    let session = Session::new();
     for (job, report) in session.check_many(requests).into_iter().enumerate() {
         let json = report.to_json();
         let parsed =
@@ -340,9 +340,9 @@ fn single_worker_batches_equal_one_shot_checks() {
     let formulas = [prop("P"), prop("P").or(prop("P").not())];
     let requests: Vec<CheckRequest> =
         formulas.iter().map(|f| CheckRequest::new(f.clone()).bounded(["P"], 2)).collect();
-    let mut batch_session = Session::new().with_parallelism(Parallelism::Off);
+    let batch_session = Session::new().with_parallelism(Parallelism::Off);
     let batch = batch_session.check_many(requests.clone());
-    let mut loop_session = Session::new().with_parallelism(Parallelism::Off);
+    let loop_session = Session::new().with_parallelism(Parallelism::Off);
     let looped: Vec<CheckReport> = requests.into_iter().map(|r| loop_session.check(r)).collect();
     for (job, (batched, one_shot)) in batch.iter().zip(&looped).enumerate() {
         assert_reports_identical(batched, one_shot, &format!("job {job}"));

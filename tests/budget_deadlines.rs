@@ -42,7 +42,7 @@ fn requests_for_all_backends(budget: &ResourceBudget) -> Vec<(&'static str, Chec
 
 /// Runs every backend under `budget` and asserts the uniform outcome.
 fn assert_uniformly(budget: &ResourceBudget, expected: &Verdict, label: &str) {
-    let mut session = Session::new();
+    let session = Session::new();
     for (backend, request) in requests_for_all_backends(budget) {
         let report = session.check(request);
         assert_eq!(
@@ -82,7 +82,7 @@ fn a_generous_deadline_changes_nothing() {
     // Contrast case: the same requests under a one-hour deadline settle to
     // exactly the verdicts of the deadline-free default budget.
     let generous = ResourceBudget::default().with_timeout(Duration::from_secs(3600));
-    let mut session = Session::new();
+    let session = Session::new();
     let baseline: Vec<Verdict> = requests_for_all_backends(&ResourceBudget::default())
         .into_iter()
         .map(|(_, request)| session.check(request).verdict)
@@ -124,7 +124,7 @@ fn cancellation_after_completion_leaves_settled_verdicts_alone() {
     // `Unknown { Cancelled }`}; a flipped or fabricated verdict is neither.
     let token = CancelToken::new();
     let budget = ResourceBudget::default().with_cancel(token.clone());
-    let mut session = Session::new();
+    let session = Session::new();
     let settled: Vec<(&'static str, Verdict)> = requests_for_all_backends(&budget)
         .into_iter()
         .map(|(backend, request)| (backend, session.check(request).verdict))
@@ -157,7 +157,7 @@ fn cancelling_mid_batch_cuts_only_the_unfinished_tail() {
     // withheld — the per-job boundary is exactly where the cut lands.
     let token = CancelToken::new();
     let budget = ResourceBudget::default().with_cancel(token.clone());
-    let mut session = Session::new();
+    let session = Session::new();
     let before = session.check(
         CheckRequest::new(prop("P").or(prop("P").not()))
             .bounded(["P"], 3)

@@ -144,7 +144,7 @@ fn algorithm_b_and_bounded_models_agree_on_interval_fragment_validities() {
     // The budgeted tableau answers Unknown-by-blowup honestly instead of
     // hanging on the invalid formula's nested weak-until translation; the
     // unified Session still refutes it with a concrete countermodel.
-    let mut session = ilogic::Session::new();
+    let session = ilogic::Session::new();
     let report = session.check(ilogic::CheckRequest::new(invalid_formula).decide());
     assert!(report.verdict.counterexample().is_some(), "got {}", report.verdict);
 }

@@ -39,7 +39,7 @@ fn all_formulas() -> Vec<(String, Formula)> {
 /// — the ground truth the lints are checked against.
 fn bounded_verdict(formula: &Formula) -> Verdict {
     let props = analysis::proposition_names(formula);
-    let mut session = Session::new();
+    let session = Session::new();
     session.check(CheckRequest::new(formula.clone()).bounded(props, 1)).verdict
 }
 
@@ -123,7 +123,7 @@ fn auto_is_bit_identical_to_the_hand_routed_backend() {
     let budget = ResourceBudget::default().with_max_enumeration(10_000);
     let formulas = all_formulas();
     // The reference: hand-routed requests, sequential single-threaded loop.
-    let mut reference = Session::new();
+    let reference = Session::new();
     let manual: Vec<CheckReport> = formulas
         .iter()
         .map(|(_, f)| {
@@ -138,7 +138,7 @@ fn auto_is_bit_identical_to_the_hand_routed_backend() {
         })
         .collect();
     for workers in 1..=4 {
-        let mut session = Session::new().with_parallelism(Parallelism::Fixed(workers));
+        let session = Session::new().with_parallelism(Parallelism::Fixed(workers));
         let auto = session.check_many(
             formulas
                 .iter()
@@ -161,7 +161,7 @@ fn auto_is_bit_identical_to_the_hand_routed_backend() {
 /// `Unknown`.
 #[test]
 fn auto_decides_the_full_catalogue() {
-    let mut session = Session::new();
+    let session = Session::new();
     let reports = session.check_many(
         valid::catalogue().into_iter().map(|(_, f)| CheckRequest::new(f).auto()).collect(),
     );
@@ -193,13 +193,25 @@ fn auto_routes_the_seed_system_specs() {
             let closed = ilogic::core::spec::close_free_variables(&clause.formula);
             let estimate = analyze_formula(&closed).estimate;
             let (backend, routed_budget) = auto_backend(&closed, &estimate, &budget);
-            let mut manual_session = Session::new();
+            // Both sides sequential (overriding ILOGIC_TEST_PARALLEL): this
+            // test pins *routing* identity, and a parallel early-exit sweep's
+            // `traces_checked` may overshoot nondeterministically (see
+            // `BoundedChecker::sweep_parallel`) — the worker sweep is
+            // `auto_is_bit_identical_to_the_hand_routed_backend`'s job.
+            let manual_session = Session::new();
             let manual = manual_session.check(
-                CheckRequest::new(closed.clone()).with_backend(backend).with_budget(routed_budget),
+                CheckRequest::new(closed.clone())
+                    .with_backend(backend)
+                    .with_budget(routed_budget)
+                    .with_parallelism(Parallelism::Off),
             );
-            let mut auto_session = Session::new();
-            let auto =
-                auto_session.check(CheckRequest::new(closed).auto().with_budget(budget.clone()));
+            let auto_session = Session::new();
+            let auto = auto_session.check(
+                CheckRequest::new(closed)
+                    .auto()
+                    .with_budget(budget.clone())
+                    .with_parallelism(Parallelism::Off),
+            );
             assert_routed_identical(&auto, &manual, &format!("{}/{}", spec.name(), clause.label));
         }
     }

@@ -13,7 +13,7 @@ use ilogic::{Backend, CheckRequest, Session, Verdict};
 
 #[test]
 fn one_session_serves_every_backend() {
-    let mut session = Session::new();
+    let session = Session::new();
     let theorem = close_free_variables(&specs::mutual_exclusion_theorem());
 
     // Trace backend over a simulator run.
@@ -50,7 +50,7 @@ fn one_session_serves_every_backend() {
 
 #[test]
 fn session_spec_checking_matches_the_low_level_path() {
-    let mut session = Session::new();
+    let session = Session::new();
     let workload = MutexWorkload { processes: 3, entries: 1, cs_duration: 1, seed: 11 };
     let trace = simulate(workload);
     let spec = specs::mutual_exclusion_spec();
@@ -68,7 +68,7 @@ fn session_spec_checking_matches_the_low_level_path() {
 
 #[test]
 fn bounded_requests_respect_the_lasso_switch() {
-    let mut session = Session::new();
+    let session = Session::new();
     // □◇P ∧ ¬◇□P needs a lasso witness; its negation is refutable only with
     // lassos enabled.
     let recurring_not_stable =
@@ -82,7 +82,7 @@ fn bounded_requests_respect_the_lasso_switch() {
 
 #[test]
 fn explicit_backend_values_compose() {
-    let mut session = Session::new();
+    let session = Session::new();
     let runs = vec![Trace::finite(vec![State::new().with("P")])];
     let report = session
         .check(CheckRequest::new(prop("P")).with_backend(Backend::Explore { runs: runs.into() }));
